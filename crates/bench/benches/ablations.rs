@@ -1,0 +1,139 @@
+//! Ablation benchmarks: quantify each design choice called out in DESIGN.md.
+//!
+//! * **Key-frame pruning** (MFS vs NAIVE): removing invalid states as soon as
+//!   their key frames expire, instead of waiting for the frame set to empty.
+//! * **Graph-guided traversal** (SSG vs MFS): skipping states that share no
+//!   object with the arriving frame, instead of scanning every state.
+//! * **Query-driven termination** (SSG_O vs SSG_E): Proposition-1 pruning for
+//!   `>=`-only workloads.
+//! * **Window sharing** (paper Section 3): queries with the same window share
+//!   one maintainer — measured as one maintainer vs. one per query.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tvq_common::WindowSpec;
+use tvq_core::MaintainerKind;
+use tvq_query::{generate_workload, CnfEvaluator, GeqOnlyPruner, WorkloadConfig};
+use tvq_video::{generate, generate_with_id_reuse, DatasetProfile};
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group
+}
+
+/// Key-frame pruning ablation: NAIVE is exactly MFS without marked frame
+/// sets; the gap is the value of Theorem 1's early pruning.
+fn bench_key_frame_pruning(c: &mut Criterion) {
+    let mut group = configure(c);
+    let spec = WindowSpec::new(50, 40).unwrap();
+    let relation = generate_with_id_reuse(&DatasetProfile::d2().truncated(220), 2, 17);
+    for kind in [MaintainerKind::Naive, MaintainerKind::Mfs] {
+        group.bench_with_input(
+            BenchmarkId::new("keyframe_pruning", kind.name()),
+            &relation,
+            |b, relation| b.iter(|| tvq_bench::time_mcos_generation(relation, spec, kind)),
+        );
+    }
+    group.finish();
+}
+
+/// Graph-traversal ablation: MFS scans every state per frame, SSG only the
+/// subgraph reachable with non-empty intersections.
+fn bench_graph_traversal(c: &mut Criterion) {
+    let mut group = configure(c);
+    let spec = WindowSpec::new(60, 45).unwrap();
+    // A moving-camera profile: many short-lived objects, many distinct states.
+    let relation = generate(&DatasetProfile::m1().truncated(220), 19);
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        group.bench_with_input(
+            BenchmarkId::new("graph_traversal", kind.name()),
+            &relation,
+            |b, relation| b.iter(|| tvq_bench::time_mcos_generation(relation, spec, kind)),
+        );
+    }
+    group.finish();
+}
+
+/// Query-driven termination ablation on a selective workload.
+fn bench_termination(c: &mut Criterion) {
+    let mut group = configure(c);
+    let spec = WindowSpec::new(50, 40).unwrap();
+    let relation = generate(&DatasetProfile::d2().truncated(220), 23);
+    let classes = Arc::new(relation.object_classes().clone());
+    let evaluator = Arc::new(CnfEvaluator::new(generate_workload(
+        &WorkloadConfig::figure_9(7),
+        29,
+    )));
+    for pruned in [false, true] {
+        let label = if pruned { "with_termination" } else { "without_termination" };
+        let pruner = if pruned {
+            GeqOnlyPruner::shared(Arc::clone(&evaluator), Arc::clone(&classes))
+        } else {
+            None
+        };
+        let evaluator_ref = Arc::clone(&evaluator);
+        group.bench_with_input(BenchmarkId::new("termination", label), &relation, |b, relation| {
+            b.iter(|| {
+                tvq_bench::time_query_evaluation(
+                    relation,
+                    spec,
+                    MaintainerKind::Ssg,
+                    &evaluator_ref,
+                    pruner.clone(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Window-sharing ablation: queries with the same window share one maintainer
+/// (the paper groups them); the alternative pays state maintenance per query.
+fn bench_window_sharing(c: &mut Criterion) {
+    let mut group = configure(c);
+    let spec = WindowSpec::new(40, 30).unwrap();
+    let relation = generate(&DatasetProfile::v1().truncated(200), 31);
+    let num_queries = 10usize;
+
+    group.bench_with_input(BenchmarkId::new("window_sharing", "shared"), &relation, |b, relation| {
+        b.iter(|| {
+            let mut maintainer = MaintainerKind::Ssg.build(spec);
+            for frame in relation.frames() {
+                maintainer.advance(frame.fid, &frame.objects).unwrap();
+            }
+            maintainer.metrics().states_created
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("window_sharing", "per_query"),
+        &relation,
+        |b, relation| {
+            b.iter(|| {
+                let mut maintainers: Vec<_> =
+                    (0..num_queries).map(|_| MaintainerKind::Ssg.build(spec)).collect();
+                for frame in relation.frames() {
+                    for maintainer in &mut maintainers {
+                        maintainer.advance(frame.fid, &frame.objects).unwrap();
+                    }
+                }
+                maintainers[0].metrics().states_created
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_key_frame_pruning,
+    bench_graph_traversal,
+    bench_termination,
+    bench_window_sharing
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark for the full engine (Figure 10 shape): simulated
+//! feed → MCOS generation → CNF evaluation, per strategy.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tvq_common::WindowSpec;
+use tvq_core::MaintainerKind;
+use tvq_engine::run_workload;
+use tvq_query::{generate_workload, WorkloadConfig};
+use tvq_video::{generate, DatasetProfile};
+
+fn bench_engine_per_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let window = WindowSpec::new(50, 40).unwrap();
+    let queries = generate_workload(&WorkloadConfig::figure_8(20), 3);
+    for profile in [DatasetProfile::d1(), DatasetProfile::m2()] {
+        let relation = generate(&profile.truncated(200), 13);
+        for kind in MaintainerKind::PRODUCTION {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), profile.name),
+                &relation,
+                |b, relation| {
+                    b.iter(|| {
+                        run_workload(relation, &queries, window, kind, false)
+                            .expect("workload runs")
+                            .total_matches
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_per_strategy);
+criterion_main!(benches);

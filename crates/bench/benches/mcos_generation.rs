@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks for the MCOS generation layer (the code paths
+//! behind Figures 4-7), on reduced inputs so a full `cargo bench` stays fast.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tvq_common::WindowSpec;
+use tvq_core::MaintainerKind;
+use tvq_video::{generate, generate_with_id_reuse, DatasetProfile};
+
+const FRAMES: usize = 240;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("mcos_generation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group
+}
+
+/// Figure 4/10 shape: the three methods on a sparse (V1) and a dense (M2)
+/// feed.
+fn bench_methods_per_dataset(c: &mut Criterion) {
+    let mut group = configure(c);
+    let window = WindowSpec::new(50, 40).unwrap();
+    for profile in [DatasetProfile::v1(), DatasetProfile::m2()] {
+        let relation = generate(&profile.truncated(FRAMES), 1);
+        for kind in MaintainerKind::PRODUCTION {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), profile.name),
+                &relation,
+                |b, relation| {
+                    b.iter(|| tvq_bench::time_mcos_generation(relation, window, kind));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 6 shape: SSG's advantage grows with the window size on dense feeds.
+fn bench_window_sizes(c: &mut Criterion) {
+    let mut group = configure(c);
+    let relation = generate(&DatasetProfile::d2().truncated(FRAMES), 2);
+    for window in [40usize, 60, 80] {
+        let spec = WindowSpec::new(window, 30).unwrap();
+        for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{window}"), kind.name()),
+                &relation,
+                |b, relation| {
+                    b.iter(|| tvq_bench::time_mcos_generation(relation, spec, kind));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 7 shape: more occlusion (id reuse) means more states for everyone.
+fn bench_occlusion_levels(c: &mut Criterion) {
+    let mut group = configure(c);
+    let spec = WindowSpec::new(50, 40).unwrap();
+    for po in [0u32, 3] {
+        let relation = generate_with_id_reuse(&DatasetProfile::d1().truncated(FRAMES), po, 3);
+        for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("po{po}"), kind.name()),
+                &relation,
+                |b, relation| {
+                    b.iter(|| tvq_bench::time_mcos_generation(relation, spec, kind));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_methods_per_dataset,
+    bench_window_sizes,
+    bench_occlusion_levels
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for CNF query evaluation (Figures 8 and 9):
+//! the inverted-index evaluator itself, the full per-window evaluation, and
+//! the effect of the Section 5.3 pruning strategy.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tvq_common::{ClassId, WindowSpec};
+use tvq_core::MaintainerKind;
+use tvq_query::{generate_workload, ClassCounts, CnfEvaluator, GeqOnlyPruner, WorkloadConfig};
+use tvq_video::{generate, DatasetProfile};
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("query_evaluation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group
+}
+
+/// The raw evaluator: cost of one aggregate evaluation as the workload grows
+/// (the paper observes this is negligible next to state maintenance).
+fn bench_evaluator_only(c: &mut Criterion) {
+    let mut group = configure(c);
+    for num_queries in [10usize, 50, 200] {
+        let workload = generate_workload(&WorkloadConfig::figure_8(num_queries), 7);
+        let evaluator = CnfEvaluator::new(workload);
+        let counts = ClassCounts::from_map(
+            [(ClassId(0), 2u32), (ClassId(1), 4), (ClassId(2), 1), (ClassId(3), 0)]
+                .into_iter()
+                .collect(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", num_queries),
+            &evaluator,
+            |b, evaluator| b.iter(|| evaluator.evaluate(&counts)),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 8 shape: total time barely moves as the number of queries grows.
+fn bench_workload_sizes_end_to_end(c: &mut Criterion) {
+    let mut group = configure(c);
+    let relation = generate(&DatasetProfile::v1().truncated(200), 9);
+    let window = WindowSpec::new(50, 40).unwrap();
+    for num_queries in [10usize, 50] {
+        let workload = generate_workload(&WorkloadConfig::figure_8(num_queries), 7);
+        let evaluator = CnfEvaluator::new(workload);
+        group.bench_with_input(
+            BenchmarkId::new("ssg_total", num_queries),
+            &relation,
+            |b, relation| {
+                b.iter(|| {
+                    tvq_bench::time_query_evaluation(
+                        relation,
+                        window,
+                        MaintainerKind::Ssg,
+                        &evaluator,
+                        None,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 9 shape: with selective (>=, large n_min) workloads the pruning
+/// variants skip most states.
+fn bench_pruning_effect(c: &mut Criterion) {
+    let mut group = configure(c);
+    let relation = generate(&DatasetProfile::m2().truncated(200), 5);
+    let classes = Arc::new(relation.object_classes().clone());
+    let window = WindowSpec::new(50, 40).unwrap();
+    for n_min in [1u32, 7] {
+        let workload = generate_workload(&WorkloadConfig::figure_9(n_min), 11);
+        let evaluator = Arc::new(CnfEvaluator::new(workload));
+        for pruned in [false, true] {
+            let label = if pruned { "SSG_O" } else { "SSG_E" };
+            let evaluator_ref = Arc::clone(&evaluator);
+            let pruner = if pruned {
+                GeqOnlyPruner::shared(Arc::clone(&evaluator), Arc::clone(&classes))
+            } else {
+                None
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("nmin{n_min}")),
+                &relation,
+                |b, relation| {
+                    b.iter(|| {
+                        tvq_bench::time_query_evaluation(
+                            relation,
+                            window,
+                            MaintainerKind::Ssg,
+                            &evaluator_ref,
+                            pruner.clone(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluator_only,
+    bench_workload_sizes_end_to_end,
+    bench_pruning_effect
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Runs every reproduction experiment (Table 6 and Figures 4-10) in sequence.
+//! Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, format_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Reproduction run at {scale:?} scale\n");
+    println!("{}", experiments::table6(scale));
+    print!(
+        "{}",
+        experiments::render(
+            "Figure 4: MCOS generation time vs. total frames",
+            "frames",
+            &experiments::fig4(scale)
+        )
+    );
+    print!(
+        "{}",
+        experiments::render(
+            "Figure 5: MCOS generation time vs. duration d",
+            "d (frames)",
+            &experiments::fig5(scale)
+        )
+    );
+    print!(
+        "{}",
+        experiments::render(
+            "Figure 6: MCOS generation time vs. window size w",
+            "w (frames)",
+            &experiments::fig6(scale)
+        )
+    );
+    print!(
+        "{}",
+        experiments::render(
+            "Figure 7: MCOS generation time vs. occlusion parameter po",
+            "po",
+            &experiments::fig7(scale)
+        )
+    );
+    print!(
+        "{}",
+        experiments::render(
+            "Figure 8: total time vs. number of queries",
+            "queries",
+            &experiments::fig8(scale)
+        )
+    );
+    print!(
+        "{}",
+        experiments::render(
+            "Figure 9: total time vs. n_min (>=-only queries)",
+            "n_min",
+            &experiments::fig9(scale)
+        )
+    );
+    println!(
+        "{}",
+        format_table(
+            "Figure 10: end-to-end average time per query (50 queries)",
+            "dataset",
+            &experiments::fig10(scale)
+        )
+    );
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 10: end-to-end average time per query (50 queries) for
+//! every dataset and method. Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, format_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let series = experiments::fig10(scale);
+    println!(
+        "{}",
+        format_table(
+            "Figure 10: end-to-end average time per query (50 queries)",
+            "dataset",
+            &series
+        )
+    );
+}

@@ -1,0 +1,13 @@
+//! Reproduces Figure 4: MCOS generation time vs. number of frames
+//! (w = 300, d = 240). Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let results = experiments::fig4(scale);
+    print!(
+        "{}",
+        experiments::render("Figure 4: MCOS generation time vs. total frames", "frames", &results)
+    );
+}

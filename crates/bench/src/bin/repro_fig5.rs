@@ -1,0 +1,13 @@
+//! Reproduces Figure 5: MCOS generation time vs. duration threshold d
+//! (w = 300). Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let results = experiments::fig5(scale);
+    print!(
+        "{}",
+        experiments::render("Figure 5: MCOS generation time vs. duration d", "d (frames)", &results)
+    );
+}

@@ -1,0 +1,13 @@
+//! Reproduces Figure 6: MCOS generation time vs. window size w (d = 240).
+//! Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let results = experiments::fig6(scale);
+    print!(
+        "{}",
+        experiments::render("Figure 6: MCOS generation time vs. window size w", "w (frames)", &results)
+    );
+}

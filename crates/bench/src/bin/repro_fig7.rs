@@ -1,0 +1,13 @@
+//! Reproduces Figure 7: MCOS generation time vs. the occlusion (id reuse)
+//! parameter po. Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let results = experiments::fig7(scale);
+    print!(
+        "{}",
+        experiments::render("Figure 7: MCOS generation time vs. occlusion parameter po", "po", &results)
+    );
+}

@@ -1,0 +1,14 @@
+//! Reproduces Figure 8: total time (MCOS generation + query evaluation) vs.
+//! number of registered queries, on V1 and M2. Pass `--quick` for a reduced
+//! run.
+
+use tvq_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let results = experiments::fig8(scale);
+    print!(
+        "{}",
+        experiments::render("Figure 8: total time vs. number of queries", "queries", &results)
+    );
+}

@@ -1,0 +1,14 @@
+//! Reproduces Figure 9: total time with 100 `>=`-only queries vs. n_min, on
+//! the real datasets, comparing the `_E` variants against the pruning `_O`
+//! variants. Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let results = experiments::fig9(scale);
+    print!(
+        "{}",
+        experiments::render("Figure 9: total time vs. n_min (>=-only queries)", "n_min", &results)
+    );
+}

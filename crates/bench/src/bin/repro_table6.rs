@@ -1,0 +1,8 @@
+//! Reproduces Table 6 (dataset statistics). Pass `--quick` for a reduced run.
+
+use tvq_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("{}", experiments::table6(scale));
+}

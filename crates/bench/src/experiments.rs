@@ -1,0 +1,401 @@
+//! One experiment per table/figure of the paper's evaluation section.
+//!
+//! Every function generates the required workload(s), measures the methods
+//! the corresponding figure compares, and returns per-dataset [`Series`]
+//! ready to be printed with [`format_table`]. Absolute times differ from the
+//! paper (different language, hardware and — for the vision stage — a
+//! simulator instead of GPUs); what must match is the *shape*: which method
+//! wins on which dataset, and how the gap evolves with each parameter.
+
+use std::sync::Arc;
+
+use tvq_common::{DatasetStats, VideoRelation, WindowSpec};
+use tvq_core::MaintainerKind;
+use tvq_query::{generate_workload, CnfEvaluator, GeqOnlyPruner, WorkloadConfig};
+use tvq_video::{generate, generate_with_id_reuse, DatasetProfile};
+
+use crate::harness::{format_table, time_mcos_generation, time_query_evaluation, Scale, Series};
+
+/// Seed used by every experiment so that runs are reproducible.
+pub const SEED: u64 = 20210614;
+
+fn paper_window() -> WindowSpec {
+    WindowSpec::paper_default()
+}
+
+fn profiles() -> Vec<DatasetProfile> {
+    DatasetProfile::all()
+}
+
+fn mcos_methods() -> [MaintainerKind; 3] {
+    [MaintainerKind::Naive, MaintainerKind::Mfs, MaintainerKind::Ssg]
+}
+
+/// **Table 6** — dataset statistics: the Table-6 target values versus the
+/// statistics measured on the synthesised relation of each profile.
+pub fn table6(scale: Scale) -> String {
+    let mut out = String::from(
+        "Table 6: dataset statistics (paper target vs. synthesised relation)\n\
+         dataset |       frames |      objects |        Obj/F |      Occ/Obj |        F/Obj\n\
+         --------+--------------+--------------+--------------+--------------+-------------\n",
+    );
+    for profile in profiles() {
+        let profile = match scale {
+            Scale::Paper => profile,
+            Scale::Quick => profile.truncated(scale.frames(profile.frames)),
+        };
+        let target = profile.target_stats();
+        let measured = DatasetStats::of(&generate(&profile, SEED));
+        out.push_str(&format!(
+            "{:7} | {:5} /{:5} | {:5} /{:5} | {:5.2} /{:5.2} | {:5.2} /{:5.2} | {:5.1} /{:5.1}\n",
+            profile.name,
+            target.frames,
+            measured.frames,
+            target.objects,
+            measured.objects,
+            target.objects_per_frame,
+            measured.objects_per_frame,
+            target.occlusions_per_object,
+            measured.occlusions_per_object,
+            target.frames_per_object,
+            measured.frames_per_object,
+        ));
+    }
+    out.push_str("          (paper / measured)\n");
+    out
+}
+
+/// The frame counts swept on the x axis of Figure 4 for each dataset.
+pub fn fig4_frame_counts(profile: &DatasetProfile) -> Vec<usize> {
+    match profile.name {
+        "V1" => vec![600, 1000, 1400, 1800],
+        "V2" => vec![600, 1000, 1400, 1700],
+        "D1" => vec![400, 600, 800, 1000, 1150],
+        "D2" => vec![400, 600, 800, 1000, 1145],
+        "M1" => vec![400, 600, 800, 1000, 1194],
+        "M2" => vec![300, 450, 600, 750],
+        _ => vec![profile.frames],
+    }
+}
+
+/// **Figure 4** — MCOS generation time as the number of processed frames
+/// grows (w = 300, d = 240), per dataset, for NAIVE/MFS/SSG.
+pub fn fig4(scale: Scale) -> Vec<(String, Vec<Series>)> {
+    let window = scale.window(paper_window());
+    profiles()
+        .into_iter()
+        .map(|profile| {
+            let relation = generate(&profile, SEED);
+            let series = mcos_methods()
+                .iter()
+                .map(|&kind| Series {
+                    method: kind.name().to_owned(),
+                    points: fig4_frame_counts(&profile)
+                        .into_iter()
+                        .map(|frames| {
+                            let frames = scale.frames(frames);
+                            let truncated = relation.truncated(frames);
+                            let elapsed = time_mcos_generation(&truncated, window, kind);
+                            (frames.to_string(), elapsed.as_secs_f64())
+                        })
+                        .collect(),
+                })
+                .collect();
+            (profile.name.to_owned(), series)
+        })
+        .collect()
+}
+
+/// **Figure 5** — MCOS generation time as the duration threshold `d` varies
+/// (w = 300, d ∈ {180, 210, 240, 270}).
+pub fn fig5(scale: Scale) -> Vec<(String, Vec<Series>)> {
+    sweep_window_parameter(scale, &[180, 210, 240, 270], |window, d, scale| {
+        scale.window(WindowSpec::new(window.window(), d).expect("duration <= window"))
+    })
+}
+
+/// **Figure 6** — MCOS generation time as the window size `w` varies
+/// (d = 240, w ∈ {300, 400, 500, 600}).
+pub fn fig6(scale: Scale) -> Vec<(String, Vec<Series>)> {
+    sweep_window_parameter(scale, &[300, 400, 500, 600], |window, w, scale| {
+        scale.window(WindowSpec::new(w, window.duration()).expect("duration <= window"))
+    })
+}
+
+fn sweep_window_parameter(
+    scale: Scale,
+    xs: &[usize],
+    make_spec: impl Fn(WindowSpec, usize, Scale) -> WindowSpec,
+) -> Vec<(String, Vec<Series>)> {
+    let base = paper_window();
+    profiles()
+        .into_iter()
+        .map(|profile| {
+            let frames = scale.frames(profile.frames);
+            let relation = generate(&profile, SEED).truncated(frames);
+            let series = mcos_methods()
+                .iter()
+                .map(|&kind| Series {
+                    method: kind.name().to_owned(),
+                    points: xs
+                        .iter()
+                        .map(|&x| {
+                            let spec = make_spec(base, x, scale);
+                            let elapsed = time_mcos_generation(&relation, spec, kind);
+                            (x.to_string(), elapsed.as_secs_f64())
+                        })
+                        .collect(),
+                })
+                .collect();
+            (profile.name.to_owned(), series)
+        })
+        .collect()
+}
+
+/// **Figure 7** — MCOS generation time as the occlusion (id reuse) parameter
+/// `po` varies from 0 to 3 (w = 300, d = 240).
+pub fn fig7(scale: Scale) -> Vec<(String, Vec<Series>)> {
+    let window = scale.window(paper_window());
+    profiles()
+        .into_iter()
+        .map(|profile| {
+            let frames = scale.frames(profile.frames);
+            let profile = profile.truncated(frames);
+            let relations: Vec<(u32, VideoRelation)> = (0..=3u32)
+                .map(|po| (po, generate_with_id_reuse(&profile, po, SEED)))
+                .collect();
+            let series = mcos_methods()
+                .iter()
+                .map(|&kind| Series {
+                    method: kind.name().to_owned(),
+                    points: relations
+                        .iter()
+                        .map(|(po, relation)| {
+                            let elapsed = time_mcos_generation(relation, window, kind);
+                            (po.to_string(), elapsed.as_secs_f64())
+                        })
+                        .collect(),
+                })
+                .collect();
+            (profile.name.to_owned(), series)
+        })
+        .collect()
+}
+
+/// **Figure 8** — total time (MCOS generation + query evaluation) as the
+/// number of registered queries varies from 10 to 50, on V1 (synthetic) and
+/// M2 (real), for NAIVE/MFS/SSG.
+pub fn fig8(scale: Scale) -> Vec<(String, Vec<Series>)> {
+    let window = scale.window(paper_window());
+    [DatasetProfile::v1(), DatasetProfile::m2()]
+        .into_iter()
+        .map(|profile| {
+            let frames = scale.frames(profile.frames);
+            let relation = generate(&profile, SEED).truncated(frames);
+            let series = mcos_methods()
+                .iter()
+                .map(|&kind| Series {
+                    method: kind.name().to_owned(),
+                    points: [10usize, 20, 30, 40, 50]
+                        .iter()
+                        .map(|&n| {
+                            let workload = generate_workload(&WorkloadConfig::figure_8(n), SEED);
+                            let evaluator = CnfEvaluator::new(workload);
+                            let elapsed =
+                                time_query_evaluation(&relation, window, kind, &evaluator, None);
+                            (n.to_string(), elapsed.as_secs_f64())
+                        })
+                        .collect(),
+                })
+                .collect();
+            (profile.name.to_owned(), series)
+        })
+        .collect()
+}
+
+/// The five method variants compared in Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig9Method {
+    /// NAIVE with CNFEvalE evaluation only.
+    NaiveE,
+    /// MFS with CNFEvalE evaluation only.
+    MfsE,
+    /// SSG with CNFEvalE evaluation only.
+    SsgE,
+    /// MFS with the Section 5.3 pruning strategy.
+    MfsO,
+    /// SSG with the Section 5.3 pruning strategy.
+    SsgO,
+}
+
+impl Fig9Method {
+    /// All five variants in the paper's legend order.
+    pub const ALL: [Fig9Method; 5] = [
+        Fig9Method::NaiveE,
+        Fig9Method::MfsE,
+        Fig9Method::SsgE,
+        Fig9Method::MfsO,
+        Fig9Method::SsgO,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fig9Method::NaiveE => "NAIVE_E",
+            Fig9Method::MfsE => "MFS_E",
+            Fig9Method::SsgE => "SSG_E",
+            Fig9Method::MfsO => "MFS_O",
+            Fig9Method::SsgO => "SSG_O",
+        }
+    }
+
+    fn kind(&self) -> MaintainerKind {
+        match self {
+            Fig9Method::NaiveE => MaintainerKind::Naive,
+            Fig9Method::MfsE | Fig9Method::MfsO => MaintainerKind::Mfs,
+            Fig9Method::SsgE | Fig9Method::SsgO => MaintainerKind::Ssg,
+        }
+    }
+
+    fn pruned(&self) -> bool {
+        matches!(self, Fig9Method::MfsO | Fig9Method::SsgO)
+    }
+}
+
+/// **Figure 9** — total time with 100 `>=`-only queries as the smallest
+/// threshold `n_min` varies from 1 to 9, on the real datasets (D1, D2, M1,
+/// M2), comparing the `_E` variants with the pruning `_O` variants.
+pub fn fig9(scale: Scale) -> Vec<(String, Vec<Series>)> {
+    let window = scale.window(paper_window());
+    [
+        DatasetProfile::d1(),
+        DatasetProfile::d2(),
+        DatasetProfile::m1(),
+        DatasetProfile::m2(),
+    ]
+    .into_iter()
+    .map(|profile| {
+        let frames = scale.frames(profile.frames);
+        let relation = generate(&profile, SEED).truncated(frames);
+        let classes = Arc::new(relation.object_classes().clone());
+        let series = Fig9Method::ALL
+            .iter()
+            .map(|method| Series {
+                method: method.name().to_owned(),
+                points: [1u32, 3, 5, 7, 9]
+                    .iter()
+                    .map(|&n_min| {
+                        let workload = generate_workload(&WorkloadConfig::figure_9(n_min), SEED);
+                        let evaluator = Arc::new(CnfEvaluator::new(workload));
+                        let pruner = if method.pruned() {
+                            GeqOnlyPruner::shared(Arc::clone(&evaluator), Arc::clone(&classes))
+                        } else {
+                            None
+                        };
+                        let elapsed = time_query_evaluation(
+                            &relation,
+                            window,
+                            method.kind(),
+                            &evaluator,
+                            pruner,
+                        );
+                        (n_min.to_string(), elapsed.as_secs_f64())
+                    })
+                    .collect(),
+            })
+            .collect();
+        (profile.name.to_owned(), series)
+    })
+    .collect()
+}
+
+/// **Figure 10** — end-to-end average time per query (50 queries) for each
+/// dataset and method. The paper's numbers include GPU object detection and
+/// tracking; ours cover the query-processing pipeline over the synthesised
+/// relation (the vision stage is a simulator), so only the relative ordering
+/// of NAIVE/MFS/SSG is comparable.
+pub fn fig10(scale: Scale) -> Vec<Series> {
+    let window = scale.window(paper_window());
+    let num_queries = 50;
+    let mut series: Vec<Series> = mcos_methods()
+        .iter()
+        .map(|&kind| Series {
+            method: kind.name().to_owned(),
+            points: Vec::new(),
+        })
+        .collect();
+    for profile in profiles() {
+        let frames = scale.frames(profile.frames);
+        let relation = generate(&profile, SEED).truncated(frames);
+        let workload = generate_workload(&WorkloadConfig::figure_8(num_queries), SEED);
+        let evaluator = CnfEvaluator::new(workload);
+        for (idx, &kind) in mcos_methods().iter().enumerate() {
+            let elapsed = time_query_evaluation(&relation, window, kind, &evaluator, None);
+            series[idx].points.push((
+                profile.name.to_owned(),
+                elapsed.as_secs_f64() / num_queries as f64,
+            ));
+        }
+    }
+    series
+}
+
+/// Renders a per-dataset experiment as printable text.
+pub fn render(title: &str, x_label: &str, results: &[(String, Vec<Series>)]) -> String {
+    let mut out = String::new();
+    for (dataset, series) in results {
+        out.push_str(&format_table(
+            &format!("{title} — dataset {dataset}"),
+            x_label,
+            series,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_frame_counts_end_at_the_dataset_length() {
+        for profile in profiles() {
+            let counts = fig4_frame_counts(&profile);
+            assert_eq!(*counts.last().unwrap(), profile.frames);
+            assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn quick_scale_experiments_produce_complete_series() {
+        let results = fig4(Scale::Quick);
+        assert_eq!(results.len(), 6);
+        for (dataset, series) in &results {
+            assert_eq!(series.len(), 3, "{dataset}");
+            for s in series {
+                assert!(!s.points.is_empty());
+                assert!(s.points.iter().all(|&(_, v)| v.is_finite() && v >= 0.0));
+            }
+        }
+        let rendered = render("Figure 4", "frames", &results);
+        assert!(rendered.contains("dataset V1"));
+        assert!(rendered.contains("NAIVE"));
+    }
+
+    #[test]
+    fn fig9_methods_cover_the_paper_legend() {
+        let names: Vec<&str> = Fig9Method::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["NAIVE_E", "MFS_E", "SSG_E", "MFS_O", "SSG_O"]);
+        assert!(Fig9Method::MfsO.pruned());
+        assert!(!Fig9Method::SsgE.pruned());
+    }
+
+    #[test]
+    fn table6_mentions_every_dataset() {
+        let table = table6(Scale::Quick);
+        for name in ["V1", "V2", "D1", "D2", "M1", "M2"] {
+            assert!(table.contains(name), "missing {name} in {table}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Measurement and reporting utilities shared by all experiments.
+
+use std::time::{Duration, Instant};
+
+use tvq_common::{VideoRelation, WindowSpec};
+use tvq_core::{MaintainerKind, SharedPruner};
+use tvq_query::{evaluate_result_set, CnfEvaluator};
+
+/// Experiment scale: the paper's configuration or a reduced one for smoke
+/// runs and CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's parameters (full feeds, w = 300, d = 240).
+    Paper,
+    /// Reduced feeds and windows; finishes in seconds and preserves the
+    /// qualitative comparison.
+    Quick,
+}
+
+impl Scale {
+    /// Parses command-line arguments (`--quick` selects [`Scale::Quick`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// Scales a frame count.
+    pub fn frames(&self, paper_frames: usize) -> usize {
+        match self {
+            Scale::Paper => paper_frames,
+            Scale::Quick => (paper_frames / 6).max(120),
+        }
+    }
+
+    /// Scales a window specification.
+    pub fn window(&self, paper: WindowSpec) -> WindowSpec {
+        match self {
+            Scale::Paper => paper,
+            Scale::Quick => WindowSpec::new(
+                (paper.window() / 6).max(20),
+                (paper.duration() / 6).max(10),
+            )
+            .expect("scaled window is valid"),
+        }
+    }
+}
+
+/// One measured series: a method name and its `(x, seconds)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Method name (NAIVE, MFS, SSG, MFS_O, ...).
+    pub method: String,
+    /// `(x value, seconds)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+/// Times MCOS generation only (the measurement behind Figures 4-7): every
+/// frame of the relation is pushed through a fresh maintainer of the given
+/// kind and the total wall-clock time is returned.
+pub fn time_mcos_generation(
+    relation: &VideoRelation,
+    spec: WindowSpec,
+    kind: MaintainerKind,
+) -> Duration {
+    let mut maintainer = kind.build(spec);
+    let start = Instant::now();
+    for frame in relation.frames() {
+        maintainer
+            .advance(frame.fid, &frame.objects)
+            .expect("frames arrive in order");
+    }
+    start.elapsed()
+}
+
+/// Times MCOS generation plus CNF evaluation over the Result State Set of
+/// every window (the measurement behind Figures 8 and 9). When a pruner is
+/// supplied the maintainer runs in its `_O` variant (Section 5.3).
+pub fn time_query_evaluation(
+    relation: &VideoRelation,
+    spec: WindowSpec,
+    kind: MaintainerKind,
+    evaluator: &CnfEvaluator,
+    pruner: Option<SharedPruner>,
+) -> Duration {
+    let mut maintainer = match pruner {
+        Some(pruner) => kind.build_with_pruner(spec, pruner),
+        None => kind.build(spec),
+    };
+    let classes = relation.object_classes();
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for frame in relation.frames() {
+        maintainer
+            .advance(frame.fid, &frame.objects)
+            .expect("frames arrive in order");
+        matches += evaluate_result_set(evaluator, maintainer.results(), classes).len();
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(matches);
+    elapsed
+}
+
+/// Formats series as an aligned text table with one row per x value and one
+/// column per method, mirroring the layout of the paper's figures.
+pub fn format_table(title: &str, x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let xs: Vec<String> = series
+        .first()
+        .map(|s| s.points.iter().map(|(x, _)| x.clone()).collect())
+        .unwrap_or_default();
+    // Header.
+    out.push_str(&format!("{x_label:>12}"));
+    for s in series {
+        out.push_str(&format!(" {:>12}", s.method));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(12 + 13 * series.len()));
+    out.push('\n');
+    for (row, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:>12}"));
+        for s in series {
+            let value = s.points.get(row).map(|(_, v)| *v).unwrap_or(f64::NAN);
+            out.push_str(&format!(" {value:>11.3}s"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvq_video::{generate, DatasetProfile};
+
+    #[test]
+    fn quick_scale_shrinks_parameters() {
+        let scale = Scale::Quick;
+        assert_eq!(scale.frames(1800), 300);
+        let spec = scale.window(WindowSpec::paper_default());
+        assert_eq!(spec.window(), 50);
+        assert_eq!(spec.duration(), 40);
+        assert_eq!(Scale::Paper.frames(1800), 1800);
+    }
+
+    #[test]
+    fn timing_helpers_run_and_return_nonzero_durations() {
+        let relation = generate(&DatasetProfile::v1().truncated(120), 1);
+        let spec = WindowSpec::new(20, 12).unwrap();
+        let d = time_mcos_generation(&relation, spec, MaintainerKind::Mfs);
+        assert!(d > Duration::ZERO);
+        let evaluator = CnfEvaluator::new(tvq_query::generate_workload(
+            &tvq_query::WorkloadConfig::figure_8(5),
+            1,
+        ));
+        let d = time_query_evaluation(&relation, spec, MaintainerKind::Ssg, &evaluator, None);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn table_formatting_is_aligned_and_complete() {
+        let series = vec![
+            Series {
+                method: "NAIVE".into(),
+                points: vec![("600".into(), 1.5), ("1200".into(), 3.0)],
+            },
+            Series {
+                method: "SSG".into(),
+                points: vec![("600".into(), 0.5), ("1200".into(), 1.0)],
+            },
+        ];
+        let table = format_table("Figure X", "frames", &series);
+        assert!(table.contains("Figure X"));
+        assert!(table.contains("NAIVE"));
+        assert!(table.contains("SSG"));
+        assert!(table.contains("600"));
+        assert!(table.contains("1.500s"));
+        assert_eq!(table.lines().count(), 1 + 1 + 1 + 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness reproducing the paper's evaluation section.
+//!
+//! Every table and figure of Section 6 has a corresponding experiment in
+//! [`experiments`] and a `repro_*` binary that prints the same rows/series
+//! the paper reports:
+//!
+//! | Paper artefact | Experiment | Binary |
+//! |----------------|------------|--------|
+//! | Table 6 (dataset statistics) | [`experiments::table6`] | `repro_table6` |
+//! | Figure 4 (time vs #frames) | [`experiments::fig4`] | `repro_fig4` |
+//! | Figure 5 (time vs duration d) | [`experiments::fig5`] | `repro_fig5` |
+//! | Figure 6 (time vs window w) | [`experiments::fig6`] | `repro_fig6` |
+//! | Figure 7 (time vs occlusion po) | [`experiments::fig7`] | `repro_fig7` |
+//! | Figure 8 (time vs #queries) | [`experiments::fig8`] | `repro_fig8` |
+//! | Figure 9 (pruning vs n_min) | [`experiments::fig9`] | `repro_fig9` |
+//! | Figure 10 (end-to-end per query) | [`experiments::fig10`] | `repro_fig10` |
+//!
+//! Binaries accept `--quick` to run a reduced-size configuration (shorter
+//! feeds, smaller windows) that preserves the qualitative comparison while
+//! finishing in seconds; the default configuration mirrors the paper's
+//! parameters (w = 300, d = 240, full feed lengths).
+//!
+//! Criterion micro-benchmarks live under `benches/` and exercise the same
+//! code paths on reduced inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{format_table, time_mcos_generation, time_query_evaluation, Scale, Series};

@@ -1,0 +1,138 @@
+//! Crate-wide error and result types.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the temporal video query crates.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A window or duration specification is inconsistent
+    /// (for example `duration > window` or a zero-length window).
+    InvalidWindow {
+        /// Window length in frames.
+        window: usize,
+        /// Duration threshold in frames.
+        duration: usize,
+    },
+    /// A frame arrived out of order: frame identifiers must be presented to
+    /// the maintainers in strictly increasing order.
+    OutOfOrderFrame {
+        /// The most recently accepted frame.
+        last: u64,
+        /// The frame that violated the ordering.
+        got: u64,
+    },
+    /// A class label was used that is not registered in the [`crate::ClassRegistry`].
+    UnknownClass(String),
+    /// A query references a class identifier that does not exist.
+    UnknownClassId(u16),
+    /// A textual query could not be parsed.
+    QueryParse {
+        /// Human-readable description of the parse failure.
+        message: String,
+        /// Byte offset in the input at which the failure was detected.
+        position: usize,
+    },
+    /// A CSV record for a video relation was malformed.
+    MalformedRecord {
+        /// 1-based line number of the bad record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Wrapper around I/O errors raised while reading or writing relations.
+    Io(std::io::Error),
+    /// A configuration value was outside its legal range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidWindow { window, duration } => write!(
+                f,
+                "invalid window specification: duration {duration} must be between 0 and window {window}, and window must be positive"
+            ),
+            Error::OutOfOrderFrame { last, got } => write!(
+                f,
+                "frame {got} arrived out of order (last accepted frame was {last})"
+            ),
+            Error::UnknownClass(label) => write!(f, "unknown class label {label:?}"),
+            Error::UnknownClassId(id) => write!(f, "unknown class id {id}"),
+            Error::QueryParse { message, position } => {
+                write!(f, "query parse error at byte {position}: {message}")
+            }
+            Error::MalformedRecord { line, message } => {
+                write!(f, "malformed relation record on line {line}: {message}")
+            }
+            Error::Io(err) => write!(f, "I/O error: {err}"),
+            Error::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidWindow {
+            window: 10,
+            duration: 20,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("20"));
+        assert!(msg.contains("10"));
+
+        let e = Error::OutOfOrderFrame { last: 7, got: 3 };
+        assert!(e.to_string().contains("out of order"));
+
+        let e = Error::UnknownClass("bicycle".into());
+        assert!(e.to_string().contains("bicycle"));
+
+        let e = Error::QueryParse {
+            message: "expected integer".into(),
+            position: 14,
+        };
+        assert!(e.to_string().contains("14"));
+
+        let e = Error::MalformedRecord {
+            line: 3,
+            message: "missing class column".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_errors_preserve_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err = Error::from(io);
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let err = Error::UnknownClassId(9);
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

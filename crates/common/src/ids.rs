@@ -1,0 +1,135 @@
+//! Strongly typed identifiers.
+//!
+//! The paper's structured relation `VR(fid, id, class)` mixes three kinds of
+//! integers: frame identifiers, object (track) identifiers and class
+//! identifiers. Newtypes keep them from being confused and give each a
+//! natural display form.
+
+use std::fmt;
+
+/// Identifier of a frame in a video feed.
+///
+/// Frames are numbered `0..N` in presentation order; the sliding window and
+/// all expiry logic rely on frame identifiers being monotonically increasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FrameId(pub u64);
+
+/// Identifier of a unique object produced by the tracking layer.
+///
+/// Object tracking guarantees that the same physical object keeps the same
+/// identifier across the frames in which it appears, including across
+/// occlusions that the tracker manages to bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectId(pub u32);
+
+/// Identifier of an object class (person, car, truck, bus, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClassId(pub u16);
+
+/// Identifier of a registered CNF query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QueryId(pub u32);
+
+/// Identifier of a ground-truth track in the scene simulator.
+///
+/// Distinct from [`ObjectId`]: the simulated tracker may split one physical
+/// track into several object identifiers (identity switches), which is exactly
+/// the error mode the paper's occlusion semantics are designed to tolerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TrackId(pub u64);
+
+macro_rules! impl_id {
+    ($name:ident, $inner:ty, $prefix:literal) => {
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Wraps a raw integer value.
+            #[inline]
+            pub const fn new(value: $inner) -> Self {
+                Self(value)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(value: $inner) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for $inner {
+            fn from(value: $name) -> $inner {
+                value.0
+            }
+        }
+    };
+}
+
+impl_id!(FrameId, u64, "f");
+impl_id!(ObjectId, u32, "o");
+impl_id!(ClassId, u16, "c");
+impl_id!(QueryId, u32, "q");
+impl_id!(TrackId, u64, "t");
+
+impl FrameId {
+    /// Returns the following frame identifier.
+    #[inline]
+    pub const fn next(self) -> FrameId {
+        FrameId(self.0 + 1)
+    }
+
+    /// Returns the distance (in frames) from `other` to `self`, saturating at
+    /// zero when `other` is later than `self`.
+    #[inline]
+    pub const fn distance_from(self, other: FrameId) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(FrameId(3).to_string(), "f3");
+        assert_eq!(ObjectId(9).to_string(), "o9");
+        assert_eq!(ClassId(1).to_string(), "c1");
+        assert_eq!(QueryId(12).to_string(), "q12");
+        assert_eq!(TrackId(4).to_string(), "t4");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let f: FrameId = 42u64.into();
+        assert_eq!(u64::from(f), 42);
+        assert_eq!(f.raw(), 42);
+        let o = ObjectId::new(7);
+        assert_eq!(u32::from(o), 7);
+    }
+
+    #[test]
+    fn frame_arithmetic() {
+        assert_eq!(FrameId(5).next(), FrameId(6));
+        assert_eq!(FrameId(10).distance_from(FrameId(4)), 6);
+        assert_eq!(FrameId(4).distance_from(FrameId(10)), 0);
+    }
+
+    #[test]
+    fn ordering_follows_raw_values() {
+        assert!(FrameId(1) < FrameId(2));
+        assert!(ObjectId(10) > ObjectId(9));
+        let mut v = vec![FrameId(3), FrameId(1), FrameId(2)];
+        v.sort();
+        assert_eq!(v, vec![FrameId(1), FrameId(2), FrameId(3)]);
+    }
+}

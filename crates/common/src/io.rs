@@ -1,0 +1,192 @@
+//! CSV import/export of video relations.
+//!
+//! Detection/tracking output is exchanged as a simple CSV relation with a
+//! `fid,id,class` header — the textual form of the paper's structured
+//! relation VR. Real detector output (for example from an external
+//! Faster R-CNN + Deep SORT pipeline) can be ingested through this module,
+//! and synthetic feeds can be persisted for inspection.
+//!
+//! The format is deliberately minimal (no quoting or escaping) because class
+//! labels are single lowercase words; the writer validates this assumption.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::class::ClassRegistry;
+use crate::error::{Error, Result};
+use crate::ids::{FrameId, ObjectId};
+use crate::relation::{ObjectRecord, VideoRelation};
+
+/// The header line written and expected by this module.
+pub const CSV_HEADER: &str = "fid,id,class";
+
+/// Writes a relation as CSV to any [`Write`] sink.
+pub fn write_relation_csv<W: Write>(relation: &VideoRelation, mut sink: W) -> Result<()> {
+    writeln!(sink, "{CSV_HEADER}")?;
+    for record in relation.records() {
+        let label = relation.registry().require_label(record.class)?;
+        debug_assert!(
+            !label.as_str().contains([',', '\n']),
+            "class labels must not contain separators"
+        );
+        writeln!(sink, "{},{},{}", record.fid.raw(), record.id.raw(), label)?;
+    }
+    Ok(())
+}
+
+/// Writes a relation as CSV to a file path.
+pub fn write_relation_csv_file(relation: &VideoRelation, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_relation_csv(relation, std::io::BufWriter::new(file))
+}
+
+/// Reads a relation from CSV. Unknown class labels are registered on the fly
+/// into a copy of `registry`.
+pub fn read_relation_csv<R: Read>(source: R, registry: ClassRegistry) -> Result<VideoRelation> {
+    let mut registry = registry;
+    let reader = BufReader::new(source);
+    let mut records: Vec<ObjectRecord> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if idx == 0 {
+            if trimmed != CSV_HEADER {
+                return Err(Error::MalformedRecord {
+                    line: line_no,
+                    message: format!("expected header {CSV_HEADER:?}, found {trimmed:?}"),
+                });
+            }
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let (fid, id, class) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(fid), Some(id), Some(class), None) => (fid, id, class),
+            _ => {
+                return Err(Error::MalformedRecord {
+                    line: line_no,
+                    message: "expected exactly three comma-separated columns".to_owned(),
+                })
+            }
+        };
+        let fid: u64 = fid.trim().parse().map_err(|_| Error::MalformedRecord {
+            line: line_no,
+            message: format!("invalid frame id {fid:?}"),
+        })?;
+        let id: u32 = id.trim().parse().map_err(|_| Error::MalformedRecord {
+            line: line_no,
+            message: format!("invalid object id {id:?}"),
+        })?;
+        let class = registry.register(class);
+        records.push(ObjectRecord {
+            fid: FrameId(fid),
+            id: ObjectId(id),
+            class,
+        });
+    }
+    VideoRelation::from_records(registry, &records)
+}
+
+/// Reads a relation from a CSV file path.
+pub fn read_relation_csv_file(
+    path: impl AsRef<Path>,
+    registry: ClassRegistry,
+) -> Result<VideoRelation> {
+    let file = std::fs::File::open(path)?;
+    read_relation_csv(file, registry)
+}
+
+/// Serialises a relation to an in-memory CSV string (handy for tests and
+/// examples).
+pub fn relation_to_csv_string(relation: &VideoRelation) -> Result<String> {
+    let mut buffer = Vec::new();
+    write_relation_csv(relation, &mut buffer)?;
+    String::from_utf8(buffer).map_err(|e| Error::InvalidConfig(format!("non-UTF8 CSV output: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClassId;
+
+    fn sample_relation() -> VideoRelation {
+        let mut vr = VideoRelation::with_default_classes();
+        let person = ClassId(0);
+        let car = ClassId(1);
+        vr.push_detections(vec![(ObjectId(1), car), (ObjectId(2), person)]);
+        vr.push_detections(vec![(ObjectId(1), car)]);
+        vr.push_detections(vec![]);
+        vr.push_detections(vec![(ObjectId(3), car), (ObjectId(2), person)]);
+        vr
+    }
+
+    #[test]
+    fn round_trip_preserves_relation() {
+        let vr = sample_relation();
+        let csv = relation_to_csv_string(&vr).unwrap();
+        assert!(csv.starts_with("fid,id,class\n"));
+        let parsed = read_relation_csv(csv.as_bytes(), ClassRegistry::with_default_classes()).unwrap();
+        assert_eq!(parsed.num_frames(), vr.num_frames());
+        assert_eq!(parsed.num_records(), vr.num_records());
+        for fid in 0..vr.num_frames() as u64 {
+            assert_eq!(
+                parsed.frame(FrameId(fid)).unwrap().objects,
+                vr.frame(FrameId(fid)).unwrap().objects,
+                "frame {fid} differs"
+            );
+        }
+        assert_eq!(parsed.class_of(ObjectId(2)), vr.class_of(ObjectId(2)));
+    }
+
+    #[test]
+    fn reader_registers_new_classes() {
+        let csv = "fid,id,class\n0,1,drone\n1,1,drone\n";
+        let parsed = read_relation_csv(csv.as_bytes(), ClassRegistry::with_default_classes()).unwrap();
+        assert!(parsed.registry().id("drone").is_some());
+        assert_eq!(parsed.num_objects(), 1);
+    }
+
+    #[test]
+    fn reader_rejects_bad_header() {
+        let csv = "frame,obj,label\n0,1,car\n";
+        let err = read_relation_csv(csv.as_bytes(), ClassRegistry::default()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn reader_rejects_malformed_rows() {
+        for bad in [
+            "fid,id,class\n0,1\n",
+            "fid,id,class\nzero,1,car\n",
+            "fid,id,class\n0,one,car\n",
+            "fid,id,class\n0,1,car,extra\n",
+        ] {
+            assert!(
+                read_relation_csv(bad.as_bytes(), ClassRegistry::default()).is_err(),
+                "accepted malformed input {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let csv = "fid,id,class\n\n0,1,car\n\n1,2,person\n";
+        let parsed = read_relation_csv(csv.as_bytes(), ClassRegistry::default()).unwrap();
+        assert_eq!(parsed.num_records(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let vr = sample_relation();
+        let dir = std::env::temp_dir().join("tvq-common-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("relation.csv");
+        write_relation_csv_file(&vr, &path).unwrap();
+        let parsed = read_relation_csv_file(&path, ClassRegistry::with_default_classes()).unwrap();
+        assert_eq!(parsed.num_records(), vr.num_records());
+        std::fs::remove_file(&path).ok();
+    }
+}

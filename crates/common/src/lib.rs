@@ -1,0 +1,46 @@
+//! Shared foundation types for the temporal video query engine.
+//!
+//! This crate contains everything the higher layers (video substrate, MCOS
+//! generation, query evaluation, engine) agree on:
+//!
+//! * strongly typed identifiers ([`FrameId`], [`ObjectId`], [`ClassId`],
+//!   [`QueryId`]) — see [`ids`];
+//! * the class-label registry mapping human-readable labels such as `"car"`
+//!   to dense [`ClassId`]s — see [`class`];
+//! * [`ObjectSet`], the sorted, deduplicated object-identifier set used for
+//!   every co-occurrence computation — see [`object_set`];
+//! * [`MarkedFrameSet`], the sliding-window frame set with *key frame* marks
+//!   that drives early state pruning — see [`frame_set`];
+//! * the structured relation `VR(fid, id, class)` extracted from a video feed
+//!   — see [`relation`];
+//! * sliding-window configuration ([`WindowSpec`]) — see [`window`];
+//! * dataset statistics in the shape of the paper's Table 6 — see [`stats`];
+//! * a small CSV reader/writer for video relations — see [`io`];
+//! * the crate-wide error type — see [`error`].
+//!
+//! The terminology follows the paper *Evaluating Temporal Queries Over Video
+//! Feeds* (Chen, Yu, Koudas): a video feed is a bounded sequence of frames,
+//! object detection/tracking turns each frame into a set of `(id, class)`
+//! pairs, and all downstream processing operates on those sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod error;
+pub mod frame_set;
+pub mod ids;
+pub mod io;
+pub mod object_set;
+pub mod relation;
+pub mod stats;
+pub mod window;
+
+pub use class::{ClassLabel, ClassRegistry};
+pub use error::{Error, Result};
+pub use frame_set::MarkedFrameSet;
+pub use ids::{ClassId, FrameId, ObjectId, QueryId, TrackId};
+pub use object_set::ObjectSet;
+pub use relation::{FrameObjects, ObjectRecord, VideoRelation};
+pub use stats::DatasetStats;
+pub use window::WindowSpec;

@@ -1,0 +1,377 @@
+//! Sorted object-identifier sets.
+//!
+//! Every algorithm in the MCOS generation layer is driven by intersections of
+//! small object sets (typically 5–15 objects per frame, per the paper's
+//! Table 6). [`ObjectSet`] stores identifiers as a sorted, deduplicated
+//! boxed slice: intersections, subset tests and equality are all linear merges
+//! over contiguous memory, the representation hashes cheaply and can be used
+//! directly as a hash-map key for state lookup.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::ids::ObjectId;
+
+/// An immutable, sorted, deduplicated set of [`ObjectId`]s.
+///
+/// The set is cheaply cloneable (`Arc`-backed) because the state-maintenance
+/// structures share object sets between states, graph nodes and result sets.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ObjectSet {
+    ids: Arc<[ObjectId]>,
+}
+
+impl ObjectSet {
+    /// Creates an empty set.
+    pub fn empty() -> Self {
+        ObjectSet { ids: Arc::from([]) }
+    }
+
+    /// Builds a set from arbitrary identifiers, sorting and deduplicating.
+    pub fn from_ids<I>(ids: I) -> Self
+    where
+        I: IntoIterator<Item = ObjectId>,
+    {
+        let mut v: Vec<ObjectId> = ids.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        ObjectSet { ids: v.into() }
+    }
+
+    /// Builds a set from raw `u32` identifiers (convenience for tests and
+    /// examples).
+    pub fn from_raw<I>(ids: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        ObjectSet::from_ids(ids.into_iter().map(ObjectId))
+    }
+
+    /// Builds a set from a vector that is already sorted and deduplicated.
+    ///
+    /// This is the fast path used by the per-frame ingestion code; the
+    /// invariant is checked in debug builds.
+    pub fn from_sorted_unchecked(ids: Vec<ObjectId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly increasing");
+        ObjectSet { ids: ids.into() }
+    }
+
+    /// Number of objects in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates over the identifiers in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Returns the identifiers as a slice (sorted, deduplicated).
+    #[inline]
+    pub fn as_slice(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Computes the intersection of two sets with a linear merge.
+    pub fn intersect(&self, other: &ObjectSet) -> ObjectSet {
+        if self.is_empty() || other.is_empty() {
+            return ObjectSet::empty();
+        }
+        // Fast path: identical Arcs share the same contents.
+        if Arc::ptr_eq(&self.ids, &other.ids) {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.ids, &other.ids);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ObjectSet { ids: out.into() }
+    }
+
+    /// Size of the intersection without materialising it.
+    pub fn intersection_len(&self, other: &ObjectSet) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.ids, &other.ids);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Computes the union of two sets.
+    pub fn union(&self, other: &ObjectSet) -> ObjectSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.ids, &other.ids);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        ObjectSet { ids: out.into() }
+    }
+
+    /// Computes the set difference `self \ other`.
+    pub fn difference(&self, other: &ObjectSet) -> ObjectSet {
+        let mut out = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.ids, &other.ids);
+        while i < a.len() {
+            if j >= b.len() || a[i] < b[j] {
+                out.push(a[i]);
+                i += 1;
+            } else if a[i] > b[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        ObjectSet { ids: out.into() }
+    }
+
+    /// Returns `true` when `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &ObjectSet) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.intersection_len(other) == self.len()
+    }
+
+    /// Returns `true` when `self ⊂ other` (proper subset).
+    pub fn is_proper_subset_of(&self, other: &ObjectSet) -> bool {
+        self.len() < other.len() && self.is_subset_of(other)
+    }
+
+    /// Returns `true` when the two sets share no object.
+    pub fn is_disjoint_from(&self, other: &ObjectSet) -> bool {
+        self.intersection_len(other) == 0
+    }
+}
+
+impl Deref for ObjectSet {
+    type Target = [ObjectId];
+
+    fn deref(&self) -> &Self::Target {
+        &self.ids
+    }
+}
+
+impl FromIterator<ObjectId> for ObjectSet {
+    fn from_iter<T: IntoIterator<Item = ObjectId>>(iter: T) -> Self {
+        ObjectSet::from_ids(iter)
+    }
+}
+
+impl fmt::Debug for ObjectSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (idx, id) in self.ids.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", id.raw())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ObjectSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s.iter().map(|o| o.raw()).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = ObjectSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(e.is_subset_of(&set(&[1, 2])));
+        assert!(e.is_disjoint_from(&set(&[1])));
+        assert_eq!(e.intersect(&set(&[1, 2])), ObjectSet::empty());
+        assert_eq!(e.union(&set(&[1, 2])), set(&[1, 2]));
+    }
+
+    #[test]
+    fn intersection_matches_manual_merge() {
+        let a = set(&[1, 2, 3, 5, 8]);
+        let b = set(&[2, 3, 4, 8, 9]);
+        assert_eq!(a.intersect(&b), set(&[2, 3, 8]));
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(b.intersect(&a), set(&[2, 3, 8]));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = set(&[1, 3, 5]);
+        let b = set(&[2, 3, 6]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 5, 6]));
+        assert_eq!(a.difference(&b), set(&[1, 5]));
+        assert_eq!(b.difference(&a), set(&[2, 6]));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = set(&[2, 3]);
+        let b = set(&[1, 2, 3, 4]);
+        assert!(a.is_subset_of(&b));
+        assert!(a.is_proper_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(!a.is_proper_subset_of(&a));
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let a = set(&[10, 20, 30]);
+        assert!(a.contains(ObjectId(20)));
+        assert!(!a.contains(ObjectId(25)));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        assert_eq!(format!("{:?}", set(&[3, 1])), "{1,3}");
+        assert_eq!(format!("{}", ObjectSet::empty()), "{}");
+    }
+
+    #[test]
+    fn sets_work_as_hash_map_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<ObjectSet, u32> = HashMap::new();
+        m.insert(set(&[1, 2]), 7);
+        assert_eq!(m.get(&set(&[2, 1])), Some(&7));
+        assert_eq!(m.get(&set(&[1])), None);
+    }
+
+    #[test]
+    fn from_sorted_unchecked_round_trips() {
+        let ids = vec![ObjectId(1), ObjectId(4), ObjectId(9)];
+        let s = ObjectSet::from_sorted_unchecked(ids.clone());
+        assert_eq!(s.as_slice(), ids.as_slice());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn to_btree(s: &ObjectSet) -> BTreeSet<u32> {
+        s.iter().map(|o| o.raw()).collect()
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_agrees_with_btreeset(a in proptest::collection::vec(0u32..64, 0..32),
+                                          b in proptest::collection::vec(0u32..64, 0..32)) {
+            let sa = ObjectSet::from_raw(a.iter().copied());
+            let sb = ObjectSet::from_raw(b.iter().copied());
+            let expected: BTreeSet<u32> = to_btree(&sa).intersection(&to_btree(&sb)).copied().collect();
+            prop_assert_eq!(to_btree(&sa.intersect(&sb)), expected);
+            prop_assert_eq!(sa.intersection_len(&sb), sa.intersect(&sb).len());
+        }
+
+        #[test]
+        fn union_agrees_with_btreeset(a in proptest::collection::vec(0u32..64, 0..32),
+                                      b in proptest::collection::vec(0u32..64, 0..32)) {
+            let sa = ObjectSet::from_raw(a.iter().copied());
+            let sb = ObjectSet::from_raw(b.iter().copied());
+            let expected: BTreeSet<u32> = to_btree(&sa).union(&to_btree(&sb)).copied().collect();
+            prop_assert_eq!(to_btree(&sa.union(&sb)), expected);
+        }
+
+        #[test]
+        fn difference_agrees_with_btreeset(a in proptest::collection::vec(0u32..64, 0..32),
+                                           b in proptest::collection::vec(0u32..64, 0..32)) {
+            let sa = ObjectSet::from_raw(a.iter().copied());
+            let sb = ObjectSet::from_raw(b.iter().copied());
+            let expected: BTreeSet<u32> = to_btree(&sa).difference(&to_btree(&sb)).copied().collect();
+            prop_assert_eq!(to_btree(&sa.difference(&sb)), expected);
+        }
+
+        #[test]
+        fn subset_is_consistent_with_intersection(a in proptest::collection::vec(0u32..32, 0..24),
+                                                  b in proptest::collection::vec(0u32..32, 0..24)) {
+            let sa = ObjectSet::from_raw(a.iter().copied());
+            let sb = ObjectSet::from_raw(b.iter().copied());
+            prop_assert_eq!(sa.is_subset_of(&sb), sa.intersect(&sb) == sa);
+        }
+
+        #[test]
+        fn intersection_is_commutative_and_bounded(a in proptest::collection::vec(0u32..64, 0..32),
+                                                   b in proptest::collection::vec(0u32..64, 0..32)) {
+            let sa = ObjectSet::from_raw(a.iter().copied());
+            let sb = ObjectSet::from_raw(b.iter().copied());
+            let ab = sa.intersect(&sb);
+            prop_assert_eq!(ab.clone(), sb.intersect(&sa));
+            prop_assert!(ab.len() <= sa.len().min(sb.len()));
+            prop_assert!(ab.is_subset_of(&sa));
+            prop_assert!(ab.is_subset_of(&sb));
+        }
+    }
+}

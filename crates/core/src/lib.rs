@@ -1,0 +1,70 @@
+//! MCOS generation for temporal queries over video feeds.
+//!
+//! This crate implements the paper's primary contribution — the *MCOS
+//! Generation* layer of the architecture in Figure 2. Given the structured
+//! relation produced by object detection/tracking, it maintains, over a
+//! sliding window, the set of **maximum co-occurrence object sets** (MCOS):
+//! object sets that appear jointly in a set of frames such that no strict
+//! superset appears in the same frames. Downstream, CNF queries are evaluated
+//! over these MCOS (see the `tvq-query` crate).
+//!
+//! Three interchangeable strategies implement the [`StateMaintainer`] trait:
+//!
+//! * [`NaiveMaintainer`] — the paper's NAIVE baseline: keep every object set
+//!   with its frame set, establish the MCOS property at result-collection
+//!   time.
+//! * [`MfsMaintainer`] — the Marked Frame Set approach (Section 4.2): track
+//!   key frames per state so that invalid states are pruned as soon as their
+//!   key frames expire.
+//! * [`SsgMaintainer`] — the Strict State Graph approach (Section 4.3): keep
+//!   states in a subset graph rooted at the principal states and process new
+//!   frames with the State Traversal algorithm, skipping whole subtrees that
+//!   share no object with the arriving frame.
+//!
+//! A brute-force [`reference`] oracle pins down the intended semantics and is
+//! used by the differential tests; [`prune::StatePruner`] is the hook through
+//! which the query layer terminates hopeless states (Section 5.3).
+//!
+//! # Example
+//!
+//! ```
+//! use tvq_common::{FrameId, ObjectSet, WindowSpec};
+//! use tvq_core::{MaintainerKind, StateMaintainer};
+//!
+//! // Identify object sets that co-occur in at least 2 of the last 3 frames.
+//! let spec = WindowSpec::new(3, 2).unwrap();
+//! let mut maintainer = MaintainerKind::Ssg.build(spec);
+//! let frames = [
+//!     ObjectSet::from_raw([1, 2]),
+//!     ObjectSet::from_raw([1, 2, 3]),
+//!     ObjectSet::from_raw([2, 3]),
+//! ];
+//! for (i, objects) in frames.iter().enumerate() {
+//!     maintainer.advance(FrameId(i as u64), objects).unwrap();
+//! }
+//! assert!(maintainer.results().contains(&ObjectSet::from_raw([2, 3])));
+//! assert!(maintainer.results().contains(&ObjectSet::from_raw([1, 2])));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod maintainer;
+pub mod metrics;
+pub mod mfs;
+pub mod naive;
+pub mod prune;
+pub mod reference;
+pub mod result_set;
+pub mod ssg;
+pub mod state;
+
+pub use maintainer::{MaintainerKind, StateMaintainer};
+pub use metrics::MaintenanceMetrics;
+pub use mfs::MfsMaintainer;
+pub use naive::NaiveMaintainer;
+pub use prune::{MinCardinalityPruner, NeverPrune, SharedPruner, StatePruner};
+pub use reference::{mcos_of_window, ReferenceMaintainer};
+pub use result_set::{ResultState, ResultStateSet};
+pub use ssg::SsgMaintainer;
+pub use state::State;

@@ -1,0 +1,150 @@
+//! The [`StateMaintainer`] abstraction.
+//!
+//! The three MCOS-generation strategies of the paper (NAIVE, MFS, SSG) share
+//! one streaming interface: frames are pushed in order and, after every
+//! frame, the maintainer exposes the Result State Set of the current window.
+//! The engine, the benchmarks and the differential tests are all written
+//! against this trait so the strategies are interchangeable.
+
+use tvq_common::{Error, FrameId, ObjectSet, Result, WindowSpec};
+
+use crate::metrics::MaintenanceMetrics;
+use crate::mfs::MfsMaintainer;
+use crate::naive::NaiveMaintainer;
+use crate::prune::SharedPruner;
+use crate::reference::ReferenceMaintainer;
+use crate::result_set::ResultStateSet;
+use crate::ssg::SsgMaintainer;
+
+/// Streaming interface of an MCOS generation strategy.
+pub trait StateMaintainer {
+    /// The window specification the maintainer was configured with.
+    fn spec(&self) -> WindowSpec;
+
+    /// Processes the next frame of the feed. Frames must arrive with strictly
+    /// increasing identifiers; the maintainer slides its window accordingly.
+    fn advance(&mut self, frame: FrameId, objects: &ObjectSet) -> Result<()>;
+
+    /// The satisfied, valid states (MCOS + frame sets) of the window ending
+    /// at the most recently processed frame.
+    fn results(&self) -> &ResultStateSet;
+
+    /// Work counters accumulated so far.
+    fn metrics(&self) -> &MaintenanceMetrics;
+
+    /// Number of states currently materialised.
+    fn live_states(&self) -> usize;
+
+    /// Human-readable strategy name (used in benchmark output).
+    fn name(&self) -> &'static str;
+}
+
+/// Helper shared by the maintainers: validates frame ordering.
+pub(crate) fn check_order(last: Option<FrameId>, next: FrameId) -> Result<()> {
+    if let Some(last) = last {
+        if next <= last {
+            return Err(Error::OutOfOrderFrame {
+                last: last.raw(),
+                got: next.raw(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The MCOS-generation strategies available in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaintainerKind {
+    /// The NAIVE baseline of Section 6.2.
+    Naive,
+    /// The Marked Frame Set approach of Section 4.2.
+    Mfs,
+    /// The Strict State Graph approach of Section 4.3.
+    Ssg,
+    /// The brute-force reference oracle (exponential; tests and tiny windows
+    /// only).
+    Reference,
+}
+
+impl MaintainerKind {
+    /// All production strategies (excludes the reference oracle).
+    pub const PRODUCTION: [MaintainerKind; 3] = [
+        MaintainerKind::Naive,
+        MaintainerKind::Mfs,
+        MaintainerKind::Ssg,
+    ];
+
+    /// The strategy's display name, matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MaintainerKind::Naive => "NAIVE",
+            MaintainerKind::Mfs => "MFS",
+            MaintainerKind::Ssg => "SSG",
+            MaintainerKind::Reference => "REFERENCE",
+        }
+    }
+
+    /// Builds a maintainer of this kind.
+    pub fn build(&self, spec: WindowSpec) -> Box<dyn StateMaintainer> {
+        match self {
+            MaintainerKind::Naive => Box::new(NaiveMaintainer::new(spec)),
+            MaintainerKind::Mfs => Box::new(MfsMaintainer::new(spec)),
+            MaintainerKind::Ssg => Box::new(SsgMaintainer::new(spec)),
+            MaintainerKind::Reference => Box::new(ReferenceMaintainer::new(spec)),
+        }
+    }
+
+    /// Builds a maintainer with a query-driven pruner attached (the `_O`
+    /// variants of Section 5.3). The reference and NAIVE strategies ignore
+    /// the pruner, mirroring the paper which only defines MFS_O and SSG_O.
+    pub fn build_with_pruner(&self, spec: WindowSpec, pruner: SharedPruner) -> Box<dyn StateMaintainer> {
+        match self {
+            MaintainerKind::Naive => Box::new(NaiveMaintainer::new(spec)),
+            MaintainerKind::Mfs => Box::new(MfsMaintainer::with_pruner(spec, pruner)),
+            MaintainerKind::Ssg => Box::new(SsgMaintainer::with_pruner(spec, pruner)),
+            MaintainerKind::Reference => Box::new(ReferenceMaintainer::new(spec)),
+        }
+    }
+}
+
+impl std::fmt::Display for MaintainerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_check_rejects_non_increasing_frames() {
+        assert!(check_order(None, FrameId(0)).is_ok());
+        assert!(check_order(Some(FrameId(3)), FrameId(4)).is_ok());
+        assert!(check_order(Some(FrameId(3)), FrameId(3)).is_err());
+        assert!(check_order(Some(FrameId(3)), FrameId(1)).is_err());
+    }
+
+    #[test]
+    fn kinds_report_paper_names() {
+        assert_eq!(MaintainerKind::Naive.to_string(), "NAIVE");
+        assert_eq!(MaintainerKind::Mfs.to_string(), "MFS");
+        assert_eq!(MaintainerKind::Ssg.to_string(), "SSG");
+    }
+
+    #[test]
+    fn factory_builds_each_kind() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        for kind in [
+            MaintainerKind::Naive,
+            MaintainerKind::Mfs,
+            MaintainerKind::Ssg,
+            MaintainerKind::Reference,
+        ] {
+            let maintainer = kind.build(spec);
+            assert_eq!(maintainer.spec(), spec);
+            assert_eq!(maintainer.live_states(), 0);
+            assert_eq!(maintainer.name(), kind.name());
+        }
+    }
+}

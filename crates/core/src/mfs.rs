@@ -1,0 +1,453 @@
+//! The Marked Frame Set (MFS) approach (Section 4.2 of the paper).
+//!
+//! MFS maintains the same flat table of states as NAIVE but additionally
+//! tracks, per state, which frames are *key frames* (marked). Per the Frame
+//! Marking Rules:
+//!
+//! 1. the frame that creates a state directly (the frame whose own object set
+//!    equals the state's object set) is marked in that state;
+//! 2. when the intersection of an existing state `s'` with the arriving
+//!    frame equals the object set of a state `s`, the marked frames of `s'`
+//!    (other than the arriving frame) are also marked in `s`.
+//!
+//! Theorem 1 shows the marked frames form a key frame set, so a state whose
+//! marked frames have all expired is invalid (its object set is no longer an
+//! MCOS of its frame set) and is pruned immediately — this is MFS's advantage
+//! over NAIVE. Validity also makes result collection cheap: the Result State
+//! Set is exactly the states that still carry a mark and meet the duration
+//! threshold.
+//!
+//! MFS also supports the query-driven termination of Section 5.3 (the
+//! `MFS_O` variant): a [`StatePruner`] is consulted whenever a new state
+//! would be created, and rejected object sets are remembered as *terminated*
+//! so they are never materialised again while they remain hopeless.
+
+use std::collections::{HashMap, HashSet};
+
+use tvq_common::{FrameId, MarkedFrameSet, ObjectSet, Result, WindowSpec};
+
+use crate::maintainer::{check_order, StateMaintainer};
+use crate::metrics::MaintenanceMetrics;
+use crate::prune::SharedPruner;
+use crate::result_set::ResultStateSet;
+
+/// The Marked Frame Set state maintainer.
+pub struct MfsMaintainer {
+    spec: WindowSpec,
+    states: HashMap<ObjectSet, MarkedFrameSet>,
+    results: ResultStateSet,
+    metrics: MaintenanceMetrics,
+    pruner: Option<SharedPruner>,
+    terminated: HashSet<ObjectSet>,
+    last_frame: Option<FrameId>,
+}
+
+impl std::fmt::Debug for MfsMaintainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MfsMaintainer")
+            .field("spec", &self.spec)
+            .field("live_states", &self.states.len())
+            .field("terminated", &self.terminated.len())
+            .finish()
+    }
+}
+
+impl MfsMaintainer {
+    /// Creates an MFS maintainer for the given window specification.
+    pub fn new(spec: WindowSpec) -> Self {
+        MfsMaintainer {
+            spec,
+            states: HashMap::new(),
+            results: ResultStateSet::new(),
+            metrics: MaintenanceMetrics::new(),
+            pruner: None,
+            terminated: HashSet::new(),
+            last_frame: None,
+        }
+    }
+
+    /// Creates the `MFS_O` variant: new states are checked against the
+    /// pruner and terminated when no query can ever be satisfied by them
+    /// (Section 5.3).
+    pub fn with_pruner(spec: WindowSpec, pruner: SharedPruner) -> Self {
+        let mut maintainer = MfsMaintainer::new(spec);
+        maintainer.pruner = Some(pruner);
+        maintainer
+    }
+
+    /// Exposes the live states (object set → marked frame set) for the
+    /// worked-example assertions.
+    pub fn states(&self) -> impl Iterator<Item = (&ObjectSet, &MarkedFrameSet)> {
+        self.states.iter()
+    }
+
+    fn is_terminated(&self, objects: &ObjectSet) -> bool {
+        self.terminated.contains(objects)
+    }
+
+    /// Consults the pruner for a new object set; records and counts
+    /// terminations.
+    fn terminate_if_hopeless(&mut self, objects: &ObjectSet) -> bool {
+        let Some(pruner) = &self.pruner else {
+            return false;
+        };
+        if self.terminated.contains(objects) {
+            return true;
+        }
+        if pruner.should_terminate(objects) {
+            self.terminated.insert(objects.clone());
+            self.metrics.states_terminated += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expire(&mut self, oldest: FrameId) {
+        let mut pruned = 0u64;
+        self.states.retain(|_, frames| {
+            frames.expire_before(oldest);
+            // A state with no marked frame left is invalid (Theorem 1) and is
+            // dropped even though its frame set may still be non-empty.
+            let keep = frames.has_marked();
+            if !keep {
+                pruned += 1;
+            }
+            keep
+        });
+        self.metrics.states_pruned += pruned;
+    }
+
+    fn process_frame(&mut self, frame: FrameId, objects: &ObjectSet) {
+        if objects.is_empty() {
+            return;
+        }
+
+        // Pass 1 (read-only): intersect every live state with the arriving
+        // frame, recording which states are fully contained in the frame and
+        // which object sets are derived, along with the parents' key frames
+        // (snapshot, so that same-frame mark propagation stays deterministic).
+        let mut appenders: Vec<ObjectSet> = Vec::new();
+        let mut derived: HashMap<ObjectSet, Vec<(ObjectSet, Vec<FrameId>)>> = HashMap::new();
+        for (set, frames) in self.states.iter() {
+            self.metrics.intersections += 1;
+            let inter = set.intersect(objects);
+            if inter.is_empty() {
+                continue;
+            }
+            if &inter == set {
+                // Fully contained in the arriving frame: only the frame id
+                // needs to be appended. A state never propagates marks onto
+                // itself, so there is no need to record it as a derivation
+                // source (this is the hot path on feeds with long-lived
+                // objects).
+                appenders.push(set.clone());
+            } else {
+                derived
+                    .entry(inter)
+                    .or_default()
+                    .push((set.clone(), frames.marked_frames().collect()));
+            }
+        }
+        self.metrics.states_visited += self.states.len() as u64;
+
+        // Pass 2a: append the arriving frame (unmarked) to fully contained
+        // states.
+        for set in &appenders {
+            if let Some(frames) = self.states.get_mut(set) {
+                frames.push(frame, false);
+                self.metrics.frames_appended += 1;
+            }
+        }
+
+        // Pass 2b: create states for intersections not yet materialised and
+        // propagate marks (Frame Marking Rule 2) onto existing targets.
+        for (target, parents) in &derived {
+            if let Some(existing) = self.states.get_mut(target) {
+                for (parent_set, parent_marks) in parents {
+                    if parent_set == target {
+                        continue;
+                    }
+                    for &mark in parent_marks {
+                        if mark != frame {
+                            existing.mark(mark);
+                        }
+                    }
+                }
+                continue;
+            }
+            if self.is_terminated(target) {
+                continue;
+            }
+            let mut frames = MarkedFrameSet::new();
+            for (parent_set, _) in parents {
+                if let Some(parent_frames) = self.states.get(parent_set) {
+                    frames.merge_from(parent_frames);
+                }
+            }
+            frames.push(frame, false);
+            // Rule 2: marks are inherited from the parents' snapshots.
+            for (_, parent_marks) in parents {
+                for &mark in parent_marks {
+                    if mark != frame {
+                        frames.mark(mark);
+                    }
+                }
+            }
+            let target = target.clone();
+            if self.terminate_if_hopeless(&target) {
+                continue;
+            }
+            self.states.insert(target, frames);
+            self.metrics.states_created += 1;
+        }
+
+        // Pass 2c: the arriving frame's own object set becomes (or stays) a
+        // state, and the arriving frame is its key frame (Rule 1).
+        if !self.is_terminated(objects) && !self.terminate_if_hopeless(objects) {
+            match self.states.get_mut(objects) {
+                Some(frames) => {
+                    frames.push(frame, true);
+                    frames.mark(frame);
+                }
+                None => {
+                    self.states
+                        .insert(objects.clone(), MarkedFrameSet::singleton(frame, true));
+                    self.metrics.states_created += 1;
+                }
+            }
+        }
+    }
+
+    fn collect_results(&mut self) {
+        self.results.clear();
+        for (set, frames) in &self.states {
+            if frames.has_marked() && self.spec.satisfies_duration(frames.len()) {
+                self.results.insert(set.clone(), frames);
+            }
+        }
+    }
+}
+
+impl StateMaintainer for MfsMaintainer {
+    fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    fn advance(&mut self, frame: FrameId, objects: &ObjectSet) -> Result<()> {
+        check_order(self.last_frame, frame)?;
+        self.last_frame = Some(frame);
+        self.metrics.frames_processed += 1;
+
+        self.expire(self.spec.oldest_valid(frame));
+        self.process_frame(frame, objects);
+        self.metrics.observe_live_states(self.states.len());
+        self.collect_results();
+        Ok(())
+    }
+
+    fn results(&self) -> &ResultStateSet {
+        &self.results
+    }
+
+    fn metrics(&self) -> &MaintenanceMetrics {
+        &self.metrics
+    }
+
+    fn live_states(&self) -> usize {
+        self.states.len()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.pruner.is_some() {
+            "MFS_O"
+        } else {
+            "MFS"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::MinCardinalityPruner;
+    use std::sync::Arc;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    /// Objects of the paper's running example: A=1, B=2, C=3, D=4, F=6.
+    fn paper_frames() -> Vec<ObjectSet> {
+        vec![
+            set(&[2]),
+            set(&[1, 2, 3]),
+            set(&[1, 2, 4, 6]),
+            set(&[1, 2, 3, 6]),
+            set(&[1, 2, 4]),
+        ]
+    }
+
+    fn states_at(m: &MfsMaintainer) -> Vec<(ObjectSet, Vec<(u64, bool)>)> {
+        let mut v: Vec<(ObjectSet, Vec<(u64, bool)>)> = m
+            .states()
+            .map(|(s, f)| (s.clone(), f.iter().map(|(fr, mk)| (fr.raw(), mk)).collect()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Table 2 of the paper: states with their marked frame sets, w=4, d=3.
+    /// A `true` flag corresponds to a `*` mark in the table.
+    #[test]
+    fn table_2_marked_states_per_frame() {
+        let spec = WindowSpec::new(4, 3).unwrap();
+        let mut m = MfsMaintainer::new(spec);
+        let frames = paper_frames();
+
+        m.advance(FrameId(0), &frames[0]).unwrap();
+        assert_eq!(states_at(&m), vec![(set(&[2]), vec![(0, true)])]);
+
+        m.advance(FrameId(1), &frames[1]).unwrap();
+        assert_eq!(
+            states_at(&m),
+            vec![
+                (set(&[1, 2, 3]), vec![(1, true)]),
+                (set(&[2]), vec![(0, true), (1, false)]),
+            ]
+        );
+
+        m.advance(FrameId(2), &frames[2]).unwrap();
+        assert_eq!(
+            states_at(&m),
+            vec![
+                (set(&[1, 2]), vec![(1, true), (2, false)]),
+                (set(&[1, 2, 3]), vec![(1, true)]),
+                (set(&[1, 2, 4, 6]), vec![(2, true)]),
+                (set(&[2]), vec![(0, true), (1, false), (2, false)]),
+            ]
+        );
+
+        m.advance(FrameId(3), &frames[3]).unwrap();
+        assert_eq!(
+            states_at(&m),
+            vec![
+                (set(&[1, 2]), vec![(1, true), (2, false), (3, false)]),
+                (set(&[1, 2, 3]), vec![(1, true), (3, false)]),
+                (set(&[1, 2, 3, 6]), vec![(3, true)]),
+                (set(&[1, 2, 4, 6]), vec![(2, true)]),
+                (set(&[1, 2, 6]), vec![(2, true), (3, false)]),
+                (set(&[2]), vec![(0, true), (1, false), (2, false), (3, false)]),
+            ]
+        );
+
+        m.advance(FrameId(4), &frames[4]).unwrap();
+        // Frame 0 expires; {B}'s only key frame is gone, so {B} is pruned even
+        // though it still appears in frames 1-4.
+        //
+        // Note on {AB}: the paper's Table 2 prints {*1,2,*3,4}. We additionally
+        // mark frame 2 because Frame Marking Rule 2 also propagates the key
+        // frame of {ABF} (whose intersection with the arriving frame {ABD} is
+        // {AB}); the paper's table only propagates marks originating from
+        // principal states. Both markings are sound: frame 2 satisfies the
+        // suffix-intersection property (O2 ∩ O3 ∩ O4 = {AB}), so it can only
+        // be marked while {AB} genuinely remains an MCOS.
+        assert_eq!(
+            states_at(&m),
+            vec![
+                (
+                    set(&[1, 2]),
+                    vec![(1, true), (2, true), (3, true), (4, false)]
+                ),
+                (set(&[1, 2, 3]), vec![(1, true), (3, false)]),
+                (set(&[1, 2, 3, 6]), vec![(3, true)]),
+                (set(&[1, 2, 4]), vec![(2, true), (4, true)]),
+                (set(&[1, 2, 4, 6]), vec![(2, true)]),
+                (set(&[1, 2, 6]), vec![(2, true), (3, false)]),
+            ]
+        );
+    }
+
+    /// The satisfied, valid result states must match Table 1's EXP column.
+    #[test]
+    fn table_2_expected_results() {
+        let spec = WindowSpec::new(4, 3).unwrap();
+        let mut m = MfsMaintainer::new(spec);
+        let frames = paper_frames();
+
+        m.advance(FrameId(0), &frames[0]).unwrap();
+        assert!(m.results().is_empty());
+        m.advance(FrameId(1), &frames[1]).unwrap();
+        assert!(m.results().is_empty());
+        m.advance(FrameId(2), &frames[2]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[2])]);
+        m.advance(FrameId(3), &frames[3]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[1, 2]), set(&[2])]);
+        m.advance(FrameId(4), &frames[4]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[1, 2])]);
+    }
+
+    #[test]
+    fn invalid_states_are_pruned_earlier_than_naive() {
+        // After frame 4 of the running example NAIVE still stores {B}
+        // whereas MFS has dropped it: MFS keeps strictly fewer states.
+        let spec = WindowSpec::new(4, 3).unwrap();
+        let mut mfs = MfsMaintainer::new(spec);
+        let mut naive = crate::naive::NaiveMaintainer::new(spec);
+        for (i, frame) in paper_frames().into_iter().enumerate() {
+            mfs.advance(FrameId(i as u64), &frame).unwrap();
+            naive.advance(FrameId(i as u64), &frame).unwrap();
+        }
+        assert!(mfs.live_states() < naive.live_states());
+    }
+
+    #[test]
+    fn termination_suppresses_small_states() {
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let pruner = Arc::new(MinCardinalityPruner { min_objects: 2 });
+        let mut m = MfsMaintainer::with_pruner(spec, pruner);
+        m.advance(FrameId(0), &set(&[1])).unwrap();
+        // The single-object state is terminated, not materialised.
+        assert_eq!(m.live_states(), 0);
+        assert_eq!(m.metrics().states_terminated, 1);
+        m.advance(FrameId(1), &set(&[1, 2])).unwrap();
+        assert_eq!(m.live_states(), 1);
+        assert!(m.results().contains(&set(&[1, 2])));
+        m.advance(FrameId(2), &set(&[2, 3])).unwrap();
+        // {2} = {1,2} ∩ {2,3} would be a new state but is terminated.
+        assert!(!m.results().contains(&set(&[2])));
+        assert_eq!(m.name(), "MFS_O");
+    }
+
+    #[test]
+    fn empty_frames_are_tolerated() {
+        let spec = WindowSpec::new(3, 1).unwrap();
+        let mut m = MfsMaintainer::new(spec);
+        m.advance(FrameId(0), &ObjectSet::empty()).unwrap();
+        m.advance(FrameId(1), &set(&[5])).unwrap();
+        m.advance(FrameId(2), &ObjectSet::empty()).unwrap();
+        assert!(m.results().contains(&set(&[5])));
+    }
+
+    #[test]
+    fn rejects_out_of_order_frames() {
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let mut m = MfsMaintainer::new(spec);
+        m.advance(FrameId(1), &set(&[1])).unwrap();
+        assert!(m.advance(FrameId(1), &set(&[1])).is_err());
+        assert!(m.advance(FrameId(0), &set(&[1])).is_err());
+    }
+
+    #[test]
+    fn recreated_states_recover_their_frame_sets() {
+        // {1,2} becomes invalid (superset {1,2,3} shares its frame set), is
+        // pruned, and is later recreated when it becomes an MCOS again; its
+        // frame set must cover all frames where {1,2} co-occurs.
+        let spec = WindowSpec::new(6, 1).unwrap();
+        let mut m = MfsMaintainer::new(spec);
+        m.advance(FrameId(0), &set(&[1, 2, 3])).unwrap();
+        m.advance(FrameId(1), &set(&[1, 2, 3])).unwrap();
+        m.advance(FrameId(2), &set(&[1, 2, 4])).unwrap();
+        let frames = m.results().frames_of(&set(&[1, 2])).unwrap();
+        assert_eq!(frames, &[FrameId(0), FrameId(1), FrameId(2)]);
+    }
+}

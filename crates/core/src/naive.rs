@@ -1,0 +1,330 @@
+//! The NAIVE baseline (Section 6.2 of the paper).
+//!
+//! NAIVE maintains, for every object set ever produced by intersecting the
+//! window's frames, the set of frames in which it appears. States are only
+//! removed once their frame set empties (no key-frame bookkeeping), and the
+//! MCOS property is established *a posteriori* at result-collection time:
+//! among states that satisfy the duration threshold and share the same frame
+//! set, only the largest object set is kept.
+
+use std::collections::HashMap;
+
+use tvq_common::{FrameId, MarkedFrameSet, ObjectSet, Result, WindowSpec};
+
+use crate::maintainer::{check_order, StateMaintainer};
+use crate::metrics::MaintenanceMetrics;
+use crate::result_set::ResultStateSet;
+
+/// The NAIVE state maintainer.
+#[derive(Debug)]
+pub struct NaiveMaintainer {
+    spec: WindowSpec,
+    states: HashMap<ObjectSet, MarkedFrameSet>,
+    results: ResultStateSet,
+    metrics: MaintenanceMetrics,
+    last_frame: Option<FrameId>,
+}
+
+impl NaiveMaintainer {
+    /// Creates a NAIVE maintainer for the given window specification.
+    pub fn new(spec: WindowSpec) -> Self {
+        NaiveMaintainer {
+            spec,
+            states: HashMap::new(),
+            results: ResultStateSet::new(),
+            metrics: MaintenanceMetrics::new(),
+            last_frame: None,
+        }
+    }
+
+    /// Exposes the live states (object set → frame set) for inspection in
+    /// tests and the worked-example assertions.
+    pub fn states(&self) -> impl Iterator<Item = (&ObjectSet, &MarkedFrameSet)> {
+        self.states.iter()
+    }
+
+    fn expire(&mut self, oldest: FrameId) {
+        let mut pruned = 0u64;
+        self.states.retain(|_, frames| {
+            frames.expire_before(oldest);
+            let keep = !frames.is_empty();
+            if !keep {
+                pruned += 1;
+            }
+            keep
+        });
+        self.metrics.states_pruned += pruned;
+    }
+
+    fn process_frame(&mut self, frame: FrameId, objects: &ObjectSet) {
+        if objects.is_empty() {
+            return;
+        }
+        // Pass 1: intersect the arriving frame with every existing state.
+        let mut appenders: Vec<ObjectSet> = Vec::new();
+        let mut derived: HashMap<ObjectSet, Vec<ObjectSet>> = HashMap::new();
+        for (set, _) in self.states.iter() {
+            self.metrics.intersections += 1;
+            let inter = set.intersect(objects);
+            if inter.is_empty() {
+                continue;
+            }
+            if &inter == set {
+                appenders.push(set.clone());
+            } else {
+                derived.entry(inter).or_default().push(set.clone());
+            }
+        }
+        self.metrics.states_visited += self.states.len() as u64;
+
+        // Pass 2a: append the new frame to states fully contained in it.
+        for set in appenders {
+            if let Some(frames) = self.states.get_mut(&set) {
+                frames.push(frame, false);
+                self.metrics.frames_appended += 1;
+            }
+        }
+
+        // Pass 2b: create states for intersections that are not yet
+        // materialised; their frame set is the union of all parents' frame
+        // sets plus the arriving frame.
+        for (target, parents) in derived {
+            if self.states.contains_key(&target) {
+                // Already materialised: it was (or will be) extended through
+                // its own intersection pass.
+                continue;
+            }
+            let mut frames = MarkedFrameSet::new();
+            for parent in &parents {
+                if let Some(parent_frames) = self.states.get(parent) {
+                    frames.merge_from(parent_frames);
+                }
+            }
+            frames.push(frame, false);
+            self.states.insert(target, frames);
+            self.metrics.states_created += 1;
+        }
+
+        // Pass 2c: make sure the arriving frame's own object set is a state.
+        if !self.states.contains_key(objects) {
+            self.states
+                .insert(objects.clone(), MarkedFrameSet::singleton(frame, false));
+            self.metrics.states_created += 1;
+        } else if let Some(frames) = self.states.get_mut(objects) {
+            // Created by pass 2b this frame or pre-existing; ensure the frame
+            // itself is recorded.
+            frames.push(frame, false);
+        }
+    }
+
+    /// Collects the Result State Set: states meeting the duration threshold,
+    /// deduplicated by frame set keeping the maximal object set (which is the
+    /// MCOS of that frame set).
+    fn collect_results(&mut self) {
+        let mut best: HashMap<Vec<FrameId>, ObjectSet> = HashMap::new();
+        for (set, frames) in &self.states {
+            if !self.spec.satisfies_duration(frames.len()) {
+                continue;
+            }
+            let key: Vec<FrameId> = frames.frames().collect();
+            match best.get(&key) {
+                Some(existing) if existing.len() >= set.len() => {}
+                _ => {
+                    best.insert(key, set.clone());
+                }
+            }
+        }
+        self.results.clear();
+        for (frames, set) in best {
+            let marked: MarkedFrameSet = frames.into_iter().map(|f| (f, false)).collect();
+            self.results.insert(set, &marked);
+        }
+    }
+}
+
+impl StateMaintainer for NaiveMaintainer {
+    fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    fn advance(&mut self, frame: FrameId, objects: &ObjectSet) -> Result<()> {
+        check_order(self.last_frame, frame)?;
+        self.last_frame = Some(frame);
+        self.metrics.frames_processed += 1;
+
+        self.expire(self.spec.oldest_valid(frame));
+        self.process_frame(frame, objects);
+        self.metrics.observe_live_states(self.states.len());
+        self.collect_results();
+        Ok(())
+    }
+
+    fn results(&self) -> &ResultStateSet {
+        &self.results
+    }
+
+    fn metrics(&self) -> &MaintenanceMetrics {
+        &self.metrics
+    }
+
+    fn live_states(&self) -> usize {
+        self.states.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "NAIVE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    /// Objects of the paper's running example: A=1, B=2, C=3, D=4, F=6.
+    fn paper_frames() -> Vec<ObjectSet> {
+        vec![
+            set(&[2]),
+            set(&[1, 2, 3]),
+            set(&[1, 2, 4, 6]),
+            set(&[1, 2, 3, 6]),
+            set(&[1, 2, 4]),
+        ]
+    }
+
+    /// Table 1 of the paper: the states maintained per frame with w=4, d=3.
+    #[test]
+    fn table_1_states_per_frame() {
+        let spec = WindowSpec::new(4, 3).unwrap();
+        let mut m = NaiveMaintainer::new(spec);
+        let frames = paper_frames();
+
+        let states_at = |m: &NaiveMaintainer| -> Vec<(ObjectSet, Vec<u64>)> {
+            let mut v: Vec<(ObjectSet, Vec<u64>)> = m
+                .states()
+                .map(|(s, f)| (s.clone(), f.frames().map(|x| x.raw()).collect()))
+                .collect();
+            v.sort();
+            v
+        };
+
+        m.advance(FrameId(0), &frames[0]).unwrap();
+        assert_eq!(states_at(&m), vec![(set(&[2]), vec![0])]);
+
+        m.advance(FrameId(1), &frames[1]).unwrap();
+        assert_eq!(
+            states_at(&m),
+            vec![(set(&[1, 2, 3]), vec![1]), (set(&[2]), vec![0, 1])]
+        );
+
+        m.advance(FrameId(2), &frames[2]).unwrap();
+        assert_eq!(
+            states_at(&m),
+            vec![
+                (set(&[1, 2]), vec![1, 2]),
+                (set(&[1, 2, 3]), vec![1]),
+                (set(&[1, 2, 4, 6]), vec![2]),
+                (set(&[2]), vec![0, 1, 2]),
+            ]
+        );
+
+        m.advance(FrameId(3), &frames[3]).unwrap();
+        assert_eq!(
+            states_at(&m),
+            vec![
+                (set(&[1, 2]), vec![1, 2, 3]),
+                (set(&[1, 2, 3]), vec![1, 3]),
+                (set(&[1, 2, 3, 6]), vec![3]),
+                (set(&[1, 2, 4, 6]), vec![2]),
+                (set(&[1, 2, 6]), vec![2, 3]),
+                (set(&[2]), vec![0, 1, 2, 3]),
+            ]
+        );
+
+        m.advance(FrameId(4), &frames[4]).unwrap();
+        assert_eq!(
+            states_at(&m),
+            vec![
+                (set(&[1, 2]), vec![1, 2, 3, 4]),
+                (set(&[1, 2, 3]), vec![1, 3]),
+                (set(&[1, 2, 3, 6]), vec![3]),
+                (set(&[1, 2, 4]), vec![2, 4]),
+                (set(&[1, 2, 4, 6]), vec![2]),
+                (set(&[1, 2, 6]), vec![2, 3]),
+                (set(&[2]), vec![1, 2, 3, 4]),
+            ]
+        );
+    }
+
+    /// Expected satisfied MCOS per frame (the EXP column of Table 1).
+    #[test]
+    fn table_1_expected_results() {
+        let spec = WindowSpec::new(4, 3).unwrap();
+        let mut m = NaiveMaintainer::new(spec);
+        let frames = paper_frames();
+
+        m.advance(FrameId(0), &frames[0]).unwrap();
+        assert!(m.results().is_empty());
+        m.advance(FrameId(1), &frames[1]).unwrap();
+        assert!(m.results().is_empty());
+        m.advance(FrameId(2), &frames[2]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[2])]);
+        m.advance(FrameId(3), &frames[3]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[1, 2]), set(&[2])]);
+        m.advance(FrameId(4), &frames[4]).unwrap();
+        // {B} has frames {1,2,3,4} which equals {AB}'s frame set, so only the
+        // maximal set {AB} is an MCOS.
+        assert_eq!(m.results().object_sets(), vec![set(&[1, 2])]);
+    }
+
+    #[test]
+    fn empty_frames_do_not_create_states() {
+        let spec = WindowSpec::new(3, 1).unwrap();
+        let mut m = NaiveMaintainer::new(spec);
+        m.advance(FrameId(0), &ObjectSet::empty()).unwrap();
+        assert_eq!(m.live_states(), 0);
+        m.advance(FrameId(1), &set(&[1])).unwrap();
+        m.advance(FrameId(2), &ObjectSet::empty()).unwrap();
+        assert_eq!(m.live_states(), 1);
+        assert!(m.results().contains(&set(&[1])));
+    }
+
+    #[test]
+    fn states_expire_with_the_window() {
+        let spec = WindowSpec::new(2, 1).unwrap();
+        let mut m = NaiveMaintainer::new(spec);
+        m.advance(FrameId(0), &set(&[1])).unwrap();
+        m.advance(FrameId(1), &set(&[2])).unwrap();
+        m.advance(FrameId(2), &set(&[2])).unwrap();
+        // {1} is gone once frame 0 leaves the window.
+        assert_eq!(m.live_states(), 1);
+        assert!(m.results().contains(&set(&[2])));
+        assert_eq!(m.metrics().states_pruned, 1);
+    }
+
+    #[test]
+    fn rejects_out_of_order_frames() {
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let mut m = NaiveMaintainer::new(spec);
+        m.advance(FrameId(2), &set(&[1])).unwrap();
+        assert!(m.advance(FrameId(2), &set(&[1])).is_err());
+        assert!(m.advance(FrameId(0), &set(&[1])).is_err());
+    }
+
+    #[test]
+    fn metrics_count_work() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut m = NaiveMaintainer::new(spec);
+        for (i, frame) in paper_frames().into_iter().enumerate() {
+            m.advance(FrameId(i as u64), &frame).unwrap();
+        }
+        let metrics = m.metrics();
+        assert_eq!(metrics.frames_processed, 5);
+        assert!(metrics.states_created >= 5);
+        assert!(metrics.intersections > 0);
+        assert!(metrics.peak_live_states >= 6);
+    }
+}

@@ -1,0 +1,89 @@
+//! Query-driven state termination (Section 5.3 of the paper).
+//!
+//! When every registered query uses only `>=` predicates, Proposition 1
+//! guarantees that a state whose MCOS fails every query can never produce a
+//! satisfying subset: all of its descendants can be skipped. The maintainers
+//! accept an optional [`StatePruner`] and consult it whenever a new state is
+//! created; states the pruner rejects are *terminated* — never extended,
+//! never reported.
+//!
+//! The concrete pruner that evaluates CNF queries lives in the query crate;
+//! this module only defines the interface plus simple implementations used
+//! for tests and ablations.
+
+use tvq_common::ObjectSet;
+
+/// Decides whether a freshly created state can be terminated.
+///
+/// Implementations must be *monotone downwards*: if `should_terminate(x)` is
+/// `true` it must also be `true` for every subset of `x`, otherwise
+/// terminating the state (and thereby suppressing its descendants) would be
+/// unsound. The ≥-only CNF pruner has this property by Proposition 1.
+pub trait StatePruner {
+    /// Returns `true` when a state with this object set (interpreted as its
+    /// MCOS) can never satisfy any registered query, nor can any subset.
+    fn should_terminate(&self, objects: &ObjectSet) -> bool;
+}
+
+/// A pruner that never terminates anything (the `*_E` method variants).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverPrune;
+
+impl StatePruner for NeverPrune {
+    fn should_terminate(&self, _objects: &ObjectSet) -> bool {
+        false
+    }
+}
+
+/// A pruner that terminates states smaller than a fixed number of objects.
+///
+/// This is the simplest sound pruner (cardinality is monotone): it mirrors a
+/// query workload consisting solely of `class >= n` conditions whose total
+/// object demand is `min_objects`. Used by unit tests and ablation benches.
+#[derive(Debug, Clone, Copy)]
+pub struct MinCardinalityPruner {
+    /// States with fewer objects than this are terminated.
+    pub min_objects: usize,
+}
+
+impl StatePruner for MinCardinalityPruner {
+    fn should_terminate(&self, objects: &ObjectSet) -> bool {
+        objects.len() < self.min_objects
+    }
+}
+
+/// Boxed pruner handle shared by the maintainers.
+pub type SharedPruner = std::sync::Arc<dyn StatePruner + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn never_prune_keeps_everything() {
+        let p = NeverPrune;
+        assert!(!p.should_terminate(&ObjectSet::empty()));
+        assert!(!p.should_terminate(&set(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn min_cardinality_is_downward_monotone() {
+        let p = MinCardinalityPruner { min_objects: 3 };
+        assert!(p.should_terminate(&set(&[1, 2])));
+        assert!(!p.should_terminate(&set(&[1, 2, 3])));
+        // Downward monotone: any subset of a terminated set is terminated.
+        assert!(p.should_terminate(&set(&[1])));
+        assert!(p.should_terminate(&ObjectSet::empty()));
+    }
+
+    #[test]
+    fn shared_pruner_is_object_safe() {
+        let p: SharedPruner = std::sync::Arc::new(MinCardinalityPruner { min_objects: 2 });
+        assert!(p.should_terminate(&set(&[9])));
+        assert!(!p.should_terminate(&set(&[9, 10])));
+    }
+}

@@ -1,0 +1,168 @@
+//! The Result State Set relayed to query evaluation.
+//!
+//! Per Section 4.3.7 of the paper, the MCOS Generation module hands the
+//! Query Evaluation module the set of states that are both *satisfied*
+//! (frame set at least as long as the duration threshold) and *valid*
+//! (their object set is an MCOS of their frame set). [`ResultStateSet`]
+//! holds that per-window snapshot in a canonical, order-independent form so
+//! that the three maintainers can be compared state-for-state.
+
+use std::collections::BTreeMap;
+
+use tvq_common::{FrameId, MarkedFrameSet, ObjectSet};
+
+use crate::state::State;
+
+/// A satisfied, valid state as reported to the query layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultState {
+    /// The maximum co-occurrence object set.
+    pub objects: ObjectSet,
+    /// The window frames in which it co-occurs.
+    pub frames: Vec<FrameId>,
+}
+
+/// The set of satisfied, valid states of the current window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResultStateSet {
+    states: BTreeMap<ObjectSet, Vec<FrameId>>,
+}
+
+impl ResultStateSet {
+    /// Creates an empty result set.
+    pub fn new() -> Self {
+        ResultStateSet {
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.states.clear();
+    }
+
+    /// Inserts (or replaces) a result state.
+    pub fn insert(&mut self, objects: ObjectSet, frames: &MarkedFrameSet) {
+        self.states.insert(objects, frames.frames().collect());
+    }
+
+    /// Inserts a result state from a [`State`].
+    pub fn insert_state(&mut self, state: &State) {
+        self.insert(state.objects.clone(), &state.frames);
+    }
+
+    /// Number of result states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The frame set reported for a given object set, if present.
+    pub fn frames_of(&self, objects: &ObjectSet) -> Option<&[FrameId]> {
+        self.states.get(objects).map(Vec::as_slice)
+    }
+
+    /// Whether an object set is part of the results.
+    pub fn contains(&self, objects: &ObjectSet) -> bool {
+        self.states.contains_key(objects)
+    }
+
+    /// Iterates over results in a deterministic (object-set) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectSet, &[FrameId])> {
+        self.states.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Materialises the results as owned [`ResultState`] values.
+    pub fn to_vec(&self) -> Vec<ResultState> {
+        self.states
+            .iter()
+            .map(|(objects, frames)| ResultState {
+                objects: objects.clone(),
+                frames: frames.clone(),
+            })
+            .collect()
+    }
+
+    /// The object sets only, in deterministic order — the common currency for
+    /// comparing maintainers, since frame sets are compared separately.
+    pub fn object_sets(&self) -> Vec<ObjectSet> {
+        self.states.keys().cloned().collect()
+    }
+}
+
+impl FromIterator<(ObjectSet, Vec<FrameId>)> for ResultStateSet {
+    fn from_iter<T: IntoIterator<Item = (ObjectSet, Vec<FrameId>)>>(iter: T) -> Self {
+        ResultStateSet {
+            states: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    fn frames(ids: &[u64]) -> MarkedFrameSet {
+        ids.iter().map(|&f| (FrameId(f), false)).collect()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut rs = ResultStateSet::new();
+        rs.insert(set(&[1, 2]), &frames(&[0, 1, 2]));
+        assert_eq!(rs.len(), 1);
+        assert!(rs.contains(&set(&[2, 1])));
+        assert_eq!(
+            rs.frames_of(&set(&[1, 2])).unwrap(),
+            &[FrameId(0), FrameId(1), FrameId(2)]
+        );
+        assert!(rs.frames_of(&set(&[3])).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_existing_entry() {
+        let mut rs = ResultStateSet::new();
+        rs.insert(set(&[1]), &frames(&[0]));
+        rs.insert(set(&[1]), &frames(&[0, 1]));
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.frames_of(&set(&[1])).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut rs = ResultStateSet::new();
+        rs.insert(set(&[3]), &frames(&[2]));
+        rs.insert(set(&[1, 2]), &frames(&[0]));
+        rs.insert(set(&[1]), &frames(&[1]));
+        let keys: Vec<ObjectSet> = rs.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(rs.object_sets(), sorted);
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut rs = ResultStateSet::new();
+        rs.insert(set(&[1]), &frames(&[0]));
+        rs.clear();
+        assert!(rs.is_empty());
+        assert_eq!(rs.to_vec().len(), 0);
+    }
+
+    #[test]
+    fn insert_state_uses_state_parts() {
+        let state = State::new(set(&[4, 5]), frames(&[1, 2, 3]));
+        let mut rs = ResultStateSet::new();
+        rs.insert_state(&state);
+        assert_eq!(rs.frames_of(&set(&[4, 5])).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,379 @@
+//! The Strict State Graph structure.
+//!
+//! Nodes are states (object set + marked frame set); a directed edge
+//! `(s, s')` records that `s'` was generated from `s`, which implies
+//! `IDs' ⊂ IDs` (Property 1). Among the children of any node, no child's
+//! object set may contain another child's object set (Property 2) — the
+//! [`StateGraph::attach`] operation enforces both properties, rewiring edges
+//! exactly as described in Section 4.3.4 of the paper.
+
+use std::collections::HashMap;
+
+use tvq_common::{FrameId, MarkedFrameSet, ObjectSet};
+
+/// Index of a node inside the graph's slab.
+pub(crate) type NodeId = usize;
+
+/// Sentinel for "never visited".
+pub(crate) const NEVER: u64 = u64::MAX;
+
+/// A node of the Strict State Graph.
+#[derive(Debug)]
+pub(crate) struct Node {
+    /// The state's object set.
+    pub set: ObjectSet,
+    /// The state's marked frame set.
+    pub frames: MarkedFrameSet,
+    /// Children: states generated from this one (proper subsets).
+    pub children: Vec<NodeId>,
+    /// Parents: states this one was generated from (proper supersets).
+    pub parents: Vec<NodeId>,
+    /// Frame id of the last State Traversal that visited this node.
+    pub visited: u64,
+    /// Frame id of the last frame appended to this node's frame set.
+    pub touched: u64,
+    /// In-window frames whose object set equals this node's object set
+    /// (non-empty while the node is a principal state).
+    pub principal_frames: Vec<FrameId>,
+    /// Whether the node is live (false once removed; slots are reused).
+    pub alive: bool,
+}
+
+impl Node {
+    fn new(set: ObjectSet) -> Self {
+        Node {
+            set,
+            frames: MarkedFrameSet::new(),
+            children: Vec::new(),
+            parents: Vec::new(),
+            visited: NEVER,
+            touched: NEVER,
+            principal_frames: Vec::new(),
+            alive: true,
+        }
+    }
+}
+
+/// Slab-allocated Strict State Graph with an object-set index.
+#[derive(Debug, Default)]
+pub(crate) struct StateGraph {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    by_set: HashMap<ObjectSet, NodeId>,
+    pub edges_added: u64,
+    pub edges_removed: u64,
+}
+
+impl StateGraph {
+    pub fn new() -> Self {
+        StateGraph::default()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.by_set.len()
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Looks up the live node holding `set`.
+    pub fn id_of(&self, set: &ObjectSet) -> Option<NodeId> {
+        self.by_set.get(set).copied()
+    }
+
+    /// Inserts a new node for `set`; the set must not already be present.
+    pub fn insert(&mut self, set: ObjectSet) -> NodeId {
+        debug_assert!(!self.by_set.contains_key(&set), "duplicate node for {set:?}");
+        let node = Node::new(set.clone());
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id] = node;
+                id
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.by_set.insert(set, id);
+        id
+    }
+
+    /// Iterates over the identifiers of all live nodes.
+    pub fn live_ids(&self) -> Vec<NodeId> {
+        self.by_set.values().copied().collect()
+    }
+
+    fn add_edge(&mut self, parent: NodeId, child: NodeId) {
+        if !self.nodes[parent].children.contains(&child) {
+            self.nodes[parent].children.push(child);
+            self.nodes[child].parents.push(parent);
+            self.edges_added += 1;
+        }
+    }
+
+    fn remove_edge(&mut self, parent: NodeId, child: NodeId) {
+        if let Some(pos) = self.nodes[parent].children.iter().position(|&c| c == child) {
+            self.nodes[parent].children.swap_remove(pos);
+            self.edges_removed += 1;
+        }
+        if let Some(pos) = self.nodes[child].parents.iter().position(|&p| p == parent) {
+            self.nodes[child].parents.swap_remove(pos);
+        }
+    }
+
+    /// Connects `child` under `parent`, enforcing Properties 1 and 2.
+    ///
+    /// * If the child's object set is not a proper subset of the parent's,
+    ///   the edge is refused (Property 1).
+    /// * If an existing child of `parent` contains the new child's set, the
+    ///   new child is attached under that child instead (it is the tighter
+    ///   parent).
+    /// * If the new child's set contains an existing child's set, that edge is
+    ///   moved below the new child — the "Modifying Existing Edges" step of
+    ///   Section 4.3.4.
+    pub fn attach(&mut self, parent: NodeId, child: NodeId) {
+        if parent == child {
+            return;
+        }
+        if !self.nodes[child].set.is_proper_subset_of(&self.nodes[parent].set) {
+            return;
+        }
+        let siblings: Vec<NodeId> = self.nodes[parent].children.clone();
+        for sibling in siblings {
+            if sibling == child {
+                return;
+            }
+            if !self.nodes[sibling].alive {
+                continue;
+            }
+            if self.nodes[child].set.is_proper_subset_of(&self.nodes[sibling].set) {
+                // A tighter ancestor exists among the siblings; attach below it.
+                self.attach(sibling, child);
+                return;
+            }
+            if self.nodes[sibling].set.is_proper_subset_of(&self.nodes[child].set) {
+                // The new child is a tighter parent for this sibling.
+                self.remove_edge(parent, sibling);
+                self.attach(child, sibling);
+            }
+        }
+        self.add_edge(parent, child);
+    }
+
+    /// Removes a node, reconnecting its parents to its children so that every
+    /// descendant stays reachable from the surviving ancestors.
+    pub fn remove(&mut self, id: NodeId) {
+        if !self.nodes[id].alive {
+            return;
+        }
+        let parents = self.nodes[id].parents.clone();
+        let children = self.nodes[id].children.clone();
+        for &parent in &parents {
+            self.remove_edge(parent, id);
+        }
+        for &child in &children {
+            self.remove_edge(id, child);
+        }
+        for &parent in &parents {
+            if !self.nodes[parent].alive {
+                continue;
+            }
+            for &child in &children {
+                if self.nodes[child].alive {
+                    self.attach(parent, child);
+                }
+            }
+        }
+        let set = self.nodes[id].set.clone();
+        self.by_set.remove(&set);
+        self.nodes[id].alive = false;
+        self.nodes[id].children.clear();
+        self.nodes[id].parents.clear();
+        self.nodes[id].frames = MarkedFrameSet::new();
+        self.nodes[id].principal_frames.clear();
+        self.free.push(id);
+    }
+
+    /// All nodes reachable from `start` (inclusive) by following child edges.
+    pub fn reachable(&self, start: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            for &child in &self.nodes[id].children {
+                if self.nodes[child].alive && !seen.contains(&child) {
+                    seen.push(child);
+                    stack.push(child);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Verifies Properties 1 and 2 over the whole graph (test support).
+    #[cfg(test)]
+    pub fn check_invariants(&self) {
+        for (&ref set, &id) in &self.by_set {
+            let node = &self.nodes[id];
+            assert!(node.alive);
+            assert_eq!(&node.set, set);
+            for &child in &node.children {
+                assert!(
+                    self.nodes[child].set.is_proper_subset_of(&node.set),
+                    "property 1 violated: {:?} -> {:?}",
+                    node.set,
+                    self.nodes[child].set
+                );
+            }
+            for (i, &a) in node.children.iter().enumerate() {
+                for &b in node.children.iter().skip(i + 1) {
+                    let sa = &self.nodes[a].set;
+                    let sb = &self.nodes[b].set;
+                    assert!(
+                        !sa.is_subset_of(sb) && !sb.is_subset_of(sa),
+                        "property 2 violated under {:?}: {sa:?} vs {sb:?}",
+                        node.set
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut g = StateGraph::new();
+        let a = g.insert(set(&[1, 2, 3]));
+        assert_eq!(g.id_of(&set(&[1, 2, 3])), Some(a));
+        assert_eq!(g.id_of(&set(&[1])), None);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn attach_enforces_property_1() {
+        let mut g = StateGraph::new();
+        let a = g.insert(set(&[1, 2]));
+        let b = g.insert(set(&[2, 3]));
+        // {2,3} is not a subset of {1,2}: the edge is refused.
+        g.attach(a, b);
+        assert!(g.node(a).children.is_empty());
+        g.check_invariants();
+    }
+
+    /// The example of Figure 3: adding {ABF} below {ABCF} must rewire the
+    /// existing edge ({ABCF}, {AB}) to ({ABF}, {AB}).
+    #[test]
+    fn attach_rewires_contained_siblings_like_figure_3() {
+        // A=1, B=2, C=3, D=4, F=6.
+        let mut g = StateGraph::new();
+        let abcf = g.insert(set(&[1, 2, 3, 6]));
+        let abd = g.insert(set(&[1, 2, 4]));
+        let ab = g.insert(set(&[1, 2]));
+        g.attach(abcf, ab);
+        g.attach(abd, ab);
+
+        let abf = g.insert(set(&[1, 2, 6]));
+        g.attach(abcf, abf);
+
+        // {AB} is now reached through {ABF}, not directly from {ABCF}.
+        assert!(!g.node(abcf).children.contains(&ab));
+        assert!(g.node(abcf).children.contains(&abf));
+        assert!(g.node(abf).children.contains(&ab));
+        // {ABD} still points at {AB} (Figure 3d).
+        assert!(g.node(abd).children.contains(&ab));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn attach_descends_into_tighter_parent() {
+        let mut g = StateGraph::new();
+        let abc = g.insert(set(&[1, 2, 3]));
+        let ab = g.insert(set(&[1, 2]));
+        g.attach(abc, ab);
+        let a = g.insert(set(&[1]));
+        // Attaching {A} to {ABC} must land it under {AB}, the tighter parent.
+        g.attach(abc, a);
+        assert!(!g.node(abc).children.contains(&a));
+        assert!(g.node(ab).children.contains(&a));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn attach_is_idempotent() {
+        let mut g = StateGraph::new();
+        let abc = g.insert(set(&[1, 2, 3]));
+        let ab = g.insert(set(&[1, 2]));
+        g.attach(abc, ab);
+        g.attach(abc, ab);
+        assert_eq!(g.node(abc).children.len(), 1);
+        assert_eq!(g.node(ab).parents.len(), 1);
+        assert_eq!(g.edges_added, 1);
+    }
+
+    #[test]
+    fn remove_reconnects_parents_to_children() {
+        let mut g = StateGraph::new();
+        let abcd = g.insert(set(&[1, 2, 3, 4]));
+        let abc = g.insert(set(&[1, 2, 3]));
+        let ab = g.insert(set(&[1, 2]));
+        g.attach(abcd, abc);
+        g.attach(abc, ab);
+        g.remove(abc);
+        assert_eq!(g.len(), 2);
+        assert!(g.id_of(&set(&[1, 2, 3])).is_none());
+        assert!(g.node(abcd).children.contains(&ab));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn removed_slots_are_reused() {
+        let mut g = StateGraph::new();
+        let a = g.insert(set(&[1]));
+        g.remove(a);
+        let b = g.insert(set(&[2]));
+        assert_eq!(a, b, "slab slot should be recycled");
+        assert_eq!(g.len(), 1);
+        assert!(g.id_of(&set(&[1])).is_none());
+    }
+
+    #[test]
+    fn reachability_follows_child_edges() {
+        let mut g = StateGraph::new();
+        let abcd = g.insert(set(&[1, 2, 3, 4]));
+        let abc = g.insert(set(&[1, 2, 3]));
+        let ab = g.insert(set(&[1, 2]));
+        let cd = g.insert(set(&[3, 4]));
+        g.attach(abcd, abc);
+        g.attach(abc, ab);
+        g.attach(abcd, cd);
+        let mut reachable = g.reachable(abc);
+        reachable.sort_unstable();
+        assert_eq!(reachable, vec![abc, ab].into_iter().collect::<Vec<_>>().tap_sorted());
+        let all = g.reachable(abcd);
+        assert_eq!(all.len(), 4);
+    }
+
+    trait TapSorted {
+        fn tap_sorted(self) -> Self;
+    }
+    impl TapSorted for Vec<NodeId> {
+        fn tap_sorted(mut self) -> Self {
+            self.sort_unstable();
+            self
+        }
+    }
+}

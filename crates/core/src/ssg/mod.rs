@@ -1,0 +1,647 @@
+//! The Strict State Graph (SSG) approach with State Traversal (Section 4.3).
+//!
+//! SSG organises the states of the current window in a directed graph whose
+//! roots are the *principal states* — states whose object set equals the
+//! object set of some in-window frame. Every other state is generated from
+//! principal states by intersection, directly or transitively, so processing
+//! a new frame only requires traversing the graph from the principal states
+//! and *stopping as soon as an intersection becomes empty*: whole subtrees of
+//! states that share nothing with the arriving frame are skipped, which is
+//! the source of SSG's advantage over MFS on feeds with many distinct object
+//! sets per window.
+//!
+//! The implementation follows the paper's procedures:
+//!
+//! * **Graph Maintenance Procedure / Algorithm 1 (ST)** — [`SsgMaintainer`]
+//!   traverses from each principal state, appends the arriving frame to
+//!   states fully contained in it, materialises missing intersection states,
+//!   and skips subtrees with empty intersections.
+//! * **Modifying Existing Edges (4.3.4) and Property 2** — performed by
+//!   [`graph::StateGraph::attach`].
+//! * **Connecting the New Principal State / Algorithm 2 (CNPS)** — candidates
+//!   (one per principal state) are sorted by object-set size and connected to
+//!   the new principal unless already reachable.
+//! * **State Marking Procedure (4.3.6)** — marks are produced from two sound
+//!   sources: frames whose own object set pins a state down (principal-state
+//!   creation frames whose intersection with the arriving frame equals the
+//!   state), and marks inherited from parent states when a state is derived
+//!   from them. Both preserve the *suffix-intersection invariant*: a frame
+//!   `f` is only marked in state `X` when the intersection of the object sets
+//!   of all of `X`'s frames from `f` onward equals `X`, so as long as one
+//!   marked frame survives in the window the state is guaranteed to still be
+//!   an MCOS (Theorem 4). When every marked frame has expired the state is
+//!   pruned.
+//!
+//! Two deliberate deviations from the paper's pseudocode, both documented in
+//! DESIGN.md: (1) when an already-materialised state is re-derived from a
+//! second parent, its frame set is merged with the parent's so frame sets
+//! stay complete (the union of all windows frames containing the object
+//! set); (2) invalid nodes are removed after the traversal, reconnecting
+//! their parents to their children, so reachability from principal states is
+//! preserved.
+
+mod graph;
+
+use std::collections::HashSet;
+
+use tvq_common::{FrameId, ObjectSet, Result, WindowSpec};
+
+use crate::maintainer::{check_order, StateMaintainer};
+use crate::metrics::MaintenanceMetrics;
+use crate::prune::SharedPruner;
+use crate::result_set::ResultStateSet;
+
+use graph::{NodeId, StateGraph};
+
+/// The Strict State Graph state maintainer.
+pub struct SsgMaintainer {
+    spec: WindowSpec,
+    graph: StateGraph,
+    /// Principal states in their order of arrival (kept while alive).
+    roots: Vec<NodeId>,
+    results: ResultStateSet,
+    metrics: MaintenanceMetrics,
+    pruner: Option<SharedPruner>,
+    terminated: HashSet<ObjectSet>,
+    last_frame: Option<FrameId>,
+    frames_since_sweep: usize,
+}
+
+impl std::fmt::Debug for SsgMaintainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SsgMaintainer")
+            .field("spec", &self.spec)
+            .field("live_states", &self.graph.len())
+            .field("principal_states", &self.roots.len())
+            .finish()
+    }
+}
+
+impl SsgMaintainer {
+    /// Creates an SSG maintainer for the given window specification.
+    pub fn new(spec: WindowSpec) -> Self {
+        SsgMaintainer {
+            spec,
+            graph: StateGraph::new(),
+            roots: Vec::new(),
+            results: ResultStateSet::new(),
+            metrics: MaintenanceMetrics::new(),
+            pruner: None,
+            terminated: HashSet::new(),
+            last_frame: None,
+            frames_since_sweep: 0,
+        }
+    }
+
+    /// Creates the `SSG_O` variant (Section 5.3): new states are checked
+    /// against the pruner and terminated when hopeless.
+    pub fn with_pruner(spec: WindowSpec, pruner: SharedPruner) -> Self {
+        let mut maintainer = SsgMaintainer::new(spec);
+        maintainer.pruner = Some(pruner);
+        maintainer
+    }
+
+    /// Number of principal states currently tracked.
+    pub fn principal_states(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Exposes the live states (object set, frames, marked frames) for tests.
+    pub fn states(&self) -> Vec<(ObjectSet, Vec<(FrameId, bool)>)> {
+        self.graph
+            .live_ids()
+            .into_iter()
+            .map(|id| {
+                let node = self.graph.node(id);
+                (node.set.clone(), node.frames.iter().collect())
+            })
+            .collect()
+    }
+
+    fn is_terminated(&self, set: &ObjectSet) -> bool {
+        self.terminated.contains(set)
+    }
+
+    fn terminate_if_hopeless(&mut self, set: &ObjectSet) -> bool {
+        let Some(pruner) = &self.pruner else {
+            return false;
+        };
+        if self.terminated.contains(set) {
+            return true;
+        }
+        if pruner.should_terminate(set) {
+            self.terminated.insert(set.clone());
+            self.metrics.states_terminated += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Ensures a state with object set `set` exists, is attached under
+    /// `parent`, and carries the arriving frame. Returns its id unless the
+    /// set is terminated.
+    fn ensure_state(
+        &mut self,
+        set: ObjectSet,
+        parent: NodeId,
+        frame: FrameId,
+        oldest: FrameId,
+        touched: &mut Vec<NodeId>,
+    ) -> Option<NodeId> {
+        if set.is_empty() || set == self.graph.node(parent).set {
+            return None;
+        }
+        if self.is_terminated(&set) {
+            return None;
+        }
+        let id = match self.graph.id_of(&set) {
+            Some(id) => id,
+            None => {
+                if self.terminate_if_hopeless(&set) {
+                    return None;
+                }
+                let id = self.graph.insert(set);
+                self.metrics.states_created += 1;
+                touched.push(id);
+                id
+            }
+        };
+        if self.graph.node(id).touched != frame.raw() {
+            self.graph.node_mut(id).frames.expire_before(oldest);
+            self.graph.node_mut(id).frames.push(frame, false);
+            self.graph.node_mut(id).touched = frame.raw();
+            self.metrics.frames_appended += 1;
+            touched.push(id);
+        }
+        // Frame-set completeness and Rule-2 mark inheritance: the parent's
+        // frames all contain the parent's object set, hence this subset too.
+        let parent_frames = self.graph.node(parent).frames.clone();
+        self.graph.node_mut(id).frames.merge_from(&parent_frames);
+        self.graph.attach(parent, id);
+        Some(id)
+    }
+
+    /// State Traversal (Algorithm 1), visiting `node` with `p_inter` being the
+    /// intersection of the parent state with the arriving frame.
+    #[allow(clippy::too_many_arguments)]
+    fn st_visit(
+        &mut self,
+        node: NodeId,
+        parent: Option<NodeId>,
+        p_inter: &ObjectSet,
+        frame: FrameId,
+        objects: &ObjectSet,
+        ns: NodeId,
+        oldest: FrameId,
+        touched: &mut Vec<NodeId>,
+    ) {
+        if !self.graph.node(node).alive || self.graph.node(node).visited == frame.raw() {
+            return;
+        }
+        self.graph.node_mut(node).visited = frame.raw();
+        self.graph.node_mut(node).frames.expire_before(oldest);
+        touched.push(node);
+        self.metrics.states_visited += 1;
+
+        let node_set = self.graph.node(node).set.clone();
+        self.metrics.intersections += 1;
+        let inter = node_set.intersect(objects);
+
+        if inter.is_empty() {
+            // No descendant of this node can intersect the frame either, but
+            // the parent's intersection may still need to be materialised
+            // (lines 5-8 of Algorithm 1).
+            if let (Some(parent), false) = (parent, p_inter.is_empty()) {
+                if p_inter != objects {
+                    self.ensure_state(p_inter.clone(), parent, frame, oldest, touched);
+                }
+            }
+            return;
+        }
+
+        // Lines 11-16: the parent's intersection is strictly larger than ours,
+        // so this subtree cannot represent it; materialise it under the parent.
+        if let Some(parent) = parent {
+            if !p_inter.is_empty() && p_inter.len() > inter.len() && p_inter != objects {
+                self.ensure_state(p_inter.clone(), parent, frame, oldest, touched);
+            }
+        }
+
+        if inter == node_set {
+            // The whole state co-occurs in the arriving frame: append it
+            // (lines 18-21) and inherit the parent's frames when the parent's
+            // intersection is exactly this state (line 19).
+            if self.graph.node(node).touched != frame.raw() {
+                self.graph.node_mut(node).frames.push(frame, false);
+                self.graph.node_mut(node).touched = frame.raw();
+                self.metrics.frames_appended += 1;
+            }
+            if let Some(parent) = parent {
+                if p_inter == &node_set {
+                    let parent_frames = self.graph.node(parent).frames.clone();
+                    self.graph.node_mut(node).frames.merge_from(&parent_frames);
+                }
+            }
+            self.visit_children(node, &inter, frame, objects, ns, oldest, touched);
+        } else if &inter == objects {
+            // The arriving frame's object set is a proper subset of this
+            // state: the new principal co-occurs in all of this state's frames
+            // (lines 22-24).
+            let node_frames = self.graph.node(node).frames.clone();
+            self.graph.node_mut(ns).frames.merge_from(&node_frames);
+            self.graph.attach(node, ns);
+            self.visit_children(node, &inter, frame, objects, ns, oldest, touched);
+        } else {
+            // A proper, new intersection: descend first (a child subtree may
+            // already own it), then make sure it exists under this node
+            // (lines 25-29).
+            self.visit_children(node, &inter, frame, objects, ns, oldest, touched);
+            self.ensure_state(inter, node, frame, oldest, touched);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_children(
+        &mut self,
+        node: NodeId,
+        inter: &ObjectSet,
+        frame: FrameId,
+        objects: &ObjectSet,
+        ns: NodeId,
+        oldest: FrameId,
+        touched: &mut Vec<NodeId>,
+    ) {
+        let children = self.graph.node(node).children.clone();
+        for child in children {
+            self.st_visit(child, Some(node), inter, frame, objects, ns, oldest, touched);
+        }
+    }
+
+    /// CNPS (Algorithm 2): connect the new principal state to the candidate
+    /// states derived from each principal, largest object set first, skipping
+    /// candidates already reachable from the new principal.
+    fn connect_new_principal(&mut self, ns: NodeId, candidates: Vec<NodeId>) {
+        let mut ordered = candidates;
+        ordered.sort_by_key(|&id| std::cmp::Reverse(self.graph.node(id).set.len()));
+        ordered.dedup();
+        let mut reachable: HashSet<NodeId> = HashSet::new();
+        for candidate in ordered {
+            if candidate == ns || !self.graph.node(candidate).alive {
+                continue;
+            }
+            if reachable.contains(&candidate) {
+                continue;
+            }
+            self.graph.attach(ns, candidate);
+            // Incremental DFS: regions already known to be reachable are not
+            // re-traversed, so the whole CNPS pass is bounded by the size of
+            // the subgraph below the new principal.
+            let mut stack = vec![candidate];
+            reachable.insert(candidate);
+            while let Some(id) = stack.pop() {
+                for &child in &self.graph.node(id).children {
+                    if self.graph.node(child).alive && reachable.insert(child) {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes invalid (unmarked) touched nodes and refreshes root bookkeeping.
+    fn prune_touched(&mut self, touched: &[NodeId], oldest: FrameId) {
+        for &id in touched {
+            if !self.graph.node(id).alive {
+                continue;
+            }
+            self.graph.node_mut(id).frames.expire_before(oldest);
+            if !self.graph.node(id).frames.has_marked() {
+                self.remove_node(id);
+            }
+        }
+    }
+
+    fn remove_node(&mut self, id: NodeId) {
+        self.graph.remove(id);
+        self.metrics.states_pruned += 1;
+        if let Some(pos) = self.roots.iter().position(|&r| r == id) {
+            self.roots.remove(pos);
+        }
+    }
+
+    /// Periodic full sweep: expires frames of nodes that were never visited
+    /// recently and drops the ones that became invalid. Bounds memory between
+    /// traversals without paying a full scan on every frame.
+    fn sweep(&mut self, oldest: FrameId) {
+        for id in self.graph.live_ids() {
+            self.graph.node_mut(id).frames.expire_before(oldest);
+            let node = self.graph.node_mut(id);
+            node.principal_frames.retain(|&f| f >= oldest);
+            if !self.graph.node(id).frames.has_marked() {
+                self.remove_node(id);
+            }
+        }
+    }
+
+    fn collect_results(&mut self, touched: &[NodeId], oldest: FrameId) {
+        // SR_{i'} = SR'_i ∪ SR_{G'}: previously satisfied states are
+        // revalidated, newly touched states are examined.
+        let mut candidates: Vec<NodeId> = Vec::with_capacity(self.results.len() + touched.len());
+        for set in self.results.object_sets() {
+            if let Some(id) = self.graph.id_of(&set) {
+                candidates.push(id);
+            }
+        }
+        candidates.extend_from_slice(touched);
+
+        let mut next = ResultStateSet::new();
+        for id in candidates {
+            if !self.graph.node(id).alive {
+                continue;
+            }
+            self.graph.node_mut(id).frames.expire_before(oldest);
+            let node = self.graph.node(id);
+            if node.frames.has_marked() && self.spec.satisfies_duration(node.frames.len()) {
+                next.insert(node.set.clone(), &node.frames);
+            }
+        }
+        self.results = next;
+    }
+}
+
+impl StateMaintainer for SsgMaintainer {
+    fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    fn advance(&mut self, frame: FrameId, objects: &ObjectSet) -> Result<()> {
+        check_order(self.last_frame, frame)?;
+        self.last_frame = Some(frame);
+        self.metrics.frames_processed += 1;
+        let oldest = self.spec.oldest_valid(frame);
+
+        self.frames_since_sweep += 1;
+        if self.frames_since_sweep >= self.spec.window() {
+            self.sweep(oldest);
+            self.frames_since_sweep = 0;
+        }
+
+        let mut touched: Vec<NodeId> = Vec::new();
+
+        if !objects.is_empty() && !self.is_terminated(objects) && !self.terminate_if_hopeless(objects)
+        {
+            // The arriving frame's own object set becomes (or stays) the new
+            // principal state.
+            let ns = match self.graph.id_of(objects) {
+                Some(id) => id,
+                None => {
+                    let id = self.graph.insert(objects.clone());
+                    self.metrics.states_created += 1;
+                    id
+                }
+            };
+            {
+                let node = self.graph.node_mut(ns);
+                node.frames.expire_before(oldest);
+                node.frames.push(frame, true);
+                node.touched = frame.raw();
+                node.principal_frames.retain(|&f| f >= oldest);
+                node.principal_frames.push(frame);
+            }
+            touched.push(ns);
+
+            // State Traversal from every principal state in arrival order.
+            // Traversing the new principal first extends its existing
+            // descendants (they are all subsets of the arriving frame).
+            let roots_snapshot: Vec<NodeId> = std::iter::once(ns)
+                .chain(self.roots.iter().copied())
+                .collect();
+            let mut candidates: Vec<NodeId> = Vec::new();
+            for root in roots_snapshot {
+                if !self.graph.node(root).alive {
+                    continue;
+                }
+                let root_set = self.graph.node(root).set.clone();
+                self.st_visit(
+                    root,
+                    None,
+                    &ObjectSet::empty(),
+                    frame,
+                    objects,
+                    ns,
+                    oldest,
+                    &mut touched,
+                );
+                // Candidate for CNPS plus principal-based marking: the state
+                // holding this principal's intersection with the new frame is
+                // pinned down by the principal's creation frames.
+                let candidate_set = root_set.intersect(objects);
+                if candidate_set.is_empty() {
+                    continue;
+                }
+                if let Some(candidate) = self.graph.id_of(&candidate_set) {
+                    candidates.push(candidate);
+                    let creation_frames = self.graph.node(root).principal_frames.clone();
+                    let candidate_node = self.graph.node_mut(candidate);
+                    for f in creation_frames {
+                        if f >= oldest {
+                            candidate_node.frames.mark(f);
+                        }
+                    }
+                }
+            }
+
+            self.connect_new_principal(ns, candidates);
+            if !self.roots.contains(&ns) {
+                self.roots.push(ns);
+            }
+        }
+
+        // Drop principal status of roots whose creating frames all expired and
+        // prune nodes invalidated by this frame's expiry.
+        for root in self.roots.clone() {
+            if self.graph.node(root).alive {
+                self.graph
+                    .node_mut(root)
+                    .principal_frames
+                    .retain(|&f| f >= oldest);
+            }
+        }
+        self.prune_touched(&touched.clone(), oldest);
+        self.metrics.edges_added = self.graph.edges_added;
+        self.metrics.edges_removed = self.graph.edges_removed;
+        self.metrics.observe_live_states(self.graph.len());
+        self.collect_results(&touched, oldest);
+        Ok(())
+    }
+
+    fn results(&self) -> &ResultStateSet {
+        &self.results
+    }
+
+    fn metrics(&self) -> &MaintenanceMetrics {
+        &self.metrics
+    }
+
+    fn live_states(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.pruner.is_some() {
+            "SSG_O"
+        } else {
+            "SSG"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::MinCardinalityPruner;
+    use std::sync::Arc;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    /// Objects of the paper's running example: A=1, B=2, C=3, D=4, F=6.
+    fn paper_frames() -> Vec<ObjectSet> {
+        vec![
+            set(&[2]),
+            set(&[1, 2, 3]),
+            set(&[1, 2, 4, 6]),
+            set(&[1, 2, 3, 6]),
+            set(&[1, 2, 4]),
+        ]
+    }
+
+    /// SSG must produce exactly the satisfied MCOS of Table 1's EXP column.
+    #[test]
+    fn paper_example_results_match_table_1() {
+        let spec = WindowSpec::new(4, 3).unwrap();
+        let mut m = SsgMaintainer::new(spec);
+        let frames = paper_frames();
+
+        m.advance(FrameId(0), &frames[0]).unwrap();
+        assert!(m.results().is_empty());
+        m.advance(FrameId(1), &frames[1]).unwrap();
+        assert!(m.results().is_empty());
+        m.advance(FrameId(2), &frames[2]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[2])]);
+        m.advance(FrameId(3), &frames[3]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[1, 2]), set(&[2])]);
+        m.advance(FrameId(4), &frames[4]).unwrap();
+        assert_eq!(m.results().object_sets(), vec![set(&[1, 2])]);
+        // The reported frame set covers all frames where {A,B} co-occur.
+        assert_eq!(
+            m.results().frames_of(&set(&[1, 2])).unwrap(),
+            &[FrameId(1), FrameId(2), FrameId(3), FrameId(4)]
+        );
+    }
+
+    #[test]
+    fn principal_states_track_window_frames() {
+        let spec = WindowSpec::new(4, 3).unwrap();
+        let mut m = SsgMaintainer::new(spec);
+        let frames = paper_frames();
+        for (i, frame) in frames.iter().enumerate() {
+            m.advance(FrameId(i as u64), frame).unwrap();
+        }
+        // After frame 4 the graph holds the states of Table 2 (without {B});
+        // the principal states are the distinct in-window frame object sets.
+        assert!(m.principal_states() >= 4);
+        let sets: Vec<ObjectSet> = m.states().into_iter().map(|(s, _)| s).collect();
+        assert!(sets.contains(&set(&[1, 2])));
+        assert!(sets.contains(&set(&[1, 2, 4])));
+        assert!(!sets.contains(&set(&[2])), "invalid {{B}} must be pruned");
+    }
+
+    #[test]
+    fn matches_mfs_on_the_paper_example_for_all_durations() {
+        for duration in 1..=4 {
+            let spec = WindowSpec::new(4, duration).unwrap();
+            let mut ssg = SsgMaintainer::new(spec);
+            let mut mfs = crate::mfs::MfsMaintainer::new(spec);
+            for (i, frame) in paper_frames().iter().enumerate() {
+                ssg.advance(FrameId(i as u64), frame).unwrap();
+                mfs.advance(FrameId(i as u64), frame).unwrap();
+                assert_eq!(
+                    ssg.results().object_sets(),
+                    mfs.results().object_sets(),
+                    "mismatch at frame {i} with duration {duration}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_frames_and_disjoint_objects() {
+        let spec = WindowSpec::new(3, 1).unwrap();
+        let mut m = SsgMaintainer::new(spec);
+        m.advance(FrameId(0), &ObjectSet::empty()).unwrap();
+        m.advance(FrameId(1), &set(&[1, 2])).unwrap();
+        m.advance(FrameId(2), &set(&[7, 8])).unwrap();
+        assert!(m.results().contains(&set(&[1, 2])));
+        assert!(m.results().contains(&set(&[7, 8])));
+        m.advance(FrameId(3), &set(&[7, 8])).unwrap();
+        m.advance(FrameId(4), &set(&[7, 8])).unwrap();
+        // {1,2} has left the window.
+        assert!(!m.results().contains(&set(&[1, 2])));
+        assert_eq!(
+            m.results().frames_of(&set(&[7, 8])).unwrap(),
+            &[FrameId(2), FrameId(3), FrameId(4)]
+        );
+    }
+
+    #[test]
+    fn termination_suppresses_hopeless_states() {
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let pruner = Arc::new(MinCardinalityPruner { min_objects: 2 });
+        let mut m = SsgMaintainer::with_pruner(spec, pruner);
+        m.advance(FrameId(0), &set(&[1, 2])).unwrap();
+        m.advance(FrameId(1), &set(&[2, 3])).unwrap();
+        // {2} = {1,2} ∩ {2,3} is hopeless and never materialised.
+        assert!(!m.results().contains(&set(&[2])));
+        assert!(m.results().contains(&set(&[1, 2])));
+        assert!(m.results().contains(&set(&[2, 3])));
+        assert_eq!(m.metrics().states_terminated, 1);
+        assert_eq!(m.name(), "SSG_O");
+    }
+
+    #[test]
+    fn rejects_out_of_order_frames() {
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let mut m = SsgMaintainer::new(spec);
+        m.advance(FrameId(1), &set(&[1])).unwrap();
+        assert!(m.advance(FrameId(1), &set(&[1])).is_err());
+        assert!(m.advance(FrameId(0), &set(&[1])).is_err());
+    }
+
+    #[test]
+    fn repeated_identical_frames_stay_compact() {
+        let spec = WindowSpec::new(10, 5).unwrap();
+        let mut m = SsgMaintainer::new(spec);
+        for i in 0..50u64 {
+            m.advance(FrameId(i), &set(&[1, 2, 3])).unwrap();
+        }
+        // Only one state is ever needed.
+        assert_eq!(m.live_states(), 1);
+        assert_eq!(m.results().object_sets(), vec![set(&[1, 2, 3])]);
+        assert_eq!(m.results().frames_of(&set(&[1, 2, 3])).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn long_run_prunes_expired_states() {
+        // Disjoint bursts: states from old bursts must eventually disappear
+        // even if never visited again (periodic sweep).
+        let spec = WindowSpec::new(5, 2).unwrap();
+        let mut m = SsgMaintainer::new(spec);
+        for i in 0..100u64 {
+            let objects = set(&[(i / 10) as u32 * 2, (i / 10) as u32 * 2 + 1]);
+            m.advance(FrameId(i), &objects).unwrap();
+        }
+        assert!(m.live_states() <= 3, "stale states retained: {}", m.live_states());
+    }
+}

@@ -1,0 +1,93 @@
+//! States: the unit of intermediate materialisation in MCOS generation.
+//!
+//! A state pairs a co-occurrence object set with the (marked) set of window
+//! frames in which it co-occurs (Definition 3 of the paper). A state is
+//! *valid* when its object set is a maximum co-occurrence object set of its
+//! frame set — which, per Theorems 1 and 4, the maintainers detect as "at
+//! least one frame is still marked". A state is *satisfied* when its frame
+//! set meets the query duration threshold.
+
+use tvq_common::{FrameId, MarkedFrameSet, ObjectSet, WindowSpec};
+
+/// A state: an object set plus the marked frame set in which it co-occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// The co-occurrence object set.
+    pub objects: ObjectSet,
+    /// The frames of the current window in which the object set co-occurs;
+    /// marked frames are key frames (Definition 4).
+    pub frames: MarkedFrameSet,
+}
+
+impl State {
+    /// Creates a state from its parts.
+    pub fn new(objects: ObjectSet, frames: MarkedFrameSet) -> Self {
+        State { objects, frames }
+    }
+
+    /// Creates a state holding a single frame.
+    pub fn singleton(objects: ObjectSet, frame: FrameId, marked: bool) -> Self {
+        State {
+            objects,
+            frames: MarkedFrameSet::singleton(frame, marked),
+        }
+    }
+
+    /// A state is valid when at least one of its frames is marked (Theorem 1
+    /// for MFS, Theorem 4 for SSG).
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.frames.has_marked()
+    }
+
+    /// A state is satisfied when its frame set meets the duration threshold.
+    #[inline]
+    pub fn is_satisfied(&self, spec: &WindowSpec) -> bool {
+        spec.satisfies_duration(self.frames.len())
+    }
+
+    /// Removes expired frames; returns how many were dropped.
+    pub fn expire_before(&mut self, oldest_valid: FrameId) -> usize {
+        self.frames.expire_before(oldest_valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn validity_follows_marks() {
+        let mut s = State::singleton(set(&[1, 2]), FrameId(0), true);
+        assert!(s.is_valid());
+        s.expire_before(FrameId(1));
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    fn satisfaction_follows_duration() {
+        let spec = WindowSpec::new(10, 3).unwrap();
+        let mut s = State::singleton(set(&[1]), FrameId(0), true);
+        assert!(!s.is_satisfied(&spec));
+        s.frames.push(FrameId(1), false);
+        s.frames.push(FrameId(2), false);
+        assert!(s.is_satisfied(&spec));
+    }
+
+    #[test]
+    fn expiry_reports_dropped_count() {
+        let mut s = State::new(
+            set(&[1]),
+            [(FrameId(0), true), (FrameId(1), false), (FrameId(2), true)]
+                .into_iter()
+                .collect(),
+        );
+        assert_eq!(s.expire_before(FrameId(2)), 2);
+        assert_eq!(s.frames.len(), 1);
+        assert!(s.is_valid());
+    }
+}

@@ -1,0 +1,166 @@
+//! Differential tests: NAIVE, MFS and SSG must agree with the brute-force
+//! reference oracle on the satisfied MCOS of every window, for arbitrary
+//! frame sequences, window sizes and durations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tvq_common::{FrameId, ObjectSet, WindowSpec};
+use tvq_core::{MaintainerKind, StateMaintainer};
+
+/// Runs every production maintainer plus the reference oracle over the same
+/// frame sequence and asserts that the reported result object sets and their
+/// frame sets are identical after every frame.
+fn assert_all_equivalent(frames: &[ObjectSet], spec: WindowSpec) {
+    let mut reference = MaintainerKind::Reference.build(spec);
+    let mut others: Vec<Box<dyn StateMaintainer>> = MaintainerKind::PRODUCTION
+        .iter()
+        .map(|kind| kind.build(spec))
+        .collect();
+
+    for (i, objects) in frames.iter().enumerate() {
+        let fid = FrameId(i as u64);
+        reference.advance(fid, objects).unwrap();
+        let expected: Vec<(ObjectSet, Vec<FrameId>)> = reference
+            .results()
+            .iter()
+            .map(|(set, frames)| (set.clone(), frames.to_vec()))
+            .collect();
+        for maintainer in &mut others {
+            maintainer.advance(fid, objects).unwrap();
+            let got: Vec<(ObjectSet, Vec<FrameId>)> = maintainer
+                .results()
+                .iter()
+                .map(|(set, frames)| (set.clone(), frames.to_vec()))
+                .collect();
+            assert_eq!(
+                got,
+                expected,
+                "{} disagrees with the reference at frame {i} (w={}, d={})\nframes so far: {:?}",
+                maintainer.name(),
+                spec.window(),
+                spec.duration(),
+                &frames[..=i]
+            );
+        }
+    }
+}
+
+/// Generates a frame sequence mimicking a tracked video feed: objects enter,
+/// persist for a while, occasionally get occluded, and leave.
+fn tracked_feed(seed: u64, num_frames: usize, universe: u32, occlusion: f64) -> Vec<ObjectSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut active: Vec<(u32, usize)> = Vec::new(); // (object, remaining lifetime)
+    let mut next_id = 0u32;
+    let mut frames = Vec::with_capacity(num_frames);
+    for _ in 0..num_frames {
+        // Arrivals.
+        while active.len() < universe as usize && rng.gen_bool(0.35) {
+            let lifetime = rng.gen_range(2..=8);
+            active.push((next_id % universe, lifetime));
+            next_id += 1;
+        }
+        // Visible objects: active ones that are not occluded this frame.
+        let visible: Vec<u32> = active
+            .iter()
+            .filter(|_| !rng.gen_bool(occlusion))
+            .map(|&(id, _)| id)
+            .collect();
+        frames.push(ObjectSet::from_raw(visible));
+        // Departures.
+        for entry in &mut active {
+            entry.1 -= 1;
+        }
+        active.retain(|&(_, life)| life > 0);
+    }
+    frames
+}
+
+#[test]
+fn paper_running_example_all_durations_and_windows() {
+    // A=1, B=2, C=3, D=4, F=6.
+    let frames = vec![
+        ObjectSet::from_raw([2]),
+        ObjectSet::from_raw([1, 2, 3]),
+        ObjectSet::from_raw([1, 2, 4, 6]),
+        ObjectSet::from_raw([1, 2, 3, 6]),
+        ObjectSet::from_raw([1, 2, 4]),
+    ];
+    for window in 2..=5 {
+        for duration in 1..=window {
+            assert_all_equivalent(&frames, WindowSpec::new(window, duration).unwrap());
+        }
+    }
+}
+
+#[test]
+fn seeded_tracked_feeds_agree_with_reference() {
+    for seed in 0..12u64 {
+        let frames = tracked_feed(seed, 40, 6, 0.25);
+        for (window, duration) in [(4, 2), (5, 3), (6, 4), (8, 2)] {
+            assert_all_equivalent(&frames, WindowSpec::new(window, duration).unwrap());
+        }
+    }
+}
+
+#[test]
+fn heavy_occlusion_feeds_agree_with_reference() {
+    for seed in 100..106u64 {
+        let frames = tracked_feed(seed, 30, 5, 0.5);
+        assert_all_equivalent(&frames, WindowSpec::new(6, 3).unwrap());
+    }
+}
+
+#[test]
+fn dense_feeds_with_recurring_object_sets() {
+    // Few distinct object sets recur; exercises principal-state reuse (λ > 1).
+    let mut rng = StdRng::seed_from_u64(7);
+    let patterns = [
+        ObjectSet::from_raw([1, 2, 3]),
+        ObjectSet::from_raw([1, 2]),
+        ObjectSet::from_raw([2, 3, 4]),
+        ObjectSet::from_raw([1, 4]),
+    ];
+    let frames: Vec<ObjectSet> = (0..50)
+        .map(|_| patterns[rng.gen_range(0..patterns.len())].clone())
+        .collect();
+    assert_all_equivalent(&frames, WindowSpec::new(5, 3).unwrap());
+    assert_all_equivalent(&frames, WindowSpec::new(10, 6).unwrap());
+}
+
+#[test]
+fn feeds_with_empty_frames_agree() {
+    let frames = vec![
+        ObjectSet::from_raw([1, 2]),
+        ObjectSet::empty(),
+        ObjectSet::from_raw([1, 2, 3]),
+        ObjectSet::empty(),
+        ObjectSet::empty(),
+        ObjectSet::from_raw([2, 3]),
+        ObjectSet::from_raw([1, 3]),
+    ];
+    for (window, duration) in [(3, 1), (4, 2), (7, 3)] {
+        assert_all_equivalent(&frames, WindowSpec::new(window, duration).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary short feeds over a small object universe: all maintainers
+    /// must agree with the oracle for arbitrary window/duration combinations.
+    #[test]
+    fn arbitrary_feeds_agree_with_reference(
+        frames in proptest::collection::vec(proptest::collection::vec(0u32..6, 0..5), 1..18),
+        window in 2usize..6,
+        duration_offset in 0usize..4,
+    ) {
+        let duration = (duration_offset % window).max(1);
+        let frames: Vec<ObjectSet> = frames
+            .into_iter()
+            .map(|objs| ObjectSet::from_raw(objs))
+            .collect();
+        assert_all_equivalent(&frames, WindowSpec::new(window, duration).unwrap());
+    }
+}

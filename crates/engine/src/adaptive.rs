@@ -1,0 +1,64 @@
+//! Adaptive maintainer selection.
+//!
+//! Section 6.2 of the paper identifies the trade-off between MFS and SSG:
+//! MFS wins on feeds with few objects per frame and long object presence
+//! (few distinct states, most generated directly from principal states),
+//! while SSG wins when frames are dense or objects are short-lived (moving
+//! cameras), because its graph traversal skips unrelated states. This module
+//! encodes that observation as a selection heuristic over the Table-6
+//! statistics of a feed.
+
+use tvq_common::DatasetStats;
+use tvq_core::MaintainerKind;
+
+/// Objects-per-frame threshold above which SSG is preferred.
+pub const DENSE_OBJECTS_PER_FRAME: f64 = 7.5;
+/// Frames-per-object threshold below which SSG is preferred (short presence,
+/// e.g. moving cameras).
+pub const SHORT_PRESENCE_FRAMES: f64 = 30.0;
+
+/// Chooses between MFS and SSG for a feed with the given statistics.
+pub fn choose_maintainer(stats: &DatasetStats) -> MaintainerKind {
+    if stats.objects_per_frame >= DENSE_OBJECTS_PER_FRAME
+        || stats.frames_per_object <= SHORT_PRESENCE_FRAMES
+    {
+        MaintainerKind::Ssg
+    } else {
+        MaintainerKind::Mfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(objects_per_frame: f64, frames_per_object: f64) -> DatasetStats {
+        DatasetStats {
+            frames: 1000,
+            objects: 100,
+            objects_per_frame,
+            occlusions_per_object: 3.0,
+            frames_per_object,
+        }
+    }
+
+    #[test]
+    fn sparse_long_lived_feeds_use_mfs() {
+        // V1/V2-like: few objects per frame, long presence.
+        assert_eq!(choose_maintainer(&stats(6.0, 77.0)), MaintainerKind::Mfs);
+        assert_eq!(choose_maintainer(&stats(5.9, 80.0)), MaintainerKind::Mfs);
+    }
+
+    #[test]
+    fn dense_feeds_use_ssg() {
+        // D2/M2-like: many objects per frame.
+        assert_eq!(choose_maintainer(&stats(9.0, 65.0)), MaintainerKind::Ssg);
+        assert_eq!(choose_maintainer(&stats(11.6, 47.0)), MaintainerKind::Ssg);
+    }
+
+    #[test]
+    fn short_presence_feeds_use_ssg() {
+        // M1-like: moving camera, objects leave the view quickly.
+        assert_eq!(choose_maintainer(&stats(6.7, 23.7)), MaintainerKind::Ssg);
+    }
+}

@@ -1,0 +1,99 @@
+//! Engine configuration.
+
+use tvq_common::WindowSpec;
+use tvq_core::MaintainerKind;
+
+/// How the engine picks its MCOS-generation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintainerSelection {
+    /// Always use the given strategy.
+    Fixed(MaintainerKind),
+    /// Pick MFS or SSG from the feed's statistics (see
+    /// [`choose_maintainer`](crate::adaptive::choose_maintainer)); falls back
+    /// to SSG when no statistics are available.
+    Auto,
+}
+
+/// Configuration of the end-to-end engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Sliding-window specification (window length and duration threshold).
+    pub window: WindowSpec,
+    /// Strategy selection.
+    pub maintainer: MaintainerSelection,
+    /// Whether to enable the Section 5.3 pruning strategy when the query
+    /// workload permits it (all conditions `>=`).
+    pub pruning: bool,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the given window, SSG maintenance and
+    /// pruning enabled.
+    pub fn new(window: WindowSpec) -> Self {
+        EngineConfig {
+            window,
+            maintainer: MaintainerSelection::Fixed(MaintainerKind::Ssg),
+            pruning: true,
+        }
+    }
+
+    /// The paper's default setting: w=300 frames, d=240 frames, SSG, pruning.
+    pub fn paper_default() -> Self {
+        EngineConfig::new(WindowSpec::paper_default())
+    }
+
+    /// Selects a fixed maintenance strategy.
+    pub fn with_maintainer(mut self, kind: MaintainerKind) -> Self {
+        self.maintainer = MaintainerSelection::Fixed(kind);
+        self
+    }
+
+    /// Lets the engine pick the strategy from feed statistics.
+    pub fn with_adaptive_maintainer(mut self) -> Self {
+        self.maintainer = MaintainerSelection::Auto;
+        self
+    }
+
+    /// Enables or disables query-driven pruning.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = EngineConfig::default();
+        assert_eq!(config.window.window(), 300);
+        assert_eq!(config.window.duration(), 240);
+        assert!(config.pruning);
+        assert_eq!(
+            config.maintainer,
+            MaintainerSelection::Fixed(MaintainerKind::Ssg)
+        );
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let config = EngineConfig::new(WindowSpec::new(10, 5).unwrap())
+            .with_maintainer(MaintainerKind::Mfs)
+            .with_pruning(false);
+        assert_eq!(
+            config.maintainer,
+            MaintainerSelection::Fixed(MaintainerKind::Mfs)
+        );
+        assert!(!config.pruning);
+        let auto = config.with_adaptive_maintainer();
+        assert_eq!(auto.maintainer, MaintainerSelection::Auto);
+    }
+}

@@ -1,0 +1,399 @@
+//! The end-to-end temporal video query engine.
+//!
+//! [`TemporalVideoQueryEngine`] wires the three layers of the paper's
+//! architecture together: it consumes per-frame detections (from the
+//! simulated vision pipeline, the statistical generator, or ingested CSV),
+//! feeds the class-filtered object sets to an MCOS maintainer, and evaluates
+//! the registered CNF queries over the resulting Result State Set, producing
+//! [`QueryMatch`]es per frame.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
+
+use tvq_common::{
+    ClassId, ClassRegistry, DatasetStats, Error, FrameId, FrameObjects, ObjectId, ObjectSet,
+    Result, VideoRelation,
+};
+use tvq_core::{MaintainerKind, MaintenanceMetrics, SharedPruner, StateMaintainer, StatePruner};
+use tvq_query::{evaluate_result_set, ClassCounts, CnfEvaluator, CnfQuery, QueryMatch};
+
+use crate::adaptive::choose_maintainer;
+use crate::config::{EngineConfig, MaintainerSelection};
+
+/// The result of processing one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameResult {
+    /// The processed frame.
+    pub frame: FrameId,
+    /// The query matches of the window ending at this frame.
+    pub matches: Vec<QueryMatch>,
+}
+
+impl FrameResult {
+    /// Whether any query matched at this frame.
+    pub fn any(&self) -> bool {
+        !self.matches.is_empty()
+    }
+}
+
+/// Streaming-safe pruner: reads the engine's growing object → class map.
+struct LivePruner {
+    evaluator: Arc<CnfEvaluator>,
+    classes: Arc<RwLock<HashMap<ObjectId, ClassId>>>,
+}
+
+impl StatePruner for LivePruner {
+    fn should_terminate(&self, objects: &ObjectSet) -> bool {
+        let classes = self.classes.read().expect("class map lock poisoned");
+        let counts = ClassCounts::of(objects, &classes);
+        !self.evaluator.any_satisfied(&counts)
+    }
+}
+
+/// Builder for [`TemporalVideoQueryEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+    registry: ClassRegistry,
+    queries: Vec<CnfQuery>,
+    stats: Option<DatasetStats>,
+}
+
+impl EngineBuilder {
+    /// Starts a builder with the given configuration and the default class
+    /// registry.
+    pub fn new(config: EngineConfig) -> Self {
+        EngineBuilder {
+            config,
+            registry: ClassRegistry::with_default_classes(),
+            queries: Vec::new(),
+            stats: None,
+        }
+    }
+
+    /// Uses a custom class registry.
+    pub fn with_registry(mut self, registry: ClassRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers a structured query.
+    pub fn with_query(mut self, query: CnfQuery) -> Self {
+        self.queries.push(query);
+        self
+    }
+
+    /// Registers a query written in the textual language, e.g.
+    /// `"car >= 2 AND person >= 1"`. New class labels are registered.
+    pub fn with_query_text(mut self, text: &str) -> Result<Self> {
+        let id = tvq_common::QueryId(self.queries.len() as u32);
+        let query = tvq_query::parse_query(text, id, &mut self.registry)?;
+        self.queries.push(query);
+        Ok(self)
+    }
+
+    /// Supplies feed statistics for adaptive maintainer selection.
+    pub fn with_feed_stats(mut self, stats: DatasetStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Result<TemporalVideoQueryEngine> {
+        if self.queries.is_empty() {
+            return Err(Error::InvalidConfig(
+                "at least one query must be registered".to_owned(),
+            ));
+        }
+        for query in &self.queries {
+            query
+                .validate()
+                .map_err(Error::InvalidConfig)?;
+        }
+        let kind = match self.config.maintainer {
+            MaintainerSelection::Fixed(kind) => kind,
+            MaintainerSelection::Auto => self
+                .stats
+                .as_ref()
+                .map(choose_maintainer)
+                .unwrap_or(MaintainerKind::Ssg),
+        };
+        let relevant_classes: HashSet<ClassId> =
+            self.queries.iter().flat_map(|q| q.classes()).collect();
+        let evaluator = Arc::new(CnfEvaluator::new(self.queries));
+        let classes: Arc<RwLock<HashMap<ObjectId, ClassId>>> = Arc::new(RwLock::new(HashMap::new()));
+        let maintainer = if self.config.pruning && evaluator.all_geq_only() {
+            let pruner: SharedPruner = Arc::new(LivePruner {
+                evaluator: Arc::clone(&evaluator),
+                classes: Arc::clone(&classes),
+            });
+            kind.build_with_pruner(self.config.window, pruner)
+        } else {
+            kind.build(self.config.window)
+        };
+        Ok(TemporalVideoQueryEngine {
+            config: self.config,
+            registry: self.registry,
+            evaluator,
+            maintainer,
+            classes,
+            relevant_classes,
+        })
+    }
+}
+
+/// The end-to-end engine (Figure 2 of the paper).
+pub struct TemporalVideoQueryEngine {
+    config: EngineConfig,
+    registry: ClassRegistry,
+    evaluator: Arc<CnfEvaluator>,
+    maintainer: Box<dyn StateMaintainer>,
+    classes: Arc<RwLock<HashMap<ObjectId, ClassId>>>,
+    relevant_classes: HashSet<ClassId>,
+}
+
+impl std::fmt::Debug for TemporalVideoQueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemporalVideoQueryEngine")
+            .field("config", &self.config)
+            .field("strategy", &self.maintainer.name())
+            .field("queries", &self.evaluator.len())
+            .finish()
+    }
+}
+
+impl TemporalVideoQueryEngine {
+    /// Starts a builder.
+    pub fn builder(config: EngineConfig) -> EngineBuilder {
+        EngineBuilder::new(config)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The name of the MCOS-generation strategy in use (e.g. `"SSG_O"`).
+    pub fn strategy(&self) -> &'static str {
+        self.maintainer.name()
+    }
+
+    /// The class registry (labels for query classes).
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    /// Work counters of the underlying maintainer.
+    pub fn metrics(&self) -> &MaintenanceMetrics {
+        self.maintainer.metrics()
+    }
+
+    /// Number of states currently materialised by the maintainer.
+    pub fn live_states(&self) -> usize {
+        self.maintainer.live_states()
+    }
+
+    /// Processes one frame of detections and returns the query matches of the
+    /// window ending at this frame.
+    ///
+    /// Objects whose class no registered query mentions are dropped before
+    /// they reach MCOS generation, as prescribed in Section 3.
+    pub fn observe(&mut self, frame: &FrameObjects) -> Result<FrameResult> {
+        let mut relevant: Vec<ObjectId> = Vec::with_capacity(frame.classes.len());
+        {
+            let mut classes = self.classes.write().expect("class map lock poisoned");
+            for &(id, class) in &frame.classes {
+                if self.relevant_classes.contains(&class) {
+                    classes.entry(id).or_insert(class);
+                    relevant.push(id);
+                }
+            }
+        }
+        let objects = ObjectSet::from_ids(relevant);
+        self.maintainer.advance(frame.fid, &objects)?;
+        let classes = self.classes.read().expect("class map lock poisoned");
+        let matches = evaluate_result_set(&self.evaluator, self.maintainer.results(), &classes);
+        Ok(FrameResult {
+            frame: frame.fid,
+            matches,
+        })
+    }
+
+    /// Processes a whole structured relation, returning one [`FrameResult`]
+    /// per frame.
+    pub fn process_relation(&mut self, relation: &VideoRelation) -> Result<Vec<FrameResult>> {
+        let mut results = Vec::with_capacity(relation.num_frames());
+        for frame in relation.frames() {
+            results.push(self.observe(frame)?);
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvq_common::WindowSpec;
+
+    fn frame(fid: u64, detections: &[(u32, u16)]) -> FrameObjects {
+        FrameObjects::new(
+            FrameId(fid),
+            detections
+                .iter()
+                .map(|&(id, class)| (ObjectId(id), ClassId(class)))
+                .collect(),
+        )
+    }
+
+    fn small_config(kind: MaintainerKind) -> EngineConfig {
+        EngineConfig::new(WindowSpec::new(4, 3).unwrap()).with_maintainer(kind)
+    }
+
+    #[test]
+    fn builder_requires_queries() {
+        let err = EngineBuilder::new(EngineConfig::default()).build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn detects_joint_presence_of_a_car_and_a_person() {
+        // person class = 0, car class = 1.
+        for kind in MaintainerKind::PRODUCTION {
+            let mut engine = TemporalVideoQueryEngine::builder(small_config(kind))
+                .with_query_text("car >= 1 AND person >= 1")
+                .unwrap()
+                .build()
+                .unwrap();
+            // Object 1 is a car, objects 2-3 are people; they overlap in
+            // frames 1..=3 (3 frames >= duration 3).
+            let frames = [
+                frame(0, &[(1, 1)]),
+                frame(1, &[(1, 1), (2, 0)]),
+                frame(2, &[(1, 1), (2, 0), (3, 0)]),
+                frame(3, &[(1, 1), (2, 0)]),
+            ];
+            let mut last = None;
+            for f in &frames {
+                last = Some(engine.observe(f).unwrap());
+            }
+            let last = last.unwrap();
+            assert!(
+                last.any(),
+                "{kind:?} should report a match at the final frame"
+            );
+            assert!(last
+                .matches
+                .iter()
+                .any(|m| m.objects == ObjectSet::from_raw([1, 2]) && m.frames.len() == 3));
+        }
+    }
+
+    #[test]
+    fn irrelevant_classes_are_dropped_before_mcos_generation() {
+        let mut engine = TemporalVideoQueryEngine::builder(small_config(MaintainerKind::Mfs))
+            .with_query_text("person >= 2")
+            .unwrap()
+            .build()
+            .unwrap();
+        // Cars (class 1) are never requested: they must not create states.
+        engine.observe(&frame(0, &[(1, 1), (2, 1), (3, 1)])).unwrap();
+        assert_eq!(engine.live_states(), 0);
+        engine.observe(&frame(1, &[(4, 0), (5, 0)])).unwrap();
+        assert!(engine.live_states() >= 1);
+    }
+
+    #[test]
+    fn pruning_variant_is_selected_for_geq_only_workloads() {
+        let engine = TemporalVideoQueryEngine::builder(small_config(MaintainerKind::Ssg))
+            .with_query_text("car >= 2")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(engine.strategy(), "SSG_O");
+        let engine = TemporalVideoQueryEngine::builder(small_config(MaintainerKind::Ssg))
+            .with_query_text("car <= 2")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(engine.strategy(), "SSG");
+        let engine = TemporalVideoQueryEngine::builder(
+            small_config(MaintainerKind::Ssg).with_pruning(false),
+        )
+        .with_query_text("car >= 2")
+        .unwrap()
+        .build()
+        .unwrap();
+        assert_eq!(engine.strategy(), "SSG");
+    }
+
+    #[test]
+    fn pruned_and_unpruned_engines_agree_on_matches() {
+        let frames: Vec<FrameObjects> = (0..30)
+            .map(|i| {
+                let mut detections = vec![(i as u32 % 5, 1u16), ((i as u32 + 1) % 5, 1)];
+                if i % 3 != 0 {
+                    detections.push((10 + (i as u32 % 3), 0));
+                }
+                frame(i, &detections)
+            })
+            .collect();
+        let build = |pruning: bool| {
+            TemporalVideoQueryEngine::builder(
+                EngineConfig::new(WindowSpec::new(6, 3).unwrap())
+                    .with_maintainer(MaintainerKind::Ssg)
+                    .with_pruning(pruning),
+            )
+            .with_query_text("car >= 2 AND person >= 1")
+            .unwrap()
+            .build()
+            .unwrap()
+        };
+        let mut with_pruning = build(true);
+        let mut without_pruning = build(false);
+        for f in &frames {
+            let a = with_pruning.observe(f).unwrap();
+            let b = without_pruning.observe(f).unwrap();
+            assert_eq!(a, b, "pruning changed the result at frame {}", f.fid);
+        }
+    }
+
+    #[test]
+    fn adaptive_selection_uses_feed_statistics() {
+        let stats = DatasetStats {
+            frames: 1000,
+            objects: 300,
+            objects_per_frame: 11.0,
+            occlusions_per_object: 3.0,
+            frames_per_object: 20.0,
+        };
+        let engine = TemporalVideoQueryEngine::builder(
+            EngineConfig::default().with_adaptive_maintainer().with_pruning(false),
+        )
+        .with_query_text("person >= 3")
+        .unwrap()
+        .with_feed_stats(stats)
+        .build()
+        .unwrap();
+        assert_eq!(engine.strategy(), "SSG");
+    }
+
+    #[test]
+    fn process_relation_runs_every_frame() {
+        let mut relation = VideoRelation::with_default_classes();
+        relation.push_detections(vec![(ObjectId(1), ClassId(1)), (ObjectId(2), ClassId(0))]);
+        relation.push_detections(vec![(ObjectId(1), ClassId(1)), (ObjectId(2), ClassId(0))]);
+        relation.push_detections(vec![(ObjectId(1), ClassId(1))]);
+        let mut engine = TemporalVideoQueryEngine::builder(
+            EngineConfig::new(WindowSpec::new(3, 2).unwrap()).with_maintainer(MaintainerKind::Naive),
+        )
+        .with_query_text("car >= 1 AND person >= 1")
+        .unwrap()
+        .build()
+        .unwrap();
+        let results = engine.process_relation(&relation).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(!results[0].any());
+        assert!(results[1].any());
+        assert!(results[2].any());
+    }
+}

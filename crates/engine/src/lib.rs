@@ -1,0 +1,65 @@
+//! End-to-end temporal video query engine.
+//!
+//! This crate assembles the full architecture of the paper (Figure 2):
+//!
+//! ```text
+//! video feed ──► object detection & tracking ──► VR(fid, id, class)
+//!                       (tvq-video)                    │
+//!                                                      ▼
+//!                                        MCOS generation (tvq-core)
+//!                                     NAIVE / MFS / SSG + pruning hook
+//!                                                      │ Result State Set
+//!                                                      ▼
+//!                                      CNF query evaluation (tvq-query)
+//!                                                      │
+//!                                                      ▼
+//!                                            QueryMatch per window
+//! ```
+//!
+//! The central type is [`TemporalVideoQueryEngine`]: register CNF queries
+//! (textual or structured), stream frames into it, and receive the matches of
+//! every sliding window. [`pipeline::run_workload`] packages a complete run
+//! with timing for the benchmark harness, and [`adaptive::choose_maintainer`]
+//! picks MFS vs SSG from feed statistics following the trade-off the paper
+//! establishes.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tvq_common::{ClassId, FrameId, FrameObjects, ObjectId, WindowSpec};
+//! use tvq_engine::{EngineConfig, TemporalVideoQueryEngine};
+//!
+//! // "a car and a person together for at least 2 of the last 3 frames"
+//! let config = EngineConfig::new(WindowSpec::new(3, 2).unwrap());
+//! let mut engine = TemporalVideoQueryEngine::builder(config)
+//!     .with_query_text("car >= 1 AND person >= 1")
+//!     .unwrap()
+//!     .build()
+//!     .unwrap();
+//!
+//! let car = ClassId(1);
+//! let person = ClassId(0);
+//! for fid in 0..3u64 {
+//!     let frame = FrameObjects::new(
+//!         FrameId(fid),
+//!         vec![(ObjectId(1), car), (ObjectId(2), person)],
+//!     );
+//!     let result = engine.observe(&frame).unwrap();
+//!     if fid >= 1 {
+//!         assert!(result.any());
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod config;
+pub mod engine;
+pub mod pipeline;
+
+pub use adaptive::choose_maintainer;
+pub use config::{EngineConfig, MaintainerSelection};
+pub use engine::{EngineBuilder, FrameResult, TemporalVideoQueryEngine};
+pub use pipeline::{run_workload, RunReport};

@@ -1,0 +1,131 @@
+//! Atomic query conditions.
+//!
+//! A condition has the form `class θ n` with `θ ∈ {≤, =, ≥}` (Section 2):
+//! it constrains the number of objects of one class inside a maximum
+//! co-occurrence object set.
+
+use std::fmt;
+
+use tvq_common::{ClassId, ClassRegistry};
+
+/// Comparison operator of a condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `class <= n`
+    Le,
+    /// `class = n`
+    Eq,
+    /// `class >= n`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `actual θ expected`.
+    pub fn eval(self, actual: u32, expected: u32) -> bool {
+        match self {
+            CmpOp::Le => actual <= expected,
+            CmpOp::Eq => actual == expected,
+            CmpOp::Ge => actual >= expected,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A single condition `class θ n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Condition {
+    /// The class whose cardinality is constrained.
+    pub class: ClassId,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The threshold value.
+    pub value: u32,
+}
+
+impl Condition {
+    /// Creates a condition.
+    pub fn new(class: ClassId, op: CmpOp, value: u32) -> Self {
+        Condition { class, op, value }
+    }
+
+    /// Shorthand for `class >= value`.
+    pub fn at_least(class: ClassId, value: u32) -> Self {
+        Condition::new(class, CmpOp::Ge, value)
+    }
+
+    /// Shorthand for `class <= value`.
+    pub fn at_most(class: ClassId, value: u32) -> Self {
+        Condition::new(class, CmpOp::Le, value)
+    }
+
+    /// Shorthand for `class = value`.
+    pub fn exactly(class: ClassId, value: u32) -> Self {
+        Condition::new(class, CmpOp::Eq, value)
+    }
+
+    /// Evaluates the condition against the observed count of its class.
+    pub fn eval(&self, count: u32) -> bool {
+        self.op.eval(count, self.value)
+    }
+
+    /// Renders the condition with human-readable class names.
+    pub fn display<'a>(&'a self, registry: &'a ClassRegistry) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Condition, &'a ClassRegistry);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let label = self
+                    .1
+                    .label(self.0.class)
+                    .map(|l| l.as_str().to_owned())
+                    .unwrap_or_else(|| self.0.class.to_string());
+                write!(f, "{} {} {}", label, self.0.op, self.0.value)
+            }
+        }
+        D(self, registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_evaluate_correctly() {
+        assert!(CmpOp::Le.eval(2, 3));
+        assert!(CmpOp::Le.eval(3, 3));
+        assert!(!CmpOp::Le.eval(4, 3));
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(!CmpOp::Eq.eval(2, 3));
+        assert!(CmpOp::Ge.eval(3, 3));
+        assert!(CmpOp::Ge.eval(5, 3));
+        assert!(!CmpOp::Ge.eval(2, 3));
+    }
+
+    #[test]
+    fn condition_shorthands() {
+        let car = ClassId(1);
+        assert!(Condition::at_least(car, 2).eval(2));
+        assert!(!Condition::at_least(car, 2).eval(1));
+        assert!(Condition::at_most(car, 2).eval(0));
+        assert!(Condition::exactly(car, 2).eval(2));
+        assert!(!Condition::exactly(car, 2).eval(3));
+    }
+
+    #[test]
+    fn display_uses_class_labels() {
+        let registry = ClassRegistry::with_default_classes();
+        let car = registry.id("car").unwrap();
+        let condition = Condition::at_least(car, 3);
+        assert_eq!(condition.display(&registry).to_string(), "car >= 3");
+        assert_eq!(CmpOp::Le.to_string(), "<=");
+    }
+}

@@ -1,0 +1,367 @@
+//! Inverted-index CNF evaluation (CNFEval / CNFEvalE, Section 5).
+//!
+//! Following Whang et al.'s boolean-expression indexing (the paper's
+//! CNFEval), every condition is turned into a posting `(query id,
+//! disjunction id)` stored in an inverted index keyed by the condition's
+//! class. Equality conditions live in an exact-key index; the paper's
+//! CNFEvalE extension adds two *ordered* indexes for `>=` and `<=`
+//! conditions, scanned in value order so that only the satisfied prefix of
+//! each posting list is touched. Given the class-count aggregates of an
+//! MCOS, the evaluator collects the postings of all satisfied conditions,
+//! counts distinct satisfied disjunctions per query, and reports the queries
+//! whose every disjunction is covered.
+
+use std::collections::HashMap;
+
+use tvq_common::{ClassId, FrameId, ObjectSet, QueryId};
+use tvq_core::ResultStateSet;
+
+use crate::aggregates::ClassCounts;
+use crate::cnf::CnfQuery;
+use crate::condition::CmpOp;
+
+/// One posting: the condition belongs to disjunction `disjunction` of query
+/// `query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Posting {
+    query: usize,
+    disjunction: u32,
+}
+
+/// Ordered posting list for one class: `(threshold, postings)` sorted by
+/// threshold.
+#[derive(Debug, Default, Clone)]
+struct OrderedIndex {
+    /// Sorted ascending by threshold; for `>=` conditions all entries with
+    /// threshold <= count are satisfied, for `<=` conditions all entries with
+    /// threshold >= count are satisfied (scanned from the tail).
+    entries: Vec<(u32, Vec<Posting>)>,
+}
+
+impl OrderedIndex {
+    fn insert(&mut self, threshold: u32, posting: Posting) {
+        match self.entries.binary_search_by_key(&threshold, |&(t, _)| t) {
+            Ok(idx) => self.entries[idx].1.push(posting),
+            Err(idx) => self.entries.insert(idx, (threshold, vec![posting])),
+        }
+    }
+}
+
+/// The CNF evaluator holding the registered queries and their inverted
+/// indexes.
+#[derive(Debug, Clone, Default)]
+pub struct CnfEvaluator {
+    queries: Vec<CnfQuery>,
+    /// Number of disjunctions per query (satisfaction target).
+    clause_counts: Vec<u32>,
+    /// Equality index: (class, value) → postings.
+    eq_index: HashMap<(ClassId, u32), Vec<Posting>>,
+    /// `>=` index per class, ordered ascending by threshold.
+    ge_index: HashMap<ClassId, OrderedIndex>,
+    /// `<=` index per class, ordered ascending by threshold.
+    le_index: HashMap<ClassId, OrderedIndex>,
+}
+
+impl CnfEvaluator {
+    /// Builds the evaluator (and its inverted indexes) for a query workload.
+    pub fn new(queries: Vec<CnfQuery>) -> Self {
+        let mut evaluator = CnfEvaluator::default();
+        for query in queries {
+            evaluator.add_query(query);
+        }
+        evaluator
+    }
+
+    /// Registers one more query, extending the indexes incrementally.
+    pub fn add_query(&mut self, query: CnfQuery) {
+        let query_index = self.queries.len();
+        self.clause_counts.push(query.clauses.len() as u32);
+        for (disjunction, clause) in query.clauses.iter().enumerate() {
+            for condition in clause {
+                let posting = Posting {
+                    query: query_index,
+                    disjunction: disjunction as u32,
+                };
+                match condition.op {
+                    CmpOp::Eq => self
+                        .eq_index
+                        .entry((condition.class, condition.value))
+                        .or_default()
+                        .push(posting),
+                    CmpOp::Ge => self
+                        .ge_index
+                        .entry(condition.class)
+                        .or_default()
+                        .insert(condition.value, posting),
+                    CmpOp::Le => self
+                        .le_index
+                        .entry(condition.class)
+                        .or_default()
+                        .insert(condition.value, posting),
+                }
+            }
+        }
+        self.queries.push(query);
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[CnfQuery] {
+        &self.queries
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Whether every registered query uses only `>=` conditions
+    /// (the applicability condition of the Section 5.3 pruning strategy).
+    pub fn all_geq_only(&self) -> bool {
+        self.queries.iter().all(CnfQuery::is_geq_only)
+    }
+
+    /// Evaluates all queries against one set of class counts, returning the
+    /// identifiers of the satisfied queries.
+    ///
+    /// This is the CNFEvalE procedure: postings of satisfied conditions are
+    /// gathered from the three indexes, then disjunction coverage is counted
+    /// per query. Classes that appear in `<=` or `=` conditions but not in
+    /// the input aggregate are treated as count 0.
+    pub fn evaluate(&self, counts: &ClassCounts) -> Vec<QueryId> {
+        // satisfied[query] = bitmask of satisfied disjunctions (queries have
+        // few clauses, far fewer than 64, which `add_query` relies on).
+        let mut satisfied: HashMap<usize, u64> = HashMap::new();
+        let mut record = |posting: &Posting| {
+            let mask = satisfied.entry(posting.query).or_insert(0);
+            *mask |= 1u64 << (posting.disjunction % 64);
+        };
+
+        // >= conditions: thresholds up to and including the observed count.
+        for (&class, index) in &self.ge_index {
+            let count = counts.count(class);
+            for (threshold, postings) in &index.entries {
+                if *threshold > count {
+                    break;
+                }
+                postings.iter().for_each(&mut record);
+            }
+        }
+        // <= conditions: thresholds down to and including the observed count;
+        // absent classes count as zero and satisfy every <= condition.
+        for (&class, index) in &self.le_index {
+            let count = counts.count(class);
+            for (threshold, postings) in index.entries.iter().rev() {
+                if *threshold < count {
+                    break;
+                }
+                postings.iter().for_each(&mut record);
+            }
+        }
+        // = conditions: exact key lookup (including zero counts).
+        for (&(class, value), postings) in &self.eq_index {
+            if counts.count(class) == value {
+                postings.iter().for_each(&mut record);
+            }
+        }
+
+        let mut result: Vec<QueryId> = satisfied
+            .into_iter()
+            .filter(|&(query, mask)| mask.count_ones() >= self.clause_counts[query].min(64))
+            .map(|(query, _)| self.queries[query].id)
+            .collect();
+        result.sort_unstable();
+        result
+    }
+
+    /// Whether at least one registered query is satisfied by the counts.
+    pub fn any_satisfied(&self, counts: &ClassCounts) -> bool {
+        !self.evaluate(counts).is_empty()
+    }
+}
+
+/// One query match: a query satisfied by an MCOS over a set of frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryMatch {
+    /// The satisfied query.
+    pub query: QueryId,
+    /// The maximum co-occurrence object set that satisfied it.
+    pub objects: ObjectSet,
+    /// The window frames in which the object set co-occurs.
+    pub frames: Vec<FrameId>,
+}
+
+/// Evaluates a Result State Set against the workload (steps 2(a)-2(c) of the
+/// Section 5.2 procedure): each state's MCOS is aggregated by class and fed
+/// to the evaluator; every satisfied query yields a [`QueryMatch`] carrying
+/// the state's frame set.
+pub fn evaluate_result_set(
+    evaluator: &CnfEvaluator,
+    results: &ResultStateSet,
+    classes: &HashMap<tvq_common::ObjectId, ClassId>,
+) -> Vec<QueryMatch> {
+    let mut matches = Vec::new();
+    for (objects, frames) in results.iter() {
+        let counts = ClassCounts::of(objects, classes);
+        for query in evaluator.evaluate(&counts) {
+            matches.push(QueryMatch {
+                query,
+                objects: objects.clone(),
+                frames: frames.to_vec(),
+            });
+        }
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use tvq_common::ObjectId;
+
+    fn counts(pairs: &[(u16, u32)]) -> ClassCounts {
+        ClassCounts::from_map(pairs.iter().map(|&(c, n)| (ClassId(c), n)).collect())
+    }
+
+    /// `q2` from Section 5.2 and the two ordered indexes of Tables 4 and 5.
+    fn paper_q2() -> CnfQuery {
+        let car = ClassId(1);
+        let person = ClassId(0);
+        CnfQuery::new(
+            QueryId(2),
+            vec![
+                vec![Condition::at_least(car, 2), Condition::at_most(person, 3)],
+                vec![Condition::at_least(car, 3), Condition::at_least(person, 2)],
+                vec![Condition::at_most(car, 5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn index_evaluation_matches_direct_evaluation_for_paper_q2() {
+        let evaluator = CnfEvaluator::new(vec![paper_q2()]);
+        let query = paper_q2();
+        for cars in 0..8u32 {
+            for people in 0..5u32 {
+                let counts = counts(&[(1, cars), (0, people)]);
+                let direct = query.eval(&counts);
+                let indexed = !evaluator.evaluate(&counts).is_empty();
+                assert_eq!(
+                    direct, indexed,
+                    "disagreement at cars={cars}, people={people}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_queries_report_their_ids() {
+        let car = ClassId(1);
+        let person = ClassId(0);
+        let q10 = CnfQuery::conjunction(QueryId(10), vec![Condition::at_least(car, 1)]);
+        let q11 = CnfQuery::conjunction(QueryId(11), vec![Condition::at_least(person, 2)]);
+        let q12 = CnfQuery::conjunction(QueryId(12), vec![Condition::exactly(car, 0)]);
+        let evaluator = CnfEvaluator::new(vec![q10, q11, q12]);
+        assert_eq!(evaluator.len(), 3);
+        assert_eq!(
+            evaluator.evaluate(&counts(&[(1, 2), (0, 2)])),
+            vec![QueryId(10), QueryId(11)]
+        );
+        assert_eq!(evaluator.evaluate(&counts(&[(0, 1)])), vec![QueryId(12)]);
+        assert_eq!(evaluator.evaluate(&counts(&[])), vec![QueryId(12)]);
+    }
+
+    #[test]
+    fn zero_counts_satisfy_le_and_eq_zero_conditions() {
+        let truck = ClassId(2);
+        let q = CnfQuery::conjunction(QueryId(0), vec![Condition::at_most(truck, 0)]);
+        let evaluator = CnfEvaluator::new(vec![q]);
+        assert!(evaluator.any_satisfied(&counts(&[])));
+        assert!(!evaluator.any_satisfied(&counts(&[(2, 1)])));
+    }
+
+    #[test]
+    fn geq_only_detection_over_workload() {
+        let car = ClassId(1);
+        let geq = CnfQuery::conjunction(QueryId(0), vec![Condition::at_least(car, 1)]);
+        let mixed = paper_q2();
+        assert!(CnfEvaluator::new(vec![geq.clone()]).all_geq_only());
+        assert!(!CnfEvaluator::new(vec![geq, mixed]).all_geq_only());
+    }
+
+    #[test]
+    fn evaluate_result_set_produces_matches_with_frames() {
+        let car = ClassId(1);
+        let person = ClassId(0);
+        let classes: HashMap<ObjectId, ClassId> = [
+            (ObjectId(1), car),
+            (ObjectId(2), car),
+            (ObjectId(3), person),
+        ]
+        .into_iter()
+        .collect();
+        let q = CnfQuery::conjunction(
+            QueryId(5),
+            vec![Condition::at_least(car, 2), Condition::at_least(person, 1)],
+        );
+        let evaluator = CnfEvaluator::new(vec![q]);
+
+        let mut results = ResultStateSet::new();
+        let frames: tvq_common::MarkedFrameSet =
+            [(FrameId(3), true), (FrameId(4), false)].into_iter().collect();
+        results.insert(ObjectSet::from_raw([1, 2, 3]), &frames);
+        results.insert(ObjectSet::from_raw([1, 3]), &frames);
+
+        let matches = evaluate_result_set(&evaluator, &results, &classes);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].query, QueryId(5));
+        assert_eq!(matches[0].objects, ObjectSet::from_raw([1, 2, 3]));
+        assert_eq!(matches[0].frames, vec![FrameId(3), FrameId(4)]);
+    }
+
+    #[test]
+    fn randomised_equivalence_with_direct_evaluation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            // Random workload of up to 5 queries with up to 3 clauses each.
+            let mut queries = Vec::new();
+            for qid in 0..rng.gen_range(1..=5) {
+                let clauses: Vec<Vec<Condition>> = (0..rng.gen_range(1..=3))
+                    .map(|_| {
+                        (0..rng.gen_range(1..=3))
+                            .map(|_| {
+                                let op = match rng.gen_range(0..3) {
+                                    0 => CmpOp::Le,
+                                    1 => CmpOp::Eq,
+                                    _ => CmpOp::Ge,
+                                };
+                                Condition::new(ClassId(rng.gen_range(0..4)), op, rng.gen_range(0..5))
+                            })
+                            .collect()
+                    })
+                    .collect();
+                queries.push(CnfQuery::new(QueryId(qid), clauses));
+            }
+            let evaluator = CnfEvaluator::new(queries.clone());
+            let sample = counts(&[
+                (0, rng.gen_range(0..6)),
+                (1, rng.gen_range(0..6)),
+                (2, rng.gen_range(0..6)),
+                (3, rng.gen_range(0..6)),
+            ]);
+            let expected: Vec<QueryId> = queries
+                .iter()
+                .filter(|q| q.eval(&sample))
+                .map(|q| q.id)
+                .collect();
+            assert_eq!(evaluator.evaluate(&sample), expected);
+        }
+    }
+}

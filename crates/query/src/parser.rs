@@ -1,0 +1,299 @@
+//! Textual CNF query parser.
+//!
+//! A small query language so examples and tools can state queries naturally:
+//!
+//! ```text
+//! car >= 2 AND (person >= 1 OR bus >= 1) AND truck <= 0
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := clause ( "AND" clause )*
+//! clause  := condition | "(" condition ( "OR" condition )* ")"
+//! condition := IDENT OP INTEGER        OP := ">=" | "<=" | "="
+//! ```
+//!
+//! Class identifiers are resolved against (and registered into) a
+//! [`ClassRegistry`].
+
+use tvq_common::{ClassRegistry, Error, QueryId, Result};
+
+use crate::cnf::{Clause, CnfQuery};
+use crate::condition::{CmpOp, Condition};
+
+/// Parses a CNF query, registering any new class labels into `registry`.
+pub fn parse_query(input: &str, id: QueryId, registry: &mut ClassRegistry) -> Result<CnfQuery> {
+    let mut parser = Parser {
+        input,
+        tokens: tokenize(input)?,
+        position: 0,
+        registry,
+    };
+    let query = parser.parse_query(id)?;
+    if parser.position != parser.tokens.len() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    query
+        .validate()
+        .map_err(|message| Error::QueryParse {
+            message,
+            position: input.len(),
+        })?;
+    Ok(query)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String, usize),
+    Number(u32, usize),
+    Op(CmpOp, usize),
+    And(usize),
+    Or(usize),
+    LParen(usize),
+    RParen(usize),
+}
+
+impl Token {
+    fn position(&self) -> usize {
+        match self {
+            Token::Ident(_, p)
+            | Token::Number(_, p)
+            | Token::Op(_, p)
+            | Token::And(p)
+            | Token::Or(p)
+            | Token::LParen(p)
+            | Token::RParen(p) => *p,
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        match c {
+            '(' => {
+                tokens.push(Token::LParen(i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen(i));
+                i += 1;
+            }
+            '>' | '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    let op = if c == '>' { CmpOp::Ge } else { CmpOp::Le };
+                    tokens.push(Token::Op(op, i));
+                    i += 2;
+                } else {
+                    return Err(Error::QueryParse {
+                        message: format!("expected '{c}=' (strict inequalities are not supported)"),
+                        position: i,
+                    });
+                }
+            }
+            '=' => {
+                tokens.push(Token::Op(CmpOp::Eq, i));
+                i += 1;
+                // Tolerate '=='.
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let value: u32 = input[start..i].parse().map_err(|_| Error::QueryParse {
+                    message: format!("integer out of range: {}", &input[start..i]),
+                    position: start,
+                })?;
+                tokens.push(Token::Number(value, start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => tokens.push(Token::And(start)),
+                    "OR" => tokens.push(Token::Or(start)),
+                    _ => tokens.push(Token::Ident(word.to_owned(), start)),
+                }
+            }
+            other => {
+                return Err(Error::QueryParse {
+                    message: format!("unexpected character {other:?}"),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    tokens: Vec<Token>,
+    position: usize,
+    registry: &'a mut ClassRegistry,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        let position = self
+            .tokens
+            .get(self.position)
+            .map(Token::position)
+            .unwrap_or(self.input.len());
+        Error::QueryParse {
+            message: message.to_owned(),
+            position,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position)
+    }
+
+    fn parse_query(&mut self, id: QueryId) -> Result<CnfQuery> {
+        let mut clauses = vec![self.parse_clause()?];
+        while matches!(self.peek(), Some(Token::And(_))) {
+            self.position += 1;
+            clauses.push(self.parse_clause()?);
+        }
+        Ok(CnfQuery::new(id, clauses))
+    }
+
+    fn parse_clause(&mut self) -> Result<Clause> {
+        if matches!(self.peek(), Some(Token::LParen(_))) {
+            self.position += 1;
+            let mut clause = vec![self.parse_condition()?];
+            while matches!(self.peek(), Some(Token::Or(_))) {
+                self.position += 1;
+                clause.push(self.parse_condition()?);
+            }
+            if !matches!(self.peek(), Some(Token::RParen(_))) {
+                return Err(self.error("expected ')'"));
+            }
+            self.position += 1;
+            Ok(clause)
+        } else {
+            Ok(vec![self.parse_condition()?])
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition> {
+        let class = match self.peek() {
+            Some(Token::Ident(name, _)) => {
+                let name = name.clone();
+                self.position += 1;
+                self.registry.register(name)
+            }
+            _ => return Err(self.error("expected a class name")),
+        };
+        let op = match self.peek() {
+            Some(&Token::Op(op, _)) => {
+                self.position += 1;
+                op
+            }
+            _ => return Err(self.error("expected one of '>=', '<=', '='")),
+        };
+        let value = match self.peek() {
+            Some(&Token::Number(value, _)) => {
+                self.position += 1;
+                value
+            }
+            _ => return Err(self.error("expected an integer threshold")),
+        };
+        Ok(Condition::new(class, op, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregates::ClassCounts;
+    use std::collections::HashMap;
+    use tvq_common::ClassId;
+
+    fn counts(pairs: &[(&str, u32)], registry: &ClassRegistry) -> ClassCounts {
+        let map: HashMap<ClassId, u32> = pairs
+            .iter()
+            .map(|&(label, n)| (registry.id(label).unwrap(), n))
+            .collect();
+        ClassCounts::from_map(map)
+    }
+
+    #[test]
+    fn parses_simple_conjunction() {
+        let mut registry = ClassRegistry::with_default_classes();
+        let q = parse_query("car >= 2 AND person >= 1", QueryId(0), &mut registry).unwrap();
+        assert_eq!(q.clauses.len(), 2);
+        assert!(q.eval(&counts(&[("car", 2), ("person", 1)], &registry)));
+        assert!(!q.eval(&counts(&[("car", 2)], &registry)));
+    }
+
+    #[test]
+    fn parses_paper_q2_with_disjunctions() {
+        let mut registry = ClassRegistry::with_default_classes();
+        let q = parse_query(
+            "(car >= 2 OR person <= 3) AND (car >= 3 OR person >= 2) AND car <= 5",
+            QueryId(2),
+            &mut registry,
+        )
+        .unwrap();
+        assert_eq!(q.clauses.len(), 3);
+        assert_eq!(q.num_conditions(), 5);
+        assert!(q.eval(&counts(&[("car", 3), ("person", 2)], &registry)));
+        assert!(!q.eval(&counts(&[("car", 6), ("person", 2)], &registry)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_equality_tolerates_double_equals() {
+        let mut registry = ClassRegistry::with_default_classes();
+        let q = parse_query("(CAR >= 1 or bus == 2) and person = 0", QueryId(1), &mut registry).unwrap();
+        assert_eq!(q.clauses.len(), 2);
+        assert!(q.eval(&counts(&[("car", 1), ("person", 0)], &registry)));
+    }
+
+    #[test]
+    fn new_class_labels_are_registered() {
+        let mut registry = ClassRegistry::with_default_classes();
+        parse_query("bicycle >= 1", QueryId(0), &mut registry).unwrap();
+        assert!(registry.id("bicycle").is_some());
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let mut registry = ClassRegistry::with_default_classes();
+        for (input, fragment) in [
+            ("car > 2", "strict"),
+            ("car >= ", "integer"),
+            (">= 2", "class name"),
+            ("(car >= 2 AND person >= 1", "')'"),
+            ("car >= 2 )", "trailing"),
+            ("car >= 2 AND", "class name"),
+            ("car ? 2", "unexpected character"),
+            ("", "class name"),
+        ] {
+            let err = parse_query(input, QueryId(0), &mut registry).unwrap_err();
+            let text = err.to_string();
+            assert!(
+                text.contains(fragment),
+                "input {input:?}: expected {fragment:?} in {text:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulated object detector (the Faster R-CNN stand-in).
+//!
+//! The detector observes the ground-truth scene through the camera and
+//! reports, per frame, the set of visible objects. It reproduces the failure
+//! modes of a real detector that matter to the query layer:
+//!
+//! * **occlusion** — an object whose bounding box is mostly covered by a
+//!   closer object is not detected;
+//! * **random misses** — every visible object is dropped with a small
+//!   probability (false negatives on blurry/small objects);
+//! * **field of view** — objects outside the camera viewport are not seen.
+//!
+//! False positives (hallucinated objects) are not simulated: the tracking
+//! layer of the paper's pipeline suppresses unconfirmed detections, so the
+//! structured relation effectively contains only tracked objects.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tvq_common::{ClassId, TrackId};
+
+use crate::camera::Camera;
+use crate::scene::GroundTruth;
+
+/// Configuration of the simulated detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// An object covered by closer objects beyond this fraction is occluded.
+    pub occlusion_coverage: f64,
+    /// Probability of missing a visible, unoccluded object.
+    pub miss_rate: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            occlusion_coverage: 0.6,
+            miss_rate: 0.02,
+        }
+    }
+}
+
+/// One detection reported by the simulated detector.
+#[derive(Debug, Clone, Copy)]
+pub struct Detection {
+    /// Ground-truth track the detection belongs to (the tracker does not see
+    /// this field; it is used to evaluate tracking quality).
+    pub track: TrackId,
+    /// Detected class (assumed correct: classification errors do not change
+    /// the structure of the query-processing problem).
+    pub class: ClassId,
+}
+
+/// The simulated detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatedDetector {
+    config: DetectorConfig,
+}
+
+impl SimulatedDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        SimulatedDetector { config }
+    }
+
+    /// Runs the detector on one frame of ground truth.
+    pub fn detect(
+        &self,
+        frame: u64,
+        camera: &Camera,
+        ground_truth: &[GroundTruth],
+        rng: &mut StdRng,
+    ) -> Vec<Detection> {
+        let mut detections = Vec::new();
+        for (idx, observation) in ground_truth.iter().enumerate() {
+            if !camera.sees(frame, &observation.bbox) {
+                continue;
+            }
+            // Occlusion: total coverage by strictly closer objects.
+            let mut covered = 0.0;
+            for (other_idx, other) in ground_truth.iter().enumerate() {
+                if other_idx == idx || other.depth >= observation.depth {
+                    continue;
+                }
+                covered += observation.bbox.coverage_by(&other.bbox);
+            }
+            if covered >= self.config.occlusion_coverage {
+                continue;
+            }
+            if rng.gen_bool(self.config.miss_rate.clamp(0.0, 1.0)) {
+                continue;
+            }
+            detections.push(Detection {
+                track: observation.track,
+                class: observation.class,
+            });
+        }
+        detections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{BoundingBox, Point};
+    use rand::SeedableRng;
+
+    fn gt(track: u64, x: f64, depth: f64) -> GroundTruth {
+        GroundTruth {
+            track: TrackId(track),
+            class: ClassId(1),
+            bbox: BoundingBox::new(Point::new(x, 50.0), 40.0, 40.0),
+            depth,
+        }
+    }
+
+    #[test]
+    fn detects_visible_objects() {
+        let detector = SimulatedDetector::new(DetectorConfig {
+            occlusion_coverage: 0.6,
+            miss_rate: 0.0,
+        });
+        let camera = Camera::fixed(200.0, 200.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let detections = detector.detect(0, &camera, &[gt(0, 50.0, 1.0), gt(1, 150.0, 2.0)], &mut rng);
+        assert_eq!(detections.len(), 2);
+    }
+
+    #[test]
+    fn occluded_objects_are_missed() {
+        let detector = SimulatedDetector::new(DetectorConfig {
+            occlusion_coverage: 0.6,
+            miss_rate: 0.0,
+        });
+        let camera = Camera::fixed(200.0, 200.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Both at x=50: the farther object (depth 5) is fully covered by the
+        // closer one (depth 1).
+        let detections = detector.detect(0, &camera, &[gt(0, 50.0, 1.0), gt(1, 50.0, 5.0)], &mut rng);
+        let tracks: Vec<u64> = detections.iter().map(|d| d.track.raw()).collect();
+        assert_eq!(tracks, vec![0]);
+    }
+
+    #[test]
+    fn out_of_view_objects_are_not_detected() {
+        let detector = SimulatedDetector::default();
+        let camera = Camera::fixed(100.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let detections = detector.detect(0, &camera, &[gt(0, 500.0, 1.0)], &mut rng);
+        assert!(detections.is_empty());
+    }
+
+    #[test]
+    fn miss_rate_one_drops_everything() {
+        let detector = SimulatedDetector::new(DetectorConfig {
+            occlusion_coverage: 0.9,
+            miss_rate: 1.0,
+        });
+        let camera = Camera::fixed(200.0, 200.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let detections = detector.detect(0, &camera, &[gt(0, 50.0, 1.0)], &mut rng);
+        assert!(detections.is_empty());
+    }
+}

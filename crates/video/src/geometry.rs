@@ -1,0 +1,159 @@
+//! Plain 2-D geometry used by the scene simulator.
+
+/// A point (or vector) in world coordinates, measured in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Component-wise addition.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance_to(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned bounding box, stored as centre plus half extents.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BoundingBox {
+    /// Centre of the box.
+    pub centre: Point,
+    /// Half of the box width.
+    pub half_width: f64,
+    /// Half of the box height.
+    pub half_height: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from its centre and full width/height.
+    pub fn new(centre: Point, width: f64, height: f64) -> Self {
+        BoundingBox {
+            centre,
+            half_width: width / 2.0,
+            half_height: height / 2.0,
+        }
+    }
+
+    /// Box area in square pixels.
+    pub fn area(&self) -> f64 {
+        4.0 * self.half_width * self.half_height
+    }
+
+    /// Left edge.
+    pub fn left(&self) -> f64 {
+        self.centre.x - self.half_width
+    }
+
+    /// Right edge.
+    pub fn right(&self) -> f64 {
+        self.centre.x + self.half_width
+    }
+
+    /// Top edge (smaller y).
+    pub fn top(&self) -> f64 {
+        self.centre.y - self.half_height
+    }
+
+    /// Bottom edge (larger y).
+    pub fn bottom(&self) -> f64 {
+        self.centre.y + self.half_height
+    }
+
+    /// Area of the intersection of two boxes.
+    pub fn intersection_area(&self, other: &BoundingBox) -> f64 {
+        let w = (self.right().min(other.right()) - self.left().max(other.left())).max(0.0);
+        let h = (self.bottom().min(other.bottom()) - self.top().max(other.top())).max(0.0);
+        w * h
+    }
+
+    /// Intersection-over-union of two boxes (0 when disjoint, 1 when equal).
+    pub fn iou(&self, other: &BoundingBox) -> f64 {
+        let inter = self.intersection_area(other);
+        if inter == 0.0 {
+            return 0.0;
+        }
+        inter / (self.area() + other.area() - inter)
+    }
+
+    /// Fraction of this box covered by `other` (used for occlusion checks:
+    /// an object mostly covered by a closer object is not detected).
+    pub fn coverage_by(&self, other: &BoundingBox) -> f64 {
+        let area = self.area();
+        if area == 0.0 {
+            return 0.0;
+        }
+        self.intersection_area(other) / area
+    }
+
+    /// Whether any part of this box lies inside the viewport rectangle
+    /// `[0, width] x [0, height]` after subtracting the viewport origin.
+    pub fn visible_in(&self, origin: Point, width: f64, height: f64) -> bool {
+        self.right() > origin.x
+            && self.left() < origin.x + width
+            && self.bottom() > origin.y
+            && self.top() < origin.y + height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let p = Point::new(1.0, 2.0).offset(3.0, -1.0);
+        assert_eq!(p, Point::new(4.0, 1.0));
+        assert!((Point::new(0.0, 0.0).distance_to(Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_edges_and_area() {
+        let b = BoundingBox::new(Point::new(10.0, 20.0), 4.0, 6.0);
+        assert_eq!(b.left(), 8.0);
+        assert_eq!(b.right(), 12.0);
+        assert_eq!(b.top(), 17.0);
+        assert_eq!(b.bottom(), 23.0);
+        assert!((b.area() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_of_identical_and_disjoint_boxes() {
+        let a = BoundingBox::new(Point::new(0.0, 0.0), 10.0, 10.0);
+        let b = BoundingBox::new(Point::new(0.0, 0.0), 10.0, 10.0);
+        assert!((a.iou(&b) - 1.0).abs() < 1e-12);
+        let c = BoundingBox::new(Point::new(100.0, 100.0), 10.0, 10.0);
+        assert_eq!(a.iou(&c), 0.0);
+        assert_eq!(a.intersection_area(&c), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_coverage() {
+        let a = BoundingBox::new(Point::new(0.0, 0.0), 10.0, 10.0);
+        let b = BoundingBox::new(Point::new(5.0, 0.0), 10.0, 10.0);
+        // Half of a is covered by b.
+        assert!((a.coverage_by(&b) - 0.5).abs() < 1e-12);
+        assert!((a.iou(&b) - (50.0 / 150.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn viewport_visibility() {
+        let b = BoundingBox::new(Point::new(5.0, 5.0), 2.0, 2.0);
+        assert!(b.visible_in(Point::new(0.0, 0.0), 100.0, 100.0));
+        assert!(!b.visible_in(Point::new(50.0, 50.0), 100.0, 100.0));
+        // Partially visible at the boundary counts as visible.
+        assert!(b.visible_in(Point::new(5.5, 0.0), 100.0, 100.0));
+    }
+}

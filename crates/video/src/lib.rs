@@ -1,0 +1,42 @@
+//! Video-feed substrate: the simulated vision stack.
+//!
+//! The paper's architecture (Figure 2) starts with an Object Detection &
+//! Tracking module built on Faster R-CNN and Deep SORT. That module's only
+//! interaction with the rest of the system is the structured relation
+//! `VR(fid, id, class)`, so this crate provides two ways to produce such a
+//! relation without the real vision models:
+//!
+//! * a **scene-level simulation** — ground-truth objects moving through a
+//!   2-D world ([`scene`]), observed by a static or panning [`camera`],
+//!   detected by a [`detector`] that honours occlusion and misses, and
+//!   tracked by a [`tracker`] that bridges short occlusions, commits identity
+//!   switches after long ones, and implements the paper's `po` id-reuse
+//!   parameter; the [`pipeline`] module wires the four together;
+//! * a **statistical generator** ([`generator`]) that directly synthesises a
+//!   relation matching the Table-6 statistics of one of the paper's six
+//!   evaluation datasets ([`profiles`]), which is what the benchmark harness
+//!   uses.
+//!
+//! Real detector output can also be ingested from CSV via
+//! [`tvq_common::io`]; everything downstream is agnostic to the source.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod detector;
+pub mod generator;
+pub mod geometry;
+pub mod pipeline;
+pub mod profiles;
+pub mod scene;
+pub mod tracker;
+
+pub use camera::Camera;
+pub use detector::{Detection, DetectorConfig, SimulatedDetector};
+pub use generator::{apply_id_reuse, generate, generate_with_id_reuse};
+pub use geometry::{BoundingBox, Point};
+pub use pipeline::ScenePipeline;
+pub use profiles::DatasetProfile;
+pub use scene::{populate_scene, Motion, Scene, SceneObject};
+pub use tracker::{SimulatedTracker, TrackerConfig};

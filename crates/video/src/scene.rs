@@ -1,0 +1,273 @@
+//! Ground-truth scene model.
+//!
+//! The paper's pipeline starts from raw video processed by Faster R-CNN and
+//! Deep SORT. We cannot run those models here, so we simulate the *scene*
+//! they observe: objects of different classes move through a 2-D world on
+//! simple trajectories, enter and leave, and overlap each other. The
+//! simulated [detector](crate::detector) and [tracker](crate::tracker)
+//! then observe this scene and produce the structured relation, reproducing
+//! the phenomena the paper's query semantics must tolerate (occlusion, missed
+//! detections, identity switches).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tvq_common::{ClassId, TrackId};
+
+use crate::geometry::{BoundingBox, Point};
+
+/// Motion model of a scene object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Motion {
+    /// The object keeps a constant velocity (pixels per frame).
+    Linear {
+        /// Horizontal velocity.
+        vx: f64,
+        /// Vertical velocity.
+        vy: f64,
+    },
+    /// The object stays around its spawn point, jittering randomly with the
+    /// given step size (pedestrians loitering, parked cars).
+    Loiter {
+        /// Maximum per-frame displacement.
+        step: f64,
+    },
+}
+
+/// A ground-truth object in the scene.
+#[derive(Debug, Clone)]
+pub struct SceneObject {
+    /// Ground-truth track identifier (what a perfect tracker would output).
+    pub track: TrackId,
+    /// Object class.
+    pub class: ClassId,
+    /// Frame at which the object enters the scene.
+    pub enters_at: u64,
+    /// Frame after which the object leaves the scene (exclusive).
+    pub leaves_at: u64,
+    /// Position at `enters_at`.
+    pub spawn: Point,
+    /// Bounding-box width in pixels.
+    pub width: f64,
+    /// Bounding-box height in pixels.
+    pub height: f64,
+    /// Motion model.
+    pub motion: Motion,
+    /// Distance from the camera (smaller = closer); closer objects occlude
+    /// farther ones when their boxes overlap.
+    pub depth: f64,
+}
+
+impl SceneObject {
+    /// Whether the object is present in the scene at `frame`.
+    pub fn present_at(&self, frame: u64) -> bool {
+        frame >= self.enters_at && frame < self.leaves_at
+    }
+
+    /// Ground-truth bounding box at `frame` (deterministic for linear motion;
+    /// loitering uses the supplied RNG).
+    pub fn bbox_at(&self, frame: u64, rng: &mut StdRng) -> BoundingBox {
+        let dt = frame.saturating_sub(self.enters_at) as f64;
+        let centre = match self.motion {
+            Motion::Linear { vx, vy } => self.spawn.offset(vx * dt, vy * dt),
+            Motion::Loiter { step } => self.spawn.offset(
+                rng.gen_range(-step..=step) * dt.min(1.0).max(1.0),
+                rng.gen_range(-step..=step),
+            ),
+        };
+        BoundingBox::new(centre, self.width, self.height)
+    }
+}
+
+/// A ground-truth scene: world bounds plus the objects that populate it.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// World width in pixels.
+    pub width: f64,
+    /// World height in pixels.
+    pub height: f64,
+    /// Total number of frames simulated.
+    pub num_frames: u64,
+    /// The scene's objects.
+    pub objects: Vec<SceneObject>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new(width: f64, height: f64, num_frames: u64) -> Self {
+        Scene {
+            width,
+            height,
+            num_frames,
+            objects: Vec::new(),
+        }
+    }
+
+    /// Adds an object and returns its ground-truth track id.
+    pub fn add_object(&mut self, mut object: SceneObject) -> TrackId {
+        let track = TrackId(self.objects.len() as u64);
+        object.track = track;
+        self.objects.push(object);
+        track
+    }
+
+    /// Ground-truth visible objects (track, class, bbox, depth) at `frame`,
+    /// before any detector/occlusion effects.
+    pub fn ground_truth_at(&self, frame: u64, rng: &mut StdRng) -> Vec<GroundTruth> {
+        self.objects
+            .iter()
+            .filter(|o| o.present_at(frame))
+            .map(|o| GroundTruth {
+                track: o.track,
+                class: o.class,
+                bbox: o.bbox_at(frame, rng),
+                depth: o.depth,
+            })
+            .collect()
+    }
+}
+
+/// One ground-truth observation: an object's true position at a frame.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundTruth {
+    /// Ground-truth track identifier.
+    pub track: TrackId,
+    /// Object class.
+    pub class: ClassId,
+    /// True bounding box in world coordinates.
+    pub bbox: BoundingBox,
+    /// Camera distance (smaller = closer).
+    pub depth: f64,
+}
+
+/// Randomly populates a scene with objects of the given classes.
+///
+/// `class_weights` gives the relative frequency of each class; lifetimes are
+/// drawn uniformly from `lifetime` and arrival frames uniformly over the
+/// feed. Cars and trucks move linearly across the scene, people loiter.
+pub fn populate_scene(
+    scene: &mut Scene,
+    rng: &mut StdRng,
+    num_objects: usize,
+    class_weights: &[(ClassId, f64)],
+    lifetime: std::ops::RangeInclusive<u64>,
+) {
+    let total_weight: f64 = class_weights.iter().map(|&(_, w)| w).sum();
+    for _ in 0..num_objects {
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut class = class_weights[0].0;
+        for &(c, w) in class_weights {
+            if pick < w {
+                class = c;
+                break;
+            }
+            pick -= w;
+        }
+        let lifetime_frames = rng.gen_range(lifetime.clone());
+        let enters_at = rng.gen_range(0..scene.num_frames.max(1));
+        let leaves_at = (enters_at + lifetime_frames).min(scene.num_frames);
+        let spawn = Point::new(
+            rng.gen_range(0.0..scene.width),
+            rng.gen_range(0.0..scene.height),
+        );
+        let is_vehicle = class != ClassId(0);
+        let motion = if is_vehicle {
+            Motion::Linear {
+                vx: rng.gen_range(-6.0..6.0),
+                vy: rng.gen_range(-1.5..1.5),
+            }
+        } else {
+            Motion::Loiter { step: 1.5 }
+        };
+        let (width, height) = if is_vehicle {
+            (rng.gen_range(60.0..140.0), rng.gen_range(40.0..80.0))
+        } else {
+            (rng.gen_range(20.0..40.0), rng.gen_range(50.0..90.0))
+        };
+        scene.add_object(SceneObject {
+            track: TrackId(0),
+            class,
+            enters_at,
+            leaves_at,
+            spawn,
+            width,
+            height,
+            motion,
+            depth: rng.gen_range(1.0..100.0),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presence_window_is_half_open() {
+        let object = SceneObject {
+            track: TrackId(0),
+            class: ClassId(1),
+            enters_at: 5,
+            leaves_at: 10,
+            spawn: Point::new(0.0, 0.0),
+            width: 10.0,
+            height: 10.0,
+            motion: Motion::Linear { vx: 1.0, vy: 0.0 },
+            depth: 1.0,
+        };
+        assert!(!object.present_at(4));
+        assert!(object.present_at(5));
+        assert!(object.present_at(9));
+        assert!(!object.present_at(10));
+    }
+
+    #[test]
+    fn linear_motion_advances_with_time() {
+        let object = SceneObject {
+            track: TrackId(0),
+            class: ClassId(1),
+            enters_at: 0,
+            leaves_at: 100,
+            spawn: Point::new(10.0, 20.0),
+            width: 4.0,
+            height: 4.0,
+            motion: Motion::Linear { vx: 2.0, vy: -1.0 },
+            depth: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let b0 = object.bbox_at(0, &mut rng);
+        let b5 = object.bbox_at(5, &mut rng);
+        assert_eq!(b0.centre, Point::new(10.0, 20.0));
+        assert_eq!(b5.centre, Point::new(20.0, 15.0));
+    }
+
+    #[test]
+    fn ground_truth_filters_absent_objects() {
+        let mut scene = Scene::new(1000.0, 800.0, 50);
+        let mut rng = StdRng::seed_from_u64(2);
+        populate_scene(
+            &mut scene,
+            &mut rng,
+            20,
+            &[(ClassId(0), 1.0), (ClassId(1), 2.0)],
+            5..=20,
+        );
+        assert_eq!(scene.objects.len(), 20);
+        let gt = scene.ground_truth_at(10, &mut rng);
+        for observation in &gt {
+            let object = &scene.objects[observation.track.raw() as usize];
+            assert!(object.present_at(10));
+        }
+    }
+
+    #[test]
+    fn populate_respects_object_count_and_classes() {
+        let mut scene = Scene::new(500.0, 500.0, 100);
+        let mut rng = StdRng::seed_from_u64(3);
+        populate_scene(&mut scene, &mut rng, 50, &[(ClassId(1), 1.0)], 10..=30);
+        assert_eq!(scene.objects.len(), 50);
+        assert!(scene.objects.iter().all(|o| o.class == ClassId(1)));
+        assert!(scene.objects.iter().all(|o| o.leaves_at <= 100));
+    }
+}

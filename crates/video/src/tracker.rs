@@ -1,0 +1,226 @@
+//! Simulated multi-object tracker (the Deep SORT stand-in).
+//!
+//! The tracker turns per-frame detections into persistent object identifiers.
+//! It reproduces the tracking behaviour the paper's semantics are built
+//! around:
+//!
+//! * objects keep the same identifier across frames, including across short
+//!   occlusions (the gap simply shows up as missing frames for that id);
+//! * after an occlusion longer than `max_gap` frames the tracker loses the
+//!   association and assigns a **new identifier** (identity switch) — one of
+//!   the detection errors the duration parameter `d` compensates for;
+//! * the **id reuse parameter `po`** of Section 6.2: each object identifier
+//!   may be reused for up to `po` later objects after its original owner
+//!   disappears, which is how the paper injects additional artificial
+//!   occlusions into its datasets (Figure 7).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use tvq_common::{ClassId, ObjectId, TrackId};
+
+use crate::detector::Detection;
+
+/// Configuration of the simulated tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// Maximum occlusion gap (in frames) the tracker can bridge while keeping
+    /// the same object identifier.
+    pub max_gap: u64,
+    /// Number of times an identifier may be reused after its owner leaves
+    /// (the paper's `po`; 0 disables reuse).
+    pub id_reuse: u32,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            max_gap: 30,
+            id_reuse: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTrack {
+    object: ObjectId,
+    last_seen: u64,
+}
+
+/// The simulated tracker.
+#[derive(Debug)]
+pub struct SimulatedTracker {
+    config: TrackerConfig,
+    active: HashMap<TrackId, ActiveTrack>,
+    /// Identifiers released by expired tracks that may still be reused.
+    reusable: VecDeque<ObjectId>,
+    /// How many times each identifier has been reused so far.
+    reuse_counts: HashMap<ObjectId, u32>,
+    next_id: u32,
+}
+
+impl SimulatedTracker {
+    /// Creates a tracker with the given configuration.
+    pub fn new(config: TrackerConfig) -> Self {
+        SimulatedTracker {
+            config,
+            active: HashMap::new(),
+            reusable: VecDeque::new(),
+            reuse_counts: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    fn allocate_id(&mut self) -> ObjectId {
+        if self.config.id_reuse > 0 {
+            if let Some(id) = self.reusable.pop_front() {
+                *self.reuse_counts.entry(id).or_insert(0) += 1;
+                return id;
+            }
+        }
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn release_id(&mut self, id: ObjectId) {
+        if self.config.id_reuse == 0 {
+            return;
+        }
+        let used = self.reuse_counts.get(&id).copied().unwrap_or(0);
+        if used < self.config.id_reuse {
+            self.reusable.push_back(id);
+        }
+    }
+
+    /// Processes the detections of one frame, returning `(object id, class)`
+    /// pairs — the tuples of the structured relation for this frame.
+    pub fn track(&mut self, frame: u64, detections: &[Detection]) -> Vec<(ObjectId, ClassId)> {
+        // Expire tracks whose occlusion gap exceeded the limit.
+        let max_gap = self.config.max_gap;
+        let mut expired: Vec<TrackId> = Vec::new();
+        for (&track, state) in &self.active {
+            if frame.saturating_sub(state.last_seen) > max_gap {
+                expired.push(track);
+            }
+        }
+        for track in expired {
+            if let Some(state) = self.active.remove(&track) {
+                self.release_id(state.object);
+            }
+        }
+
+        let mut output = Vec::with_capacity(detections.len());
+        for detection in detections {
+            let object = match self.active.get_mut(&detection.track) {
+                Some(state) => {
+                    state.last_seen = frame;
+                    state.object
+                }
+                None => {
+                    let object = self.allocate_id();
+                    self.active.insert(
+                        detection.track,
+                        ActiveTrack {
+                            object,
+                            last_seen: frame,
+                        },
+                    );
+                    object
+                }
+            };
+            output.push((object, detection.class));
+        }
+        output
+    }
+
+    /// Number of identifiers handed out so far.
+    pub fn ids_allocated(&self) -> u32 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detection(track: u64) -> Detection {
+        Detection {
+            track: TrackId(track),
+            class: ClassId(1),
+        }
+    }
+
+    #[test]
+    fn same_track_keeps_its_identifier() {
+        let mut tracker = SimulatedTracker::new(TrackerConfig::default());
+        let a = tracker.track(0, &[detection(7)]);
+        let b = tracker.track(1, &[detection(7)]);
+        assert_eq!(a, b);
+        assert_eq!(tracker.ids_allocated(), 1);
+    }
+
+    #[test]
+    fn short_occlusions_are_bridged() {
+        let mut tracker = SimulatedTracker::new(TrackerConfig {
+            max_gap: 5,
+            id_reuse: 0,
+        });
+        let before = tracker.track(0, &[detection(3)]);
+        tracker.track(1, &[]);
+        tracker.track(2, &[]);
+        let after = tracker.track(3, &[detection(3)]);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn long_occlusions_cause_identity_switches() {
+        let mut tracker = SimulatedTracker::new(TrackerConfig {
+            max_gap: 2,
+            id_reuse: 0,
+        });
+        let before = tracker.track(0, &[detection(3)]);
+        for frame in 1..6 {
+            tracker.track(frame, &[]);
+        }
+        let after = tracker.track(6, &[detection(3)]);
+        assert_ne!(before, after);
+        assert_eq!(tracker.ids_allocated(), 2);
+    }
+
+    #[test]
+    fn id_reuse_recycles_identifiers_up_to_po_times() {
+        let mut tracker = SimulatedTracker::new(TrackerConfig {
+            max_gap: 1,
+            id_reuse: 2,
+        });
+        // Track 0 appears then disappears for good.
+        let first = tracker.track(0, &[detection(0)]);
+        for frame in 1..5 {
+            tracker.track(frame, &[]);
+        }
+        // A brand-new ground-truth object appears: it reuses the released id.
+        let second = tracker.track(5, &[detection(1)]);
+        assert_eq!(first[0].0, second[0].0);
+        // After exhausting the reuse budget a fresh id is allocated.
+        for frame in 6..10 {
+            tracker.track(frame, &[]);
+        }
+        let third = tracker.track(10, &[detection(2)]);
+        assert_eq!(first[0].0, third[0].0);
+        for frame in 11..15 {
+            tracker.track(frame, &[]);
+        }
+        let fourth = tracker.track(15, &[detection(3)]);
+        assert_ne!(first[0].0, fourth[0].0);
+        assert_eq!(tracker.ids_allocated(), 2);
+    }
+
+    #[test]
+    fn distinct_tracks_get_distinct_ids() {
+        let mut tracker = SimulatedTracker::new(TrackerConfig::default());
+        let out = tracker.track(0, &[detection(0), detection(1), detection(2)]);
+        let ids: std::collections::HashSet<ObjectId> = out.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids.len(), 3);
+    }
+}

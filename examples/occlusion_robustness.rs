@@ -1,0 +1,65 @@
+//! Occlusion robustness: why the duration parameter `d` exists.
+//!
+//! The paper's query semantics deliberately require an MCOS to appear in
+//! only `d` of the last `w` frames, because real trackers lose objects
+//! behind occlusions. This example generates the same pedestrian-heavy feed
+//! (an M2-like profile) with increasing amounts of artificial occlusion (the
+//! `po` id-reuse parameter of Section 6.2 / Figure 7) and shows how
+//!
+//! * a strict query (`d = w`) stops matching as soon as occlusions appear,
+//!   while a tolerant one (`d = 0.8 w`) keeps finding the co-occurrences;
+//! * the number of states the maintainers manage grows with occlusion, which
+//!   is exactly the effect Figure 7 measures.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example occlusion_robustness
+//! ```
+
+use tvq_common::{DatasetStats, QueryId, WindowSpec};
+use tvq_core::MaintainerKind;
+use tvq_engine::run_workload;
+use tvq_query::parse_query;
+use tvq_video::{generate_with_id_reuse, DatasetProfile};
+
+fn main() {
+    let profile = DatasetProfile::m2().truncated(400);
+    let mut registry = tvq_common::ClassRegistry::with_default_classes();
+    let query = parse_query("person >= 2", QueryId(0), &mut registry).expect("query parses");
+
+    println!("query: person >= 2 (two pedestrians jointly visible)");
+    println!();
+    println!("po | occ/obj | duration        | matching frames | peak states (MFS)");
+    println!("---+---------+-----------------+-----------------+------------------");
+
+    let window = 60;
+    for po in 0..=3u32 {
+        let relation = generate_with_id_reuse(&profile, po, 11);
+        let stats = DatasetStats::of(&relation);
+        for (label, duration) in [("strict d=w", window), ("tolerant d=0.8w", window * 8 / 10)] {
+            let spec = WindowSpec::new(window, duration).expect("valid window");
+            let report = run_workload(
+                &relation,
+                std::slice::from_ref(&query),
+                spec,
+                MaintainerKind::Mfs,
+                false,
+            )
+            .expect("workload runs");
+            println!(
+                "{po:2} | {:7.2} | {label:15} | {:15} | {:17}",
+                stats.occlusions_per_object,
+                report.matching_frames,
+                report.metrics.peak_live_states
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "Reading: with occlusions (larger po), the strict query loses matches that the\n\
+         tolerant duration threshold retains, and every additional occlusion inflates\n\
+         the number of states the maintainer has to manage — the effect Figure 7\n\
+         quantifies for NAIVE, MFS and SSG."
+    );
+}

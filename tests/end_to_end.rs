@@ -1,0 +1,130 @@
+//! End-to-end integration: simulated vision stack → MCOS generation → CNF
+//! query evaluation, across crates.
+
+use tvq_common::{ClassId, DatasetStats, WindowSpec};
+use tvq_core::MaintainerKind;
+use tvq_engine::{run_workload, EngineConfig, TemporalVideoQueryEngine};
+use tvq_video::{populate_scene, Camera, Motion, Point, Scene, SceneObject, ScenePipeline};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PERSON: ClassId = ClassId(0);
+const CAR: ClassId = ClassId(1);
+
+/// A scene with a planted co-occurrence (a car and two people together for
+/// 200 frames) plus background clutter.
+fn staged_scene() -> Scene {
+    let mut scene = Scene::new(1000.0, 800.0, 600);
+    // Background clutter is vehicles only, so that only the planted people can
+    // satisfy the "two people" part of the query.
+    let mut rng = StdRng::seed_from_u64(77);
+    populate_scene(
+        &mut scene,
+        &mut rng,
+        25,
+        &[(CAR, 1.0), (ClassId(2), 0.4)],
+        40..=150,
+    );
+    scene.add_object(SceneObject {
+        track: Default::default(),
+        class: CAR,
+        enters_at: 200,
+        leaves_at: 420,
+        spawn: Point::new(400.0, 300.0),
+        width: 100.0,
+        height: 60.0,
+        motion: Motion::Loiter { step: 0.1 },
+        depth: 2.0,
+    });
+    for x in [340.0, 480.0] {
+        scene.add_object(SceneObject {
+            track: Default::default(),
+            class: PERSON,
+            enters_at: 210,
+            leaves_at: 410,
+            spawn: Point::new(x, 330.0),
+            width: 25.0,
+            height: 70.0,
+            motion: Motion::Loiter { step: 0.5 },
+            depth: 1.0,
+        });
+    }
+    scene
+}
+
+#[test]
+fn planted_incident_is_found_by_every_strategy() {
+    let relation = ScenePipeline::new(staged_scene(), Camera::fixed(1000.0, 800.0)).run(3);
+    assert!(relation.num_frames() == 600);
+
+    for kind in MaintainerKind::PRODUCTION {
+        let mut engine = TemporalVideoQueryEngine::builder(
+            EngineConfig::new(WindowSpec::new(90, 60).unwrap()).with_maintainer(kind),
+        )
+        .with_query_text("car >= 1 AND person >= 2")
+        .unwrap()
+        .build()
+        .unwrap();
+
+        let mut matching_frames: Vec<u64> = Vec::new();
+        for frame in relation.frames() {
+            if engine.observe(frame).unwrap().any() {
+                matching_frames.push(frame.fid.raw());
+            }
+        }
+        assert!(
+            !matching_frames.is_empty(),
+            "{kind:?} found no match for the planted incident"
+        );
+        // Matches must fall inside (a window-length of) the planted interval.
+        assert!(matching_frames.iter().all(|&f| (200..=500).contains(&f)),
+            "{kind:?} matched outside the planted interval: {matching_frames:?}");
+    }
+}
+
+#[test]
+fn strategies_agree_end_to_end_on_a_profile_feed() {
+    let relation = tvq_video::generate(&tvq_video::DatasetProfile::d1().truncated(200), 21);
+    let mut registry = relation.registry().clone();
+    let queries: Vec<_> = ["car >= 4", "car >= 2 AND person >= 1", "truck >= 1"]
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            tvq_query::parse_query(text, tvq_common::QueryId(i as u32), &mut registry).unwrap()
+        })
+        .collect();
+    let window = WindowSpec::new(40, 25).unwrap();
+
+    let reports: Vec<_> = MaintainerKind::PRODUCTION
+        .iter()
+        .map(|&kind| run_workload(&relation, &queries, window, kind, false).unwrap())
+        .collect();
+    for pair in reports.windows(2) {
+        assert_eq!(pair[0].total_matches, pair[1].total_matches);
+        assert_eq!(pair[0].matching_frames, pair[1].matching_frames);
+    }
+    // MFS and SSG must not manage more states than NAIVE.
+    assert!(reports[1].metrics.peak_live_states <= reports[0].metrics.peak_live_states);
+    assert!(reports[2].metrics.peak_live_states <= reports[0].metrics.peak_live_states);
+}
+
+#[test]
+fn csv_round_trip_preserves_query_results() {
+    let relation = tvq_video::generate(&tvq_video::DatasetProfile::m1().truncated(150), 5);
+    let csv = tvq_common::io::relation_to_csv_string(&relation).unwrap();
+    let reloaded =
+        tvq_common::io::read_relation_csv(csv.as_bytes(), relation.registry().clone()).unwrap();
+    // Trailing empty frames carry no CSV records; compare on the common prefix.
+    let relation = relation.truncated(reloaded.num_frames());
+    assert_eq!(DatasetStats::of(&relation), DatasetStats::of(&reloaded));
+
+    let mut registry = relation.registry().clone();
+    let query =
+        tvq_query::parse_query("person >= 3", tvq_common::QueryId(0), &mut registry).unwrap();
+    let window = WindowSpec::new(30, 20).unwrap();
+    let a = run_workload(&relation, &[query.clone()], window, MaintainerKind::Ssg, false).unwrap();
+    let b = run_workload(&reloaded, &[query], window, MaintainerKind::Ssg, false).unwrap();
+    assert_eq!(a.total_matches, b.total_matches);
+    assert_eq!(a.matching_frames, b.matching_frames);
+}

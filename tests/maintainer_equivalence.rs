@@ -1,0 +1,83 @@
+//! Cross-crate differential test: on realistic profile-generated feeds the
+//! three maintainers must report exactly the same Result State Sets, with and
+//! without query-driven pruning leaving the *query answers* unchanged.
+
+use std::collections::BTreeSet;
+
+use tvq_common::{FrameId, ObjectSet, WindowSpec};
+use tvq_core::{MaintainerKind, StateMaintainer};
+use tvq_video::{generate_with_id_reuse, DatasetProfile};
+
+fn result_fingerprint(maintainer: &dyn StateMaintainer) -> BTreeSet<(ObjectSet, Vec<FrameId>)> {
+    maintainer
+        .results()
+        .iter()
+        .map(|(set, frames)| (set.clone(), frames.to_vec()))
+        .collect()
+}
+
+fn assert_equivalent_on(profile: DatasetProfile, po: u32, seed: u64, spec: WindowSpec) {
+    let relation = generate_with_id_reuse(&profile, po, seed);
+    let mut naive = MaintainerKind::Naive.build(spec);
+    let mut mfs = MaintainerKind::Mfs.build(spec);
+    let mut ssg = MaintainerKind::Ssg.build(spec);
+    for frame in relation.frames() {
+        naive.advance(frame.fid, &frame.objects).unwrap();
+        mfs.advance(frame.fid, &frame.objects).unwrap();
+        ssg.advance(frame.fid, &frame.objects).unwrap();
+        let expected = result_fingerprint(naive.as_ref());
+        assert_eq!(
+            result_fingerprint(mfs.as_ref()),
+            expected,
+            "MFS diverged from NAIVE at frame {} ({}, po={po})",
+            frame.fid,
+            profile.name
+        );
+        assert_eq!(
+            result_fingerprint(ssg.as_ref()),
+            expected,
+            "SSG diverged from NAIVE at frame {} ({}, po={po})",
+            frame.fid,
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn equivalence_on_truncated_static_camera_profiles() {
+    for profile in [DatasetProfile::v1(), DatasetProfile::d2()] {
+        assert_equivalent_on(profile.truncated(160), 0, 13, WindowSpec::new(30, 20).unwrap());
+    }
+}
+
+#[test]
+fn equivalence_on_truncated_moving_camera_profiles() {
+    for profile in [DatasetProfile::m1(), DatasetProfile::m2()] {
+        assert_equivalent_on(profile.truncated(160), 0, 29, WindowSpec::new(25, 10).unwrap());
+    }
+}
+
+#[test]
+fn equivalence_under_artificial_occlusion() {
+    // The Figure 7 regime: id reuse po > 0 creates many more shared objects
+    // between states, stressing the marking rules.
+    for po in [1, 2, 3] {
+        assert_equivalent_on(
+            DatasetProfile::d1().truncated(120),
+            po,
+            41 + po as u64,
+            WindowSpec::new(20, 12).unwrap(),
+        );
+    }
+}
+
+#[test]
+fn equivalence_with_short_duration_thresholds() {
+    // Small d surfaces many more satisfied states per window.
+    assert_equivalent_on(
+        DatasetProfile::v2().truncated(140),
+        0,
+        3,
+        WindowSpec::new(24, 4).unwrap(),
+    );
+}

@@ -1,0 +1,103 @@
+//! Integration of MCOS generation with CNF query evaluation: the Section 5
+//! pipeline, including the Section 5.3 pruning strategy.
+
+use std::sync::Arc;
+
+use tvq_common::{ClassId, QueryId, WindowSpec};
+use tvq_core::MaintainerKind;
+use tvq_query::{
+    evaluate_result_set, generate_workload, CnfEvaluator, CnfQuery, Condition, GeqOnlyPruner,
+    WorkloadConfig,
+};
+use tvq_video::{generate, DatasetProfile};
+
+#[test]
+fn pruned_maintainers_report_the_same_query_matches() {
+    let relation = generate(&DatasetProfile::d2().truncated(150), 17);
+    let classes = Arc::new(relation.object_classes().clone());
+    let queries = vec![
+        CnfQuery::conjunction(QueryId(0), vec![Condition::at_least(ClassId(1), 5)]),
+        CnfQuery::conjunction(
+            QueryId(1),
+            vec![Condition::at_least(ClassId(1), 3), Condition::at_least(ClassId(2), 1)],
+        ),
+    ];
+    let evaluator = Arc::new(CnfEvaluator::new(queries));
+    let pruner = GeqOnlyPruner::shared(Arc::clone(&evaluator), Arc::clone(&classes)).unwrap();
+    let spec = WindowSpec::new(30, 20).unwrap();
+
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        let mut plain = kind.build(spec);
+        let mut pruned = kind.build_with_pruner(spec, Arc::clone(&pruner));
+        let mut plain_matches = 0usize;
+        let mut pruned_matches = 0usize;
+        for frame in relation.frames() {
+            plain.advance(frame.fid, &frame.objects).unwrap();
+            pruned.advance(frame.fid, &frame.objects).unwrap();
+            plain_matches += evaluate_result_set(&evaluator, plain.results(), &classes).len();
+            pruned_matches += evaluate_result_set(&evaluator, pruned.results(), &classes).len();
+        }
+        assert_eq!(
+            plain_matches, pruned_matches,
+            "{kind:?}: pruning changed the query answers"
+        );
+        assert!(
+            pruned.metrics().states_terminated > 0,
+            "{kind:?}: the pruner never fired"
+        );
+        assert!(
+            pruned.metrics().peak_live_states <= plain.metrics().peak_live_states,
+            "{kind:?}: pruning did not reduce state count"
+        );
+    }
+}
+
+#[test]
+fn selective_workloads_prune_more_states() {
+    // Larger n_min (more selective queries) must terminate at least as many
+    // states — the mechanism behind Figure 9's speedups.
+    let relation = generate(&DatasetProfile::m2().truncated(150), 23);
+    let classes = Arc::new(relation.object_classes().clone());
+    let spec = WindowSpec::new(30, 20).unwrap();
+    let mut previous_terminated = 0u64;
+    for n_min in [1u32, 5, 9] {
+        let workload = generate_workload(&WorkloadConfig::figure_9(n_min), 7);
+        let evaluator = Arc::new(CnfEvaluator::new(workload));
+        let pruner = GeqOnlyPruner::shared(Arc::clone(&evaluator), Arc::clone(&classes)).unwrap();
+        let mut maintainer = MaintainerKind::Ssg.build_with_pruner(spec, pruner);
+        for frame in relation.frames() {
+            maintainer.advance(frame.fid, &frame.objects).unwrap();
+        }
+        let terminated = maintainer.metrics().states_terminated;
+        assert!(
+            terminated >= previous_terminated,
+            "n_min={n_min}: termination count decreased ({terminated} < {previous_terminated})"
+        );
+        previous_terminated = terminated;
+    }
+}
+
+#[test]
+fn figure_8_workload_sizes_barely_change_total_cost_drivers() {
+    // The paper observes that query evaluation cost is negligible next to
+    // state maintenance: the number of states maintained must not depend on
+    // the number of registered queries (only on the feed and window).
+    let relation = generate(&DatasetProfile::v1().truncated(200), 31);
+    let spec = WindowSpec::new(30, 24).unwrap();
+    let mut created = Vec::new();
+    for num_queries in [10usize, 30, 50] {
+        let workload = generate_workload(&WorkloadConfig::figure_8(num_queries), 11);
+        let evaluator = CnfEvaluator::new(workload);
+        let mut maintainer = MaintainerKind::Mfs.build(spec);
+        let classes = relation.object_classes().clone();
+        let mut matches = 0usize;
+        for frame in relation.frames() {
+            maintainer.advance(frame.fid, &frame.objects).unwrap();
+            matches += evaluate_result_set(&evaluator, maintainer.results(), &classes).len();
+        }
+        let _ = matches;
+        created.push(maintainer.metrics().states_created);
+    }
+    assert_eq!(created[0], created[1]);
+    assert_eq!(created[1], created[2]);
+}
