@@ -71,24 +71,32 @@ fn bench_termination(c: &mut Criterion) {
         29,
     )));
     for pruned in [false, true] {
-        let label = if pruned { "with_termination" } else { "without_termination" };
+        let label = if pruned {
+            "with_termination"
+        } else {
+            "without_termination"
+        };
         let pruner = if pruned {
             GeqOnlyPruner::shared(Arc::clone(&evaluator), Arc::clone(&classes))
         } else {
             None
         };
         let evaluator_ref = Arc::clone(&evaluator);
-        group.bench_with_input(BenchmarkId::new("termination", label), &relation, |b, relation| {
-            b.iter(|| {
-                tvq_bench::time_query_evaluation(
-                    relation,
-                    spec,
-                    MaintainerKind::Ssg,
-                    &evaluator_ref,
-                    pruner.clone(),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("termination", label),
+            &relation,
+            |b, relation| {
+                b.iter(|| {
+                    tvq_bench::time_query_evaluation(
+                        relation,
+                        spec,
+                        MaintainerKind::Ssg,
+                        &evaluator_ref,
+                        pruner.clone(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -101,22 +109,27 @@ fn bench_window_sharing(c: &mut Criterion) {
     let relation = generate(&DatasetProfile::v1().truncated(200), 31);
     let num_queries = 10usize;
 
-    group.bench_with_input(BenchmarkId::new("window_sharing", "shared"), &relation, |b, relation| {
-        b.iter(|| {
-            let mut maintainer = MaintainerKind::Ssg.build(spec);
-            for frame in relation.frames() {
-                maintainer.advance(frame.fid, &frame.objects).unwrap();
-            }
-            maintainer.metrics().states_created
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("window_sharing", "shared"),
+        &relation,
+        |b, relation| {
+            b.iter(|| {
+                let mut maintainer = MaintainerKind::Ssg.build(spec);
+                for frame in relation.frames() {
+                    maintainer.advance(frame.fid, &frame.objects).unwrap();
+                }
+                maintainer.metrics().states_created
+            })
+        },
+    );
     group.bench_with_input(
         BenchmarkId::new("window_sharing", "per_query"),
         &relation,
         |b, relation| {
             b.iter(|| {
-                let mut maintainers: Vec<_> =
-                    (0..num_queries).map(|_| MaintainerKind::Ssg.build(spec)).collect();
+                let mut maintainers: Vec<_> = (0..num_queries)
+                    .map(|_| MaintainerKind::Ssg.build(spec))
+                    .collect();
                 for frame in relation.frames() {
                     for maintainer in &mut maintainers {
                         maintainer.advance(frame.fid, &frame.objects).unwrap();

@@ -28,9 +28,14 @@ fn bench_evaluator_only(c: &mut Criterion) {
         let workload = generate_workload(&WorkloadConfig::figure_8(num_queries), 7);
         let evaluator = CnfEvaluator::new(workload);
         let counts = ClassCounts::from_map(
-            [(ClassId(0), 2u32), (ClassId(1), 4), (ClassId(2), 1), (ClassId(3), 0)]
-                .into_iter()
-                .collect(),
+            [
+                (ClassId(0), 2u32),
+                (ClassId(1), 4),
+                (ClassId(2), 1),
+                (ClassId(3), 0),
+            ]
+            .into_iter()
+            .collect(),
         );
         group.bench_with_input(
             BenchmarkId::new("evaluate", num_queries),

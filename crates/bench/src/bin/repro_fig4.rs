@@ -8,6 +8,10 @@ fn main() {
     let results = experiments::fig4(scale);
     print!(
         "{}",
-        experiments::render("Figure 4: MCOS generation time vs. total frames", "frames", &results)
+        experiments::render(
+            "Figure 4: MCOS generation time vs. total frames",
+            "frames",
+            &results
+        )
     );
 }

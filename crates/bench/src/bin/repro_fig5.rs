@@ -8,6 +8,10 @@ fn main() {
     let results = experiments::fig5(scale);
     print!(
         "{}",
-        experiments::render("Figure 5: MCOS generation time vs. duration d", "d (frames)", &results)
+        experiments::render(
+            "Figure 5: MCOS generation time vs. duration d",
+            "d (frames)",
+            &results
+        )
     );
 }

@@ -8,6 +8,10 @@ fn main() {
     let results = experiments::fig6(scale);
     print!(
         "{}",
-        experiments::render("Figure 6: MCOS generation time vs. window size w", "w (frames)", &results)
+        experiments::render(
+            "Figure 6: MCOS generation time vs. window size w",
+            "w (frames)",
+            &results
+        )
     );
 }

@@ -8,6 +8,10 @@ fn main() {
     let results = experiments::fig7(scale);
     print!(
         "{}",
-        experiments::render("Figure 7: MCOS generation time vs. occlusion parameter po", "po", &results)
+        experiments::render(
+            "Figure 7: MCOS generation time vs. occlusion parameter po",
+            "po",
+            &results
+        )
     );
 }

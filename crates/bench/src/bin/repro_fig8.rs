@@ -9,6 +9,10 @@ fn main() {
     let results = experiments::fig8(scale);
     print!(
         "{}",
-        experiments::render("Figure 8: total time vs. number of queries", "queries", &results)
+        experiments::render(
+            "Figure 8: total time vs. number of queries",
+            "queries",
+            &results
+        )
     );
 }

@@ -9,6 +9,10 @@ fn main() {
     let results = experiments::fig9(scale);
     print!(
         "{}",
-        experiments::render("Figure 9: total time vs. n_min (>=-only queries)", "n_min", &results)
+        experiments::render(
+            "Figure 9: total time vs. n_min (>=-only queries)",
+            "n_min",
+            &results
+        )
     );
 }

@@ -28,7 +28,11 @@ fn profiles() -> Vec<DatasetProfile> {
 }
 
 fn mcos_methods() -> [MaintainerKind; 3] {
-    [MaintainerKind::Naive, MaintainerKind::Mfs, MaintainerKind::Ssg]
+    [
+        MaintainerKind::Naive,
+        MaintainerKind::Mfs,
+        MaintainerKind::Ssg,
+    ]
 }
 
 /// **Table 6** — dataset statistics: the Table-6 target values versus the

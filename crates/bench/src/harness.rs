@@ -39,11 +39,10 @@ impl Scale {
     pub fn window(&self, paper: WindowSpec) -> WindowSpec {
         match self {
             Scale::Paper => paper,
-            Scale::Quick => WindowSpec::new(
-                (paper.window() / 6).max(20),
-                (paper.duration() / 6).max(10),
-            )
-            .expect("scaled window is valid"),
+            Scale::Quick => {
+                WindowSpec::new((paper.window() / 6).max(20), (paper.duration() / 6).max(10))
+                    .expect("scaled window is valid")
+            }
         }
     }
 }

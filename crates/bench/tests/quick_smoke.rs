@@ -1,0 +1,115 @@
+//! Smoke tests for the reproduction experiments: every `repro_*` binary's
+//! underlying experiment must, at `--quick` scale, produce non-empty series
+//! with finite, non-negative timings (or, for Table 6, a complete table).
+//!
+//! One test per experiment so the suite parallelises across the figure set.
+
+use tvq_bench::experiments::{self, Fig9Method};
+use tvq_bench::{Scale, Series};
+
+/// Asserts the common shape of a per-dataset figure result: at least one
+/// dataset, the expected methods per dataset, and every point finite.
+fn assert_figure_rows(figure: &str, results: &[(String, Vec<Series>)], expected_methods: &[&str]) {
+    assert!(!results.is_empty(), "{figure}: no datasets");
+    for (dataset, series) in results {
+        let methods: Vec<&str> = series.iter().map(|s| s.method.as_str()).collect();
+        assert_eq!(
+            methods, expected_methods,
+            "{figure}/{dataset}: unexpected method set"
+        );
+        for s in series {
+            assert!(
+                !s.points.is_empty(),
+                "{figure}/{dataset}/{}: no data points",
+                s.method
+            );
+            for (x, seconds) in &s.points {
+                assert!(
+                    seconds.is_finite() && *seconds >= 0.0,
+                    "{figure}/{dataset}/{}: non-finite timing at x={x}: {seconds}",
+                    s.method
+                );
+            }
+        }
+    }
+}
+
+const MCOS_METHODS: [&str; 3] = ["NAIVE", "MFS", "SSG"];
+
+#[test]
+fn table6_quick_reports_every_dataset_row() {
+    let table = experiments::table6(Scale::Quick);
+    for name in ["V1", "V2", "D1", "D2", "M1", "M2"] {
+        let row = table
+            .lines()
+            .find(|line| line.starts_with(name))
+            .unwrap_or_else(|| panic!("missing row for {name} in:\n{table}"));
+        // Every numeric cell of the row must parse as a finite number.
+        let numbers: Vec<f64> = row
+            .split(['|', '/'])
+            .skip(1)
+            .map(|cell| cell.trim().parse::<f64>().expect("numeric cell"))
+            .collect();
+        assert_eq!(numbers.len(), 10, "row {name} incomplete: {row}");
+        assert!(numbers.iter().all(|n| n.is_finite() && *n >= 0.0));
+    }
+}
+
+#[test]
+fn fig4_quick_produces_finite_series() {
+    assert_figure_rows("fig4", &experiments::fig4(Scale::Quick), &MCOS_METHODS);
+}
+
+#[test]
+fn fig5_quick_produces_finite_series() {
+    assert_figure_rows("fig5", &experiments::fig5(Scale::Quick), &MCOS_METHODS);
+}
+
+#[test]
+fn fig6_quick_produces_finite_series() {
+    assert_figure_rows("fig6", &experiments::fig6(Scale::Quick), &MCOS_METHODS);
+}
+
+#[test]
+fn fig7_quick_produces_finite_series() {
+    let results = experiments::fig7(Scale::Quick);
+    assert_figure_rows("fig7", &results, &MCOS_METHODS);
+    // The x axis is the id-reuse parameter po = 0..=3.
+    for (dataset, series) in &results {
+        for s in series {
+            let xs: Vec<&str> = s.points.iter().map(|(x, _)| x.as_str()).collect();
+            assert_eq!(xs, ["0", "1", "2", "3"], "fig7/{dataset}/{}", s.method);
+        }
+    }
+}
+
+#[test]
+fn fig8_quick_produces_finite_series() {
+    assert_figure_rows("fig8", &experiments::fig8(Scale::Quick), &MCOS_METHODS);
+}
+
+#[test]
+fn fig9_quick_produces_finite_series_for_all_five_variants() {
+    let expected: Vec<&str> = Fig9Method::ALL.iter().map(|m| m.name()).collect();
+    assert_figure_rows("fig9", &experiments::fig9(Scale::Quick), &expected);
+}
+
+#[test]
+fn fig10_quick_produces_finite_per_dataset_averages() {
+    let series = experiments::fig10(Scale::Quick);
+    let methods: Vec<&str> = series.iter().map(|s| s.method.as_str()).collect();
+    assert_eq!(methods, MCOS_METHODS);
+    for s in &series {
+        let datasets: Vec<&str> = s.points.iter().map(|(x, _)| x.as_str()).collect();
+        assert_eq!(
+            datasets,
+            ["V1", "V2", "D1", "D2", "M1", "M2"],
+            "{}",
+            s.method
+        );
+        assert!(s
+            .points
+            .iter()
+            .all(|(_, seconds)| seconds.is_finite() && *seconds >= 0.0));
+    }
+}

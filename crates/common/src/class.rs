@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn iteration_preserves_registration_order() {
         let registry = ClassRegistry::with_default_classes();
-        let labels: Vec<_> = registry.iter().map(|(_, l)| l.as_str().to_owned()).collect();
+        let labels: Vec<_> = registry
+            .iter()
+            .map(|(_, l)| l.as_str().to_owned())
+            .collect();
         assert_eq!(labels, vec!["person", "car", "truck", "bus"]);
     }
 

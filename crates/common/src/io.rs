@@ -128,7 +128,8 @@ mod tests {
         let vr = sample_relation();
         let csv = relation_to_csv_string(&vr).unwrap();
         assert!(csv.starts_with("fid,id,class\n"));
-        let parsed = read_relation_csv(csv.as_bytes(), ClassRegistry::with_default_classes()).unwrap();
+        let parsed =
+            read_relation_csv(csv.as_bytes(), ClassRegistry::with_default_classes()).unwrap();
         assert_eq!(parsed.num_frames(), vr.num_frames());
         assert_eq!(parsed.num_records(), vr.num_records());
         for fid in 0..vr.num_frames() as u64 {
@@ -144,7 +145,8 @@ mod tests {
     #[test]
     fn reader_registers_new_classes() {
         let csv = "fid,id,class\n0,1,drone\n1,1,drone\n";
-        let parsed = read_relation_csv(csv.as_bytes(), ClassRegistry::with_default_classes()).unwrap();
+        let parsed =
+            read_relation_csv(csv.as_bytes(), ClassRegistry::with_default_classes()).unwrap();
         assert!(parsed.registry().id("drone").is_some());
         assert_eq!(parsed.num_objects(), 1);
     }

@@ -53,7 +53,10 @@ impl ObjectSet {
     /// This is the fast path used by the per-frame ingestion code; the
     /// invariant is checked in debug builds.
     pub fn from_sorted_unchecked(ids: Vec<ObjectId>) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly increasing");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly increasing"
+        );
         ObjectSet { ids: ids.into() }
     }
 
@@ -239,10 +242,7 @@ mod tests {
     fn construction_sorts_and_dedups() {
         let s = set(&[5, 1, 3, 1, 5]);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.iter().map(|o| o.raw()).collect::<Vec<_>>(),
-            vec![1, 3, 5]
-        );
+        assert_eq!(s.iter().map(|o| o.raw()).collect::<Vec<_>>(), vec![1, 3, 5]);
     }
 
     #[test]

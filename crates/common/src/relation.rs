@@ -42,7 +42,8 @@ impl FrameObjects {
     pub fn new(fid: FrameId, mut detections: Vec<(ObjectId, ClassId)>) -> Self {
         detections.sort_unstable_by_key(|&(id, _)| id);
         detections.dedup_by_key(|&mut (id, _)| id);
-        let objects = ObjectSet::from_sorted_unchecked(detections.iter().map(|&(id, _)| id).collect());
+        let objects =
+            ObjectSet::from_sorted_unchecked(detections.iter().map(|&(id, _)| id).collect());
         FrameObjects {
             fid,
             objects,
@@ -261,7 +262,11 @@ mod tests {
             vec![1, 2, 4],
         ];
         for objs in frames {
-            vr.push_detections(objs.into_iter().map(|o| (ObjectId(o), class_of(o))).collect());
+            vr.push_detections(
+                objs.into_iter()
+                    .map(|o| (ObjectId(o), class_of(o)))
+                    .collect(),
+            );
         }
         vr
     }
@@ -353,7 +358,10 @@ mod tests {
         let filtered = vr.filtered_to_classes(&keep);
         assert_eq!(filtered.num_frames(), vr.num_frames());
         assert!(filtered.frame(FrameId(0)).unwrap().is_empty());
-        assert_eq!(filtered.frame(FrameId(1)).unwrap().objects, ObjectSet::from_raw([1]));
+        assert_eq!(
+            filtered.frame(FrameId(1)).unwrap().objects,
+            ObjectSet::from_raw([1])
+        );
     }
 
     #[test]

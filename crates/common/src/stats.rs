@@ -88,7 +88,10 @@ impl DatasetStats {
             frames_pct: rel(self.frames as f64, target.frames as f64),
             objects_pct: rel(self.objects as f64, target.objects as f64),
             objects_per_frame_pct: rel(self.objects_per_frame, target.objects_per_frame),
-            occlusions_per_object_pct: rel(self.occlusions_per_object, target.occlusions_per_object),
+            occlusions_per_object_pct: rel(
+                self.occlusions_per_object,
+                target.occlusions_per_object,
+            ),
             frames_per_object_pct: rel(self.frames_per_object, target.frames_per_object),
         }
     }

@@ -97,6 +97,33 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_windows_are_rejected_for_every_duration() {
+        for duration in 0..4 {
+            let err = WindowSpec::new(0, duration).unwrap_err();
+            assert!(
+                err.to_string().contains("window"),
+                "error should name the window: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn durations_exceeding_the_window_are_rejected() {
+        for window in 1..6usize {
+            assert!(WindowSpec::new(window, window).is_ok());
+            for excess in 1..3usize {
+                assert!(
+                    WindowSpec::new(window, window + excess).is_err(),
+                    "w={window}, d={}",
+                    window + excess
+                );
+            }
+        }
+        // A duration of zero means "report every co-occurrence" and is valid.
+        assert!(WindowSpec::new(3, 0).is_ok());
+    }
+
+    #[test]
     fn paper_default_matches_section_6() {
         let spec = WindowSpec::paper_default();
         assert_eq!(spec.window(), 300);

@@ -97,7 +97,11 @@ impl MaintainerKind {
     /// Builds a maintainer with a query-driven pruner attached (the `_O`
     /// variants of Section 5.3). The reference and NAIVE strategies ignore
     /// the pruner, mirroring the paper which only defines MFS_O and SSG_O.
-    pub fn build_with_pruner(&self, spec: WindowSpec, pruner: SharedPruner) -> Box<dyn StateMaintainer> {
+    pub fn build_with_pruner(
+        &self,
+        spec: WindowSpec,
+        pruner: SharedPruner,
+    ) -> Box<dyn StateMaintainer> {
         match self {
             MaintainerKind::Naive => Box::new(NaiveMaintainer::new(spec)),
             MaintainerKind::Mfs => Box::new(MfsMaintainer::with_pruner(spec, pruner)),

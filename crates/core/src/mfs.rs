@@ -336,7 +336,10 @@ mod tests {
                 (set(&[1, 2, 3, 6]), vec![(3, true)]),
                 (set(&[1, 2, 4, 6]), vec![(2, true)]),
                 (set(&[1, 2, 6]), vec![(2, true), (3, false)]),
-                (set(&[2]), vec![(0, true), (1, false), (2, false), (3, false)]),
+                (
+                    set(&[2]),
+                    vec![(0, true), (1, false), (2, false), (3, false)]
+                ),
             ]
         );
 

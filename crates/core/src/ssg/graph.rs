@@ -89,7 +89,10 @@ impl StateGraph {
 
     /// Inserts a new node for `set`; the set must not already be present.
     pub fn insert(&mut self, set: ObjectSet) -> NodeId {
-        debug_assert!(!self.by_set.contains_key(&set), "duplicate node for {set:?}");
+        debug_assert!(
+            !self.by_set.contains_key(&set),
+            "duplicate node for {set:?}"
+        );
         let node = Node::new(set.clone());
         let id = match self.free.pop() {
             Some(id) => {
@@ -142,7 +145,10 @@ impl StateGraph {
         if parent == child {
             return;
         }
-        if !self.nodes[child].set.is_proper_subset_of(&self.nodes[parent].set) {
+        if !self.nodes[child]
+            .set
+            .is_proper_subset_of(&self.nodes[parent].set)
+        {
             return;
         }
         let siblings: Vec<NodeId> = self.nodes[parent].children.clone();
@@ -153,12 +159,18 @@ impl StateGraph {
             if !self.nodes[sibling].alive {
                 continue;
             }
-            if self.nodes[child].set.is_proper_subset_of(&self.nodes[sibling].set) {
+            if self.nodes[child]
+                .set
+                .is_proper_subset_of(&self.nodes[sibling].set)
+            {
                 // A tighter ancestor exists among the siblings; attach below it.
                 self.attach(sibling, child);
                 return;
             }
-            if self.nodes[sibling].set.is_proper_subset_of(&self.nodes[child].set) {
+            if self.nodes[sibling]
+                .set
+                .is_proper_subset_of(&self.nodes[child].set)
+            {
                 // The new child is a tighter parent for this sibling.
                 self.remove_edge(parent, sibling);
                 self.attach(child, sibling);
@@ -201,7 +213,9 @@ impl StateGraph {
         self.free.push(id);
     }
 
-    /// All nodes reachable from `start` (inclusive) by following child edges.
+    /// All nodes reachable from `start` (inclusive) by following child edges
+    /// (test support).
+    #[cfg(test)]
     pub fn reachable(&self, start: NodeId) -> Vec<NodeId> {
         let mut seen = vec![start];
         let mut stack = vec![start];
@@ -219,7 +233,7 @@ impl StateGraph {
     /// Verifies Properties 1 and 2 over the whole graph (test support).
     #[cfg(test)]
     pub fn check_invariants(&self) {
-        for (&ref set, &id) in &self.by_set {
+        for (set, &id) in &self.by_set {
             let node = &self.nodes[id];
             assert!(node.alive);
             assert_eq!(&node.set, set);
@@ -362,7 +376,10 @@ mod tests {
         g.attach(abcd, cd);
         let mut reachable = g.reachable(abc);
         reachable.sort_unstable();
-        assert_eq!(reachable, vec![abc, ab].into_iter().collect::<Vec<_>>().tap_sorted());
+        assert_eq!(
+            reachable,
+            vec![abc, ab].into_iter().collect::<Vec<_>>().tap_sorted()
+        );
         let all = g.reachable(abcd);
         assert_eq!(all.len(), 4);
     }

@@ -273,7 +273,16 @@ impl SsgMaintainer {
     ) {
         let children = self.graph.node(node).children.clone();
         for child in children {
-            self.st_visit(child, Some(node), inter, frame, objects, ns, oldest, touched);
+            self.st_visit(
+                child,
+                Some(node),
+                inter,
+                frame,
+                objects,
+                ns,
+                oldest,
+                touched,
+            );
         }
     }
 
@@ -388,7 +397,9 @@ impl StateMaintainer for SsgMaintainer {
 
         let mut touched: Vec<NodeId> = Vec::new();
 
-        if !objects.is_empty() && !self.is_terminated(objects) && !self.terminate_if_hopeless(objects)
+        if !objects.is_empty()
+            && !self.is_terminated(objects)
+            && !self.terminate_if_hopeless(objects)
         {
             // The arriving frame's own object set becomes (or stays) the new
             // principal state.
@@ -642,6 +653,10 @@ mod tests {
             let objects = set(&[(i / 10) as u32 * 2, (i / 10) as u32 * 2 + 1]);
             m.advance(FrameId(i), &objects).unwrap();
         }
-        assert!(m.live_states() <= 3, "stale states retained: {}", m.live_states());
+        assert!(
+            m.live_states() <= 3,
+            "stale states retained: {}",
+            m.live_states()
+        );
     }
 }

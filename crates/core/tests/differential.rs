@@ -1,81 +1,19 @@
 //! Differential tests: NAIVE, MFS and SSG must agree with the brute-force
 //! reference oracle on the satisfied MCOS of every window, for arbitrary
-//! frame sequences, window sizes and durations.
+//! frame sequences, window sizes and durations — and the pruning `_O`
+//! variants must agree with the oracle filtered by the same pruner.
+//!
+//! The feed generators and oracle-equivalence assertions live in
+//! `tvq-testkit` so the query-layer and end-to-end suites share them.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
-use tvq_common::{FrameId, ObjectSet, WindowSpec};
-use tvq_core::{MaintainerKind, StateMaintainer};
-
-/// Runs every production maintainer plus the reference oracle over the same
-/// frame sequence and asserts that the reported result object sets and their
-/// frame sets are identical after every frame.
-fn assert_all_equivalent(frames: &[ObjectSet], spec: WindowSpec) {
-    let mut reference = MaintainerKind::Reference.build(spec);
-    let mut others: Vec<Box<dyn StateMaintainer>> = MaintainerKind::PRODUCTION
-        .iter()
-        .map(|kind| kind.build(spec))
-        .collect();
-
-    for (i, objects) in frames.iter().enumerate() {
-        let fid = FrameId(i as u64);
-        reference.advance(fid, objects).unwrap();
-        let expected: Vec<(ObjectSet, Vec<FrameId>)> = reference
-            .results()
-            .iter()
-            .map(|(set, frames)| (set.clone(), frames.to_vec()))
-            .collect();
-        for maintainer in &mut others {
-            maintainer.advance(fid, objects).unwrap();
-            let got: Vec<(ObjectSet, Vec<FrameId>)> = maintainer
-                .results()
-                .iter()
-                .map(|(set, frames)| (set.clone(), frames.to_vec()))
-                .collect();
-            assert_eq!(
-                got,
-                expected,
-                "{} disagrees with the reference at frame {i} (w={}, d={})\nframes so far: {:?}",
-                maintainer.name(),
-                spec.window(),
-                spec.duration(),
-                &frames[..=i]
-            );
-        }
-    }
-}
-
-/// Generates a frame sequence mimicking a tracked video feed: objects enter,
-/// persist for a while, occasionally get occluded, and leave.
-fn tracked_feed(seed: u64, num_frames: usize, universe: u32, occlusion: f64) -> Vec<ObjectSet> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut active: Vec<(u32, usize)> = Vec::new(); // (object, remaining lifetime)
-    let mut next_id = 0u32;
-    let mut frames = Vec::with_capacity(num_frames);
-    for _ in 0..num_frames {
-        // Arrivals.
-        while active.len() < universe as usize && rng.gen_bool(0.35) {
-            let lifetime = rng.gen_range(2..=8);
-            active.push((next_id % universe, lifetime));
-            next_id += 1;
-        }
-        // Visible objects: active ones that are not occluded this frame.
-        let visible: Vec<u32> = active
-            .iter()
-            .filter(|_| !rng.gen_bool(occlusion))
-            .map(|&(id, _)| id)
-            .collect();
-        frames.push(ObjectSet::from_raw(visible));
-        // Departures.
-        for entry in &mut active {
-            entry.1 -= 1;
-        }
-        active.retain(|&(_, life)| life > 0);
-    }
-    frames
-}
+use tvq_common::{ObjectSet, WindowSpec};
+use tvq_core::{MinCardinalityPruner, SharedPruner};
+use tvq_testkit::{assert_all_equivalent, assert_equivalent_with_pruner, tracked_feed};
 
 #[test]
 fn paper_running_example_all_durations_and_windows() {
@@ -145,6 +83,42 @@ fn feeds_with_empty_frames_agree() {
     }
 }
 
+fn min_cardinality(min_objects: usize) -> SharedPruner {
+    Arc::new(MinCardinalityPruner { min_objects })
+}
+
+#[test]
+fn pruned_maintainers_agree_with_filtered_reference_on_tracked_feeds() {
+    for seed in 0..8u64 {
+        let frames = tracked_feed(seed, 35, 6, 0.25);
+        for min_objects in [1, 2, 3] {
+            for (window, duration) in [(4, 2), (6, 3)] {
+                assert_equivalent_with_pruner(
+                    &frames,
+                    WindowSpec::new(window, duration).unwrap(),
+                    min_cardinality(min_objects),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_maintainers_agree_under_heavy_occlusion() {
+    for seed in 200..204u64 {
+        let frames = tracked_feed(seed, 30, 5, 0.5);
+        assert_equivalent_with_pruner(&frames, WindowSpec::new(6, 3).unwrap(), min_cardinality(2));
+    }
+}
+
+#[test]
+fn pruning_everything_yields_empty_results() {
+    // A pruner that terminates every state (min cardinality above the
+    // universe) must leave the maintainers running but reporting nothing.
+    let frames = tracked_feed(5, 25, 4, 0.2);
+    assert_equivalent_with_pruner(&frames, WindowSpec::new(5, 2).unwrap(), min_cardinality(10));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -159,8 +133,29 @@ proptest! {
         let duration = (duration_offset % window).max(1);
         let frames: Vec<ObjectSet> = frames
             .into_iter()
-            .map(|objs| ObjectSet::from_raw(objs))
+            .map(ObjectSet::from_raw)
             .collect();
         assert_all_equivalent(&frames, WindowSpec::new(window, duration).unwrap());
+    }
+
+    /// Arbitrary feeds under an active cardinality pruner: MFS_O and SSG_O
+    /// must agree with the reference oracle filtered by the same pruner.
+    #[test]
+    fn arbitrary_feeds_agree_under_pruning(
+        frames in proptest::collection::vec(proptest::collection::vec(0u32..6, 0..5), 1..16),
+        window in 2usize..6,
+        duration_offset in 0usize..4,
+        min_objects in 1usize..4,
+    ) {
+        let duration = (duration_offset % window).max(1);
+        let frames: Vec<ObjectSet> = frames
+            .into_iter()
+            .map(ObjectSet::from_raw)
+            .collect();
+        assert_equivalent_with_pruner(
+            &frames,
+            WindowSpec::new(window, duration).unwrap(),
+            min_cardinality(min_objects),
+        );
     }
 }

@@ -106,9 +106,7 @@ impl EngineBuilder {
             ));
         }
         for query in &self.queries {
-            query
-                .validate()
-                .map_err(Error::InvalidConfig)?;
+            query.validate().map_err(Error::InvalidConfig)?;
         }
         let kind = match self.config.maintainer {
             MaintainerSelection::Fixed(kind) => kind,
@@ -121,7 +119,8 @@ impl EngineBuilder {
         let relevant_classes: HashSet<ClassId> =
             self.queries.iter().flat_map(|q| q.classes()).collect();
         let evaluator = Arc::new(CnfEvaluator::new(self.queries));
-        let classes: Arc<RwLock<HashMap<ObjectId, ClassId>>> = Arc::new(RwLock::new(HashMap::new()));
+        let classes: Arc<RwLock<HashMap<ObjectId, ClassId>>> =
+            Arc::new(RwLock::new(HashMap::new()));
         let maintainer = if self.config.pruning && evaluator.all_geq_only() {
             let pruner: SharedPruner = Arc::new(LivePruner {
                 evaluator: Arc::clone(&evaluator),
@@ -296,7 +295,9 @@ mod tests {
             .build()
             .unwrap();
         // Cars (class 1) are never requested: they must not create states.
-        engine.observe(&frame(0, &[(1, 1), (2, 1), (3, 1)])).unwrap();
+        engine
+            .observe(&frame(0, &[(1, 1), (2, 1), (3, 1)]))
+            .unwrap();
         assert_eq!(engine.live_states(), 0);
         engine.observe(&frame(1, &[(4, 0), (5, 0)])).unwrap();
         assert!(engine.live_states() >= 1);
@@ -367,7 +368,9 @@ mod tests {
             frames_per_object: 20.0,
         };
         let engine = TemporalVideoQueryEngine::builder(
-            EngineConfig::default().with_adaptive_maintainer().with_pruning(false),
+            EngineConfig::default()
+                .with_adaptive_maintainer()
+                .with_pruning(false),
         )
         .with_query_text("person >= 3")
         .unwrap()
@@ -384,7 +387,8 @@ mod tests {
         relation.push_detections(vec![(ObjectId(1), ClassId(1)), (ObjectId(2), ClassId(0))]);
         relation.push_detections(vec![(ObjectId(1), ClassId(1))]);
         let mut engine = TemporalVideoQueryEngine::builder(
-            EngineConfig::new(WindowSpec::new(3, 2).unwrap()).with_maintainer(MaintainerKind::Naive),
+            EngineConfig::new(WindowSpec::new(3, 2).unwrap())
+                .with_maintainer(MaintainerKind::Naive),
         )
         .with_query_text("car >= 1 AND person >= 1")
         .unwrap()

@@ -55,7 +55,8 @@ pub fn run_workload(
     let config = EngineConfig::new(window)
         .with_maintainer(kind)
         .with_pruning(pruning);
-    let mut builder = TemporalVideoQueryEngine::builder(config).with_registry(relation.registry().clone());
+    let mut builder =
+        TemporalVideoQueryEngine::builder(config).with_registry(relation.registry().clone());
     for query in queries {
         builder = builder.with_query(query.clone());
     }
@@ -113,7 +114,10 @@ mod tests {
             CnfQuery::conjunction(QueryId(0), vec![Condition::at_least(ClassId(1), 3)]),
             CnfQuery::conjunction(
                 QueryId(1),
-                vec![Condition::at_least(ClassId(1), 2), Condition::at_least(ClassId(0), 1)],
+                vec![
+                    Condition::at_least(ClassId(1), 2),
+                    Condition::at_least(ClassId(0), 1),
+                ],
             ),
         ];
         let window = WindowSpec::new(25, 15).unwrap();

@@ -66,10 +66,7 @@ impl CnfQuery {
     /// Whether the query uses only `>=` conditions — the precondition for the
     /// result-pruning strategy of Section 5.3 (Proposition 1).
     pub fn is_geq_only(&self) -> bool {
-        self.clauses
-            .iter()
-            .flatten()
-            .all(|c| c.op == CmpOp::Ge)
+        self.clauses.iter().flatten().all(|c| c.op == CmpOp::Ge)
     }
 
     /// All classes referenced by the query.
@@ -130,7 +127,10 @@ mod tests {
     fn conjunction_builder_makes_single_condition_clauses() {
         let q = CnfQuery::conjunction(
             QueryId(1),
-            vec![Condition::at_least(ClassId(1), 2), Condition::at_least(ClassId(0), 1)],
+            vec![
+                Condition::at_least(ClassId(1), 2),
+                Condition::at_least(ClassId(0), 1),
+            ],
         );
         assert_eq!(q.clauses.len(), 2);
         assert!(q.eval(&counts(&[(1, 2), (0, 1)])));
@@ -148,7 +148,10 @@ mod tests {
         assert!(!paper_q2().is_geq_only());
         let q = CnfQuery::conjunction(
             QueryId(3),
-            vec![Condition::at_least(ClassId(1), 1), Condition::at_least(ClassId(2), 4)],
+            vec![
+                Condition::at_least(ClassId(1), 1),
+                Condition::at_least(ClassId(2), 4),
+            ],
         );
         assert!(q.is_geq_only());
     }

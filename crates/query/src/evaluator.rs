@@ -312,8 +312,9 @@ mod tests {
         let evaluator = CnfEvaluator::new(vec![q]);
 
         let mut results = ResultStateSet::new();
-        let frames: tvq_common::MarkedFrameSet =
-            [(FrameId(3), true), (FrameId(4), false)].into_iter().collect();
+        let frames: tvq_common::MarkedFrameSet = [(FrameId(3), true), (FrameId(4), false)]
+            .into_iter()
+            .collect();
         results.insert(ObjectSet::from_raw([1, 2, 3]), &frames);
         results.insert(ObjectSet::from_raw([1, 3]), &frames);
 
@@ -342,7 +343,11 @@ mod tests {
                                     1 => CmpOp::Eq,
                                     _ => CmpOp::Ge,
                                 };
-                                Condition::new(ClassId(rng.gen_range(0..4)), op, rng.gen_range(0..5))
+                                Condition::new(
+                                    ClassId(rng.gen_range(0..4)),
+                                    op,
+                                    rng.gen_range(0..5),
+                                )
                             })
                             .collect()
                     })

@@ -67,7 +67,10 @@ impl WorkloadConfig {
 /// Generates a workload. Deterministic for a given seed; query identifiers
 /// are `0..num_queries`.
 pub fn generate_workload(config: &WorkloadConfig, seed: u64) -> Vec<CnfQuery> {
-    assert!(!config.classes.is_empty(), "workload needs at least one class");
+    assert!(
+        !config.classes.is_empty(),
+        "workload needs at least one class"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut queries = Vec::with_capacity(config.num_queries);
     for qid in 0..config.num_queries {

@@ -34,12 +34,10 @@ pub fn parse_query(input: &str, id: QueryId, registry: &mut ClassRegistry) -> Re
     if parser.position != parser.tokens.len() {
         return Err(parser.error("unexpected trailing input"));
     }
-    query
-        .validate()
-        .map_err(|message| Error::QueryParse {
-            message,
-            position: input.len(),
-        })?;
+    query.validate().map_err(|message| Error::QueryParse {
+        message,
+        position: input.len(),
+    })?;
     Ok(query)
 }
 
@@ -263,7 +261,12 @@ mod tests {
     #[test]
     fn keywords_are_case_insensitive_and_equality_tolerates_double_equals() {
         let mut registry = ClassRegistry::with_default_classes();
-        let q = parse_query("(CAR >= 1 or bus == 2) and person = 0", QueryId(1), &mut registry).unwrap();
+        let q = parse_query(
+            "(CAR >= 1 or bus == 2) and person = 0",
+            QueryId(1),
+            &mut registry,
+        )
+        .unwrap();
         assert_eq!(q.clauses.len(), 2);
         assert!(q.eval(&counts(&[("car", 1), ("person", 0)], &registry)));
     }
@@ -273,6 +276,55 @@ mod tests {
         let mut registry = ClassRegistry::with_default_classes();
         parse_query("bicycle >= 1", QueryId(0), &mut registry).unwrap();
         assert!(registry.id("bicycle").is_some());
+    }
+
+    #[test]
+    fn unknown_class_labels_are_registered_not_rejected() {
+        // The language auto-registers class labels (Section 5 queries range
+        // over arbitrary detector vocabularies); an unknown label is only an
+        // error where an identifier is not allowed at all.
+        let mut registry = ClassRegistry::with_default_classes();
+        assert!(registry.id("zeppelin").is_none());
+        let q = parse_query("zeppelin >= 1", QueryId(0), &mut registry).unwrap();
+        let zeppelin = registry.id("zeppelin").unwrap();
+        assert!(q.classes().contains(&zeppelin));
+        // ... but an identifier in operator position is a parse error.
+        let err = parse_query("car person 2", QueryId(0), &mut registry).unwrap_err();
+        assert!(err.to_string().contains("expected one of"));
+    }
+
+    #[test]
+    fn malformed_comparators_are_rejected() {
+        let mut registry = ClassRegistry::with_default_classes();
+        for (input, fragment) in [
+            ("car > 2", "strict"),
+            ("car < 2", "strict"),
+            ("car ! 2", "unexpected character"),
+            ("car => 2", "strict"),
+            ("car 2", "expected one of '>=', '<=', '='"),
+        ] {
+            let err = parse_query(input, QueryId(0), &mut registry).unwrap_err();
+            let text = err.to_string();
+            assert!(text.contains(fragment), "input {input:?}: got {text:?}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_parentheses_are_rejected() {
+        let mut registry = ClassRegistry::with_default_classes();
+        for (input, fragment) in [
+            ("(car >= 2", "')'"),
+            ("(car >= 2 OR person >= 1", "')'"),
+            ("car >= 2)", "trailing"),
+            ("(car >= 2))", "trailing"),
+            ("()", "class name"),
+            ("(", "class name"),
+            (")", "class name"),
+        ] {
+            let err = parse_query(input, QueryId(0), &mut registry).unwrap_err();
+            let text = err.to_string();
+            assert!(text.contains(fragment), "input {input:?}: got {text:?}");
+        }
     }
 
     #[test]

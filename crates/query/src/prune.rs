@@ -89,7 +89,10 @@ mod tests {
     fn terminates_states_that_fail_every_query() {
         let q = CnfQuery::conjunction(
             QueryId(0),
-            vec![Condition::at_least(ClassId(1), 2), Condition::at_least(ClassId(0), 1)],
+            vec![
+                Condition::at_least(ClassId(1), 2),
+                Condition::at_least(ClassId(0), 1),
+            ],
         );
         let evaluator = Arc::new(CnfEvaluator::new(vec![q]));
         let pruner = GeqOnlyPruner::new(evaluator, classes()).unwrap();
@@ -106,7 +109,10 @@ mod tests {
         // terminated set is terminated.
         let q = CnfQuery::conjunction(
             QueryId(0),
-            vec![Condition::at_least(ClassId(1), 1), Condition::at_least(ClassId(0), 2)],
+            vec![
+                Condition::at_least(ClassId(1), 1),
+                Condition::at_least(ClassId(0), 2),
+            ],
         );
         let evaluator = Arc::new(CnfEvaluator::new(vec![q]));
         let pruner = GeqOnlyPruner::new(evaluator, classes()).unwrap();

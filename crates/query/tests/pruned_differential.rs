@@ -1,0 +1,84 @@
+//! Differential tests for the query-driven pruner (Section 5.3): running MFS
+//! and SSG with a [`GeqOnlyPruner`] attached must yield exactly the reference
+//! oracle's results minus the states the pruner terminates — pruning may
+//! remove hopeless states early, but never a state some `>=`-only query could
+//! still accept.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tvq_common::{ClassId, ClassRegistry, ObjectId, QueryId, WindowSpec};
+use tvq_core::SharedPruner;
+use tvq_query::{parse_query, CnfEvaluator, GeqOnlyPruner};
+use tvq_testkit::{assert_equivalent_with_pruner, tracked_feed};
+
+/// Class map covering the whole test universe: object `id` has class
+/// `id % num_classes`, matching `tvq_testkit::classed_feed`.
+fn class_map(universe: u32, num_classes: u16) -> Arc<HashMap<ObjectId, ClassId>> {
+    Arc::new(
+        (0..universe)
+            .map(|id| (ObjectId(id), ClassId(id as u16 % num_classes)))
+            .collect(),
+    )
+}
+
+fn geq_pruner(queries: &[&str], universe: u32, num_classes: u16) -> SharedPruner {
+    let mut registry = ClassRegistry::with_default_classes();
+    let workload = queries
+        .iter()
+        .enumerate()
+        .map(|(i, text)| parse_query(text, QueryId(i as u32), &mut registry).unwrap())
+        .collect();
+    let evaluator = Arc::new(CnfEvaluator::new(workload));
+    GeqOnlyPruner::shared(evaluator, class_map(universe, num_classes))
+        .expect(">=-only workload must yield a pruner")
+}
+
+#[test]
+fn geq_pruned_maintainers_agree_with_filtered_reference() {
+    // person = class 0, car = class 1 in the default registry; objects take
+    // class id % 2, so even ids are people and odd ids are cars.
+    let pruner = geq_pruner(&["car >= 1 AND person >= 1"], 6, 2);
+    for seed in 0..8u64 {
+        let frames = tracked_feed(seed, 35, 6, 0.25);
+        for (window, duration) in [(4, 2), (6, 3)] {
+            assert_equivalent_with_pruner(
+                &frames,
+                WindowSpec::new(window, duration).unwrap(),
+                pruner.clone(),
+            );
+        }
+    }
+}
+
+#[test]
+fn disjunctive_geq_workloads_prune_soundly() {
+    let pruner = geq_pruner(
+        &["(car >= 2 OR person >= 2)", "car >= 1 AND person >= 2"],
+        6,
+        2,
+    );
+    for seed in 50..56u64 {
+        let frames = tracked_feed(seed, 30, 6, 0.35);
+        assert_equivalent_with_pruner(&frames, WindowSpec::new(5, 2).unwrap(), pruner.clone());
+    }
+}
+
+#[test]
+fn demanding_workloads_prune_almost_everything_but_stay_sound() {
+    // Requires more cars than the universe holds: every state is terminated,
+    // and the maintainers must agree with the (empty) filtered oracle.
+    let pruner = geq_pruner(&["car >= 5"], 6, 2);
+    for seed in 80..84u64 {
+        let frames = tracked_feed(seed, 25, 6, 0.25);
+        assert_equivalent_with_pruner(&frames, WindowSpec::new(5, 3).unwrap(), pruner.clone());
+    }
+}
+
+#[test]
+fn mixed_workloads_refuse_to_build_a_pruner() {
+    let mut registry = ClassRegistry::with_default_classes();
+    let mixed = parse_query("car <= 3", QueryId(0), &mut registry).unwrap();
+    let evaluator = Arc::new(CnfEvaluator::new(vec![mixed]));
+    assert!(GeqOnlyPruner::shared(evaluator, class_map(6, 2)).is_none());
+}

@@ -49,8 +49,10 @@ impl Camera {
 
     /// Viewport origin at the given frame.
     pub fn origin_at(&self, frame: u64) -> Point {
-        self.origin
-            .offset(self.velocity.x * frame as f64, self.velocity.y * frame as f64)
+        self.origin.offset(
+            self.velocity.x * frame as f64,
+            self.velocity.y * frame as f64,
+        )
     }
 
     /// Whether a world-space bounding box is (partially) visible at `frame`.

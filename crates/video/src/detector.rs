@@ -122,7 +122,8 @@ mod tests {
         });
         let camera = Camera::fixed(200.0, 200.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let detections = detector.detect(0, &camera, &[gt(0, 50.0, 1.0), gt(1, 150.0, 2.0)], &mut rng);
+        let detections =
+            detector.detect(0, &camera, &[gt(0, 50.0, 1.0), gt(1, 150.0, 2.0)], &mut rng);
         assert_eq!(detections.len(), 2);
     }
 
@@ -136,7 +137,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // Both at x=50: the farther object (depth 5) is fully covered by the
         // closer one (depth 1).
-        let detections = detector.detect(0, &camera, &[gt(0, 50.0, 1.0), gt(1, 50.0, 5.0)], &mut rng);
+        let detections =
+            detector.detect(0, &camera, &[gt(0, 50.0, 1.0), gt(1, 50.0, 5.0)], &mut rng);
         let tracks: Vec<u64> = detections.iter().map(|d| d.track.raw()).collect();
         assert_eq!(tracks, vec![0]);
     }

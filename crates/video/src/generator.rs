@@ -155,8 +155,8 @@ pub fn apply_id_reuse(relation: &VideoRelation, po: u32) -> VideoRelation {
             });
         }
     }
-    let mut rebuilt =
-        VideoRelation::from_records(relation.registry().clone(), &records).expect("classes are registered");
+    let mut rebuilt = VideoRelation::from_records(relation.registry().clone(), &records)
+        .expect("classes are registered");
     // Preserve trailing empty frames lost by the record round-trip.
     while rebuilt.num_frames() < relation.num_frames() {
         rebuilt.push_detections(Vec::new());

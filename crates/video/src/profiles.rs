@@ -28,8 +28,18 @@ pub struct DatasetProfile {
     pub class_mix: &'static [(&'static str, f64)],
 }
 
-const TRAFFIC_MIX: &[(&str, f64)] = &[("car", 0.72), ("person", 0.10), ("truck", 0.12), ("bus", 0.06)];
-const PEDESTRIAN_MIX: &[(&str, f64)] = &[("person", 0.82), ("car", 0.12), ("truck", 0.04), ("bus", 0.02)];
+const TRAFFIC_MIX: &[(&str, f64)] = &[
+    ("car", 0.72),
+    ("person", 0.10),
+    ("truck", 0.12),
+    ("bus", 0.06),
+];
+const PEDESTRIAN_MIX: &[(&str, f64)] = &[
+    ("person", 0.82),
+    ("car", 0.12),
+    ("truck", 0.04),
+    ("bus", 0.02),
+];
 
 impl DatasetProfile {
     /// VisualRoad, rain with light traffic.

@@ -70,10 +70,9 @@ impl SceneObject {
         let dt = frame.saturating_sub(self.enters_at) as f64;
         let centre = match self.motion {
             Motion::Linear { vx, vy } => self.spawn.offset(vx * dt, vy * dt),
-            Motion::Loiter { step } => self.spawn.offset(
-                rng.gen_range(-step..=step) * dt.min(1.0).max(1.0),
-                rng.gen_range(-step..=step),
-            ),
+            Motion::Loiter { step } => self
+                .spawn
+                .offset(rng.gen_range(-step..=step), rng.gen_range(-step..=step)),
         };
         BoundingBox::new(centre, self.width, self.height)
     }

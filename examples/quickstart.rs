@@ -26,7 +26,9 @@ fn main() {
 
     // Frame contents: the car is present throughout; the person appears at
     // frame 2, is occluded at frames 5-6, and reappears afterwards.
-    let person_visible = [false, false, true, true, true, false, false, true, true, true];
+    let person_visible = [
+        false, false, true, true, true, false, false, true, true, true,
+    ];
 
     println!("frame | objects          | matches");
     println!("------+------------------+--------------------------------------");
@@ -36,7 +38,11 @@ fn main() {
             detections.push((ObjectId(2), person));
         }
         let frame = FrameObjects::new(FrameId(fid as u64), detections);
-        let description = if person_here { "car + person" } else { "car only" };
+        let description = if person_here {
+            "car + person"
+        } else {
+            "car only"
+        };
 
         let result = engine.observe(&frame).expect("in-order frames");
         if result.any() {

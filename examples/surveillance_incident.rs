@@ -68,7 +68,10 @@ fn main() {
     // 1. Simulated detection & tracking over the staged scene.
     let pipeline = ScenePipeline::new(staged_scene(), Camera::fixed(1920.0, 1080.0));
     let relation = pipeline.run(7);
-    println!("detection/tracking produced: {}", DatasetStats::of(&relation));
+    println!(
+        "detection/tracking produced: {}",
+        DatasetStats::of(&relation)
+    );
 
     // 2. The witness query: same car and same two people jointly for >= 90 of
     //    the last 120 frames (the duration threshold tolerates occlusions).

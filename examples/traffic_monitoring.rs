@@ -39,7 +39,10 @@ fn main() {
     let profile = DatasetProfile::d2();
     let relation = generate(&profile, 42);
     let stats = DatasetStats::of(&relation);
-    println!("dataset {} (synthetic reproduction of Table 6 row)", profile.name);
+    println!(
+        "dataset {} (synthetic reproduction of Table 6 row)",
+        profile.name
+    );
     println!("  target:   {}", profile.target_stats());
     println!("  obtained: {stats}");
     println!();
@@ -59,8 +62,7 @@ fn main() {
     println!("method | total time | per frame | matches | states created | states pruned");
     println!("-------+------------+-----------+---------+----------------+--------------");
     for kind in MaintainerKind::PRODUCTION {
-        let report =
-            run_workload(&relation, &queries, window, kind, false).expect("workload runs");
+        let report = run_workload(&relation, &queries, window, kind, false).expect("workload runs");
         println!(
             "{:6} | {:>10.2?} | {:>9.1?} | {:7} | {:14} | {:13}",
             report.strategy,

@@ -78,8 +78,10 @@ fn planted_incident_is_found_by_every_strategy() {
             "{kind:?} found no match for the planted incident"
         );
         // Matches must fall inside (a window-length of) the planted interval.
-        assert!(matching_frames.iter().all(|&f| (200..=500).contains(&f)),
-            "{kind:?} matched outside the planted interval: {matching_frames:?}");
+        assert!(
+            matching_frames.iter().all(|&f| (200..=500).contains(&f)),
+            "{kind:?} matched outside the planted interval: {matching_frames:?}"
+        );
     }
 }
 
@@ -123,7 +125,14 @@ fn csv_round_trip_preserves_query_results() {
     let query =
         tvq_query::parse_query("person >= 3", tvq_common::QueryId(0), &mut registry).unwrap();
     let window = WindowSpec::new(30, 20).unwrap();
-    let a = run_workload(&relation, &[query.clone()], window, MaintainerKind::Ssg, false).unwrap();
+    let a = run_workload(
+        &relation,
+        std::slice::from_ref(&query),
+        window,
+        MaintainerKind::Ssg,
+        false,
+    )
+    .unwrap();
     let b = run_workload(&reloaded, &[query], window, MaintainerKind::Ssg, false).unwrap();
     assert_eq!(a.total_matches, b.total_matches);
     assert_eq!(a.matching_frames, b.matching_frames);

@@ -46,14 +46,24 @@ fn assert_equivalent_on(profile: DatasetProfile, po: u32, seed: u64, spec: Windo
 #[test]
 fn equivalence_on_truncated_static_camera_profiles() {
     for profile in [DatasetProfile::v1(), DatasetProfile::d2()] {
-        assert_equivalent_on(profile.truncated(160), 0, 13, WindowSpec::new(30, 20).unwrap());
+        assert_equivalent_on(
+            profile.truncated(160),
+            0,
+            13,
+            WindowSpec::new(30, 20).unwrap(),
+        );
     }
 }
 
 #[test]
 fn equivalence_on_truncated_moving_camera_profiles() {
     for profile in [DatasetProfile::m1(), DatasetProfile::m2()] {
-        assert_equivalent_on(profile.truncated(160), 0, 29, WindowSpec::new(25, 10).unwrap());
+        assert_equivalent_on(
+            profile.truncated(160),
+            0,
+            29,
+            WindowSpec::new(25, 10).unwrap(),
+        );
     }
 }
 

@@ -23,7 +23,9 @@ fn paper_feed() -> Vec<FrameObjects> {
         .map(|(fid, objs)| {
             FrameObjects::new(
                 FrameId(fid as u64),
-                objs.into_iter().map(|o| (ObjectId(o), class_of(o))).collect(),
+                objs.into_iter()
+                    .map(|o| (ObjectId(o), class_of(o)))
+                    .collect(),
             )
         })
         .collect()
@@ -116,9 +118,7 @@ fn section_5_q2_through_the_evaluator() {
     );
     let evaluator = CnfEvaluator::new(vec![q2]);
     let counts = |cars: u32, people: u32| {
-        tvq_query::ClassCounts::from_map(
-            [(car, cars), (person, people)].into_iter().collect(),
-        )
+        tvq_query::ClassCounts::from_map([(car, cars), (person, people)].into_iter().collect())
     };
     assert!(evaluator.any_satisfied(&counts(3, 0)));
     assert!(evaluator.any_satisfied(&counts(2, 2)));

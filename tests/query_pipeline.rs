@@ -19,7 +19,10 @@ fn pruned_maintainers_report_the_same_query_matches() {
         CnfQuery::conjunction(QueryId(0), vec![Condition::at_least(ClassId(1), 5)]),
         CnfQuery::conjunction(
             QueryId(1),
-            vec![Condition::at_least(ClassId(1), 3), Condition::at_least(ClassId(2), 1)],
+            vec![
+                Condition::at_least(ClassId(1), 3),
+                Condition::at_least(ClassId(2), 1),
+            ],
         ),
     ];
     let evaluator = Arc::new(CnfEvaluator::new(queries));

@@ -1,0 +1,323 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the benchmark-facing API surface the workspace's `benches/*.rs`
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`]
+//! (and `bench_function`), [`BenchmarkId`], the group tuning knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`) and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement follows criterion's CLI convention: `cargo bench` passes
+//! `--bench` to the binary, which triggers real timed runs (warm-up, then up
+//! to `sample_size` samples within `measurement_time`, reporting mean/min/max
+//! wall-clock time). Without `--bench` (e.g. `cargo test --benches`) every
+//! benchmark body runs exactly once as a smoke test. There are no HTML
+//! reports or statistical regressions — numbers go to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement types (wall clock only).
+pub mod measurement {
+    /// Wall-clock time measurement — the criterion default.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_owned(),
+            parameter: String::new(),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    config: &'a GroupConfig,
+    /// Filled in by `iter`: (samples, total elapsed).
+    result: Option<(Vec<Duration>, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running one call per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.result = Some((Vec::new(), Duration::ZERO));
+            }
+            Mode::Bench => {
+                let warm_up_end = Instant::now() + self.config.warm_up_time;
+                while Instant::now() < warm_up_end {
+                    black_box(routine());
+                }
+                let mut samples = Vec::with_capacity(self.config.sample_size);
+                let started = Instant::now();
+                for _ in 0..self.config.sample_size {
+                    let sample_start = Instant::now();
+                    black_box(routine());
+                    samples.push(sample_start.elapsed());
+                    if started.elapsed() > self.config.measurement_time && samples.len() >= 2 {
+                        break;
+                    }
+                }
+                self.result = Some((samples, started.elapsed()));
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench` (the binary received `--bench`): timed runs.
+    Bench,
+    /// `cargo test` / direct invocation: run each body once.
+    Test,
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    criterion: &'a mut Criterion,
+    config: GroupConfig,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft cap on the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        self.run(id, |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Benchmarks a routine without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run(id, |bencher| routine(bencher));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut routine: impl FnMut(&mut Bencher<'_>)) {
+        let mode = self.criterion.mode;
+        let mut bencher = Bencher {
+            mode,
+            config: &self.config,
+            result: None,
+        };
+        routine(&mut bencher);
+        let label = format!("{}/{}", self.name, id.render());
+        match (mode, bencher.result) {
+            (Mode::Test, _) => println!("test {label} ... ok"),
+            (Mode::Bench, Some((samples, _))) if !samples.is_empty() => {
+                let total: Duration = samples.iter().sum();
+                let mean = total / samples.len() as u32;
+                let min = samples.iter().min().copied().unwrap_or_default();
+                let max = samples.iter().max().copied().unwrap_or_default();
+                println!(
+                    "{label}: mean {mean:?} (min {min:?} .. max {max:?}, {} samples)",
+                    samples.len()
+                );
+            }
+            (Mode::Bench, _) => println!("{label}: no samples collected"),
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` to harness=false bench binaries;
+        // cargo test does not — mirroring criterion's own detection.
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if bench { Mode::Bench } else { Mode::Test },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            config: GroupConfig::default(),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `routine` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = name.to_owned();
+        self.benchmark_group(name.clone())
+            .bench_function(BenchmarkId::from(name.as_str()), routine);
+        self
+    }
+
+    /// Final criterion hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_mode() -> Criterion {
+        Criterion { mode: Mode::Test }
+    }
+
+    fn bench_mode() -> Criterion {
+        Criterion { mode: Mode::Bench }
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut criterion = test_mode();
+        let mut group = criterion.benchmark_group("g");
+        let mut calls = 0;
+        group.bench_with_input(BenchmarkId::new("f", 1), &7usize, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_multiple_samples() {
+        let mut criterion = bench_mode();
+        let mut group = criterion.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0usize;
+        group.bench_function(BenchmarkId::new("f", "x"), |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // Warm-up plus at least two samples.
+        assert!(calls >= 3, "calls = {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 42).render(), "f/42");
+        assert_eq!(
+            BenchmarkId::new(format!("w{}", 8), "SSG").render(),
+            "w8/SSG"
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the slice of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header) expanding
+//!   each `fn name(arg in strategy, ...) { body }` into a `#[test]` that runs
+//!   the body over many generated inputs;
+//! * strategies: integer/float ranges, tuples of strategies,
+//!   [`collection::vec`], [`collection::btree_map`] and [`arbitrary::any`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * **regression persistence**: when a case fails, its seed is appended to
+//!   `proptest-regressions/<source-file-stem>.txt` next to the crate's
+//!   `Cargo.toml`, and seeds found there are replayed *first* on every run,
+//!   so a once-seen failure stays reproducible until fixed.
+//!
+//! Generation is driven by the vendored deterministic [`rand`] crate: case
+//! seeds are derived from the test name and case index, so runs are fully
+//! deterministic — there is no shrinking, but any failure report includes the
+//! seed and is replayable as-is.
+
+#![forbid(unsafe_code)]
+
+pub use ::rand as __rand;
+
+/// Runner configuration.
+pub mod test_runner {
+    /// The subset of proptest's `ProptestConfig` this workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::SampleRange;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of generated values. Unlike real proptest there is no shrink
+    /// tree; a strategy is just a deterministic sampler.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.clone().sample_single(rng)
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.clone().sample_single(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut StdRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating arbitrary values of `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Accepted size arguments for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi_exclusive {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi_exclusive)
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(
+                r.end > r.start,
+                "empty collection size range: {}..{}",
+                r.start,
+                r.end
+            );
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` — see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` — see [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// Generates maps with up to `size` entries (duplicate keys collapse, as
+    /// in real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-case driver with regression persistence. Used by the [`proptest!`]
+/// macro expansion; not part of the public proptest API surface.
+pub mod runner {
+    use super::test_runner::ProptestConfig;
+    use std::fs;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+
+    /// Where failing seeds for `source_file` are persisted: proptest's
+    /// convention of a `proptest-regressions/` directory next to the crate
+    /// manifest, one file per source file stem.
+    pub fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"))
+    }
+
+    fn stored_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+        let Ok(contents) = fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        contents
+            .lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                let mut parts = line.split_whitespace();
+                // Format: `cc <test_name> <seed>` (comments start with '#').
+                match (parts.next(), parts.next(), parts.next()) {
+                    (Some("cc"), Some(name), Some(seed)) if name == test_name => seed.parse().ok(),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    fn persist_seed(path: &Path, test_name: &str, seed: u64) {
+        use std::io::Write as _;
+
+        if stored_seeds(path, test_name).contains(&seed) {
+            return;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        // Append-only (O_APPEND) so concurrently failing tests in the same
+        // binary — which share this file — cannot clobber each other's seeds
+        // the way a read-modify-write would.
+        let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(path) else {
+            return;
+        };
+        let mut entry = String::new();
+        if file.metadata().map(|m| m.len() == 0).unwrap_or(false) {
+            entry.push_str(
+                "# Seeds for failure cases proptest has generated in the past.\n\
+                 # It is recommended to check this file in to source control so that\n\
+                 # everyone who runs the test benefits from these saved cases.\n",
+            );
+        }
+        entry.push_str(&format!("cc {test_name} {seed}\n"));
+        let _ = file.write_all(entry.as_bytes());
+    }
+
+    /// Deterministic per-case seed: FNV-1a over the test name, mixed with the
+    /// case index through a SplitMix64 finaliser.
+    pub fn derive_seed(test_name: &str, index: u32) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = hash ^ ((index as u64) << 1).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs `case` over the persisted regression seeds (first) and then
+    /// `config.cases` freshly derived seeds. On failure the seed is persisted
+    /// and the test panics with a replay hint.
+    pub fn run_cases(
+        config: &ProptestConfig,
+        manifest_dir: &str,
+        source_file: &str,
+        test_name: &str,
+        mut case: impl FnMut(u64),
+    ) {
+        let path = regression_path(manifest_dir, source_file);
+        let replayed = stored_seeds(&path, test_name);
+        let fresh = (0..config.cases).map(|i| derive_seed(test_name, i));
+        for (is_replay, seed) in replayed
+            .iter()
+            .copied()
+            .map(|s| (true, s))
+            .chain(fresh.map(|s| (false, s)))
+        {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| case(seed)));
+            if let Err(payload) = outcome {
+                persist_seed(&path, test_name, seed);
+                let message = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("test case panicked");
+                panic!(
+                    "proptest case failed for `{test_name}` (seed {seed}{}): {message}\n\
+                     seed persisted to {}",
+                    if is_replay {
+                        ", replayed regression"
+                    } else {
+                        ""
+                    },
+                    path.display(),
+                );
+            }
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::runner::run_cases(
+                &config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__seed| {
+                    use $crate::strategy::Strategy as _;
+                    let mut __rng =
+                        <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                            __seed,
+                        );
+                    $(let $arg = ($strat).generate(&mut __rng);)+
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_strategy_respects_size_and_element_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strat = crate::collection::vec(0u32..64, 0..32);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 32);
+            assert!(v.iter().all(|&x| x < 64));
+        }
+    }
+
+    #[test]
+    fn btree_map_strategy_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let strat = crate::collection::btree_map(0u64..40, any::<bool>(), 0..20);
+        for _ in 0..100 {
+            let m = strat.generate(&mut rng);
+            assert!(m.len() < 20);
+            assert!(m.keys().all(|&k| k < 40));
+        }
+    }
+
+    #[test]
+    fn tuple_strategies_generate_componentwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let strat = (0u64..60, any::<bool>(), 0u8..3);
+        for _ in 0..200 {
+            let (a, _b, c) = strat.generate(&mut rng);
+            assert!(a < 60);
+            assert!(c < 3);
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_name_dependent() {
+        assert_eq!(
+            crate::runner::derive_seed("foo", 3),
+            crate::runner::derive_seed("foo", 3)
+        );
+        assert_ne!(
+            crate::runner::derive_seed("foo", 3),
+            crate::runner::derive_seed("bar", 3)
+        );
+        assert_ne!(
+            crate::runner::derive_seed("foo", 3),
+            crate::runner::derive_seed("foo", 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection size range")]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn empty_collection_size_ranges_are_rejected() {
+        let _ = crate::collection::vec(0u32..4, 5..3);
+    }
+
+    #[test]
+    fn failing_cases_persist_their_seed_and_are_replayed_first() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = dir.to_str().unwrap().to_owned();
+        let config = ProptestConfig::with_cases(5);
+
+        // A failing run must persist the first failing seed.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::runner::run_cases(
+                &config,
+                &manifest,
+                "tests/sample.rs",
+                "always_fails",
+                |_| panic!("boom"),
+            );
+        }));
+        assert!(outcome.is_err());
+        let path = crate::runner::regression_path(&manifest, "tests/sample.rs");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("cc always_fails"), "{contents}");
+
+        // A later (now passing) run replays the stored seed before the fresh
+        // cases; seeds stored for other tests are ignored.
+        let mut seeds = Vec::new();
+        crate::runner::run_cases(
+            &ProptestConfig::with_cases(1),
+            &manifest,
+            "tests/sample.rs",
+            "always_fails",
+            |seed| seeds.push(seed),
+        );
+        assert_eq!(seeds.len(), 2, "one replayed + one fresh seed");
+        assert_eq!(seeds[0], crate::runner::derive_seed("always_fails", 0));
+        let mut other = Vec::new();
+        crate::runner::run_cases(
+            &ProptestConfig::with_cases(1),
+            &manifest,
+            "tests/sample.rs",
+            "different_test",
+            |seed| other.push(seed),
+        );
+        assert_eq!(other.len(), 1, "no replays for a test without regressions");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: generated values respect their strategies.
+        #[test]
+        fn macro_binds_generated_values(x in 1usize..10, v in crate::collection::vec(0u32..5, 0..6)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+}
