@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark for the sharded multi-feed engine: a fixed
+//! four-camera deployment ingested end-to-end, per worker-pool size. The
+//! interesting read-out is how total ingestion time falls as workers are
+//! added while the reported matches stay identical.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tvq_bench::experiments::{multi_feed_batches, multi_feed_deployment, run_multi_feed_prepared};
+use tvq_bench::Scale;
+use tvq_common::WindowSpec;
+
+fn bench_multi_feed_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_feed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+
+    // Prepared once: the timed closure measures ingestion, not deployment
+    // generation or frame interleaving/cloning.
+    let batches = multi_feed_batches(&multi_feed_deployment(4, Scale::Quick));
+    let window = WindowSpec::new(30, 20).unwrap();
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest", format!("{workers}w")),
+            &batches,
+            |b, batches| b.iter(|| run_multi_feed_prepared(batches, workers, window).1),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_feed_scaling);
+criterion_main!(benches);

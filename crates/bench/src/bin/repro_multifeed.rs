@@ -1,0 +1,20 @@
+//! Multi-feed scaling scenario: total ingestion time for N concurrent
+//! camera feeds (cycling through the paper's six dataset profiles) as the
+//! worker-pool size grows. Goes beyond the paper's single-feed evaluation —
+//! this is the sharding axis the production deployment scales along. Pass
+//! `--quick` for a reduced run.
+
+use tvq_bench::{experiments, format_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let series = experiments::multi_feed(scale);
+    print!(
+        "{}",
+        format_table(
+            "Multi-feed scaling: ingestion time vs. concurrent feeds (per worker-pool size)",
+            "feeds",
+            &series
+        )
+    );
+}

@@ -8,11 +8,13 @@
 //! wins on which dataset, and how the gap evolves with each parameter.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use tvq_common::{DatasetStats, VideoRelation, WindowSpec};
 use tvq_core::MaintainerKind;
+use tvq_engine::{EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine};
 use tvq_query::{generate_workload, CnfEvaluator, GeqOnlyPruner, WorkloadConfig};
-use tvq_video::{generate, generate_with_id_reuse, DatasetProfile};
+use tvq_video::{generate, generate_with_id_reuse, interleave, CameraFeed, DatasetProfile};
 
 use crate::harness::{format_table, time_mcos_generation, time_query_evaluation, Scale, Series};
 
@@ -344,6 +346,100 @@ pub fn fig10(scale: Scale) -> Vec<Series> {
     series
 }
 
+/// Batch size used by the multi-feed scaling experiment.
+pub const MULTI_FEED_BATCH: usize = 64;
+
+/// Builds the heterogeneous camera deployment the multi-feed experiment
+/// runs on: `feeds` cameras cycling through the paper's dataset profiles,
+/// truncated per scale.
+pub fn multi_feed_deployment(feeds: usize, scale: Scale) -> Vec<CameraFeed> {
+    let all = profiles();
+    let deployment: Vec<DatasetProfile> = (0..feeds)
+        .map(|i| {
+            let profile = &all[i % all.len()];
+            profile.truncated(scale.frames(profile.frames).min(300))
+        })
+        .collect();
+    tvq_video::generate_feeds(&deployment, SEED)
+}
+
+/// Interleaves a deployment into the round-robin `FeedFrame` batches the
+/// multi-feed engine ingests. Split out so benchmarks can prepare batches
+/// once, outside the timed section.
+pub fn multi_feed_batches(feeds: &[CameraFeed]) -> Vec<Vec<FeedFrame>> {
+    interleave(feeds, MULTI_FEED_BATCH)
+        .into_iter()
+        .map(|batch| batch.into_iter().map(FeedFrame::from).collect())
+        .collect()
+}
+
+/// Ingests pre-built batches through a fresh sharded engine and returns the
+/// wall-clock seconds spent inside the `push_batch` loop plus the total
+/// number of matches (to keep the work honest). Engine construction and
+/// batch preparation are excluded from the measurement.
+pub fn run_multi_feed_prepared(
+    batches: &[Vec<FeedFrame>],
+    workers: usize,
+    window: WindowSpec,
+) -> (f64, u64) {
+    let config =
+        MultiFeedConfig::new(EngineConfig::new(window).with_maintainer(MaintainerKind::Ssg))
+            .with_workers(workers);
+    let mut engine = MultiFeedEngine::builder(config)
+        .with_query_text("car >= 2 AND person >= 1")
+        .expect("query parses")
+        .with_query_text("car >= 3")
+        .expect("query parses")
+        .build()
+        .expect("engine builds");
+    let start = Instant::now();
+    let mut matches = 0u64;
+    for batch in batches {
+        let results = engine.push_batch(batch).expect("batch is accepted");
+        matches += results
+            .iter()
+            .map(|r| r.result.matches.len() as u64)
+            .sum::<u64>();
+    }
+    (start.elapsed().as_secs_f64(), matches)
+}
+
+/// Convenience wrapper: [`multi_feed_batches`] + [`run_multi_feed_prepared`].
+pub fn run_multi_feed(feeds: &[CameraFeed], workers: usize, window: WindowSpec) -> (f64, u64) {
+    run_multi_feed_prepared(&multi_feed_batches(feeds), workers, window)
+}
+
+/// **Multi-feed scaling** — total ingestion time for N concurrent camera
+/// feeds (cycling through the six dataset profiles) as the worker-pool size
+/// grows. One series per pool size, one x value per deployment width. Going
+/// beyond the paper: this measures the sharding axis the production system
+/// scales along rather than a figure of the evaluation section.
+pub fn multi_feed(scale: Scale) -> Vec<Series> {
+    let window = scale.window(WindowSpec::new(60, 45).expect("static spec is valid"));
+    let feed_counts: &[usize] = match scale {
+        Scale::Paper => &[2, 4, 6, 12],
+        Scale::Quick => &[2, 4, 6],
+    };
+    let worker_counts: &[usize] = &[1, 2, 4];
+    let mut series: Vec<Series> = worker_counts
+        .iter()
+        .map(|workers| Series {
+            method: format!("{workers}w"),
+            points: Vec::new(),
+        })
+        .collect();
+    // Each deployment is deterministic and worker-independent: generate it
+    // (and its batches) once per feed count, not once per series point.
+    for &feeds in feed_counts {
+        let batches = multi_feed_batches(&multi_feed_deployment(feeds, scale));
+        for (index, &workers) in worker_counts.iter().enumerate() {
+            let (seconds, _) = run_multi_feed_prepared(&batches, workers, window);
+            series[index].points.push((feeds.to_string(), seconds));
+        }
+    }
+    series
+}
+
 /// Renders a per-dataset experiment as printable text.
 pub fn render(title: &str, x_label: &str, results: &[(String, Vec<Series>)]) -> String {
     let mut out = String::new();
@@ -393,6 +489,22 @@ mod tests {
         assert_eq!(names, vec!["NAIVE_E", "MFS_E", "SSG_E", "MFS_O", "SSG_O"]);
         assert!(Fig9Method::MfsO.pruned());
         assert!(!Fig9Method::SsgE.pruned());
+    }
+
+    #[test]
+    fn multi_feed_scaling_is_complete_and_matches_are_worker_independent() {
+        let deployment = multi_feed_deployment(4, Scale::Quick);
+        assert_eq!(deployment.len(), 4);
+        let window = WindowSpec::new(20, 12).unwrap();
+        let (_, matches_1w) = run_multi_feed(&deployment, 1, window);
+        let (_, matches_4w) = run_multi_feed(&deployment, 4, window);
+        assert_eq!(matches_1w, matches_4w, "sharding changed the answers");
+        let series = multi_feed(Scale::Quick);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.points.len(), 3, "{}", s.method);
+            assert!(s.points.iter().all(|&(_, v)| v.is_finite() && v >= 0.0));
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! | Figure 9 (pruning vs n_min) | [`experiments::fig9`] | `repro_fig9` |
 //! | Figure 10 (end-to-end per query) | [`experiments::fig10`] | `repro_fig10` |
 //!
+//! Beyond the paper, the multi-feed scaling scenario
+//! ([`experiments::multi_feed`], binary `repro_multifeed`) measures sharded
+//! ingestion of N concurrent camera feeds per worker-pool size.
+//!
 //! Binaries accept `--quick` to run a reduced-size configuration (shorter
 //! feeds, smaller windows) that preserves the qualitative comparison while
 //! finishing in seconds; the default configuration mirrors the paper's

@@ -47,6 +47,12 @@ pub enum Error {
     Io(std::io::Error),
     /// A configuration value was outside its legal range.
     InvalidConfig(String),
+    /// A shard worker of the multi-feed engine terminated unexpectedly
+    /// (panicked or dropped its channel), so a batch could not complete.
+    ShardLost {
+        /// Index of the lost worker within the engine's worker pool.
+        worker: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -70,6 +76,9 @@ impl fmt::Display for Error {
             }
             Error::Io(err) => write!(f, "I/O error: {err}"),
             Error::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            Error::ShardLost { worker } => {
+                write!(f, "multi-feed shard worker {worker} terminated unexpectedly")
+            }
         }
     }
 }
@@ -120,6 +129,9 @@ mod tests {
             message: "missing class column".into(),
         };
         assert!(e.to_string().contains("line 3"));
+
+        let e = Error::ShardLost { worker: 2 };
+        assert!(e.to_string().contains("worker 2"));
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub struct ClassId(pub u16);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct QueryId(pub u32);
 
+/// Identifier of a video feed (camera) in a multi-feed deployment.
+///
+/// A deployment ingests many feeds concurrently; every frame entering the
+/// multi-feed engine is tagged with the feed it belongs to, and all
+/// cross-feed reports are ordered by feed identifier so that merged output
+/// is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FeedId(pub u32);
+
 /// Identifier of a ground-truth track in the scene simulator.
 ///
 /// Distinct from [`ObjectId`]: the simulated tracker may split one physical
@@ -79,6 +88,7 @@ impl_id!(ObjectId, u32, "o");
 impl_id!(ClassId, u16, "c");
 impl_id!(QueryId, u32, "q");
 impl_id!(TrackId, u64, "t");
+impl_id!(FeedId, u32, "feed");
 
 impl FrameId {
     /// Returns the following frame identifier.
@@ -106,6 +116,7 @@ mod tests {
         assert_eq!(ClassId(1).to_string(), "c1");
         assert_eq!(QueryId(12).to_string(), "q12");
         assert_eq!(TrackId(4).to_string(), "t4");
+        assert_eq!(FeedId(2).to_string(), "feed2");
     }
 
     #[test]

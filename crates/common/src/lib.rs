@@ -24,7 +24,7 @@
 //! pairs, and all downstream processing operates on those sets.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod class;
 pub mod error;
@@ -39,7 +39,7 @@ pub mod window;
 pub use class::{ClassLabel, ClassRegistry};
 pub use error::{Error, Result};
 pub use frame_set::MarkedFrameSet;
-pub use ids::{ClassId, FrameId, ObjectId, QueryId, TrackId};
+pub use ids::{ClassId, FeedId, FrameId, ObjectId, QueryId, TrackId};
 pub use object_set::ObjectSet;
 pub use relation::{FrameObjects, ObjectRecord, VideoRelation};
 pub use stats::DatasetStats;

@@ -21,7 +21,7 @@
 //!   frames with the State Traversal algorithm, skipping whole subtrees that
 //!   share no object with the arriving frame.
 //!
-//! A brute-force [`reference`] oracle pins down the intended semantics and is
+//! A brute-force [`reference`](mod@reference) oracle pins down the intended semantics and is
 //! used by the differential tests; [`prune::StatePruner`] is the hook through
 //! which the query layer terminates hopeless states (Section 5.3).
 //!
@@ -47,7 +47,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod maintainer;
 pub mod metrics;

@@ -47,6 +47,54 @@ impl MaintenanceMetrics {
         self.peak_live_states = self.peak_live_states.max(live as u64);
     }
 
+    /// Accumulates `other`'s counters into `self`.
+    ///
+    /// All counters add field-wise, including `peak_live_states`: per-source
+    /// peaks need not coincide in time, so the merged peak is an *upper
+    /// bound* on the number of simultaneously live states across sources.
+    /// This is the aggregation the multi-feed engine uses to fold per-shard
+    /// metrics into one global report; merging is commutative and
+    /// associative, and merging into [`MaintenanceMetrics::default`] copies.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tvq_core::MaintenanceMetrics;
+    ///
+    /// let mut shard = MaintenanceMetrics::new();
+    /// shard.frames_processed = 10;
+    /// shard.states_created = 4;
+    /// shard.peak_live_states = 3;
+    ///
+    /// let mut global = MaintenanceMetrics::default();
+    /// global.merge(&shard);
+    /// global.merge(&shard);
+    /// assert_eq!(global.frames_processed, 20);
+    /// assert_eq!(global.states_created, 8);
+    /// assert_eq!(global.peak_live_states, 6);
+    /// ```
+    pub fn merge(&mut self, other: &MaintenanceMetrics) {
+        self.frames_processed += other.frames_processed;
+        self.states_created += other.states_created;
+        self.states_pruned += other.states_pruned;
+        self.states_terminated += other.states_terminated;
+        self.intersections += other.intersections;
+        self.frames_appended += other.frames_appended;
+        self.states_visited += other.states_visited;
+        self.edges_added += other.edges_added;
+        self.edges_removed += other.edges_removed;
+        self.peak_live_states += other.peak_live_states;
+    }
+
+    /// Folds an iterator of metrics into one aggregate via [`merge`](Self::merge).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a MaintenanceMetrics>) -> Self {
+        let mut total = MaintenanceMetrics::new();
+        for part in parts {
+            total.merge(part);
+        }
+        total
+    }
+
     /// Average number of states visited per processed frame.
     pub fn visited_per_frame(&self) -> f64 {
         if self.frames_processed == 0 {
@@ -94,6 +142,46 @@ mod tests {
         m.observe_live_states(3);
         m.observe_live_states(9);
         assert_eq!(m.peak_live_states, 9);
+    }
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let mut a = MaintenanceMetrics::new();
+        a.frames_processed = 1;
+        a.states_created = 2;
+        a.states_pruned = 3;
+        a.states_terminated = 4;
+        a.intersections = 5;
+        a.frames_appended = 6;
+        a.states_visited = 7;
+        a.edges_added = 8;
+        a.edges_removed = 9;
+        a.peak_live_states = 10;
+        let mut b = a.clone();
+        b.merge(&a);
+        let doubled = MaintenanceMetrics::merged([&a, &a]);
+        assert_eq!(b, doubled);
+        assert_eq!(doubled.frames_processed, 2);
+        assert_eq!(doubled.states_created, 4);
+        assert_eq!(doubled.states_pruned, 6);
+        assert_eq!(doubled.states_terminated, 8);
+        assert_eq!(doubled.intersections, 10);
+        assert_eq!(doubled.frames_appended, 12);
+        assert_eq!(doubled.states_visited, 14);
+        assert_eq!(doubled.edges_added, 16);
+        assert_eq!(doubled.edges_removed, 18);
+        assert_eq!(doubled.peak_live_states, 20);
+    }
+
+    #[test]
+    fn merging_into_default_copies() {
+        let mut a = MaintenanceMetrics::new();
+        a.frames_processed = 12;
+        a.states_visited = 30;
+        let merged = MaintenanceMetrics::merged([&a]);
+        assert_eq!(merged, a);
+        let empty = std::iter::empty::<&MaintenanceMetrics>();
+        assert_eq!(MaintenanceMetrics::merged(empty), MaintenanceMetrics::new());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! threshold.
 //!
 //! MFS also supports the query-driven termination of Section 5.3 (the
-//! `MFS_O` variant): a [`StatePruner`] is consulted whenever a new state
+//! `MFS_O` variant): a [`StatePruner`](crate::StatePruner) is consulted whenever a new state
 //! would be created, and rejected object sets are remembered as *terminated*
 //! so they are never materialised again while they remain hopeless.
 

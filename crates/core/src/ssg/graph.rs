@@ -108,9 +108,16 @@ impl StateGraph {
         id
     }
 
-    /// Iterates over the identifiers of all live nodes.
+    /// Identifiers of all live nodes, in ascending slab order.
+    ///
+    /// Sorted so that bulk operations (the maintainer's periodic sweep)
+    /// process nodes in a deterministic order: removal rewires edges, so
+    /// iterating in `HashMap` order would make the edge counters — and the
+    /// intermediate graph shape — differ between identical runs.
     pub fn live_ids(&self) -> Vec<NodeId> {
-        self.by_set.values().copied().collect()
+        let mut ids: Vec<NodeId> = self.by_set.values().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     fn add_edge(&mut self, parent: NodeId, child: NodeId) {

@@ -17,7 +17,7 @@
 //!   states fully contained in it, materialises missing intersection states,
 //!   and skips subtrees with empty intersections.
 //! * **Modifying Existing Edges (4.3.4) and Property 2** — performed by
-//!   [`graph::StateGraph::attach`].
+//!   `StateGraph::attach`.
 //! * **Connecting the New Principal State / Algorithm 2 (CNPS)** — candidates
 //!   (one per principal state) are sorted by object-set size and connected to
 //!   the new principal unless already reachable.

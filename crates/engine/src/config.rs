@@ -67,6 +67,47 @@ impl Default for EngineConfig {
     }
 }
 
+/// Configuration of the sharded multi-feed engine
+/// ([`MultiFeedEngine`](crate::MultiFeedEngine)).
+///
+/// Every camera feed is served by a per-feed single-feed engine configured
+/// with the embedded [`EngineConfig`]; feeds are sharded across a fixed pool
+/// of `workers` OS threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiFeedConfig {
+    /// Configuration applied to every per-feed engine.
+    pub engine: EngineConfig,
+    /// Number of worker threads the feeds are sharded across. Must be at
+    /// least 1; feed `f` is pinned to worker `f mod workers`.
+    pub workers: usize,
+}
+
+impl MultiFeedConfig {
+    /// Default worker-pool size when none is requested explicitly.
+    pub const DEFAULT_WORKERS: usize = 4;
+
+    /// Creates a multi-feed configuration with the given per-feed engine
+    /// configuration and [`Self::DEFAULT_WORKERS`] workers.
+    pub fn new(engine: EngineConfig) -> Self {
+        MultiFeedConfig {
+            engine,
+            workers: Self::DEFAULT_WORKERS,
+        }
+    }
+
+    /// Sets the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+impl Default for MultiFeedConfig {
+    fn default() -> Self {
+        MultiFeedConfig::new(EngineConfig::default())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +122,19 @@ mod tests {
             config.maintainer,
             MaintainerSelection::Fixed(MaintainerKind::Ssg)
         );
+    }
+
+    #[test]
+    fn multi_feed_config_defaults_and_setters() {
+        let config = MultiFeedConfig::default();
+        assert_eq!(config.workers, MultiFeedConfig::DEFAULT_WORKERS);
+        assert_eq!(config.engine, EngineConfig::default());
+        let config = MultiFeedConfig::new(
+            EngineConfig::new(WindowSpec::new(5, 2).unwrap()).with_maintainer(MaintainerKind::Mfs),
+        )
+        .with_workers(2);
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.engine.window.window(), 5);
     }
 
     #[test]

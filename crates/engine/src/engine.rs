@@ -8,7 +8,7 @@
 //! [`QueryMatch`]es per frame.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use tvq_common::{
     ClassId, ClassRegistry, DatasetStats, Error, FrameId, FrameObjects, ObjectId, ObjectSet,
@@ -44,7 +44,11 @@ struct LivePruner {
 
 impl StatePruner for LivePruner {
     fn should_terminate(&self, objects: &ObjectSet) -> bool {
-        let classes = self.classes.read().expect("class map lock poisoned");
+        // The class map only ever grows by inserting immutable entries, so a
+        // poisoned lock (a panicking thread elsewhere in the process) leaves
+        // it in a usable state: recover the guard instead of cascading the
+        // panic into every shard that shares the map.
+        let classes = self.classes.read().unwrap_or_else(PoisonError::into_inner);
         let counts = ClassCounts::of(objects, &classes);
         !self.evaluator.any_satisfied(&counts)
     }
@@ -200,7 +204,9 @@ impl TemporalVideoQueryEngine {
     pub fn observe(&mut self, frame: &FrameObjects) -> Result<FrameResult> {
         let mut relevant: Vec<ObjectId> = Vec::with_capacity(frame.classes.len());
         {
-            let mut classes = self.classes.write().expect("class map lock poisoned");
+            // See `LivePruner::should_terminate` for why poisoning is safe to
+            // recover from here.
+            let mut classes = self.classes.write().unwrap_or_else(PoisonError::into_inner);
             for &(id, class) in &frame.classes {
                 if self.relevant_classes.contains(&class) {
                     classes.entry(id).or_insert(class);
@@ -210,7 +216,7 @@ impl TemporalVideoQueryEngine {
         }
         let objects = ObjectSet::from_ids(relevant);
         self.maintainer.advance(frame.fid, &objects)?;
-        let classes = self.classes.read().expect("class map lock poisoned");
+        let classes = self.classes.read().unwrap_or_else(PoisonError::into_inner);
         let matches = evaluate_result_set(&self.evaluator, self.maintainer.results(), &classes);
         Ok(FrameResult {
             frame: frame.fid,
@@ -378,6 +384,29 @@ mod tests {
         .build()
         .unwrap();
         assert_eq!(engine.strategy(), "SSG");
+    }
+
+    #[test]
+    fn live_pruner_survives_a_poisoned_class_map() {
+        let mut registry = ClassRegistry::with_default_classes();
+        let query =
+            tvq_query::parse_query("car >= 1", tvq_common::QueryId(0), &mut registry).unwrap();
+        let pruner = LivePruner {
+            evaluator: Arc::new(CnfEvaluator::new(vec![query])),
+            classes: Arc::new(RwLock::new(HashMap::from([(ObjectId(1), ClassId(1))]))),
+        };
+        // Poison the lock: a thread panics while holding the write guard.
+        let classes = Arc::clone(&pruner.classes);
+        let _ = std::thread::spawn(move || {
+            let _guard = classes.write().unwrap();
+            panic!("poison the class map");
+        })
+        .join();
+        assert!(pruner.classes.is_poisoned());
+        // A poisoned map must not cascade the panic; the pruner still sees
+        // object 1 as a car and keeps the state alive.
+        assert!(!pruner.should_terminate(&ObjectSet::from_raw([1])));
+        assert!(pruner.should_terminate(&ObjectSet::from_raw([7])));
     }
 
     #[test]

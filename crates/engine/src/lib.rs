@@ -23,6 +23,11 @@
 //! picks MFS vs SSG from feed statistics following the trade-off the paper
 //! establishes.
 //!
+//! For deployments serving many cameras at once, [`MultiFeedEngine`] (see
+//! [`multi`]) shards feed-tagged frames across a worker pool, runs one
+//! single-feed engine per feed, and merges per-feed results and metrics into
+//! a deterministic feed-id-ordered report.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -52,14 +57,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptive;
 pub mod config;
 pub mod engine;
+pub mod multi;
 pub mod pipeline;
 
 pub use adaptive::choose_maintainer;
-pub use config::{EngineConfig, MaintainerSelection};
+pub use config::{EngineConfig, MaintainerSelection, MultiFeedConfig};
 pub use engine::{EngineBuilder, FrameResult, TemporalVideoQueryEngine};
+pub use multi::{
+    FeedFrame, FeedFrameResult, FeedReport, MultiFeedBuilder, MultiFeedEngine, MultiFeedReport,
+};
 pub use pipeline::{run_workload, RunReport};

@@ -1,0 +1,675 @@
+//! Sharded multi-feed engine.
+//!
+//! The single-feed [`TemporalVideoQueryEngine`] answers CNF co-occurrence
+//! queries over *one* camera feed. A production deployment watches many
+//! cameras at once; [`MultiFeedEngine`] scales the same query semantics to N
+//! concurrent feeds by sharding feeds across a fixed pool of worker threads
+//! (plain `std::thread` + `std::sync::mpsc` channels — no extra
+//! dependencies):
+//!
+//! * every feed is pinned to the worker `feed mod workers`, so each feed's
+//!   frames are always processed in order by exactly one thread;
+//! * each worker lazily materialises one single-feed engine per feed it
+//!   owns, built from a shared immutable query registry (configuration,
+//!   class registry and registered queries are fixed at build time);
+//! * [`MultiFeedEngine::push_batch`] ingests a batch of feed-tagged frames,
+//!   fans them out to the shards, and returns the per-frame results in the
+//!   batch's input order — independent of thread scheduling;
+//! * [`MultiFeedEngine::report`] merges per-feed results and
+//!   [`MaintenanceMetrics`] into a global report ordered by [`FeedId`], so
+//!   cross-feed output is deterministic.
+//!
+//! Because each per-feed engine is exactly a single-feed engine fed the same
+//! frames in the same order, a sharded run is frame-for-frame identical to N
+//! independent single-feed runs; the differential suite pins this down.
+//!
+//! # Example
+//!
+//! ```
+//! use tvq_common::{ClassId, FeedId, FrameId, FrameObjects, ObjectId, WindowSpec};
+//! use tvq_engine::{EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine};
+//!
+//! let config = MultiFeedConfig::new(EngineConfig::new(WindowSpec::new(3, 2).unwrap()))
+//!     .with_workers(2);
+//! let mut engine = MultiFeedEngine::builder(config)
+//!     .with_query_text("car >= 1 AND person >= 1")
+//!     .unwrap()
+//!     .build()
+//!     .unwrap();
+//!
+//! // Three frames from each of two cameras, tagged with their feed.
+//! let mut batch = Vec::new();
+//! for feed in 0..2u32 {
+//!     for fid in 0..3u64 {
+//!         batch.push(FeedFrame::new(
+//!             FeedId(feed),
+//!             FrameObjects::new(
+//!                 FrameId(fid),
+//!                 vec![(ObjectId(1), ClassId(1)), (ObjectId(2), ClassId(0))],
+//!             ),
+//!         ));
+//!     }
+//! }
+//! let results = engine.push_batch(&batch).unwrap();
+//! assert_eq!(results.len(), 6);
+//! // Both feeds see the car+person pair co-occur long enough by frame 1.
+//! assert!(results.iter().filter(|r| r.result.any()).count() >= 2);
+//!
+//! let report = engine.report().unwrap();
+//! assert_eq!(report.feeds.len(), 2);
+//! assert_eq!(report.metrics.frames_processed, 6);
+//! ```
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tvq_common::{ClassRegistry, DatasetStats, Error, FeedId, FrameObjects, QueryId, Result};
+use tvq_core::MaintenanceMetrics;
+use tvq_query::CnfQuery;
+
+use crate::config::{EngineConfig, MultiFeedConfig};
+use crate::engine::{FrameResult, TemporalVideoQueryEngine};
+
+/// How long a batch waits for a missing shard result before concluding the
+/// worker is gone. Generous: a healthy worker answers in microseconds.
+const SHARD_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One frame of detections tagged with the feed (camera) it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedFrame {
+    /// The feed the frame belongs to.
+    pub feed: FeedId,
+    /// The frame's detections.
+    pub frame: FrameObjects,
+}
+
+impl FeedFrame {
+    /// Tags a frame with its feed.
+    pub fn new(feed: FeedId, frame: FrameObjects) -> Self {
+        FeedFrame { feed, frame }
+    }
+}
+
+impl From<(FeedId, FrameObjects)> for FeedFrame {
+    fn from((feed, frame): (FeedId, FrameObjects)) -> Self {
+        FeedFrame::new(feed, frame)
+    }
+}
+
+/// The result of processing one feed-tagged frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedFrameResult {
+    /// The feed the frame belonged to.
+    pub feed: FeedId,
+    /// The per-frame query matches, identical to what a dedicated
+    /// single-feed engine would report for the same feed.
+    pub result: FrameResult,
+}
+
+/// Summary of one feed's engine at report time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedReport {
+    /// The feed this report describes.
+    pub feed: FeedId,
+    /// The MCOS-generation strategy serving the feed (e.g. `"SSG_O"`).
+    pub strategy: String,
+    /// Frames the feed has contributed so far.
+    pub frames: u64,
+    /// Total query matches across the feed's frames.
+    pub total_matches: u64,
+    /// Frames with at least one match.
+    pub matching_frames: u64,
+    /// States currently materialised by the feed's maintainer.
+    pub live_states: usize,
+    /// The feed's maintenance work counters.
+    pub metrics: MaintenanceMetrics,
+}
+
+/// A deterministic global view over every feed the engine has seen: one
+/// [`FeedReport`] per feed in ascending [`FeedId`] order, plus the merged
+/// work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFeedReport {
+    /// Per-feed summaries, sorted by feed identifier.
+    pub feeds: Vec<FeedReport>,
+    /// All per-feed metrics folded with [`MaintenanceMetrics::merge`].
+    pub metrics: MaintenanceMetrics,
+}
+
+impl MultiFeedReport {
+    /// Number of feeds observed so far.
+    pub fn num_feeds(&self) -> usize {
+        self.feeds.len()
+    }
+
+    /// Total frames processed across all feeds.
+    pub fn total_frames(&self) -> u64 {
+        self.feeds.iter().map(|f| f.frames).sum()
+    }
+
+    /// Total query matches across all feeds.
+    pub fn total_matches(&self) -> u64 {
+        self.feeds.iter().map(|f| f.total_matches).sum()
+    }
+
+    /// Total frames with at least one match, across all feeds.
+    pub fn matching_frames(&self) -> u64 {
+        self.feeds.iter().map(|f| f.matching_frames).sum()
+    }
+}
+
+/// The shared immutable query registry: everything a worker needs to build
+/// the single-feed engine of a feed it sees for the first time.
+struct EngineSpec {
+    config: EngineConfig,
+    registry: ClassRegistry,
+    queries: Vec<CnfQuery>,
+    stats: Option<DatasetStats>,
+}
+
+impl EngineSpec {
+    fn build_engine(&self) -> Result<TemporalVideoQueryEngine> {
+        let mut builder =
+            TemporalVideoQueryEngine::builder(self.config).with_registry(self.registry.clone());
+        for query in &self.queries {
+            builder = builder.with_query(query.clone());
+        }
+        if let Some(stats) = self.stats.clone() {
+            builder = builder.with_feed_stats(stats);
+        }
+        builder.build()
+    }
+}
+
+/// Builder for [`MultiFeedEngine`]. Mirrors the single-feed
+/// [`EngineBuilder`](crate::EngineBuilder): queries registered here form the
+/// shared immutable registry every per-feed engine is built from.
+pub struct MultiFeedBuilder {
+    config: MultiFeedConfig,
+    registry: ClassRegistry,
+    queries: Vec<CnfQuery>,
+    stats: Option<DatasetStats>,
+}
+
+impl MultiFeedBuilder {
+    /// Starts a builder with the given configuration and the default class
+    /// registry.
+    pub fn new(config: MultiFeedConfig) -> Self {
+        MultiFeedBuilder {
+            config,
+            registry: ClassRegistry::with_default_classes(),
+            queries: Vec::new(),
+            stats: None,
+        }
+    }
+
+    /// Uses a custom class registry.
+    pub fn with_registry(mut self, registry: ClassRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers a structured query (applied to every feed).
+    pub fn with_query(mut self, query: CnfQuery) -> Self {
+        self.queries.push(query);
+        self
+    }
+
+    /// Registers a query written in the textual language, e.g.
+    /// `"car >= 2 AND person >= 1"`. New class labels are registered.
+    pub fn with_query_text(mut self, text: &str) -> Result<Self> {
+        let id = QueryId(self.queries.len() as u32);
+        let query = tvq_query::parse_query(text, id, &mut self.registry)?;
+        self.queries.push(query);
+        Ok(self)
+    }
+
+    /// Supplies feed statistics for adaptive maintainer selection (applied
+    /// uniformly to every per-feed engine).
+    pub fn with_feed_stats(mut self, stats: DatasetStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Builds the engine, spawning the worker pool.
+    pub fn build(self) -> Result<MultiFeedEngine> {
+        if self.config.workers == 0 {
+            return Err(Error::InvalidConfig(
+                "multi-feed engine needs at least one worker".to_owned(),
+            ));
+        }
+        let spec = Arc::new(EngineSpec {
+            config: self.config.engine,
+            registry: self.registry,
+            queries: self.queries,
+            stats: self.stats,
+        });
+        // Validate the shared spec once, up front, so that per-feed engine
+        // construction inside the workers cannot fail later.
+        spec.build_engine()?;
+        let (results_tx, results_rx) = mpsc::channel();
+        let workers = (0..self.config.workers)
+            .map(|index| {
+                let (inbox_tx, inbox_rx) = mpsc::channel();
+                let spec = Arc::clone(&spec);
+                let results = results_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("tvq-shard-{index}"))
+                    .spawn(move || worker_loop(spec, inbox_rx, results))
+                    .map_err(Error::Io)?;
+                Ok(Worker {
+                    inbox: Some(inbox_tx),
+                    handle: Some(handle),
+                })
+            })
+            .collect::<Result<Vec<Worker>>>()?;
+        Ok(MultiFeedEngine {
+            config: self.config,
+            workers,
+            results: results_rx,
+            epoch: 0,
+        })
+    }
+}
+
+enum WorkerMsg {
+    Frame {
+        /// The batch this frame belongs to. Results carry it back so an
+        /// aborted batch (e.g. a lost shard mid-send) cannot leave stale
+        /// results that a later batch would mistake for its own.
+        epoch: u64,
+        seq: usize,
+        feed: FeedId,
+        frame: FrameObjects,
+    },
+    Collect {
+        reply: Sender<Vec<FeedReport>>,
+    },
+}
+
+type ShardResult = (u64, usize, FeedId, Result<FrameResult>);
+
+/// Running per-feed tallies a worker keeps alongside each engine.
+#[derive(Default)]
+struct FeedTally {
+    frames: u64,
+    total_matches: u64,
+    matching_frames: u64,
+}
+
+impl FeedTally {
+    fn record(&mut self, result: &FrameResult) {
+        self.frames += 1;
+        self.total_matches += result.matches.len() as u64;
+        if result.any() {
+            self.matching_frames += 1;
+        }
+    }
+}
+
+fn worker_loop(spec: Arc<EngineSpec>, inbox: Receiver<WorkerMsg>, results: Sender<ShardResult>) {
+    // BTreeMap so collection iterates feeds in ascending id order.
+    let mut engines: BTreeMap<FeedId, (TemporalVideoQueryEngine, FeedTally)> = BTreeMap::new();
+    for message in inbox {
+        match message {
+            WorkerMsg::Frame {
+                epoch,
+                seq,
+                feed,
+                frame,
+            } => {
+                let entry = match engines.entry(feed) {
+                    Entry::Occupied(entry) => entry.into_mut(),
+                    Entry::Vacant(vacant) => match spec.build_engine() {
+                        Ok(engine) => vacant.insert((engine, FeedTally::default())),
+                        Err(error) => {
+                            // Unreachable in practice: the builder validated
+                            // the spec. Report instead of panicking.
+                            let _ = results.send((epoch, seq, feed, Err(error)));
+                            continue;
+                        }
+                    },
+                };
+                let outcome = entry.0.observe(&frame);
+                if let Ok(result) = &outcome {
+                    entry.1.record(result);
+                }
+                if results.send((epoch, seq, feed, outcome)).is_err() {
+                    return; // Engine dropped; shut down.
+                }
+            }
+            WorkerMsg::Collect { reply } => {
+                let reports = engines
+                    .iter()
+                    .map(|(&feed, (engine, tally))| FeedReport {
+                        feed,
+                        strategy: engine.strategy().to_owned(),
+                        frames: tally.frames,
+                        total_matches: tally.total_matches,
+                        matching_frames: tally.matching_frames,
+                        live_states: engine.live_states(),
+                        metrics: engine.metrics().clone(),
+                    })
+                    .collect();
+                let _ = reply.send(reports);
+            }
+        }
+    }
+}
+
+struct Worker {
+    /// `None` only during shutdown (see `Drop for MultiFeedEngine`).
+    inbox: Option<Sender<WorkerMsg>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pool of single-feed engines sharded across worker threads, answering
+/// the same CNF queries over N camera feeds concurrently.
+///
+/// See the [module documentation](self) for the sharding model and a usage
+/// example. Constructed via [`MultiFeedEngine::builder`].
+pub struct MultiFeedEngine {
+    config: MultiFeedConfig,
+    workers: Vec<Worker>,
+    results: Receiver<ShardResult>,
+    /// Monotonic batch counter; see `WorkerMsg::Frame::epoch`.
+    epoch: u64,
+}
+
+impl std::fmt::Debug for MultiFeedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiFeedEngine")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl MultiFeedEngine {
+    /// Starts a builder.
+    pub fn builder(config: MultiFeedConfig) -> MultiFeedBuilder {
+        MultiFeedBuilder::new(config)
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &MultiFeedConfig {
+        &self.config
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker index feed `feed` is pinned to.
+    pub fn shard_of(&self, feed: FeedId) -> usize {
+        feed.raw() as usize % self.workers.len()
+    }
+
+    /// Processes a single feed-tagged frame. Equivalent to a one-element
+    /// [`push_batch`](Self::push_batch).
+    pub fn push(&mut self, feed: FeedId, frame: FrameObjects) -> Result<FeedFrameResult> {
+        let mut results = self.push_batch(std::slice::from_ref(&FeedFrame::new(feed, frame)))?;
+        Ok(results.pop().expect("one result per pushed frame"))
+    }
+
+    /// Ingests a batch of feed-tagged frames and returns one result per
+    /// frame, **in the batch's input order** regardless of how the shards
+    /// interleave.
+    ///
+    /// Within a batch, a feed's frames must appear in increasing frame-id
+    /// order (the usual streaming contract); frames of different feeds may
+    /// be interleaved arbitrarily. Each feed's frames are processed by its
+    /// pinned worker in batch order, so results are deterministic: the same
+    /// batches produce the same results for any worker-pool size.
+    pub fn push_batch(&mut self, batch: &[FeedFrame]) -> Result<Vec<FeedFrameResult>> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for (seq, tagged) in batch.iter().enumerate() {
+            let worker = self.shard_of(tagged.feed);
+            let inbox = self.workers[worker]
+                .inbox
+                .as_ref()
+                .ok_or(Error::ShardLost { worker })?;
+            inbox
+                .send(WorkerMsg::Frame {
+                    epoch,
+                    seq,
+                    feed: tagged.feed,
+                    frame: tagged.frame.clone(),
+                })
+                .map_err(|_| Error::ShardLost { worker })?;
+        }
+        let mut slots: Vec<Option<(FeedId, Result<FrameResult>)>> =
+            (0..batch.len()).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < batch.len() {
+            let (result_epoch, seq, feed, outcome) = match self.results.recv_timeout(SHARD_TIMEOUT)
+            {
+                Ok(result) => result,
+                Err(_) => {
+                    // Name the shard that owes the first outstanding result.
+                    let worker = slots
+                        .iter()
+                        .position(|slot| slot.is_none())
+                        .map(|seq| self.shard_of(batch[seq].feed))
+                        .unwrap_or(0);
+                    return Err(Error::ShardLost { worker });
+                }
+            };
+            if result_epoch != epoch {
+                // Leftover from a batch that aborted mid-send: discard.
+                continue;
+            }
+            slots[seq] = Some((feed, outcome));
+            received += 1;
+        }
+        // Surface the earliest (by batch position) per-frame error so the
+        // failure report is deterministic too.
+        let mut out = Vec::with_capacity(batch.len());
+        for slot in slots {
+            let (feed, outcome) = slot.expect("every sequence number is reported exactly once");
+            out.push(FeedFrameResult {
+                feed,
+                result: outcome?,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Collects a deterministic global report: one [`FeedReport`] per feed
+    /// in ascending feed-id order plus the merged metrics.
+    ///
+    /// The collection message queues behind any frames already sent to each
+    /// worker, so a report taken after [`push_batch`](Self::push_batch)
+    /// returns reflects every frame of that batch.
+    pub fn report(&self) -> Result<MultiFeedReport> {
+        let mut feeds: Vec<FeedReport> = Vec::new();
+        for (index, worker) in self.workers.iter().enumerate() {
+            let inbox = worker
+                .inbox
+                .as_ref()
+                .ok_or(Error::ShardLost { worker: index })?;
+            let (reply_tx, reply_rx) = mpsc::channel();
+            inbox
+                .send(WorkerMsg::Collect { reply: reply_tx })
+                .map_err(|_| Error::ShardLost { worker: index })?;
+            let part = reply_rx
+                .recv_timeout(SHARD_TIMEOUT)
+                .map_err(|_| Error::ShardLost { worker: index })?;
+            feeds.extend(part);
+        }
+        feeds.sort_by_key(|report| report.feed);
+        let metrics = MaintenanceMetrics::merged(feeds.iter().map(|report| &report.metrics));
+        Ok(MultiFeedReport { feeds, metrics })
+    }
+}
+
+impl Drop for MultiFeedEngine {
+    fn drop(&mut self) {
+        // Closing every inbox ends the worker loops; then join so no thread
+        // outlives the engine.
+        for worker in &mut self.workers {
+            worker.inbox.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvq_common::{ClassId, FrameId, ObjectId, WindowSpec};
+    use tvq_core::MaintainerKind;
+
+    fn frame(fid: u64, detections: &[(u32, u16)]) -> FrameObjects {
+        FrameObjects::new(
+            FrameId(fid),
+            detections
+                .iter()
+                .map(|&(id, class)| (ObjectId(id), ClassId(class)))
+                .collect(),
+        )
+    }
+
+    fn config(workers: usize) -> MultiFeedConfig {
+        MultiFeedConfig::new(
+            EngineConfig::new(WindowSpec::new(4, 3).unwrap()).with_maintainer(MaintainerKind::Ssg),
+        )
+        .with_workers(workers)
+    }
+
+    fn engine(workers: usize) -> MultiFeedEngine {
+        MultiFeedEngine::builder(config(workers))
+            .with_query_text("car >= 1 AND person >= 1")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_queries_and_workers() {
+        assert!(MultiFeedEngine::builder(config(2)).build().is_err());
+        let err = MultiFeedEngine::builder(config(0))
+            .with_query_text("car >= 1")
+            .unwrap()
+            .build();
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn feeds_are_pinned_deterministically() {
+        let engine = engine(3);
+        assert_eq!(engine.num_workers(), 3);
+        for raw in 0..9u32 {
+            assert_eq!(engine.shard_of(FeedId(raw)), raw as usize % 3);
+        }
+    }
+
+    #[test]
+    fn batch_results_preserve_input_order() {
+        let mut engine = engine(2);
+        let batch: Vec<FeedFrame> = (0..4u32)
+            .flat_map(|feed| {
+                (0..3u64)
+                    .map(move |fid| FeedFrame::new(FeedId(feed), frame(fid, &[(1, 1), (2, 0)])))
+            })
+            .collect();
+        let results = engine.push_batch(&batch).unwrap();
+        assert_eq!(results.len(), batch.len());
+        for (tagged, result) in batch.iter().zip(&results) {
+            assert_eq!(result.feed, tagged.feed);
+            assert_eq!(result.result.frame, tagged.frame.fid);
+        }
+    }
+
+    #[test]
+    fn per_feed_streams_are_isolated() {
+        let mut engine = engine(2);
+        // Feed 0 sees the car+person pair for 3 frames; feed 1 only a car.
+        let mut batch = Vec::new();
+        for fid in 0..3u64 {
+            batch.push(FeedFrame::new(FeedId(0), frame(fid, &[(1, 1), (2, 0)])));
+            batch.push(FeedFrame::new(FeedId(1), frame(fid, &[(1, 1)])));
+        }
+        let results = engine.push_batch(&batch).unwrap();
+        let matched: Vec<FeedId> = results
+            .iter()
+            .filter(|r| r.result.any())
+            .map(|r| r.feed)
+            .collect();
+        assert_eq!(matched, vec![FeedId(0)]);
+        let report = engine.report().unwrap();
+        assert_eq!(report.num_feeds(), 2);
+        assert_eq!(report.feeds[0].feed, FeedId(0));
+        assert_eq!(report.feeds[0].matching_frames, 1);
+        assert_eq!(report.feeds[1].matching_frames, 0);
+        assert_eq!(report.total_frames(), 6);
+        assert_eq!(report.metrics.frames_processed, 6);
+    }
+
+    #[test]
+    fn out_of_order_frames_error_without_killing_the_pool() {
+        let mut engine = engine(1);
+        engine.push(FeedId(0), frame(5, &[(1, 1)])).unwrap();
+        let err = engine.push(FeedId(0), frame(2, &[(1, 1)]));
+        assert!(matches!(err, Err(Error::OutOfOrderFrame { .. })));
+        // The pool survives and other feeds still work.
+        let ok = engine.push(FeedId(1), frame(0, &[(1, 1), (2, 0)]));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let batch: Vec<FeedFrame> = (0..6u32)
+            .flat_map(|feed| {
+                (0..8u64).map(move |fid| {
+                    let mut detections = vec![((feed + fid as u32) % 4, 1u16)];
+                    if (fid + u64::from(feed)) % 2 == 0 {
+                        detections.push((10 + feed, 0));
+                    }
+                    FeedFrame::new(FeedId(feed), frame(fid, &detections))
+                })
+            })
+            .collect();
+        let mut baseline = None;
+        for workers in [1usize, 2, 5] {
+            let mut engine = engine(workers);
+            let results = engine.push_batch(&batch).unwrap();
+            let report = engine.report().unwrap();
+            match &baseline {
+                None => baseline = Some((results, report)),
+                Some((expected_results, expected_report)) => {
+                    assert_eq!(&results, expected_results, "workers={workers}");
+                    assert_eq!(&report, expected_report, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_merges_metrics_across_feeds() {
+        let mut engine = engine(2);
+        for fid in 0..4u64 {
+            for feed in 0..3u32 {
+                engine
+                    .push(FeedId(feed), frame(fid, &[(1, 1), (2, 0)]))
+                    .unwrap();
+            }
+        }
+        let report = engine.report().unwrap();
+        assert_eq!(report.num_feeds(), 3);
+        let summed = MaintenanceMetrics::merged(report.feeds.iter().map(|f| &f.metrics));
+        assert_eq!(report.metrics, summed);
+        assert_eq!(report.metrics.frames_processed, 12);
+        assert!(report.feeds.windows(2).all(|w| w[0].feed < w[1].feed));
+    }
+}

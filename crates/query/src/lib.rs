@@ -13,7 +13,7 @@
 //! * [`aggregates`] — object-set → class-count aggregation;
 //! * [`evaluator`] — the inverted-index evaluation of Whang et al. (CNFEval)
 //!   extended with ordered `>=`/`<=` indexes (CNFEvalE), plus
-//!   [`evaluate_result_set`](evaluator::evaluate_result_set) which applies
+//!   [`evaluate_result_set`] which applies
 //!   the workload to a whole Result State Set;
 //! * [`prune`] — the Proposition-1 pruner that terminates hopeless states
 //!   when every query is `>=`-only (the `MFS_O`/`SSG_O` variants);
@@ -21,7 +21,7 @@
 //!   and Figure 9 experiments.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregates;
 pub mod cnf;

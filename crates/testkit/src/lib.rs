@@ -12,9 +12,12 @@
 //!   departures); [`classed_feed`] produces full `(id, class)` detections for
 //!   engine-level tests;
 //! * **oracle-equivalence assertions** — [`assert_all_equivalent`] (every
-//!   production maintainer vs. the reference) and
-//!   [`assert_equivalent_with_pruner`] (the pruning `_O` variants vs. the
-//!   reference filtered by the same pruner).
+//!   production maintainer vs. the reference), [`assert_equivalent_with_pruner`]
+//!   (the pruning `_O` variants vs. the reference filtered by the same
+//!   pruner), and [`assert_multifeed_equals_single`] (the sharded multi-feed
+//!   engine vs. N independent single-feed engines, frame-for-frame); the
+//!   [`multi_feed_classed`] generator produces the decorrelated per-feed
+//!   inputs those multi-feed tests run on.
 //!
 //! Results are compared as canonically sorted sets of
 //! `(object set, frame set)` pairs, so failures are deterministic and the
@@ -24,11 +27,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tvq_common::{ClassId, FrameId, FrameObjects, ObjectId, ObjectSet, WindowSpec};
+use tvq_common::{ClassId, FeedId, FrameId, FrameObjects, ObjectId, ObjectSet, WindowSpec};
 use tvq_core::{MaintainerKind, SharedPruner, StateMaintainer};
+use tvq_engine::{
+    EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine, TemporalVideoQueryEngine,
+};
+use tvq_video::{feed_seed, interleave, CameraFeed};
 
 /// A maintainer's results in canonical form: `(object set, frame set)` pairs
 /// sorted by object set. [`tvq_core::ResultStateSet`] already iterates in
@@ -209,6 +218,119 @@ pub fn classed_feed(
         .collect()
 }
 
+/// Generates `num_feeds` classed feeds with per-feed seeds derived from
+/// `seed` (same dynamics as [`classed_feed`], decorrelated across feeds).
+pub fn multi_feed_classed(
+    seed: u64,
+    num_feeds: u32,
+    num_frames: usize,
+    universe: u32,
+    occlusion: f64,
+    num_classes: u16,
+) -> Vec<CameraFeed> {
+    (0..num_feeds)
+        .map(|raw| {
+            let feed = FeedId(raw);
+            CameraFeed {
+                feed,
+                frames: classed_feed(
+                    feed_seed(seed, feed),
+                    num_frames,
+                    universe,
+                    occlusion,
+                    num_classes,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Runs a sharded [`MultiFeedEngine`] and one independent single-feed
+/// engine per feed over the same feeds, and asserts they agree
+/// frame-for-frame and metric-for-metric.
+///
+/// The multi-feed engine ingests the feeds as round-robin batches of
+/// `batch_size` tagged frames (the production ingestion shape); every
+/// [`FeedFrameResult`](tvq_engine::FeedFrameResult) must equal the result
+/// the feed's dedicated single-feed engine produces for the same frame, and
+/// the final [`report`](MultiFeedEngine::report) must reproduce each
+/// single engine's strategy, metrics and live-state count exactly, in
+/// ascending feed-id order.
+pub fn assert_multifeed_equals_single(
+    feeds: &[CameraFeed],
+    config: EngineConfig,
+    queries: &[&str],
+    workers: usize,
+    batch_size: usize,
+) {
+    let build_single = || {
+        let mut builder = TemporalVideoQueryEngine::builder(config);
+        for query in queries {
+            builder = builder.with_query_text(query).expect("query parses");
+        }
+        builder.build().expect("single-feed engine builds")
+    };
+    let mut singles: BTreeMap<FeedId, TemporalVideoQueryEngine> = feeds
+        .iter()
+        .map(|feed| (feed.feed, build_single()))
+        .collect();
+
+    let mut builder = MultiFeedEngine::builder(MultiFeedConfig::new(config).with_workers(workers));
+    for query in queries {
+        builder = builder.with_query_text(query).expect("query parses");
+    }
+    let mut multi = builder.build().expect("multi-feed engine builds");
+
+    for batch in interleave(feeds, batch_size) {
+        let tagged: Vec<FeedFrame> = batch.into_iter().map(FeedFrame::from).collect();
+        let results = multi.push_batch(&tagged).expect("batch is accepted");
+        assert_eq!(results.len(), tagged.len());
+        for (sent, got) in tagged.iter().zip(&results) {
+            assert_eq!(got.feed, sent.feed, "result tagged with the wrong feed");
+            let expected = singles
+                .get_mut(&sent.feed)
+                .expect("feed was registered")
+                .observe(&sent.frame)
+                .expect("single-feed engine accepts the frame");
+            assert_eq!(
+                got.result, expected,
+                "sharded run diverged from the single-feed oracle at feed {} frame {} (workers={workers}, batch={batch_size})",
+                sent.feed, sent.frame.fid
+            );
+        }
+    }
+
+    let report = multi.report().expect("report is collected");
+    assert_eq!(report.num_feeds(), feeds.len(), "report misses feeds");
+    assert!(
+        report.feeds.windows(2).all(|w| w[0].feed < w[1].feed),
+        "report is not feed-id ordered"
+    );
+    for feed_report in &report.feeds {
+        let single = &singles[&feed_report.feed];
+        assert_eq!(
+            feed_report.strategy,
+            single.strategy(),
+            "strategy mismatch for {}",
+            feed_report.feed
+        );
+        assert_eq!(
+            &feed_report.metrics,
+            single.metrics(),
+            "metrics mismatch for {}",
+            feed_report.feed
+        );
+        assert_eq!(
+            feed_report.live_states,
+            single.live_states(),
+            "live-state mismatch for {}",
+            feed_report.feed
+        );
+    }
+    let merged = tvq_core::MaintenanceMetrics::merged(report.feeds.iter().map(|f| &f.metrics));
+    assert_eq!(report.metrics, merged, "global metrics are not the merge");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +400,24 @@ mod tests {
         assert_all_equivalent(&frames, spec);
         let pruner: SharedPruner = std::sync::Arc::new(MinCardinalityPruner { min_objects: 2 });
         assert_equivalent_with_pruner(&frames, spec, pruner);
+    }
+
+    #[test]
+    fn multi_feed_classed_is_deterministic_and_decorrelated() {
+        let feeds = multi_feed_classed(7, 3, 15, 6, 0.2, 2);
+        assert_eq!(feeds.len(), 3);
+        assert_eq!(feeds, multi_feed_classed(7, 3, 15, 6, 0.2, 2));
+        assert_ne!(feeds[0].frames, feeds[1].frames);
+        for (index, feed) in feeds.iter().enumerate() {
+            assert_eq!(feed.feed, FeedId(index as u32));
+            assert_eq!(feed.frames.len(), 15);
+        }
+    }
+
+    #[test]
+    fn multifeed_assertion_accepts_an_agreeing_deployment() {
+        let feeds = multi_feed_classed(3, 3, 18, 6, 0.25, 2);
+        let config = EngineConfig::new(WindowSpec::new(5, 3).unwrap());
+        assert_multifeed_equals_single(&feeds, config, &["car >= 1 AND person >= 1"], 2, 5);
     }
 }

@@ -15,7 +15,10 @@
 //! * a **statistical generator** ([`generator`]) that directly synthesises a
 //!   relation matching the Table-6 statistics of one of the paper's six
 //!   evaluation datasets ([`profiles`]), which is what the benchmark harness
-//!   uses.
+//!   uses;
+//! * a **multi-camera generator** ([`multifeed`]) that synthesises N
+//!   independent feeds tagged with `FeedId`s and interleaves them into the
+//!   round-robin batches the sharded multi-feed engine ingests.
 //!
 //! Real detector output can also be ingested from CSV via
 //! [`tvq_common::io`]; everything downstream is agnostic to the source.
@@ -27,6 +30,7 @@ pub mod camera;
 pub mod detector;
 pub mod generator;
 pub mod geometry;
+pub mod multifeed;
 pub mod pipeline;
 pub mod profiles;
 pub mod scene;
@@ -36,6 +40,7 @@ pub use camera::Camera;
 pub use detector::{Detection, DetectorConfig, SimulatedDetector};
 pub use generator::{apply_id_reuse, generate, generate_with_id_reuse};
 pub use geometry::{BoundingBox, Point};
+pub use multifeed::{feed_seed, generate_camera_grid, generate_feeds, interleave, CameraFeed};
 pub use pipeline::ScenePipeline;
 pub use profiles::DatasetProfile;
 pub use scene::{populate_scene, Motion, Scene, SceneObject};

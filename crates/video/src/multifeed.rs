@@ -1,0 +1,175 @@
+//! Multi-camera feed generation.
+//!
+//! A multi-feed deployment ingests frames from N cameras concurrently. This
+//! module synthesises such a deployment: each camera produces an independent
+//! feed (a sequence of [`FrameObjects`]) generated from a [`DatasetProfile`]
+//! with a per-feed seed, tagged with a [`FeedId`]. The [`interleave`] helper
+//! then turns the per-feed sequences into round-robin batches of
+//! `(FeedId, FrameObjects)` pairs — the ingestion shape the multi-feed
+//! engine's `push_batch` consumes — while preserving each feed's frame
+//! order.
+//!
+//! # Example
+//!
+//! ```
+//! use tvq_video::{generate_camera_grid, interleave, DatasetProfile};
+//!
+//! let feeds = generate_camera_grid(3, &DatasetProfile::d1().truncated(40), 7);
+//! assert_eq!(feeds.len(), 3);
+//! let batches = interleave(&feeds, 16);
+//! // Every frame of every feed lands in exactly one batch.
+//! let total: usize = batches.iter().map(|b| b.len()).sum();
+//! assert_eq!(total, feeds.iter().map(|f| f.frames.len()).sum::<usize>());
+//! ```
+
+use tvq_common::{FeedId, FrameObjects};
+
+use crate::generator::generate;
+use crate::profiles::DatasetProfile;
+
+/// One camera's feed: a feed identifier and the frame sequence the camera
+/// produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CameraFeed {
+    /// The feed's identifier (its index in the deployment).
+    pub feed: FeedId,
+    /// The feed's frames, in presentation order.
+    pub frames: Vec<FrameObjects>,
+}
+
+/// Derives the generation seed of feed `feed` from a deployment seed.
+///
+/// SplitMix64-style mixing keeps per-feed streams decorrelated even for
+/// adjacent feed identifiers.
+pub fn feed_seed(seed: u64, feed: FeedId) -> u64 {
+    let mut z = seed
+        .wrapping_add(u64::from(feed.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates one feed per profile: feed `i` is synthesised from
+/// `profiles[i]` with a seed derived from `seed` and the feed id.
+/// Deterministic for a given `(profiles, seed)` pair.
+pub fn generate_feeds(profiles: &[DatasetProfile], seed: u64) -> Vec<CameraFeed> {
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(index, profile)| {
+            let feed = FeedId(index as u32);
+            let relation = generate(profile, feed_seed(seed, feed));
+            CameraFeed {
+                feed,
+                frames: relation.frames().cloned().collect(),
+            }
+        })
+        .collect()
+}
+
+/// Generates a homogeneous camera grid: `feeds` cameras all shaped like
+/// `profile`, each with an independent per-feed seed.
+pub fn generate_camera_grid(feeds: usize, profile: &DatasetProfile, seed: u64) -> Vec<CameraFeed> {
+    let profiles = vec![profile.clone(); feeds];
+    generate_feeds(&profiles, seed)
+}
+
+/// Interleaves per-feed frame sequences round-robin (frame 0 of every feed,
+/// then frame 1 of every feed, ...) and chunks the stream into batches of at
+/// most `batch_size` tagged frames.
+///
+/// Within the concatenated batches each feed's frames appear in their
+/// original order, which is the ingestion contract of the multi-feed
+/// engine's `push_batch`.
+///
+/// # Panics
+///
+/// Panics if `batch_size` is zero.
+pub fn interleave(feeds: &[CameraFeed], batch_size: usize) -> Vec<Vec<(FeedId, FrameObjects)>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let longest = feeds.iter().map(|f| f.frames.len()).max().unwrap_or(0);
+    let mut batches = Vec::new();
+    let mut current: Vec<(FeedId, FrameObjects)> = Vec::with_capacity(batch_size);
+    for index in 0..longest {
+        for feed in feeds {
+            if let Some(frame) = feed.frames.get(index) {
+                current.push((feed.feed, frame.clone()));
+                if current.len() == batch_size {
+                    batches.push(std::mem::take(&mut current));
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvq_common::FrameId;
+
+    #[test]
+    fn feeds_are_deterministic_and_distinct() {
+        let a = generate_camera_grid(3, &DatasetProfile::d1().truncated(60), 11);
+        let b = generate_camera_grid(3, &DatasetProfile::d1().truncated(60), 11);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for (index, feed) in a.iter().enumerate() {
+            assert_eq!(feed.feed, FeedId(index as u32));
+            assert_eq!(feed.frames.len(), 60);
+        }
+        // Different per-feed seeds: the cameras do not all see the same film.
+        assert_ne!(a[0].frames, a[1].frames);
+        assert_ne!(
+            generate_camera_grid(3, &DatasetProfile::d1().truncated(60), 12),
+            a
+        );
+    }
+
+    #[test]
+    fn heterogeneous_feeds_follow_their_profiles() {
+        let feeds = generate_feeds(
+            &[
+                DatasetProfile::v1().truncated(30),
+                DatasetProfile::m2().truncated(50),
+            ],
+            5,
+        );
+        assert_eq!(feeds.len(), 2);
+        assert_eq!(feeds[0].frames.len(), 30);
+        assert_eq!(feeds[1].frames.len(), 50);
+    }
+
+    #[test]
+    fn interleave_preserves_per_feed_order_and_covers_every_frame() {
+        let feeds = generate_feeds(
+            &[
+                DatasetProfile::d1().truncated(20),
+                DatasetProfile::d2().truncated(35),
+            ],
+            3,
+        );
+        let batches = interleave(&feeds, 7);
+        assert!(batches.iter().all(|b| b.len() <= 7));
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 55);
+        // Per-feed frame ids are strictly increasing across the whole stream.
+        let mut last: std::collections::HashMap<FeedId, FrameId> = Default::default();
+        for (feed, frame) in batches.iter().flatten() {
+            if let Some(previous) = last.insert(*feed, frame.fid) {
+                assert!(previous < frame.fid, "feed {feed} went backwards");
+            }
+        }
+    }
+
+    #[test]
+    fn feed_seed_mixes_feed_ids() {
+        assert_ne!(feed_seed(1, FeedId(0)), feed_seed(1, FeedId(1)));
+        assert_ne!(feed_seed(1, FeedId(0)), feed_seed(2, FeedId(0)));
+        assert_eq!(feed_seed(9, FeedId(4)), feed_seed(9, FeedId(4)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Instance-determinism regression suite.
+//!
+//! Two engines built from the same configuration must produce *identical*
+//! results **and metrics** when fed the same frames — even within one
+//! process, where every `HashMap` instance gets its own random hash seed.
+//! The SSG maintainer's periodic sweep used to remove expired nodes in
+//! `HashMap` iteration order, which rewired edges in a run-dependent order
+//! and made `edges_added`/`edges_removed` differ between identical runs;
+//! `StateGraph::live_ids` now iterates in sorted slab order. Without this
+//! property the multi-feed engine's merged reports could not be compared
+//! against single-feed oracles.
+
+use tvq_common::WindowSpec;
+use tvq_core::MaintainerKind;
+use tvq_engine::{EngineConfig, TemporalVideoQueryEngine};
+use tvq_testkit::multi_feed_classed;
+
+fn build(config: EngineConfig) -> TemporalVideoQueryEngine {
+    TemporalVideoQueryEngine::builder(config)
+        .with_query_text("car >= 1 AND person >= 1")
+        .unwrap()
+        .with_query_text("car >= 2")
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn identical_engines_agree_on_results_and_metrics() {
+    for kind in [
+        MaintainerKind::Naive,
+        MaintainerKind::Mfs,
+        MaintainerKind::Ssg,
+    ] {
+        for pruning in [false, true] {
+            let config = EngineConfig::new(WindowSpec::new(6, 3).unwrap())
+                .with_maintainer(kind)
+                .with_pruning(pruning);
+            for feed in &multi_feed_classed(13, 3, 40, 6, 0.2, 2) {
+                let mut a = build(config);
+                let mut b = build(config);
+                for frame in &feed.frames {
+                    let ra = a.observe(frame).unwrap();
+                    let rb = b.observe(frame).unwrap();
+                    assert_eq!(ra, rb, "{kind:?} results diverged at {}", frame.fid);
+                    assert_eq!(
+                        a.metrics(),
+                        b.metrics(),
+                        "{kind:?} (pruning={pruning}) metrics diverged at feed {} frame {}",
+                        feed.feed,
+                        frame.fid
+                    );
+                }
+                assert_eq!(a.live_states(), b.live_states());
+            }
+        }
+    }
+}
