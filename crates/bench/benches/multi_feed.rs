@@ -1,15 +1,29 @@
-//! Criterion micro-benchmark for the sharded multi-feed engine: a fixed
-//! four-camera deployment ingested end-to-end, per worker-pool size. The
-//! interesting read-out is how total ingestion time falls as workers are
-//! added while the reported matches stay identical.
+//! Criterion micro-benchmarks for the multi-feed engine on the classed-feed
+//! workload (camera deployments with per-object class labels, filtered and
+//! evaluated against a CNF query registry):
+//!
+//! * `multi_feed/ingest/{N}w` — a fixed four-camera deployment ingested
+//!   end-to-end through the sharded engine, per worker-pool size. The
+//!   interesting read-out is how total ingestion time falls as workers are
+//!   added while the reported matches stay identical.
+//! * `multi_feed/classed/{METHOD}` — the same deployment ingested serially
+//!   through one single-feed engine per camera, per MCOS maintainer. This
+//!   isolates the maintainer + evaluator hot path (no channels, no thread
+//!   wake-ups) — the SSG row is the SSG micro-benchmark the perf trajectory
+//!   tracks.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tvq_bench::experiments::{multi_feed_batches, multi_feed_deployment, run_multi_feed_prepared};
+use tvq_bench::experiments::{
+    multi_feed_batches, multi_feed_deployment, run_multi_feed_prepared, stable_scene,
+};
 use tvq_bench::Scale;
 use tvq_common::WindowSpec;
+use tvq_core::MaintainerKind;
+use tvq_engine::{EngineConfig, TemporalVideoQueryEngine};
+use tvq_video::CameraFeed;
 
 fn bench_multi_feed_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("multi_feed");
@@ -31,5 +45,75 @@ fn bench_multi_feed_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_multi_feed_scaling);
+/// Serial single-feed ingestion of the classed deployment, per maintainer.
+fn ingest_serial(feeds: &[CameraFeed], window: WindowSpec, kind: MaintainerKind) -> u64 {
+    let mut matches = 0u64;
+    for feed in feeds {
+        let mut engine =
+            TemporalVideoQueryEngine::builder(EngineConfig::new(window).with_maintainer(kind))
+                .with_query_text("car >= 2 AND person >= 1")
+                .expect("query parses")
+                .with_query_text("car >= 3")
+                .expect("query parses")
+                .build()
+                .expect("engine builds");
+        for frame in &feed.frames {
+            matches += engine
+                .observe(frame)
+                .expect("frames in order")
+                .matches
+                .len() as u64;
+        }
+    }
+    matches
+}
+
+fn bench_classed_per_maintainer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_feed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let feeds = multi_feed_deployment(4, Scale::Quick);
+    let window = WindowSpec::new(30, 20).unwrap();
+    for kind in MaintainerKind::PRODUCTION {
+        group.bench_with_input(
+            BenchmarkId::new("classed", kind.name()),
+            &feeds,
+            |b, feeds| b.iter(|| ingest_serial(feeds, window, kind)),
+        );
+    }
+    group.finish();
+}
+
+/// Per-maintainer ingestion of the stable-scene deployment (recurring frame
+/// sets, long-lived co-occurrence). The SSG row is the headline micro-bench
+/// for the interned state-space: with recurring sets, every hash, equality
+/// test and intersection is answered by handle.
+fn bench_stable_scene(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_feed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let feeds = stable_scene(4, 600);
+    let window = WindowSpec::new(60, 40).unwrap();
+    // NAIVE is excluded: its a-posteriori result collection degenerates on
+    // long-lived states (seconds per run) and would blow the smoke budget.
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        group.bench_with_input(
+            BenchmarkId::new("stable", kind.name()),
+            &feeds,
+            |b, feeds| b.iter(|| ingest_serial(feeds, window, kind)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_feed_scaling,
+    bench_classed_per_maintainer,
+    bench_stable_scene
+);
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Runs every reproduction experiment (Table 6 and Figures 4-10) in sequence.
-//! Pass `--quick` for a reduced run.
+//! Pass `--quick` for a reduced run, `--json` to also write a combined
+//! `BENCH_all.json` covering every figure's series.
 
 use tvq_bench::{experiments, format_table, Scale};
 
@@ -7,60 +8,82 @@ fn main() {
     let scale = Scale::from_args();
     println!("Reproduction run at {scale:?} scale\n");
     println!("{}", experiments::table6(scale));
+    let prefix = |name: &str, results: Vec<(String, Vec<tvq_bench::Series>)>| {
+        results
+            .into_iter()
+            .map(|(dataset, series)| (format!("{name}/{dataset}"), series))
+            .collect::<Vec<_>>()
+    };
+    let fig4 = prefix("fig4", experiments::fig4(scale));
     print!(
         "{}",
         experiments::render(
             "Figure 4: MCOS generation time vs. total frames",
             "frames",
-            &experiments::fig4(scale)
+            &fig4
         )
     );
+    let fig5 = prefix("fig5", experiments::fig5(scale));
     print!(
         "{}",
         experiments::render(
             "Figure 5: MCOS generation time vs. duration d",
             "d (frames)",
-            &experiments::fig5(scale)
+            &fig5
         )
     );
+    let fig6 = prefix("fig6", experiments::fig6(scale));
     print!(
         "{}",
         experiments::render(
             "Figure 6: MCOS generation time vs. window size w",
             "w (frames)",
-            &experiments::fig6(scale)
+            &fig6
         )
     );
+    let fig7 = prefix("fig7", experiments::fig7(scale));
     print!(
         "{}",
         experiments::render(
             "Figure 7: MCOS generation time vs. occlusion parameter po",
             "po",
-            &experiments::fig7(scale)
+            &fig7
         )
     );
+    let fig8 = prefix("fig8", experiments::fig8(scale));
     print!(
         "{}",
         experiments::render(
             "Figure 8: total time vs. number of queries",
             "queries",
-            &experiments::fig8(scale)
+            &fig8
         )
     );
+    let fig9 = prefix("fig9", experiments::fig9(scale));
     print!(
         "{}",
         experiments::render(
             "Figure 9: total time vs. n_min (>=-only queries)",
             "n_min",
-            &experiments::fig9(scale)
+            &fig9
         )
     );
+    let fig10 = experiments::fig10(scale);
     println!(
         "{}",
         format_table(
             "Figure 10: end-to-end average time per query (50 queries)",
             "dataset",
-            &experiments::fig10(scale)
+            &fig10
         )
     );
+    if tvq_bench::json_requested() {
+        let mut report = tvq_bench::ScenarioReport::new("all", scale)
+            .with_maintainers(experiments::instrumented_summary(scale))
+            .with_series("fig10", &fig10);
+        for group in [fig4, fig5, fig6, fig7, fig8, fig9] {
+            report = report.with_groups(&group);
+        }
+        tvq_bench::write_if_requested(&report);
+    }
 }

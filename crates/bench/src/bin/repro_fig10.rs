@@ -1,5 +1,6 @@
 //! Reproduces Figure 10: end-to-end average time per query (50 queries) for
-//! every dataset and method. Pass `--quick` for a reduced run.
+//! every dataset and method. Pass `--quick` for a reduced run, `--json` to
+//! also write `BENCH_fig10.json`.
 
 use tvq_bench::{experiments, format_table, Scale};
 
@@ -14,4 +15,11 @@ fn main() {
             &series
         )
     );
+    if tvq_bench::json_requested() {
+        tvq_bench::write_if_requested(
+            &tvq_bench::ScenarioReport::new("fig10", scale)
+                .with_series("all", &series)
+                .with_maintainers(experiments::instrumented_summary(scale)),
+        );
+    }
 }

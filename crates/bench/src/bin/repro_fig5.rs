@@ -1,5 +1,6 @@
 //! Reproduces Figure 5: MCOS generation time vs. duration threshold d
-//! (w = 300). Pass `--quick` for a reduced run.
+//! (w = 300). Pass `--quick` for a reduced
+//! run, `--json` to also write `BENCH_fig5.json`.
 
 use tvq_bench::{experiments, Scale};
 
@@ -14,4 +15,11 @@ fn main() {
             &results
         )
     );
+    if tvq_bench::json_requested() {
+        tvq_bench::write_if_requested(
+            &tvq_bench::ScenarioReport::new("fig5", scale)
+                .with_groups(&results)
+                .with_maintainers(experiments::instrumented_summary(scale)),
+        );
+    }
 }

@@ -1,6 +1,6 @@
 //! Reproduces Figure 8: total time (MCOS generation + query evaluation) vs.
-//! number of registered queries, on V1 and M2. Pass `--quick` for a reduced
-//! run.
+//! number of registered queries, on V1 and M2. Pass `--quick` for a reduced run, `--json` to also write
+//! `BENCH_fig8.json`.
 
 use tvq_bench::{experiments, Scale};
 
@@ -15,4 +15,11 @@ fn main() {
             &results
         )
     );
+    if tvq_bench::json_requested() {
+        tvq_bench::write_if_requested(
+            &tvq_bench::ScenarioReport::new("fig8", scale)
+                .with_groups(&results)
+                .with_maintainers(experiments::instrumented_summary(scale)),
+        );
+    }
 }

@@ -1,6 +1,7 @@
 //! Reproduces Figure 9: total time with 100 `>=`-only queries vs. n_min, on
 //! the real datasets, comparing the `_E` variants against the pruning `_O`
-//! variants. Pass `--quick` for a reduced run.
+//! variants. Pass `--quick` for a reduced
+//! run, `--json` to also write `BENCH_fig9.json`.
 
 use tvq_bench::{experiments, Scale};
 
@@ -15,4 +16,11 @@ fn main() {
             &results
         )
     );
+    if tvq_bench::json_requested() {
+        tvq_bench::write_if_requested(
+            &tvq_bench::ScenarioReport::new("fig9", scale)
+                .with_groups(&results)
+                .with_maintainers(experiments::instrumented_summary(scale)),
+        );
+    }
 }

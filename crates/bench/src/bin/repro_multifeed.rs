@@ -2,7 +2,9 @@
 //! camera feeds (cycling through the paper's six dataset profiles) as the
 //! worker-pool size grows. Goes beyond the paper's single-feed evaluation —
 //! this is the sharding axis the production deployment scales along. Pass
-//! `--quick` for a reduced run.
+//! `--quick` for a reduced run, `--json` to also write
+//! `BENCH_multifeed.json` (frames/sec, peak state counts and
+//! per-maintainer timings of a four-camera deployment).
 
 use tvq_bench::{experiments, format_table, Scale};
 
@@ -17,4 +19,11 @@ fn main() {
             &series
         )
     );
+    if tvq_bench::json_requested() {
+        tvq_bench::write_if_requested(
+            &tvq_bench::ScenarioReport::new("multifeed", scale)
+                .with_series("scaling", &series)
+                .with_maintainers(experiments::instrumented_multifeed(scale)),
+        );
+    }
 }

@@ -1,8 +1,16 @@
-//! Reproduces Table 6 (dataset statistics). Pass `--quick` for a reduced run.
+//! Reproduces Table 6 (dataset statistics). Pass `--quick` for a reduced
+//! run, `--json` to also write `BENCH_table6.json` (the instrumented
+//! per-maintainer timings over the V1/M2 feeds).
 
 use tvq_bench::{experiments, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     println!("{}", experiments::table6(scale));
+    if tvq_bench::json_requested() {
+        tvq_bench::write_if_requested(
+            &tvq_bench::ScenarioReport::new("table6", scale)
+                .with_maintainers(experiments::instrumented_summary(scale)),
+        );
+    }
 }

@@ -16,7 +16,11 @@ use tvq_engine::{EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine};
 use tvq_query::{generate_workload, CnfEvaluator, GeqOnlyPruner, WorkloadConfig};
 use tvq_video::{generate, generate_with_id_reuse, interleave, CameraFeed, DatasetProfile};
 
-use crate::harness::{format_table, time_mcos_generation, time_query_evaluation, Scale, Series};
+use crate::harness::{
+    format_table, measure_mcos_generation, measure_query_evaluation, time_mcos_generation,
+    time_query_evaluation, Scale, Series,
+};
+use crate::report::MaintainerTiming;
 
 /// Seed used by every experiment so that runs are reproducible.
 pub const SEED: u64 = 20210614;
@@ -346,6 +350,29 @@ pub fn fig10(scale: Scale) -> Vec<Series> {
     series
 }
 
+/// Instrumented per-maintainer summary shared by the single-feed `repro_*`
+/// binaries' `--json` reports: every production maintainer ingests the V1
+/// (sparse) and M2 (dense) classed feeds at the given scale, once for MCOS
+/// generation alone and once with a 20-query CNF workload evaluated per
+/// frame, and reports throughput plus work counters.
+pub fn instrumented_summary(scale: Scale) -> Vec<MaintainerTiming> {
+    let window = scale.window(paper_window());
+    let workload = generate_workload(&WorkloadConfig::figure_8(20), SEED);
+    let evaluator = CnfEvaluator::new(workload);
+    let mut timings = Vec::new();
+    for profile in [DatasetProfile::v1(), DatasetProfile::m2()] {
+        let frames = scale.frames(profile.frames);
+        let relation = generate(&profile, SEED).truncated(frames);
+        for kind in mcos_methods() {
+            let mcos = measure_mcos_generation(&relation, window, kind);
+            timings.push(mcos.into_timing(format!("{}/{}/mcos", kind.name(), profile.name)));
+            let eval = measure_query_evaluation(&relation, window, kind, &evaluator, None);
+            timings.push(eval.into_timing(format!("{}/{}/eval", kind.name(), profile.name)));
+        }
+    }
+    timings
+}
+
 /// Batch size used by the multi-feed scaling experiment.
 pub const MULTI_FEED_BATCH: usize = 64;
 
@@ -382,16 +409,34 @@ pub fn run_multi_feed_prepared(
     workers: usize,
     window: WindowSpec,
 ) -> (f64, u64) {
+    let mut engine = build_multi_feed_engine(workers, window, MaintainerKind::Ssg);
+    let (duration, matches) = ingest_batches(&mut engine, batches);
+    (duration.as_secs_f64(), matches)
+}
+
+/// Builds the sharded engine all multi-feed measurements run on.
+fn build_multi_feed_engine(
+    workers: usize,
+    window: WindowSpec,
+    kind: MaintainerKind,
+) -> MultiFeedEngine {
     let config =
-        MultiFeedConfig::new(EngineConfig::new(window).with_maintainer(MaintainerKind::Ssg))
-            .with_workers(workers);
-    let mut engine = MultiFeedEngine::builder(config)
+        MultiFeedConfig::new(EngineConfig::new(window).with_maintainer(kind)).with_workers(workers);
+    MultiFeedEngine::builder(config)
         .with_query_text("car >= 2 AND person >= 1")
         .expect("query parses")
         .with_query_text("car >= 3")
         .expect("query parses")
         .build()
-        .expect("engine builds");
+        .expect("engine builds")
+}
+
+/// The timed ingestion loop shared by the bench path (which stops here) and
+/// the instrumented path (which additionally collects the report).
+fn ingest_batches(
+    engine: &mut MultiFeedEngine,
+    batches: &[Vec<FeedFrame>],
+) -> (std::time::Duration, u64) {
     let start = Instant::now();
     let mut matches = 0u64;
     for batch in batches {
@@ -401,7 +446,107 @@ pub fn run_multi_feed_prepared(
             .map(|r| r.result.matches.len() as u64)
             .sum::<u64>();
     }
-    (start.elapsed().as_secs_f64(), matches)
+    (start.elapsed(), matches)
+}
+
+/// One instrumented multi-feed ingestion run: the shared [`Measurement`]
+/// (time, frames, merged metrics — one conversion path to
+/// [`MaintainerTiming`]) plus the total match count that keeps the work
+/// honest.
+#[derive(Debug, Clone)]
+pub struct MultiFeedMeasurement {
+    /// Timing, frame count and merged per-feed maintenance metrics.
+    pub measurement: crate::harness::Measurement,
+    /// Total query matches across all frames.
+    pub matches: u64,
+}
+
+impl MultiFeedMeasurement {
+    /// Wall-clock seconds spent inside the `push_batch` loop.
+    pub fn seconds(&self) -> f64 {
+        self.measurement.duration.as_secs_f64()
+    }
+
+    /// Converts the measurement into a named [`MaintainerTiming`].
+    pub fn into_timing(self, method: impl Into<String>) -> MaintainerTiming {
+        self.measurement.into_timing(method)
+    }
+}
+
+/// Ingests pre-built batches through a fresh sharded engine using the given
+/// MCOS maintainer and returns the instrumented measurement (time, matches,
+/// frames and merged metrics). Engine construction and batch preparation are
+/// excluded from the timed section; the final [`MultiFeedEngine::report`]
+/// collection happens after timing stops.
+pub fn measure_multi_feed(
+    batches: &[Vec<FeedFrame>],
+    workers: usize,
+    window: WindowSpec,
+    kind: MaintainerKind,
+) -> MultiFeedMeasurement {
+    let mut engine = build_multi_feed_engine(workers, window, kind);
+    let (duration, matches) = ingest_batches(&mut engine, batches);
+    let report = engine.report().expect("report is collected");
+    MultiFeedMeasurement {
+        measurement: crate::harness::Measurement {
+            duration,
+            frames: report.total_frames(),
+            metrics: report.metrics,
+        },
+        matches,
+    }
+}
+
+/// A stable surveillance scene: per camera, 24 tracked objects (alternating
+/// car/person classes) that all co-occur, with a rolling occlusion hiding
+/// one object for a stretch of frames at a time. Frame object sets repeat
+/// for long runs — the workload sliding-window MCOS maintenance is designed
+/// for, and the one where the interner's memoization pays most.
+pub fn stable_scene(feeds: u32, frames: u64) -> Vec<CameraFeed> {
+    const OBJECTS: u32 = 24;
+    (0..feeds)
+        .map(|f| CameraFeed {
+            feed: tvq_common::FeedId(f),
+            frames: (0..frames)
+                .map(|i| {
+                    let occluded = ((i / 40) % u64::from(OBJECTS)) as u32;
+                    let detections = (0..OBJECTS)
+                        .filter(|&obj| !(obj == occluded && i % 40 < 12))
+                        .map(|obj| {
+                            (
+                                tvq_common::ObjectId(obj + f * 100),
+                                tvq_common::ClassId((obj % 2) as u16),
+                            )
+                        })
+                        .collect();
+                    tvq_common::FrameObjects::new(tvq_common::FrameId(i), detections)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Instrumented per-maintainer summary for the multi-feed scenario: a
+/// four-camera deployment ingested per maintainer kind and worker-pool
+/// size, plus the stable-scene workload (MFS/SSG only — NAIVE's result
+/// collection degenerates on long-lived states).
+pub fn instrumented_multifeed(scale: Scale) -> Vec<MaintainerTiming> {
+    let window = scale.window(WindowSpec::new(60, 45).expect("static spec is valid"));
+    let batches = multi_feed_batches(&multi_feed_deployment(4, scale));
+    let mut timings = Vec::new();
+    for kind in mcos_methods() {
+        for workers in [1usize, 4] {
+            let timing = measure_multi_feed(&batches, workers, window, kind);
+            timings.push(timing.into_timing(format!("{}/4feeds/{workers}w", kind.name())));
+        }
+    }
+    let stable = multi_feed_batches(&stable_scene(4, 600));
+    let stable_window = WindowSpec::new(60, 40).expect("static spec is valid");
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        let timing = measure_multi_feed(&stable, 1, stable_window, kind);
+        timings.push(timing.into_timing(format!("{}/stable/1w", kind.name())));
+    }
+    timings
 }
 
 /// Convenience wrapper: [`multi_feed_batches`] + [`run_multi_feed_prepared`].

@@ -3,8 +3,10 @@
 use std::time::{Duration, Instant};
 
 use tvq_common::{VideoRelation, WindowSpec};
-use tvq_core::{MaintainerKind, SharedPruner};
+use tvq_core::{MaintainerKind, MaintenanceMetrics, SharedPruner};
 use tvq_query::{evaluate_result_set, CnfEvaluator};
+
+use crate::report::MaintainerTiming;
 
 /// Experiment scale: the paper's configuration or a reduced one for smoke
 /// runs and CI.
@@ -48,7 +50,7 @@ impl Scale {
 }
 
 /// One measured series: a method name and its `(x, seconds)` points.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Method name (NAIVE, MFS, SSG, MFS_O, ...).
     pub method: String,
@@ -64,14 +66,55 @@ pub fn time_mcos_generation(
     spec: WindowSpec,
     kind: MaintainerKind,
 ) -> Duration {
+    measure_mcos_generation(relation, spec, kind).duration
+}
+
+/// One instrumented ingestion run: wall-clock time plus the maintainer's
+/// work counters, the raw material of the `--json` bench reports.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Wall-clock time of the ingestion loop.
+    pub duration: Duration,
+    /// Frames pushed through the maintainer.
+    pub frames: u64,
+    /// The maintainer's counters after the run.
+    pub metrics: MaintenanceMetrics,
+}
+
+impl Measurement {
+    /// Converts the measurement into a named [`MaintainerTiming`].
+    pub fn into_timing(self, method: impl Into<String>) -> MaintainerTiming {
+        MaintainerTiming {
+            method: method.into(),
+            seconds: self.duration.as_secs_f64(),
+            frames: self.frames,
+            metrics: self.metrics,
+        }
+    }
+}
+
+/// Instrumented variant of [`time_mcos_generation`]: also returns the frame
+/// count and the maintainer's metrics (peak states, intersections, ...).
+pub fn measure_mcos_generation(
+    relation: &VideoRelation,
+    spec: WindowSpec,
+    kind: MaintainerKind,
+) -> Measurement {
     let mut maintainer = kind.build(spec);
+    let mut frames = 0u64;
     let start = Instant::now();
     for frame in relation.frames() {
         maintainer
             .advance(frame.fid, &frame.objects)
             .expect("frames arrive in order");
+        frames += 1;
     }
-    start.elapsed()
+    let duration = start.elapsed();
+    Measurement {
+        duration,
+        frames,
+        metrics: maintainer.metrics().clone(),
+    }
 }
 
 /// Times MCOS generation plus CNF evaluation over the Result State Set of
@@ -84,11 +127,24 @@ pub fn time_query_evaluation(
     evaluator: &CnfEvaluator,
     pruner: Option<SharedPruner>,
 ) -> Duration {
+    measure_query_evaluation(relation, spec, kind, evaluator, pruner).duration
+}
+
+/// Instrumented variant of [`time_query_evaluation`]: also returns the frame
+/// count and the maintainer's metrics.
+pub fn measure_query_evaluation(
+    relation: &VideoRelation,
+    spec: WindowSpec,
+    kind: MaintainerKind,
+    evaluator: &CnfEvaluator,
+    pruner: Option<SharedPruner>,
+) -> Measurement {
     let mut maintainer = match pruner {
         Some(pruner) => kind.build_with_pruner(spec, pruner),
         None => kind.build(spec),
     };
     let classes = relation.object_classes();
+    let mut frames = 0u64;
     let start = Instant::now();
     let mut matches = 0usize;
     for frame in relation.frames() {
@@ -96,10 +152,15 @@ pub fn time_query_evaluation(
             .advance(frame.fid, &frame.objects)
             .expect("frames arrive in order");
         matches += evaluate_result_set(evaluator, maintainer.results(), classes).len();
+        frames += 1;
     }
-    let elapsed = start.elapsed();
+    let duration = start.elapsed();
     std::hint::black_box(matches);
-    elapsed
+    Measurement {
+        duration,
+        frames,
+        metrics: maintainer.metrics().clone(),
+    }
 }
 
 /// Formats series as an aligned text table with one row per x value and one

@@ -22,7 +22,9 @@
 //! Binaries accept `--quick` to run a reduced-size configuration (shorter
 //! feeds, smaller windows) that preserves the qualitative comparison while
 //! finishing in seconds; the default configuration mirrors the paper's
-//! parameters (w = 300, d = 240, full feed lengths).
+//! parameters (w = 300, d = 240, full feed lengths). Passing `--json`
+//! additionally writes a machine-readable `BENCH_<scenario>.json` report
+//! (frames/sec, peak state counts, per-maintainer timings) — see [`report`].
 //!
 //! Criterion micro-benchmarks live under `benches/` and exercise the same
 //! code paths on reduced inputs.
@@ -32,5 +34,10 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod report;
 
-pub use harness::{format_table, time_mcos_generation, time_query_evaluation, Scale, Series};
+pub use harness::{
+    format_table, measure_mcos_generation, measure_query_evaluation, time_mcos_generation,
+    time_query_evaluation, Measurement, Scale, Series,
+};
+pub use report::{json_requested, write_if_requested, MaintainerTiming, ScenarioReport};

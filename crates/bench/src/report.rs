@@ -1,0 +1,343 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every `repro_*` binary accepts a `--json` flag; when present, the binary
+//! writes a `BENCH_<scenario>.json` file next to the working directory in
+//! addition to its human-readable table. The file records the performance
+//! trajectory the ROADMAP asks for: frames/second, peak state counts and
+//! per-maintainer timings, plus the raw series behind the printed tables.
+//!
+//! The build environment has no crates.io access, so the JSON encoder is a
+//! small hand-rolled value tree ([`JsonValue`]) rather than serde. Output is
+//! deterministic (insertion-ordered objects) so diffs between committed
+//! baselines stay readable.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use tvq_core::MaintenanceMetrics;
+
+use crate::harness::{Scale, Series};
+
+/// A JSON value tree with deterministic (insertion-ordered) objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (rendered without a decimal point).
+    Int(u64),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Num(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => escape_into(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One instrumented per-maintainer measurement: wall-clock ingestion time,
+/// throughput and the work counters behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintainerTiming {
+    /// Method name (NAIVE, MFS, SSG, ...).
+    pub method: String,
+    /// Wall-clock seconds spent ingesting the workload.
+    pub seconds: f64,
+    /// Frames ingested.
+    pub frames: u64,
+    /// The maintainer's work counters after the run.
+    pub metrics: MaintenanceMetrics,
+}
+
+impl MaintainerTiming {
+    /// Ingestion throughput in frames per second.
+    pub fn frames_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.frames as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("method".into(), JsonValue::Str(self.method.clone())),
+            ("seconds".into(), JsonValue::Num(self.seconds)),
+            ("frames".into(), JsonValue::Int(self.frames)),
+            (
+                "frames_per_sec".into(),
+                JsonValue::Num(self.frames_per_sec()),
+            ),
+            (
+                "peak_live_states".into(),
+                JsonValue::Int(self.metrics.peak_live_states),
+            ),
+            (
+                "states_created".into(),
+                JsonValue::Int(self.metrics.states_created),
+            ),
+            (
+                "states_visited".into(),
+                JsonValue::Int(self.metrics.states_visited),
+            ),
+            (
+                "intersections".into(),
+                JsonValue::Int(self.metrics.intersections),
+            ),
+            (
+                "interned_sets".into(),
+                JsonValue::Int(self.metrics.interned_sets),
+            ),
+        ])
+    }
+}
+
+/// The machine-readable result of one `repro_*` scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name; determines the output file `BENCH_<scenario>.json`.
+    pub scenario: String,
+    /// `"quick"` or `"paper"`.
+    pub scale: String,
+    /// Instrumented per-maintainer timings (frames/sec, peak states, ...).
+    pub maintainers: Vec<MaintainerTiming>,
+    /// The raw `(group, series)` data behind the printed tables; groups are
+    /// dataset names for the per-dataset figures.
+    pub series: Vec<(String, Vec<Series>)>,
+}
+
+impl ScenarioReport {
+    /// Creates a report for a scenario measured at `scale`.
+    pub fn new(scenario: impl Into<String>, scale: Scale) -> Self {
+        ScenarioReport {
+            scenario: scenario.into(),
+            scale: match scale {
+                Scale::Paper => "paper".to_owned(),
+                Scale::Quick => "quick".to_owned(),
+            },
+            maintainers: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Attaches instrumented per-maintainer timings.
+    pub fn with_maintainers(mut self, maintainers: Vec<MaintainerTiming>) -> Self {
+        self.maintainers = maintainers;
+        self
+    }
+
+    /// Attaches per-dataset series groups (the per-figure table data).
+    pub fn with_groups(mut self, groups: &[(String, Vec<Series>)]) -> Self {
+        self.series.extend(groups.iter().cloned());
+        self
+    }
+
+    /// Attaches one flat series group (figures without a dataset axis).
+    pub fn with_series(mut self, group: impl Into<String>, series: &[Series]) -> Self {
+        self.series.push((group.into(), series.to_vec()));
+        self
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let series = self
+            .series
+            .iter()
+            .flat_map(|(group, series)| {
+                series.iter().map(move |s| {
+                    JsonValue::Obj(vec![
+                        ("group".into(), JsonValue::Str(group.clone())),
+                        ("method".into(), JsonValue::Str(s.method.clone())),
+                        (
+                            "points".into(),
+                            JsonValue::Arr(
+                                s.points
+                                    .iter()
+                                    .map(|(x, seconds)| {
+                                        JsonValue::Obj(vec![
+                                            ("x".into(), JsonValue::Str(x.clone())),
+                                            ("seconds".into(), JsonValue::Num(*seconds)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("scenario".into(), JsonValue::Str(self.scenario.clone())),
+            ("scale".into(), JsonValue::Str(self.scale.clone())),
+            (
+                "maintainers".into(),
+                JsonValue::Arr(self.maintainers.iter().map(|m| m.to_json()).collect()),
+            ),
+            ("series".into(), JsonValue::Arr(series)),
+        ])
+        .render()
+    }
+
+    /// The output path: `BENCH_<scenario>.json` in the current directory.
+    pub fn path(&self) -> PathBuf {
+        PathBuf::from(format!("BENCH_{}.json", self.scenario))
+    }
+
+    /// Writes the report to [`ScenarioReport::path`] and returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        let mut body = self.to_json();
+        body.push('\n');
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// Whether the command line requested machine-readable output (`--json`).
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Writes `report` when `--json` was passed, printing the destination; the
+/// shared tail of every `repro_*` main.
+pub fn write_if_requested(report: &ScenarioReport) {
+    if !json_requested() {
+        return;
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("failed to write {}: {error}", report.path().display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::Num(1.5).render(), "1.5");
+        assert_eq!(JsonValue::Int(7).render(), "7");
+    }
+
+    #[test]
+    fn scenario_report_renders_all_sections() {
+        let timing = MaintainerTiming {
+            method: "SSG".into(),
+            seconds: 0.5,
+            frames: 100,
+            metrics: MaintenanceMetrics::new(),
+        };
+        assert!((timing.frames_per_sec() - 200.0).abs() < 1e-9);
+        let report = ScenarioReport::new("unit", Scale::Quick)
+            .with_maintainers(vec![timing])
+            .with_series(
+                "all",
+                &[Series {
+                    method: "SSG".into(),
+                    points: vec![("4".into(), 0.25)],
+                }],
+            );
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for needle in [
+            "\"scenario\":\"unit\"",
+            "\"scale\":\"quick\"",
+            "\"frames_per_sec\":200",
+            "\"peak_live_states\":0",
+            "\"group\":\"all\"",
+            "\"x\":\"4\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert_eq!(report.path(), PathBuf::from("BENCH_unit.json"));
+    }
+
+    #[test]
+    fn zero_second_runs_report_zero_throughput() {
+        let timing = MaintainerTiming {
+            method: "MFS".into(),
+            seconds: 0.0,
+            frames: 10,
+            metrics: MaintenanceMetrics::new(),
+        };
+        assert_eq!(timing.frames_per_sec(), 0.0);
+    }
+}

@@ -176,6 +176,51 @@ impl MarkedFrameSet {
             .filter_map(|&(f, m)| if m { Some(f) } else { None })
     }
 
+    /// Returns `true` when merging `other` into `self` would change nothing:
+    /// every frame of `other` is already present, with its mark subsumed.
+    /// Linear scan, no allocation — this is the dominant case in the SSG
+    /// traversal, where a child's frame set usually already covers the
+    /// parent frames being propagated.
+    fn subsumes(&self, other: &MarkedFrameSet) -> bool {
+        if other.len() > self.len() {
+            return false;
+        }
+        match (self.first(), self.last(), other.first(), other.last()) {
+            (Some(first), Some(last), Some(other_first), Some(other_last)) => {
+                if other_first < first || other_last > last {
+                    return false;
+                }
+            }
+            _ => return other.is_empty(),
+        }
+        let mut own = self.frames.iter();
+        'outer: for &(frame, marked) in other.frames.iter() {
+            for &(own_frame, own_marked) in own.by_ref() {
+                if own_frame == frame {
+                    if marked && !own_marked {
+                        return false;
+                    }
+                    continue 'outer;
+                }
+                if own_frame > frame {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Whether the set covers every frame between its first and last member
+    /// (no gaps). O(1) from the counters.
+    #[inline]
+    fn is_contiguous(&self) -> bool {
+        match (self.first(), self.last()) {
+            (Some(first), Some(last)) => last.raw() - first.raw() + 1 == self.len() as u64,
+            _ => true,
+        }
+    }
+
     /// Merges the frames (and marks) of `other` into `self`.
     ///
     /// This implements the `merge(Fs, Fns)` operation used by the State
@@ -187,6 +232,23 @@ impl MarkedFrameSet {
         }
         if self.is_empty() {
             *self = other.clone();
+            return;
+        }
+        // Gap-free fast path: when `self` covers a contiguous frame range
+        // enclosing `other`, every frame of `other` is already present and
+        // the merge reduces to copying marks — the dominant case for
+        // long-lived states that co-occur every frame.
+        if self.is_contiguous() && other.first() >= self.first() && other.last() <= self.last() {
+            if other.marked > 0 {
+                for &(frame, marked) in other.frames.iter() {
+                    if marked {
+                        self.mark(frame);
+                    }
+                }
+            }
+            return;
+        }
+        if self.subsumes(other) {
             return;
         }
         let mut merged: VecDeque<(FrameId, bool)> =

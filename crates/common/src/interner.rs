@@ -1,0 +1,384 @@
+//! The per-feed object-set interner.
+//!
+//! Every structure in the MCOS generation layer is keyed by object sets, and
+//! the same few sets are intersected, hashed and compared thousands of times
+//! per window. Before this module existed, each of those operations walked an
+//! `Arc<[ObjectId]>` slice: hashing a state key was O(set length), equality
+//! was a slice compare, and the SSG traversal recomputed the same
+//! `parent ∩ frame` intersections every frame.
+//!
+//! [`SetInterner`] stores each distinct [`ObjectSet`] exactly once in an
+//! append-only arena and hands out dense [`SetId`] handles. Downstream
+//! structures key their maps by handle, so hashing ([`FxHasher`](crate::FxHasher)
+//! over a single `u32`), equality and state lookup become O(1) integer
+//! operations. On top of the arena the interner:
+//!
+//! * **memoizes intersections** — a fixed-size, direct-mapped cache of
+//!   `(SetId, SetId) → SetId` entries, normalised so the commutative pair
+//!   shares one slot. Sliding windows re-present the same set pairs frame
+//!   after frame (a stable scene produces the same frame set for many
+//!   consecutive frames), and the SSG cascade re-requests the same
+//!   `parent ∩ frame` pair within one frame; a recency cache catches both
+//!   at O(1) cost and fixed memory, without the unbounded growth (and cache
+//!   pollution) a full memo table would suffer on high-churn feeds;
+//! * **caches class counts** — when constructed with a class source
+//!   ([`SetInterner::with_classes`]), a [`ClassCounts`] aggregate is computed
+//!   once per set, at intern time, and shared as an `Arc`. Object classes
+//!   never change once observed (the engine's map only grows with
+//!   first-writer-wins inserts), so counts computed at intern time stay
+//!   correct for the lifetime of the set.
+//!
+//! The arena and the memo are **append-only**: interning is cheap and ids
+//! stay stable, at the cost of memory that grows with the number of distinct
+//! sets ever observed. For bounded-universe feeds (tracked objects with id
+//! reuse) the arena saturates quickly; unbounded-universe deployments should
+//! recycle the per-feed interner between sessions (the multi-feed engine
+//! creates one interner per feed, so a feed restart starts fresh).
+
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use crate::aggregates::ClassCounts;
+use crate::hash::FxHashMap;
+use crate::ids::{ClassId, ObjectId};
+use crate::object_set::ObjectSet;
+
+/// Dense handle of an interned [`ObjectSet`].
+///
+/// Handles are only meaningful relative to the [`SetInterner`] that issued
+/// them; two interners assign ids independently. `SetId::EMPTY` is always the
+/// empty set, in every interner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetId(u32);
+
+impl SetId {
+    /// The empty object set (interned at id 0 by construction).
+    pub const EMPTY: SetId = SetId(0);
+
+    /// The raw arena index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this handle is the empty set.
+    #[inline]
+    pub fn is_empty_set(self) -> bool {
+        self == SetId::EMPTY
+    }
+}
+
+/// Shared object → class map, the interner's optional class source. This is
+/// the same map the engine grows while ingesting frames; entries are
+/// immutable once inserted.
+pub type SharedClassMap = Arc<RwLock<HashMap<ObjectId, ClassId>>>;
+
+/// log2 of the direct-mapped intersection-cache size.
+const MEMO_SLOT_BITS: u32 = 15;
+
+/// Number of slots in the direct-mapped intersection cache (power of two).
+/// 32768 slots × 12 bytes ≈ 384 KiB per interner — sized for the working
+/// set of pairs a sliding window keeps live.
+const MEMO_SLOTS: usize = 1 << MEMO_SLOT_BITS;
+
+/// Sentinel for an unused memo slot (`a == b` pairs never reach the cache).
+const MEMO_FREE: (SetId, SetId) = (SetId::EMPTY, SetId::EMPTY);
+
+/// The append-only object-set arena with intersection memoization and
+/// class-count caching. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct SetInterner {
+    /// Arena: `SetId` → set. Index 0 is always the empty set.
+    sets: Vec<ObjectSet>,
+    /// Arena-parallel cache: `SetId` → class counts at intern time.
+    counts: Vec<Arc<ClassCounts>>,
+    /// Content index: set → id (hashes the slice once per *distinct* set).
+    by_set: FxHashMap<ObjectSet, SetId>,
+    /// Direct-mapped intersection cache: `(a, b, a ∩ b)` keyed by the
+    /// normalised (smaller, larger) pair; collisions overwrite. Allocated
+    /// lazily on the first intersection.
+    memo: Vec<(SetId, SetId, SetId)>,
+    /// The growing object → class map, when class counts are wanted.
+    classes: Option<SharedClassMap>,
+    memo_hits: u64,
+    memo_entries: usize,
+}
+
+impl SetInterner {
+    /// Creates an interner without a class source: cached counts are empty
+    /// and [`SetInterner::cached_counts`] returns `None`.
+    pub fn new() -> Self {
+        let mut interner = SetInterner::default();
+        interner.insert_new(ObjectSet::empty());
+        interner
+    }
+
+    /// Creates an interner that computes [`ClassCounts`] for every set at
+    /// intern time from the shared object → class map.
+    ///
+    /// Every object of a set must already be present in the map when the set
+    /// is first interned; the engine guarantees this by registering the
+    /// classes of a frame's detections before the frame reaches the
+    /// maintainer, and every maintained set is a subset of observed frames.
+    pub fn with_classes(classes: SharedClassMap) -> Self {
+        let mut interner = SetInterner {
+            classes: Some(classes),
+            ..SetInterner::default()
+        };
+        interner.insert_new(ObjectSet::empty());
+        interner
+    }
+
+    /// Whether the interner was constructed with a class source.
+    pub fn has_class_source(&self) -> bool {
+        self.classes.is_some()
+    }
+
+    /// Number of distinct sets interned (including the empty set).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether only the empty set has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.sets.len() <= 1
+    }
+
+    /// Number of occupied intersection-cache slots.
+    pub fn memo_len(&self) -> usize {
+        self.memo_entries
+    }
+
+    /// How many intersections were answered from the memo.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Interns a set, returning its stable handle. The set is copied only
+    /// the first time it is seen (an `ObjectSet` clone is an `Arc` bump).
+    pub fn intern(&mut self, set: &ObjectSet) -> SetId {
+        if set.is_empty() {
+            return SetId::EMPTY;
+        }
+        if let Some(&id) = self.by_set.get(set) {
+            return id;
+        }
+        self.insert_new(set.clone())
+    }
+
+    /// Looks a set up without interning it.
+    pub fn get(&self, set: &ObjectSet) -> Option<SetId> {
+        if set.is_empty() {
+            return Some(SetId::EMPTY);
+        }
+        self.by_set.get(set).copied()
+    }
+
+    fn insert_new(&mut self, set: ObjectSet) -> SetId {
+        debug_assert!(self.sets.len() < u32::MAX as usize, "interner arena full");
+        let id = SetId(self.sets.len() as u32);
+        let counts = match &self.classes {
+            // The map only grows with immutable entries, so a poisoned lock
+            // still holds usable data; recover instead of cascading panics
+            // (same reasoning as the engine's LivePruner).
+            Some(lock) => {
+                let classes = lock.read().unwrap_or_else(PoisonError::into_inner);
+                Arc::new(ClassCounts::of(&set, &classes))
+            }
+            None => Arc::new(ClassCounts::new()),
+        };
+        self.sets.push(set.clone());
+        self.counts.push(counts);
+        self.by_set.insert(set, id);
+        id
+    }
+
+    /// The set behind a handle.
+    #[inline]
+    pub fn resolve(&self, id: SetId) -> &ObjectSet {
+        &self.sets[id.index()]
+    }
+
+    /// Number of objects in the set behind a handle.
+    #[inline]
+    pub fn len_of(&self, id: SetId) -> usize {
+        self.sets[id.index()].len()
+    }
+
+    /// The class counts cached for a handle, when the interner has a class
+    /// source. `None` otherwise — callers must then aggregate on demand.
+    pub fn cached_counts(&self, id: SetId) -> Option<Arc<ClassCounts>> {
+        if self.classes.is_some() {
+            Some(Arc::clone(&self.counts[id.index()]))
+        } else {
+            None
+        }
+    }
+
+    /// Memoized intersection: `a ∩ b` as a handle.
+    ///
+    /// Fast paths: `a ∩ a = a` and `∅ ∩ x = ∅` never touch the cache. The
+    /// cache key is normalised so `(a, b)` and `(b, a)` share one slot.
+    ///
+    /// A miss first *counts* the overlap with an allocation-free merge:
+    /// disjoint pairs and subset pairs (the two dominant cases on tracked
+    /// feeds — a state either left the scene or is fully contained in the
+    /// arriving frame) resolve to an existing handle without materialising
+    /// or hashing anything. Only a *proper* new intersection pays the
+    /// merge-and-intern cost.
+    pub fn intersect(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b {
+            return a;
+        }
+        if a == SetId::EMPTY || b == SetId::EMPTY {
+            return SetId::EMPTY;
+        }
+        let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if self.memo.is_empty() {
+            self.memo = vec![(MEMO_FREE.0, MEMO_FREE.1, SetId::EMPTY); MEMO_SLOTS];
+        }
+        // Multiply-fold the pair into a slot index (same constant as
+        // FxHasher; the high bits carry the mix).
+        let mix = ((u64::from(lo.0) << 32) | u64::from(hi.0)).wrapping_mul(crate::hash::K);
+        let slot = (mix >> (64 - MEMO_SLOT_BITS)) as usize;
+        let entry = self.memo[slot];
+        if (entry.0, entry.1) == (lo, hi) {
+            self.memo_hits += 1;
+            return entry.2;
+        }
+        let (sa, sb) = (&self.sets[a.index()], &self.sets[b.index()]);
+        let overlap = sa.intersection_len(sb);
+        let id = if overlap == 0 {
+            SetId::EMPTY
+        } else if overlap == sa.len() {
+            a
+        } else if overlap == sb.len() {
+            b
+        } else {
+            let result = sa.intersect(sb);
+            self.intern(&result)
+        };
+        if (entry.0, entry.1) == MEMO_FREE {
+            self.memo_entries += 1;
+        }
+        self.memo[slot] = (lo, hi, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ObjectSet::from_raw(ids.iter().copied())
+    }
+
+    #[test]
+    fn empty_set_is_id_zero() {
+        let mut interner = SetInterner::new();
+        assert_eq!(interner.intern(&ObjectSet::empty()), SetId::EMPTY);
+        assert!(SetId::EMPTY.is_empty_set());
+        assert!(interner.resolve(SetId::EMPTY).is_empty());
+        assert!(interner.is_empty());
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_content_addressed() {
+        let mut interner = SetInterner::new();
+        let a = interner.intern(&set(&[1, 2, 3]));
+        let b = interner.intern(&set(&[3, 2, 1]));
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), &set(&[1, 2, 3]));
+        assert_eq!(interner.len_of(a), 3);
+        assert_eq!(interner.get(&set(&[1, 2, 3])), Some(a));
+        assert_eq!(interner.get(&set(&[9])), None);
+    }
+
+    #[test]
+    fn intersect_matches_the_linear_merge() {
+        let mut interner = SetInterner::new();
+        let a = interner.intern(&set(&[1, 2, 3, 5]));
+        let b = interner.intern(&set(&[2, 3, 4]));
+        let ab = interner.intersect(a, b);
+        assert_eq!(interner.resolve(ab), &set(&[2, 3]));
+        // Commutative and memoized.
+        assert_eq!(interner.intersect(b, a), ab);
+        assert_eq!(interner.memo_len(), 1);
+        assert_eq!(interner.memo_hits(), 1);
+    }
+
+    #[test]
+    fn intersect_fast_paths_skip_the_memo() {
+        let mut interner = SetInterner::new();
+        let a = interner.intern(&set(&[1, 2]));
+        assert_eq!(interner.intersect(a, a), a);
+        assert_eq!(interner.intersect(a, SetId::EMPTY), SetId::EMPTY);
+        assert_eq!(interner.intersect(SetId::EMPTY, a), SetId::EMPTY);
+        assert_eq!(interner.memo_len(), 0);
+    }
+
+    #[test]
+    fn subset_intersections_reuse_existing_ids() {
+        let mut interner = SetInterner::new();
+        let small = interner.intern(&set(&[2, 3]));
+        let big = interner.intern(&set(&[1, 2, 3, 4]));
+        assert_eq!(interner.intersect(small, big), small);
+        assert_eq!(interner.len(), 3, "no new set for a subset intersection");
+    }
+
+    #[test]
+    fn class_counts_are_cached_at_intern_time() {
+        let classes: SharedClassMap = Arc::new(RwLock::new(
+            [
+                (ObjectId(1), ClassId(0)),
+                (ObjectId(2), ClassId(1)),
+                (ObjectId(3), ClassId(1)),
+            ]
+            .into_iter()
+            .collect(),
+        ));
+        let mut interner = SetInterner::with_classes(Arc::clone(&classes));
+        assert!(interner.has_class_source());
+        let id = interner.intern(&set(&[1, 2, 3]));
+        let counts = interner.cached_counts(id).expect("class source present");
+        assert_eq!(counts.count(ClassId(0)), 1);
+        assert_eq!(counts.count(ClassId(1)), 2);
+        // Cached counts are shared, not recomputed.
+        let again = interner.cached_counts(id).unwrap();
+        assert!(Arc::ptr_eq(&counts, &again));
+    }
+
+    #[test]
+    fn no_class_source_means_no_cached_counts() {
+        let mut interner = SetInterner::new();
+        let id = interner.intern(&set(&[1]));
+        assert!(interner.cached_counts(id).is_none());
+        assert!(!interner.has_class_source());
+    }
+
+    #[test]
+    fn counts_survive_a_poisoned_class_map() {
+        let classes: SharedClassMap = Arc::new(RwLock::new(
+            [(ObjectId(1), ClassId(2))].into_iter().collect(),
+        ));
+        let poison = Arc::clone(&classes);
+        let _ = std::thread::spawn(move || {
+            let _guard = poison.write().unwrap();
+            panic!("poison the class map");
+        })
+        .join();
+        assert!(classes.is_poisoned());
+        let mut interner = SetInterner::with_classes(classes);
+        let id = interner.intern(&set(&[1]));
+        let counts = interner.cached_counts(id).unwrap();
+        assert_eq!(counts.count(ClassId(2)), 1);
+    }
+}

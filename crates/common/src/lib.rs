@@ -9,6 +9,13 @@
 //!   to dense [`ClassId`]s — see [`class`];
 //! * [`ObjectSet`], the sorted, deduplicated object-identifier set used for
 //!   every co-occurrence computation — see [`object_set`];
+//! * [`SetInterner`] and [`SetId`], the per-feed object-set arena that turns
+//!   set hashing/equality into integer operations, memoizes intersections
+//!   and caches per-set class counts — see [`interner`];
+//! * [`ClassCounts`], the per-class aggregate of one object set that CNF
+//!   queries are evaluated against — see [`aggregates`];
+//! * [`FxHasher`] and the `FxHashMap`/`FxHashSet` aliases, the deterministic
+//!   integer hasher behind the handle-keyed maps — see [`hash`];
 //! * [`MarkedFrameSet`], the sliding-window frame set with *key frame* marks
 //!   that drives early state pruning — see [`frame_set`];
 //! * the structured relation `VR(fid, id, class)` extracted from a video feed
@@ -26,20 +33,26 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod aggregates;
 pub mod class;
 pub mod error;
 pub mod frame_set;
+pub mod hash;
 pub mod ids;
+pub mod interner;
 pub mod io;
 pub mod object_set;
 pub mod relation;
 pub mod stats;
 pub mod window;
 
+pub use aggregates::ClassCounts;
 pub use class::{ClassLabel, ClassRegistry};
 pub use error::{Error, Result};
 pub use frame_set::MarkedFrameSet;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ClassId, FeedId, FrameId, ObjectId, QueryId, TrackId};
+pub use interner::{SetId, SetInterner, SharedClassMap};
 pub use object_set::ObjectSet;
 pub use relation::{FrameObjects, ObjectRecord, VideoRelation};
 pub use stats::DatasetStats;

@@ -50,13 +50,23 @@ impl ObjectSet {
 
     /// Builds a set from a vector that is already sorted and deduplicated.
     ///
-    /// This is the fast path used by the per-frame ingestion code; the
-    /// invariant is checked in debug builds.
-    pub fn from_sorted_unchecked(ids: Vec<ObjectId>) -> Self {
+    /// This is the fast path used by the per-frame ingestion code. Debug
+    /// builds assert the invariant (strictly increasing identifiers — i.e.
+    /// sorted with no duplicates); release builds verify it with a linear
+    /// scan and fall back to sorting and deduplicating, so a misbehaving
+    /// caller degrades to the safe constructor instead of corrupting every
+    /// downstream merge, subset test and hash.
+    pub fn from_sorted_unchecked(mut ids: Vec<ObjectId>) -> Self {
+        let strictly_increasing = ids.windows(2).all(|w| w[0] < w[1]);
         debug_assert!(
-            ids.windows(2).all(|w| w[0] < w[1]),
-            "ids must be strictly increasing"
+            strictly_increasing,
+            "from_sorted_unchecked requires strictly increasing ids \
+             (sorted, deduplicated); got {ids:?}"
         );
+        if !strictly_increasing {
+            ids.sort_unstable();
+            ids.dedup();
+        }
         ObjectSet { ids: ids.into() }
     }
 
@@ -312,6 +322,22 @@ mod tests {
         let ids = vec![ObjectId(1), ObjectId(4), ObjectId(9)];
         let s = ObjectSet::from_sorted_unchecked(ids.clone());
         assert_eq!(s.as_slice(), ids.as_slice());
+    }
+
+    /// Debug builds reject an invariant violation loudly.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_sorted_unchecked_panics_on_bad_input_in_debug() {
+        let _ = ObjectSet::from_sorted_unchecked(vec![ObjectId(4), ObjectId(1), ObjectId(4)]);
+    }
+
+    /// Release builds repair a bad caller instead of corrupting state.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn from_sorted_unchecked_repairs_bad_input_in_release() {
+        let s = ObjectSet::from_sorted_unchecked(vec![ObjectId(4), ObjectId(1), ObjectId(4)]);
+        assert_eq!(s, set(&[1, 4]));
     }
 }
 

@@ -6,7 +6,7 @@
 //! The engine, the benchmarks and the differential tests are all written
 //! against this trait so the strategies are interchangeable.
 
-use tvq_common::{Error, FrameId, ObjectSet, Result, WindowSpec};
+use tvq_common::{Error, FrameId, ObjectSet, Result, SetInterner, WindowSpec};
 
 use crate::metrics::MaintenanceMetrics;
 use crate::mfs::MfsMaintainer;
@@ -84,14 +84,9 @@ impl MaintainerKind {
         }
     }
 
-    /// Builds a maintainer of this kind.
+    /// Builds a maintainer of this kind (private interner, no pruner).
     pub fn build(&self, spec: WindowSpec) -> Box<dyn StateMaintainer> {
-        match self {
-            MaintainerKind::Naive => Box::new(NaiveMaintainer::new(spec)),
-            MaintainerKind::Mfs => Box::new(MfsMaintainer::new(spec)),
-            MaintainerKind::Ssg => Box::new(SsgMaintainer::new(spec)),
-            MaintainerKind::Reference => Box::new(ReferenceMaintainer::new(spec)),
-        }
+        self.build_with_options(spec, None, SetInterner::new())
     }
 
     /// Builds a maintainer with a query-driven pruner attached (the `_O`
@@ -102,11 +97,31 @@ impl MaintainerKind {
         spec: WindowSpec,
         pruner: SharedPruner,
     ) -> Box<dyn StateMaintainer> {
-        match self {
-            MaintainerKind::Naive => Box::new(NaiveMaintainer::new(spec)),
-            MaintainerKind::Mfs => Box::new(MfsMaintainer::with_pruner(spec, pruner)),
-            MaintainerKind::Ssg => Box::new(SsgMaintainer::with_pruner(spec, pruner)),
-            MaintainerKind::Reference => Box::new(ReferenceMaintainer::new(spec)),
+        self.build_with_options(spec, Some(pruner), SetInterner::new())
+    }
+
+    /// Builds a maintainer around a caller-provided interner and an optional
+    /// pruner. This is how the engine wires one interner per feed (sharing
+    /// its object → class map, so result states carry precomputed class
+    /// counts). The reference oracle ignores both — it recomputes windows
+    /// from first principles and exists to pin down semantics, not speed.
+    pub fn build_with_options(
+        &self,
+        spec: WindowSpec,
+        pruner: Option<SharedPruner>,
+        interner: SetInterner,
+    ) -> Box<dyn StateMaintainer> {
+        match (self, pruner) {
+            (MaintainerKind::Naive, _) => Box::new(NaiveMaintainer::with_interner(spec, interner)),
+            (MaintainerKind::Mfs, None) => Box::new(MfsMaintainer::with_interner(spec, interner)),
+            (MaintainerKind::Mfs, Some(pruner)) => Box::new(
+                MfsMaintainer::with_pruner_and_interner(spec, pruner, interner),
+            ),
+            (MaintainerKind::Ssg, None) => Box::new(SsgMaintainer::with_interner(spec, interner)),
+            (MaintainerKind::Ssg, Some(pruner)) => Box::new(
+                SsgMaintainer::with_pruner_and_interner(spec, pruner, interner),
+            ),
+            (MaintainerKind::Reference, _) => Box::new(ReferenceMaintainer::new(spec)),
         }
     }
 }

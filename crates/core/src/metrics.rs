@@ -34,6 +34,9 @@ pub struct MaintenanceMetrics {
     pub edges_removed: u64,
     /// Largest number of simultaneously live states observed.
     pub peak_live_states: u64,
+    /// Distinct object sets held by the maintainer's set interner (the
+    /// arena only grows, so this is also the lifetime-peak).
+    pub interned_sets: u64,
 }
 
 impl MaintenanceMetrics {
@@ -84,6 +87,7 @@ impl MaintenanceMetrics {
         self.edges_added += other.edges_added;
         self.edges_removed += other.edges_removed;
         self.peak_live_states += other.peak_live_states;
+        self.interned_sets += other.interned_sets;
     }
 
     /// Folds an iterator of metrics into one aggregate via [`merge`](Self::merge).
@@ -109,7 +113,7 @@ impl fmt::Display for MaintenanceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={}",
+            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={}",
             self.frames_processed,
             self.states_created,
             self.states_pruned,
@@ -118,7 +122,8 @@ impl fmt::Display for MaintenanceMetrics {
             self.states_visited,
             self.edges_added,
             self.edges_removed,
-            self.peak_live_states
+            self.peak_live_states,
+            self.interned_sets
         )
     }
 }
@@ -157,6 +162,7 @@ mod tests {
         a.edges_added = 8;
         a.edges_removed = 9;
         a.peak_live_states = 10;
+        a.interned_sets = 11;
         let mut b = a.clone();
         b.merge(&a);
         let doubled = MaintenanceMetrics::merged([&a, &a]);
@@ -171,6 +177,7 @@ mod tests {
         assert_eq!(doubled.edges_added, 16);
         assert_eq!(doubled.edges_removed, 18);
         assert_eq!(doubled.peak_live_states, 20);
+        assert_eq!(doubled.interned_sets, 22);
     }
 
     #[test]

@@ -22,23 +22,29 @@
 //! would be created, and rejected object sets are remembered as *terminated*
 //! so they are never materialised again while they remain hopeless.
 
-use std::collections::{HashMap, HashSet};
-
-use tvq_common::{FrameId, MarkedFrameSet, ObjectSet, Result, WindowSpec};
+use tvq_common::{
+    FrameId, FxHashMap, MarkedFrameSet, ObjectSet, Result, SetId, SetInterner, WindowSpec,
+};
 
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
-use crate::prune::SharedPruner;
+use crate::prune::{PrunerVerdictCache, SharedPruner};
 use crate::result_set::ResultStateSet;
 
 /// The Marked Frame Set state maintainer.
+///
+/// All state maps are keyed by interned [`SetId`] handles: hashing, equality
+/// and state lookup are O(1) integer operations, and the per-frame
+/// intersection pass is answered from the interner's memo after the first
+/// occurrence of each `(state, frame-set)` pair.
 pub struct MfsMaintainer {
     spec: WindowSpec,
-    states: HashMap<ObjectSet, MarkedFrameSet>,
+    interner: SetInterner,
+    states: FxHashMap<SetId, MarkedFrameSet>,
     results: ResultStateSet,
     metrics: MaintenanceMetrics,
     pruner: Option<SharedPruner>,
-    terminated: HashSet<ObjectSet>,
+    verdicts: PrunerVerdictCache,
     last_frame: Option<FrameId>,
 }
 
@@ -47,21 +53,30 @@ impl std::fmt::Debug for MfsMaintainer {
         f.debug_struct("MfsMaintainer")
             .field("spec", &self.spec)
             .field("live_states", &self.states.len())
-            .field("terminated", &self.terminated.len())
+            .field("terminated", &self.verdicts.terminated_len())
             .finish()
     }
 }
 
 impl MfsMaintainer {
-    /// Creates an MFS maintainer for the given window specification.
+    /// Creates an MFS maintainer for the given window specification, with a
+    /// private interner (no class source).
     pub fn new(spec: WindowSpec) -> Self {
+        MfsMaintainer::with_interner(spec, SetInterner::new())
+    }
+
+    /// Creates an MFS maintainer around a caller-provided interner (the
+    /// engine wires one per feed, sharing its object → class map so result
+    /// states carry precomputed class counts).
+    pub fn with_interner(spec: WindowSpec, interner: SetInterner) -> Self {
         MfsMaintainer {
             spec,
-            states: HashMap::new(),
+            interner,
+            states: FxHashMap::default(),
             results: ResultStateSet::new(),
             metrics: MaintenanceMetrics::new(),
             pruner: None,
-            terminated: HashSet::new(),
+            verdicts: PrunerVerdictCache::new(),
             last_frame: None,
         }
     }
@@ -70,36 +85,49 @@ impl MfsMaintainer {
     /// pruner and terminated when no query can ever be satisfied by them
     /// (Section 5.3).
     pub fn with_pruner(spec: WindowSpec, pruner: SharedPruner) -> Self {
-        let mut maintainer = MfsMaintainer::new(spec);
+        MfsMaintainer::with_pruner_and_interner(spec, pruner, SetInterner::new())
+    }
+
+    /// The `MFS_O` variant around a caller-provided interner.
+    pub fn with_pruner_and_interner(
+        spec: WindowSpec,
+        pruner: SharedPruner,
+        interner: SetInterner,
+    ) -> Self {
+        let mut maintainer = MfsMaintainer::with_interner(spec, interner);
         maintainer.pruner = Some(pruner);
         maintainer
+    }
+
+    /// Read access to the maintainer's interner (arena and memo statistics).
+    pub fn interner(&self) -> &SetInterner {
+        &self.interner
     }
 
     /// Exposes the live states (object set → marked frame set) for the
     /// worked-example assertions.
     pub fn states(&self) -> impl Iterator<Item = (&ObjectSet, &MarkedFrameSet)> {
-        self.states.iter()
+        self.states
+            .iter()
+            .map(|(&sid, frames)| (self.interner.resolve(sid), frames))
     }
 
-    fn is_terminated(&self, objects: &ObjectSet) -> bool {
-        self.terminated.contains(objects)
+    fn is_terminated(&self, sid: SetId) -> bool {
+        self.verdicts.is_terminated(sid)
     }
 
-    /// Consults the pruner for a new object set; records and counts
-    /// terminations.
-    fn terminate_if_hopeless(&mut self, objects: &ObjectSet) -> bool {
+    /// Consults the pruner for a new object set via the shared per-handle
+    /// verdict cache.
+    fn terminate_if_hopeless(&mut self, sid: SetId) -> bool {
         let Some(pruner) = &self.pruner else {
             return false;
         };
-        if self.terminated.contains(objects) {
-            return true;
-        }
-        if pruner.should_terminate(objects) {
-            self.terminated.insert(objects.clone());
-            self.metrics.states_terminated += 1;
-            return true;
-        }
-        false
+        self.verdicts.judge(
+            pruner.as_ref(),
+            &self.interner,
+            sid,
+            &mut self.metrics.states_terminated,
+        )
     }
 
     fn expire(&mut self, oldest: FrameId) {
@@ -121,39 +149,40 @@ impl MfsMaintainer {
         if objects.is_empty() {
             return;
         }
+        let frame_sid = self.interner.intern(objects);
 
         // Pass 1 (read-only): intersect every live state with the arriving
         // frame, recording which states are fully contained in the frame and
         // which object sets are derived, along with the parents' key frames
         // (snapshot, so that same-frame mark propagation stays deterministic).
-        let mut appenders: Vec<ObjectSet> = Vec::new();
-        let mut derived: HashMap<ObjectSet, Vec<(ObjectSet, Vec<FrameId>)>> = HashMap::new();
-        for (set, frames) in self.states.iter() {
+        let mut appenders: Vec<SetId> = Vec::new();
+        let mut derived: FxHashMap<SetId, Vec<(SetId, Vec<FrameId>)>> = FxHashMap::default();
+        for (&sid, frames) in self.states.iter() {
             self.metrics.intersections += 1;
-            let inter = set.intersect(objects);
-            if inter.is_empty() {
+            let inter = self.interner.intersect(sid, frame_sid);
+            if inter.is_empty_set() {
                 continue;
             }
-            if &inter == set {
+            if inter == sid {
                 // Fully contained in the arriving frame: only the frame id
                 // needs to be appended. A state never propagates marks onto
                 // itself, so there is no need to record it as a derivation
                 // source (this is the hot path on feeds with long-lived
                 // objects).
-                appenders.push(set.clone());
+                appenders.push(sid);
             } else {
                 derived
                     .entry(inter)
                     .or_default()
-                    .push((set.clone(), frames.marked_frames().collect()));
+                    .push((sid, frames.marked_frames().collect()));
             }
         }
         self.metrics.states_visited += self.states.len() as u64;
 
         // Pass 2a: append the arriving frame (unmarked) to fully contained
         // states.
-        for set in &appenders {
-            if let Some(frames) = self.states.get_mut(set) {
+        for sid in &appenders {
+            if let Some(frames) = self.states.get_mut(sid) {
                 frames.push(frame, false);
                 self.metrics.frames_appended += 1;
             }
@@ -161,10 +190,10 @@ impl MfsMaintainer {
 
         // Pass 2b: create states for intersections not yet materialised and
         // propagate marks (Frame Marking Rule 2) onto existing targets.
-        for (target, parents) in &derived {
-            if let Some(existing) = self.states.get_mut(target) {
-                for (parent_set, parent_marks) in parents {
-                    if parent_set == target {
+        for (&target, parents) in &derived {
+            if let Some(existing) = self.states.get_mut(&target) {
+                for &(parent_sid, ref parent_marks) in parents {
+                    if parent_sid == target {
                         continue;
                     }
                     for &mark in parent_marks {
@@ -179,8 +208,8 @@ impl MfsMaintainer {
                 continue;
             }
             let mut frames = MarkedFrameSet::new();
-            for (parent_set, _) in parents {
-                if let Some(parent_frames) = self.states.get(parent_set) {
+            for &(parent_sid, _) in parents {
+                if let Some(parent_frames) = self.states.get(&parent_sid) {
                     frames.merge_from(parent_frames);
                 }
             }
@@ -193,8 +222,7 @@ impl MfsMaintainer {
                     }
                 }
             }
-            let target = target.clone();
-            if self.terminate_if_hopeless(&target) {
+            if self.terminate_if_hopeless(target) {
                 continue;
             }
             self.states.insert(target, frames);
@@ -203,15 +231,15 @@ impl MfsMaintainer {
 
         // Pass 2c: the arriving frame's own object set becomes (or stays) a
         // state, and the arriving frame is its key frame (Rule 1).
-        if !self.is_terminated(objects) && !self.terminate_if_hopeless(objects) {
-            match self.states.get_mut(objects) {
+        if !self.is_terminated(frame_sid) && !self.terminate_if_hopeless(frame_sid) {
+            match self.states.get_mut(&frame_sid) {
                 Some(frames) => {
                     frames.push(frame, true);
                     frames.mark(frame);
                 }
                 None => {
                     self.states
-                        .insert(objects.clone(), MarkedFrameSet::singleton(frame, true));
+                        .insert(frame_sid, MarkedFrameSet::singleton(frame, true));
                     self.metrics.states_created += 1;
                 }
             }
@@ -220,9 +248,13 @@ impl MfsMaintainer {
 
     fn collect_results(&mut self) {
         self.results.clear();
-        for (set, frames) in &self.states {
+        for (&sid, frames) in &self.states {
             if frames.has_marked() && self.spec.satisfies_duration(frames.len()) {
-                self.results.insert(set.clone(), frames);
+                self.results.insert_with_counts(
+                    self.interner.resolve(sid).clone(),
+                    frames,
+                    self.interner.cached_counts(sid),
+                );
             }
         }
     }
@@ -241,6 +273,7 @@ impl StateMaintainer for MfsMaintainer {
         self.expire(self.spec.oldest_valid(frame));
         self.process_frame(frame, objects);
         self.metrics.observe_live_states(self.states.len());
+        self.metrics.interned_sets = self.interner.len().saturating_sub(1) as u64;
         self.collect_results();
         Ok(())
     }

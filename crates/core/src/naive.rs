@@ -9,28 +9,44 @@
 
 use std::collections::HashMap;
 
-use tvq_common::{FrameId, MarkedFrameSet, ObjectSet, Result, WindowSpec};
+use tvq_common::{
+    FrameId, FxHashMap, MarkedFrameSet, ObjectSet, Result, SetId, SetInterner, WindowSpec,
+};
 
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::result_set::ResultStateSet;
 
 /// The NAIVE state maintainer.
+///
+/// States are keyed by interned [`SetId`] handles: hashing, equality and
+/// lookup are O(1) integer operations and repeated intersections are
+/// answered from the interner's memo.
 #[derive(Debug)]
 pub struct NaiveMaintainer {
     spec: WindowSpec,
-    states: HashMap<ObjectSet, MarkedFrameSet>,
+    interner: SetInterner,
+    states: FxHashMap<SetId, MarkedFrameSet>,
     results: ResultStateSet,
     metrics: MaintenanceMetrics,
     last_frame: Option<FrameId>,
 }
 
 impl NaiveMaintainer {
-    /// Creates a NAIVE maintainer for the given window specification.
+    /// Creates a NAIVE maintainer for the given window specification, with a
+    /// private interner (no class source).
     pub fn new(spec: WindowSpec) -> Self {
+        NaiveMaintainer::with_interner(spec, SetInterner::new())
+    }
+
+    /// Creates a NAIVE maintainer around a caller-provided interner (the
+    /// engine wires one per feed, sharing its object → class map so result
+    /// states carry precomputed class counts).
+    pub fn with_interner(spec: WindowSpec, interner: SetInterner) -> Self {
         NaiveMaintainer {
             spec,
-            states: HashMap::new(),
+            interner,
+            states: FxHashMap::default(),
             results: ResultStateSet::new(),
             metrics: MaintenanceMetrics::new(),
             last_frame: None,
@@ -40,7 +56,9 @@ impl NaiveMaintainer {
     /// Exposes the live states (object set → frame set) for inspection in
     /// tests and the worked-example assertions.
     pub fn states(&self) -> impl Iterator<Item = (&ObjectSet, &MarkedFrameSet)> {
-        self.states.iter()
+        self.states
+            .iter()
+            .map(|(&sid, frames)| (self.interner.resolve(sid), frames))
     }
 
     fn expire(&mut self, oldest: FrameId) {
@@ -60,26 +78,28 @@ impl NaiveMaintainer {
         if objects.is_empty() {
             return;
         }
-        // Pass 1: intersect the arriving frame with every existing state.
-        let mut appenders: Vec<ObjectSet> = Vec::new();
-        let mut derived: HashMap<ObjectSet, Vec<ObjectSet>> = HashMap::new();
-        for (set, _) in self.states.iter() {
+        let frame_sid = self.interner.intern(objects);
+        // Pass 1: intersect the arriving frame with every existing state
+        // (memoized handle → handle lookups after the first occurrence).
+        let mut appenders: Vec<SetId> = Vec::new();
+        let mut derived: FxHashMap<SetId, Vec<SetId>> = FxHashMap::default();
+        for (&sid, _) in self.states.iter() {
             self.metrics.intersections += 1;
-            let inter = set.intersect(objects);
-            if inter.is_empty() {
+            let inter = self.interner.intersect(sid, frame_sid);
+            if inter.is_empty_set() {
                 continue;
             }
-            if &inter == set {
-                appenders.push(set.clone());
+            if inter == sid {
+                appenders.push(sid);
             } else {
-                derived.entry(inter).or_default().push(set.clone());
+                derived.entry(inter).or_default().push(sid);
             }
         }
         self.metrics.states_visited += self.states.len() as u64;
 
         // Pass 2a: append the new frame to states fully contained in it.
-        for set in appenders {
-            if let Some(frames) = self.states.get_mut(&set) {
+        for sid in appenders {
+            if let Some(frames) = self.states.get_mut(&sid) {
                 frames.push(frame, false);
                 self.metrics.frames_appended += 1;
             }
@@ -106,14 +126,17 @@ impl NaiveMaintainer {
         }
 
         // Pass 2c: make sure the arriving frame's own object set is a state.
-        if !self.states.contains_key(objects) {
-            self.states
-                .insert(objects.clone(), MarkedFrameSet::singleton(frame, false));
-            self.metrics.states_created += 1;
-        } else if let Some(frames) = self.states.get_mut(objects) {
-            // Created by pass 2b this frame or pre-existing; ensure the frame
-            // itself is recorded.
-            frames.push(frame, false);
+        match self.states.get_mut(&frame_sid) {
+            None => {
+                self.states
+                    .insert(frame_sid, MarkedFrameSet::singleton(frame, false));
+                self.metrics.states_created += 1;
+            }
+            Some(frames) => {
+                // Created by pass 2b this frame or pre-existing; ensure the
+                // frame itself is recorded.
+                frames.push(frame, false);
+            }
         }
     }
 
@@ -121,23 +144,27 @@ impl NaiveMaintainer {
     /// deduplicated by frame set keeping the maximal object set (which is the
     /// MCOS of that frame set).
     fn collect_results(&mut self) {
-        let mut best: HashMap<Vec<FrameId>, ObjectSet> = HashMap::new();
-        for (set, frames) in &self.states {
+        let mut best: HashMap<Vec<FrameId>, SetId> = HashMap::new();
+        for (&sid, frames) in &self.states {
             if !self.spec.satisfies_duration(frames.len()) {
                 continue;
             }
             let key: Vec<FrameId> = frames.frames().collect();
             match best.get(&key) {
-                Some(existing) if existing.len() >= set.len() => {}
+                Some(&existing) if self.interner.len_of(existing) >= self.interner.len_of(sid) => {}
                 _ => {
-                    best.insert(key, set.clone());
+                    best.insert(key, sid);
                 }
             }
         }
         self.results.clear();
-        for (frames, set) in best {
+        for (frames, sid) in best {
             let marked: MarkedFrameSet = frames.into_iter().map(|f| (f, false)).collect();
-            self.results.insert(set, &marked);
+            self.results.insert_with_counts(
+                self.interner.resolve(sid).clone(),
+                &marked,
+                self.interner.cached_counts(sid),
+            );
         }
     }
 }
@@ -155,6 +182,7 @@ impl StateMaintainer for NaiveMaintainer {
         self.expire(self.spec.oldest_valid(frame));
         self.process_frame(frame, objects);
         self.metrics.observe_live_states(self.states.len());
+        self.metrics.interned_sets = self.interner.len().saturating_sub(1) as u64;
         self.collect_results();
         Ok(())
     }

@@ -11,7 +11,7 @@
 //! this module only defines the interface plus simple implementations used
 //! for tests and ablations.
 
-use tvq_common::ObjectSet;
+use tvq_common::{ClassCounts, ObjectSet};
 
 /// Decides whether a freshly created state can be terminated.
 ///
@@ -23,6 +23,75 @@ pub trait StatePruner {
     /// Returns `true` when a state with this object set (interpreted as its
     /// MCOS) can never satisfy any registered query, nor can any subset.
     fn should_terminate(&self, objects: &ObjectSet) -> bool;
+
+    /// Variant consulted by interner-backed maintainers: when the set's
+    /// class counts are already cached, a query-driven pruner can decide
+    /// from them directly and skip re-aggregating the object set. The
+    /// default ignores the counts and defers to
+    /// [`should_terminate`](Self::should_terminate); the verdict must be
+    /// identical either way.
+    fn should_terminate_with(&self, objects: &ObjectSet, counts: Option<&ClassCounts>) -> bool {
+        let _ = counts;
+        self.should_terminate(objects)
+    }
+}
+
+/// Per-handle cache of a pruner's verdicts, shared by the MFS and SSG
+/// maintainers.
+///
+/// Both polarities are cached: a set's class counts are fixed at intern
+/// time (the engine's object → class map is first-writer-wins), so a
+/// pruner's verdict for a given handle is stable and each set is judged at
+/// most once.
+#[derive(Debug, Default)]
+pub struct PrunerVerdictCache {
+    terminated: tvq_common::FxHashSet<tvq_common::SetId>,
+    cleared: tvq_common::FxHashSet<tvq_common::SetId>,
+}
+
+impl PrunerVerdictCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PrunerVerdictCache::default()
+    }
+
+    /// Whether the handle was previously judged hopeless.
+    pub fn is_terminated(&self, sid: tvq_common::SetId) -> bool {
+        self.terminated.contains(&sid)
+    }
+
+    /// Number of handles judged hopeless so far.
+    pub fn terminated_len(&self) -> usize {
+        self.terminated.len()
+    }
+
+    /// Returns the cached verdict for `sid`, consulting `pruner` on a cache
+    /// miss (passing the interner's cached class counts so query-driven
+    /// pruners skip re-aggregation). Counts a fresh termination in
+    /// `states_terminated`.
+    pub fn judge(
+        &mut self,
+        pruner: &(dyn StatePruner + Send + Sync),
+        interner: &tvq_common::SetInterner,
+        sid: tvq_common::SetId,
+        states_terminated: &mut u64,
+    ) -> bool {
+        if self.terminated.contains(&sid) {
+            return true;
+        }
+        if self.cleared.contains(&sid) {
+            return false;
+        }
+        let counts = interner.cached_counts(sid);
+        if pruner.should_terminate_with(interner.resolve(sid), counts.as_deref()) {
+            self.terminated.insert(sid);
+            *states_terminated += 1;
+            true
+        } else {
+            self.cleared.insert(sid);
+            false
+        }
+    }
 }
 
 /// A pruner that never terminates anything (the `*_E` method variants).

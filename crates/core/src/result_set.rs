@@ -6,10 +6,18 @@
 //! (their object set is an MCOS of their frame set). [`ResultStateSet`]
 //! holds that per-window snapshot in a canonical, order-independent form so
 //! that the three maintainers can be compared state-for-state.
+//!
+//! When the producing maintainer runs on top of a
+//! [`SetInterner`](tvq_common::SetInterner) with a class source, each entry
+//! also carries the interner's cached [`ClassCounts`] for its object set, so
+//! the CNF evaluator downstream skips the per-frame histogram rebuild.
+//! Cached counts are an evaluation accelerator, not part of the result
+//! semantics: equality between result sets ignores them.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use tvq_common::{FrameId, MarkedFrameSet, ObjectSet};
+use tvq_common::{ClassCounts, FrameId, MarkedFrameSet, ObjectSet};
 
 use crate::state::State;
 
@@ -22,10 +30,20 @@ pub struct ResultState {
     pub frames: Vec<FrameId>,
 }
 
+/// One result entry: the state's frame set plus (optionally) the class
+/// counts cached by the producing maintainer's interner. The frame set is
+/// `Arc`-shared so downstream consumers (one `QueryMatch` per satisfied
+/// query) reference it without re-allocating.
+#[derive(Debug, Clone)]
+struct Entry {
+    frames: Arc<[FrameId]>,
+    counts: Option<Arc<ClassCounts>>,
+}
+
 /// The set of satisfied, valid states of the current window.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ResultStateSet {
-    states: BTreeMap<ObjectSet, Vec<FrameId>>,
+    states: BTreeMap<ObjectSet, Entry>,
 }
 
 impl ResultStateSet {
@@ -43,7 +61,24 @@ impl ResultStateSet {
 
     /// Inserts (or replaces) a result state.
     pub fn insert(&mut self, objects: ObjectSet, frames: &MarkedFrameSet) {
-        self.states.insert(objects, frames.frames().collect());
+        self.insert_with_counts(objects, frames, None);
+    }
+
+    /// Inserts (or replaces) a result state together with the class counts
+    /// its producer has cached for the object set.
+    pub fn insert_with_counts(
+        &mut self,
+        objects: ObjectSet,
+        frames: &MarkedFrameSet,
+        counts: Option<Arc<ClassCounts>>,
+    ) {
+        self.states.insert(
+            objects,
+            Entry {
+                frames: frames.frames().collect(),
+                counts,
+            },
+        );
     }
 
     /// Inserts a result state from a [`State`].
@@ -63,7 +98,7 @@ impl ResultStateSet {
 
     /// The frame set reported for a given object set, if present.
     pub fn frames_of(&self, objects: &ObjectSet) -> Option<&[FrameId]> {
-        self.states.get(objects).map(Vec::as_slice)
+        self.states.get(objects).map(|e| &*e.frames)
     }
 
     /// Whether an object set is part of the results.
@@ -73,16 +108,27 @@ impl ResultStateSet {
 
     /// Iterates over results in a deterministic (object-set) order.
     pub fn iter(&self) -> impl Iterator<Item = (&ObjectSet, &[FrameId])> {
-        self.states.iter().map(|(k, v)| (k, v.as_slice()))
+        self.states.iter().map(|(k, e)| (k, &*e.frames))
+    }
+
+    /// Iterates over results including the `Arc`-shared frame set and the
+    /// cached class counts (when the producing maintainer had an interner
+    /// with a class source).
+    pub fn iter_with_counts(
+        &self,
+    ) -> impl Iterator<Item = (&ObjectSet, &Arc<[FrameId]>, Option<&Arc<ClassCounts>>)> {
+        self.states
+            .iter()
+            .map(|(k, e)| (k, &e.frames, e.counts.as_ref()))
     }
 
     /// Materialises the results as owned [`ResultState`] values.
     pub fn to_vec(&self) -> Vec<ResultState> {
         self.states
             .iter()
-            .map(|(objects, frames)| ResultState {
+            .map(|(objects, entry)| ResultState {
                 objects: objects.clone(),
-                frames: frames.clone(),
+                frames: entry.frames.to_vec(),
             })
             .collect()
     }
@@ -94,10 +140,37 @@ impl ResultStateSet {
     }
 }
 
+/// Result sets compare by their semantic content — object sets and frame
+/// sets — ignoring cached class counts, so maintainers with and without an
+/// interner class source remain comparable state-for-state.
+impl PartialEq for ResultStateSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.states.len() == other.states.len()
+            && self
+                .states
+                .iter()
+                .zip(other.states.iter())
+                .all(|((set_a, a), (set_b, b))| set_a == set_b && a.frames == b.frames)
+    }
+}
+
+impl Eq for ResultStateSet {}
+
 impl FromIterator<(ObjectSet, Vec<FrameId>)> for ResultStateSet {
     fn from_iter<T: IntoIterator<Item = (ObjectSet, Vec<FrameId>)>>(iter: T) -> Self {
         ResultStateSet {
-            states: iter.into_iter().collect(),
+            states: iter
+                .into_iter()
+                .map(|(objects, frames)| {
+                    (
+                        objects,
+                        Entry {
+                            frames: frames.into(),
+                            counts: None,
+                        },
+                    )
+                })
+                .collect(),
         }
     }
 }
@@ -105,6 +178,8 @@ impl FromIterator<(ObjectSet, Vec<FrameId>)> for ResultStateSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
+    use tvq_common::ClassId;
 
     fn set(ids: &[u32]) -> ObjectSet {
         ObjectSet::from_raw(ids.iter().copied())
@@ -164,5 +239,36 @@ mod tests {
         let mut rs = ResultStateSet::new();
         rs.insert_state(&state);
         assert_eq!(rs.frames_of(&set(&[4, 5])).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn cached_counts_are_exposed_but_ignored_by_equality() {
+        let counts = Arc::new(ClassCounts::from_map(HashMap::from([(ClassId(1), 2)])));
+        let mut with_counts = ResultStateSet::new();
+        with_counts.insert_with_counts(set(&[1, 2]), &frames(&[0, 1]), Some(Arc::clone(&counts)));
+        let mut without = ResultStateSet::new();
+        without.insert(set(&[1, 2]), &frames(&[0, 1]));
+
+        assert_eq!(with_counts, without, "counts must not affect equality");
+        let cached: Vec<_> = with_counts
+            .iter_with_counts()
+            .map(|(_, _, c)| c.cloned())
+            .collect();
+        assert_eq!(cached.len(), 1);
+        assert_eq!(cached[0].as_deref(), Some(&*counts));
+        let uncached: Vec<_> = without.iter_with_counts().map(|(_, _, c)| c).collect();
+        assert!(uncached[0].is_none());
+    }
+
+    #[test]
+    fn equality_detects_frame_set_differences() {
+        let mut a = ResultStateSet::new();
+        a.insert(set(&[1]), &frames(&[0]));
+        let mut b = ResultStateSet::new();
+        b.insert(set(&[1]), &frames(&[0, 1]));
+        assert_ne!(a, b);
+        let mut c = ResultStateSet::new();
+        c.insert(set(&[2]), &frames(&[0]));
+        assert_ne!(a, c);
     }
 }

@@ -7,9 +7,7 @@
 //! [`StateGraph::attach`] operation enforces both properties, rewiring edges
 //! exactly as described in Section 4.3.4 of the paper.
 
-use std::collections::HashMap;
-
-use tvq_common::{FrameId, MarkedFrameSet, ObjectSet};
+use tvq_common::{FrameId, FxHashMap, MarkedFrameSet, ObjectSet, SetId, SetInterner};
 
 /// Index of a node inside the graph's slab.
 pub(crate) type NodeId = usize;
@@ -20,7 +18,11 @@ pub(crate) const NEVER: u64 = u64::MAX;
 /// A node of the Strict State Graph.
 #[derive(Debug)]
 pub(crate) struct Node {
-    /// The state's object set.
+    /// Interned handle of the state's object set — the key every hot-path
+    /// lookup and comparison uses.
+    pub sid: SetId,
+    /// The state's object set (resolved once at insertion; an `Arc` clone of
+    /// the interned set, kept for subset tests and result reporting).
     pub set: ObjectSet,
     /// The state's marked frame set.
     pub frames: MarkedFrameSet,
@@ -30,6 +32,10 @@ pub(crate) struct Node {
     pub parents: Vec<NodeId>,
     /// Frame id of the last State Traversal that visited this node.
     pub visited: u64,
+    /// This node's intersection with the frame of its last visit (valid
+    /// while `visited` matches the current frame) — lets the CNPS candidate
+    /// pass reuse the traversal's work instead of intersecting again.
+    pub last_inter: SetId,
     /// Frame id of the last frame appended to this node's frame set.
     pub touched: u64,
     /// In-window frames whose object set equals this node's object set
@@ -40,13 +46,15 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    fn new(set: ObjectSet) -> Self {
+    fn new(sid: SetId, set: ObjectSet) -> Self {
         Node {
+            sid,
             set,
             frames: MarkedFrameSet::new(),
             children: Vec::new(),
             parents: Vec::new(),
             visited: NEVER,
+            last_inter: SetId::EMPTY,
             touched: NEVER,
             principal_frames: Vec::new(),
             alive: true,
@@ -54,12 +62,12 @@ impl Node {
     }
 }
 
-/// Slab-allocated Strict State Graph with an object-set index.
+/// Slab-allocated Strict State Graph indexed by interned set handles.
 #[derive(Debug, Default)]
 pub(crate) struct StateGraph {
     nodes: Vec<Node>,
     free: Vec<NodeId>,
-    by_set: HashMap<ObjectSet, NodeId>,
+    by_set: FxHashMap<SetId, NodeId>,
     pub edges_added: u64,
     pub edges_removed: u64,
 }
@@ -82,18 +90,33 @@ impl StateGraph {
         &mut self.nodes[id]
     }
 
-    /// Looks up the live node holding `set`.
-    pub fn id_of(&self, set: &ObjectSet) -> Option<NodeId> {
-        self.by_set.get(set).copied()
+    /// Split borrow: a mutable reference to `target` alongside a shared
+    /// reference to `source`. Lets frame sets merge between two nodes
+    /// without cloning either (`target` and `source` must differ).
+    pub fn pair_mut(&mut self, target: NodeId, source: NodeId) -> (&mut Node, &Node) {
+        debug_assert_ne!(target, source, "pair_mut needs two distinct nodes");
+        if target < source {
+            let (left, right) = self.nodes.split_at_mut(source);
+            (&mut left[target], &right[0])
+        } else {
+            let (left, right) = self.nodes.split_at_mut(target);
+            (&mut right[0], &left[source])
+        }
     }
 
-    /// Inserts a new node for `set`; the set must not already be present.
-    pub fn insert(&mut self, set: ObjectSet) -> NodeId {
+    /// Looks up the live node holding the interned set `sid`.
+    pub fn id_of(&self, sid: SetId) -> Option<NodeId> {
+        self.by_set.get(&sid).copied()
+    }
+
+    /// Inserts a new node for the interned set `sid` (resolved as `set`);
+    /// the handle must not already be present.
+    pub fn insert(&mut self, sid: SetId, set: ObjectSet) -> NodeId {
         debug_assert!(
-            !self.by_set.contains_key(&set),
+            !self.by_set.contains_key(&sid),
             "duplicate node for {set:?}"
         );
-        let node = Node::new(set.clone());
+        let node = Node::new(sid, set);
         let id = match self.free.pop() {
             Some(id) => {
                 self.nodes[id] = node;
@@ -104,7 +127,7 @@ impl StateGraph {
                 self.nodes.len() - 1
             }
         };
-        self.by_set.insert(set, id);
+        self.by_set.insert(sid, id);
         id
     }
 
@@ -138,6 +161,13 @@ impl StateGraph {
         }
     }
 
+    /// Proper-subset test on interned handles: distinct handles are distinct
+    /// sets, so `a ⊂ b ⟺ a ∩ b = a` — one memoized interner lookup instead
+    /// of a linear merge per test.
+    fn is_proper_subset(interner: &mut SetInterner, a: SetId, b: SetId) -> bool {
+        a != b && interner.intersect(a, b) == a
+    }
+
     /// Connects `child` under `parent`, enforcing Properties 1 and 2.
     ///
     /// * If the child's object set is not a proper subset of the parent's,
@@ -148,39 +178,48 @@ impl StateGraph {
     /// * If the new child's set contains an existing child's set, that edge is
     ///   moved below the new child — the "Modifying Existing Edges" step of
     ///   Section 4.3.4.
-    pub fn attach(&mut self, parent: NodeId, child: NodeId) {
+    ///
+    /// Subset tests go through the interner, so repeated attachments of the
+    /// same state pair resolve from the intersection cache.
+    pub fn attach(&mut self, parent: NodeId, child: NodeId, interner: &mut SetInterner) {
         if parent == child {
             return;
         }
-        if !self.nodes[child]
-            .set
-            .is_proper_subset_of(&self.nodes[parent].set)
-        {
+        // Fast path: the edge already exists (states are re-derived from the
+        // same parent frame after frame) — skip the sibling scan entirely.
+        if self.nodes[child].parents.contains(&parent) {
             return;
         }
-        let siblings: Vec<NodeId> = self.nodes[parent].children.clone();
-        for sibling in siblings {
+        if !Self::is_proper_subset(interner, self.nodes[child].sid, self.nodes[parent].sid) {
+            return;
+        }
+        // Index loop instead of cloning the sibling vector: the only
+        // mutation of `parent.children` inside the loop is the
+        // `remove_edge` swap_remove at the current index (the recursive
+        // `attach` calls only touch the subtrees below `sibling`/`child`),
+        // so holding the index steady after a removal visits every sibling
+        // exactly once.
+        let mut index = 0;
+        while index < self.nodes[parent].children.len() {
+            let sibling = self.nodes[parent].children[index];
             if sibling == child {
                 return;
             }
             if !self.nodes[sibling].alive {
+                index += 1;
                 continue;
             }
-            if self.nodes[child]
-                .set
-                .is_proper_subset_of(&self.nodes[sibling].set)
-            {
+            if Self::is_proper_subset(interner, self.nodes[child].sid, self.nodes[sibling].sid) {
                 // A tighter ancestor exists among the siblings; attach below it.
-                self.attach(sibling, child);
+                self.attach(sibling, child, interner);
                 return;
             }
-            if self.nodes[sibling]
-                .set
-                .is_proper_subset_of(&self.nodes[child].set)
-            {
+            if Self::is_proper_subset(interner, self.nodes[sibling].sid, self.nodes[child].sid) {
                 // The new child is a tighter parent for this sibling.
                 self.remove_edge(parent, sibling);
-                self.attach(child, sibling);
+                self.attach(child, sibling, interner);
+            } else {
+                index += 1;
             }
         }
         self.add_edge(parent, child);
@@ -188,17 +227,28 @@ impl StateGraph {
 
     /// Removes a node, reconnecting its parents to its children so that every
     /// descendant stays reachable from the surviving ancestors.
-    pub fn remove(&mut self, id: NodeId) {
+    pub fn remove(&mut self, id: NodeId, interner: &mut SetInterner) {
         if !self.nodes[id].alive {
             return;
         }
-        let parents = self.nodes[id].parents.clone();
-        let children = self.nodes[id].children.clone();
+        // Take the edge lists instead of cloning them: the node is being
+        // dismantled, so its own vectors can be emptied up front. Each taken
+        // edge still exists in the opposite direction; splice those out
+        // directly (the counter accounting matches the former
+        // `remove_edge(parent, id)` / `remove_edge(id, child)` pair).
+        let parents = std::mem::take(&mut self.nodes[id].parents);
+        let children = std::mem::take(&mut self.nodes[id].children);
         for &parent in &parents {
-            self.remove_edge(parent, id);
+            if let Some(pos) = self.nodes[parent].children.iter().position(|&c| c == id) {
+                self.nodes[parent].children.swap_remove(pos);
+                self.edges_removed += 1;
+            }
         }
         for &child in &children {
-            self.remove_edge(id, child);
+            if let Some(pos) = self.nodes[child].parents.iter().position(|&p| p == id) {
+                self.nodes[child].parents.swap_remove(pos);
+            }
+            self.edges_removed += 1;
         }
         for &parent in &parents {
             if !self.nodes[parent].alive {
@@ -206,15 +256,12 @@ impl StateGraph {
             }
             for &child in &children {
                 if self.nodes[child].alive {
-                    self.attach(parent, child);
+                    self.attach(parent, child, interner);
                 }
             }
         }
-        let set = self.nodes[id].set.clone();
-        self.by_set.remove(&set);
+        self.by_set.remove(&self.nodes[id].sid);
         self.nodes[id].alive = false;
-        self.nodes[id].children.clear();
-        self.nodes[id].parents.clear();
         self.nodes[id].frames = MarkedFrameSet::new();
         self.nodes[id].principal_frames.clear();
         self.free.push(id);
@@ -240,10 +287,10 @@ impl StateGraph {
     /// Verifies Properties 1 and 2 over the whole graph (test support).
     #[cfg(test)]
     pub fn check_invariants(&self) {
-        for (set, &id) in &self.by_set {
+        for (&sid, &id) in &self.by_set {
             let node = &self.nodes[id];
             assert!(node.alive);
-            assert_eq!(&node.set, set);
+            assert_eq!(node.sid, sid);
             for &child in &node.children {
                 assert!(
                     self.nodes[child].set.is_proper_subset_of(&node.set),
@@ -270,27 +317,38 @@ impl StateGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tvq_common::SetInterner;
 
     fn set(ids: &[u32]) -> ObjectSet {
         ObjectSet::from_raw(ids.iter().copied())
     }
 
+    /// Test helper: interns `ids` and inserts the node.
+    fn insert(g: &mut StateGraph, interner: &mut SetInterner, ids: &[u32]) -> NodeId {
+        let s = set(ids);
+        let sid = interner.intern(&s);
+        g.insert(sid, s)
+    }
+
     #[test]
     fn insert_and_lookup() {
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let a = g.insert(set(&[1, 2, 3]));
-        assert_eq!(g.id_of(&set(&[1, 2, 3])), Some(a));
-        assert_eq!(g.id_of(&set(&[1])), None);
+        let a = insert(&mut g, &mut interner, &[1, 2, 3]);
+        let sid = interner.intern(&set(&[1, 2, 3]));
+        assert_eq!(g.id_of(sid), Some(a));
+        assert_eq!(g.id_of(interner.intern(&set(&[1]))), None);
         assert_eq!(g.len(), 1);
     }
 
     #[test]
     fn attach_enforces_property_1() {
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let a = g.insert(set(&[1, 2]));
-        let b = g.insert(set(&[2, 3]));
+        let a = insert(&mut g, &mut interner, &[1, 2]);
+        let b = insert(&mut g, &mut interner, &[2, 3]);
         // {2,3} is not a subset of {1,2}: the edge is refused.
-        g.attach(a, b);
+        g.attach(a, b, &mut interner);
         assert!(g.node(a).children.is_empty());
         g.check_invariants();
     }
@@ -300,15 +358,16 @@ mod tests {
     #[test]
     fn attach_rewires_contained_siblings_like_figure_3() {
         // A=1, B=2, C=3, D=4, F=6.
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let abcf = g.insert(set(&[1, 2, 3, 6]));
-        let abd = g.insert(set(&[1, 2, 4]));
-        let ab = g.insert(set(&[1, 2]));
-        g.attach(abcf, ab);
-        g.attach(abd, ab);
+        let abcf = insert(&mut g, &mut interner, &[1, 2, 3, 6]);
+        let abd = insert(&mut g, &mut interner, &[1, 2, 4]);
+        let ab = insert(&mut g, &mut interner, &[1, 2]);
+        g.attach(abcf, ab, &mut interner);
+        g.attach(abd, ab, &mut interner);
 
-        let abf = g.insert(set(&[1, 2, 6]));
-        g.attach(abcf, abf);
+        let abf = insert(&mut g, &mut interner, &[1, 2, 6]);
+        g.attach(abcf, abf, &mut interner);
 
         // {AB} is now reached through {ABF}, not directly from {ABCF}.
         assert!(!g.node(abcf).children.contains(&ab));
@@ -321,13 +380,14 @@ mod tests {
 
     #[test]
     fn attach_descends_into_tighter_parent() {
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let abc = g.insert(set(&[1, 2, 3]));
-        let ab = g.insert(set(&[1, 2]));
-        g.attach(abc, ab);
-        let a = g.insert(set(&[1]));
+        let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
+        let ab = insert(&mut g, &mut interner, &[1, 2]);
+        g.attach(abc, ab, &mut interner);
+        let a = insert(&mut g, &mut interner, &[1]);
         // Attaching {A} to {ABC} must land it under {AB}, the tighter parent.
-        g.attach(abc, a);
+        g.attach(abc, a, &mut interner);
         assert!(!g.node(abc).children.contains(&a));
         assert!(g.node(ab).children.contains(&a));
         g.check_invariants();
@@ -335,11 +395,12 @@ mod tests {
 
     #[test]
     fn attach_is_idempotent() {
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let abc = g.insert(set(&[1, 2, 3]));
-        let ab = g.insert(set(&[1, 2]));
-        g.attach(abc, ab);
-        g.attach(abc, ab);
+        let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
+        let ab = insert(&mut g, &mut interner, &[1, 2]);
+        g.attach(abc, ab, &mut interner);
+        g.attach(abc, ab, &mut interner);
         assert_eq!(g.node(abc).children.len(), 1);
         assert_eq!(g.node(ab).parents.len(), 1);
         assert_eq!(g.edges_added, 1);
@@ -347,40 +408,46 @@ mod tests {
 
     #[test]
     fn remove_reconnects_parents_to_children() {
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let abcd = g.insert(set(&[1, 2, 3, 4]));
-        let abc = g.insert(set(&[1, 2, 3]));
-        let ab = g.insert(set(&[1, 2]));
-        g.attach(abcd, abc);
-        g.attach(abc, ab);
-        g.remove(abc);
+        let abcd = insert(&mut g, &mut interner, &[1, 2, 3, 4]);
+        let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
+        let ab = insert(&mut g, &mut interner, &[1, 2]);
+        g.attach(abcd, abc, &mut interner);
+        g.attach(abc, ab, &mut interner);
+        let removed_edges_before = g.edges_removed;
+        g.remove(abc, &mut interner);
         assert_eq!(g.len(), 2);
-        assert!(g.id_of(&set(&[1, 2, 3])).is_none());
+        assert!(g.id_of(interner.intern(&set(&[1, 2, 3]))).is_none());
         assert!(g.node(abcd).children.contains(&ab));
+        // Both of the removed node's edges are accounted for.
+        assert_eq!(g.edges_removed, removed_edges_before + 2);
         g.check_invariants();
     }
 
     #[test]
     fn removed_slots_are_reused() {
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let a = g.insert(set(&[1]));
-        g.remove(a);
-        let b = g.insert(set(&[2]));
+        let a = insert(&mut g, &mut interner, &[1]);
+        g.remove(a, &mut interner);
+        let b = insert(&mut g, &mut interner, &[2]);
         assert_eq!(a, b, "slab slot should be recycled");
         assert_eq!(g.len(), 1);
-        assert!(g.id_of(&set(&[1])).is_none());
+        assert!(g.id_of(interner.intern(&set(&[1]))).is_none());
     }
 
     #[test]
     fn reachability_follows_child_edges() {
+        let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
-        let abcd = g.insert(set(&[1, 2, 3, 4]));
-        let abc = g.insert(set(&[1, 2, 3]));
-        let ab = g.insert(set(&[1, 2]));
-        let cd = g.insert(set(&[3, 4]));
-        g.attach(abcd, abc);
-        g.attach(abc, ab);
-        g.attach(abcd, cd);
+        let abcd = insert(&mut g, &mut interner, &[1, 2, 3, 4]);
+        let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
+        let ab = insert(&mut g, &mut interner, &[1, 2]);
+        let cd = insert(&mut g, &mut interner, &[3, 4]);
+        g.attach(abcd, abc, &mut interner);
+        g.attach(abc, ab, &mut interner);
+        g.attach(abcd, cd, &mut interner);
         let mut reachable = g.reachable(abc);
         reachable.sort_unstable();
         assert_eq!(

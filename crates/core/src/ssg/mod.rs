@@ -42,29 +42,39 @@
 
 mod graph;
 
-use std::collections::HashSet;
-
-use tvq_common::{FrameId, ObjectSet, Result, WindowSpec};
+use tvq_common::{FrameId, FxHashSet, ObjectSet, Result, SetId, SetInterner, WindowSpec};
 
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
-use crate::prune::SharedPruner;
+use crate::prune::{PrunerVerdictCache, SharedPruner};
 use crate::result_set::ResultStateSet;
 
 use graph::{NodeId, StateGraph};
 
 /// The Strict State Graph state maintainer.
+///
+/// The graph index, the termination cache and every traversal comparison
+/// operate on interned [`SetId`] handles; the repeated `parent ∩ frame`
+/// intersections of the traversal cascade are answered from the interner's
+/// memo after their first occurrence.
 pub struct SsgMaintainer {
     spec: WindowSpec,
+    interner: SetInterner,
     graph: StateGraph,
     /// Principal states in their order of arrival (kept while alive).
     roots: Vec<NodeId>,
     results: ResultStateSet,
+    /// Handles of the states reported in `results` (revalidated first on the
+    /// next frame — the `SR'_i` part of `SR_{i'} = SR'_i ∪ SR_{G'}`).
+    prev_results: Vec<SetId>,
     metrics: MaintenanceMetrics,
     pruner: Option<SharedPruner>,
-    terminated: HashSet<ObjectSet>,
+    verdicts: PrunerVerdictCache,
     last_frame: Option<FrameId>,
     frames_since_sweep: usize,
+    /// Reusable buffers for the traversal's child snapshots (one per
+    /// recursion depth), so `visit_children` never allocates in steady state.
+    child_scratch: Vec<Vec<NodeId>>,
 }
 
 impl std::fmt::Debug for SsgMaintainer {
@@ -78,25 +88,45 @@ impl std::fmt::Debug for SsgMaintainer {
 }
 
 impl SsgMaintainer {
-    /// Creates an SSG maintainer for the given window specification.
+    /// Creates an SSG maintainer for the given window specification, with a
+    /// private interner (no class source).
     pub fn new(spec: WindowSpec) -> Self {
+        SsgMaintainer::with_interner(spec, SetInterner::new())
+    }
+
+    /// Creates an SSG maintainer around a caller-provided interner (the
+    /// engine wires one per feed, sharing its object → class map so result
+    /// states carry precomputed class counts).
+    pub fn with_interner(spec: WindowSpec, interner: SetInterner) -> Self {
         SsgMaintainer {
             spec,
+            interner,
             graph: StateGraph::new(),
             roots: Vec::new(),
             results: ResultStateSet::new(),
+            prev_results: Vec::new(),
             metrics: MaintenanceMetrics::new(),
             pruner: None,
-            terminated: HashSet::new(),
+            verdicts: PrunerVerdictCache::new(),
             last_frame: None,
             frames_since_sweep: 0,
+            child_scratch: Vec::new(),
         }
     }
 
     /// Creates the `SSG_O` variant (Section 5.3): new states are checked
     /// against the pruner and terminated when hopeless.
     pub fn with_pruner(spec: WindowSpec, pruner: SharedPruner) -> Self {
-        let mut maintainer = SsgMaintainer::new(spec);
+        SsgMaintainer::with_pruner_and_interner(spec, pruner, SetInterner::new())
+    }
+
+    /// The `SSG_O` variant around a caller-provided interner.
+    pub fn with_pruner_and_interner(
+        spec: WindowSpec,
+        pruner: SharedPruner,
+        interner: SetInterner,
+    ) -> Self {
+        let mut maintainer = SsgMaintainer::with_interner(spec, interner);
         maintainer.pruner = Some(pruner);
         maintainer
     }
@@ -104,6 +134,11 @@ impl SsgMaintainer {
     /// Number of principal states currently tracked.
     pub fn principal_states(&self) -> usize {
         self.roots.len()
+    }
+
+    /// Read access to the maintainer's interner (arena and memo statistics).
+    pub fn interner(&self) -> &SetInterner {
+        &self.interner
     }
 
     /// Exposes the live states (object set, frames, marked frames) for tests.
@@ -118,49 +153,48 @@ impl SsgMaintainer {
             .collect()
     }
 
-    fn is_terminated(&self, set: &ObjectSet) -> bool {
-        self.terminated.contains(set)
+    fn is_terminated(&self, sid: SetId) -> bool {
+        self.verdicts.is_terminated(sid)
     }
 
-    fn terminate_if_hopeless(&mut self, set: &ObjectSet) -> bool {
+    /// Consults the pruner for a new object set via the shared per-handle
+    /// verdict cache.
+    fn terminate_if_hopeless(&mut self, sid: SetId) -> bool {
         let Some(pruner) = &self.pruner else {
             return false;
         };
-        if self.terminated.contains(set) {
-            return true;
-        }
-        if pruner.should_terminate(set) {
-            self.terminated.insert(set.clone());
-            self.metrics.states_terminated += 1;
-            return true;
-        }
-        false
+        self.verdicts.judge(
+            pruner.as_ref(),
+            &self.interner,
+            sid,
+            &mut self.metrics.states_terminated,
+        )
     }
 
-    /// Ensures a state with object set `set` exists, is attached under
-    /// `parent`, and carries the arriving frame. Returns its id unless the
-    /// set is terminated.
+    /// Ensures a state with the interned object set `sid` exists, is
+    /// attached under `parent`, and carries the arriving frame. Returns its
+    /// id unless the set is terminated.
     fn ensure_state(
         &mut self,
-        set: ObjectSet,
+        sid: SetId,
         parent: NodeId,
         frame: FrameId,
         oldest: FrameId,
         touched: &mut Vec<NodeId>,
     ) -> Option<NodeId> {
-        if set.is_empty() || set == self.graph.node(parent).set {
+        if sid.is_empty_set() || sid == self.graph.node(parent).sid {
             return None;
         }
-        if self.is_terminated(&set) {
+        if self.is_terminated(sid) {
             return None;
         }
-        let id = match self.graph.id_of(&set) {
+        let id = match self.graph.id_of(sid) {
             Some(id) => id,
             None => {
-                if self.terminate_if_hopeless(&set) {
+                if self.terminate_if_hopeless(sid) {
                     return None;
                 }
-                let id = self.graph.insert(set);
+                let id = self.graph.insert(sid, self.interner.resolve(sid).clone());
                 self.metrics.states_created += 1;
                 touched.push(id);
                 id
@@ -175,22 +209,23 @@ impl SsgMaintainer {
         }
         // Frame-set completeness and Rule-2 mark inheritance: the parent's
         // frames all contain the parent's object set, hence this subset too.
-        let parent_frames = self.graph.node(parent).frames.clone();
-        self.graph.node_mut(id).frames.merge_from(&parent_frames);
-        self.graph.attach(parent, id);
+        let (target, source) = self.graph.pair_mut(id, parent);
+        target.frames.merge_from(&source.frames);
+        self.graph.attach(parent, id, &mut self.interner);
         Some(id)
     }
 
     /// State Traversal (Algorithm 1), visiting `node` with `p_inter` being the
-    /// intersection of the parent state with the arriving frame.
+    /// intersection of the parent state with the arriving frame (whose
+    /// interned object set is `frame_sid`).
     #[allow(clippy::too_many_arguments)]
     fn st_visit(
         &mut self,
         node: NodeId,
         parent: Option<NodeId>,
-        p_inter: &ObjectSet,
+        p_inter: SetId,
         frame: FrameId,
-        objects: &ObjectSet,
+        frame_sid: SetId,
         ns: NodeId,
         oldest: FrameId,
         touched: &mut Vec<NodeId>,
@@ -199,21 +234,21 @@ impl SsgMaintainer {
             return;
         }
         self.graph.node_mut(node).visited = frame.raw();
-        self.graph.node_mut(node).frames.expire_before(oldest);
         touched.push(node);
         self.metrics.states_visited += 1;
 
-        let node_set = self.graph.node(node).set.clone();
+        let node_sid = self.graph.node(node).sid;
         self.metrics.intersections += 1;
-        let inter = node_set.intersect(objects);
+        let inter = self.interner.intersect(node_sid, frame_sid);
+        self.graph.node_mut(node).last_inter = inter;
 
-        if inter.is_empty() {
+        if inter.is_empty_set() {
             // No descendant of this node can intersect the frame either, but
             // the parent's intersection may still need to be materialised
             // (lines 5-8 of Algorithm 1).
-            if let (Some(parent), false) = (parent, p_inter.is_empty()) {
-                if p_inter != objects {
-                    self.ensure_state(p_inter.clone(), parent, frame, oldest, touched);
+            if let (Some(parent), false) = (parent, p_inter.is_empty_set()) {
+                if p_inter != frame_sid {
+                    self.ensure_state(p_inter, parent, frame, oldest, touched);
                 }
             }
             return;
@@ -222,12 +257,15 @@ impl SsgMaintainer {
         // Lines 11-16: the parent's intersection is strictly larger than ours,
         // so this subtree cannot represent it; materialise it under the parent.
         if let Some(parent) = parent {
-            if !p_inter.is_empty() && p_inter.len() > inter.len() && p_inter != objects {
-                self.ensure_state(p_inter.clone(), parent, frame, oldest, touched);
+            if !p_inter.is_empty_set()
+                && self.interner.len_of(p_inter) > self.interner.len_of(inter)
+                && p_inter != frame_sid
+            {
+                self.ensure_state(p_inter, parent, frame, oldest, touched);
             }
         }
 
-        if inter == node_set {
+        if inter == node_sid {
             // The whole state co-occurs in the arriving frame: append it
             // (lines 18-21) and inherit the parent's frames when the parent's
             // intersection is exactly this state (line 19).
@@ -237,25 +275,27 @@ impl SsgMaintainer {
                 self.metrics.frames_appended += 1;
             }
             if let Some(parent) = parent {
-                if p_inter == &node_set {
-                    let parent_frames = self.graph.node(parent).frames.clone();
-                    self.graph.node_mut(node).frames.merge_from(&parent_frames);
+                if p_inter == node_sid {
+                    let (target, source) = self.graph.pair_mut(node, parent);
+                    target.frames.merge_from(&source.frames);
                 }
             }
-            self.visit_children(node, &inter, frame, objects, ns, oldest, touched);
-        } else if &inter == objects {
+            self.visit_children(node, inter, frame, frame_sid, ns, oldest, touched);
+        } else if inter == frame_sid {
             // The arriving frame's object set is a proper subset of this
             // state: the new principal co-occurs in all of this state's frames
             // (lines 22-24).
-            let node_frames = self.graph.node(node).frames.clone();
-            self.graph.node_mut(ns).frames.merge_from(&node_frames);
-            self.graph.attach(node, ns);
-            self.visit_children(node, &inter, frame, objects, ns, oldest, touched);
+            if ns != node {
+                let (target, source) = self.graph.pair_mut(ns, node);
+                target.frames.merge_from(&source.frames);
+            }
+            self.graph.attach(node, ns, &mut self.interner);
+            self.visit_children(node, inter, frame, frame_sid, ns, oldest, touched);
         } else {
             // A proper, new intersection: descend first (a child subtree may
             // already own it), then make sure it exists under this node
             // (lines 25-29).
-            self.visit_children(node, &inter, frame, objects, ns, oldest, touched);
+            self.visit_children(node, inter, frame, frame_sid, ns, oldest, touched);
             self.ensure_state(inter, node, frame, oldest, touched);
         }
     }
@@ -264,26 +304,33 @@ impl SsgMaintainer {
     fn visit_children(
         &mut self,
         node: NodeId,
-        inter: &ObjectSet,
+        inter: SetId,
         frame: FrameId,
-        objects: &ObjectSet,
+        frame_sid: SetId,
         ns: NodeId,
         oldest: FrameId,
         touched: &mut Vec<NodeId>,
     ) {
-        let children = self.graph.node(node).children.clone();
-        for child in children {
+        // Snapshot: the traversal below may attach new children to `node`,
+        // and those must not be revisited within this frame. The snapshot
+        // buffer is pooled per recursion depth, so steady-state traversal
+        // performs no allocation here.
+        let mut children = self.child_scratch.pop().unwrap_or_default();
+        children.clear();
+        children.extend_from_slice(&self.graph.node(node).children);
+        for &child in &children {
             self.st_visit(
                 child,
                 Some(node),
                 inter,
                 frame,
-                objects,
+                frame_sid,
                 ns,
                 oldest,
                 touched,
             );
         }
+        self.child_scratch.push(children);
     }
 
     /// CNPS (Algorithm 2): connect the new principal state to the candidate
@@ -293,7 +340,7 @@ impl SsgMaintainer {
         let mut ordered = candidates;
         ordered.sort_by_key(|&id| std::cmp::Reverse(self.graph.node(id).set.len()));
         ordered.dedup();
-        let mut reachable: HashSet<NodeId> = HashSet::new();
+        let mut reachable: FxHashSet<NodeId> = FxHashSet::default();
         for candidate in ordered {
             if candidate == ns || !self.graph.node(candidate).alive {
                 continue;
@@ -301,7 +348,7 @@ impl SsgMaintainer {
             if reachable.contains(&candidate) {
                 continue;
             }
-            self.graph.attach(ns, candidate);
+            self.graph.attach(ns, candidate, &mut self.interner);
             // Incremental DFS: regions already known to be reachable are not
             // re-traversed, so the whole CNPS pass is bounded by the size of
             // the subgraph below the new principal.
@@ -317,7 +364,10 @@ impl SsgMaintainer {
         }
     }
 
-    /// Removes invalid (unmarked) touched nodes and refreshes root bookkeeping.
+    /// Removes invalid (unmarked) touched nodes and refreshes root
+    /// bookkeeping. This pass owns window expiry for visited nodes: the
+    /// traversal itself never expires (merges tolerate stale frames; they
+    /// are trimmed here before validity is judged).
     fn prune_touched(&mut self, touched: &[NodeId], oldest: FrameId) {
         for &id in touched {
             if !self.graph.node(id).alive {
@@ -331,7 +381,7 @@ impl SsgMaintainer {
     }
 
     fn remove_node(&mut self, id: NodeId) {
-        self.graph.remove(id);
+        self.graph.remove(id, &mut self.interner);
         self.metrics.states_pruned += 1;
         if let Some(pos) = self.roots.iter().position(|&r| r == id) {
             self.roots.remove(pos);
@@ -354,16 +404,19 @@ impl SsgMaintainer {
 
     fn collect_results(&mut self, touched: &[NodeId], oldest: FrameId) {
         // SR_{i'} = SR'_i ∪ SR_{G'}: previously satisfied states are
-        // revalidated, newly touched states are examined.
-        let mut candidates: Vec<NodeId> = Vec::with_capacity(self.results.len() + touched.len());
-        for set in self.results.object_sets() {
-            if let Some(id) = self.graph.id_of(&set) {
+        // revalidated (by handle — no set hashing), newly touched states are
+        // examined.
+        let mut candidates: Vec<NodeId> =
+            Vec::with_capacity(self.prev_results.len() + touched.len());
+        for &sid in &self.prev_results {
+            if let Some(id) = self.graph.id_of(sid) {
                 candidates.push(id);
             }
         }
         candidates.extend_from_slice(touched);
 
         let mut next = ResultStateSet::new();
+        let mut next_ids: Vec<SetId> = Vec::new();
         for id in candidates {
             if !self.graph.node(id).alive {
                 continue;
@@ -371,10 +424,18 @@ impl SsgMaintainer {
             self.graph.node_mut(id).frames.expire_before(oldest);
             let node = self.graph.node(id);
             if node.frames.has_marked() && self.spec.satisfies_duration(node.frames.len()) {
-                next.insert(node.set.clone(), &node.frames);
+                next.insert_with_counts(
+                    node.set.clone(),
+                    &node.frames,
+                    self.interner.cached_counts(node.sid),
+                );
+                next_ids.push(node.sid);
             }
         }
+        next_ids.sort_unstable();
+        next_ids.dedup();
         self.results = next;
+        self.prev_results = next_ids;
     }
 }
 
@@ -396,17 +457,18 @@ impl StateMaintainer for SsgMaintainer {
         }
 
         let mut touched: Vec<NodeId> = Vec::new();
+        let frame_sid = self.interner.intern(objects);
 
-        if !objects.is_empty()
-            && !self.is_terminated(objects)
-            && !self.terminate_if_hopeless(objects)
+        if !frame_sid.is_empty_set()
+            && !self.is_terminated(frame_sid)
+            && !self.terminate_if_hopeless(frame_sid)
         {
             // The arriving frame's own object set becomes (or stays) the new
             // principal state.
-            let ns = match self.graph.id_of(objects) {
+            let ns = match self.graph.id_of(frame_sid) {
                 Some(id) => id,
                 None => {
-                    let id = self.graph.insert(objects.clone());
+                    let id = self.graph.insert(frame_sid, objects.clone());
                     self.metrics.states_created += 1;
                     id
                 }
@@ -432,25 +494,26 @@ impl StateMaintainer for SsgMaintainer {
                 if !self.graph.node(root).alive {
                     continue;
                 }
-                let root_set = self.graph.node(root).set.clone();
                 self.st_visit(
                     root,
                     None,
-                    &ObjectSet::empty(),
+                    SetId::EMPTY,
                     frame,
-                    objects,
+                    frame_sid,
                     ns,
                     oldest,
                     &mut touched,
                 );
                 // Candidate for CNPS plus principal-based marking: the state
                 // holding this principal's intersection with the new frame is
-                // pinned down by the principal's creation frames.
-                let candidate_set = root_set.intersect(objects);
-                if candidate_set.is_empty() {
+                // pinned down by the principal's creation frames. The
+                // traversal above just visited this root, so its intersection
+                // with the frame is already recorded on the node.
+                let candidate_sid = self.graph.node(root).last_inter;
+                if candidate_sid.is_empty_set() {
                     continue;
                 }
-                if let Some(candidate) = self.graph.id_of(&candidate_set) {
+                if let Some(candidate) = self.graph.id_of(candidate_sid) {
                     candidates.push(candidate);
                     let creation_frames = self.graph.node(root).principal_frames.clone();
                     let candidate_node = self.graph.node_mut(candidate);
@@ -461,7 +524,6 @@ impl StateMaintainer for SsgMaintainer {
                     }
                 }
             }
-
             self.connect_new_principal(ns, candidates);
             if !self.roots.contains(&ns) {
                 self.roots.push(ns);
@@ -469,8 +531,10 @@ impl StateMaintainer for SsgMaintainer {
         }
 
         // Drop principal status of roots whose creating frames all expired and
-        // prune nodes invalidated by this frame's expiry.
-        for root in self.roots.clone() {
+        // prune nodes invalidated by this frame's expiry. Index loop: the
+        // retain only touches graph nodes, never the root list itself.
+        for index in 0..self.roots.len() {
+            let root = self.roots[index];
             if self.graph.node(root).alive {
                 self.graph
                     .node_mut(root)
@@ -478,10 +542,16 @@ impl StateMaintainer for SsgMaintainer {
                     .retain(|&f| f >= oldest);
             }
         }
-        self.prune_touched(&touched.clone(), oldest);
+        // A node can be pushed several times per frame (visit + state
+        // creation + frame append); dedup so the pruning and result passes
+        // process each once.
+        touched.sort_unstable();
+        touched.dedup();
+        self.prune_touched(&touched, oldest);
         self.metrics.edges_added = self.graph.edges_added;
         self.metrics.edges_removed = self.graph.edges_removed;
         self.metrics.observe_live_states(self.graph.len());
+        self.metrics.interned_sets = self.interner.len().saturating_sub(1) as u64;
         self.collect_results(&touched, oldest);
         Ok(())
     }

@@ -12,7 +12,7 @@ use std::sync::{Arc, PoisonError, RwLock};
 
 use tvq_common::{
     ClassId, ClassRegistry, DatasetStats, Error, FrameId, FrameObjects, ObjectId, ObjectSet,
-    Result, VideoRelation,
+    Result, SetInterner, VideoRelation,
 };
 use tvq_core::{MaintainerKind, MaintenanceMetrics, SharedPruner, StateMaintainer, StatePruner};
 use tvq_query::{evaluate_result_set, ClassCounts, CnfEvaluator, CnfQuery, QueryMatch};
@@ -51,6 +51,19 @@ impl StatePruner for LivePruner {
         let classes = self.classes.read().unwrap_or_else(PoisonError::into_inner);
         let counts = ClassCounts::of(objects, &classes);
         !self.evaluator.any_satisfied(&counts)
+    }
+
+    fn should_terminate_with(
+        &self,
+        objects: &ObjectSet,
+        counts: Option<&tvq_common::ClassCounts>,
+    ) -> bool {
+        // The interner computed these counts from the same shared class map
+        // at intern time; skip the lock and the re-aggregation.
+        match counts {
+            Some(counts) => !self.evaluator.any_satisfied(counts),
+            None => self.should_terminate(objects),
+        }
     }
 }
 
@@ -125,15 +138,19 @@ impl EngineBuilder {
         let evaluator = Arc::new(CnfEvaluator::new(self.queries));
         let classes: Arc<RwLock<HashMap<ObjectId, ClassId>>> =
             Arc::new(RwLock::new(HashMap::new()));
-        let maintainer = if self.config.pruning && evaluator.all_geq_only() {
-            let pruner: SharedPruner = Arc::new(LivePruner {
+        // The per-feed interner shares the engine's growing object → class
+        // map, so every interned set gets its class counts computed exactly
+        // once and the evaluator skips the per-frame histogram rebuild.
+        let interner = SetInterner::with_classes(Arc::clone(&classes));
+        let pruner: Option<SharedPruner> = if self.config.pruning && evaluator.all_geq_only() {
+            Some(Arc::new(LivePruner {
                 evaluator: Arc::clone(&evaluator),
                 classes: Arc::clone(&classes),
-            });
-            kind.build_with_pruner(self.config.window, pruner)
+            }))
         } else {
-            kind.build(self.config.window)
+            None
         };
+        let maintainer = kind.build_with_options(self.config.window, pruner, interner);
         Ok(TemporalVideoQueryEngine {
             config: self.config,
             registry: self.registry,

@@ -277,21 +277,23 @@ impl MultiFeedBuilder {
 }
 
 enum WorkerMsg {
-    Frame {
-        /// The batch this frame belongs to. Results carry it back so an
+    /// One batch's worth of frames for this worker, in batch order. Shipping
+    /// a worker's whole share in one message (instead of one message per
+    /// frame) keeps the channel and thread-wakeup cost at O(workers) per
+    /// batch rather than O(frames).
+    Frames {
+        /// The batch these frames belong to. Results carry it back so an
         /// aborted batch (e.g. a lost shard mid-send) cannot leave stale
         /// results that a later batch would mistake for its own.
         epoch: u64,
-        seq: usize,
-        feed: FeedId,
-        frame: FrameObjects,
+        frames: Vec<(usize, FeedId, FrameObjects)>,
     },
     Collect {
         reply: Sender<Vec<FeedReport>>,
     },
 }
 
-type ShardResult = (u64, usize, FeedId, Result<FrameResult>);
+type ShardResult = (u64, Vec<(usize, FeedId, Result<FrameResult>)>);
 
 /// Running per-feed tallies a worker keeps alongside each engine.
 #[derive(Default)]
@@ -316,29 +318,30 @@ fn worker_loop(spec: Arc<EngineSpec>, inbox: Receiver<WorkerMsg>, results: Sende
     let mut engines: BTreeMap<FeedId, (TemporalVideoQueryEngine, FeedTally)> = BTreeMap::new();
     for message in inbox {
         match message {
-            WorkerMsg::Frame {
-                epoch,
-                seq,
-                feed,
-                frame,
-            } => {
-                let entry = match engines.entry(feed) {
-                    Entry::Occupied(entry) => entry.into_mut(),
-                    Entry::Vacant(vacant) => match spec.build_engine() {
-                        Ok(engine) => vacant.insert((engine, FeedTally::default())),
-                        Err(error) => {
-                            // Unreachable in practice: the builder validated
-                            // the spec. Report instead of panicking.
-                            let _ = results.send((epoch, seq, feed, Err(error)));
-                            continue;
-                        }
-                    },
-                };
-                let outcome = entry.0.observe(&frame);
-                if let Ok(result) = &outcome {
-                    entry.1.record(result);
+            WorkerMsg::Frames { epoch, frames } => {
+                let mut outcomes: Vec<(usize, FeedId, Result<FrameResult>)> =
+                    Vec::with_capacity(frames.len());
+                for (seq, feed, frame) in frames {
+                    let entry = match engines.entry(feed) {
+                        Entry::Occupied(entry) => entry.into_mut(),
+                        Entry::Vacant(vacant) => match spec.build_engine() {
+                            Ok(engine) => vacant.insert((engine, FeedTally::default())),
+                            Err(error) => {
+                                // Unreachable in practice: the builder
+                                // validated the spec. Report instead of
+                                // panicking.
+                                outcomes.push((seq, feed, Err(error)));
+                                continue;
+                            }
+                        },
+                    };
+                    let outcome = entry.0.observe(&frame);
+                    if let Ok(result) = &outcome {
+                        entry.1.record(result);
+                    }
+                    outcomes.push((seq, feed, outcome));
                 }
-                if results.send((epoch, seq, feed, outcome)).is_err() {
+                if results.send((epoch, outcomes)).is_err() {
                     return; // Engine dropped; shut down.
                 }
             }
@@ -429,27 +432,37 @@ impl MultiFeedEngine {
     pub fn push_batch(&mut self, batch: &[FeedFrame]) -> Result<Vec<FeedFrameResult>> {
         self.epoch += 1;
         let epoch = self.epoch;
+        // Group the batch per shard (preserving batch order within each
+        // shard, which preserves per-feed frame order) so each worker
+        // receives one message per batch.
+        let mut shares: Vec<Vec<(usize, FeedId, FrameObjects)>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
         for (seq, tagged) in batch.iter().enumerate() {
-            let worker = self.shard_of(tagged.feed);
+            shares[self.shard_of(tagged.feed)].push((seq, tagged.feed, tagged.frame.clone()));
+        }
+        let mut outstanding = 0usize;
+        for (worker, frames) in shares.into_iter().enumerate() {
+            if frames.is_empty() {
+                continue;
+            }
             let inbox = self.workers[worker]
                 .inbox
                 .as_ref()
                 .ok_or(Error::ShardLost { worker })?;
             inbox
-                .send(WorkerMsg::Frame {
-                    epoch,
-                    seq,
-                    feed: tagged.feed,
-                    frame: tagged.frame.clone(),
-                })
+                .send(WorkerMsg::Frames { epoch, frames })
                 .map_err(|_| Error::ShardLost { worker })?;
+            outstanding += 1;
         }
         let mut slots: Vec<Option<(FeedId, Result<FrameResult>)>> =
             (0..batch.len()).map(|_| None).collect();
-        let mut received = 0usize;
-        while received < batch.len() {
-            let (result_epoch, seq, feed, outcome) = match self.results.recv_timeout(SHARD_TIMEOUT)
-            {
+        // A worker replies once per share, so the wait must cover a whole
+        // share of frames, not one: scale the timeout with the batch size
+        // (generous — a healthy maintainer processes a frame in well under
+        // 100ms) on top of the fixed allowance.
+        let timeout = SHARD_TIMEOUT + Duration::from_millis(100) * batch.len() as u32;
+        while outstanding > 0 {
+            let (result_epoch, outcomes) = match self.results.recv_timeout(timeout) {
                 Ok(result) => result,
                 Err(_) => {
                     // Name the shard that owes the first outstanding result.
@@ -465,8 +478,10 @@ impl MultiFeedEngine {
                 // Leftover from a batch that aborted mid-send: discard.
                 continue;
             }
-            slots[seq] = Some((feed, outcome));
-            received += 1;
+            for (seq, feed, outcome) in outcomes {
+                slots[seq] = Some((feed, outcome));
+            }
+            outstanding -= 1;
         }
         // Surface the earliest (by batch position) per-frame error so the
         // failure report is deterministic too.

@@ -1,99 +1,9 @@
 //! Class-count aggregates of an object set.
 //!
-//! Query conditions constrain *how many* objects of each class an MCOS
-//! contains (step 2(a) of the evaluation procedure in Section 5.2): before a
-//! state reaches the CNF evaluator, its object set is aggregated into
-//! per-class counts using the feed's object → class mapping.
+//! [`ClassCounts`] moved to `tvq-common` so the
+//! [`SetInterner`](tvq_common::SetInterner) can cache one aggregate per
+//! interned object set; this module re-exports it for source compatibility
+//! with the query-layer call sites (`tvq_query::aggregates::ClassCounts`
+//! and `tvq_query::ClassCounts` keep working unchanged).
 
-use std::collections::HashMap;
-
-use tvq_common::{ClassId, ObjectId, ObjectSet};
-
-/// Per-class object counts of one MCOS.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ClassCounts {
-    counts: HashMap<ClassId, u32>,
-}
-
-impl ClassCounts {
-    /// Creates empty counts (every class has zero objects).
-    pub fn new() -> Self {
-        ClassCounts::default()
-    }
-
-    /// Builds counts from an explicit map.
-    pub fn from_map(counts: HashMap<ClassId, u32>) -> Self {
-        ClassCounts { counts }
-    }
-
-    /// Aggregates an object set using the feed-wide object → class mapping.
-    /// Objects missing from the mapping are ignored (they belong to classes
-    /// no query asked for and were filtered out upstream).
-    pub fn of(objects: &ObjectSet, classes: &HashMap<ObjectId, ClassId>) -> Self {
-        let mut counts: HashMap<ClassId, u32> = HashMap::new();
-        for id in objects.iter() {
-            if let Some(&class) = classes.get(&id) {
-                *counts.entry(class).or_insert(0) += 1;
-            }
-        }
-        ClassCounts { counts }
-    }
-
-    /// The count for one class (zero when absent).
-    pub fn count(&self, class: ClassId) -> u32 {
-        self.counts.get(&class).copied().unwrap_or(0)
-    }
-
-    /// Iterates over `(class, count)` pairs with non-zero counts.
-    pub fn iter(&self) -> impl Iterator<Item = (ClassId, u32)> + '_ {
-        self.counts.iter().map(|(&c, &n)| (c, n))
-    }
-
-    /// Total number of objects across all classes.
-    pub fn total(&self) -> u32 {
-        self.counts.values().sum()
-    }
-
-    /// Whether no objects were counted.
-    pub fn is_empty(&self) -> bool {
-        self.counts.values().all(|&n| n == 0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn aggregation_counts_by_class() {
-        let classes: HashMap<ObjectId, ClassId> = [
-            (ObjectId(1), ClassId(0)),
-            (ObjectId(2), ClassId(1)),
-            (ObjectId(3), ClassId(1)),
-            (ObjectId(4), ClassId(2)),
-        ]
-        .into_iter()
-        .collect();
-        let counts = ClassCounts::of(&ObjectSet::from_raw([1, 2, 3]), &classes);
-        assert_eq!(counts.count(ClassId(0)), 1);
-        assert_eq!(counts.count(ClassId(1)), 2);
-        assert_eq!(counts.count(ClassId(2)), 0);
-        assert_eq!(counts.total(), 3);
-        assert!(!counts.is_empty());
-    }
-
-    #[test]
-    fn unknown_objects_are_ignored() {
-        let classes: HashMap<ObjectId, ClassId> = [(ObjectId(1), ClassId(0))].into_iter().collect();
-        let counts = ClassCounts::of(&ObjectSet::from_raw([1, 9]), &classes);
-        assert_eq!(counts.total(), 1);
-    }
-
-    #[test]
-    fn empty_object_set_has_empty_counts() {
-        let counts = ClassCounts::of(&ObjectSet::empty(), &HashMap::new());
-        assert!(counts.is_empty());
-        assert_eq!(counts.count(ClassId(3)), 0);
-        assert_eq!(counts.iter().count(), 0);
-    }
-}
+pub use tvq_common::aggregates::ClassCounts;

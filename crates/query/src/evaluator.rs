@@ -12,8 +12,9 @@
 //! whose every disjunction is covered.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use tvq_common::{ClassId, FrameId, ObjectSet, QueryId};
+use tvq_common::{ClassId, FrameId, FxHashMap, ObjectSet, QueryId};
 use tvq_core::ResultStateSet;
 
 use crate::aggregates::ClassCounts;
@@ -135,7 +136,7 @@ impl CnfEvaluator {
     pub fn evaluate(&self, counts: &ClassCounts) -> Vec<QueryId> {
         // satisfied[query] = bitmask of satisfied disjunctions (queries have
         // few clauses, far fewer than 64, which `add_query` relies on).
-        let mut satisfied: HashMap<usize, u64> = HashMap::new();
+        let mut satisfied: FxHashMap<usize, u64> = FxHashMap::default();
         let mut record = |posting: &Posting| {
             let mask = satisfied.entry(posting.query).or_insert(0);
             *mask |= 1u64 << (posting.disjunction % 64);
@@ -185,6 +186,9 @@ impl CnfEvaluator {
 }
 
 /// One query match: a query satisfied by an MCOS over a set of frames.
+///
+/// The frame set is shared (`Arc`) with the Result State Set entry it came
+/// from: producing a match allocates nothing beyond the match struct.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryMatch {
     /// The satisfied query.
@@ -192,26 +196,37 @@ pub struct QueryMatch {
     /// The maximum co-occurrence object set that satisfied it.
     pub objects: ObjectSet,
     /// The window frames in which the object set co-occurs.
-    pub frames: Vec<FrameId>,
+    pub frames: Arc<[FrameId]>,
 }
 
 /// Evaluates a Result State Set against the workload (steps 2(a)-2(c) of the
 /// Section 5.2 procedure): each state's MCOS is aggregated by class and fed
 /// to the evaluator; every satisfied query yields a [`QueryMatch`] carrying
 /// the state's frame set.
+///
+/// When a result entry carries class counts cached by the producing
+/// maintainer's interner, those are used directly; otherwise the aggregate
+/// is computed from `classes` on the spot.
 pub fn evaluate_result_set(
     evaluator: &CnfEvaluator,
     results: &ResultStateSet,
     classes: &HashMap<tvq_common::ObjectId, ClassId>,
 ) -> Vec<QueryMatch> {
     let mut matches = Vec::new();
-    for (objects, frames) in results.iter() {
-        let counts = ClassCounts::of(objects, classes);
-        for query in evaluator.evaluate(&counts) {
+    for (objects, frames, cached) in results.iter_with_counts() {
+        let computed;
+        let counts = match cached {
+            Some(counts) => &**counts,
+            None => {
+                computed = ClassCounts::of(objects, classes);
+                &computed
+            }
+        };
+        for query in evaluator.evaluate(counts) {
             matches.push(QueryMatch {
                 query,
                 objects: objects.clone(),
-                frames: frames.to_vec(),
+                frames: Arc::clone(frames),
             });
         }
     }
@@ -322,7 +337,7 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].query, QueryId(5));
         assert_eq!(matches[0].objects, ObjectSet::from_raw([1, 2, 3]));
-        assert_eq!(matches[0].frames, vec![FrameId(3), FrameId(4)]);
+        assert_eq!(matches[0].frames.as_ref(), &[FrameId(3), FrameId(4)]);
     }
 
     #[test]

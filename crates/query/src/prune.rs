@@ -50,6 +50,13 @@ impl StatePruner for GeqOnlyPruner {
         let counts = ClassCounts::of(objects, &self.classes);
         !self.evaluator.any_satisfied(&counts)
     }
+
+    fn should_terminate_with(&self, objects: &ObjectSet, counts: Option<&ClassCounts>) -> bool {
+        match counts {
+            Some(counts) => !self.evaluator.any_satisfied(counts),
+            None => self.should_terminate(objects),
+        }
+    }
 }
 
 #[cfg(test)]
