@@ -2,7 +2,7 @@
 //! Pass `--quick` for a reduced run, `--json` to also write a combined
 //! `BENCH_all.json` covering every figure's series.
 
-use tvq_bench::{experiments, format_table, Scale};
+use tvq_bench::{emit_json_report, experiments, format_table, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -77,13 +77,13 @@ fn main() {
             &fig10
         )
     );
-    if tvq_bench::json_requested() {
-        let mut report = tvq_bench::ScenarioReport::new("all", scale)
+    emit_json_report("all", scale, |report| {
+        let mut report = report
             .with_maintainers(experiments::instrumented_summary(scale))
             .with_series("fig10", &fig10);
         for group in [fig4, fig5, fig6, fig7, fig8, fig9] {
             report = report.with_groups(&group);
         }
-        tvq_bench::write_if_requested(&report);
-    }
+        report
+    });
 }

@@ -2,7 +2,7 @@
 //! every dataset and method. Pass `--quick` for a reduced run, `--json` to
 //! also write `BENCH_fig10.json`.
 
-use tvq_bench::{experiments, format_table, Scale};
+use tvq_bench::{emit_json_report, experiments, format_table, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -15,11 +15,9 @@ fn main() {
             &series
         )
     );
-    if tvq_bench::json_requested() {
-        tvq_bench::write_if_requested(
-            &tvq_bench::ScenarioReport::new("fig10", scale)
-                .with_series("all", &series)
-                .with_maintainers(experiments::instrumented_summary(scale)),
-        );
-    }
+    emit_json_report("fig10", scale, |report| {
+        report
+            .with_series("all", &series)
+            .with_maintainers(experiments::instrumented_summary(scale))
+    });
 }

@@ -2,7 +2,7 @@
 //! (w = 300, d = 240). Pass `--quick` for a reduced
 //! run, `--json` to also write `BENCH_fig4.json`.
 
-use tvq_bench::{experiments, Scale};
+use tvq_bench::{emit_json_report, experiments, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -15,11 +15,9 @@ fn main() {
             &results
         )
     );
-    if tvq_bench::json_requested() {
-        tvq_bench::write_if_requested(
-            &tvq_bench::ScenarioReport::new("fig4", scale)
-                .with_groups(&results)
-                .with_maintainers(experiments::instrumented_summary(scale)),
-        );
-    }
+    emit_json_report("fig4", scale, |report| {
+        report
+            .with_groups(&results)
+            .with_maintainers(experiments::instrumented_summary(scale))
+    });
 }

@@ -3,7 +3,7 @@
 //! variants. Pass `--quick` for a reduced
 //! run, `--json` to also write `BENCH_fig9.json`.
 
-use tvq_bench::{experiments, Scale};
+use tvq_bench::{emit_json_report, experiments, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -16,11 +16,9 @@ fn main() {
             &results
         )
     );
-    if tvq_bench::json_requested() {
-        tvq_bench::write_if_requested(
-            &tvq_bench::ScenarioReport::new("fig9", scale)
-                .with_groups(&results)
-                .with_maintainers(experiments::instrumented_summary(scale)),
-        );
-    }
+    emit_json_report("fig9", scale, |report| {
+        report
+            .with_groups(&results)
+            .with_maintainers(experiments::instrumented_summary(scale))
+    });
 }

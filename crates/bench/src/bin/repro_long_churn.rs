@@ -1,0 +1,117 @@
+//! Long-churn scenario: hours-scale object turnover compressed into a
+//! bounded frame budget, ingested with interner compaction off and on (MFS
+//! and SSG). Demonstrates both halves of the compaction story: sustained
+//! frames/sec, and a plateauing `interned_sets`/`arena_bytes` curve with
+//! compaction enabled versus monotone growth with it disabled.
+//!
+//! Flags: `--quick` for a reduced run, `--json` to also write
+//! `BENCH_long_churn.json` (per-run timings, the sampled memory trajectory
+//! and the gate inputs), `--gate` to exit non-zero unless every
+//! compaction-enabled run keeps its peak arena bytes within 2× the ceiling
+//! its first compaction epoch triggered at (the CI regression gate for
+//! unbounded-deployment memory).
+
+use tvq_bench::experiments::{self, ChurnRun};
+use tvq_bench::{emit_json_report, JsonValue, Scale};
+
+fn trajectory_json(run: &ChurnRun) -> JsonValue {
+    JsonValue::Arr(
+        run.trajectory
+            .iter()
+            .map(|sample| {
+                JsonValue::Obj(vec![
+                    ("frame".into(), JsonValue::Int(sample.frame)),
+                    ("interned_sets".into(), JsonValue::Int(sample.interned_sets)),
+                    ("arena_bytes".into(), JsonValue::Int(sample.arena_bytes)),
+                    ("bitmap_bytes".into(), JsonValue::Int(sample.bitmap_bytes)),
+                    ("compactions".into(), JsonValue::Int(sample.compactions)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn gate_json(run: &ChurnRun) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("method".into(), JsonValue::Str(run.method.clone())),
+        (
+            "peak_arena_bytes".into(),
+            JsonValue::Int(run.peak_arena_bytes),
+        ),
+        (
+            "peak_interned_sets".into(),
+            JsonValue::Int(run.peak_interned_sets),
+        ),
+        (
+            "arena_bytes_at_first_compaction".into(),
+            match run.arena_bytes_at_first_compaction {
+                Some(bytes) => JsonValue::Int(bytes),
+                None => JsonValue::Null,
+            },
+        ),
+        (
+            "passes_arena_gate".into(),
+            JsonValue::Bool(run.passes_arena_gate()),
+        ),
+    ])
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = experiments::long_churn(scale);
+
+    println!("Long churn: unbounded object turnover, compaction off vs. on");
+    println!(
+        "{:>10} {:>10} {:>12} {:>14} {:>14} {:>12}",
+        "method", "seconds", "frames/sec", "peak interned", "peak arena B", "compactions"
+    );
+    println!("{}", "-".repeat(78));
+    for run in &runs {
+        println!(
+            "{:>10} {:>10.3} {:>12.0} {:>14} {:>14} {:>12}",
+            run.method,
+            run.seconds,
+            run.frames as f64 / run.seconds.max(f64::EPSILON),
+            run.peak_interned_sets,
+            run.peak_arena_bytes,
+            run.metrics.compactions,
+        );
+    }
+
+    emit_json_report("long_churn", scale, |report| {
+        let mut report = report.with_maintainers(runs.iter().map(ChurnRun::timing).collect());
+        for run in &runs {
+            report = report.with_extra(format!("trajectory/{}", run.method), trajectory_json(run));
+        }
+        report.with_extra(
+            "gate",
+            JsonValue::Arr(
+                runs.iter()
+                    .filter(|run| run.method.ends_with("/on"))
+                    .map(gate_json)
+                    .collect(),
+            ),
+        )
+    });
+
+    if std::env::args().any(|a| a == "--gate") {
+        let mut failed = false;
+        for run in runs.iter().filter(|run| run.method.ends_with("/on")) {
+            if run.passes_arena_gate() {
+                println!(
+                    "gate OK   {}: peak {} <= 2 x first-epoch ceiling {:?}",
+                    run.method, run.peak_arena_bytes, run.arena_bytes_at_first_compaction
+                );
+            } else {
+                eprintln!(
+                    "gate FAIL {}: peak arena bytes {} vs first-epoch ceiling {:?}",
+                    run.method, run.peak_arena_bytes, run.arena_bytes_at_first_compaction
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! `BENCH_multifeed.json` (frames/sec, peak state counts and
 //! per-maintainer timings of a four-camera deployment).
 
-use tvq_bench::{experiments, format_table, Scale};
+use tvq_bench::{emit_json_report, experiments, format_table, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -19,11 +19,9 @@ fn main() {
             &series
         )
     );
-    if tvq_bench::json_requested() {
-        tvq_bench::write_if_requested(
-            &tvq_bench::ScenarioReport::new("multifeed", scale)
-                .with_series("scaling", &series)
-                .with_maintainers(experiments::instrumented_multifeed(scale)),
-        );
-    }
+    emit_json_report("multifeed", scale, |report| {
+        report
+            .with_series("scaling", &series)
+            .with_maintainers(experiments::instrumented_multifeed(scale))
+    });
 }

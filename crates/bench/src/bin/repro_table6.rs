@@ -2,15 +2,12 @@
 //! run, `--json` to also write `BENCH_table6.json` (the instrumented
 //! per-maintainer timings over the V1/M2 feeds).
 
-use tvq_bench::{experiments, Scale};
+use tvq_bench::{emit_json_report, experiments, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     println!("{}", experiments::table6(scale));
-    if tvq_bench::json_requested() {
-        tvq_bench::write_if_requested(
-            &tvq_bench::ScenarioReport::new("table6", scale)
-                .with_maintainers(experiments::instrumented_summary(scale)),
-        );
-    }
+    emit_json_report("table6", scale, |report| {
+        report.with_maintainers(experiments::instrumented_summary(scale))
+    });
 }

@@ -10,11 +10,16 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use tvq_common::{DatasetStats, VideoRelation, WindowSpec};
-use tvq_core::MaintainerKind;
-use tvq_engine::{EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine};
+use tvq_common::{DatasetStats, FeedId, VideoRelation, WindowSpec};
+use tvq_core::{CompactionPolicy, MaintainerKind, MaintenanceMetrics};
+use tvq_engine::{
+    EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine, TemporalVideoQueryEngine,
+};
 use tvq_query::{generate_workload, CnfEvaluator, GeqOnlyPruner, WorkloadConfig};
-use tvq_video::{generate, generate_with_id_reuse, interleave, CameraFeed, DatasetProfile};
+use tvq_video::{
+    generate, generate_with_id_reuse, interleave, long_churn_feed, CameraFeed, ChurnProfile,
+    DatasetProfile,
+};
 
 use crate::harness::{
     format_table, measure_mcos_generation, measure_query_evaluation, time_mcos_generation,
@@ -449,7 +454,8 @@ fn ingest_batches(
     (start.elapsed(), matches)
 }
 
-/// One instrumented multi-feed ingestion run: the shared [`Measurement`]
+/// One instrumented multi-feed ingestion run: the shared
+/// [`Measurement`](crate::harness::Measurement)
 /// (time, frames, merged metrics — one conversion path to
 /// [`MaintainerTiming`]) plus the total match count that keeps the work
 /// honest.
@@ -528,8 +534,9 @@ pub fn stable_scene(feeds: u32, frames: u64) -> Vec<CameraFeed> {
 
 /// Instrumented per-maintainer summary for the multi-feed scenario: a
 /// four-camera deployment ingested per maintainer kind and worker-pool
-/// size, plus the stable-scene workload (MFS/SSG only — NAIVE's result
-/// collection degenerates on long-lived states).
+/// size, plus the stable-scene workload for all three maintainers (NAIVE
+/// rejoined once its result collection went incremental; it remains far
+/// slower than MFS/SSG — its state table is the intersection closure).
 pub fn instrumented_multifeed(scale: Scale) -> Vec<MaintainerTiming> {
     let window = scale.window(WindowSpec::new(60, 45).expect("static spec is valid"));
     let batches = multi_feed_batches(&multi_feed_deployment(4, scale));
@@ -542,11 +549,181 @@ pub fn instrumented_multifeed(scale: Scale) -> Vec<MaintainerTiming> {
     }
     let stable = multi_feed_batches(&stable_scene(4, 600));
     let stable_window = WindowSpec::new(60, 40).expect("static spec is valid");
-    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+    for kind in mcos_methods() {
         let timing = measure_multi_feed(&stable, 1, stable_window, kind);
         timings.push(timing.into_timing(format!("{}/stable/1w", kind.name())));
     }
     timings
+}
+
+/// One sampled point of a long-churn run's memory trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnSample {
+    /// Frame index the sample was taken after.
+    pub frame: u64,
+    /// Distinct sets in the interner arena at that frame.
+    pub interned_sets: u64,
+    /// Interner arena bytes at that frame.
+    pub arena_bytes: u64,
+    /// Bitmap + universe bytes at that frame.
+    pub bitmap_bytes: u64,
+    /// Compaction epochs run so far.
+    pub compactions: u64,
+}
+
+/// One instrumented long-churn ingestion run.
+#[derive(Debug, Clone)]
+pub struct ChurnRun {
+    /// `"<METHOD>/on"` or `"<METHOD>/off"` (compaction enabled/disabled).
+    pub method: String,
+    /// Wall-clock seconds spent in the ingestion loop.
+    pub seconds: f64,
+    /// Frames ingested.
+    pub frames: u64,
+    /// The maintainer's counters after the run.
+    pub metrics: MaintenanceMetrics,
+    /// Sampled memory trajectory (~100 evenly spaced points).
+    pub trajectory: Vec<ChurnSample>,
+    /// Largest `arena_bytes` observed at any frame.
+    pub peak_arena_bytes: u64,
+    /// Largest `interned_sets` observed at any frame.
+    pub peak_interned_sets: u64,
+    /// `arena_bytes` on the frame *before* the first compaction epoch ran —
+    /// the arena ceiling the policy triggered at. `None` when the run never
+    /// compacted. The CI gate bounds `peak_arena_bytes` against twice this.
+    pub arena_bytes_at_first_compaction: Option<u64>,
+}
+
+impl ChurnRun {
+    /// Converts the run into a [`MaintainerTiming`] row for the report.
+    pub fn timing(&self) -> MaintainerTiming {
+        MaintainerTiming {
+            method: self.method.clone(),
+            seconds: self.seconds,
+            frames: self.frames,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// The CI gate (see `repro_long_churn --gate`): with compaction on,
+    /// peak arena bytes must stay within `2 ×` the ceiling the first
+    /// compaction epoch triggered at — i.e. the arena plateaus instead of
+    /// growing monotonically. Runs that never compacted fail the gate.
+    pub fn passes_arena_gate(&self) -> bool {
+        match self.arena_bytes_at_first_compaction {
+            Some(first) => self.peak_arena_bytes <= first.saturating_mul(2),
+            None => false,
+        }
+    }
+}
+
+/// The window every long-churn run uses (smaller than the paper default:
+/// the workload's point is object turnover, not window stress).
+pub fn long_churn_window() -> WindowSpec {
+    WindowSpec::new(60, 40).expect("static spec is valid")
+}
+
+/// The compaction policy the `/on` runs use: checked every 32 frames,
+/// compact once less than half of an at-least-512-entry arena is live —
+/// tight enough to produce several epochs even at `--quick` scale.
+pub fn long_churn_policy() -> CompactionPolicy {
+    CompactionPolicy {
+        check_interval: 32,
+        max_live_ratio: 0.5,
+        min_interned: 512,
+    }
+}
+
+/// **Long churn** — hours-scale object turnover compressed into a bounded
+/// frame budget (see [`tvq_video::churn`]): one camera, a rolling
+/// population with a fresh object id every few frames, ingested end-to-end
+/// (classed queries evaluated per frame) once with compaction off and once
+/// with it on, for MFS and SSG. The interesting read-outs are sustained
+/// frames/sec and the `interned_sets`/`arena_bytes` trajectory: monotone
+/// growth with compaction off, a plateau with it on.
+pub fn long_churn(scale: Scale) -> Vec<ChurnRun> {
+    let frames = match scale {
+        Scale::Paper => 10_000,
+        Scale::Quick => 2_400,
+    };
+    let profile = ChurnProfile::new(frames);
+    let feed = long_churn_feed(FeedId(0), &profile);
+    let mut runs = Vec::new();
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        for compaction in [None, Some(long_churn_policy())] {
+            let label = format!(
+                "{}/{}",
+                kind.name(),
+                if compaction.is_some() { "on" } else { "off" }
+            );
+            runs.push(run_long_churn(&feed.frames, kind, compaction, label));
+        }
+    }
+    runs
+}
+
+fn run_long_churn(
+    frames: &[tvq_common::FrameObjects],
+    kind: MaintainerKind,
+    compaction: Option<CompactionPolicy>,
+    method: String,
+) -> ChurnRun {
+    let mut engine = TemporalVideoQueryEngine::builder(
+        EngineConfig::new(long_churn_window())
+            .with_maintainer(kind)
+            .with_compaction(compaction),
+    )
+    .with_query_text("car >= 2 AND person >= 1")
+    .expect("query parses")
+    .with_query_text("car >= 3")
+    .expect("query parses")
+    .build()
+    .expect("engine builds");
+
+    let sample_every = (frames.len() as u64 / 100).max(1);
+    let mut trajectory = Vec::with_capacity(128);
+    let mut peak_arena = 0u64;
+    let mut peak_interned = 0u64;
+    let mut prev_arena = 0u64;
+    let mut first_compaction_ceiling = None;
+    let mut matches = 0u64;
+    let start = Instant::now();
+    for (index, frame) in frames.iter().enumerate() {
+        matches += engine
+            .observe(frame)
+            .expect("frames in order")
+            .matches
+            .len() as u64;
+        let metrics = engine.metrics();
+        peak_arena = peak_arena.max(metrics.arena_bytes);
+        peak_interned = peak_interned.max(metrics.interned_sets);
+        if first_compaction_ceiling.is_none() && metrics.compactions > 0 {
+            first_compaction_ceiling = Some(prev_arena.max(metrics.arena_bytes));
+        }
+        prev_arena = metrics.arena_bytes;
+        let index = index as u64;
+        if index.is_multiple_of(sample_every) || index + 1 == frames.len() as u64 {
+            trajectory.push(ChurnSample {
+                frame: frame.fid.raw(),
+                interned_sets: metrics.interned_sets,
+                arena_bytes: metrics.arena_bytes,
+                bitmap_bytes: metrics.bitmap_bytes,
+                compactions: metrics.compactions,
+            });
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(matches);
+    ChurnRun {
+        method,
+        seconds,
+        frames: frames.len() as u64,
+        metrics: engine.metrics().clone(),
+        trajectory,
+        peak_arena_bytes: peak_arena,
+        peak_interned_sets: peak_interned,
+        arena_bytes_at_first_compaction: first_compaction_ceiling,
+    }
 }
 
 /// Convenience wrapper: [`multi_feed_batches`] + [`run_multi_feed_prepared`].

@@ -6,7 +6,7 @@ use tvq_common::{VideoRelation, WindowSpec};
 use tvq_core::{MaintainerKind, MaintenanceMetrics, SharedPruner};
 use tvq_query::{evaluate_result_set, CnfEvaluator};
 
-use crate::report::MaintainerTiming;
+use crate::report::{json_requested, write_if_requested, MaintainerTiming, ScenarioReport};
 
 /// Experiment scale: the paper's configuration or a reduced one for smoke
 /// runs and CI.
@@ -47,6 +47,23 @@ impl Scale {
             }
         }
     }
+}
+
+/// The shared `--json` tail of every `repro_*` binary: when the flag was
+/// passed, builds the scenario report with `build` (starting from an empty
+/// [`ScenarioReport`] for `scenario` at `scale`) and writes it to
+/// `BENCH_<scenario>.json`, printing the destination. Without the flag this
+/// is free — `build` never runs, so the instrumented measurements behind
+/// the JSON payloads only execute when asked for.
+pub fn emit_json_report(
+    scenario: &str,
+    scale: Scale,
+    build: impl FnOnce(ScenarioReport) -> ScenarioReport,
+) {
+    if !json_requested() {
+        return;
+    }
+    write_if_requested(&build(ScenarioReport::new(scenario, scale)));
 }
 
 /// One measured series: a method name and its `(x, seconds)` points.

@@ -37,7 +37,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    format_table, measure_mcos_generation, measure_query_evaluation, time_mcos_generation,
-    time_query_evaluation, Measurement, Scale, Series,
+    emit_json_report, format_table, measure_mcos_generation, measure_query_evaluation,
+    time_mcos_generation, time_query_evaluation, Measurement, Scale, Series,
 };
-pub use report::{json_requested, write_if_requested, MaintainerTiming, ScenarioReport};
+pub use report::{json_requested, write_if_requested, JsonValue, MaintainerTiming, ScenarioReport};

@@ -157,6 +157,26 @@ impl MaintainerTiming {
                 "interned_sets".into(),
                 JsonValue::Int(self.metrics.interned_sets),
             ),
+            (
+                "arena_bytes".into(),
+                JsonValue::Int(self.metrics.arena_bytes),
+            ),
+            (
+                "bitmap_bytes".into(),
+                JsonValue::Int(self.metrics.bitmap_bytes),
+            ),
+            (
+                "compactions".into(),
+                JsonValue::Int(self.metrics.compactions),
+            ),
+            (
+                "intersection_cache_hits".into(),
+                JsonValue::Int(self.metrics.intersection_cache_hits),
+            ),
+            (
+                "intersection_cache_misses".into(),
+                JsonValue::Int(self.metrics.intersection_cache_misses),
+            ),
         ])
     }
 }
@@ -173,6 +193,9 @@ pub struct ScenarioReport {
     /// The raw `(group, series)` data behind the printed tables; groups are
     /// dataset names for the per-dataset figures.
     pub series: Vec<(String, Vec<Series>)>,
+    /// Scenario-specific sections appended verbatim to the JSON object
+    /// (e.g. the long-churn memory trajectory and its CI gate inputs).
+    pub extras: Vec<(String, JsonValue)>,
 }
 
 impl ScenarioReport {
@@ -186,6 +209,7 @@ impl ScenarioReport {
             },
             maintainers: Vec::new(),
             series: Vec::new(),
+            extras: Vec::new(),
         }
     }
 
@@ -204,6 +228,12 @@ impl ScenarioReport {
     /// Attaches one flat series group (figures without a dataset axis).
     pub fn with_series(mut self, group: impl Into<String>, series: &[Series]) -> Self {
         self.series.push((group.into(), series.to_vec()));
+        self
+    }
+
+    /// Attaches a scenario-specific JSON section under `key`.
+    pub fn with_extra(mut self, key: impl Into<String>, value: JsonValue) -> Self {
+        self.extras.push((key.into(), value));
         self
     }
 
@@ -235,7 +265,7 @@ impl ScenarioReport {
                 })
             })
             .collect();
-        JsonValue::Obj(vec![
+        let mut fields = vec![
             ("scenario".into(), JsonValue::Str(self.scenario.clone())),
             ("scale".into(), JsonValue::Str(self.scale.clone())),
             (
@@ -243,8 +273,9 @@ impl ScenarioReport {
                 JsonValue::Arr(self.maintainers.iter().map(|m| m.to_json()).collect()),
             ),
             ("series".into(), JsonValue::Arr(series)),
-        ])
-        .render()
+        ];
+        fields.extend(self.extras.iter().cloned());
+        JsonValue::Obj(fields).render()
     }
 
     /// The output path: `BENCH_<scenario>.json` in the current directory.

@@ -41,8 +41,13 @@ impl ClassCounts {
 
     /// Aggregates an object set using the feed-wide object → class mapping.
     /// Objects missing from the mapping are ignored (they belong to classes
-    /// no query asked for and were filtered out upstream).
-    pub fn of(objects: &ObjectSet, classes: &HashMap<ObjectId, ClassId>) -> Self {
+    /// no query asked for and were filtered out upstream). Generic over the
+    /// map's hasher so callers on the hot path can use
+    /// [`FxHashMap`](crate::FxHashMap).
+    pub fn of<S: std::hash::BuildHasher>(
+        objects: &ObjectSet,
+        classes: &HashMap<ObjectId, ClassId, S>,
+    ) -> Self {
         let mut counts: Vec<(ClassId, u32)> = Vec::new();
         for id in objects.iter() {
             if let Some(&class) = classes.get(&id) {

@@ -1,0 +1,295 @@
+//! Word-parallel dense bitmaps over a growing object universe.
+//!
+//! The MCOS maintenance algorithms are chains of set intersections, subset
+//! and disjointness tests over small object sets. The interner already makes
+//! set *identity* O(1); this module makes the set *algebra* word-parallel:
+//! every interned set is mirrored as a dense bitmap over the feed's object
+//! universe, so an intersection count is a loop of `AND` + `count_ones` over
+//! a handful of `u64` words instead of a branchy linear merge over sorted
+//! slices.
+//!
+//! [`BitmapArena`] stores one fixed-stride bitmap per arena entry in a
+//! single flat `Vec<u64>`:
+//!
+//! * the **stride** is the number of words per entry. All entries share it,
+//!   so entry `i` occupies `words[i * stride .. (i + 1) * stride]` — no
+//!   per-entry allocation, no pointer chasing, and the pairwise kernels
+//!   below walk two contiguous word runs;
+//! * the **universe** maps each observed `ObjectId` to a dense bit slot
+//!   (owned by the [`SetInterner`](crate::SetInterner), which assigns slots
+//!   first-seen). When a new slot exceeds the current stride the arena
+//!   re-strides: every entry is copied into a wider layout (amortised —
+//!   strides double);
+//! * a compaction epoch rebuilds the arena from the live sets with a fresh,
+//!   re-densified universe, which is what keeps long-running unbounded
+//!   feeds bounded (see `SetInterner::compact`).
+//!
+//! The kernels treat the shorter entry as zero-padded: entries created
+//! before a re-stride are always compared correctly against wider ones
+//! because re-striding preserves content and all entries share one stride.
+
+use crate::ids::ObjectId;
+
+/// Bits per bitmap word.
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// A flat arena of fixed-stride `u64` bitmaps, one per interned set.
+///
+/// Slots are assigned by the owning interner; this type only concerns
+/// itself with the word-parallel kernels and the stride bookkeeping.
+#[derive(Debug, Default, Clone)]
+pub struct BitmapArena {
+    /// All bitmaps, concatenated: entry `i` is `words[i*stride..(i+1)*stride]`.
+    words: Vec<u64>,
+    /// Words per entry (grows as the universe grows; never shrinks except
+    /// through [`BitmapArena::clear`]).
+    stride: usize,
+    /// Number of entries pushed.
+    entries: usize,
+}
+
+impl BitmapArena {
+    /// Creates an empty arena (stride 1: a 64-object universe fits the
+    /// common tracked-feed case without any re-stride).
+    pub fn new() -> Self {
+        BitmapArena {
+            words: Vec::new(),
+            stride: 1,
+            entries: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the arena holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Words per entry.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Bytes held by the bitmap words.
+    pub fn bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Removes every entry, resetting the stride (used by compaction, which
+    /// rebuilds against a re-densified universe).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.words.shrink_to_fit();
+        self.stride = 1;
+        self.entries = 0;
+    }
+
+    /// Grows the stride so that bit `max_slot` fits, re-laying out every
+    /// existing entry. No-op when the slot already fits.
+    pub fn ensure_slot(&mut self, max_slot: u32) {
+        let needed = max_slot as usize / WORD_BITS + 1;
+        if needed <= self.stride {
+            return;
+        }
+        // Double instead of fitting exactly so a steadily growing universe
+        // re-strides O(log n) times.
+        let new_stride = needed.max(self.stride * 2);
+        let mut words = vec![0u64; self.entries * new_stride];
+        for entry in 0..self.entries {
+            let src = entry * self.stride;
+            let dst = entry * new_stride;
+            words[dst..dst + self.stride].copy_from_slice(&self.words[src..src + self.stride]);
+        }
+        self.words = words;
+        self.stride = new_stride;
+    }
+
+    /// Appends one entry with the given bit slots set. Every slot must fit
+    /// the current stride (callers run [`BitmapArena::ensure_slot`] first).
+    pub fn push(&mut self, slots: impl IntoIterator<Item = u32>) {
+        let base = self.words.len();
+        self.words.resize(base + self.stride, 0);
+        for slot in slots {
+            let slot = slot as usize;
+            debug_assert!(slot / WORD_BITS < self.stride, "slot beyond stride");
+            self.words[base + slot / WORD_BITS] |= 1u64 << (slot % WORD_BITS);
+        }
+        self.entries += 1;
+    }
+
+    /// The words of entry `index`.
+    #[inline]
+    pub fn entry(&self, index: usize) -> &[u64] {
+        &self.words[index * self.stride..(index + 1) * self.stride]
+    }
+
+    /// `|a ∩ b|` — one AND + popcount per word pair.
+    #[inline]
+    pub fn and_count(&self, a: usize, b: usize) -> usize {
+        self.entry(a)
+            .iter()
+            .zip(self.entry(b))
+            .map(|(&x, &y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `a ⊆ b` — true when no word of `a` has a bit outside `b`.
+    #[inline]
+    pub fn is_subset(&self, a: usize, b: usize) -> bool {
+        self.entry(a)
+            .iter()
+            .zip(self.entry(b))
+            .all(|(&x, &y)| x & !y == 0)
+    }
+
+    /// Whether `a ∩ b = ∅`.
+    #[inline]
+    pub fn is_disjoint(&self, a: usize, b: usize) -> bool {
+        self.entry(a)
+            .iter()
+            .zip(self.entry(b))
+            .all(|(&x, &y)| x & y == 0)
+    }
+}
+
+/// The dense `ObjectId → bit slot` universe map owned by an interner.
+///
+/// Slots are handed out first-seen and never reused within an epoch; a
+/// compaction epoch starts a fresh map covering only the objects of the
+/// surviving sets (re-densification).
+#[derive(Debug, Default, Clone)]
+pub struct UniverseMap {
+    slots: crate::hash::FxHashMap<ObjectId, u32>,
+}
+
+impl UniverseMap {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        UniverseMap::default()
+    }
+
+    /// Number of objects observed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no object has been observed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot of `id`, assigning the next free one on first sight.
+    #[inline]
+    pub fn slot_of(&mut self, id: ObjectId) -> u32 {
+        let next = self.slots.len() as u32;
+        *self.slots.entry(id).or_insert(next)
+    }
+
+    /// The slot of `id`, if observed.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> Option<u32> {
+        self.slots.get(&id).copied()
+    }
+
+    /// Approximate bytes held by the map.
+    pub fn bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<(ObjectId, u32, u64)>()
+    }
+
+    /// Drops every mapping (compaction re-densifies from live sets).
+    pub fn clear(&mut self) {
+        self.slots = crate::hash::FxHashMap::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena_with(sets: &[&[u32]]) -> BitmapArena {
+        let mut arena = BitmapArena::new();
+        for slots in sets {
+            if let Some(&max) = slots.iter().max() {
+                arena.ensure_slot(max);
+            }
+            arena.push(slots.iter().copied());
+        }
+        arena
+    }
+
+    #[test]
+    fn and_count_subset_disjoint_on_one_word() {
+        let arena = arena_with(&[&[0, 2, 5], &[2, 5, 9], &[1, 3], &[]]);
+        assert_eq!(arena.and_count(0, 1), 2);
+        assert_eq!(arena.and_count(0, 2), 0);
+        assert!(arena.is_disjoint(0, 2));
+        assert!(!arena.is_disjoint(0, 1));
+        assert!(arena.is_subset(3, 0), "empty set is a subset of anything");
+        assert!(arena.is_disjoint(3, 0));
+        assert!(!arena.is_subset(0, 1));
+        let sub = arena_with(&[&[2, 5], &[0, 2, 5]]);
+        assert!(sub.is_subset(0, 1));
+        assert!(!sub.is_subset(1, 0));
+    }
+
+    #[test]
+    fn restride_preserves_existing_entries() {
+        let mut arena = arena_with(&[&[0, 63]]);
+        assert_eq!(arena.stride(), 1);
+        arena.ensure_slot(64);
+        assert_eq!(arena.stride(), 2);
+        arena.push([64u32, 0].iter().copied());
+        assert_eq!(arena.and_count(0, 1), 1, "bit 0 survives the re-stride");
+        assert!(!arena.is_subset(1, 0));
+        arena.ensure_slot(1000);
+        assert!(arena.stride() >= 16);
+        assert_eq!(arena.and_count(0, 1), 1);
+    }
+
+    #[test]
+    fn multi_word_kernels() {
+        let mut arena = BitmapArena::new();
+        arena.ensure_slot(200);
+        arena.push([0u32, 64, 129, 200].iter().copied());
+        arena.push([64u32, 129].iter().copied());
+        arena.push([1u32, 65].iter().copied());
+        assert_eq!(arena.and_count(0, 1), 2);
+        assert!(arena.is_subset(1, 0));
+        assert!(arena.is_disjoint(0, 2));
+        assert!(arena.is_disjoint(1, 2));
+    }
+
+    #[test]
+    fn clear_resets_layout() {
+        let mut arena = arena_with(&[&[100]]);
+        assert!(arena.stride() > 1);
+        arena.clear();
+        assert_eq!(arena.len(), 0);
+        assert_eq!(arena.stride(), 1);
+        arena.push([0u32].iter().copied());
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn universe_assigns_dense_slots_first_seen() {
+        let mut universe = UniverseMap::new();
+        assert_eq!(universe.slot_of(ObjectId(40)), 0);
+        assert_eq!(universe.slot_of(ObjectId(7)), 1);
+        assert_eq!(universe.slot_of(ObjectId(40)), 0, "stable on re-query");
+        assert_eq!(universe.get(ObjectId(7)), Some(1));
+        assert_eq!(universe.get(ObjectId(8)), None);
+        assert_eq!(universe.len(), 2);
+        universe.clear();
+        assert!(universe.is_empty());
+        assert_eq!(universe.slot_of(ObjectId(7)), 0, "re-densified");
+    }
+}

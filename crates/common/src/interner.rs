@@ -13,14 +13,22 @@
 //! over a single `u32`), equality and state lookup become O(1) integer
 //! operations. On top of the arena the interner:
 //!
+//! * **mirrors every set as a dense bitmap** — the interner owns a
+//!   [`UniverseMap`] assigning each observed `ObjectId` a bit slot, and a
+//!   [`BitmapArena`] holding one fixed-stride `u64` bitmap per arena entry.
+//!   [`intersection_len`](SetInterner::intersection_len),
+//!   [`is_subset_of`](SetInterner::is_subset_of) and
+//!   [`is_disjoint_from`](SetInterner::is_disjoint_from) are word-AND +
+//!   popcount loops, and the memo-miss path of
+//!   [`intersect`](SetInterner::intersect) counts the overlap the same way —
+//!   allocation-free; a sorted `ObjectSet` is only materialised when the
+//!   result is a genuinely new set;
 //! * **memoizes intersections** — a fixed-size, direct-mapped cache of
 //!   `(SetId, SetId) → SetId` entries, normalised so the commutative pair
 //!   shares one slot. Sliding windows re-present the same set pairs frame
-//!   after frame (a stable scene produces the same frame set for many
-//!   consecutive frames), and the SSG cascade re-requests the same
-//!   `parent ∩ frame` pair within one frame; a recency cache catches both
-//!   at O(1) cost and fixed memory, without the unbounded growth (and cache
-//!   pollution) a full memo table would suffer on high-churn feeds;
+//!   after frame, and the SSG cascade re-requests the same `parent ∩ frame`
+//!   pair within one frame; a recency cache catches both at O(1) cost and
+//!   fixed memory;
 //! * **caches class counts** — when constructed with a class source
 //!   ([`SetInterner::with_classes`]), a [`ClassCounts`] aggregate is computed
 //!   once per set, at intern time, and shared as an `Arc`. Object classes
@@ -28,17 +36,20 @@
 //!   first-writer-wins inserts), so counts computed at intern time stay
 //!   correct for the lifetime of the set.
 //!
-//! The arena and the memo are **append-only**: interning is cheap and ids
-//! stay stable, at the cost of memory that grows with the number of distinct
-//! sets ever observed. For bounded-universe feeds (tracked objects with id
-//! reuse) the arena saturates quickly; unbounded-universe deployments should
-//! recycle the per-feed interner between sessions (the multi-feed engine
-//! creates one interner per feed, so a feed restart starts fresh).
+//! Within one epoch the arena and the memo are **append-only**: interning is
+//! cheap and ids stay stable, at the cost of memory that grows with the
+//! number of distinct sets ever observed. For long-running unbounded-universe
+//! deployments, [`SetInterner::compact`] starts a new **epoch**: the arena,
+//! content index, class-count cache, bitmaps and universe map are rebuilt
+//! from the caller's live handles, and a [`RemapTable`] translating old
+//! handles to their new values is handed back so every handle-keyed
+//! downstream structure can re-key itself. The engine triggers compaction
+//! between frames when live-set occupancy falls below a configured ratio.
 
-use std::collections::HashMap;
 use std::sync::{Arc, PoisonError, RwLock};
 
 use crate::aggregates::ClassCounts;
+use crate::bitmap::{BitmapArena, UniverseMap};
 use crate::hash::FxHashMap;
 use crate::ids::{ClassId, ObjectId};
 use crate::object_set::ObjectSet;
@@ -46,8 +57,10 @@ use crate::object_set::ObjectSet;
 /// Dense handle of an interned [`ObjectSet`].
 ///
 /// Handles are only meaningful relative to the [`SetInterner`] that issued
-/// them; two interners assign ids independently. `SetId::EMPTY` is always the
-/// empty set, in every interner.
+/// them — and only within the epoch that issued them: a compaction epoch
+/// retires every handle it does not keep, and the accompanying
+/// [`RemapTable`] is the sole bridge between epochs. `SetId::EMPTY` is
+/// always the empty set, in every interner and every epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SetId(u32);
 
@@ -75,8 +88,46 @@ impl SetId {
 
 /// Shared object → class map, the interner's optional class source. This is
 /// the same map the engine grows while ingesting frames; entries are
-/// immutable once inserted.
-pub type SharedClassMap = Arc<RwLock<HashMap<ObjectId, ClassId>>>;
+/// immutable once inserted. Keyed with the deterministic [`FxHashMap`]: the
+/// engine touches it once per detection per frame, so hashing cost is on
+/// the ingestion hot path.
+pub type SharedClassMap = Arc<RwLock<FxHashMap<ObjectId, ClassId>>>;
+
+/// The `old SetId → new SetId` translation produced by one compaction epoch.
+///
+/// Handles the caller declared live are mapped to their new, denser ids;
+/// every other handle of the previous epoch maps to `None` (the set was
+/// dropped from the arena and must be re-interned if it ever reappears).
+#[derive(Debug, Clone)]
+pub struct RemapTable {
+    map: Vec<Option<SetId>>,
+    epoch: u64,
+    live: usize,
+}
+
+impl RemapTable {
+    /// The new handle of a previous-epoch handle, or `None` if the set was
+    /// retired by the compaction.
+    #[inline]
+    pub fn remap(&self, old: SetId) -> Option<SetId> {
+        self.map.get(old.index()).copied().flatten()
+    }
+
+    /// The epoch this table transitions *into*.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of handles that survived (including the empty set).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Number of handles retired by the compaction.
+    pub fn retired(&self) -> usize {
+        self.map.len() - self.live
+    }
+}
 
 /// log2 of the direct-mapped intersection-cache size.
 const MEMO_SLOT_BITS: u32 = 15;
@@ -89,8 +140,9 @@ const MEMO_SLOTS: usize = 1 << MEMO_SLOT_BITS;
 /// Sentinel for an unused memo slot (`a == b` pairs never reach the cache).
 const MEMO_FREE: (SetId, SetId) = (SetId::EMPTY, SetId::EMPTY);
 
-/// The append-only object-set arena with intersection memoization and
-/// class-count caching. See the [module docs](self).
+/// The object-set arena with word-parallel set algebra, intersection
+/// memoization, class-count caching and epoch compaction. See the
+/// [module docs](self).
 #[derive(Debug, Default)]
 pub struct SetInterner {
     /// Arena: `SetId` → set. Index 0 is always the empty set.
@@ -99,14 +151,24 @@ pub struct SetInterner {
     counts: Vec<Arc<ClassCounts>>,
     /// Content index: set → id (hashes the slice once per *distinct* set).
     by_set: FxHashMap<ObjectSet, SetId>,
+    /// Arena-parallel dense bitmaps (entry `i` mirrors `sets[i]`).
+    bitmaps: BitmapArena,
+    /// The `ObjectId → bit slot` universe of the current epoch.
+    universe: UniverseMap,
     /// Direct-mapped intersection cache: `(a, b, a ∩ b)` keyed by the
     /// normalised (smaller, larger) pair; collisions overwrite. Allocated
-    /// lazily on the first intersection.
+    /// lazily on the first intersection, cleared by compaction (its entries
+    /// reference retired handles).
     memo: Vec<(SetId, SetId, SetId)>,
     /// The growing object → class map, when class counts are wanted.
     classes: Option<SharedClassMap>,
     memo_hits: u64,
+    memo_misses: u64,
     memo_entries: usize,
+    epoch: u64,
+    /// Running total of interned slice payload bytes (kept so
+    /// [`SetInterner::arena_bytes`] is O(1) — maintainers read it per frame).
+    payload_bytes: usize,
 }
 
 impl SetInterner {
@@ -149,14 +211,47 @@ impl SetInterner {
         self.sets.len() <= 1
     }
 
+    /// Number of distinct objects in the current epoch's universe.
+    pub fn universe_len(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// The compaction epoch (0 until the first compaction).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Number of occupied intersection-cache slots.
     pub fn memo_len(&self) -> usize {
         self.memo_entries
     }
 
-    /// How many intersections were answered from the memo.
+    /// How many intersections were answered from the memo (lifetime,
+    /// survives compaction).
     pub fn memo_hits(&self) -> u64 {
         self.memo_hits
+    }
+
+    /// How many intersections missed the memo and ran the word-parallel
+    /// kernel (lifetime, survives compaction).
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
+    }
+
+    /// Approximate bytes held by the arena: the interned slices plus the
+    /// per-entry bookkeeping (arena slot, content-index entry, class-count
+    /// handle). Bitmap storage is reported separately by
+    /// [`SetInterner::bitmap_bytes`].
+    pub fn arena_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<ObjectSet>()        // arena slot
+            + std::mem::size_of::<(ObjectSet, SetId, u64)>()    // content index
+            + std::mem::size_of::<Arc<ClassCounts>>(); // counts cache
+        self.payload_bytes + self.sets.len() * per_entry
+    }
+
+    /// Approximate bytes held by the dense bitmaps and the universe map.
+    pub fn bitmap_bytes(&self) -> usize {
+        self.bitmaps.bytes() + self.universe.bytes()
     }
 
     /// Interns a set, returning its stable handle. The set is copied only
@@ -192,6 +287,16 @@ impl SetInterner {
             }
             None => Arc::new(ClassCounts::new()),
         };
+        let mut max_slot = 0u32;
+        for object in set.iter() {
+            max_slot = max_slot.max(self.universe.slot_of(object));
+        }
+        self.bitmaps.ensure_slot(max_slot);
+        self.bitmaps.push(
+            set.iter()
+                .map(|object| self.universe.get(object).expect("slot just assigned")),
+        );
+        self.payload_bytes += set.len() * std::mem::size_of::<ObjectId>();
         self.sets.push(set.clone());
         self.counts.push(counts);
         self.by_set.insert(set, id);
@@ -220,17 +325,47 @@ impl SetInterner {
         }
     }
 
+    /// `|a ∩ b|` without materialising anything: word-AND + popcount over
+    /// the two dense bitmaps.
+    #[inline]
+    pub fn intersection_len(&self, a: SetId, b: SetId) -> usize {
+        if a == b {
+            return self.len_of(a);
+        }
+        self.bitmaps.and_count(a.index(), b.index())
+    }
+
+    /// Whether `a ⊆ b`, word-parallel and allocation-free. Unlike routing
+    /// the test through [`intersect`](Self::intersect), this never touches
+    /// (or pollutes) the memo cache.
+    #[inline]
+    pub fn is_subset_of(&self, a: SetId, b: SetId) -> bool {
+        a == b || a == SetId::EMPTY || self.bitmaps.is_subset(a.index(), b.index())
+    }
+
+    /// Whether `a ∩ b = ∅`, word-parallel and allocation-free.
+    #[inline]
+    pub fn is_disjoint_from(&self, a: SetId, b: SetId) -> bool {
+        if a == SetId::EMPTY || b == SetId::EMPTY {
+            return true;
+        }
+        if a == b {
+            return false;
+        }
+        self.bitmaps.is_disjoint(a.index(), b.index())
+    }
+
     /// Memoized intersection: `a ∩ b` as a handle.
     ///
     /// Fast paths: `a ∩ a = a` and `∅ ∩ x = ∅` never touch the cache. The
     /// cache key is normalised so `(a, b)` and `(b, a)` share one slot.
     ///
-    /// A miss first *counts* the overlap with an allocation-free merge:
-    /// disjoint pairs and subset pairs (the two dominant cases on tracked
-    /// feeds — a state either left the scene or is fully contained in the
-    /// arriving frame) resolve to an existing handle without materialising
-    /// or hashing anything. Only a *proper* new intersection pays the
-    /// merge-and-intern cost.
+    /// A miss first *counts* the overlap word-parallel over the dense
+    /// bitmaps: disjoint pairs and subset pairs (the two dominant cases on
+    /// tracked feeds — a state either left the scene or is fully contained
+    /// in the arriving frame) resolve to an existing handle without
+    /// materialising or hashing anything. Only a *proper* new intersection
+    /// pays the merge-and-intern cost.
     pub fn intersect(&mut self, a: SetId, b: SetId) -> SetId {
         if a == b {
             return a;
@@ -251,16 +386,16 @@ impl SetInterner {
             self.memo_hits += 1;
             return entry.2;
         }
-        let (sa, sb) = (&self.sets[a.index()], &self.sets[b.index()]);
-        let overlap = sa.intersection_len(sb);
+        self.memo_misses += 1;
+        let overlap = self.bitmaps.and_count(a.index(), b.index());
         let id = if overlap == 0 {
             SetId::EMPTY
-        } else if overlap == sa.len() {
+        } else if overlap == self.len_of(a) {
             a
-        } else if overlap == sb.len() {
+        } else if overlap == self.len_of(b) {
             b
         } else {
-            let result = sa.intersect(sb);
+            let result = self.sets[a.index()].intersect(&self.sets[b.index()]);
             self.intern(&result)
         };
         if (entry.0, entry.1) == MEMO_FREE {
@@ -268,6 +403,83 @@ impl SetInterner {
         }
         self.memo[slot] = (lo, hi, id);
         id
+    }
+
+    /// Starts a new compaction epoch: rebuilds the arena, content index,
+    /// class-count cache, bitmaps and universe map from the given live
+    /// handles, and returns the [`RemapTable`] translating old handles to
+    /// their replacements.
+    ///
+    /// The live list may contain duplicates and need not mention
+    /// [`SetId::EMPTY`] (the empty set always survives as id 0). Surviving
+    /// sets keep their relative id order, so compaction is deterministic for
+    /// deterministic inputs. The universe is re-densified: objects that only
+    /// occurred in retired sets lose their bit slots, which is what lets a
+    /// long-running feed with object turnover plateau instead of growing
+    /// monotonically.
+    ///
+    /// Every handle issued before the call — including those inside the
+    /// intersection memo, which is cleared here — is invalid afterwards
+    /// unless translated through the returned table.
+    pub fn compact(&mut self, live: &[SetId]) -> RemapTable {
+        let mut keep: Vec<SetId> = live
+            .iter()
+            .copied()
+            .filter(|id| !id.is_empty_set())
+            .collect();
+        keep.sort_unstable();
+        keep.dedup();
+
+        let old_len = self.sets.len();
+        let mut map: Vec<Option<SetId>> = vec![None; old_len];
+        map[SetId::EMPTY.index()] = Some(SetId::EMPTY);
+
+        let mut sets = Vec::with_capacity(keep.len() + 1);
+        let mut counts = Vec::with_capacity(keep.len() + 1);
+        sets.push(ObjectSet::empty());
+        counts.push(Arc::clone(&self.counts[SetId::EMPTY.index()]));
+
+        self.universe.clear();
+        self.bitmaps.clear();
+        self.bitmaps.push(std::iter::empty());
+        let mut by_set = FxHashMap::default();
+
+        for old in keep {
+            let new_id = SetId(sets.len() as u32);
+            let set = self.sets[old.index()].clone();
+            let mut max_slot = 0u32;
+            for object in set.iter() {
+                max_slot = max_slot.max(self.universe.slot_of(object));
+            }
+            self.bitmaps.ensure_slot(max_slot);
+            self.bitmaps.push(
+                set.iter()
+                    .map(|object| self.universe.get(object).expect("slot just assigned")),
+            );
+            counts.push(Arc::clone(&self.counts[old.index()]));
+            by_set.insert(set.clone(), new_id);
+            sets.push(set);
+            map[old.index()] = Some(new_id);
+        }
+
+        self.payload_bytes = sets
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<ObjectId>())
+            .sum();
+        self.sets = sets;
+        self.counts = counts;
+        self.by_set = by_set;
+        // The memo references retired handles; drop it wholesale (it refills
+        // within a window's worth of frames).
+        self.memo = Vec::new();
+        self.memo_entries = 0;
+        self.epoch += 1;
+
+        RemapTable {
+            live: self.sets.len(),
+            map,
+            epoch: self.epoch,
+        }
     }
 }
 
@@ -300,6 +512,7 @@ mod tests {
         assert_eq!(interner.len_of(a), 3);
         assert_eq!(interner.get(&set(&[1, 2, 3])), Some(a));
         assert_eq!(interner.get(&set(&[9])), None);
+        assert_eq!(interner.universe_len(), 3);
     }
 
     #[test]
@@ -313,6 +526,7 @@ mod tests {
         assert_eq!(interner.intersect(b, a), ab);
         assert_eq!(interner.memo_len(), 1);
         assert_eq!(interner.memo_hits(), 1);
+        assert_eq!(interner.memo_misses(), 1);
     }
 
     #[test]
@@ -332,6 +546,41 @@ mod tests {
         let big = interner.intern(&set(&[1, 2, 3, 4]));
         assert_eq!(interner.intersect(small, big), small);
         assert_eq!(interner.len(), 3, "no new set for a subset intersection");
+    }
+
+    #[test]
+    fn word_parallel_relations_agree_with_the_merge() {
+        let mut interner = SetInterner::new();
+        let a = interner.intern(&set(&[1, 2, 3, 5]));
+        let b = interner.intern(&set(&[2, 3, 4]));
+        let c = interner.intern(&set(&[7, 9]));
+        let sub = interner.intern(&set(&[2, 3]));
+        assert_eq!(interner.intersection_len(a, b), 2);
+        assert_eq!(interner.intersection_len(a, a), 4);
+        assert_eq!(interner.intersection_len(a, c), 0);
+        assert!(interner.is_subset_of(sub, a));
+        assert!(interner.is_subset_of(sub, b));
+        assert!(!interner.is_subset_of(a, b));
+        assert!(interner.is_subset_of(SetId::EMPTY, c));
+        assert!(interner.is_disjoint_from(a, c));
+        assert!(!interner.is_disjoint_from(a, b));
+        assert!(interner.is_disjoint_from(SetId::EMPTY, a));
+        assert!(!interner.is_disjoint_from(a, a));
+        // None of the relation tests touched the memo.
+        assert_eq!(interner.memo_len(), 0);
+    }
+
+    #[test]
+    fn wide_universes_span_multiple_words() {
+        let mut interner = SetInterner::new();
+        let lo = interner.intern(&set(&[0, 1, 2]));
+        let wide = interner.intern(&ObjectSet::from_raw((0..200).map(|i| i * 3)));
+        let hi = interner.intern(&set(&[300, 303]));
+        assert_eq!(interner.intersection_len(lo, wide), 1, "only 0 is shared");
+        assert!(interner.is_subset_of(hi, wide));
+        assert!(interner.is_disjoint_from(lo, hi));
+        let inter = interner.intersect(lo, wide);
+        assert_eq!(interner.resolve(inter), &set(&[0]));
     }
 
     #[test]
@@ -380,5 +629,202 @@ mod tests {
         let id = interner.intern(&set(&[1]));
         let counts = interner.cached_counts(id).unwrap();
         assert_eq!(counts.count(ClassId(2)), 1);
+    }
+
+    #[test]
+    fn compaction_remaps_live_handles_and_retires_the_rest() {
+        let mut interner = SetInterner::new();
+        let a = interner.intern(&set(&[1, 2]));
+        let b = interner.intern(&set(&[3, 4]));
+        let c = interner.intern(&set(&[5, 6]));
+        let _ab = interner.intersect(a, b);
+        assert_eq!(interner.len(), 4);
+        assert_eq!(interner.universe_len(), 6);
+
+        let table = interner.compact(&[b, c, c]);
+        assert_eq!(table.epoch(), 1);
+        assert_eq!(interner.epoch(), 1);
+        assert_eq!(table.live(), 3, "empty + two survivors");
+        assert_eq!(table.retired(), 1);
+        assert_eq!(table.remap(SetId::EMPTY), Some(SetId::EMPTY));
+        assert_eq!(table.remap(a), None, "retired handle");
+
+        let new_b = table.remap(b).expect("live");
+        let new_c = table.remap(c).expect("live");
+        assert_eq!(interner.resolve(new_b), &set(&[3, 4]));
+        assert_eq!(interner.resolve(new_c), &set(&[5, 6]));
+        assert_eq!(interner.len(), 3);
+        assert_eq!(
+            interner.universe_len(),
+            4,
+            "objects 1 and 2 re-densified away"
+        );
+        assert_eq!(interner.memo_len(), 0, "memo dropped with the old epoch");
+
+        // The rebuilt content index and bitmaps answer like a fresh interner.
+        assert_eq!(interner.get(&set(&[3, 4])), Some(new_b));
+        assert_eq!(interner.get(&set(&[1, 2])), None);
+        assert!(interner.is_disjoint_from(new_b, new_c));
+        let a_again = interner.intern(&set(&[1, 2]));
+        assert_eq!(interner.intersection_len(a_again, new_b), 0);
+        assert_eq!(interner.intersect(a_again, new_b), SetId::EMPTY);
+    }
+
+    #[test]
+    fn compaction_preserves_relative_order_and_counts() {
+        let classes: SharedClassMap = Arc::new(RwLock::new(
+            [(ObjectId(1), ClassId(0)), (ObjectId(2), ClassId(1))]
+                .into_iter()
+                .collect(),
+        ));
+        let mut interner = SetInterner::with_classes(Arc::clone(&classes));
+        let a = interner.intern(&set(&[1]));
+        let b = interner.intern(&set(&[2]));
+        let c = interner.intern(&set(&[1, 2]));
+        let counts_before = interner.cached_counts(c).unwrap();
+
+        let table = interner.compact(&[c, a, b]);
+        let (na, nb, nc) = (
+            table.remap(a).unwrap(),
+            table.remap(b).unwrap(),
+            table.remap(c).unwrap(),
+        );
+        assert!(na < nb && nb < nc, "survivors keep their relative order");
+        // Cached counts travel with the surviving entries (same Arc).
+        assert!(Arc::ptr_eq(
+            &interner.cached_counts(nc).unwrap(),
+            &counts_before
+        ));
+        assert_eq!(interner.cached_counts(na).unwrap().count(ClassId(0)), 1);
+    }
+
+    #[test]
+    fn payload_bytes_track_compaction() {
+        let mut interner = SetInterner::new();
+        let a = interner.intern(&set(&[1, 2, 3]));
+        let _b = interner.intern(&set(&[4, 5]));
+        let before = interner.arena_bytes();
+        let table = interner.compact(&[a]);
+        assert!(interner.arena_bytes() < before);
+        assert!(table.remap(a).is_some());
+        assert!(interner.bitmap_bytes() > 0);
+    }
+
+    #[test]
+    fn algebra_stays_correct_across_epochs() {
+        let mut interner = SetInterner::new();
+        let mut ids = Vec::new();
+        for i in 0..10u32 {
+            ids.push(interner.intern(&ObjectSet::from_raw([i, i + 1, i + 2])));
+        }
+        let table = interner.compact(&ids[5..]);
+        let survivors: Vec<SetId> = ids[5..]
+            .iter()
+            .map(|&id| table.remap(id).unwrap())
+            .collect();
+        for (offset_a, &a) in survivors.iter().enumerate() {
+            for (offset_b, &b) in survivors.iter().enumerate() {
+                let sa = ObjectSet::from_raw((5 + offset_a as u32..).take(3).collect::<Vec<_>>());
+                let sb = ObjectSet::from_raw((5 + offset_b as u32..).take(3).collect::<Vec<_>>());
+                assert_eq!(interner.intersection_len(a, b), sa.intersection_len(&sb));
+                let inter = interner.intersect(a, b);
+                assert_eq!(interner.resolve(inter), &sa.intersect(&sb));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random raw sets; see [`widen`] for how they stretch the universe.
+    fn wide_sets() -> impl Strategy<Value = Vec<Vec<u32>>> {
+        proptest::collection::vec(proptest::collection::vec(0u32..64, 0..24), 2..10)
+    }
+
+    /// Stretches raw ids so bitmaps span several `u64` words: most values
+    /// stay in a small cluster (so overlaps actually occur) while every
+    /// seventh is scattered into the hundreds, pushing its bit slot well
+    /// past one word.
+    fn widen(sets: &[Vec<u32>]) -> Vec<ObjectSet> {
+        sets.iter()
+            .map(|ids| {
+                ObjectSet::from_raw(
+                    ids.iter()
+                        .map(|&v| if v % 7 == 0 { v * 23 + 70 } else { v }),
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The word-parallel relations agree with the linear-merge oracle
+        /// for every pair of interned sets, including multi-word universes.
+        #[test]
+        fn word_parallel_algebra_matches_the_merge_oracle(raw in wide_sets()) {
+            let sets = widen(&raw);
+            let mut interner = SetInterner::new();
+            let ids: Vec<SetId> = sets.iter().map(|s| interner.intern(s)).collect();
+            for (i, &a) in ids.iter().enumerate() {
+                for (j, &b) in ids.iter().enumerate() {
+                    let (sa, sb) = (&sets[i], &sets[j]);
+                    prop_assert_eq!(
+                        interner.intersection_len(a, b),
+                        sa.intersection_len(sb),
+                        "intersection_len({:?}, {:?})", sa, sb
+                    );
+                    prop_assert_eq!(
+                        interner.is_subset_of(a, b),
+                        sa.is_subset_of(sb),
+                        "is_subset_of({:?}, {:?})", sa, sb
+                    );
+                    prop_assert_eq!(
+                        interner.is_disjoint_from(a, b),
+                        sa.is_disjoint_from(sb),
+                        "is_disjoint_from({:?}, {:?})", sa, sb
+                    );
+                    let inter = interner.intersect(a, b);
+                    prop_assert_eq!(interner.resolve(inter), &sa.intersect(sb));
+                }
+            }
+        }
+
+        /// Compacting to a random live subset preserves the algebra: every
+        /// surviving pair answers exactly as before, and retired sets
+        /// re-intern with correct (re-densified) bitmaps.
+        #[test]
+        fn compaction_preserves_the_algebra(raw in wide_sets(), keep_mask in 0u32..256) {
+            let sets = widen(&raw);
+            let mut interner = SetInterner::new();
+            let ids: Vec<SetId> = sets.iter().map(|s| interner.intern(s)).collect();
+            let live: Vec<SetId> = ids
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| keep_mask & (1 << (i % 8)) != 0)
+                .map(|(_, &id)| id)
+                .collect();
+            let table = interner.compact(&live);
+            // Survivors keep their content and their pairwise algebra.
+            for (i, &old) in ids.iter().enumerate() {
+                if let Some(new) = table.remap(old) {
+                    prop_assert_eq!(interner.resolve(new), &sets[i]);
+                }
+            }
+            // Re-intern everything (retired sets get fresh handles) and
+            // check the algebra against the oracle across old and new.
+            let again: Vec<SetId> = sets.iter().map(|s| interner.intern(s)).collect();
+            for (i, &a) in again.iter().enumerate() {
+                for (j, &b) in again.iter().enumerate() {
+                    let (sa, sb) = (&sets[i], &sets[j]);
+                    prop_assert_eq!(interner.intersection_len(a, b), sa.intersection_len(sb));
+                    prop_assert_eq!(interner.is_subset_of(a, b), sa.is_subset_of(sb));
+                    prop_assert_eq!(interner.is_disjoint_from(a, b), sa.is_disjoint_from(sb));
+                }
+            }
+        }
     }
 }

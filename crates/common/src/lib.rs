@@ -10,8 +10,12 @@
 //! * [`ObjectSet`], the sorted, deduplicated object-identifier set used for
 //!   every co-occurrence computation — see [`object_set`];
 //! * [`SetInterner`] and [`SetId`], the per-feed object-set arena that turns
-//!   set hashing/equality into integer operations, memoizes intersections
-//!   and caches per-set class counts — see [`interner`];
+//!   set hashing/equality into integer operations, memoizes intersections,
+//!   caches per-set class counts and compacts itself in epochs — see
+//!   [`interner`];
+//! * [`BitmapArena`] and [`UniverseMap`], the dense fixed-stride bitmaps the
+//!   interner mirrors every set into so intersections, subset and
+//!   disjointness tests run word-parallel — see [`bitmap`];
 //! * [`ClassCounts`], the per-class aggregate of one object set that CNF
 //!   queries are evaluated against — see [`aggregates`];
 //! * [`FxHasher`] and the `FxHashMap`/`FxHashSet` aliases, the deterministic
@@ -34,6 +38,7 @@
 #![deny(missing_docs)]
 
 pub mod aggregates;
+pub mod bitmap;
 pub mod class;
 pub mod error;
 pub mod frame_set;
@@ -47,12 +52,13 @@ pub mod stats;
 pub mod window;
 
 pub use aggregates::ClassCounts;
+pub use bitmap::{BitmapArena, UniverseMap};
 pub use class::{ClassLabel, ClassRegistry};
 pub use error::{Error, Result};
 pub use frame_set::MarkedFrameSet;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ClassId, FeedId, FrameId, ObjectId, QueryId, TrackId};
-pub use interner::{SetId, SetInterner, SharedClassMap};
+pub use interner::{RemapTable, SetId, SetInterner, SharedClassMap};
 pub use object_set::ObjectSet;
 pub use relation::{FrameObjects, ObjectRecord, VideoRelation};
 pub use stats::DatasetStats;

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod compaction;
 pub mod maintainer;
 pub mod metrics;
 pub mod mfs;
@@ -59,6 +60,7 @@ pub mod result_set;
 pub mod ssg;
 pub mod state;
 
+pub use compaction::CompactionPolicy;
 pub use maintainer::{MaintainerKind, StateMaintainer};
 pub use metrics::MaintenanceMetrics;
 pub use mfs::MfsMaintainer;

@@ -8,6 +8,7 @@
 
 use tvq_common::{Error, FrameId, ObjectSet, Result, SetInterner, WindowSpec};
 
+use crate::compaction::CompactionPolicy;
 use crate::metrics::MaintenanceMetrics;
 use crate::mfs::MfsMaintainer;
 use crate::naive::NaiveMaintainer;
@@ -37,6 +38,20 @@ pub trait StateMaintainer {
 
     /// Human-readable strategy name (used in benchmark output).
     fn name(&self) -> &'static str;
+
+    /// Gives the maintainer a chance to compact its interner arena between
+    /// frames. Implementations count their live handles, consult the
+    /// policy, and — when it agrees — run a compaction epoch
+    /// ([`SetInterner::compact`]) and re-key every handle-keyed structure
+    /// through the remap table. Returns whether an epoch ran.
+    ///
+    /// Compaction is semantically invisible: results and states are
+    /// identical with or without it. The default does nothing (the
+    /// brute-force reference oracle holds no handles).
+    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+        let _ = policy;
+        false
+    }
 }
 
 /// Helper shared by the maintainers: validates frame ordering.

@@ -34,9 +34,23 @@ pub struct MaintenanceMetrics {
     pub edges_removed: u64,
     /// Largest number of simultaneously live states observed.
     pub peak_live_states: u64,
-    /// Distinct object sets held by the maintainer's set interner (the
-    /// arena only grows, so this is also the lifetime-peak).
+    /// Distinct object sets currently held by the maintainer's set interner.
+    /// Within one epoch the arena only grows; a compaction epoch shrinks it
+    /// back to the live set, so on compacting configurations this plateaus
+    /// instead of tracking the lifetime total.
     pub interned_sets: u64,
+    /// Approximate bytes held by the interner arena (set payloads plus
+    /// per-entry bookkeeping). A gauge, sampled after each frame.
+    pub arena_bytes: u64,
+    /// Approximate bytes held by the interner's dense bitmaps and universe
+    /// map. A gauge, sampled after each frame.
+    pub bitmap_bytes: u64,
+    /// Interner compaction epochs run so far.
+    pub compactions: u64,
+    /// Intersections answered from the interner's memo cache.
+    pub intersection_cache_hits: u64,
+    /// Intersections that missed the memo and ran the word-parallel kernel.
+    pub intersection_cache_misses: u64,
 }
 
 impl MaintenanceMetrics {
@@ -50,11 +64,23 @@ impl MaintenanceMetrics {
         self.peak_live_states = self.peak_live_states.max(live as u64);
     }
 
+    /// Samples the interner-backed gauges (arena size and bytes, bitmap
+    /// bytes, memo hit/miss counters). Maintainers call this once per frame
+    /// and after every compaction epoch; all reads are O(1).
+    pub fn observe_interner(&mut self, interner: &tvq_common::SetInterner) {
+        self.interned_sets = interner.len().saturating_sub(1) as u64;
+        self.arena_bytes = interner.arena_bytes() as u64;
+        self.bitmap_bytes = interner.bitmap_bytes() as u64;
+        self.intersection_cache_hits = interner.memo_hits();
+        self.intersection_cache_misses = interner.memo_misses();
+    }
+
     /// Accumulates `other`'s counters into `self`.
     ///
-    /// All counters add field-wise, including `peak_live_states`: per-source
-    /// peaks need not coincide in time, so the merged peak is an *upper
-    /// bound* on the number of simultaneously live states across sources.
+    /// All counters add field-wise, including `peak_live_states` and the
+    /// byte gauges (`arena_bytes`, `bitmap_bytes`): per-source peaks need
+    /// not coincide in time, so the merged values are *upper bounds* on the
+    /// simultaneous totals across sources.
     /// This is the aggregation the multi-feed engine uses to fold per-shard
     /// metrics into one global report; merging is commutative and
     /// associative, and merging into [`MaintenanceMetrics::default`] copies.
@@ -88,6 +114,11 @@ impl MaintenanceMetrics {
         self.edges_removed += other.edges_removed;
         self.peak_live_states += other.peak_live_states;
         self.interned_sets += other.interned_sets;
+        self.arena_bytes += other.arena_bytes;
+        self.bitmap_bytes += other.bitmap_bytes;
+        self.compactions += other.compactions;
+        self.intersection_cache_hits += other.intersection_cache_hits;
+        self.intersection_cache_misses += other.intersection_cache_misses;
     }
 
     /// Folds an iterator of metrics into one aggregate via [`merge`](Self::merge).
@@ -113,7 +144,7 @@ impl fmt::Display for MaintenanceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={}",
+            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m",
             self.frames_processed,
             self.states_created,
             self.states_pruned,
@@ -123,7 +154,12 @@ impl fmt::Display for MaintenanceMetrics {
             self.edges_added,
             self.edges_removed,
             self.peak_live_states,
-            self.interned_sets
+            self.interned_sets,
+            self.arena_bytes,
+            self.bitmap_bytes,
+            self.compactions,
+            self.intersection_cache_hits,
+            self.intersection_cache_misses
         )
     }
 }
@@ -163,6 +199,11 @@ mod tests {
         a.edges_removed = 9;
         a.peak_live_states = 10;
         a.interned_sets = 11;
+        a.arena_bytes = 12;
+        a.bitmap_bytes = 13;
+        a.compactions = 14;
+        a.intersection_cache_hits = 15;
+        a.intersection_cache_misses = 16;
         let mut b = a.clone();
         b.merge(&a);
         let doubled = MaintenanceMetrics::merged([&a, &a]);
@@ -178,6 +219,11 @@ mod tests {
         assert_eq!(doubled.edges_removed, 18);
         assert_eq!(doubled.peak_live_states, 20);
         assert_eq!(doubled.interned_sets, 22);
+        assert_eq!(doubled.arena_bytes, 24);
+        assert_eq!(doubled.bitmap_bytes, 26);
+        assert_eq!(doubled.compactions, 28);
+        assert_eq!(doubled.intersection_cache_hits, 30);
+        assert_eq!(doubled.intersection_cache_misses, 32);
     }
 
     #[test]
@@ -206,5 +252,7 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("created=7"));
         assert!(text.contains("peak=0"));
+        assert!(text.contains("compactions=0"));
+        assert!(text.contains("cache=0h/0m"));
     }
 }

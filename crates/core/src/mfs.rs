@@ -23,9 +23,11 @@
 //! so they are never materialised again while they remain hopeless.
 
 use tvq_common::{
-    FrameId, FxHashMap, MarkedFrameSet, ObjectSet, Result, SetId, SetInterner, WindowSpec,
+    FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, Result, SetId, SetInterner,
+    WindowSpec,
 };
 
+use crate::compaction::CompactionPolicy;
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::prune::{PrunerVerdictCache, SharedPruner};
@@ -46,6 +48,10 @@ pub struct MfsMaintainer {
     pruner: Option<SharedPruner>,
     verdicts: PrunerVerdictCache,
     last_frame: Option<FrameId>,
+    /// Pooled pass-1 appender list, reused so the steady-state frame loop
+    /// (where every live state is contained in the arriving frame) does not
+    /// allocate.
+    appenders_scratch: Vec<SetId>,
 }
 
 impl std::fmt::Debug for MfsMaintainer {
@@ -78,6 +84,7 @@ impl MfsMaintainer {
             pruner: None,
             verdicts: PrunerVerdictCache::new(),
             last_frame: None,
+            appenders_scratch: Vec::new(),
         }
     }
 
@@ -102,6 +109,19 @@ impl MfsMaintainer {
     /// Read access to the maintainer's interner (arena and memo statistics).
     pub fn interner(&self) -> &SetInterner {
         &self.interner
+    }
+
+    /// Re-keys every handle-held structure through a compaction epoch's
+    /// remap table. Must be called with the table produced by compacting
+    /// this maintainer's own interner against its own live handles —
+    /// [`StateMaintainer::maybe_compact`] is the normal entry point.
+    pub fn remap(&mut self, table: &RemapTable) {
+        let states = std::mem::take(&mut self.states);
+        self.states = states
+            .into_iter()
+            .filter_map(|(sid, frames)| table.remap(sid).map(|new| (new, frames)))
+            .collect();
+        self.verdicts.remap(table);
     }
 
     /// Exposes the live states (object set → marked frame set) for the
@@ -155,7 +175,8 @@ impl MfsMaintainer {
         // frame, recording which states are fully contained in the frame and
         // which object sets are derived, along with the parents' key frames
         // (snapshot, so that same-frame mark propagation stays deterministic).
-        let mut appenders: Vec<SetId> = Vec::new();
+        let mut appenders = std::mem::take(&mut self.appenders_scratch);
+        appenders.clear();
         let mut derived: FxHashMap<SetId, Vec<(SetId, Vec<FrameId>)>> = FxHashMap::default();
         for (&sid, frames) in self.states.iter() {
             self.metrics.intersections += 1;
@@ -181,12 +202,13 @@ impl MfsMaintainer {
 
         // Pass 2a: append the arriving frame (unmarked) to fully contained
         // states.
-        for sid in &appenders {
-            if let Some(frames) = self.states.get_mut(sid) {
+        for sid in appenders.drain(..) {
+            if let Some(frames) = self.states.get_mut(&sid) {
                 frames.push(frame, false);
                 self.metrics.frames_appended += 1;
             }
         }
+        self.appenders_scratch = appenders;
 
         // Pass 2b: create states for intersections not yet materialised and
         // propagate marks (Frame Marking Rule 2) onto existing targets.
@@ -273,7 +295,7 @@ impl StateMaintainer for MfsMaintainer {
         self.expire(self.spec.oldest_valid(frame));
         self.process_frame(frame, objects);
         self.metrics.observe_live_states(self.states.len());
-        self.metrics.interned_sets = self.interner.len().saturating_sub(1) as u64;
+        self.metrics.observe_interner(&self.interner);
         self.collect_results();
         Ok(())
     }
@@ -296,6 +318,18 @@ impl StateMaintainer for MfsMaintainer {
         } else {
             "MFS"
         }
+    }
+
+    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+        if !policy.should_compact(self.states.len() + 1, self.interner.len()) {
+            return false;
+        }
+        let live: Vec<SetId> = self.states.keys().copied().collect();
+        let table = self.interner.compact(&live);
+        self.remap(&table);
+        self.metrics.compactions += 1;
+        self.metrics.observe_interner(&self.interner);
+        true
     }
 }
 

@@ -65,6 +65,24 @@ impl PrunerVerdictCache {
         self.terminated.len()
     }
 
+    /// Re-keys the cache through a compaction epoch's remap table: verdicts
+    /// for handles that survived move to the new handles, verdicts for
+    /// retired handles are dropped (a retired set that reappears is
+    /// re-interned and re-judged — the pruner is deterministic, so the
+    /// verdict is identical, at the cost of one re-evaluation).
+    pub fn remap(&mut self, table: &tvq_common::RemapTable) {
+        self.terminated = self
+            .terminated
+            .iter()
+            .filter_map(|&sid| table.remap(sid))
+            .collect();
+        self.cleared = self
+            .cleared
+            .iter()
+            .filter_map(|&sid| table.remap(sid))
+            .collect();
+    }
+
     /// Returns the cached verdict for `sid`, consulting `pruner` on a cache
     /// miss (passing the interner's cached class counts so query-driven
     /// pruners skip re-aggregation). Counts a fresh termination in

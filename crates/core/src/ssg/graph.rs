@@ -7,7 +7,7 @@
 //! [`StateGraph::attach`] operation enforces both properties, rewiring edges
 //! exactly as described in Section 4.3.4 of the paper.
 
-use tvq_common::{FrameId, FxHashMap, MarkedFrameSet, ObjectSet, SetId, SetInterner};
+use tvq_common::{FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, SetId, SetInterner};
 
 /// Index of a node inside the graph's slab.
 pub(crate) type NodeId = usize;
@@ -39,8 +39,10 @@ pub(crate) struct Node {
     /// Frame id of the last frame appended to this node's frame set.
     pub touched: u64,
     /// In-window frames whose object set equals this node's object set
-    /// (non-empty while the node is a principal state).
-    pub principal_frames: Vec<FrameId>,
+    /// (non-empty while the node is a principal state). Ascending; stored
+    /// as a deque so window expiry pops the front in O(expired) instead of
+    /// re-scanning the whole list every frame.
+    pub principal_frames: std::collections::VecDeque<FrameId>,
     /// Whether the node is live (false once removed; slots are reused).
     pub alive: bool,
 }
@@ -56,7 +58,7 @@ impl Node {
             visited: NEVER,
             last_inter: SetId::EMPTY,
             touched: NEVER,
-            principal_frames: Vec::new(),
+            principal_frames: std::collections::VecDeque::new(),
             alive: true,
         }
     }
@@ -131,6 +133,31 @@ impl StateGraph {
         id
     }
 
+    /// The interned handles of all live nodes — the live list a compaction
+    /// epoch preserves.
+    pub fn live_sids(&self) -> Vec<SetId> {
+        self.by_set.keys().copied().collect()
+    }
+
+    /// Re-keys the graph through a compaction epoch's remap table: every
+    /// live node's `sid` (and the handle index over them) moves to its new
+    /// value. Per-node `last_inter` hints are remapped too — a hint whose
+    /// set was retired resets to the empty handle; the hint is only read
+    /// within the frame that wrote it, so this is bookkeeping hygiene, not
+    /// a behaviour change.
+    pub fn remap(&mut self, table: &RemapTable) {
+        let mut by_set = FxHashMap::default();
+        for (&old_sid, &id) in &self.by_set {
+            let node = &mut self.nodes[id];
+            node.sid = table
+                .remap(old_sid)
+                .expect("every live node's set is in the compaction live list");
+            node.last_inter = table.remap(node.last_inter).unwrap_or(SetId::EMPTY);
+            by_set.insert(node.sid, id);
+        }
+        self.by_set = by_set;
+    }
+
     /// Identifiers of all live nodes, in ascending slab order.
     ///
     /// Sorted so that bulk operations (the maintainer's periodic sweep)
@@ -162,10 +189,11 @@ impl StateGraph {
     }
 
     /// Proper-subset test on interned handles: distinct handles are distinct
-    /// sets, so `a ⊂ b ⟺ a ∩ b = a` — one memoized interner lookup instead
-    /// of a linear merge per test.
-    fn is_proper_subset(interner: &mut SetInterner, a: SetId, b: SetId) -> bool {
-        a != b && interner.intersect(a, b) == a
+    /// sets, so a word-parallel `a ⊆ b` plus a handle inequality decides
+    /// strictness — allocation-free and without touching (or polluting) the
+    /// interner's intersection memo.
+    fn is_proper_subset(interner: &SetInterner, a: SetId, b: SetId) -> bool {
+        a != b && interner.is_subset_of(a, b)
     }
 
     /// Connects `child` under `parent`, enforcing Properties 1 and 2.
@@ -179,9 +207,9 @@ impl StateGraph {
     ///   moved below the new child — the "Modifying Existing Edges" step of
     ///   Section 4.3.4.
     ///
-    /// Subset tests go through the interner, so repeated attachments of the
-    /// same state pair resolve from the intersection cache.
-    pub fn attach(&mut self, parent: NodeId, child: NodeId, interner: &mut SetInterner) {
+    /// Subset tests run word-parallel over the interner's dense bitmaps, so
+    /// repeated attachments of the same state pair cost a few AND words.
+    pub fn attach(&mut self, parent: NodeId, child: NodeId, interner: &SetInterner) {
         if parent == child {
             return;
         }
@@ -227,7 +255,7 @@ impl StateGraph {
 
     /// Removes a node, reconnecting its parents to its children so that every
     /// descendant stays reachable from the surviving ancestors.
-    pub fn remove(&mut self, id: NodeId, interner: &mut SetInterner) {
+    pub fn remove(&mut self, id: NodeId, interner: &SetInterner) {
         if !self.nodes[id].alive {
             return;
         }
@@ -348,7 +376,7 @@ mod tests {
         let a = insert(&mut g, &mut interner, &[1, 2]);
         let b = insert(&mut g, &mut interner, &[2, 3]);
         // {2,3} is not a subset of {1,2}: the edge is refused.
-        g.attach(a, b, &mut interner);
+        g.attach(a, b, &interner);
         assert!(g.node(a).children.is_empty());
         g.check_invariants();
     }
@@ -363,11 +391,11 @@ mod tests {
         let abcf = insert(&mut g, &mut interner, &[1, 2, 3, 6]);
         let abd = insert(&mut g, &mut interner, &[1, 2, 4]);
         let ab = insert(&mut g, &mut interner, &[1, 2]);
-        g.attach(abcf, ab, &mut interner);
-        g.attach(abd, ab, &mut interner);
+        g.attach(abcf, ab, &interner);
+        g.attach(abd, ab, &interner);
 
         let abf = insert(&mut g, &mut interner, &[1, 2, 6]);
-        g.attach(abcf, abf, &mut interner);
+        g.attach(abcf, abf, &interner);
 
         // {AB} is now reached through {ABF}, not directly from {ABCF}.
         assert!(!g.node(abcf).children.contains(&ab));
@@ -384,10 +412,10 @@ mod tests {
         let mut g = StateGraph::new();
         let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
         let ab = insert(&mut g, &mut interner, &[1, 2]);
-        g.attach(abc, ab, &mut interner);
+        g.attach(abc, ab, &interner);
         let a = insert(&mut g, &mut interner, &[1]);
         // Attaching {A} to {ABC} must land it under {AB}, the tighter parent.
-        g.attach(abc, a, &mut interner);
+        g.attach(abc, a, &interner);
         assert!(!g.node(abc).children.contains(&a));
         assert!(g.node(ab).children.contains(&a));
         g.check_invariants();
@@ -399,8 +427,8 @@ mod tests {
         let mut g = StateGraph::new();
         let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
         let ab = insert(&mut g, &mut interner, &[1, 2]);
-        g.attach(abc, ab, &mut interner);
-        g.attach(abc, ab, &mut interner);
+        g.attach(abc, ab, &interner);
+        g.attach(abc, ab, &interner);
         assert_eq!(g.node(abc).children.len(), 1);
         assert_eq!(g.node(ab).parents.len(), 1);
         assert_eq!(g.edges_added, 1);
@@ -413,10 +441,10 @@ mod tests {
         let abcd = insert(&mut g, &mut interner, &[1, 2, 3, 4]);
         let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
         let ab = insert(&mut g, &mut interner, &[1, 2]);
-        g.attach(abcd, abc, &mut interner);
-        g.attach(abc, ab, &mut interner);
+        g.attach(abcd, abc, &interner);
+        g.attach(abc, ab, &interner);
         let removed_edges_before = g.edges_removed;
-        g.remove(abc, &mut interner);
+        g.remove(abc, &interner);
         assert_eq!(g.len(), 2);
         assert!(g.id_of(interner.intern(&set(&[1, 2, 3]))).is_none());
         assert!(g.node(abcd).children.contains(&ab));
@@ -430,7 +458,7 @@ mod tests {
         let mut interner = SetInterner::new();
         let mut g = StateGraph::new();
         let a = insert(&mut g, &mut interner, &[1]);
-        g.remove(a, &mut interner);
+        g.remove(a, &interner);
         let b = insert(&mut g, &mut interner, &[2]);
         assert_eq!(a, b, "slab slot should be recycled");
         assert_eq!(g.len(), 1);
@@ -445,9 +473,9 @@ mod tests {
         let abc = insert(&mut g, &mut interner, &[1, 2, 3]);
         let ab = insert(&mut g, &mut interner, &[1, 2]);
         let cd = insert(&mut g, &mut interner, &[3, 4]);
-        g.attach(abcd, abc, &mut interner);
-        g.attach(abc, ab, &mut interner);
-        g.attach(abcd, cd, &mut interner);
+        g.attach(abcd, abc, &interner);
+        g.attach(abc, ab, &interner);
+        g.attach(abcd, cd, &interner);
         let mut reachable = g.reachable(abc);
         reachable.sort_unstable();
         assert_eq!(

@@ -42,8 +42,11 @@
 
 mod graph;
 
-use tvq_common::{FrameId, FxHashSet, ObjectSet, Result, SetId, SetInterner, WindowSpec};
+use tvq_common::{
+    FrameId, FxHashSet, ObjectSet, RemapTable, Result, SetId, SetInterner, WindowSpec,
+};
 
+use crate::compaction::CompactionPolicy;
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::prune::{PrunerVerdictCache, SharedPruner};
@@ -75,6 +78,16 @@ pub struct SsgMaintainer {
     /// Reusable buffers for the traversal's child snapshots (one per
     /// recursion depth), so `visit_children` never allocates in steady state.
     child_scratch: Vec<Vec<NodeId>>,
+    /// Pooled per-frame buffers (touched list, root snapshot, CNPS
+    /// candidates, principal-mark copies, CNPS reachability set + DFS
+    /// stack): cleared and reused so the steady-state advance loop performs
+    /// no transient allocations.
+    touched_scratch: Vec<NodeId>,
+    roots_scratch: Vec<NodeId>,
+    candidates_scratch: Vec<NodeId>,
+    marks_scratch: Vec<FrameId>,
+    cnps_reachable: FxHashSet<NodeId>,
+    cnps_stack: Vec<NodeId>,
 }
 
 impl std::fmt::Debug for SsgMaintainer {
@@ -111,6 +124,12 @@ impl SsgMaintainer {
             last_frame: None,
             frames_since_sweep: 0,
             child_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
+            roots_scratch: Vec::new(),
+            candidates_scratch: Vec::new(),
+            marks_scratch: Vec::new(),
+            cnps_reachable: FxHashSet::default(),
+            cnps_stack: Vec::new(),
         }
     }
 
@@ -139,6 +158,21 @@ impl SsgMaintainer {
     /// Read access to the maintainer's interner (arena and memo statistics).
     pub fn interner(&self) -> &SetInterner {
         &self.interner
+    }
+
+    /// Re-keys every handle-held structure — graph nodes, the handle index,
+    /// the revalidation list and the verdict cache — through a compaction
+    /// epoch's remap table. [`StateMaintainer::maybe_compact`] is the
+    /// normal entry point.
+    pub fn remap(&mut self, table: &RemapTable) {
+        self.graph.remap(table);
+        for sid in &mut self.prev_results {
+            *sid = table
+                .remap(*sid)
+                .expect("result states are live graph nodes");
+        }
+        self.prev_results.sort_unstable();
+        self.verdicts.remap(table);
     }
 
     /// Exposes the live states (object set, frames, marked frames) for tests.
@@ -211,7 +245,7 @@ impl SsgMaintainer {
         // frames all contain the parent's object set, hence this subset too.
         let (target, source) = self.graph.pair_mut(id, parent);
         target.frames.merge_from(&source.frames);
-        self.graph.attach(parent, id, &mut self.interner);
+        self.graph.attach(parent, id, &self.interner);
         Some(id)
     }
 
@@ -289,7 +323,7 @@ impl SsgMaintainer {
                 let (target, source) = self.graph.pair_mut(ns, node);
                 target.frames.merge_from(&source.frames);
             }
-            self.graph.attach(node, ns, &mut self.interner);
+            self.graph.attach(node, ns, &self.interner);
             self.visit_children(node, inter, frame, frame_sid, ns, oldest, touched);
         } else {
             // A proper, new intersection: descend first (a child subtree may
@@ -336,32 +370,35 @@ impl SsgMaintainer {
     /// CNPS (Algorithm 2): connect the new principal state to the candidate
     /// states derived from each principal, largest object set first, skipping
     /// candidates already reachable from the new principal.
-    fn connect_new_principal(&mut self, ns: NodeId, candidates: Vec<NodeId>) {
-        let mut ordered = candidates;
+    fn connect_new_principal(&mut self, ns: NodeId) {
+        let mut ordered = std::mem::take(&mut self.candidates_scratch);
         ordered.sort_by_key(|&id| std::cmp::Reverse(self.graph.node(id).set.len()));
         ordered.dedup();
-        let mut reachable: FxHashSet<NodeId> = FxHashSet::default();
-        for candidate in ordered {
+        self.cnps_reachable.clear();
+        for &candidate in &ordered {
             if candidate == ns || !self.graph.node(candidate).alive {
                 continue;
             }
-            if reachable.contains(&candidate) {
+            if self.cnps_reachable.contains(&candidate) {
                 continue;
             }
-            self.graph.attach(ns, candidate, &mut self.interner);
+            self.graph.attach(ns, candidate, &self.interner);
             // Incremental DFS: regions already known to be reachable are not
             // re-traversed, so the whole CNPS pass is bounded by the size of
             // the subgraph below the new principal.
-            let mut stack = vec![candidate];
-            reachable.insert(candidate);
-            while let Some(id) = stack.pop() {
+            self.cnps_stack.clear();
+            self.cnps_stack.push(candidate);
+            self.cnps_reachable.insert(candidate);
+            while let Some(id) = self.cnps_stack.pop() {
                 for &child in &self.graph.node(id).children {
-                    if self.graph.node(child).alive && reachable.insert(child) {
-                        stack.push(child);
+                    if self.graph.node(child).alive && self.cnps_reachable.insert(child) {
+                        self.cnps_stack.push(child);
                     }
                 }
             }
         }
+        ordered.clear();
+        self.candidates_scratch = ordered;
     }
 
     /// Removes invalid (unmarked) touched nodes and refreshes root
@@ -381,7 +418,7 @@ impl SsgMaintainer {
     }
 
     fn remove_node(&mut self, id: NodeId) {
-        self.graph.remove(id, &mut self.interner);
+        self.graph.remove(id, &self.interner);
         self.metrics.states_pruned += 1;
         if let Some(pos) = self.roots.iter().position(|&r| r == id) {
             self.roots.remove(pos);
@@ -394,20 +431,28 @@ impl SsgMaintainer {
     fn sweep(&mut self, oldest: FrameId) {
         for id in self.graph.live_ids() {
             self.graph.node_mut(id).frames.expire_before(oldest);
-            let node = self.graph.node_mut(id);
-            node.principal_frames.retain(|&f| f >= oldest);
+            Self::expire_principal_frames(self.graph.node_mut(id), oldest);
             if !self.graph.node(id).frames.has_marked() {
                 self.remove_node(id);
             }
         }
     }
 
+    /// Drops expired principal-creation frames: the deque is ascending, so
+    /// this pops the front in O(expired) rather than re-scanning the list.
+    fn expire_principal_frames(node: &mut graph::Node, oldest: FrameId) {
+        while node.principal_frames.front().is_some_and(|&f| f < oldest) {
+            node.principal_frames.pop_front();
+        }
+    }
+
     fn collect_results(&mut self, touched: &[NodeId], oldest: FrameId) {
         // SR_{i'} = SR'_i ∪ SR_{G'}: previously satisfied states are
         // revalidated (by handle — no set hashing), newly touched states are
-        // examined.
-        let mut candidates: Vec<NodeId> =
-            Vec::with_capacity(self.prev_results.len() + touched.len());
+        // examined. Buffers are pooled: `candidates_scratch` is free after
+        // CNPS, and the result set / id list are rebuilt in place.
+        let mut candidates = std::mem::take(&mut self.candidates_scratch);
+        candidates.clear();
         for &sid in &self.prev_results {
             if let Some(id) = self.graph.id_of(sid) {
                 candidates.push(id);
@@ -415,27 +460,26 @@ impl SsgMaintainer {
         }
         candidates.extend_from_slice(touched);
 
-        let mut next = ResultStateSet::new();
-        let mut next_ids: Vec<SetId> = Vec::new();
-        for id in candidates {
+        self.results.clear();
+        self.prev_results.clear();
+        for id in candidates.drain(..) {
             if !self.graph.node(id).alive {
                 continue;
             }
             self.graph.node_mut(id).frames.expire_before(oldest);
             let node = self.graph.node(id);
             if node.frames.has_marked() && self.spec.satisfies_duration(node.frames.len()) {
-                next.insert_with_counts(
+                self.results.insert_with_counts(
                     node.set.clone(),
                     &node.frames,
                     self.interner.cached_counts(node.sid),
                 );
-                next_ids.push(node.sid);
+                self.prev_results.push(node.sid);
             }
         }
-        next_ids.sort_unstable();
-        next_ids.dedup();
-        self.results = next;
-        self.prev_results = next_ids;
+        self.candidates_scratch = candidates;
+        self.prev_results.sort_unstable();
+        self.prev_results.dedup();
     }
 }
 
@@ -456,7 +500,8 @@ impl StateMaintainer for SsgMaintainer {
             self.frames_since_sweep = 0;
         }
 
-        let mut touched: Vec<NodeId> = Vec::new();
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
         let frame_sid = self.interner.intern(objects);
 
         if !frame_sid.is_empty_set()
@@ -478,19 +523,20 @@ impl StateMaintainer for SsgMaintainer {
                 node.frames.expire_before(oldest);
                 node.frames.push(frame, true);
                 node.touched = frame.raw();
-                node.principal_frames.retain(|&f| f >= oldest);
-                node.principal_frames.push(frame);
+                Self::expire_principal_frames(node, oldest);
+                node.principal_frames.push_back(frame);
             }
             touched.push(ns);
 
             // State Traversal from every principal state in arrival order.
             // Traversing the new principal first extends its existing
             // descendants (they are all subsets of the arriving frame).
-            let roots_snapshot: Vec<NodeId> = std::iter::once(ns)
-                .chain(self.roots.iter().copied())
-                .collect();
-            let mut candidates: Vec<NodeId> = Vec::new();
-            for root in roots_snapshot {
+            let mut roots_snapshot = std::mem::take(&mut self.roots_scratch);
+            roots_snapshot.clear();
+            roots_snapshot.push(ns);
+            roots_snapshot.extend_from_slice(&self.roots);
+            self.candidates_scratch.clear();
+            for &root in &roots_snapshot {
                 if !self.graph.node(root).alive {
                     continue;
                 }
@@ -514,17 +560,24 @@ impl StateMaintainer for SsgMaintainer {
                     continue;
                 }
                 if let Some(candidate) = self.graph.id_of(candidate_sid) {
-                    candidates.push(candidate);
-                    let creation_frames = self.graph.node(root).principal_frames.clone();
+                    self.candidates_scratch.push(candidate);
+                    // Copy the creation frames into the pooled scratch (the
+                    // candidate may be the root itself, so the marks cannot
+                    // be applied while borrowing its frame list).
+                    self.marks_scratch.clear();
+                    self.marks_scratch
+                        .extend(self.graph.node(root).principal_frames.iter().copied());
                     let candidate_node = self.graph.node_mut(candidate);
-                    for f in creation_frames {
+                    for &f in &self.marks_scratch {
                         if f >= oldest {
                             candidate_node.frames.mark(f);
                         }
                     }
                 }
             }
-            self.connect_new_principal(ns, candidates);
+            roots_snapshot.clear();
+            self.roots_scratch = roots_snapshot;
+            self.connect_new_principal(ns);
             if !self.roots.contains(&ns) {
                 self.roots.push(ns);
             }
@@ -532,14 +585,11 @@ impl StateMaintainer for SsgMaintainer {
 
         // Drop principal status of roots whose creating frames all expired and
         // prune nodes invalidated by this frame's expiry. Index loop: the
-        // retain only touches graph nodes, never the root list itself.
+        // expiry only touches graph nodes, never the root list itself.
         for index in 0..self.roots.len() {
             let root = self.roots[index];
             if self.graph.node(root).alive {
-                self.graph
-                    .node_mut(root)
-                    .principal_frames
-                    .retain(|&f| f >= oldest);
+                Self::expire_principal_frames(self.graph.node_mut(root), oldest);
             }
         }
         // A node can be pushed several times per frame (visit + state
@@ -551,8 +601,10 @@ impl StateMaintainer for SsgMaintainer {
         self.metrics.edges_added = self.graph.edges_added;
         self.metrics.edges_removed = self.graph.edges_removed;
         self.metrics.observe_live_states(self.graph.len());
-        self.metrics.interned_sets = self.interner.len().saturating_sub(1) as u64;
+        self.metrics.observe_interner(&self.interner);
         self.collect_results(&touched, oldest);
+        touched.clear();
+        self.touched_scratch = touched;
         Ok(())
     }
 
@@ -574,6 +626,18 @@ impl StateMaintainer for SsgMaintainer {
         } else {
             "SSG"
         }
+    }
+
+    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+        if !policy.should_compact(self.graph.len() + 1, self.interner.len()) {
+            return false;
+        }
+        let live = self.graph.live_sids();
+        let table = self.interner.compact(&live);
+        self.remap(&table);
+        self.metrics.compactions += 1;
+        self.metrics.observe_interner(&self.interner);
+        true
     }
 }
 

@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 
 use tvq_common::{FrameId, ObjectSet, SetId, SetInterner, WindowSpec};
-use tvq_core::{MfsMaintainer, NaiveMaintainer, SsgMaintainer, StateMaintainer};
+use tvq_core::{CompactionPolicy, MfsMaintainer, NaiveMaintainer, SsgMaintainer, StateMaintainer};
 use tvq_testkit::assert_all_equivalent;
 
 /// Strategy: a short feed of small object sets (ids < 8) so the reference
@@ -99,6 +99,55 @@ proptest! {
         }
         if sb.is_subset_of(&sa) && sa != sb {
             prop_assert_eq!(miss, ib);
+        }
+    }
+
+    /// Compaction round-trip: a maintainer that compacts + remaps every few
+    /// frames reports exactly the states and results of a fresh maintainer
+    /// replaying the same feed without ever compacting — for all three
+    /// strategies, after every frame.
+    #[test]
+    fn compaction_round_trips_against_a_fresh_replay(
+        raw in feeds(),
+        window in 2usize..6,
+        duration in 1usize..4,
+        cadence in 1usize..4,
+    ) {
+        let duration = duration.min(window);
+        let spec = WindowSpec::new(window, duration).unwrap();
+        let force = CompactionPolicy::every(1);
+        let frames: Vec<ObjectSet> = raw
+            .iter()
+            .map(|ids| ObjectSet::from_raw(ids.iter().copied()))
+            .collect();
+
+        let mut compacting: Vec<Box<dyn StateMaintainer>> = vec![
+            Box::new(NaiveMaintainer::new(spec)),
+            Box::new(MfsMaintainer::new(spec)),
+            Box::new(SsgMaintainer::new(spec)),
+        ];
+        let mut plain: Vec<Box<dyn StateMaintainer>> = vec![
+            Box::new(NaiveMaintainer::new(spec)),
+            Box::new(MfsMaintainer::new(spec)),
+            Box::new(SsgMaintainer::new(spec)),
+        ];
+        for (i, objects) in frames.iter().enumerate() {
+            let fid = FrameId(i as u64);
+            for (a, b) in compacting.iter_mut().zip(plain.iter_mut()) {
+                a.advance(fid, objects).unwrap();
+                if i % cadence == 0 {
+                    a.maybe_compact(&force);
+                }
+                b.advance(fid, objects).unwrap();
+                prop_assert_eq!(
+                    a.results(),
+                    b.results(),
+                    "{} diverged after compaction at frame {}",
+                    a.name(),
+                    i
+                );
+                prop_assert_eq!(a.live_states(), b.live_states());
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use tvq_common::WindowSpec;
-use tvq_core::MaintainerKind;
+use tvq_core::{CompactionPolicy, MaintainerKind};
 
 /// How the engine picks its MCOS-generation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,16 +24,24 @@ pub struct EngineConfig {
     /// Whether to enable the Section 5.3 pruning strategy when the query
     /// workload permits it (all conditions `>=`).
     pub pruning: bool,
+    /// Interner-arena compaction between frames: `Some(policy)` lets the
+    /// engine consult the policy every `policy.check_interval` frames and
+    /// compact the maintainer's arena when live-set occupancy has fallen
+    /// below the policy's ratio; `None` keeps the arena append-only (the
+    /// pre-compaction behaviour — memory then grows with the number of
+    /// distinct object sets ever seen by the feed).
+    pub compaction: Option<CompactionPolicy>,
 }
 
 impl EngineConfig {
-    /// Creates a configuration with the given window, SSG maintenance and
-    /// pruning enabled.
+    /// Creates a configuration with the given window, SSG maintenance,
+    /// pruning enabled and the default compaction policy.
     pub fn new(window: WindowSpec) -> Self {
         EngineConfig {
             window,
             maintainer: MaintainerSelection::Fixed(MaintainerKind::Ssg),
             pruning: true,
+            compaction: Some(CompactionPolicy::default_policy()),
         }
     }
 
@@ -57,6 +65,12 @@ impl EngineConfig {
     /// Enables or disables query-driven pruning.
     pub fn with_pruning(mut self, pruning: bool) -> Self {
         self.pruning = pruning;
+        self
+    }
+
+    /// Sets the interner-compaction policy (`None` disables compaction).
+    pub fn with_compaction(mut self, compaction: Option<CompactionPolicy>) -> Self {
+        self.compaction = compaction;
         self
     }
 }

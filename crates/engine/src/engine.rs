@@ -7,12 +7,11 @@
 //! the registered CNF queries over the resulting Result State Set, producing
 //! [`QueryMatch`]es per frame.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use tvq_common::{
-    ClassId, ClassRegistry, DatasetStats, Error, FrameId, FrameObjects, ObjectId, ObjectSet,
-    Result, SetInterner, VideoRelation,
+    ClassId, ClassRegistry, DatasetStats, Error, FrameId, FrameObjects, FxHashMap, FxHashSet,
+    ObjectId, ObjectSet, Result, SetInterner, VideoRelation,
 };
 use tvq_core::{MaintainerKind, MaintenanceMetrics, SharedPruner, StateMaintainer, StatePruner};
 use tvq_query::{evaluate_result_set, ClassCounts, CnfEvaluator, CnfQuery, QueryMatch};
@@ -39,7 +38,7 @@ impl FrameResult {
 /// Streaming-safe pruner: reads the engine's growing object → class map.
 struct LivePruner {
     evaluator: Arc<CnfEvaluator>,
-    classes: Arc<RwLock<HashMap<ObjectId, ClassId>>>,
+    classes: Arc<RwLock<FxHashMap<ObjectId, ClassId>>>,
 }
 
 impl StatePruner for LivePruner {
@@ -133,11 +132,11 @@ impl EngineBuilder {
                 .map(choose_maintainer)
                 .unwrap_or(MaintainerKind::Ssg),
         };
-        let relevant_classes: HashSet<ClassId> =
+        let relevant_classes: FxHashSet<ClassId> =
             self.queries.iter().flat_map(|q| q.classes()).collect();
         let evaluator = Arc::new(CnfEvaluator::new(self.queries));
-        let classes: Arc<RwLock<HashMap<ObjectId, ClassId>>> =
-            Arc::new(RwLock::new(HashMap::new()));
+        let classes: Arc<RwLock<FxHashMap<ObjectId, ClassId>>> =
+            Arc::new(RwLock::new(FxHashMap::default()));
         // The per-feed interner shares the engine's growing object → class
         // map, so every interned set gets its class counts computed exactly
         // once and the evaluator skips the per-frame histogram rebuild.
@@ -158,6 +157,8 @@ impl EngineBuilder {
             maintainer,
             classes,
             relevant_classes,
+            seen_objects: FxHashSet::default(),
+            frames_since_compaction_check: 0,
         })
     }
 }
@@ -168,8 +169,14 @@ pub struct TemporalVideoQueryEngine {
     registry: ClassRegistry,
     evaluator: Arc<CnfEvaluator>,
     maintainer: Box<dyn StateMaintainer>,
-    classes: Arc<RwLock<HashMap<ObjectId, ClassId>>>,
-    relevant_classes: HashSet<ClassId>,
+    classes: Arc<RwLock<FxHashMap<ObjectId, ClassId>>>,
+    relevant_classes: FxHashSet<ClassId>,
+    /// Objects already recorded in `classes` — lets the per-frame ingestion
+    /// loop skip the shared map's write lock entirely once a frame contains
+    /// no first-time objects (the steady state of a tracked feed).
+    seen_objects: FxHashSet<ObjectId>,
+    /// Frames since the compaction policy was last consulted.
+    frames_since_compaction_check: u64,
 }
 
 impl std::fmt::Debug for TemporalVideoQueryEngine {
@@ -213,26 +220,64 @@ impl TemporalVideoQueryEngine {
         self.maintainer.live_states()
     }
 
+    /// Runs one compaction check (and possibly a compaction epoch) right
+    /// now, regardless of the configured cadence. Returns whether an epoch
+    /// ran. Normally the engine does this between frames per the configured
+    /// [`CompactionPolicy`](tvq_core::CompactionPolicy); this entry point
+    /// exists for deployments that want to compact at their own quiet
+    /// moments (e.g. scene changes) and for tests.
+    pub fn compact_now(&mut self) -> bool {
+        match &self.config.compaction {
+            Some(policy) => self.maintainer.maybe_compact(policy),
+            None => false,
+        }
+    }
+
     /// Processes one frame of detections and returns the query matches of the
     /// window ending at this frame.
     ///
     /// Objects whose class no registered query mentions are dropped before
-    /// they reach MCOS generation, as prescribed in Section 3.
+    /// they reach MCOS generation, as prescribed in Section 3. Between
+    /// frames the engine consults the configured compaction policy (if any)
+    /// every `check_interval` frames and lets the maintainer compact its
+    /// interner arena — semantically invisible, and it bounds the
+    /// maintainer-side state (arena, bitmaps, universe map) on feeds with
+    /// unbounded object turnover. The engine's own object → class map and
+    /// seen-object set still grow with the number of distinct objects ever
+    /// observed (a few tens of bytes per object; see the ROADMAP for the
+    /// epoch-boundary pruning that would cap them too).
     pub fn observe(&mut self, frame: &FrameObjects) -> Result<FrameResult> {
         let mut relevant: Vec<ObjectId> = Vec::with_capacity(frame.classes.len());
-        {
-            // See `LivePruner::should_terminate` for why poisoning is safe to
-            // recover from here.
-            let mut classes = self.classes.write().unwrap_or_else(PoisonError::into_inner);
-            for &(id, class) in &frame.classes {
-                if self.relevant_classes.contains(&class) {
-                    classes.entry(id).or_insert(class);
-                    relevant.push(id);
+        let mut unseen: Vec<(ObjectId, ClassId)> = Vec::new();
+        for &(id, class) in &frame.classes {
+            if self.relevant_classes.contains(&class) {
+                if !self.seen_objects.contains(&id) {
+                    unseen.push((id, class));
                 }
+                relevant.push(id);
+            }
+        }
+        if !unseen.is_empty() {
+            // Only frames introducing first-time objects pay the shared
+            // map's write lock; in steady state the `seen_objects` check
+            // above answers without touching the lock at all. See
+            // `LivePruner::should_terminate` for why poisoning is safe to
+            // recover from.
+            let mut classes = self.classes.write().unwrap_or_else(PoisonError::into_inner);
+            for (id, class) in unseen {
+                classes.entry(id).or_insert(class);
+                self.seen_objects.insert(id);
             }
         }
         let objects = ObjectSet::from_ids(relevant);
         self.maintainer.advance(frame.fid, &objects)?;
+        if let Some(policy) = &self.config.compaction {
+            self.frames_since_compaction_check += 1;
+            if self.frames_since_compaction_check >= policy.check_interval {
+                self.frames_since_compaction_check = 0;
+                self.maintainer.maybe_compact(policy);
+            }
+        }
         let classes = self.classes.read().unwrap_or_else(PoisonError::into_inner);
         let matches = evaluate_result_set(&self.evaluator, self.maintainer.results(), &classes);
         Ok(FrameResult {
@@ -410,7 +455,9 @@ mod tests {
             tvq_query::parse_query("car >= 1", tvq_common::QueryId(0), &mut registry).unwrap();
         let pruner = LivePruner {
             evaluator: Arc::new(CnfEvaluator::new(vec![query])),
-            classes: Arc::new(RwLock::new(HashMap::from([(ObjectId(1), ClassId(1))]))),
+            classes: Arc::new(RwLock::new(
+                [(ObjectId(1), ClassId(1))].into_iter().collect(),
+            )),
         };
         // Poison the lock: a thread panics while holding the write guard.
         let classes = Arc::clone(&pruner.classes);

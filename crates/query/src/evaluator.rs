@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use tvq_common::{ClassId, FrameId, FxHashMap, ObjectSet, QueryId};
+use tvq_common::{ClassId, FrameId, ObjectSet, QueryId};
 use tvq_core::ResultStateSet;
 
 use crate::aggregates::ClassCounts;
@@ -134,12 +134,24 @@ impl CnfEvaluator {
     /// per query. Classes that appear in `<=` or `=` conditions but not in
     /// the input aggregate are treated as count 0.
     pub fn evaluate(&self, counts: &ClassCounts) -> Vec<QueryId> {
-        // satisfied[query] = bitmask of satisfied disjunctions (queries have
-        // few clauses, far fewer than 64, which `add_query` relies on).
-        let mut satisfied: FxHashMap<usize, u64> = FxHashMap::default();
+        // masks[query] = bitmask of satisfied disjunctions (queries have few
+        // clauses, far fewer than 64, which `add_query` relies on). Query
+        // indices are dense, so a per-query slot array replaces the old
+        // hash map — and workloads are small (the paper sweeps up to 50
+        // queries), so the slots live on the stack in the common case: the
+        // per-frame evaluation loop allocates nothing for bookkeeping.
+        const STACK_QUERIES: usize = 64;
+        let num_queries = self.queries.len();
+        let mut stack = [0u64; STACK_QUERIES];
+        let mut heap: Vec<u64>;
+        let masks: &mut [u64] = if num_queries <= STACK_QUERIES {
+            &mut stack[..num_queries]
+        } else {
+            heap = vec![0u64; num_queries];
+            &mut heap
+        };
         let mut record = |posting: &Posting| {
-            let mask = satisfied.entry(posting.query).or_insert(0);
-            *mask |= 1u64 << (posting.disjunction % 64);
+            masks[posting.query] |= 1u64 << (posting.disjunction % 64);
         };
 
         // >= conditions: thresholds up to and including the observed count.
@@ -170,9 +182,12 @@ impl CnfEvaluator {
             }
         }
 
-        let mut result: Vec<QueryId> = satisfied
-            .into_iter()
-            .filter(|&(query, mask)| mask.count_ones() >= self.clause_counts[query].min(64))
+        let mut result: Vec<QueryId> = masks
+            .iter()
+            .enumerate()
+            .filter(|&(query, &mask)| {
+                mask != 0 && mask.count_ones() >= self.clause_counts[query].min(64)
+            })
             .map(|(query, _)| self.queries[query].id)
             .collect();
         result.sort_unstable();
@@ -207,10 +222,10 @@ pub struct QueryMatch {
 /// When a result entry carries class counts cached by the producing
 /// maintainer's interner, those are used directly; otherwise the aggregate
 /// is computed from `classes` on the spot.
-pub fn evaluate_result_set(
+pub fn evaluate_result_set<S: std::hash::BuildHasher>(
     evaluator: &CnfEvaluator,
     results: &ResultStateSet,
-    classes: &HashMap<tvq_common::ObjectId, ClassId>,
+    classes: &HashMap<tvq_common::ObjectId, ClassId, S>,
 ) -> Vec<QueryMatch> {
     let mut matches = Vec::new();
     for (objects, frames, cached) in results.iter_with_counts() {

@@ -18,7 +18,10 @@
 //!   uses;
 //! * a **multi-camera generator** ([`multifeed`]) that synthesises N
 //!   independent feeds tagged with `FeedId`s and interleaves them into the
-//!   round-robin batches the sharded multi-feed engine ingests.
+//!   round-robin batches the sharded multi-feed engine ingests;
+//! * a **long-churn generator** ([`churn`]) that compresses hours of
+//!   unbounded object turnover into a benchmarkable frame budget — the
+//!   workload that exercises the interner's epoch compaction.
 //!
 //! Real detector output can also be ingested from CSV via
 //! [`tvq_common::io`]; everything downstream is agnostic to the source.
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod camera;
+pub mod churn;
 pub mod detector;
 pub mod generator;
 pub mod geometry;
@@ -37,6 +41,7 @@ pub mod scene;
 pub mod tracker;
 
 pub use camera::Camera;
+pub use churn::{long_churn_feed, ChurnProfile};
 pub use detector::{Detection, DetectorConfig, SimulatedDetector};
 pub use generator::{apply_id_reuse, generate, generate_with_id_reuse};
 pub use geometry::{BoundingBox, Point};
