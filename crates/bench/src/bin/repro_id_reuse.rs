@@ -1,0 +1,269 @@
+//! Id-reuse scenario: tracker identifiers recycled across class boundaries,
+//! ingested with epoch retirement off and on (MFS and SSG), plus the
+//! adaptive-versus-fixed intersection-memo comparison on the NAIVE
+//! stable-scene workload.
+//!
+//! Demonstrates the bounded-memory object lifecycle end to end: with
+//! retirement on, the engine-side footprint (shared class store + lifecycle
+//! maps) plateaus at the live window while the append-history baseline
+//! grows with every object generation ever observed — and reuse semantics
+//! stay correct throughout (a recycled id is a new object, never spliced
+//! into an old generation's states).
+//!
+//! Flags: `--quick` for a reduced run, `--json` to also write
+//! `BENCH_id_reuse.json` (per-run timings, the sampled engine-memory
+//! trajectory, the gate inputs and the memo comparison), `--gate` to exit
+//! non-zero unless (a) every retirement-enabled run keeps its peak
+//! engine-side bytes within 2× the ceiling its first retirement epoch
+//! triggered at, across ≥ 50 epochs, (b) every baseline run demonstrably
+//! outgrows its retiring twin, and (c) the adaptive memo's hit rate beats
+//! the fixed 32k baseline on the stable-scene workload.
+
+use tvq_bench::experiments::{self, IdReuseRun, MemoRun};
+use tvq_bench::{emit_json_report, JsonValue, Scale};
+
+fn trajectory_json(run: &IdReuseRun) -> JsonValue {
+    JsonValue::Arr(
+        run.trajectory
+            .iter()
+            .map(|sample| {
+                JsonValue::Obj(vec![
+                    ("frame".into(), JsonValue::Int(sample.frame)),
+                    (
+                        "tracked_objects".into(),
+                        JsonValue::Int(sample.tracked_objects),
+                    ),
+                    (
+                        "class_map_bytes".into(),
+                        JsonValue::Int(sample.class_map_bytes),
+                    ),
+                    (
+                        "lifecycle_bytes".into(),
+                        JsonValue::Int(sample.lifecycle_bytes),
+                    ),
+                    ("compactions".into(), JsonValue::Int(sample.compactions)),
+                    (
+                        "objects_retired".into(),
+                        JsonValue::Int(sample.objects_retired),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn gate_json(run: &IdReuseRun) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("method".into(), JsonValue::Str(run.method.clone())),
+        (
+            "peak_engine_bytes".into(),
+            JsonValue::Int(run.peak_engine_bytes),
+        ),
+        (
+            "peak_tracked_objects".into(),
+            JsonValue::Int(run.peak_tracked_objects),
+        ),
+        (
+            "retirement_epochs".into(),
+            JsonValue::Int(run.metrics.compactions),
+        ),
+        (
+            "generations_started".into(),
+            JsonValue::Int(run.metrics.generations_started),
+        ),
+        (
+            "objects_retired".into(),
+            JsonValue::Int(run.metrics.objects_retired),
+        ),
+        (
+            "engine_bytes_at_first_retirement".into(),
+            match run.engine_bytes_at_first_retirement {
+                Some(bytes) => JsonValue::Int(bytes),
+                None => JsonValue::Null,
+            },
+        ),
+        (
+            "passes_engine_memory_gate".into(),
+            JsonValue::Bool(run.passes_engine_memory_gate()),
+        ),
+    ])
+}
+
+fn memo_json(run: &MemoRun) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("method".into(), JsonValue::Str(run.method.clone())),
+        (
+            "hits".into(),
+            JsonValue::Int(run.metrics.intersection_cache_hits),
+        ),
+        (
+            "misses".into(),
+            JsonValue::Int(run.metrics.intersection_cache_misses),
+        ),
+        (
+            "resizes".into(),
+            JsonValue::Int(run.metrics.intersection_cache_resizes),
+        ),
+        (
+            "slots".into(),
+            JsonValue::Int(run.metrics.intersection_cache_slots),
+        ),
+        ("hit_rate".into(), JsonValue::Num(run.hit_rate())),
+        ("seconds".into(), JsonValue::Num(run.seconds)),
+    ])
+}
+
+/// The baseline half of the gate: each `/off` run must demonstrably outgrow
+/// its retiring `/on` twin (factor 2 — in practice it is far larger and
+/// keeps growing with the feed length).
+fn baseline_outgrows(runs: &[IdReuseRun]) -> Vec<(String, bool)> {
+    let mut checks = Vec::new();
+    for on in runs.iter().filter(|run| run.method.ends_with("/on")) {
+        let base = on.method.trim_end_matches("/on");
+        if let Some(off) = runs.iter().find(|run| run.method == format!("{base}/off")) {
+            checks.push((
+                base.to_owned(),
+                off.peak_engine_bytes >= on.peak_engine_bytes.saturating_mul(2),
+            ));
+        }
+    }
+    checks
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = experiments::id_reuse(scale);
+    let memo = experiments::id_reuse_memo_comparison();
+
+    println!("Id reuse: recycled tracker ids, retirement off vs. on");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10} {:>14} {:>10} {:>12}",
+        "method", "seconds", "frames/sec", "tracked", "engine bytes", "epochs", "generations"
+    );
+    println!("{}", "-".repeat(86));
+    for run in &runs {
+        println!(
+            "{:>10} {:>10.3} {:>12.0} {:>10} {:>14} {:>10} {:>12}",
+            run.method,
+            run.seconds,
+            run.frames as f64 / run.seconds.max(f64::EPSILON),
+            run.peak_tracked_objects,
+            run.peak_engine_bytes,
+            run.metrics.compactions,
+            run.metrics.generations_started,
+        );
+    }
+    println!();
+    println!("Intersection memo on NAIVE/stable (fixed 32k vs. adaptive)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "method", "hits", "misses", "hit rate", "resizes", "slots"
+    );
+    println!("{}", "-".repeat(70));
+    for run in &memo {
+        println!(
+            "{:>10} {:>10} {:>12} {:>11.1}% {:>10} {:>10}",
+            run.method,
+            run.metrics.intersection_cache_hits,
+            run.metrics.intersection_cache_misses,
+            run.hit_rate() * 100.0,
+            run.metrics.intersection_cache_resizes,
+            run.metrics.intersection_cache_slots,
+        );
+    }
+
+    emit_json_report("id_reuse", scale, |report| {
+        let mut report = report.with_maintainers(
+            runs.iter()
+                .map(IdReuseRun::timing)
+                .chain(memo.iter().map(MemoRun::timing))
+                .collect(),
+        );
+        for run in &runs {
+            report = report.with_extra(format!("trajectory/{}", run.method), trajectory_json(run));
+        }
+        report
+            .with_extra(
+                "gate",
+                JsonValue::Arr(
+                    runs.iter()
+                        .filter(|run| run.method.ends_with("/on"))
+                        .map(gate_json)
+                        .collect(),
+                ),
+            )
+            .with_extra(
+                "baseline_outgrows",
+                JsonValue::Arr(
+                    baseline_outgrows(&runs)
+                        .into_iter()
+                        .map(|(method, ok)| {
+                            JsonValue::Obj(vec![
+                                ("method".into(), JsonValue::Str(method)),
+                                ("outgrows".into(), JsonValue::Bool(ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .with_extra("memo", JsonValue::Arr(memo.iter().map(memo_json).collect()))
+    });
+
+    if std::env::args().any(|a| a == "--gate") {
+        let mut failed = false;
+        for run in runs.iter().filter(|run| run.method.ends_with("/on")) {
+            if run.passes_engine_memory_gate() {
+                println!(
+                    "gate OK   {}: peak {}B <= 2 x first-epoch ceiling {:?} over {} epochs",
+                    run.method,
+                    run.peak_engine_bytes,
+                    run.engine_bytes_at_first_retirement,
+                    run.metrics.compactions
+                );
+            } else {
+                eprintln!(
+                    "gate FAIL {}: peak engine bytes {} vs ceiling {:?} over {} epochs",
+                    run.method,
+                    run.peak_engine_bytes,
+                    run.engine_bytes_at_first_retirement,
+                    run.metrics.compactions
+                );
+                failed = true;
+            }
+        }
+        for (method, ok) in baseline_outgrows(&runs) {
+            if ok {
+                println!("gate OK   {method}: append-history baseline outgrows the retiring run");
+            } else {
+                eprintln!("gate FAIL {method}: baseline did not outgrow the retiring run");
+                failed = true;
+            }
+        }
+        let fixed = memo.iter().find(|run| run.method == "fixed32k");
+        let adaptive = memo.iter().find(|run| run.method == "adaptive");
+        match (fixed, adaptive) {
+            (Some(fixed), Some(adaptive)) if adaptive.hit_rate() > fixed.hit_rate() => {
+                println!(
+                    "gate OK   memo: adaptive hit rate {:.1}% > fixed {:.1}%",
+                    adaptive.hit_rate() * 100.0,
+                    fixed.hit_rate() * 100.0
+                );
+            }
+            (Some(fixed), Some(adaptive)) => {
+                eprintln!(
+                    "gate FAIL memo: adaptive hit rate {:.1}% <= fixed {:.1}%",
+                    adaptive.hit_rate() * 100.0,
+                    fixed.hit_rate() * 100.0
+                );
+                failed = true;
+            }
+            _ => {
+                eprintln!("gate FAIL memo: comparison runs missing");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -662,23 +662,36 @@ pub fn long_churn(scale: Scale) -> Vec<ChurnRun> {
     runs
 }
 
+/// Builds the engine every churn/id-reuse/memo run uses: the shared
+/// two-query workload over the 60/40 window, with the run's maintainer,
+/// compaction and memo knobs applied.
+fn build_churn_bench_engine(
+    kind: MaintainerKind,
+    compaction: Option<CompactionPolicy>,
+    memo: Option<tvq_common::MemoConfig>,
+) -> TemporalVideoQueryEngine {
+    let mut config = EngineConfig::new(long_churn_window())
+        .with_maintainer(kind)
+        .with_compaction(compaction);
+    if let Some(memo) = memo {
+        config = config.with_memo(memo);
+    }
+    TemporalVideoQueryEngine::builder(config)
+        .with_query_text("car >= 2 AND person >= 1")
+        .expect("query parses")
+        .with_query_text("car >= 3")
+        .expect("query parses")
+        .build()
+        .expect("engine builds")
+}
+
 fn run_long_churn(
     frames: &[tvq_common::FrameObjects],
     kind: MaintainerKind,
     compaction: Option<CompactionPolicy>,
     method: String,
 ) -> ChurnRun {
-    let mut engine = TemporalVideoQueryEngine::builder(
-        EngineConfig::new(long_churn_window())
-            .with_maintainer(kind)
-            .with_compaction(compaction),
-    )
-    .with_query_text("car >= 2 AND person >= 1")
-    .expect("query parses")
-    .with_query_text("car >= 3")
-    .expect("query parses")
-    .build()
-    .expect("engine builds");
+    let mut engine = build_churn_bench_engine(kind, compaction, None);
 
     let sample_every = (frames.len() as u64 / 100).max(1);
     let mut trajectory = Vec::with_capacity(128);
@@ -694,7 +707,9 @@ fn run_long_churn(
             .expect("frames in order")
             .matches
             .len() as u64;
-        let metrics = engine.metrics();
+        // Borrowed maintainer counters: the per-frame sampling stays free
+        // of the lock + clone the full `metrics()` accessor pays.
+        let metrics = engine.maintainer_metrics();
         peak_arena = peak_arena.max(metrics.arena_bytes);
         peak_interned = peak_interned.max(metrics.interned_sets);
         if first_compaction_ceiling.is_none() && metrics.compactions > 0 {
@@ -718,12 +733,268 @@ fn run_long_churn(
         method,
         seconds,
         frames: frames.len() as u64,
-        metrics: engine.metrics().clone(),
+        metrics: engine.metrics(),
         trajectory,
         peak_arena_bytes: peak_arena,
         peak_interned_sets: peak_interned,
         arena_bytes_at_first_compaction: first_compaction_ceiling,
     }
+}
+
+/// One sampled point of an id-reuse run's engine-side memory trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdReuseSample {
+    /// Frame index the sample was taken after.
+    pub frame: u64,
+    /// Internal ids the engine tracked at that frame.
+    pub tracked_objects: u64,
+    /// Class-store bytes at that frame.
+    pub class_map_bytes: u64,
+    /// Object-lifecycle bytes (bindings, tracking set, aliases).
+    pub lifecycle_bytes: u64,
+    /// Compaction (retirement) epochs run so far.
+    pub compactions: u64,
+    /// Objects retired so far.
+    pub objects_retired: u64,
+}
+
+/// One instrumented id-reuse ingestion run.
+#[derive(Debug, Clone)]
+pub struct IdReuseRun {
+    /// `"<METHOD>/on"` or `"<METHOD>/off"` (retirement enabled/disabled).
+    pub method: String,
+    /// Wall-clock seconds spent in the ingestion loop.
+    pub seconds: f64,
+    /// Frames ingested.
+    pub frames: u64,
+    /// The engine's counters after the run.
+    pub metrics: MaintenanceMetrics,
+    /// Sampled engine-side memory trajectory (~100 evenly spaced points).
+    pub trajectory: Vec<IdReuseSample>,
+    /// Largest `class_map_bytes + lifecycle_bytes` observed at any frame.
+    pub peak_engine_bytes: u64,
+    /// Largest `tracked_objects` observed at any frame.
+    pub peak_tracked_objects: u64,
+    /// Engine-side bytes on the frame the first retirement epoch ran —
+    /// the ceiling the gate bounds the peak against. `None` when the run
+    /// never retired.
+    pub engine_bytes_at_first_retirement: Option<u64>,
+}
+
+impl IdReuseRun {
+    /// Converts the run into a [`MaintainerTiming`] row for the report.
+    pub fn timing(&self) -> MaintainerTiming {
+        MaintainerTiming {
+            method: self.method.clone(),
+            seconds: self.seconds,
+            frames: self.frames,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// The CI gate (see `repro_id_reuse --gate`): with retirement on, the
+    /// engine-side footprint (class store + lifecycle maps) must plateau —
+    /// peak within `2 ×` the first-retirement ceiling — and the run must
+    /// span enough epochs (≥ 50) for the plateau to mean something. Runs
+    /// that never retired fail.
+    pub fn passes_engine_memory_gate(&self) -> bool {
+        match self.engine_bytes_at_first_retirement {
+            Some(first) => {
+                self.metrics.compactions >= 50 && self.peak_engine_bytes <= first.saturating_mul(2)
+            }
+            None => false,
+        }
+    }
+}
+
+/// One memo-policy comparison run (NAIVE on the stable scene).
+#[derive(Debug, Clone)]
+pub struct MemoRun {
+    /// `"fixed32k"` or `"adaptive"`.
+    pub method: String,
+    /// Wall-clock seconds spent in the ingestion loop.
+    pub seconds: f64,
+    /// Frames ingested.
+    pub frames: u64,
+    /// The engine's counters after the run (`intersection_cache_*` are the
+    /// interesting ones).
+    pub metrics: MaintenanceMetrics,
+}
+
+impl MemoRun {
+    /// Memo hit rate over the run (0 when no intersections happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.metrics.intersection_cache_hits + self.metrics.intersection_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.metrics.intersection_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Converts the run into a [`MaintainerTiming`] row for the report.
+    pub fn timing(&self) -> MaintainerTiming {
+        MaintainerTiming {
+            method: format!("NAIVE/stable/{}", self.method),
+            seconds: self.seconds,
+            frames: self.frames,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// The window every id-reuse run uses (matches the long-churn window).
+pub fn id_reuse_window() -> WindowSpec {
+    long_churn_window()
+}
+
+/// The retirement policy the `/on` runs use: checked every 16 frames and
+/// triggered by any meaningful slack, so a quick-scale run still spans the
+/// ≥ 50 epochs the gate demands.
+pub fn id_reuse_policy() -> CompactionPolicy {
+    CompactionPolicy {
+        check_interval: 16,
+        max_live_ratio: 0.9,
+        min_interned: 64,
+    }
+}
+
+/// **Id reuse** — tracker identifiers recycled across class boundaries
+/// (see [`tvq_video::id_reuse`]), ingested end-to-end once with epoch
+/// retirement off (compaction disabled — the append-history baseline whose
+/// class store and lifecycle maps grow with every generation ever seen)
+/// and once with it on, for MFS and SSG. The interesting read-outs are the
+/// `tracked_objects` / engine-bytes trajectory — a plateau with retirement
+/// versus monotone growth without — plus correct reuse semantics at full
+/// speed (generation counts in the metrics).
+pub fn id_reuse(scale: Scale) -> Vec<IdReuseRun> {
+    let frames = match scale {
+        Scale::Paper => 10_000,
+        Scale::Quick => 2_400,
+    };
+    let profile = tvq_video::IdReuseProfile::new(frames);
+    let feed = tvq_video::id_reuse_feed(FeedId(0), &profile);
+    let mut runs = Vec::new();
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        for compaction in [None, Some(id_reuse_policy())] {
+            let label = format!(
+                "{}/{}",
+                kind.name(),
+                if compaction.is_some() { "on" } else { "off" }
+            );
+            runs.push(run_id_reuse(&feed.frames, kind, compaction, label));
+        }
+    }
+    runs
+}
+
+fn run_id_reuse(
+    frames: &[tvq_common::FrameObjects],
+    kind: MaintainerKind,
+    compaction: Option<CompactionPolicy>,
+    method: String,
+) -> IdReuseRun {
+    let mut engine = build_churn_bench_engine(kind, compaction, None);
+
+    let sample_every = (frames.len() as u64 / 100).max(1);
+    let mut trajectory = Vec::with_capacity(128);
+    let mut peak_bytes = 0u64;
+    let mut peak_tracked = 0u64;
+    let mut prev_bytes = 0u64;
+    let mut first_retirement_ceiling = None;
+    let mut matches = 0u64;
+    let start = Instant::now();
+    for (index, frame) in frames.iter().enumerate() {
+        matches += engine
+            .observe(frame)
+            .expect("frames in order")
+            .matches
+            .len() as u64;
+        let metrics = engine.metrics();
+        let engine_bytes = metrics.class_map_bytes + metrics.lifecycle_bytes;
+        peak_bytes = peak_bytes.max(engine_bytes);
+        peak_tracked = peak_tracked.max(metrics.tracked_objects);
+        if first_retirement_ceiling.is_none() && metrics.compactions > 0 {
+            first_retirement_ceiling = Some(prev_bytes.max(engine_bytes));
+        }
+        prev_bytes = engine_bytes;
+        let index = index as u64;
+        if index.is_multiple_of(sample_every) || index + 1 == frames.len() as u64 {
+            trajectory.push(IdReuseSample {
+                frame: frame.fid.raw(),
+                tracked_objects: metrics.tracked_objects,
+                class_map_bytes: metrics.class_map_bytes,
+                lifecycle_bytes: metrics.lifecycle_bytes,
+                compactions: metrics.compactions,
+                objects_retired: metrics.objects_retired,
+            });
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(matches);
+    IdReuseRun {
+        method,
+        seconds,
+        frames: frames.len() as u64,
+        metrics: engine.metrics(),
+        trajectory,
+        peak_engine_bytes: peak_bytes,
+        peak_tracked_objects: peak_tracked,
+        engine_bytes_at_first_retirement: first_retirement_ceiling,
+    }
+}
+
+/// **Memo adaptivity** — NAIVE over the stable scene (the workload whose
+/// live state count dwarfs any fixed memo): the pre-adaptive fixed
+/// 32k-slot cache versus the adaptive policy. The gate demands the
+/// adaptive run's hit rate beat the fixed baseline's.
+///
+/// The gated quantities (hits, misses, slot counts) are deterministic —
+/// identical on every run — but the reported seconds are wall-clock, so
+/// the two variants run as **three interleaved A/B pairs** on one core and
+/// each reports its best round (never comparing timings taken minutes
+/// apart).
+pub fn id_reuse_memo_comparison() -> Vec<MemoRun> {
+    const ROUNDS: usize = 3;
+    let feed = &stable_scene(1, 600)[0];
+    let variants = [
+        ("fixed32k", tvq_common::MemoConfig::fixed(15)),
+        ("adaptive", tvq_common::MemoConfig::adaptive()),
+    ];
+    let mut best: Vec<Option<MemoRun>> = vec![None, None];
+    for _ in 0..ROUNDS {
+        for (index, &(label, memo)) in variants.iter().enumerate() {
+            let mut engine = build_churn_bench_engine(
+                MaintainerKind::Naive,
+                Some(CompactionPolicy::default_policy()),
+                Some(memo),
+            );
+            let mut matches = 0u64;
+            let start = Instant::now();
+            for frame in &feed.frames {
+                matches += engine
+                    .observe(frame)
+                    .expect("frames in order")
+                    .matches
+                    .len() as u64;
+            }
+            let seconds = start.elapsed().as_secs_f64();
+            std::hint::black_box(matches);
+            let run = MemoRun {
+                method: label.to_owned(),
+                seconds,
+                frames: feed.frames.len() as u64,
+                metrics: engine.metrics(),
+            };
+            match &mut best[index] {
+                Some(incumbent) if incumbent.seconds <= run.seconds => {}
+                slot => *slot = Some(run),
+            }
+        }
+    }
+    best.into_iter()
+        .map(|run| run.expect("rounds ran"))
+        .collect()
 }
 
 /// Convenience wrapper: [`multi_feed_batches`] + [`run_multi_feed_prepared`].

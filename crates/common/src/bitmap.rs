@@ -200,6 +200,12 @@ impl UniverseMap {
         self.slots.get(&id).copied()
     }
 
+    /// Iterates over every object currently holding a bit slot (arbitrary
+    /// order — callers needing determinism must sort).
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.slots.keys().copied()
+    }
+
     /// Approximate bytes held by the map.
     pub fn bytes(&self) -> usize {
         self.slots.capacity() * std::mem::size_of::<(ObjectId, u32, u64)>()

@@ -23,18 +23,22 @@
 //!   [`intersect`](SetInterner::intersect) counts the overlap the same way —
 //!   allocation-free; a sorted `ObjectSet` is only materialised when the
 //!   result is a genuinely new set;
-//! * **memoizes intersections** — a fixed-size, direct-mapped cache of
+//! * **memoizes intersections** — a direct-mapped cache of
 //!   `(SetId, SetId) → SetId` entries, normalised so the commutative pair
 //!   shares one slot. Sliding windows re-present the same set pairs frame
 //!   after frame, and the SSG cascade re-requests the same `parent ∩ frame`
-//!   pair within one frame; a recency cache catches both at O(1) cost and
-//!   fixed memory;
+//!   pair within one frame; a recency cache catches both at O(1) cost. The
+//!   cache is **adaptively sized** ([`MemoConfig`]): it grows by doubling
+//!   when the sampled miss rate shows the live pair working set has outgrown
+//!   it (NAIVE on stable scenes holds far more states than any fixed size),
+//!   and steps back down at compaction epochs;
 //! * **caches class counts** — when constructed with a class source
 //!   ([`SetInterner::with_classes`]), a [`ClassCounts`] aggregate is computed
-//!   once per set, at intern time, and shared as an `Arc`. Object classes
-//!   never change once observed (the engine's map only grows with
-//!   first-writer-wins inserts), so counts computed at intern time stay
-//!   correct for the lifetime of the set.
+//!   once per set, at intern time, and shared as an `Arc`. A live class
+//!   entry never changes (the [`ClassStore`](crate::ClassStore) is
+//!   first-writer-wins, and identifier reuse mints fresh internal ids), so
+//!   counts computed at intern time stay correct for the lifetime of the
+//!   set.
 //!
 //! Within one epoch the arena and the memo are **append-only**: interning is
 //! cheap and ids stay stable, at the cost of memory that grows with the
@@ -46,12 +50,13 @@
 //! downstream structure can re-key itself. The engine triggers compaction
 //! between frames when live-set occupancy falls below a configured ratio.
 
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError};
 
 use crate::aggregates::ClassCounts;
 use crate::bitmap::{BitmapArena, UniverseMap};
+use crate::class_store::SharedClassMap;
 use crate::hash::FxHashMap;
-use crate::ids::{ClassId, ObjectId};
+use crate::ids::ObjectId;
 use crate::object_set::ObjectSet;
 
 /// Dense handle of an interned [`ObjectSet`].
@@ -86,23 +91,23 @@ impl SetId {
     }
 }
 
-/// Shared object → class map, the interner's optional class source. This is
-/// the same map the engine grows while ingesting frames; entries are
-/// immutable once inserted. Keyed with the deterministic [`FxHashMap`]: the
-/// engine touches it once per detection per frame, so hashing cost is on
-/// the ingestion hot path.
-pub type SharedClassMap = Arc<RwLock<FxHashMap<ObjectId, ClassId>>>;
-
 /// The `old SetId → new SetId` translation produced by one compaction epoch.
 ///
 /// Handles the caller declared live are mapped to their new, denser ids;
 /// every other handle of the previous epoch maps to `None` (the set was
 /// dropped from the arena and must be re-interned if it ever reappears).
+///
+/// The table also carries the epoch's **retire set**: the objects whose bit
+/// slots were re-densified away because no surviving set contains them.
+/// Upstream layers use it to drop those identifiers from their own
+/// per-object state (seen-object sets, class-store references), which is
+/// what bounds the *engine-side* memory to the live window.
 #[derive(Debug, Clone)]
 pub struct RemapTable {
     map: Vec<Option<SetId>>,
     epoch: u64,
     live: usize,
+    retired_objects: Vec<ObjectId>,
 }
 
 impl RemapTable {
@@ -127,15 +132,98 @@ impl RemapTable {
     pub fn retired(&self) -> usize {
         self.map.len() - self.live
     }
+
+    /// The objects retired by this epoch (no surviving set contains them),
+    /// in ascending identifier order.
+    pub fn retired_objects(&self) -> &[ObjectId] {
+        &self.retired_objects
+    }
+
+    /// Takes ownership of the retire set (see
+    /// [`retired_objects`](Self::retired_objects)), leaving it empty.
+    pub fn take_retired_objects(&mut self) -> Vec<ObjectId> {
+        std::mem::take(&mut self.retired_objects)
+    }
 }
 
-/// log2 of the direct-mapped intersection-cache size.
-const MEMO_SLOT_BITS: u32 = 15;
+/// Sizing and adaptation parameters of the intersection memo.
+///
+/// The memo is a direct-mapped `(SetId, SetId) → SetId` cache. A fixed size
+/// is a bet on the live pair working set: NAIVE on a stable scene holds far
+/// more states than the original 32k slots and thrashed (~2.2M misses to
+/// 0.4M hits over 600 frames). The adaptive policy sizes the cache to the
+/// workload instead: every [`sample_window`](Self::sample_window) probes the
+/// miss rate of the window is compared against
+/// [`grow_miss_rate`](Self::grow_miss_rate); one doubling per window, up to
+/// [`max_bits`](Self::max_bits). Compaction epochs shrink one step back
+/// toward [`initial_bits`](Self::initial_bits) (the memo is dropped there
+/// anyway — its entries reference retired handles).
+///
+/// Resizing is semantically invisible: the memo only caches results
+/// `intersect` would recompute identically, and the adaptation inputs
+/// (probe/miss counts) are deterministic for deterministic feeds, so two
+/// identical runs resize at identical probes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoConfig {
+    /// log2 of the slot count the memo starts at (and shrinks back toward).
+    pub initial_bits: u32,
+    /// log2 of the largest slot count the memo may grow to.
+    pub max_bits: u32,
+    /// Probes per adaptation window.
+    pub sample_window: u32,
+    /// Grow when `window misses / window probes` exceeds this.
+    pub grow_miss_rate: f64,
+}
 
-/// Number of slots in the direct-mapped intersection cache (power of two).
-/// 32768 slots × 12 bytes ≈ 384 KiB per interner — sized for the working
-/// set of pairs a sliding window keeps live.
-const MEMO_SLOTS: usize = 1 << MEMO_SLOT_BITS;
+impl MemoConfig {
+    /// The adaptive default: start at 4096 slots (48 KiB), grow by doubling
+    /// up to 2^20 slots (12 MiB) when a 4096-probe window misses more than
+    /// half the time.
+    pub const fn adaptive() -> Self {
+        MemoConfig {
+            initial_bits: 12,
+            max_bits: 20,
+            sample_window: 4096,
+            grow_miss_rate: 0.5,
+        }
+    }
+
+    /// A fixed-size memo of `2^bits` slots (never grows, never shrinks).
+    /// `fixed(15)` reproduces the pre-adaptive 32k-slot cache and serves as
+    /// the baseline the `repro_id_reuse` bench compares against.
+    pub const fn fixed(bits: u32) -> Self {
+        MemoConfig {
+            initial_bits: bits,
+            max_bits: bits,
+            sample_window: u32::MAX,
+            grow_miss_rate: 2.0,
+        }
+    }
+
+    /// Smallest slot-count exponent the memo supports (2 slots — below
+    /// that the slot arithmetic degenerates).
+    const MIN_BITS: u32 = 1;
+    /// Largest slot-count exponent the memo supports (2^30 slots ≈ 12 GiB;
+    /// a deliberate configurability cap, far above any sane setting).
+    const MAX_BITS: u32 = 30;
+
+    /// Clamps a requested exponent into the policy's (validated) range;
+    /// out-of-range `initial_bits`/`max_bits` are themselves clamped to
+    /// [`MIN_BITS`](Self::MIN_BITS)..=[`MAX_BITS`](Self::MAX_BITS) first,
+    /// so a nonsensical config (0 bits, 99 bits) degrades gracefully
+    /// instead of panicking on shift overflow.
+    fn clamped_bits(&self, bits: u32) -> u32 {
+        let hi = self.max_bits.clamp(Self::MIN_BITS, Self::MAX_BITS);
+        let lo = self.initial_bits.clamp(Self::MIN_BITS, hi);
+        bits.clamp(lo, hi)
+    }
+}
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        MemoConfig::adaptive()
+    }
+}
 
 /// Sentinel for an unused memo slot (`a == b` pairs never reach the cache).
 const MEMO_FREE: (SetId, SetId) = (SetId::EMPTY, SetId::EMPTY);
@@ -158,9 +246,17 @@ pub struct SetInterner {
     /// Direct-mapped intersection cache: `(a, b, a ∩ b)` keyed by the
     /// normalised (smaller, larger) pair; collisions overwrite. Allocated
     /// lazily on the first intersection, cleared by compaction (its entries
-    /// reference retired handles).
+    /// reference retired handles). Sized adaptively per `memo_config`.
     memo: Vec<(SetId, SetId, SetId)>,
-    /// The growing object → class map, when class counts are wanted.
+    /// Adaptation parameters of the memo (see [`MemoConfig`]).
+    memo_config: MemoConfig,
+    /// log2 of the current memo slot count (0 until first allocation).
+    memo_bits: u32,
+    /// Probes and misses of the current adaptation window.
+    memo_window_probes: u32,
+    memo_window_misses: u32,
+    memo_resizes: u64,
+    /// The shared class store, when class counts are wanted.
     classes: Option<SharedClassMap>,
     memo_hits: u64,
     memo_misses: u64,
@@ -201,6 +297,25 @@ impl SetInterner {
         self.classes.is_some()
     }
 
+    /// Sets the intersection-memo sizing policy. Must be called before the
+    /// first intersection (the engine applies its configured policy at build
+    /// time); changing the policy after the memo exists re-bases it at the
+    /// new initial size on the next allocation.
+    pub fn with_memo_config(mut self, config: MemoConfig) -> Self {
+        self.memo_config = config;
+        self.memo_bits = 0;
+        self.memo = Vec::new();
+        self.memo_entries = 0;
+        self.memo_window_probes = 0;
+        self.memo_window_misses = 0;
+        self
+    }
+
+    /// The memo sizing policy in effect.
+    pub fn memo_config(&self) -> MemoConfig {
+        self.memo_config
+    }
+
     /// Number of distinct sets interned (including the empty set).
     pub fn len(&self) -> usize {
         self.sets.len()
@@ -236,6 +351,18 @@ impl SetInterner {
     /// kernel (lifetime, survives compaction).
     pub fn memo_misses(&self) -> u64 {
         self.memo_misses
+    }
+
+    /// Current number of memo slots (0 until the first intersection
+    /// allocates the cache).
+    pub fn memo_slots(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// How many times the memo was resized (adaptive grows plus compaction
+    /// shrinks; lifetime counter).
+    pub fn memo_resizes(&self) -> u64 {
+        self.memo_resizes
     }
 
     /// Approximate bytes held by the arena: the interned slices plus the
@@ -278,12 +405,12 @@ impl SetInterner {
         debug_assert!(self.sets.len() < u32::MAX as usize, "interner arena full");
         let id = SetId(self.sets.len() as u32);
         let counts = match &self.classes {
-            // The map only grows with immutable entries, so a poisoned lock
-            // still holds usable data; recover instead of cascading panics
-            // (same reasoning as the engine's LivePruner).
+            // Live store entries are immutable, so a poisoned lock still
+            // holds usable data; recover instead of cascading panics (same
+            // reasoning as the engine's LivePruner).
             Some(lock) => {
-                let classes = lock.read().unwrap_or_else(PoisonError::into_inner);
-                Arc::new(ClassCounts::of(&set, &classes))
+                let store = lock.read().unwrap_or_else(PoisonError::into_inner);
+                Arc::new(ClassCounts::of(&set, store.classes()))
             }
             None => Arc::new(ClassCounts::new()),
         };
@@ -375,18 +502,21 @@ impl SetInterner {
         }
         let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         if self.memo.is_empty() {
-            self.memo = vec![(MEMO_FREE.0, MEMO_FREE.1, SetId::EMPTY); MEMO_SLOTS];
+            if self.memo_bits == 0 {
+                self.memo_bits = self.memo_config.clamped_bits(self.memo_config.initial_bits);
+            }
+            self.memo = vec![(MEMO_FREE.0, MEMO_FREE.1, SetId::EMPTY); 1usize << self.memo_bits];
         }
-        // Multiply-fold the pair into a slot index (same constant as
-        // FxHasher; the high bits carry the mix).
-        let mix = ((u64::from(lo.0) << 32) | u64::from(hi.0)).wrapping_mul(crate::hash::K);
-        let slot = (mix >> (64 - MEMO_SLOT_BITS)) as usize;
+        let slot = Self::memo_slot(lo, hi, self.memo_bits);
         let entry = self.memo[slot];
+        self.memo_window_probes += 1;
         if (entry.0, entry.1) == (lo, hi) {
             self.memo_hits += 1;
+            self.maybe_adapt_memo();
             return entry.2;
         }
         self.memo_misses += 1;
+        self.memo_window_misses += 1;
         let overlap = self.bitmaps.and_count(a.index(), b.index());
         let id = if overlap == 0 {
             SetId::EMPTY
@@ -402,7 +532,56 @@ impl SetInterner {
             self.memo_entries += 1;
         }
         self.memo[slot] = (lo, hi, id);
+        self.maybe_adapt_memo();
         id
+    }
+
+    /// Multiply-folds a normalised pair into a slot index (same constant as
+    /// FxHasher; the high bits carry the mix).
+    #[inline]
+    fn memo_slot(lo: SetId, hi: SetId, bits: u32) -> usize {
+        let mix = ((u64::from(lo.0) << 32) | u64::from(hi.0)).wrapping_mul(crate::hash::K);
+        (mix >> (64 - bits)) as usize
+    }
+
+    /// Closes an adaptation window when due: grows the memo one doubling
+    /// when the window's miss rate exceeded the configured threshold.
+    fn maybe_adapt_memo(&mut self) {
+        if self.memo_window_probes < self.memo_config.sample_window {
+            return;
+        }
+        let miss_rate =
+            f64::from(self.memo_window_misses) / f64::from(self.memo_window_probes.max(1));
+        self.memo_window_probes = 0;
+        self.memo_window_misses = 0;
+        if miss_rate > self.memo_config.grow_miss_rate && self.memo_bits < self.memo_config.max_bits
+        {
+            self.resize_memo(self.memo_bits + 1);
+        }
+    }
+
+    /// Rehashes the memo into `2^new_bits` slots, carrying surviving
+    /// entries over. Semantically invisible: only cached answers move.
+    fn resize_memo(&mut self, new_bits: u32) {
+        let new_bits = self.memo_config.clamped_bits(new_bits);
+        if new_bits == self.memo_bits || self.memo.is_empty() {
+            return;
+        }
+        let old = std::mem::take(&mut self.memo);
+        self.memo_bits = new_bits;
+        self.memo = vec![(MEMO_FREE.0, MEMO_FREE.1, SetId::EMPTY); 1usize << new_bits];
+        self.memo_entries = 0;
+        for (lo, hi, result) in old {
+            if (lo, hi) == MEMO_FREE {
+                continue;
+            }
+            let slot = Self::memo_slot(lo, hi, new_bits);
+            if (self.memo[slot].0, self.memo[slot].1) == MEMO_FREE {
+                self.memo_entries += 1;
+            }
+            self.memo[slot] = (lo, hi, result);
+        }
+        self.memo_resizes += 1;
     }
 
     /// Starts a new compaction epoch: rebuilds the arena, content index,
@@ -433,6 +612,10 @@ impl SetInterner {
         let old_len = self.sets.len();
         let mut map: Vec<Option<SetId>> = vec![None; old_len];
         map[SetId::EMPTY.index()] = Some(SetId::EMPTY);
+
+        // Snapshot the outgoing universe so the retire set (objects no
+        // surviving set contains) can be reported to the engine layer.
+        let mut retired_objects: Vec<ObjectId> = self.universe.object_ids().collect();
 
         let mut sets = Vec::with_capacity(keep.len() + 1);
         let mut counts = Vec::with_capacity(keep.len() + 1);
@@ -470,15 +653,29 @@ impl SetInterner {
         self.counts = counts;
         self.by_set = by_set;
         // The memo references retired handles; drop it wholesale (it refills
-        // within a window's worth of frames).
+        // within a window's worth of frames) and step its size back toward
+        // the configured base — the live pair working set usually shrank
+        // with the arena, and a hot workload re-grows within a few windows.
         self.memo = Vec::new();
         self.memo_entries = 0;
+        self.memo_window_probes = 0;
+        self.memo_window_misses = 0;
+        if self.memo_bits > self.memo_config.clamped_bits(self.memo_config.initial_bits) {
+            self.memo_bits -= 1;
+            self.memo_resizes += 1;
+        }
         self.epoch += 1;
+
+        // Objects still holding a bit slot in the rebuilt universe were not
+        // retired; everything else was re-densified away.
+        retired_objects.retain(|&id| self.universe.get(id).is_none());
+        retired_objects.sort_unstable();
 
         RemapTable {
             live: self.sets.len(),
             map,
             epoch: self.epoch,
+            retired_objects,
         }
     }
 }
@@ -486,6 +683,9 @@ impl SetInterner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::class_store::ClassStore;
+    use crate::ids::ClassId;
+    use std::sync::RwLock;
 
     fn set(ids: &[u32]) -> ObjectSet {
         ObjectSet::from_raw(ids.iter().copied())
@@ -585,15 +785,11 @@ mod tests {
 
     #[test]
     fn class_counts_are_cached_at_intern_time() {
-        let classes: SharedClassMap = Arc::new(RwLock::new(
-            [
-                (ObjectId(1), ClassId(0)),
-                (ObjectId(2), ClassId(1)),
-                (ObjectId(3), ClassId(1)),
-            ]
-            .into_iter()
-            .collect(),
-        ));
+        let classes: SharedClassMap = Arc::new(RwLock::new(ClassStore::preloaded([
+            (ObjectId(1), ClassId(0)),
+            (ObjectId(2), ClassId(1)),
+            (ObjectId(3), ClassId(1)),
+        ])));
         let mut interner = SetInterner::with_classes(Arc::clone(&classes));
         assert!(interner.has_class_source());
         let id = interner.intern(&set(&[1, 2, 3]));
@@ -615,9 +811,10 @@ mod tests {
 
     #[test]
     fn counts_survive_a_poisoned_class_map() {
-        let classes: SharedClassMap = Arc::new(RwLock::new(
-            [(ObjectId(1), ClassId(2))].into_iter().collect(),
-        ));
+        let classes: SharedClassMap = Arc::new(RwLock::new(ClassStore::preloaded([(
+            ObjectId(1),
+            ClassId(2),
+        )])));
         let poison = Arc::clone(&classes);
         let _ = std::thread::spawn(move || {
             let _guard = poison.write().unwrap();
@@ -629,6 +826,92 @@ mod tests {
         let id = interner.intern(&set(&[1]));
         let counts = interner.cached_counts(id).unwrap();
         assert_eq!(counts.count(ClassId(2)), 1);
+    }
+
+    #[test]
+    fn adaptive_memo_grows_on_sustained_misses_and_shrinks_at_compaction() {
+        let mut interner = SetInterner::new().with_memo_config(MemoConfig {
+            initial_bits: 2,
+            max_bits: 4,
+            sample_window: 8,
+            grow_miss_rate: 0.5,
+        });
+        // Far more distinct pairs than 4 slots: every window is miss-heavy.
+        let ids: Vec<SetId> = (0..12u32)
+            .map(|i| interner.intern(&set(&[i, i + 1, i + 2])))
+            .collect();
+        for _ in 0..4 {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    let inter = interner.intersect(a, b);
+                    // The memo (at any size) must answer like the merge.
+                    let expected = interner.resolve(a).intersect(interner.resolve(b));
+                    assert_eq!(interner.resolve(inter), &expected);
+                }
+            }
+        }
+        assert!(interner.memo_resizes() >= 2, "memo should have grown");
+        assert_eq!(interner.memo_slots(), 16, "capped at max_bits");
+        let resizes_before = interner.memo_resizes();
+        let table = interner.compact(&ids);
+        assert_eq!(
+            interner.memo_resizes(),
+            resizes_before + 1,
+            "compaction shrinks one step"
+        );
+        assert_eq!(interner.memo_slots(), 0, "memo dropped until next use");
+        // Post-shrink answers still match the merge for surviving handles.
+        let a = table.remap(ids[0]).unwrap();
+        let b = table.remap(ids[1]).unwrap();
+        let inter = interner.intersect(a, b);
+        assert_eq!(interner.resolve(inter), &set(&[1, 2]));
+        assert_eq!(interner.memo_slots(), 8, "re-allocated one step smaller");
+    }
+
+    #[test]
+    fn degenerate_memo_configs_are_clamped_not_panicking() {
+        // 0 bits would shift by 64 without the clamp.
+        let mut interner = SetInterner::new().with_memo_config(MemoConfig::fixed(0));
+        let a = interner.intern(&set(&[1, 2, 3]));
+        let b = interner.intern(&set(&[2, 3, 4]));
+        let ab = interner.intersect(a, b);
+        assert_eq!(interner.resolve(ab), &set(&[2, 3]));
+        assert_eq!(interner.memo_slots(), 2, "floored at one bit");
+        // Inverted ranges (initial above max) degrade gracefully too; the
+        // same clamp bounds absurd exponents (e.g. 99) to MAX_BITS, which
+        // would otherwise overflow `1usize << bits`.
+        let mut interner = SetInterner::new().with_memo_config(MemoConfig {
+            initial_bits: 10,
+            max_bits: 2,
+            sample_window: 4,
+            grow_miss_rate: 0.0,
+        });
+        let a = interner.intern(&set(&[1]));
+        let b = interner.intern(&set(&[1, 2]));
+        assert_eq!(interner.intersect(a, b), a);
+        assert_eq!(interner.memo_slots(), 4, "initial clamped down to max");
+    }
+
+    #[test]
+    fn fixed_memo_never_resizes() {
+        let mut interner = SetInterner::new().with_memo_config(MemoConfig::fixed(3));
+        let ids: Vec<SetId> = (0..10u32)
+            .map(|i| interner.intern(&set(&[i, i + 1])))
+            .collect();
+        for _ in 0..3 {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    interner.intersect(a, b);
+                }
+            }
+        }
+        assert_eq!(interner.memo_resizes(), 0);
+        assert_eq!(interner.memo_slots(), 8);
+        assert_eq!(
+            interner.memo_config(),
+            MemoConfig::fixed(3),
+            "config round-trips"
+        );
     }
 
     #[test]
@@ -672,11 +955,10 @@ mod tests {
 
     #[test]
     fn compaction_preserves_relative_order_and_counts() {
-        let classes: SharedClassMap = Arc::new(RwLock::new(
-            [(ObjectId(1), ClassId(0)), (ObjectId(2), ClassId(1))]
-                .into_iter()
-                .collect(),
-        ));
+        let classes: SharedClassMap = Arc::new(RwLock::new(ClassStore::preloaded([
+            (ObjectId(1), ClassId(0)),
+            (ObjectId(2), ClassId(1)),
+        ])));
         let mut interner = SetInterner::with_classes(Arc::clone(&classes));
         let a = interner.intern(&set(&[1]));
         let b = interner.intern(&set(&[2]));
@@ -789,6 +1071,46 @@ mod proptests {
                     );
                     let inter = interner.intersect(a, b);
                     prop_assert_eq!(interner.resolve(inter), &sa.intersect(sb));
+                }
+            }
+        }
+
+        /// A tiny adaptive memo — forced through grow transitions by its
+        /// 8-probe window and through shrink transitions by interleaved
+        /// compactions — answers every intersection exactly like the
+        /// linear-merge oracle. Resizing is semantically invisible.
+        #[test]
+        fn adaptive_memo_agrees_with_the_merge_across_resizes(
+            raw in wide_sets(),
+            compact_mask in 0u32..256,
+        ) {
+            let sets = widen(&raw);
+            let mut interner = SetInterner::new().with_memo_config(MemoConfig {
+                initial_bits: 1,
+                max_bits: 5,
+                sample_window: 8,
+                grow_miss_rate: 0.25,
+            });
+            let mut ids: Vec<SetId> = sets.iter().map(|s| interner.intern(s)).collect();
+            for round in 0..3u32 {
+                for (i, &a) in ids.iter().enumerate() {
+                    for (j, &b) in ids.iter().enumerate() {
+                        let inter = interner.intersect(a, b);
+                        prop_assert_eq!(
+                            interner.resolve(inter),
+                            &sets[i].intersect(&sets[j]),
+                            "pair ({}, {}) in round {} (slots {})",
+                            i, j, round, interner.memo_slots()
+                        );
+                    }
+                }
+                if compact_mask & (1 << round) != 0 {
+                    // Shrink transition: compact keeping everything live,
+                    // then re-translate the handles.
+                    let table = interner.compact(&ids);
+                    for id in &mut ids {
+                        *id = table.remap(*id).expect("all sets stay live");
+                    }
                 }
             }
         }

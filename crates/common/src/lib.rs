@@ -7,6 +7,9 @@
 //!   [`QueryId`]) — see [`ids`];
 //! * the class-label registry mapping human-readable labels such as `"car"`
 //!   to dense [`ClassId`]s — see [`class`];
+//! * [`ClassStore`], the reference-counted object → class store shared by an
+//!   engine, its interner and its pruner (and, optionally, across multi-feed
+//!   shards), with epoch-boundary eviction — see [`class_store`];
 //! * [`ObjectSet`], the sorted, deduplicated object-identifier set used for
 //!   every co-occurrence computation — see [`object_set`];
 //! * [`SetInterner`] and [`SetId`], the per-feed object-set arena that turns
@@ -40,6 +43,7 @@
 pub mod aggregates;
 pub mod bitmap;
 pub mod class;
+pub mod class_store;
 pub mod error;
 pub mod frame_set;
 pub mod hash;
@@ -54,11 +58,12 @@ pub mod window;
 pub use aggregates::ClassCounts;
 pub use bitmap::{BitmapArena, UniverseMap};
 pub use class::{ClassLabel, ClassRegistry};
+pub use class_store::{shared_class_store, ClassStore, SharedClassMap};
 pub use error::{Error, Result};
 pub use frame_set::MarkedFrameSet;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ClassId, FeedId, FrameId, ObjectId, QueryId, TrackId};
-pub use interner::{RemapTable, SetId, SetInterner, SharedClassMap};
+pub use interner::{MemoConfig, RemapTable, SetId, SetInterner};
 pub use object_set::ObjectSet;
 pub use relation::{FrameObjects, ObjectRecord, VideoRelation};
 pub use stats::DatasetStats;

@@ -20,6 +20,27 @@
 //! are identical — and deterministic: identical runs compact at identical
 //! frames into identical arenas.
 
+/// What one compaction epoch did, reported upward by
+/// [`StateMaintainer::maybe_compact`](crate::StateMaintainer::maybe_compact).
+///
+/// The interesting payload is the **retire set**: the object identifiers
+/// that no surviving interned set contains any more. The engine layer feeds
+/// it to its [`ObjectLifecycle`](crate::ObjectLifecycle) so the shared class
+/// store drops its references and the per-engine tracking maps forget the
+/// identifiers — the step that makes the *engine-side* footprint (not just
+/// the maintainer arena) a function of the live window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// The epoch the interner transitioned into.
+    pub epoch: u64,
+    /// Number of interned sets retired by the epoch.
+    pub retired_sets: usize,
+    /// Objects whose bit slots were re-densified away (ascending order).
+    /// An identifier in this list is referenced by no live state; if it
+    /// ever reappears in the feed it is, by contract, a **new object**.
+    pub retired_objects: Vec<tvq_common::ObjectId>,
+}
+
 /// When to compact a maintainer's interner arena.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompactionPolicy {

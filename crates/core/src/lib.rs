@@ -50,6 +50,7 @@
 #![deny(missing_docs)]
 
 pub mod compaction;
+pub mod lifecycle;
 pub mod maintainer;
 pub mod metrics;
 pub mod mfs;
@@ -60,7 +61,8 @@ pub mod result_set;
 pub mod ssg;
 pub mod state;
 
-pub use compaction::CompactionPolicy;
+pub use compaction::{CompactionOutcome, CompactionPolicy};
+pub use lifecycle::{LiveBinding, ObjectLifecycle};
 pub use maintainer::{MaintainerKind, StateMaintainer};
 pub use metrics::MaintenanceMetrics;
 pub use mfs::MfsMaintainer;

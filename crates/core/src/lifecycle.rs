@@ -1,0 +1,468 @@
+//! Tracker-id lifecycle: generations, aliasing and epoch retirement.
+//!
+//! Object trackers *reuse* identifiers: when a track ends, its id eventually
+//! returns for a different physical object — possibly of a different class.
+//! Fed naively into MCOS generation this is a correctness hazard twice over:
+//!
+//! 1. **splicing** — a window state containing old-generation object `o5`
+//!    would have frames of the *new* `o5` appended to its frame set, fusing
+//!    two unrelated physical objects into one co-occurrence history;
+//! 2. **stale classes** — the class recorded at first sight would keep being
+//!    used for counts and pruning verdicts after the id was recycled into a
+//!    different class.
+//!
+//! [`ObjectLifecycle`] makes reuse well-defined. It sits between the feed's
+//! *external* (tracker) identifiers and the *internal* identifiers every
+//! downstream structure (interner universe, states, class store) operates
+//! on, maintaining the invariant that **an internal identifier denotes one
+//! object generation with one immutable class, forever**:
+//!
+//! * the first sighting of an external id binds it to itself (`internal ==
+//!   external`) — the common case costs one map lookup and no translation;
+//! * an external id that reappears **with a different class** while its old
+//!   binding may still be referenced is a new object: it is bound to a
+//!   fresh *alias* internal id (allocated from the top of the id space
+//!   downward), so no live state can absorb the newcomer's frames;
+//! * at compaction epoch boundaries the maintainer reports its **retire
+//!   set** — internal ids no surviving state references. The lifecycle
+//!   releases their class-store references, forgets their bindings and
+//!   aliases, and thereby keeps every per-object map bounded by the live
+//!   window. A retired id that reappears (same or different class) starts a
+//!   **new generation**: it re-binds, re-registers its class and is
+//!   re-judged by the pruner — never trusted from stale state;
+//! * a reappearance with the *same* class while the binding is still live is
+//!   indistinguishable from an occlusion the tracker bridged, and is — by
+//!   contract — the same object. This mirrors the tracker guarantee the
+//!   paper assumes and is the documented limit of reuse detection.
+//!
+//! Every binding carries a monotonically increasing **generation** number
+//! (unique per engine, never reused) so tests, metrics and downstream
+//! consumers can observe reuse explicitly.
+
+use std::sync::PoisonError;
+
+use tvq_common::{ClassId, FxHashMap, FxHashSet, ObjectId, SharedClassMap};
+
+/// The current binding of one external (tracker) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveBinding {
+    /// The internal identifier downstream structures see.
+    pub internal: ObjectId,
+    /// The class this engine observed for the binding (matches the shared
+    /// store except under cross-feed id collisions, which shared stores
+    /// document as unsupported).
+    pub class: ClassId,
+    /// The binding's generation (engine-wide monotone counter).
+    pub generation: u64,
+}
+
+/// Generation-aware external → internal identifier resolution with
+/// epoch-boundary retirement. See the [module docs](self).
+#[derive(Debug)]
+pub struct ObjectLifecycle {
+    store: SharedClassMap,
+    /// External id → its current binding (the per-frame fast path).
+    live: FxHashMap<ObjectId, LiveBinding>,
+    /// Internal ids currently holding one class-store reference each.
+    registered: FxHashSet<ObjectId>,
+    /// Alias internal id → the external id it stands for (only reuse
+    /// generations appear here; first generations bind to themselves).
+    /// Alias values are minted by the class store so sharers never
+    /// collide; this map only records *this* engine's aliases.
+    aliases: FxHashMap<ObjectId, ObjectId>,
+    next_generation: u64,
+    retired_total: u64,
+    /// Deferred slow-path detections of the frame being resolved.
+    pending: Vec<(ObjectId, ClassId)>,
+}
+
+impl ObjectLifecycle {
+    /// Creates a lifecycle around a (possibly shared) class store.
+    pub fn new(store: SharedClassMap) -> Self {
+        ObjectLifecycle {
+            store,
+            live: FxHashMap::default(),
+            registered: FxHashSet::default(),
+            aliases: FxHashMap::default(),
+            next_generation: 0,
+            retired_total: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The shared class store this lifecycle registers into.
+    pub fn store(&self) -> &SharedClassMap {
+        &self.store
+    }
+
+    /// Resolves one frame of `(external id, class)` detections into internal
+    /// identifiers, appending them to `out` (order follows the detections;
+    /// callers building an `ObjectSet` sort anyway). Detections whose class
+    /// is not in `relevant` are skipped before any state is touched.
+    ///
+    /// The steady state — every relevant detection already bound with a
+    /// matching class — never takes the store's write lock; only frames
+    /// introducing new bindings (first sights, reuse, post-retirement
+    /// reappearances) pay it, once.
+    pub fn resolve_frame(
+        &mut self,
+        detections: &[(ObjectId, ClassId)],
+        relevant: &FxHashSet<ClassId>,
+        out: &mut Vec<ObjectId>,
+    ) {
+        debug_assert!(self.pending.is_empty());
+        for &(external, class) in detections {
+            if !relevant.contains(&class) {
+                continue;
+            }
+            match self.live.get(&external) {
+                Some(binding) if binding.class == class => out.push(binding.internal),
+                _ => self.pending.push((external, class)),
+            }
+        }
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        {
+            // Entries are immutable while referenced, so a poisoned lock
+            // still holds usable data (same reasoning as the LivePruner).
+            let mut store = self.store.write().unwrap_or_else(PoisonError::into_inner);
+            for (external, class) in pending.drain(..) {
+                // Re-check: an identifier duplicated within one frame was
+                // bound by its own earlier slow-path visit.
+                if let Some(binding) = self.live.get(&external) {
+                    if binding.class == class {
+                        out.push(binding.internal);
+                        continue;
+                    }
+                }
+                debug_assert!(
+                    external.raw() < store.alias_floor(),
+                    "external id {external} collides with the alias range"
+                );
+                // The old binding (if any) keeps its store reference until
+                // the interner retires it; the newcomer gets an internal id
+                // nothing live can reference: the external id itself when
+                // neither this engine nor any store sharer holds it under
+                // a different class, a store-minted alias otherwise (the
+                // store owns the sequence, so two engines sharing it can
+                // never mint the same alias for different objects). The
+                // sharer check matters after *local* retirement: another
+                // shard's live entry for this id is exactly as untouchable
+                // as a local one — inheriting its class would evaluate the
+                // newcomer under the wrong class.
+                let taken = self.registered.contains(&external)
+                    || store.class_of(external).is_some_and(|held| held != class);
+                let internal = if taken {
+                    let alias = store.mint_alias();
+                    self.aliases.insert(alias, external);
+                    alias
+                } else {
+                    external
+                };
+                let actual = store.register(internal, class);
+                debug_assert_eq!(actual, class, "fresh registrations are first writers");
+                self.registered.insert(internal);
+                let generation = self.next_generation;
+                self.next_generation += 1;
+                self.live.insert(
+                    external,
+                    LiveBinding {
+                        internal,
+                        class,
+                        generation,
+                    },
+                );
+                out.push(internal);
+            }
+        }
+        self.pending = pending;
+    }
+
+    /// Applies a compaction epoch's retire set: every listed internal id
+    /// releases its class-store reference and its binding/alias entries.
+    /// Ids this lifecycle never registered are skipped (robustness).
+    pub fn retire(&mut self, retired: &[ObjectId]) {
+        if retired.is_empty() {
+            return;
+        }
+        let mut store = self.store.write().unwrap_or_else(PoisonError::into_inner);
+        for &internal in retired {
+            if !self.registered.remove(&internal) {
+                continue;
+            }
+            store.release(internal);
+            let external = self.aliases.remove(&internal).unwrap_or(internal);
+            if self
+                .live
+                .get(&external)
+                .is_some_and(|binding| binding.internal == internal)
+            {
+                self.live.remove(&external);
+            }
+            self.retired_total += 1;
+        }
+    }
+
+    /// Translates an internal identifier back to the external (tracker)
+    /// identifier it stands for. Identity for non-alias ids.
+    #[inline]
+    pub fn external_of(&self, internal: ObjectId) -> ObjectId {
+        if self.aliases.is_empty() {
+            return internal;
+        }
+        self.aliases.get(&internal).copied().unwrap_or(internal)
+    }
+
+    /// Whether any live binding uses an alias internal id (i.e. whether
+    /// result translation can be skipped).
+    pub fn has_aliases(&self) -> bool {
+        !self.aliases.is_empty()
+    }
+
+    /// The current binding of an external identifier, if live.
+    pub fn binding_of(&self, external: ObjectId) -> Option<LiveBinding> {
+        self.live.get(&external).copied()
+    }
+
+    /// Internal ids currently tracked (each holds one store reference).
+    pub fn tracked_objects(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Internal ids retired so far (lifetime counter).
+    pub fn retired_total(&self) -> u64 {
+        self.retired_total
+    }
+
+    /// Generations started so far (first sights plus detected reuses).
+    pub fn generations_started(&self) -> u64 {
+        self.next_generation
+    }
+
+    /// Approximate bytes held by the lifecycle's maps.
+    pub fn bytes(&self) -> usize {
+        self.live.capacity() * std::mem::size_of::<(ObjectId, LiveBinding, u64)>()
+            + self.registered.capacity() * std::mem::size_of::<(ObjectId, u64)>()
+            + self.aliases.capacity() * std::mem::size_of::<(ObjectId, ObjectId, u64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, RwLock};
+    use tvq_common::ClassStore;
+
+    fn lifecycle() -> ObjectLifecycle {
+        ObjectLifecycle::new(Arc::new(RwLock::new(ClassStore::new())))
+    }
+
+    fn relevant(classes: &[u16]) -> FxHashSet<ClassId> {
+        classes.iter().map(|&c| ClassId(c)).collect()
+    }
+
+    fn resolve(lc: &mut ObjectLifecycle, detections: &[(u32, u16)]) -> Vec<ObjectId> {
+        let detections: Vec<(ObjectId, ClassId)> = detections
+            .iter()
+            .map(|&(id, c)| (ObjectId(id), ClassId(c)))
+            .collect();
+        let mut out = Vec::new();
+        lc.resolve_frame(&detections, &relevant(&[0, 1]), &mut out);
+        out
+    }
+
+    #[test]
+    fn first_generation_binds_to_itself() {
+        let mut lc = lifecycle();
+        assert_eq!(
+            resolve(&mut lc, &[(5, 1), (7, 0)]),
+            vec![ObjectId(5), ObjectId(7)]
+        );
+        assert_eq!(lc.tracked_objects(), 2);
+        assert_eq!(lc.generations_started(), 2);
+        assert!(!lc.has_aliases());
+        // Steady state: same ids, same classes — no new generations.
+        assert_eq!(
+            resolve(&mut lc, &[(5, 1), (7, 0)]),
+            vec![ObjectId(5), ObjectId(7)]
+        );
+        assert_eq!(lc.generations_started(), 2);
+        let store = lc.store().read().unwrap();
+        assert_eq!(store.class_of(ObjectId(5)), Some(ClassId(1)));
+        assert_eq!(store.ref_count(ObjectId(5)), 1);
+    }
+
+    #[test]
+    fn irrelevant_classes_are_skipped() {
+        let mut lc = lifecycle();
+        let detections = vec![(ObjectId(1), ClassId(9))];
+        let mut out = Vec::new();
+        lc.resolve_frame(&detections, &relevant(&[0, 1]), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(lc.tracked_objects(), 0);
+    }
+
+    #[test]
+    fn class_change_mints_an_alias_and_a_new_generation() {
+        let mut lc = lifecycle();
+        assert_eq!(resolve(&mut lc, &[(5, 1)]), vec![ObjectId(5)]);
+        // Tracker reuses id 5 for a person: a new object behind a fresh
+        // internal id, while the old registration stays until retirement.
+        let reuse = resolve(&mut lc, &[(5, 0)]);
+        assert_eq!(reuse.len(), 1);
+        let alias = reuse[0];
+        assert_ne!(alias, ObjectId(5));
+        assert!(lc.has_aliases());
+        assert_eq!(lc.external_of(alias), ObjectId(5));
+        assert_eq!(lc.tracked_objects(), 2, "old + new generation");
+        assert_eq!(lc.generations_started(), 2);
+        assert_eq!(lc.binding_of(ObjectId(5)).unwrap().internal, alias);
+        assert_eq!(lc.binding_of(ObjectId(5)).unwrap().class, ClassId(0));
+        let store = lc.store().read().unwrap();
+        assert_eq!(
+            store.class_of(ObjectId(5)),
+            Some(ClassId(1)),
+            "old class intact"
+        );
+        assert_eq!(store.class_of(alias), Some(ClassId(0)));
+        // Stable: the alias binding answers the fast path from now on.
+        drop(store);
+        assert_eq!(resolve(&mut lc, &[(5, 0)]), vec![alias]);
+        assert_eq!(lc.generations_started(), 2);
+    }
+
+    #[test]
+    fn retirement_unbinds_and_releases() {
+        let mut lc = lifecycle();
+        resolve(&mut lc, &[(5, 1)]);
+        lc.retire(&[ObjectId(5)]);
+        assert_eq!(lc.tracked_objects(), 0);
+        assert_eq!(lc.retired_total(), 1);
+        assert!(lc.binding_of(ObjectId(5)).is_none());
+        assert!(lc.store().read().unwrap().is_empty());
+        // Reappearance after retirement: a new generation, rebound to the
+        // (now unreferenced) external id — even with a different class.
+        assert_eq!(resolve(&mut lc, &[(5, 0)]), vec![ObjectId(5)]);
+        assert_eq!(lc.generations_started(), 2);
+        assert_eq!(
+            lc.store().read().unwrap().class_of(ObjectId(5)),
+            Some(ClassId(0)),
+            "fresh class re-resolved, not the stale one"
+        );
+    }
+
+    #[test]
+    fn retiring_an_alias_keeps_the_original_binding_rules() {
+        let mut lc = lifecycle();
+        resolve(&mut lc, &[(5, 1)]); // gen 0: internal 5
+        let alias = resolve(&mut lc, &[(5, 0)])[0]; // gen 1: alias
+                                                    // The alias generation retires; internal 5 is still registered.
+        lc.retire(&[alias]);
+        assert!(!lc.has_aliases());
+        assert!(lc.binding_of(ObjectId(5)).is_none());
+        // Id 5 reappears as a car again: internal 5 is *still referenced*
+        // (the gen-0 registration lives), so a fresh alias is minted rather
+        // than splicing into gen 0.
+        let again = resolve(&mut lc, &[(5, 1)]);
+        assert_ne!(again[0], ObjectId(5));
+        assert_ne!(again[0], alias, "alias ids are never reused");
+        // Once gen 0 retires too, the external id is free to re-bind.
+        lc.retire(&[ObjectId(5), again[0]]);
+        assert_eq!(resolve(&mut lc, &[(5, 1)]), vec![ObjectId(5)]);
+    }
+
+    #[test]
+    fn retire_ignores_foreign_ids_and_empty_sets() {
+        let mut lc = lifecycle();
+        resolve(&mut lc, &[(1, 0)]);
+        lc.retire(&[]);
+        lc.retire(&[ObjectId(99)]);
+        assert_eq!(lc.retired_total(), 0);
+        assert_eq!(lc.tracked_objects(), 1);
+        assert!(lc.bytes() > 0);
+    }
+
+    #[test]
+    fn aliases_are_unique_across_lifecycles_sharing_a_store() {
+        // Two engines share one store (and a coherent global id space).
+        // Each detects a class-change reuse on a *different* object; the
+        // minted aliases must differ, or the first-writer-wins store would
+        // cross-pollute classes between the feeds.
+        let store: SharedClassMap = Arc::new(RwLock::new(ClassStore::new()));
+        let mut a = ObjectLifecycle::new(Arc::clone(&store));
+        let mut b = ObjectLifecycle::new(Arc::clone(&store));
+        let mut out = Vec::new();
+        a.resolve_frame(&[(ObjectId(1), ClassId(1))], &relevant(&[0, 1]), &mut out);
+        b.resolve_frame(&[(ObjectId(2), ClassId(0))], &relevant(&[0, 1]), &mut out);
+        out.clear();
+        a.resolve_frame(&[(ObjectId(1), ClassId(0))], &relevant(&[0, 1]), &mut out);
+        b.resolve_frame(&[(ObjectId(2), ClassId(1))], &relevant(&[0, 1]), &mut out);
+        let (alias_a, alias_b) = (out[0], out[1]);
+        assert_ne!(alias_a, alias_b, "store-minted aliases never collide");
+        let store = store.read().unwrap();
+        assert_eq!(store.class_of(alias_a), Some(ClassId(0)));
+        assert_eq!(store.class_of(alias_b), Some(ClassId(1)));
+    }
+
+    #[test]
+    fn cross_shard_recycle_with_conflicting_class_mints_an_alias() {
+        // Feeds A and B share the store and both track global id 5 as a
+        // car. A's epoch retires it locally; B's reference keeps the entry
+        // live. When the tracker recycles id 5 as a person on A, A must
+        // not rebind to the external id — B's live car entry is exactly as
+        // untouchable as a local registration.
+        let store: SharedClassMap = Arc::new(RwLock::new(ClassStore::new()));
+        let mut a = ObjectLifecycle::new(Arc::clone(&store));
+        let mut b = ObjectLifecycle::new(Arc::clone(&store));
+        let mut out = Vec::new();
+        a.resolve_frame(&[(ObjectId(5), ClassId(1))], &relevant(&[0, 1]), &mut out);
+        b.resolve_frame(&[(ObjectId(5), ClassId(1))], &relevant(&[0, 1]), &mut out);
+        a.retire(&[ObjectId(5)]);
+        assert_eq!(
+            store.read().unwrap().class_of(ObjectId(5)),
+            Some(ClassId(1))
+        );
+
+        out.clear();
+        a.resolve_frame(&[(ObjectId(5), ClassId(0))], &relevant(&[0, 1]), &mut out);
+        let internal = out[0];
+        assert_ne!(internal, ObjectId(5), "must not inherit B's live entry");
+        assert_eq!(a.external_of(internal), ObjectId(5));
+        let guard = store.read().unwrap();
+        assert_eq!(guard.class_of(internal), Some(ClassId(0)));
+        assert_eq!(guard.class_of(ObjectId(5)), Some(ClassId(1)), "B untouched");
+    }
+
+    #[test]
+    fn mint_alias_skips_live_identifiers() {
+        let mut store = ClassStore::new();
+        // A stray external registered at the very top of the id space must
+        // not be handed out again as an alias.
+        store.register(ObjectId(u32::MAX), ClassId(0));
+        let minted = store.mint_alias();
+        assert_ne!(minted, ObjectId(u32::MAX));
+        assert!(minted.raw() < u32::MAX);
+    }
+
+    #[test]
+    fn shared_store_survives_one_engines_retirement() {
+        let store: SharedClassMap = Arc::new(RwLock::new(ClassStore::new()));
+        let mut a = ObjectLifecycle::new(Arc::clone(&store));
+        let mut b = ObjectLifecycle::new(Arc::clone(&store));
+        let detections = vec![(ObjectId(3), ClassId(1))];
+        let mut out = Vec::new();
+        a.resolve_frame(&detections, &relevant(&[1]), &mut out);
+        b.resolve_frame(&detections, &relevant(&[1]), &mut out);
+        assert_eq!(store.read().unwrap().ref_count(ObjectId(3)), 2);
+        a.retire(&[ObjectId(3)]);
+        assert_eq!(
+            store.read().unwrap().class_of(ObjectId(3)),
+            Some(ClassId(1)),
+            "b's reference keeps the entry alive"
+        );
+        b.retire(&[ObjectId(3)]);
+        assert!(store.read().unwrap().is_empty());
+    }
+}

@@ -8,7 +8,7 @@
 
 use tvq_common::{Error, FrameId, ObjectSet, Result, SetInterner, WindowSpec};
 
-use crate::compaction::CompactionPolicy;
+use crate::compaction::{CompactionOutcome, CompactionPolicy};
 use crate::metrics::MaintenanceMetrics;
 use crate::mfs::MfsMaintainer;
 use crate::naive::NaiveMaintainer;
@@ -43,14 +43,17 @@ pub trait StateMaintainer {
     /// frames. Implementations count their live handles, consult the
     /// policy, and — when it agrees — run a compaction epoch
     /// ([`SetInterner::compact`]) and re-key every handle-keyed structure
-    /// through the remap table. Returns whether an epoch ran.
+    /// through the remap table. Returns the epoch's
+    /// [`CompactionOutcome`] (carrying the retired-object set the engine
+    /// layer propagates to its object lifecycle) when an epoch ran, `None`
+    /// otherwise.
     ///
     /// Compaction is semantically invisible: results and states are
     /// identical with or without it. The default does nothing (the
     /// brute-force reference oracle holds no handles).
-    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Option<CompactionOutcome> {
         let _ = policy;
-        false
+        None
     }
 }
 

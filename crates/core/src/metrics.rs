@@ -51,6 +51,28 @@ pub struct MaintenanceMetrics {
     pub intersection_cache_hits: u64,
     /// Intersections that missed the memo and ran the word-parallel kernel.
     pub intersection_cache_misses: u64,
+    /// Memo resizes (adaptive grows plus compaction shrinks) so far.
+    pub intersection_cache_resizes: u64,
+    /// Current memo slot count. A gauge, sampled after each frame.
+    pub intersection_cache_slots: u64,
+    /// Object identifiers the engine currently tracks (holds class-store
+    /// references for). A gauge; bounded by the live window on retiring
+    /// configurations, monotone otherwise.
+    pub tracked_objects: u64,
+    /// Approximate bytes held by the shared class store. A gauge — when
+    /// several feeds share one store, each feed reports the whole store, so
+    /// merged totals over-count (documented in [`merge`](Self::merge)).
+    pub class_map_bytes: u64,
+    /// Approximate bytes held by the engine's object-lifecycle maps
+    /// (tracking set, live bindings, aliases). A gauge.
+    pub lifecycle_bytes: u64,
+    /// Objects retired at compaction epoch boundaries so far (dropped from
+    /// the engine's tracking maps and released from the class store).
+    pub objects_retired: u64,
+    /// Object generations started: every first sight of an identifier and
+    /// every detected reuse (class change, or reappearance after
+    /// retirement) starts one.
+    pub generations_started: u64,
 }
 
 impl MaintenanceMetrics {
@@ -73,6 +95,8 @@ impl MaintenanceMetrics {
         self.bitmap_bytes = interner.bitmap_bytes() as u64;
         self.intersection_cache_hits = interner.memo_hits();
         self.intersection_cache_misses = interner.memo_misses();
+        self.intersection_cache_resizes = interner.memo_resizes();
+        self.intersection_cache_slots = interner.memo_slots() as u64;
     }
 
     /// Accumulates `other`'s counters into `self`.
@@ -119,6 +143,13 @@ impl MaintenanceMetrics {
         self.compactions += other.compactions;
         self.intersection_cache_hits += other.intersection_cache_hits;
         self.intersection_cache_misses += other.intersection_cache_misses;
+        self.intersection_cache_resizes += other.intersection_cache_resizes;
+        self.intersection_cache_slots += other.intersection_cache_slots;
+        self.tracked_objects += other.tracked_objects;
+        self.class_map_bytes += other.class_map_bytes;
+        self.lifecycle_bytes += other.lifecycle_bytes;
+        self.objects_retired += other.objects_retired;
+        self.generations_started += other.generations_started;
     }
 
     /// Folds an iterator of metrics into one aggregate via [`merge`](Self::merge).
@@ -144,7 +175,7 @@ impl fmt::Display for MaintenanceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m",
+            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m/{}r@{} tracked={} classmap={}B lifecycle={}B retired={} generations={}",
             self.frames_processed,
             self.states_created,
             self.states_pruned,
@@ -159,7 +190,14 @@ impl fmt::Display for MaintenanceMetrics {
             self.bitmap_bytes,
             self.compactions,
             self.intersection_cache_hits,
-            self.intersection_cache_misses
+            self.intersection_cache_misses,
+            self.intersection_cache_resizes,
+            self.intersection_cache_slots,
+            self.tracked_objects,
+            self.class_map_bytes,
+            self.lifecycle_bytes,
+            self.objects_retired,
+            self.generations_started
         )
     }
 }
@@ -204,6 +242,13 @@ mod tests {
         a.compactions = 14;
         a.intersection_cache_hits = 15;
         a.intersection_cache_misses = 16;
+        a.intersection_cache_resizes = 17;
+        a.intersection_cache_slots = 18;
+        a.tracked_objects = 19;
+        a.class_map_bytes = 20;
+        a.lifecycle_bytes = 21;
+        a.objects_retired = 22;
+        a.generations_started = 23;
         let mut b = a.clone();
         b.merge(&a);
         let doubled = MaintenanceMetrics::merged([&a, &a]);
@@ -224,6 +269,13 @@ mod tests {
         assert_eq!(doubled.compactions, 28);
         assert_eq!(doubled.intersection_cache_hits, 30);
         assert_eq!(doubled.intersection_cache_misses, 32);
+        assert_eq!(doubled.intersection_cache_resizes, 34);
+        assert_eq!(doubled.intersection_cache_slots, 36);
+        assert_eq!(doubled.tracked_objects, 38);
+        assert_eq!(doubled.class_map_bytes, 40);
+        assert_eq!(doubled.lifecycle_bytes, 42);
+        assert_eq!(doubled.objects_retired, 44);
+        assert_eq!(doubled.generations_started, 46);
     }
 
     #[test]
@@ -253,6 +305,9 @@ mod tests {
         assert!(text.contains("created=7"));
         assert!(text.contains("peak=0"));
         assert!(text.contains("compactions=0"));
-        assert!(text.contains("cache=0h/0m"));
+        assert!(text.contains("cache=0h/0m/0r@0"));
+        assert!(text.contains("tracked=0"));
+        assert!(text.contains("retired=0"));
+        assert!(text.contains("generations=0"));
     }
 }

@@ -27,7 +27,7 @@ use tvq_common::{
     WindowSpec,
 };
 
-use crate::compaction::CompactionPolicy;
+use crate::compaction::{CompactionOutcome, CompactionPolicy};
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::prune::{PrunerVerdictCache, SharedPruner};
@@ -320,16 +320,20 @@ impl StateMaintainer for MfsMaintainer {
         }
     }
 
-    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Option<CompactionOutcome> {
         if !policy.should_compact(self.states.len() + 1, self.interner.len()) {
-            return false;
+            return None;
         }
         let live: Vec<SetId> = self.states.keys().copied().collect();
-        let table = self.interner.compact(&live);
+        let mut table = self.interner.compact(&live);
         self.remap(&table);
         self.metrics.compactions += 1;
         self.metrics.observe_interner(&self.interner);
-        true
+        Some(CompactionOutcome {
+            epoch: table.epoch(),
+            retired_sets: table.retired(),
+            retired_objects: table.take_retired_objects(),
+        })
     }
 }
 

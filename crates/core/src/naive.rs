@@ -37,7 +37,7 @@ use tvq_common::{
     WindowSpec,
 };
 
-use crate::compaction::CompactionPolicy;
+use crate::compaction::{CompactionOutcome, CompactionPolicy};
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::result_set::ResultStateSet;
@@ -513,16 +513,20 @@ impl StateMaintainer for NaiveMaintainer {
         "NAIVE"
     }
 
-    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Option<CompactionOutcome> {
         if !policy.should_compact(self.states.len() + 1, self.interner.len()) {
-            return false;
+            return None;
         }
         let live: Vec<SetId> = self.states.keys().copied().collect();
-        let table = self.interner.compact(&live);
+        let mut table = self.interner.compact(&live);
         self.remap(&table);
         self.metrics.compactions += 1;
         self.metrics.observe_interner(&self.interner);
-        true
+        Some(CompactionOutcome {
+            epoch: table.epoch(),
+            retired_sets: table.retired(),
+            retired_objects: table.take_retired_objects(),
+        })
     }
 }
 
@@ -754,7 +758,14 @@ mod tests {
             m.advance(FrameId(i), &set(&[base, base + 1])).unwrap();
         }
         let arena_before = m.interner.len();
-        assert!(m.maybe_compact(&CompactionPolicy::every(1)));
+        let outcome = m
+            .maybe_compact(&CompactionPolicy::every(1))
+            .expect("sparse arena compacts");
+        assert!(outcome.retired_sets > 0);
+        assert!(
+            !outcome.retired_objects.is_empty(),
+            "rotated-away objects are reported retired"
+        );
         assert!(m.interner.len() < arena_before);
         m.check_group_invariants();
         assert_eq!(m.metrics().compactions, 1);

@@ -40,9 +40,17 @@ pub trait StatePruner {
 /// maintainers.
 ///
 /// Both polarities are cached: a set's class counts are fixed at intern
-/// time (the engine's object → class map is first-writer-wins), so a
-/// pruner's verdict for a given handle is stable and each set is judged at
-/// most once.
+/// time, so a pruner's verdict for a given handle is stable and each set is
+/// judged at most once. The stability argument leans on the object
+/// lifecycle's invariant that **an internal object id's class is immutable
+/// for its lifetime**: tracker-id reuse with a different class mints a
+/// fresh internal id (so the reused id lands in *different* sets with
+/// *different* handles), and a post-retirement reappearance re-interns its
+/// sets under fresh handles whose counts are re-aggregated from the
+/// re-resolved class — in both cases [`judge`](Self::judge) runs afresh
+/// instead of trusting a verdict formed under the stale class. The
+/// [`remap`](Self::remap) step closes the loop by dropping verdicts for
+/// retired handles at every compaction epoch.
 #[derive(Debug, Default)]
 pub struct PrunerVerdictCache {
     terminated: tvq_common::FxHashSet<tvq_common::SetId>,

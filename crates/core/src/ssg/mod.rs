@@ -46,7 +46,7 @@ use tvq_common::{
     FrameId, FxHashSet, ObjectSet, RemapTable, Result, SetId, SetInterner, WindowSpec,
 };
 
-use crate::compaction::CompactionPolicy;
+use crate::compaction::{CompactionOutcome, CompactionPolicy};
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::prune::{PrunerVerdictCache, SharedPruner};
@@ -628,16 +628,20 @@ impl StateMaintainer for SsgMaintainer {
         }
     }
 
-    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> bool {
+    fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Option<CompactionOutcome> {
         if !policy.should_compact(self.graph.len() + 1, self.interner.len()) {
-            return false;
+            return None;
         }
         let live = self.graph.live_sids();
-        let table = self.interner.compact(&live);
+        let mut table = self.interner.compact(&live);
         self.remap(&table);
         self.metrics.compactions += 1;
         self.metrics.observe_interner(&self.interner);
-        true
+        Some(CompactionOutcome {
+            epoch: table.epoch(),
+            retired_sets: table.retired(),
+            retired_objects: table.take_retired_objects(),
+        })
     }
 }
 

@@ -1,0 +1,246 @@
+//! Differential suite for tracker-id reuse.
+//!
+//! Trackers recycle identifiers; the object lifecycle
+//! ([`tvq_core::ObjectLifecycle`]) makes that well-defined: a reused id
+//! (same id, different class — or any reappearance after epoch retirement)
+//! is a **new object** behind a fresh internal id, so no maintainer ever
+//! splices a reused id into an old generation's frame sets. Two properties
+//! pin the semantics down on random feeds with aggressive recycling:
+//!
+//! 1. **generation-aware oracle** — the lifecycle-resolved stream, run
+//!    through all three production maintainers, must report exactly the
+//!    results of the brute-force reference oracle fed a ground-truth
+//!    relabeling (one unique id per `(tracker id, class run)`), once both
+//!    sides are translated back to tracker ids;
+//! 2. **retirement invisibility** — forcing a compaction (and the retire
+//!    propagation) every frame never changes the translated results: epoch
+//!    retirement only relabels fresh generations, it cannot create or
+//!    destroy co-occurrence structure.
+
+use proptest::prelude::*;
+
+use tvq_common::{
+    shared_class_store, ClassId, FrameId, FxHashMap, FxHashSet, ObjectId, ObjectSet, WindowSpec,
+};
+use tvq_core::{CompactionPolicy, MaintainerKind, ObjectLifecycle, StateMaintainer};
+
+/// A recycling-heavy feed: ids from a pool of 5, each observation with one
+/// of 2 classes, so the same id routinely returns with a different class.
+fn recycling_feeds() -> impl Strategy<Value = Vec<Vec<(u32, u16)>>> {
+    proptest::collection::vec(proptest::collection::vec((0u32..5, 0u16..2), 0..4), 1..22)
+}
+
+/// Deduplicates detections per frame by tracker id (first wins): one frame
+/// never reports the same tracker id twice.
+fn dedup(frame: &[(u32, u16)]) -> Vec<(ObjectId, ClassId)> {
+    let mut seen = FxHashSet::default();
+    frame
+        .iter()
+        .filter(|&&(id, _)| seen.insert(id))
+        .map(|&(id, class)| (ObjectId(id), ClassId(class)))
+        .collect()
+}
+
+/// The ground-truth relabeling: every `(tracker id, class run)` is one
+/// unique object. Matches the lifecycle contract for feeds without
+/// retirement: same id + same class = same object, class change = new one.
+#[derive(Default)]
+struct GroundTruth {
+    bindings: FxHashMap<ObjectId, (ClassId, ObjectId)>,
+    externals: FxHashMap<ObjectId, ObjectId>,
+    next: u32,
+}
+
+impl GroundTruth {
+    fn resolve(&mut self, external: ObjectId, class: ClassId) -> ObjectId {
+        match self.bindings.get(&external) {
+            Some(&(bound, unique)) if bound == class => unique,
+            _ => {
+                let unique = ObjectId(self.next);
+                self.next += 1;
+                self.bindings.insert(external, (class, unique));
+                self.externals.insert(unique, external);
+                unique
+            }
+        }
+    }
+
+    fn external_of(&self, unique: ObjectId) -> ObjectId {
+        self.externals[&unique]
+    }
+}
+
+/// A maintainer's results translated back to tracker ids, canonicalised.
+fn translated_results(
+    maintainer: &dyn StateMaintainer,
+    translate: &dyn Fn(ObjectId) -> ObjectId,
+) -> Vec<(Vec<ObjectId>, Vec<FrameId>)> {
+    let mut results: Vec<(Vec<ObjectId>, Vec<FrameId>)> = maintainer
+        .results()
+        .iter()
+        .map(|(set, frames)| {
+            let mut ids: Vec<ObjectId> = set.iter().map(translate).collect();
+            ids.sort_unstable();
+            (ids, frames.to_vec())
+        })
+        .collect();
+    results.sort();
+    results
+}
+
+fn relevant() -> FxHashSet<ClassId> {
+    [ClassId(0), ClassId(1)].into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1: all three maintainers on the lifecycle-resolved stream
+    /// equal the reference oracle on the ground-truth relabeling, after
+    /// both sides translate back to tracker ids — frame for frame.
+    #[test]
+    fn maintainers_match_generation_aware_oracle(
+        raw in recycling_feeds(),
+        window in 2usize..5,
+        duration in 1usize..3,
+    ) {
+        let duration = duration.min(window);
+        let spec = WindowSpec::new(window, duration).unwrap();
+        let relevant = relevant();
+
+        let mut lifecycle = ObjectLifecycle::new(shared_class_store());
+        let mut truth = GroundTruth::default();
+        let mut oracle = MaintainerKind::Reference.build(spec);
+        let mut subjects: Vec<Box<dyn StateMaintainer>> = MaintainerKind::PRODUCTION
+            .iter()
+            .map(|kind| kind.build(spec))
+            .collect();
+
+        for (i, frame) in raw.iter().enumerate() {
+            let fid = FrameId(i as u64);
+            let detections = dedup(frame);
+
+            let mut internal = Vec::new();
+            lifecycle.resolve_frame(&detections, &relevant, &mut internal);
+            let subject_objects = ObjectSet::from_ids(internal);
+
+            let truth_objects = ObjectSet::from_ids(
+                detections
+                    .iter()
+                    .map(|&(id, class)| truth.resolve(id, class))
+                    .collect::<Vec<ObjectId>>(),
+            );
+
+            oracle.advance(fid, &truth_objects).unwrap();
+            let expected = translated_results(oracle.as_ref(), &|id| truth.external_of(id));
+            for subject in &mut subjects {
+                subject.advance(fid, &subject_objects).unwrap();
+                let got = translated_results(subject.as_ref(), &|id| lifecycle.external_of(id));
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "{} diverged from the generation-aware oracle at frame {} (feed {:?})",
+                    subject.name(),
+                    i,
+                    &raw[..=i]
+                );
+            }
+        }
+    }
+
+    /// Property 2: forcing a compaction epoch (with retire propagation into
+    /// the lifecycle) every frame never changes the translated results.
+    #[test]
+    fn epoch_retirement_is_invisible_modulo_tracker_ids(
+        raw in recycling_feeds(),
+        window in 2usize..5,
+        duration in 1usize..3,
+    ) {
+        let duration = duration.min(window);
+        let spec = WindowSpec::new(window, duration).unwrap();
+        let force = CompactionPolicy::every(1);
+        let relevant = relevant();
+
+        for kind in MaintainerKind::PRODUCTION {
+            let mut retiring = kind.build(spec);
+            let mut retiring_lifecycle = ObjectLifecycle::new(shared_class_store());
+            let mut plain = kind.build(spec);
+            let mut plain_lifecycle = ObjectLifecycle::new(shared_class_store());
+
+            for (i, frame) in raw.iter().enumerate() {
+                let fid = FrameId(i as u64);
+                let detections = dedup(frame);
+
+                let mut internal = Vec::new();
+                retiring_lifecycle.resolve_frame(&detections, &relevant, &mut internal);
+                retiring.advance(fid, &ObjectSet::from_ids(internal)).unwrap();
+                if let Some(outcome) = retiring.maybe_compact(&force) {
+                    retiring_lifecycle.retire(&outcome.retired_objects);
+                }
+
+                let mut internal = Vec::new();
+                plain_lifecycle.resolve_frame(&detections, &relevant, &mut internal);
+                plain.advance(fid, &ObjectSet::from_ids(internal)).unwrap();
+
+                let got =
+                    translated_results(retiring.as_ref(), &|id| retiring_lifecycle.external_of(id));
+                let expected =
+                    translated_results(plain.as_ref(), &|id| plain_lifecycle.external_of(id));
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "{} retirement changed translated results at frame {} (feed {:?})",
+                    retiring.name(),
+                    i,
+                    &raw[..=i]
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic spot check of the headline hazard: id 1 is a car, leaves,
+/// and is recycled as a person while old frames are still inside the
+/// window. The two generations must never share a state: the car results
+/// end with the car's departure, the person results start fresh.
+#[test]
+fn recycled_id_never_splices_into_the_old_generation() {
+    let spec = WindowSpec::new(6, 2).unwrap();
+    let relevant = relevant();
+    let mut lifecycle = ObjectLifecycle::new(shared_class_store());
+    let mut maintainer = MaintainerKind::Mfs.build(spec);
+
+    // Frames 0-1: car generation; frames 2-3: companion only; 4-5: person
+    // generation behind the same tracker id.
+    let frames: Vec<Vec<(ObjectId, ClassId)>> = vec![
+        vec![(ObjectId(1), ClassId(1)), (ObjectId(9), ClassId(0))],
+        vec![(ObjectId(1), ClassId(1)), (ObjectId(9), ClassId(0))],
+        vec![(ObjectId(9), ClassId(0))],
+        vec![(ObjectId(9), ClassId(0))],
+        vec![(ObjectId(1), ClassId(0)), (ObjectId(9), ClassId(0))],
+        vec![(ObjectId(1), ClassId(0)), (ObjectId(9), ClassId(0))],
+    ];
+    for (i, detections) in frames.iter().enumerate() {
+        let mut internal = Vec::new();
+        lifecycle.resolve_frame(detections, &relevant, &mut internal);
+        maintainer
+            .advance(FrameId(i as u64), &ObjectSet::from_ids(internal))
+            .unwrap();
+    }
+    // Both generations are still inside the 6-frame window, and they must
+    // surface as *two distinct* pair states — the car generation pinned to
+    // frames 0-1, the person generation to frames 4-5 — never as one state
+    // whose frame set bridges the generations.
+    let results = translated_results(maintainer.as_ref(), &|id| lifecycle.external_of(id));
+    let pair_frames: Vec<&Vec<FrameId>> = results
+        .iter()
+        .filter(|(ids, _)| ids == &vec![ObjectId(1), ObjectId(9)])
+        .map(|(_, frames)| frames)
+        .collect();
+    assert_eq!(
+        pair_frames,
+        vec![&vec![FrameId(0), FrameId(1)], &vec![FrameId(4), FrameId(5)],],
+        "generations must stay separate states: {results:?}"
+    );
+    assert_eq!(lifecycle.generations_started(), 3, "car, companion, person");
+}

@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use tvq_common::WindowSpec;
+use tvq_common::{MemoConfig, WindowSpec};
 use tvq_core::{CompactionPolicy, MaintainerKind};
 
 /// How the engine picks its MCOS-generation strategy.
@@ -29,19 +29,30 @@ pub struct EngineConfig {
     /// compact the maintainer's arena when live-set occupancy has fallen
     /// below the policy's ratio; `None` keeps the arena append-only (the
     /// pre-compaction behaviour — memory then grows with the number of
-    /// distinct object sets ever seen by the feed).
+    /// distinct object sets ever seen by the feed). Compaction epochs also
+    /// drive **object retirement**: the retire set each epoch reports is
+    /// what lets the engine's class store and tracking maps forget dead
+    /// identifiers, so disabling compaction also re-enables the
+    /// grow-with-history engine-side footprint.
     pub compaction: Option<CompactionPolicy>,
+    /// Sizing policy of the interner's intersection memo. The adaptive
+    /// default grows the cache when the sampled miss rate shows the live
+    /// pair working set has outgrown it; [`MemoConfig::fixed`] pins the
+    /// pre-adaptive behaviour (used by benches as a baseline).
+    pub memo: MemoConfig,
 }
 
 impl EngineConfig {
     /// Creates a configuration with the given window, SSG maintenance,
-    /// pruning enabled and the default compaction policy.
+    /// pruning enabled, the default compaction policy and the adaptive
+    /// intersection memo.
     pub fn new(window: WindowSpec) -> Self {
         EngineConfig {
             window,
             maintainer: MaintainerSelection::Fixed(MaintainerKind::Ssg),
             pruning: true,
             compaction: Some(CompactionPolicy::default_policy()),
+            memo: MemoConfig::adaptive(),
         }
     }
 
@@ -73,6 +84,12 @@ impl EngineConfig {
         self.compaction = compaction;
         self
     }
+
+    /// Sets the intersection-memo sizing policy.
+    pub fn with_memo(mut self, memo: MemoConfig) -> Self {
+        self.memo = memo;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -94,6 +111,15 @@ pub struct MultiFeedConfig {
     /// Number of worker threads the feeds are sharded across. Must be at
     /// least 1; feed `f` is pinned to worker `f mod workers`.
     pub workers: usize,
+    /// Whether every per-feed engine registers into **one** shared class
+    /// store instead of a private store each. Only sound when the feeds
+    /// share a global object-id space (e.g. a multi-camera rig with
+    /// cross-camera re-identification): the store is first-writer-wins per
+    /// live entry, so colliding per-camera id spaces would cross-pollute
+    /// classes. Entries are reference counted, so one shard's epoch
+    /// retirement never evicts a mapping another shard still tracks.
+    /// Default `false` (private stores, the pre-sharing behaviour).
+    pub shared_class_store: bool,
 }
 
 impl MultiFeedConfig {
@@ -106,12 +132,21 @@ impl MultiFeedConfig {
         MultiFeedConfig {
             engine,
             workers: Self::DEFAULT_WORKERS,
+            shared_class_store: false,
         }
     }
 
     /// Sets the worker-pool size.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Shares one class store across every per-feed engine (see
+    /// [`shared_class_store`](Self::shared_class_store) for when this is
+    /// sound).
+    pub fn with_shared_class_store(mut self, shared: bool) -> Self {
+        self.shared_class_store = shared;
         self
     }
 }
@@ -136,6 +171,11 @@ mod tests {
             config.maintainer,
             MaintainerSelection::Fixed(MaintainerKind::Ssg)
         );
+        assert_eq!(config.memo, MemoConfig::adaptive());
+        assert_eq!(
+            config.with_memo(MemoConfig::fixed(15)).memo,
+            MemoConfig::fixed(15)
+        );
     }
 
     #[test]
@@ -143,6 +183,8 @@ mod tests {
         let config = MultiFeedConfig::default();
         assert_eq!(config.workers, MultiFeedConfig::DEFAULT_WORKERS);
         assert_eq!(config.engine, EngineConfig::default());
+        assert!(!config.shared_class_store, "private stores by default");
+        assert!(config.with_shared_class_store(true).shared_class_store);
         let config = MultiFeedConfig::new(
             EngineConfig::new(WindowSpec::new(5, 2).unwrap()).with_maintainer(MaintainerKind::Mfs),
         )

@@ -10,10 +10,12 @@
 use std::sync::{Arc, PoisonError, RwLock};
 
 use tvq_common::{
-    ClassId, ClassRegistry, DatasetStats, Error, FrameId, FrameObjects, FxHashMap, FxHashSet,
-    ObjectId, ObjectSet, Result, SetInterner, VideoRelation,
+    ClassId, ClassRegistry, ClassStore, DatasetStats, Error, FrameId, FrameObjects, FxHashSet,
+    ObjectId, ObjectSet, Result, SetInterner, SharedClassMap, VideoRelation,
 };
-use tvq_core::{MaintainerKind, MaintenanceMetrics, SharedPruner, StateMaintainer, StatePruner};
+use tvq_core::{
+    MaintainerKind, MaintenanceMetrics, ObjectLifecycle, SharedPruner, StateMaintainer, StatePruner,
+};
 use tvq_query::{evaluate_result_set, ClassCounts, CnfEvaluator, CnfQuery, QueryMatch};
 
 use crate::adaptive::choose_maintainer;
@@ -35,20 +37,20 @@ impl FrameResult {
     }
 }
 
-/// Streaming-safe pruner: reads the engine's growing object → class map.
+/// Streaming-safe pruner: reads the engine's live class store.
 struct LivePruner {
     evaluator: Arc<CnfEvaluator>,
-    classes: Arc<RwLock<FxHashMap<ObjectId, ClassId>>>,
+    classes: SharedClassMap,
 }
 
 impl StatePruner for LivePruner {
     fn should_terminate(&self, objects: &ObjectSet) -> bool {
-        // The class map only ever grows by inserting immutable entries, so a
-        // poisoned lock (a panicking thread elsewhere in the process) leaves
-        // it in a usable state: recover the guard instead of cascading the
-        // panic into every shard that shares the map.
-        let classes = self.classes.read().unwrap_or_else(PoisonError::into_inner);
-        let counts = ClassCounts::of(objects, &classes);
+        // Live store entries are immutable, so a poisoned lock (a panicking
+        // thread elsewhere in the process) leaves it in a usable state:
+        // recover the guard instead of cascading the panic into every shard
+        // that shares the store.
+        let store = self.classes.read().unwrap_or_else(PoisonError::into_inner);
+        let counts = ClassCounts::of(objects, store.classes());
         !self.evaluator.any_satisfied(&counts)
     }
 
@@ -73,6 +75,7 @@ pub struct EngineBuilder {
     registry: ClassRegistry,
     queries: Vec<CnfQuery>,
     stats: Option<DatasetStats>,
+    class_store: Option<SharedClassMap>,
 }
 
 impl EngineBuilder {
@@ -84,7 +87,17 @@ impl EngineBuilder {
             registry: ClassRegistry::with_default_classes(),
             queries: Vec::new(),
             stats: None,
+            class_store: None,
         }
+    }
+
+    /// Registers into a caller-provided (possibly shared) class store
+    /// instead of a private one. Sharing is only sound across feeds with a
+    /// common object-id space; the store's reference counts keep eviction
+    /// correct across sharers either way.
+    pub fn with_class_store(mut self, store: SharedClassMap) -> Self {
+        self.class_store = Some(store);
+        self
     }
 
     /// Uses a custom class registry.
@@ -135,12 +148,14 @@ impl EngineBuilder {
         let relevant_classes: FxHashSet<ClassId> =
             self.queries.iter().flat_map(|q| q.classes()).collect();
         let evaluator = Arc::new(CnfEvaluator::new(self.queries));
-        let classes: Arc<RwLock<FxHashMap<ObjectId, ClassId>>> =
-            Arc::new(RwLock::new(FxHashMap::default()));
-        // The per-feed interner shares the engine's growing object → class
-        // map, so every interned set gets its class counts computed exactly
-        // once and the evaluator skips the per-frame histogram rebuild.
-        let interner = SetInterner::with_classes(Arc::clone(&classes));
+        let classes: SharedClassMap = self
+            .class_store
+            .unwrap_or_else(|| Arc::new(RwLock::new(ClassStore::new())));
+        // The per-feed interner shares the engine's live class store, so
+        // every interned set gets its class counts computed exactly once and
+        // the evaluator skips the per-frame histogram rebuild.
+        let interner =
+            SetInterner::with_classes(Arc::clone(&classes)).with_memo_config(self.config.memo);
         let pruner: Option<SharedPruner> = if self.config.pruning && evaluator.all_geq_only() {
             Some(Arc::new(LivePruner {
                 evaluator: Arc::clone(&evaluator),
@@ -155,9 +170,8 @@ impl EngineBuilder {
             registry: self.registry,
             evaluator,
             maintainer,
-            classes,
+            lifecycle: ObjectLifecycle::new(classes),
             relevant_classes,
-            seen_objects: FxHashSet::default(),
             frames_since_compaction_check: 0,
         })
     }
@@ -169,12 +183,13 @@ pub struct TemporalVideoQueryEngine {
     registry: ClassRegistry,
     evaluator: Arc<CnfEvaluator>,
     maintainer: Box<dyn StateMaintainer>,
-    classes: Arc<RwLock<FxHashMap<ObjectId, ClassId>>>,
+    /// Generation-aware tracker-id resolution, class-store registration and
+    /// epoch retirement (see [`ObjectLifecycle`]). Holds the engine's
+    /// (possibly shared) class store; its live-binding map doubles as the
+    /// per-frame fast path that skips the store's write lock in steady
+    /// state.
+    lifecycle: ObjectLifecycle,
     relevant_classes: FxHashSet<ClassId>,
-    /// Objects already recorded in `classes` — lets the per-frame ingestion
-    /// loop skip the shared map's write lock entirely once a frame contains
-    /// no first-time objects (the steady state of a tracked feed).
-    seen_objects: FxHashSet<ObjectId>,
     /// Frames since the compaction policy was last consulted.
     frames_since_compaction_check: u64,
 }
@@ -210,9 +225,35 @@ impl TemporalVideoQueryEngine {
         &self.registry
     }
 
-    /// Work counters of the underlying maintainer.
-    pub fn metrics(&self) -> &MaintenanceMetrics {
+    /// Work counters: the underlying maintainer's, augmented with the
+    /// engine-side object-lifecycle gauges (tracked objects, class-store
+    /// and lifecycle bytes, retirements, generations).
+    pub fn metrics(&self) -> MaintenanceMetrics {
+        let mut metrics = self.maintainer.metrics().clone();
+        metrics.tracked_objects = self.lifecycle.tracked_objects() as u64;
+        metrics.class_map_bytes = self
+            .lifecycle
+            .store()
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .bytes() as u64;
+        metrics.lifecycle_bytes = self.lifecycle.bytes() as u64;
+        metrics.objects_retired = self.lifecycle.retired_total();
+        metrics.generations_started = self.lifecycle.generations_started();
+        metrics
+    }
+
+    /// The underlying maintainer's counters alone, borrowed — the cheap
+    /// per-frame sampling path (no lock, no clone). [`metrics`](Self::metrics)
+    /// additionally fills in the engine-side lifecycle gauges.
+    pub fn maintainer_metrics(&self) -> &MaintenanceMetrics {
         self.maintainer.metrics()
+    }
+
+    /// The engine's object lifecycle (generation bindings, tracked-object
+    /// counts, alias translation) — read access for tests and tooling.
+    pub fn lifecycle(&self) -> &ObjectLifecycle {
+        &self.lifecycle
     }
 
     /// Number of states currently materialised by the maintainer.
@@ -228,7 +269,13 @@ impl TemporalVideoQueryEngine {
     /// moments (e.g. scene changes) and for tests.
     pub fn compact_now(&mut self) -> bool {
         match &self.config.compaction {
-            Some(policy) => self.maintainer.maybe_compact(policy),
+            Some(policy) => match self.maintainer.maybe_compact(policy) {
+                Some(outcome) => {
+                    self.lifecycle.retire(&outcome.retired_objects);
+                    true
+                }
+                None => false,
+            },
             None => false,
         }
     }
@@ -237,49 +284,59 @@ impl TemporalVideoQueryEngine {
     /// window ending at this frame.
     ///
     /// Objects whose class no registered query mentions are dropped before
-    /// they reach MCOS generation, as prescribed in Section 3. Between
-    /// frames the engine consults the configured compaction policy (if any)
-    /// every `check_interval` frames and lets the maintainer compact its
-    /// interner arena — semantically invisible, and it bounds the
-    /// maintainer-side state (arena, bitmaps, universe map) on feeds with
-    /// unbounded object turnover. The engine's own object → class map and
-    /// seen-object set still grow with the number of distinct objects ever
-    /// observed (a few tens of bytes per object; see the ROADMAP for the
-    /// epoch-boundary pruning that would cap them too).
+    /// they reach MCOS generation, as prescribed in Section 3. The remaining
+    /// detections pass through the [`ObjectLifecycle`]: tracker ids are
+    /// resolved to generation-aware internal ids (a reused id never splices
+    /// into an old generation's states) and first-time bindings register
+    /// their class in the shared store. Between frames the engine consults
+    /// the configured compaction policy (if any) every `check_interval`
+    /// frames; a compaction epoch bounds the maintainer-side state (arena,
+    /// bitmaps, universe map) *and* retires dead object ids upward, so the
+    /// engine's class store and tracking maps plateau with the live window
+    /// too. Matches always report **tracker ids** as ingested (aliased
+    /// generations are translated back at the result boundary).
     pub fn observe(&mut self, frame: &FrameObjects) -> Result<FrameResult> {
-        let mut relevant: Vec<ObjectId> = Vec::with_capacity(frame.classes.len());
-        let mut unseen: Vec<(ObjectId, ClassId)> = Vec::new();
-        for &(id, class) in &frame.classes {
-            if self.relevant_classes.contains(&class) {
-                if !self.seen_objects.contains(&id) {
-                    unseen.push((id, class));
-                }
-                relevant.push(id);
-            }
-        }
-        if !unseen.is_empty() {
-            // Only frames introducing first-time objects pay the shared
-            // map's write lock; in steady state the `seen_objects` check
-            // above answers without touching the lock at all. See
-            // `LivePruner::should_terminate` for why poisoning is safe to
-            // recover from.
-            let mut classes = self.classes.write().unwrap_or_else(PoisonError::into_inner);
-            for (id, class) in unseen {
-                classes.entry(id).or_insert(class);
-                self.seen_objects.insert(id);
-            }
-        }
-        let objects = ObjectSet::from_ids(relevant);
+        let mut internal: Vec<ObjectId> = Vec::with_capacity(frame.classes.len());
+        self.lifecycle
+            .resolve_frame(&frame.classes, &self.relevant_classes, &mut internal);
+        let objects = ObjectSet::from_ids(internal);
         self.maintainer.advance(frame.fid, &objects)?;
         if let Some(policy) = &self.config.compaction {
             self.frames_since_compaction_check += 1;
             if self.frames_since_compaction_check >= policy.check_interval {
                 self.frames_since_compaction_check = 0;
-                self.maintainer.maybe_compact(policy);
+                if let Some(outcome) = self.maintainer.maybe_compact(policy) {
+                    self.lifecycle.retire(&outcome.retired_objects);
+                }
             }
         }
-        let classes = self.classes.read().unwrap_or_else(PoisonError::into_inner);
-        let matches = evaluate_result_set(&self.evaluator, self.maintainer.results(), &classes);
+        let mut matches = {
+            let store = self
+                .lifecycle
+                .store()
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            evaluate_result_set(&self.evaluator, self.maintainer.results(), store.classes())
+        };
+        if self.lifecycle.has_aliases() {
+            // Reuse generations are live: translate alias internals back to
+            // the tracker ids the caller knows. Distinct generations of one
+            // tracker id never co-occur in a frame, hence never share a
+            // state, so translation cannot collide within one match.
+            for m in &mut matches {
+                if m.objects
+                    .iter()
+                    .any(|id| self.lifecycle.external_of(id) != id)
+                {
+                    let translated: Vec<ObjectId> = m
+                        .objects
+                        .iter()
+                        .map(|id| self.lifecycle.external_of(id))
+                        .collect();
+                    m.objects = ObjectSet::from_ids(translated);
+                }
+            }
+        }
         Ok(FrameResult {
             frame: frame.fid,
             matches,
@@ -455,9 +512,10 @@ mod tests {
             tvq_query::parse_query("car >= 1", tvq_common::QueryId(0), &mut registry).unwrap();
         let pruner = LivePruner {
             evaluator: Arc::new(CnfEvaluator::new(vec![query])),
-            classes: Arc::new(RwLock::new(
-                [(ObjectId(1), ClassId(1))].into_iter().collect(),
-            )),
+            classes: Arc::new(RwLock::new(ClassStore::preloaded([(
+                ObjectId(1),
+                ClassId(1),
+            )]))),
         };
         // Poison the lock: a thread panics while holding the write guard.
         let classes = Arc::clone(&pruner.classes);
@@ -471,6 +529,74 @@ mod tests {
         // object 1 as a car and keeps the state alive.
         assert!(!pruner.should_terminate(&ObjectSet::from_raw([1])));
         assert!(pruner.should_terminate(&ObjectSet::from_raw([7])));
+    }
+
+    /// ROADMAP PR-4 regression: a retired id that reappears with a
+    /// different class must be **re-resolved and re-judged** — never
+    /// evaluated (or match-reported) under its stale class. Before the
+    /// object lifecycle, the first-writer-wins class map would keep calling
+    /// object 1 a car forever.
+    #[test]
+    fn retired_id_reappearing_with_new_class_is_rejudged() {
+        use tvq_core::CompactionPolicy;
+        let mut engine = TemporalVideoQueryEngine::builder(
+            EngineConfig::new(WindowSpec::new(3, 1).unwrap())
+                .with_maintainer(MaintainerKind::Ssg)
+                .with_compaction(Some(CompactionPolicy::every(1))),
+        )
+        // Both queries are >=-only, so the SSG_O pruning variant runs and
+        // the verdict for {1} flows through the pruner path too.
+        .with_query_text("car >= 1")
+        .unwrap()
+        .with_query_text("person >= 3")
+        .unwrap()
+        .build()
+        .unwrap();
+        assert_eq!(engine.strategy(), "SSG_O");
+
+        // Object 1 is a car for three frames: it matches `car >= 1`.
+        for fid in 0..3u64 {
+            let result = engine.observe(&frame(fid, &[(1, 1)])).unwrap();
+            assert!(result.any(), "the car generation matches at frame {fid}");
+        }
+        // Object 1 leaves; a decoy keeps the feed alive long enough for the
+        // window to expire 1's frames and the forced policy to retire it.
+        for fid in 3..9u64 {
+            engine.observe(&frame(fid, &[(2, 1)])).unwrap();
+        }
+        assert!(
+            engine.metrics().objects_retired > 0,
+            "object 1 should have been retired at an epoch boundary"
+        );
+        // The tracker recycles id 1 for a *person*. A stale class map would
+        // count it as a car and wrongly match `car >= 1`; the lifecycle
+        // re-resolves the reappearing id, so nothing matches.
+        let result = engine.observe(&frame(9, &[(1, 0)])).unwrap();
+        assert!(
+            result
+                .matches
+                .iter()
+                .all(|m| !m.objects.contains(ObjectId(1))),
+            "a recycled person must not match car >= 1: {:?}",
+            result.matches
+        );
+        // The reappearance started a fresh generation (car, decoy, person);
+        // being hopeless under every query, the person generation was then
+        // itself retired at the very next epoch boundary — the store holds
+        // no stale entry for id 1 in either direction.
+        let metrics = engine.metrics();
+        assert!(metrics.generations_started >= 3, "{metrics:?}");
+        assert!(metrics.objects_retired >= 2, "{metrics:?}");
+        assert_ne!(
+            engine
+                .lifecycle()
+                .store()
+                .read()
+                .unwrap()
+                .class_of(ObjectId(1)),
+            Some(ClassId(1)),
+            "the stale car class must be gone"
+        );
     }
 
     #[test]

@@ -67,7 +67,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use tvq_common::{ClassRegistry, DatasetStats, Error, FeedId, FrameObjects, QueryId, Result};
+use tvq_common::{
+    ClassRegistry, DatasetStats, Error, FeedId, FrameObjects, QueryId, Result, SharedClassMap,
+};
 use tvq_core::MaintenanceMetrics;
 use tvq_query::CnfQuery;
 
@@ -169,6 +171,11 @@ struct EngineSpec {
     registry: ClassRegistry,
     queries: Vec<CnfQuery>,
     stats: Option<DatasetStats>,
+    /// One class store for every per-feed engine, when the deployment
+    /// opted into [`MultiFeedConfig::shared_class_store`]. Reference
+    /// counting in the store keeps one shard's epoch retirement from
+    /// evicting entries another shard still tracks.
+    class_store: Option<SharedClassMap>,
 }
 
 impl EngineSpec {
@@ -180,6 +187,9 @@ impl EngineSpec {
         }
         if let Some(stats) = self.stats.clone() {
             builder = builder.with_feed_stats(stats);
+        }
+        if let Some(store) = &self.class_store {
+            builder = builder.with_class_store(Arc::clone(store));
         }
         builder.build()
     }
@@ -247,6 +257,10 @@ impl MultiFeedBuilder {
             registry: self.registry,
             queries: self.queries,
             stats: self.stats,
+            class_store: self
+                .config
+                .shared_class_store
+                .then(tvq_common::shared_class_store),
         });
         // Validate the shared spec once, up front, so that per-feed engine
         // construction inside the workers cannot fail later.
@@ -355,7 +369,7 @@ fn worker_loop(spec: Arc<EngineSpec>, inbox: Receiver<WorkerMsg>, results: Sende
                         total_matches: tally.total_matches,
                         matching_frames: tally.matching_frames,
                         live_states: engine.live_states(),
-                        metrics: engine.metrics().clone(),
+                        metrics: engine.metrics(),
                     })
                     .collect();
                 let _ = reply.send(reports);

@@ -79,7 +79,7 @@ pub fn run_workload(
         elapsed,
         total_matches,
         matching_frames,
-        metrics: engine.metrics().clone(),
+        metrics: engine.metrics(),
     })
 }
 

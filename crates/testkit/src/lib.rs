@@ -315,7 +315,7 @@ pub fn assert_multifeed_equals_single(
             feed_report.feed
         );
         assert_eq!(
-            &feed_report.metrics,
+            feed_report.metrics,
             single.metrics(),
             "metrics mismatch for {}",
             feed_report.feed

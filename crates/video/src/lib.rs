@@ -21,7 +21,11 @@
 //!   round-robin batches the sharded multi-feed engine ingests;
 //! * a **long-churn generator** ([`churn`]) that compresses hours of
 //!   unbounded object turnover into a benchmarkable frame budget — the
-//!   workload that exercises the interner's epoch compaction.
+//!   workload that exercises the interner's epoch compaction;
+//! * an **id-recycling generator** ([`id_reuse`]) in which departed tracker
+//!   identifiers return for new objects across class boundaries — the
+//!   workload that exercises the engine's object lifecycle (generation
+//!   tags, alias ids, epoch retirement of dead identifiers).
 //!
 //! Real detector output can also be ingested from CSV via
 //! [`tvq_common::io`]; everything downstream is agnostic to the source.
@@ -34,6 +38,7 @@ pub mod churn;
 pub mod detector;
 pub mod generator;
 pub mod geometry;
+pub mod id_reuse;
 pub mod multifeed;
 pub mod pipeline;
 pub mod profiles;
@@ -45,6 +50,7 @@ pub use churn::{long_churn_feed, ChurnProfile};
 pub use detector::{Detection, DetectorConfig, SimulatedDetector};
 pub use generator::{apply_id_reuse, generate, generate_with_id_reuse};
 pub use geometry::{BoundingBox, Point};
+pub use id_reuse::{id_reuse_feed, IdReuseProfile};
 pub use multifeed::{feed_seed, generate_camera_grid, generate_feeds, interleave, CameraFeed};
 pub use pipeline::ScenePipeline;
 pub use profiles::DatasetProfile;

@@ -8,9 +8,11 @@
 //! this suite sweeps maintainer kinds, pruning, worker counts, batch sizes
 //! and seeds.
 
-use tvq_common::WindowSpec;
-use tvq_core::MaintainerKind;
-use tvq_engine::EngineConfig;
+use tvq_common::{ClassId, FeedId, FrameId, FrameObjects, ObjectId, WindowSpec};
+use tvq_core::{CompactionPolicy, MaintainerKind};
+use tvq_engine::{
+    EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine, TemporalVideoQueryEngine,
+};
 use tvq_testkit::{assert_multifeed_equals_single, multi_feed_classed};
 
 /// Classes in the generated feeds: even object ids are people (class 0),
@@ -62,4 +64,87 @@ fn batch_size_is_immaterial() {
 fn more_workers_than_feeds_is_fine() {
     let feeds = multi_feed_classed(21, 2, 20, 5, 0.25, 2);
     assert_multifeed_equals_single(&feeds, config(MaintainerKind::Mfs, true), QUERIES, 8, 4);
+}
+
+/// Shard sharing: with one class store across shards, epoch retirement on
+/// one shard must never evict a class mapping another shard still tracks.
+/// Feed 0 churns through throwaway objects (its early ids retire under the
+/// forced compaction policy) while feed 1 keeps observing the same global
+/// ids 1 and 2 every frame; feed 1's results must stay frame-for-frame
+/// identical to a dedicated single-feed engine with a private store.
+#[test]
+fn shared_store_retirement_on_one_shard_does_not_starve_another() {
+    let engine_config = EngineConfig::new(WindowSpec::new(4, 2).unwrap())
+        .with_maintainer(MaintainerKind::Ssg)
+        .with_compaction(Some(CompactionPolicy::every(1)));
+    let mut multi = MultiFeedEngine::builder(
+        MultiFeedConfig::new(engine_config)
+            .with_workers(2)
+            .with_shared_class_store(true),
+    )
+    .with_query_text("car >= 1 AND person >= 1")
+    .unwrap()
+    .build()
+    .unwrap();
+    let mut oracle = TemporalVideoQueryEngine::builder(engine_config)
+        .with_query_text("car >= 1 AND person >= 1")
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let churn_frame = |fid: u64| {
+        // Feed 0 sees the shared pair briefly, then rotating throwaway
+        // cars: ids 1 and 2 leave its window and retire on shard 0.
+        let detections = if fid < 3 {
+            vec![(ObjectId(1), ClassId(1)), (ObjectId(2), ClassId(0))]
+        } else {
+            vec![
+                (ObjectId(100 + fid as u32), ClassId(1)),
+                (ObjectId(200 + fid as u32), ClassId(0)),
+            ]
+        };
+        FrameObjects::new(FrameId(fid), detections)
+    };
+    let stable_frame = |fid: u64| {
+        // The pair plus a rotating guest: every couple of frames feed 1
+        // interns a *new* set containing ids 1 and 2, whose class counts
+        // are aggregated from the shared store at intern time — so a wrong
+        // eviction of 1 or 2 surfaces as a result divergence instead of
+        // hiding behind previously cached counts.
+        FrameObjects::new(
+            FrameId(fid),
+            vec![
+                (ObjectId(1), ClassId(1)),
+                (ObjectId(2), ClassId(0)),
+                (ObjectId(300 + (fid / 2) as u32), ClassId(0)),
+            ],
+        )
+    };
+
+    for fid in 0..40u64 {
+        let batch = vec![
+            FeedFrame::new(FeedId(0), churn_frame(fid)),
+            FeedFrame::new(FeedId(1), stable_frame(fid)),
+        ];
+        let results = multi.push_batch(&batch).unwrap();
+        let expected = oracle.observe(&stable_frame(fid)).unwrap();
+        assert_eq!(
+            results[1].result, expected,
+            "feed 1 diverged from its oracle at frame {fid} — a shared-store \
+             eviction took a mapping a live shard still needed"
+        );
+    }
+
+    let report = multi.report().unwrap();
+    let feed0 = &report.feeds[0];
+    assert!(
+        feed0.metrics.objects_retired > 0,
+        "feed 0 never retired anything — the test is not exercising \
+         shared-store eviction (compactions: {})",
+        feed0.metrics.compactions
+    );
+    assert!(
+        report.feeds[1].matching_frames >= 38,
+        "feed 1 should keep matching throughout"
+    );
 }
