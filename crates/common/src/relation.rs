@@ -35,6 +35,15 @@ pub struct FrameObjects {
     pub objects: ObjectSet,
     /// Class of every object in `objects`.
     pub classes: Vec<(ObjectId, ClassId)>,
+    /// Tracker identifiers whose tracks *ended* at this frame. An explicit
+    /// end-of-track event tells consumers the id's previous owner is gone
+    /// for good, so a later reappearance of the same id — even with the
+    /// same class — is a new physical object. Ends apply **before** this
+    /// frame's detections: an id in both lists was ended and instantly
+    /// recycled to a newcomer visible this very frame. Ingest protocols
+    /// without end events leave this empty; consumers then fall back to
+    /// coarser reuse detection (class changes, epoch retirement).
+    pub track_ends: Vec<ObjectId>,
 }
 
 impl FrameObjects {
@@ -48,7 +57,19 @@ impl FrameObjects {
             fid,
             objects,
             classes: detections,
+            track_ends: Vec::new(),
         }
+    }
+
+    /// Attaches tracker end-of-track events to the frame. Duplicates are
+    /// removed and the list is sorted so frames compare deterministically.
+    /// An id that also appears in this frame's detections is legal: the
+    /// end applies first, so the detection is the id's *next* owner.
+    pub fn with_track_ends(mut self, mut ends: Vec<ObjectId>) -> Self {
+        ends.sort_unstable();
+        ends.dedup();
+        self.track_ends = ends;
+        self
     }
 
     /// Number of objects detected in the frame.
@@ -362,6 +383,22 @@ mod tests {
             filtered.frame(FrameId(1)).unwrap().objects,
             ObjectSet::from_raw([1])
         );
+    }
+
+    #[test]
+    fn track_ends_are_sorted_and_deduped() {
+        let car = ClassId(1);
+        let frame = FrameObjects::new(FrameId(0), vec![(ObjectId(5), car), (ObjectId(2), car)])
+            .with_track_ends(vec![ObjectId(9), ObjectId(5), ObjectId(3), ObjectId(9)]);
+        // Sorted and deduplicated; id 5 is kept even though it is also
+        // detected — the end applies first, the detection is its recycled
+        // successor.
+        assert_eq!(
+            frame.track_ends,
+            vec![ObjectId(3), ObjectId(5), ObjectId(9)]
+        );
+        // Plain construction carries no end events.
+        assert!(FrameObjects::new(FrameId(1), vec![]).track_ends.is_empty());
     }
 
     #[test]

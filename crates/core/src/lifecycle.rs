@@ -72,6 +72,7 @@ pub struct ObjectLifecycle {
     aliases: FxHashMap<ObjectId, ObjectId>,
     next_generation: u64,
     retired_total: u64,
+    tracks_ended: u64,
     /// Deferred slow-path detections of the frame being resolved.
     pending: Vec<(ObjectId, ClassId)>,
 }
@@ -86,6 +87,7 @@ impl ObjectLifecycle {
             aliases: FxHashMap::default(),
             next_generation: 0,
             retired_total: 0,
+            tracks_ended: 0,
             pending: Vec::new(),
         }
     }
@@ -180,6 +182,27 @@ impl ObjectLifecycle {
         self.pending = pending;
     }
 
+    /// Applies tracker end-of-track events: the live bindings of the listed
+    /// *external* identifiers are severed, so the next sighting of such an
+    /// id — **even with the same class** — starts a new generation behind a
+    /// fresh internal id instead of splicing into the ended generation's
+    /// window states. This closes the same-class-recycle blind spot of
+    /// epoch-only retirement: without end events, an id recycled at the
+    /// same class *within* an epoch is indistinguishable from a bridged
+    /// occlusion and re-binds to the old generation.
+    ///
+    /// The ended generation keeps its class-store reference and its alias
+    /// translation (its states may still be live inside the window); both
+    /// are reclaimed by [`retire`](Self::retire) once the interner reports
+    /// the id dead at a compaction epoch.
+    pub fn end_tracks(&mut self, ends: &[ObjectId]) {
+        for external in ends {
+            if self.live.remove(external).is_some() {
+                self.tracks_ended += 1;
+            }
+        }
+    }
+
     /// Applies a compaction epoch's retire set: every listed internal id
     /// releases its class-store reference and its binding/alias entries.
     /// Ids this lifecycle never registered are skipped (robustness).
@@ -234,6 +257,12 @@ impl ObjectLifecycle {
     /// Internal ids retired so far (lifetime counter).
     pub fn retired_total(&self) -> u64 {
         self.retired_total
+    }
+
+    /// Track-end events applied so far (only ends that actually severed a
+    /// live binding count; unknown ids are ignored).
+    pub fn tracks_ended(&self) -> u64 {
+        self.tracks_ended
     }
 
     /// Generations started so far (first sights plus detected reuses).
@@ -371,6 +400,47 @@ mod tests {
         // Once gen 0 retires too, the external id is free to re-bind.
         lc.retire(&[ObjectId(5), again[0]]);
         assert_eq!(resolve(&mut lc, &[(5, 1)]), vec![ObjectId(5)]);
+    }
+
+    #[test]
+    fn ended_track_rebinds_same_class_reappearance_to_a_new_generation() {
+        let mut lc = lifecycle();
+        assert_eq!(resolve(&mut lc, &[(5, 1)]), vec![ObjectId(5)]);
+        lc.end_tracks(&[ObjectId(5)]);
+        assert_eq!(lc.tracks_ended(), 1);
+        assert!(lc.binding_of(ObjectId(5)).is_none());
+        // The ended generation's store reference survives until epoch
+        // retirement — its states may still be live inside the window.
+        assert_eq!(lc.tracked_objects(), 1);
+        assert_eq!(
+            lc.store().read().unwrap().class_of(ObjectId(5)),
+            Some(ClassId(1))
+        );
+        // Id 5 recycled for a *same-class* newcomer: without the end event
+        // this would be indistinguishable from a bridged occlusion and
+        // splice into gen 0; with it, a fresh alias generation starts.
+        let again = resolve(&mut lc, &[(5, 1)]);
+        assert_ne!(again[0], ObjectId(5));
+        assert_eq!(lc.external_of(again[0]), ObjectId(5));
+        assert_eq!(lc.generations_started(), 2);
+        assert_eq!(lc.tracked_objects(), 2, "old + new generation");
+        // Once both generations retire, the external id is free again.
+        lc.retire(&[ObjectId(5), again[0]]);
+        assert_eq!(resolve(&mut lc, &[(5, 1)]), vec![ObjectId(5)]);
+    }
+
+    #[test]
+    fn end_tracks_ignores_unknown_ids() {
+        let mut lc = lifecycle();
+        resolve(&mut lc, &[(1, 0)]);
+        lc.end_tracks(&[]);
+        lc.end_tracks(&[ObjectId(99)]);
+        assert_eq!(lc.tracks_ended(), 0);
+        assert!(lc.binding_of(ObjectId(1)).is_some());
+        // Double-ending is idempotent: the second event finds no binding.
+        lc.end_tracks(&[ObjectId(1)]);
+        lc.end_tracks(&[ObjectId(1)]);
+        assert_eq!(lc.tracks_ended(), 1);
     }
 
     #[test]

@@ -18,7 +18,11 @@ use crate::result_set::ResultStateSet;
 use crate::ssg::SsgMaintainer;
 
 /// Streaming interface of an MCOS generation strategy.
-pub trait StateMaintainer {
+///
+/// `Send` is a supertrait so a boxed maintainer (and the engine that owns
+/// it) can live behind a mutex shared across server connection threads;
+/// every production maintainer is plain owned data plus `Arc`s already.
+pub trait StateMaintainer: Send {
     /// The window specification the maintainer was configured with.
     fn spec(&self) -> WindowSpec;
 
@@ -55,6 +59,13 @@ pub trait StateMaintainer {
         let _ = policy;
         None
     }
+
+    /// Notifies the maintainer that its pruner's *decision function*
+    /// changed (the engine swapped the query catalog behind a live pruner
+    /// handle). Pruning maintainers drop their cached verdicts so every
+    /// handle is re-judged under the new catalog; the default does nothing
+    /// (NAIVE and the reference oracle never cache verdicts).
+    fn pruner_changed(&mut self) {}
 }
 
 /// Helper shared by the maintainers: validates frame ordering.

@@ -73,6 +73,11 @@ pub struct MaintenanceMetrics {
     /// every detected reuse (class change, or reappearance after
     /// retirement) starts one.
     pub generations_started: u64,
+    /// Explicit tracker end-of-track events applied (only ends that severed
+    /// a live binding count).
+    pub tracks_ended: u64,
+    /// Query-catalog swaps (add/remove-query operations) applied so far.
+    pub catalog_swaps: u64,
 }
 
 impl MaintenanceMetrics {
@@ -150,6 +155,8 @@ impl MaintenanceMetrics {
         self.lifecycle_bytes += other.lifecycle_bytes;
         self.objects_retired += other.objects_retired;
         self.generations_started += other.generations_started;
+        self.tracks_ended += other.tracks_ended;
+        self.catalog_swaps += other.catalog_swaps;
     }
 
     /// Folds an iterator of metrics into one aggregate via [`merge`](Self::merge).
@@ -175,7 +182,7 @@ impl fmt::Display for MaintenanceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m/{}r@{} tracked={} classmap={}B lifecycle={}B retired={} generations={}",
+            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m/{}r@{} tracked={} classmap={}B lifecycle={}B retired={} generations={} ends={} swaps={}",
             self.frames_processed,
             self.states_created,
             self.states_pruned,
@@ -197,7 +204,9 @@ impl fmt::Display for MaintenanceMetrics {
             self.class_map_bytes,
             self.lifecycle_bytes,
             self.objects_retired,
-            self.generations_started
+            self.generations_started,
+            self.tracks_ended,
+            self.catalog_swaps
         )
     }
 }
@@ -249,6 +258,8 @@ mod tests {
         a.lifecycle_bytes = 21;
         a.objects_retired = 22;
         a.generations_started = 23;
+        a.tracks_ended = 24;
+        a.catalog_swaps = 25;
         let mut b = a.clone();
         b.merge(&a);
         let doubled = MaintenanceMetrics::merged([&a, &a]);
@@ -276,6 +287,8 @@ mod tests {
         assert_eq!(doubled.lifecycle_bytes, 42);
         assert_eq!(doubled.objects_retired, 44);
         assert_eq!(doubled.generations_started, 46);
+        assert_eq!(doubled.tracks_ended, 48);
+        assert_eq!(doubled.catalog_swaps, 50);
     }
 
     #[test]
@@ -309,5 +322,7 @@ mod tests {
         assert!(text.contains("tracked=0"));
         assert!(text.contains("retired=0"));
         assert!(text.contains("generations=0"));
+        assert!(text.contains("ends=0"));
+        assert!(text.contains("swaps=0"));
     }
 }

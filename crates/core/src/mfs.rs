@@ -335,6 +335,10 @@ impl StateMaintainer for MfsMaintainer {
             retired_objects: table.take_retired_objects(),
         })
     }
+
+    fn pruner_changed(&mut self) {
+        self.verdicts.clear();
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,21 @@ impl PrunerVerdictCache {
         self.terminated.len()
     }
 
+    /// Forgets every cached verdict. Called when the *pruner itself*
+    /// changed (the engine swapped its query catalog): verdicts formed
+    /// under the old query set are no longer valid in either polarity, so
+    /// every live handle is re-judged lazily on its next visit. Terminated
+    /// states that the new catalog would keep stay terminated — termination
+    /// already dropped them from the maintainer — which is exactly the
+    /// documented convergence contract for query *additions* (full
+    /// equivalence after one window turnover); for removals, forgetting
+    /// verdicts only ever *widens* pruning, which Proposition 1 makes
+    /// invisible to surviving queries.
+    pub fn clear(&mut self) {
+        self.terminated.clear();
+        self.cleared.clear();
+    }
+
     /// Re-keys the cache through a compaction epoch's remap table: verdicts
     /// for handles that survived move to the new handles, verdicts for
     /// retired handles are dropped (a retired set that reappears is

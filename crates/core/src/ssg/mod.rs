@@ -643,6 +643,10 @@ impl StateMaintainer for SsgMaintainer {
             retired_objects: table.take_retired_objects(),
         })
     }
+
+    fn pruner_changed(&mut self) {
+        self.verdicts.clear();
+    }
 }
 
 #[cfg(test)]

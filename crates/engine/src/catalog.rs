@@ -1,0 +1,295 @@
+//! The versioned, swappable query catalog.
+//!
+//! PR-1..5 baked the query workload into an immutable `Arc` at build time;
+//! the ROADMAP's north star ("millions of users") needs queries that
+//! register and cancel *while feeds run*. [`QueryCatalog`] makes the query
+//! set itself a piece of versioned state: every [`add_query`] /
+//! [`remove_query`] produces a fresh immutable [`CatalogSnapshot`] —
+//! rebuilt evaluator (re-keyed mask slots), recomputed relevant-class set,
+//! re-derived ≥-only pruning decision — and publishes it atomically through
+//! a shared cell that the engine's live pruner reads.
+//!
+//! # Convergence contract
+//!
+//! A swap is applied *between* frames, never within one, so determinism is
+//! untouched; what changes is which queries the following frames evaluate.
+//! The exact equivalence with a fresh engine built from the final query set
+//! is asymmetric:
+//!
+//! * **removals** are immediately invisible to the surviving queries: the
+//!   evaluator simply stops reporting the removed ids, and clearing pruner
+//!   verdicts only ever *widens* pruning, which Proposition 1 (downward
+//!   monotonicity of ≥-only workloads) makes invisible;
+//! * **additions** converge after one full window turnover: states the old
+//!   catalog terminated — and objects its relevant-class filter dropped —
+//!   cannot be resurrected retroactively, but every state born after the
+//!   swap is judged (and every detection filtered) under the new catalog,
+//!   so once the window has slid past the swap point the engine is
+//!   indistinguishable from a fresh one.
+//!
+//! The differential suite (`tests/catalog_dynamic.rs`) pins both halves
+//! down.
+//!
+//! [`add_query`]: QueryCatalog::add_query
+//! [`remove_query`]: QueryCatalog::remove_query
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+use tvq_common::{ClassId, Error, FxHashSet, QueryId, Result};
+use tvq_query::{CnfEvaluator, CnfQuery};
+
+/// One immutable version of the query workload: the evaluator (whose mask
+/// slots are keyed for exactly this query set), the classes any query
+/// mentions, and whether the Section 5.3 pruning strategy applies.
+#[derive(Debug)]
+pub struct CatalogSnapshot {
+    version: u64,
+    evaluator: Arc<CnfEvaluator>,
+    relevant_classes: FxHashSet<ClassId>,
+    geq_only: bool,
+}
+
+impl CatalogSnapshot {
+    fn build(version: u64, queries: Vec<CnfQuery>) -> Self {
+        let relevant_classes: FxHashSet<ClassId> =
+            queries.iter().flat_map(|q| q.classes()).collect();
+        let evaluator = Arc::new(CnfEvaluator::new(queries));
+        let geq_only = evaluator.all_geq_only();
+        CatalogSnapshot {
+            version,
+            evaluator,
+            relevant_classes,
+            geq_only,
+        }
+    }
+
+    /// The snapshot's version (0 for the catalog an engine was built with;
+    /// each swap increments it by one).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The evaluator for exactly this query set.
+    pub fn evaluator(&self) -> &Arc<CnfEvaluator> {
+        &self.evaluator
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[CnfQuery] {
+        self.evaluator.queries()
+    }
+
+    /// Classes mentioned by at least one registered query; detections of
+    /// any other class are dropped before MCOS generation (Section 3).
+    pub fn relevant_classes(&self) -> &FxHashSet<ClassId> {
+        &self.relevant_classes
+    }
+
+    /// Whether the ≥-only pruning strategy may terminate states under this
+    /// catalog. Requires every query to be ≥-only (Proposition 1) **and**
+    /// at least one query to exist — an empty catalog is vacuously ≥-only,
+    /// but "no query is satisfiable" must keep states alive for queries
+    /// added later, not terminate everything.
+    pub fn prune_active(&self) -> bool {
+        self.geq_only && !self.evaluator.is_empty()
+    }
+}
+
+/// The shared cell a [`QueryCatalog`]'s owner and its pruner read the
+/// current snapshot through. Readers clone the inner `Arc` (cheap) and
+/// never hold the lock across real work.
+pub type SharedCatalog = Arc<RwLock<Arc<CatalogSnapshot>>>;
+
+/// The engine-side handle: owns the master query list, numbers versions,
+/// and publishes snapshots. The engine is the cell's only writer, so it
+/// also keeps a lock-free cached copy of the current snapshot for the
+/// per-frame hot path.
+#[derive(Debug)]
+pub struct QueryCatalog {
+    cell: SharedCatalog,
+    current: Arc<CatalogSnapshot>,
+    /// Version the catalog was seeded at (swaps applied *here* = version -
+    /// seed; multi-feed workers seed lazily built engines at the fleet's
+    /// current version).
+    seed_version: u64,
+}
+
+impl QueryCatalog {
+    /// Validates the queries (well-formed CNF, unique ids) and builds
+    /// version `seed` of the catalog.
+    pub fn new(queries: Vec<CnfQuery>, seed: u64) -> Result<Self> {
+        let mut seen: FxHashSet<QueryId> = FxHashSet::default();
+        for query in &queries {
+            query.validate().map_err(Error::InvalidConfig)?;
+            if !seen.insert(query.id) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate query id {:?}",
+                    query.id
+                )));
+            }
+        }
+        let current = Arc::new(CatalogSnapshot::build(seed, queries));
+        Ok(QueryCatalog {
+            cell: Arc::new(RwLock::new(Arc::clone(&current))),
+            current,
+            seed_version: seed,
+        })
+    }
+
+    /// The current snapshot (lock-free: the owner's cached copy).
+    pub fn snapshot(&self) -> &Arc<CatalogSnapshot> {
+        &self.current
+    }
+
+    /// The shared cell, for wiring a [`LivePruner`](crate::engine) or any
+    /// other follower that must observe swaps.
+    pub fn shared(&self) -> SharedCatalog {
+        Arc::clone(&self.cell)
+    }
+
+    /// The current version.
+    pub fn version(&self) -> u64 {
+        self.current.version()
+    }
+
+    /// Swaps applied through *this* handle (version minus seed).
+    pub fn swaps(&self) -> u64 {
+        self.current.version() - self.seed_version
+    }
+
+    /// The smallest query id not yet in use (what [`add_query`] callers
+    /// parsing textual queries should mint).
+    ///
+    /// [`add_query`]: Self::add_query
+    pub fn next_query_id(&self) -> QueryId {
+        QueryId(
+            self.current
+                .queries()
+                .iter()
+                .map(|q| q.id.0 + 1)
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Registers a query, publishing a new catalog version. Fails (leaving
+    /// the catalog untouched) if the query is malformed or its id is taken.
+    pub fn add_query(&mut self, query: CnfQuery) -> Result<()> {
+        query.validate().map_err(Error::InvalidConfig)?;
+        if self.current.queries().iter().any(|q| q.id == query.id) {
+            return Err(Error::InvalidConfig(format!(
+                "query id {:?} is already registered",
+                query.id
+            )));
+        }
+        let mut queries = self.current.queries().to_vec();
+        queries.push(query);
+        self.publish(queries);
+        Ok(())
+    }
+
+    /// Cancels a query by id, publishing a new catalog version. Fails
+    /// (leaving the catalog untouched) if the id is unknown.
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        let before = self.current.queries().len();
+        let queries: Vec<CnfQuery> = self
+            .current
+            .queries()
+            .iter()
+            .filter(|q| q.id != id)
+            .cloned()
+            .collect();
+        if queries.len() == before {
+            return Err(Error::InvalidConfig(format!("unknown query id {id:?}")));
+        }
+        self.publish(queries);
+        Ok(())
+    }
+
+    fn publish(&mut self, queries: Vec<CnfQuery>) {
+        let next = Arc::new(CatalogSnapshot::build(self.current.version() + 1, queries));
+        // Snapshots are immutable, so a poisoned cell still holds a usable
+        // Arc; recover the guard rather than cascade the panic.
+        *self.cell.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&next);
+        self.current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvq_query::Condition;
+
+    fn geq(id: u32, class: u16, n: u32) -> CnfQuery {
+        CnfQuery::conjunction(
+            QueryId(id),
+            vec![Condition::at_least(tvq_common::ClassId(class), n)],
+        )
+    }
+
+    #[test]
+    fn swaps_version_and_rekey_the_evaluator() {
+        let mut catalog = QueryCatalog::new(vec![geq(0, 1, 1)], 0).unwrap();
+        assert_eq!(catalog.version(), 0);
+        assert!(catalog.snapshot().prune_active());
+        catalog.add_query(geq(1, 0, 2)).unwrap();
+        assert_eq!(catalog.version(), 1);
+        assert_eq!(catalog.snapshot().queries().len(), 2);
+        assert_eq!(catalog.next_query_id(), QueryId(2));
+        catalog.remove_query(QueryId(0)).unwrap();
+        assert_eq!(catalog.version(), 2);
+        assert_eq!(catalog.swaps(), 2);
+        assert_eq!(catalog.snapshot().queries()[0].id, QueryId(1));
+        // Relevant classes follow the surviving queries.
+        assert!(!catalog
+            .snapshot()
+            .relevant_classes()
+            .contains(&tvq_common::ClassId(1)));
+    }
+
+    #[test]
+    fn followers_observe_swaps_through_the_shared_cell() {
+        let mut catalog = QueryCatalog::new(vec![geq(0, 1, 1)], 0).unwrap();
+        let cell = catalog.shared();
+        catalog.add_query(geq(1, 1, 3)).unwrap();
+        assert_eq!(cell.read().unwrap().version(), 1);
+        assert_eq!(cell.read().unwrap().queries().len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_unknown_removals() {
+        let mut catalog = QueryCatalog::new(vec![geq(0, 1, 1)], 0).unwrap();
+        assert!(catalog.add_query(geq(0, 0, 1)).is_err());
+        assert!(catalog.remove_query(QueryId(9)).is_err());
+        assert_eq!(catalog.version(), 0, "failed ops do not bump the version");
+        assert!(QueryCatalog::new(vec![geq(0, 1, 1), geq(0, 0, 1)], 0).is_err());
+    }
+
+    #[test]
+    fn empty_catalog_never_prunes() {
+        let mut catalog = QueryCatalog::new(Vec::new(), 0).unwrap();
+        assert!(!catalog.snapshot().prune_active());
+        assert_eq!(catalog.next_query_id(), QueryId(0));
+        catalog.add_query(geq(0, 1, 1)).unwrap();
+        assert!(catalog.snapshot().prune_active());
+        // Mixed polarity turns pruning back off; removal restores it.
+        let le = CnfQuery::conjunction(
+            QueryId(1),
+            vec![Condition::at_most(tvq_common::ClassId(0), 2)],
+        );
+        catalog.add_query(le).unwrap();
+        assert!(!catalog.snapshot().prune_active());
+        catalog.remove_query(QueryId(1)).unwrap();
+        assert!(catalog.snapshot().prune_active());
+    }
+
+    #[test]
+    fn seeded_catalogs_count_swaps_from_their_seed() {
+        let mut catalog = QueryCatalog::new(vec![geq(0, 1, 1)], 7).unwrap();
+        assert_eq!(catalog.version(), 7);
+        assert_eq!(catalog.swaps(), 0);
+        catalog.remove_query(QueryId(0)).unwrap();
+        assert_eq!(catalog.version(), 8);
+        assert_eq!(catalog.swaps(), 1);
+    }
+}

@@ -10,15 +10,16 @@
 use std::sync::{Arc, PoisonError, RwLock};
 
 use tvq_common::{
-    ClassId, ClassRegistry, ClassStore, DatasetStats, Error, FrameId, FrameObjects, FxHashSet,
-    ObjectId, ObjectSet, Result, SetInterner, SharedClassMap, VideoRelation,
+    ClassRegistry, ClassStore, DatasetStats, Error, FrameId, FrameObjects, ObjectId, ObjectSet,
+    QueryId, Result, SetInterner, SharedClassMap, VideoRelation,
 };
 use tvq_core::{
     MaintainerKind, MaintenanceMetrics, ObjectLifecycle, SharedPruner, StateMaintainer, StatePruner,
 };
-use tvq_query::{evaluate_result_set, ClassCounts, CnfEvaluator, CnfQuery, QueryMatch};
+use tvq_query::{evaluate_result_set, ClassCounts, CnfQuery, QueryMatch};
 
 use crate::adaptive::choose_maintainer;
+use crate::catalog::{QueryCatalog, SharedCatalog};
 use crate::config::{EngineConfig, MaintainerSelection};
 
 /// The result of processing one frame.
@@ -37,21 +38,45 @@ impl FrameResult {
     }
 }
 
-/// Streaming-safe pruner: reads the engine's live class store.
+/// Streaming-safe pruner: reads the engine's live class store and its
+/// *current* query-catalog snapshot, so catalog swaps take effect on the
+/// very next judged state.
+///
+/// Soundness across swaps: when the current catalog is not ≥-only (or is
+/// empty), [`CatalogSnapshot::prune_active`](crate::catalog::CatalogSnapshot::prune_active)
+/// is `false` and the pruner keeps everything — the engine leaves the
+/// pruner attached permanently and lets the snapshot decide, so a catalog
+/// that oscillates between prunable and unprunable workloads never needs a
+/// maintainer rebuild.
 struct LivePruner {
-    evaluator: Arc<CnfEvaluator>,
+    catalog: SharedCatalog,
     classes: SharedClassMap,
+}
+
+impl LivePruner {
+    /// The current snapshot's evaluator, or `None` while pruning is
+    /// inactive. Snapshots are immutable, so a poisoned cell still holds a
+    /// usable `Arc` (same recovery reasoning as the class store below).
+    fn active_evaluator(&self) -> Option<Arc<tvq_query::CnfEvaluator>> {
+        let snapshot = self.catalog.read().unwrap_or_else(PoisonError::into_inner);
+        snapshot
+            .prune_active()
+            .then(|| Arc::clone(snapshot.evaluator()))
+    }
 }
 
 impl StatePruner for LivePruner {
     fn should_terminate(&self, objects: &ObjectSet) -> bool {
+        let Some(evaluator) = self.active_evaluator() else {
+            return false;
+        };
         // Live store entries are immutable, so a poisoned lock (a panicking
         // thread elsewhere in the process) leaves it in a usable state:
         // recover the guard instead of cascading the panic into every shard
         // that shares the store.
         let store = self.classes.read().unwrap_or_else(PoisonError::into_inner);
         let counts = ClassCounts::of(objects, store.classes());
-        !self.evaluator.any_satisfied(&counts)
+        !evaluator.any_satisfied(&counts)
     }
 
     fn should_terminate_with(
@@ -62,7 +87,10 @@ impl StatePruner for LivePruner {
         // The interner computed these counts from the same shared class map
         // at intern time; skip the lock and the re-aggregation.
         match counts {
-            Some(counts) => !self.evaluator.any_satisfied(counts),
+            Some(counts) => match self.active_evaluator() {
+                Some(evaluator) => !evaluator.any_satisfied(counts),
+                None => false,
+            },
             None => self.should_terminate(objects),
         }
     }
@@ -76,6 +104,8 @@ pub struct EngineBuilder {
     queries: Vec<CnfQuery>,
     stats: Option<DatasetStats>,
     class_store: Option<SharedClassMap>,
+    allow_empty: bool,
+    catalog_seed: u64,
 }
 
 impl EngineBuilder {
@@ -88,7 +118,27 @@ impl EngineBuilder {
             queries: Vec::new(),
             stats: None,
             class_store: None,
+            allow_empty: false,
+            catalog_seed: 0,
         }
+    }
+
+    /// Permits building with zero registered queries. Off by default (an
+    /// embedded engine with no queries is almost always a configuration
+    /// mistake); server deployments turn it on so the engine can start idle
+    /// and receive its workload over the wire via
+    /// [`TemporalVideoQueryEngine::add_query`].
+    pub fn allow_empty_catalog(mut self) -> Self {
+        self.allow_empty = true;
+        self
+    }
+
+    /// Seeds the catalog's version counter. The multi-feed engine uses this
+    /// so a per-feed engine built lazily *after* catalog swaps reports the
+    /// fleet's current version rather than restarting at zero.
+    pub(crate) fn with_catalog_seed(mut self, version: u64) -> Self {
+        self.catalog_seed = version;
+        self
     }
 
     /// Registers into a caller-provided (possibly shared) class store
@@ -129,14 +179,12 @@ impl EngineBuilder {
 
     /// Builds the engine.
     pub fn build(self) -> Result<TemporalVideoQueryEngine> {
-        if self.queries.is_empty() {
+        if self.queries.is_empty() && !self.allow_empty {
             return Err(Error::InvalidConfig(
                 "at least one query must be registered".to_owned(),
             ));
         }
-        for query in &self.queries {
-            query.validate().map_err(Error::InvalidConfig)?;
-        }
+        let catalog = QueryCatalog::new(self.queries, self.catalog_seed)?;
         let kind = match self.config.maintainer {
             MaintainerSelection::Fixed(kind) => kind,
             MaintainerSelection::Auto => self
@@ -145,9 +193,6 @@ impl EngineBuilder {
                 .map(choose_maintainer)
                 .unwrap_or(MaintainerKind::Ssg),
         };
-        let relevant_classes: FxHashSet<ClassId> =
-            self.queries.iter().flat_map(|q| q.classes()).collect();
-        let evaluator = Arc::new(CnfEvaluator::new(self.queries));
         let classes: SharedClassMap = self
             .class_store
             .unwrap_or_else(|| Arc::new(RwLock::new(ClassStore::new())));
@@ -156,9 +201,14 @@ impl EngineBuilder {
         // the evaluator skips the per-frame histogram rebuild.
         let interner =
             SetInterner::with_classes(Arc::clone(&classes)).with_memo_config(self.config.memo);
-        let pruner: Option<SharedPruner> = if self.config.pruning && evaluator.all_geq_only() {
+        // The pruner is attached whenever pruning is configured — even if
+        // the *current* catalog cannot prune — because the catalog may swap
+        // to a prunable workload later. The LivePruner reads the snapshot's
+        // prune_active flag per judgement, so an inactive pruner keeps
+        // every state (and `strategy()` drops the "_O" suffix).
+        let pruner: Option<SharedPruner> = if self.config.pruning {
             Some(Arc::new(LivePruner {
-                evaluator: Arc::clone(&evaluator),
+                catalog: catalog.shared(),
                 classes: Arc::clone(&classes),
             }))
         } else {
@@ -168,10 +218,9 @@ impl EngineBuilder {
         Ok(TemporalVideoQueryEngine {
             config: self.config,
             registry: self.registry,
-            evaluator,
+            catalog,
             maintainer,
             lifecycle: ObjectLifecycle::new(classes),
-            relevant_classes,
             frames_since_compaction_check: 0,
         })
     }
@@ -181,7 +230,9 @@ impl EngineBuilder {
 pub struct TemporalVideoQueryEngine {
     config: EngineConfig,
     registry: ClassRegistry,
-    evaluator: Arc<CnfEvaluator>,
+    /// The versioned query workload. The engine is its sole writer;
+    /// the maintainer's [`LivePruner`] follows it through the shared cell.
+    catalog: QueryCatalog,
     maintainer: Box<dyn StateMaintainer>,
     /// Generation-aware tracker-id resolution, class-store registration and
     /// epoch retirement (see [`ObjectLifecycle`]). Holds the engine's
@@ -189,7 +240,6 @@ pub struct TemporalVideoQueryEngine {
     /// per-frame fast path that skips the store's write lock in steady
     /// state.
     lifecycle: ObjectLifecycle,
-    relevant_classes: FxHashSet<ClassId>,
     /// Frames since the compaction policy was last consulted.
     frames_since_compaction_check: u64,
 }
@@ -198,8 +248,9 @@ impl std::fmt::Debug for TemporalVideoQueryEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TemporalVideoQueryEngine")
             .field("config", &self.config)
-            .field("strategy", &self.maintainer.name())
-            .field("queries", &self.evaluator.len())
+            .field("strategy", &self.strategy())
+            .field("queries", &self.catalog.snapshot().queries().len())
+            .field("catalog_version", &self.catalog.version())
             .finish()
     }
 }
@@ -216,8 +267,59 @@ impl TemporalVideoQueryEngine {
     }
 
     /// The name of the MCOS-generation strategy in use (e.g. `"SSG_O"`).
+    /// The `_O` pruning suffix tracks the *current* catalog: it appears
+    /// only while the registered workload actually lets Section 5.3
+    /// terminate states (≥-only and non-empty).
     pub fn strategy(&self) -> &'static str {
-        self.maintainer.name()
+        let name = self.maintainer.name();
+        if self.catalog.snapshot().prune_active() {
+            name
+        } else {
+            name.trim_end_matches("_O")
+        }
+    }
+
+    /// The current query-catalog version (0 at build; each
+    /// [`add_query`](Self::add_query) / [`remove_query`](Self::remove_query)
+    /// increments it).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.version()
+    }
+
+    /// The currently registered queries.
+    pub fn queries(&self) -> &[CnfQuery] {
+        self.catalog.snapshot().queries()
+    }
+
+    /// Registers a query mid-stream, swapping in a new catalog version
+    /// before the next frame. The new query's matches converge with a
+    /// fresh engine's after one full window turnover (states the old
+    /// catalog pruned, and detections its class filter dropped, are not
+    /// resurrected — see the [catalog docs](crate::catalog)).
+    pub fn add_query(&mut self, query: CnfQuery) -> Result<()> {
+        self.catalog.add_query(query)?;
+        self.maintainer.pruner_changed();
+        Ok(())
+    }
+
+    /// Parses and registers a textual query (e.g. `"car >= 2"`)
+    /// mid-stream, minting the next free query id. Returns the id so the
+    /// caller can [`remove_query`](Self::remove_query) it later.
+    pub fn add_query_text(&mut self, text: &str) -> Result<QueryId> {
+        let id = self.catalog.next_query_id();
+        let query = tvq_query::parse_query(text, id, &mut self.registry)?;
+        self.add_query(query)?;
+        Ok(id)
+    }
+
+    /// Cancels a query mid-stream, swapping in a new catalog version
+    /// before the next frame. Immediately invisible to surviving queries
+    /// (removal only narrows evaluation and widens ≥-only pruning, which
+    /// Proposition 1 keeps sound).
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        self.catalog.remove_query(id)?;
+        self.maintainer.pruner_changed();
+        Ok(())
     }
 
     /// The class registry (labels for query classes).
@@ -231,6 +333,8 @@ impl TemporalVideoQueryEngine {
     pub fn metrics(&self) -> MaintenanceMetrics {
         let mut metrics = self.maintainer.metrics().clone();
         metrics.tracked_objects = self.lifecycle.tracked_objects() as u64;
+        metrics.tracks_ended = self.lifecycle.tracks_ended();
+        metrics.catalog_swaps = self.catalog.swaps();
         metrics.class_map_bytes = self
             .lifecycle
             .store()
@@ -296,9 +400,17 @@ impl TemporalVideoQueryEngine {
     /// too. Matches always report **tracker ids** as ingested (aliased
     /// generations are translated back at the result boundary).
     pub fn observe(&mut self, frame: &FrameObjects) -> Result<FrameResult> {
+        // Apply track-end events *before* resolving this frame's detections:
+        // an id the tracker ended and immediately recycled (same frame or a
+        // later one, same class or not) must start a new generation rather
+        // than splice into the ended one.
+        if !frame.track_ends.is_empty() {
+            self.lifecycle.end_tracks(&frame.track_ends);
+        }
+        let snapshot = Arc::clone(self.catalog.snapshot());
         let mut internal: Vec<ObjectId> = Vec::with_capacity(frame.classes.len());
         self.lifecycle
-            .resolve_frame(&frame.classes, &self.relevant_classes, &mut internal);
+            .resolve_frame(&frame.classes, snapshot.relevant_classes(), &mut internal);
         let objects = ObjectSet::from_ids(internal);
         self.maintainer.advance(frame.fid, &objects)?;
         if let Some(policy) = &self.config.compaction {
@@ -316,7 +428,11 @@ impl TemporalVideoQueryEngine {
                 .store()
                 .read()
                 .unwrap_or_else(PoisonError::into_inner);
-            evaluate_result_set(&self.evaluator, self.maintainer.results(), store.classes())
+            evaluate_result_set(
+                snapshot.evaluator(),
+                self.maintainer.results(),
+                store.classes(),
+            )
         };
         if self.lifecycle.has_aliases() {
             // Reuse generations are live: translate alias internals back to
@@ -357,7 +473,7 @@ impl TemporalVideoQueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tvq_common::WindowSpec;
+    use tvq_common::{ClassId, WindowSpec};
 
     fn frame(fid: u64, detections: &[(u32, u16)]) -> FrameObjects {
         FrameObjects::new(
@@ -508,10 +624,10 @@ mod tests {
     #[test]
     fn live_pruner_survives_a_poisoned_class_map() {
         let mut registry = ClassRegistry::with_default_classes();
-        let query =
-            tvq_query::parse_query("car >= 1", tvq_common::QueryId(0), &mut registry).unwrap();
+        let query = tvq_query::parse_query("car >= 1", QueryId(0), &mut registry).unwrap();
+        let catalog = QueryCatalog::new(vec![query], 0).unwrap();
         let pruner = LivePruner {
-            evaluator: Arc::new(CnfEvaluator::new(vec![query])),
+            catalog: catalog.shared(),
             classes: Arc::new(RwLock::new(ClassStore::preloaded([(
                 ObjectId(1),
                 ClassId(1),
@@ -597,6 +713,167 @@ mod tests {
             Some(ClassId(1)),
             "the stale car class must be gone"
         );
+    }
+
+    /// The PR-5 blind spot: an id the tracker recycles at the **same**
+    /// class within a compaction epoch is indistinguishable from a bridged
+    /// occlusion and splices into the old generation's frame sets —
+    /// manufacturing a duration the new object never had. Explicit
+    /// track-end events close it.
+    #[test]
+    fn track_end_prevents_same_class_recycle_splice() {
+        let build = || {
+            TemporalVideoQueryEngine::builder(
+                EngineConfig::new(WindowSpec::new(6, 3).unwrap())
+                    .with_maintainer(MaintainerKind::Ssg),
+            )
+            .with_query_text("car >= 1")
+            .unwrap()
+            .build()
+            .unwrap()
+        };
+        // Car 1 for two frames, its track ends, then id 1 returns as a
+        // *different* car. Without the end event the newcomer's frame 3
+        // splices onto frames {0, 1} — three frames fake a duration-3
+        // match. With it, the newcomer has one frame and cannot match yet.
+        let with_end = [
+            frame(0, &[(1, 1)]),
+            frame(1, &[(1, 1)]),
+            frame(2, &[]).with_track_ends(vec![ObjectId(1)]),
+            frame(3, &[(1, 1)]),
+        ];
+        let mut engine = build();
+        for f in &with_end {
+            let result = engine.observe(f).unwrap();
+            assert!(
+                !result.any(),
+                "frame {}: a 1-frame newcomer must not satisfy duration 3: {:?}",
+                f.fid,
+                result.matches
+            );
+        }
+        assert_eq!(engine.lifecycle().tracks_ended(), 1);
+        assert_eq!(
+            engine.lifecycle().generations_started(),
+            2,
+            "the recycled id starts a new generation"
+        );
+        // Control: the identical feed *without* the end event splices and
+        // false-matches — proving the test bites.
+        let without_end = [
+            frame(0, &[(1, 1)]),
+            frame(1, &[(1, 1)]),
+            frame(2, &[]),
+            frame(3, &[(1, 1)]),
+        ];
+        let mut engine = build();
+        let mut matched = false;
+        for f in &without_end {
+            matched |= engine.observe(f).unwrap().any();
+        }
+        assert!(matched, "without end events the splice false-matches");
+    }
+
+    /// Ending a track and recycling its id in the *same* frame still
+    /// separates the generations (ends apply before resolution).
+    #[test]
+    fn track_end_applies_before_same_frame_detections() {
+        let mut engine = TemporalVideoQueryEngine::builder(
+            EngineConfig::new(WindowSpec::new(6, 3).unwrap()).with_maintainer(MaintainerKind::Mfs),
+        )
+        .with_query_text("car >= 1")
+        .unwrap()
+        .build()
+        .unwrap();
+        engine.observe(&frame(0, &[(1, 1)])).unwrap();
+        engine.observe(&frame(1, &[(1, 1)])).unwrap();
+        let reuse = frame(2, &[(1, 1)]).with_track_ends(vec![ObjectId(1)]);
+        let result = engine.observe(&reuse).unwrap();
+        assert!(!result.any(), "the newcomer has one frame, not three");
+        assert_eq!(engine.lifecycle().generations_started(), 2);
+        // The match at frame 4 belongs to the *newcomer* (frames 2..=4) and
+        // reports the tracker id the caller knows.
+        engine.observe(&frame(3, &[(1, 1)])).unwrap();
+        let result = engine.observe(&frame(4, &[(1, 1)])).unwrap();
+        assert!(result
+            .matches
+            .iter()
+            .any(|m| m.objects == ObjectSet::from_raw([1]) && m.frames.len() == 3));
+    }
+
+    #[test]
+    fn queries_register_and_cancel_mid_stream() {
+        let mut engine = TemporalVideoQueryEngine::builder(small_config(MaintainerKind::Ssg))
+            .with_query_text("car >= 1")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(engine.catalog_version(), 0);
+        engine.observe(&frame(0, &[(1, 1), (2, 0)])).unwrap();
+
+        // A person query arrives mid-stream under the next free id.
+        let person = engine.add_query_text("person >= 1").unwrap();
+        assert_eq!(person, tvq_common::QueryId(1));
+        assert_eq!(engine.catalog_version(), 1);
+        assert_eq!(engine.queries().len(), 2);
+        // Within the convergence window (duration 3) the newcomer builds up.
+        for fid in 1..4u64 {
+            engine.observe(&frame(fid, &[(1, 1), (2, 0)])).unwrap();
+        }
+        let result = engine.observe(&frame(4, &[(1, 1), (2, 0)])).unwrap();
+        assert!(result
+            .matches
+            .iter()
+            .any(|m| m.query == tvq_common::QueryId(0)));
+        assert!(
+            result.matches.iter().any(|m| m.query == person),
+            "the added query matches once its window fills: {:?}",
+            result.matches
+        );
+
+        // Cancelling is immediate: the removed id never appears again.
+        engine.remove_query(tvq_common::QueryId(0)).unwrap();
+        assert_eq!(engine.catalog_version(), 2);
+        assert_eq!(engine.metrics().catalog_swaps, 2);
+        let result = engine.observe(&frame(5, &[(1, 1), (2, 0)])).unwrap();
+        assert!(result.matches.iter().all(|m| m.query == person));
+        // Failed operations leave the catalog untouched.
+        assert!(engine.remove_query(tvq_common::QueryId(0)).is_err());
+        assert_eq!(engine.catalog_version(), 2);
+    }
+
+    #[test]
+    fn strategy_suffix_follows_catalog_swaps() {
+        let mut engine = TemporalVideoQueryEngine::builder(small_config(MaintainerKind::Ssg))
+            .with_query_text("car >= 2")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(engine.strategy(), "SSG_O");
+        // A <= query disables Proposition-1 pruning; removal re-enables it.
+        let mixed = engine.add_query_text("person <= 1").unwrap();
+        assert_eq!(engine.strategy(), "SSG");
+        engine.remove_query(mixed).unwrap();
+        assert_eq!(engine.strategy(), "SSG_O");
+    }
+
+    #[test]
+    fn empty_catalog_engine_starts_idle_and_accepts_queries() {
+        let mut engine = TemporalVideoQueryEngine::builder(small_config(MaintainerKind::Ssg))
+            .allow_empty_catalog()
+            .build()
+            .unwrap();
+        assert_eq!(engine.strategy(), "SSG", "nothing to prune for");
+        // With no queries every class is irrelevant: no states, no matches.
+        let result = engine.observe(&frame(0, &[(1, 1), (2, 0)])).unwrap();
+        assert!(!result.any());
+        assert_eq!(engine.live_states(), 0);
+        engine.add_query_text("car >= 1").unwrap();
+        for fid in 1..4u64 {
+            engine.observe(&frame(fid, &[(1, 1)])).unwrap();
+        }
+        let result = engine.observe(&frame(4, &[(1, 1)])).unwrap();
+        assert!(result.any(), "queries added to an idle engine take effect");
     }
 
     #[test]

@@ -60,15 +60,19 @@
 #![deny(missing_docs)]
 
 pub mod adaptive;
+pub mod catalog;
 pub mod config;
 pub mod engine;
 pub mod multi;
 pub mod pipeline;
+pub mod subscribe;
 
 pub use adaptive::choose_maintainer;
+pub use catalog::{CatalogSnapshot, QueryCatalog, SharedCatalog};
 pub use config::{EngineConfig, MaintainerSelection, MultiFeedConfig};
 pub use engine::{EngineBuilder, FrameResult, TemporalVideoQueryEngine};
 pub use multi::{
     FeedFrame, FeedFrameResult, FeedReport, MultiFeedBuilder, MultiFeedEngine, MultiFeedReport,
 };
 pub use pipeline::{run_workload, RunReport};
+pub use subscribe::{MatchEvent, SubscriberId, Subscription, SubscriptionHub};

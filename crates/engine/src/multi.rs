@@ -127,6 +127,11 @@ pub struct FeedReport {
     pub matching_frames: u64,
     /// States currently materialised by the feed's maintainer.
     pub live_states: usize,
+    /// The query-catalog version the feed's engine answered under when the
+    /// report was taken. Every feed of a healthy fleet reports the same
+    /// version: catalog ops broadcast through the same FIFO channels as
+    /// frames, so by collection time every shard has applied every swap.
+    pub catalog_version: u64,
     /// The feed's maintenance work counters.
     pub metrics: MaintenanceMetrics,
 }
@@ -140,6 +145,11 @@ pub struct MultiFeedReport {
     pub feeds: Vec<FeedReport>,
     /// All per-feed metrics folded with [`MaintenanceMetrics::merge`].
     pub metrics: MaintenanceMetrics,
+    /// The fleet's query-catalog version at collection time. Per-feed
+    /// engines seeded after swaps report this same version (not zero), so
+    /// the merge is version-coherent — see
+    /// [`FeedReport::catalog_version`].
+    pub catalog_version: u64,
 }
 
 impl MultiFeedReport {
@@ -179,10 +189,17 @@ struct EngineSpec {
 }
 
 impl EngineSpec {
-    fn build_engine(&self) -> Result<TemporalVideoQueryEngine> {
-        let mut builder =
-            TemporalVideoQueryEngine::builder(self.config).with_registry(self.registry.clone());
-        for query in &self.queries {
+    /// Builds a per-feed engine for the *current* catalog state: a feed
+    /// first seen after swaps must answer under the swapped query set and
+    /// report the fleet's version, not the build-time spec — per-feed
+    /// engines built lazily from a stale spec were exactly the
+    /// stale-report bug the version plumbing exists to prevent.
+    fn build_engine(&self, queries: &[CnfQuery], version: u64) -> Result<TemporalVideoQueryEngine> {
+        let mut builder = TemporalVideoQueryEngine::builder(self.config)
+            .with_registry(self.registry.clone())
+            .allow_empty_catalog()
+            .with_catalog_seed(version);
+        for query in queries {
             builder = builder.with_query(query.clone());
         }
         if let Some(stats) = self.stats.clone() {
@@ -203,6 +220,7 @@ pub struct MultiFeedBuilder {
     registry: ClassRegistry,
     queries: Vec<CnfQuery>,
     stats: Option<DatasetStats>,
+    allow_empty: bool,
 }
 
 impl MultiFeedBuilder {
@@ -214,7 +232,16 @@ impl MultiFeedBuilder {
             registry: ClassRegistry::with_default_classes(),
             queries: Vec::new(),
             stats: None,
+            allow_empty: false,
         }
+    }
+
+    /// Permits building with zero registered queries (the server starts
+    /// idle and receives its workload over the wire via
+    /// [`MultiFeedEngine::add_query`]).
+    pub fn allow_empty_catalog(mut self) -> Self {
+        self.allow_empty = true;
+        self
     }
 
     /// Uses a custom class registry.
@@ -252,6 +279,13 @@ impl MultiFeedBuilder {
                 "multi-feed engine needs at least one worker".to_owned(),
             ));
         }
+        if self.queries.is_empty() && !self.allow_empty {
+            return Err(Error::InvalidConfig(
+                "at least one query must be registered".to_owned(),
+            ));
+        }
+        let queries = self.queries.clone();
+        let registry = self.registry.clone();
         let spec = Arc::new(EngineSpec {
             config: self.config.engine,
             registry: self.registry,
@@ -264,7 +298,7 @@ impl MultiFeedBuilder {
         });
         // Validate the shared spec once, up front, so that per-feed engine
         // construction inside the workers cannot fail later.
-        spec.build_engine()?;
+        spec.build_engine(&spec.queries, 0)?;
         let (results_tx, results_rx) = mpsc::channel();
         let workers = (0..self.config.workers)
             .map(|index| {
@@ -286,8 +320,18 @@ impl MultiFeedBuilder {
             workers,
             results: results_rx,
             epoch: 0,
+            queries,
+            registry,
+            catalog_version: 0,
         })
     }
+}
+
+/// One catalog mutation, broadcast to every worker.
+#[derive(Clone)]
+enum CatalogOp {
+    Add(CnfQuery),
+    Remove(QueryId),
 }
 
 enum WorkerMsg {
@@ -301,6 +345,15 @@ enum WorkerMsg {
         /// results that a later batch would mistake for its own.
         epoch: u64,
         frames: Vec<(usize, FeedId, FrameObjects)>,
+    },
+    /// A catalog swap. Queues behind any frames already sent on the same
+    /// channel and ahead of any sent later, so every worker applies it at
+    /// the same point of the frame stream — epoch-aligned, deterministic,
+    /// and invisible to `(seq, feed)` result ordering. Fire-and-forget:
+    /// the engine validated the op centrally, so workers cannot reject it.
+    Catalog {
+        version: u64,
+        op: CatalogOp,
     },
     Collect {
         reply: Sender<Vec<FeedReport>>,
@@ -330,24 +383,48 @@ impl FeedTally {
 fn worker_loop(spec: Arc<EngineSpec>, inbox: Receiver<WorkerMsg>, results: Sender<ShardResult>) {
     // BTreeMap so collection iterates feeds in ascending id order.
     let mut engines: BTreeMap<FeedId, (TemporalVideoQueryEngine, FeedTally)> = BTreeMap::new();
+    // The worker-local view of the current catalog: engines for feeds first
+    // seen *after* a swap must be built from this, not the build-time spec,
+    // or a late-arriving feed would answer (and report metrics) under a
+    // stale query set.
+    let mut current_queries: Vec<CnfQuery> = spec.queries.clone();
+    let mut current_version: u64 = 0;
     for message in inbox {
         match message {
+            WorkerMsg::Catalog { version, op } => {
+                match &op {
+                    CatalogOp::Add(query) => current_queries.push(query.clone()),
+                    CatalogOp::Remove(id) => current_queries.retain(|q| q.id != *id),
+                }
+                current_version = version;
+                for (engine, _) in engines.values_mut() {
+                    // Centrally validated; per-engine application cannot
+                    // fail (ids are fleet-unique and present everywhere).
+                    let applied = match &op {
+                        CatalogOp::Add(query) => engine.add_query(query.clone()),
+                        CatalogOp::Remove(id) => engine.remove_query(*id),
+                    };
+                    debug_assert!(applied.is_ok(), "validated catalog op rejected");
+                }
+            }
             WorkerMsg::Frames { epoch, frames } => {
                 let mut outcomes: Vec<(usize, FeedId, Result<FrameResult>)> =
                     Vec::with_capacity(frames.len());
                 for (seq, feed, frame) in frames {
                     let entry = match engines.entry(feed) {
                         Entry::Occupied(entry) => entry.into_mut(),
-                        Entry::Vacant(vacant) => match spec.build_engine() {
-                            Ok(engine) => vacant.insert((engine, FeedTally::default())),
-                            Err(error) => {
-                                // Unreachable in practice: the builder
-                                // validated the spec. Report instead of
-                                // panicking.
-                                outcomes.push((seq, feed, Err(error)));
-                                continue;
+                        Entry::Vacant(vacant) => {
+                            match spec.build_engine(&current_queries, current_version) {
+                                Ok(engine) => vacant.insert((engine, FeedTally::default())),
+                                Err(error) => {
+                                    // Unreachable in practice: the builder
+                                    // validated the spec. Report instead of
+                                    // panicking.
+                                    outcomes.push((seq, feed, Err(error)));
+                                    continue;
+                                }
                             }
-                        },
+                        }
                     };
                     let outcome = entry.0.observe(&frame);
                     if let Ok(result) = &outcome {
@@ -369,6 +446,7 @@ fn worker_loop(spec: Arc<EngineSpec>, inbox: Receiver<WorkerMsg>, results: Sende
                         total_matches: tally.total_matches,
                         matching_frames: tally.matching_frames,
                         live_states: engine.live_states(),
+                        catalog_version: engine.catalog_version(),
                         metrics: engine.metrics(),
                     })
                     .collect();
@@ -395,6 +473,14 @@ pub struct MultiFeedEngine {
     results: Receiver<ShardResult>,
     /// Monotonic batch counter; see `WorkerMsg::Frame::epoch`.
     epoch: u64,
+    /// The master query list: the engine validates catalog ops against it
+    /// before broadcasting, so workers can apply them infallibly.
+    queries: Vec<CnfQuery>,
+    /// The master class registry, used to parse textual queries added over
+    /// [`add_query_text`](Self::add_query_text).
+    registry: ClassRegistry,
+    /// The fleet-wide catalog version (one increment per broadcast op).
+    catalog_version: u64,
 }
 
 impl std::fmt::Debug for MultiFeedEngine {
@@ -425,6 +511,72 @@ impl MultiFeedEngine {
     /// The worker index feed `feed` is pinned to.
     pub fn shard_of(&self, feed: FeedId) -> usize {
         feed.raw() as usize % self.workers.len()
+    }
+
+    /// The fleet-wide query-catalog version.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// The currently registered queries (the master copy every per-feed
+    /// engine mirrors).
+    pub fn queries(&self) -> &[CnfQuery] {
+        &self.queries
+    }
+
+    /// Registers a query across the whole fleet. The swap is epoch-aligned:
+    /// it queues behind every frame already pushed and ahead of every frame
+    /// pushed later, identically on every shard, so result ordering by
+    /// `(seq, feed)` is unchanged and reruns are deterministic.
+    pub fn add_query(&mut self, query: CnfQuery) -> Result<()> {
+        query.validate().map_err(Error::InvalidConfig)?;
+        if self.queries.iter().any(|q| q.id == query.id) {
+            return Err(Error::InvalidConfig(format!(
+                "query id {:?} is already registered",
+                query.id
+            )));
+        }
+        self.broadcast(CatalogOp::Add(query.clone()))?;
+        self.queries.push(query);
+        Ok(())
+    }
+
+    /// Parses and registers a textual query (e.g. `"car >= 2"`) across the
+    /// fleet, minting the next free query id.
+    pub fn add_query_text(&mut self, text: &str) -> Result<QueryId> {
+        let id = QueryId(self.queries.iter().map(|q| q.id.0 + 1).max().unwrap_or(0));
+        let query = tvq_query::parse_query(text, id, &mut self.registry)?;
+        self.add_query(query)?;
+        Ok(id)
+    }
+
+    /// Cancels a query across the whole fleet (same alignment guarantees
+    /// as [`add_query`](Self::add_query)).
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        if !self.queries.iter().any(|q| q.id == id) {
+            return Err(Error::InvalidConfig(format!("unknown query id {id:?}")));
+        }
+        self.broadcast(CatalogOp::Remove(id))?;
+        self.queries.retain(|q| q.id != id);
+        Ok(())
+    }
+
+    fn broadcast(&mut self, op: CatalogOp) -> Result<()> {
+        let version = self.catalog_version + 1;
+        for (index, worker) in self.workers.iter().enumerate() {
+            let inbox = worker
+                .inbox
+                .as_ref()
+                .ok_or(Error::ShardLost { worker: index })?;
+            inbox
+                .send(WorkerMsg::Catalog {
+                    version,
+                    op: op.clone(),
+                })
+                .map_err(|_| Error::ShardLost { worker: index })?;
+        }
+        self.catalog_version = version;
+        Ok(())
     }
 
     /// Processes a single feed-tagged frame. Equivalent to a one-element
@@ -533,8 +685,22 @@ impl MultiFeedEngine {
             feeds.extend(part);
         }
         feeds.sort_by_key(|report| report.feed);
+        // Version-aware merge: the collect message queued behind every
+        // catalog op on every shard, so each feed must report the fleet's
+        // current version — a mismatch would mean some shard merged
+        // metrics computed under a different query set.
+        debug_assert!(
+            feeds
+                .iter()
+                .all(|report| report.catalog_version == self.catalog_version),
+            "a shard reported under a stale catalog version"
+        );
         let metrics = MaintenanceMetrics::merged(feeds.iter().map(|report| &report.metrics));
-        Ok(MultiFeedReport { feeds, metrics })
+        Ok(MultiFeedReport {
+            feeds,
+            metrics,
+            catalog_version: self.catalog_version,
+        })
     }
 }
 
@@ -680,6 +846,105 @@ mod tests {
                     assert_eq!(&results, expected_results, "workers={workers}");
                     assert_eq!(&report, expected_report, "workers={workers}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_swaps_reach_every_shard_in_stream_order() {
+        let mut engine = engine(3);
+        // Warm two feeds under the original car+person query.
+        for fid in 0..2u64 {
+            for feed in 0..2u32 {
+                engine
+                    .push(FeedId(feed), frame(fid, &[(1, 1), (2, 0)]))
+                    .unwrap();
+            }
+        }
+        let person = engine.add_query_text("person >= 1").unwrap();
+        assert_eq!(engine.catalog_version(), 1);
+        // Enough frames for the new query's window (duration 3) to fill.
+        let mut results = Vec::new();
+        for fid in 2..6u64 {
+            for feed in 0..2u32 {
+                results.push(
+                    engine
+                        .push(FeedId(feed), frame(fid, &[(1, 1), (2, 0)]))
+                        .unwrap(),
+                );
+            }
+        }
+        assert!(
+            results
+                .iter()
+                .any(|r| r.result.matches.iter().any(|m| m.query == person)),
+            "the added query matches on every feed"
+        );
+        engine.remove_query(person).unwrap();
+        let last = engine.push(FeedId(0), frame(6, &[(1, 1), (2, 0)])).unwrap();
+        assert!(
+            last.result.matches.iter().all(|m| m.query != person),
+            "removal is immediate"
+        );
+        let report = engine.report().unwrap();
+        assert_eq!(report.catalog_version, 2);
+        assert!(report.feeds.iter().all(|feed| feed.catalog_version == 2));
+    }
+
+    /// The stale-spec regression: a feed first seen *after* catalog swaps
+    /// must answer under the swapped query set (and report the fleet's
+    /// version), not the query set the pool was built with.
+    #[test]
+    fn feeds_arriving_after_a_swap_use_the_current_catalog() {
+        let mut engine = engine(2);
+        engine.push(FeedId(0), frame(0, &[(1, 1)])).unwrap();
+        let person = engine.add_query_text("person >= 1").unwrap();
+        // Feed 7 has never been seen; its engine is built lazily *now*.
+        for fid in 0..3u64 {
+            let result = engine.push(FeedId(7), frame(fid, &[(9, 0)])).unwrap();
+            if fid == 2 {
+                assert!(
+                    result.result.matches.iter().any(|m| m.query == person),
+                    "a lazily built engine must know the added query: {:?}",
+                    result.result.matches
+                );
+            }
+        }
+        let report = engine.report().unwrap();
+        assert_eq!(report.catalog_version, 1);
+        for feed in &report.feeds {
+            assert_eq!(feed.catalog_version, 1, "feed {} is stale", feed.feed);
+        }
+    }
+
+    #[test]
+    fn catalog_ops_validate_centrally() {
+        let mut engine = engine(2);
+        // Duplicate id: the builder registered QueryId(0).
+        let dup = CnfQuery::conjunction(
+            QueryId(0),
+            vec![tvq_query::Condition::at_least(ClassId(1), 1)],
+        );
+        assert!(engine.add_query(dup).is_err());
+        assert!(engine.remove_query(QueryId(9)).is_err());
+        assert_eq!(engine.catalog_version(), 0, "failed ops don't bump");
+        assert_eq!(engine.queries().len(), 1);
+    }
+
+    #[test]
+    fn empty_fleet_starts_idle_and_accepts_queries() {
+        assert!(MultiFeedEngine::builder(config(2)).build().is_err());
+        let mut engine = MultiFeedEngine::builder(config(2))
+            .allow_empty_catalog()
+            .build()
+            .unwrap();
+        let result = engine.push(FeedId(0), frame(0, &[(1, 1)])).unwrap();
+        assert!(!result.result.any());
+        let car = engine.add_query_text("car >= 1").unwrap();
+        for fid in 1..4u64 {
+            let result = engine.push(FeedId(0), frame(fid, &[(1, 1)])).unwrap();
+            if fid == 3 {
+                assert!(result.result.matches.iter().any(|m| m.query == car));
             }
         }
     }

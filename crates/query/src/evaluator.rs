@@ -55,12 +55,23 @@ pub struct CnfEvaluator {
     queries: Vec<CnfQuery>,
     /// Number of disjunctions per query (satisfaction target).
     clause_counts: Vec<u32>,
+    /// First mask word of each query's clause-coverage run (see
+    /// [`evaluate`](Self::evaluate)): query `q` owns the words
+    /// `mask_offsets[q] .. mask_offsets[q] + ceil(clause_counts[q] / 64)`.
+    mask_offsets: Vec<u32>,
+    /// Total mask words across all registered queries.
+    mask_words: usize,
     /// Equality index: (class, value) → postings.
     eq_index: HashMap<(ClassId, u32), Vec<Posting>>,
     /// `>=` index per class, ordered ascending by threshold.
     ge_index: HashMap<ClassId, OrderedIndex>,
     /// `<=` index per class, ordered ascending by threshold.
     le_index: HashMap<ClassId, OrderedIndex>,
+}
+
+/// Mask words needed to give every one of `clauses` disjunctions its own bit.
+fn words_for(clauses: u32) -> usize {
+    (clauses as usize).div_ceil(64)
 }
 
 impl CnfEvaluator {
@@ -76,7 +87,10 @@ impl CnfEvaluator {
     /// Registers one more query, extending the indexes incrementally.
     pub fn add_query(&mut self, query: CnfQuery) {
         let query_index = self.queries.len();
-        self.clause_counts.push(query.clauses.len() as u32);
+        let clauses = query.clauses.len() as u32;
+        self.clause_counts.push(clauses);
+        self.mask_offsets.push(self.mask_words as u32);
+        self.mask_words += words_for(clauses);
         for (disjunction, clause) in query.clauses.iter().enumerate() {
             for condition in clause {
                 let posting = Posting {
@@ -134,24 +148,29 @@ impl CnfEvaluator {
     /// per query. Classes that appear in `<=` or `=` conditions but not in
     /// the input aggregate are treated as count 0.
     pub fn evaluate(&self, counts: &ClassCounts) -> Vec<QueryId> {
-        // masks[query] = bitmask of satisfied disjunctions (queries have few
-        // clauses, far fewer than 64, which `add_query` relies on). Query
-        // indices are dense, so a per-query slot array replaces the old
-        // hash map — and workloads are small (the paper sweeps up to 50
-        // queries), so the slots live on the stack in the common case: the
-        // per-frame evaluation loop allocates nothing for bookkeeping.
-        const STACK_QUERIES: usize = 64;
-        let num_queries = self.queries.len();
-        let mut stack = [0u64; STACK_QUERIES];
+        // Every query owns a run of mask words (one bit per disjunction) at
+        // `mask_offsets[query]`, so disjunction indexes past 64 keep their
+        // own bits. The previous single-word-per-query scheme folded
+        // disjunctions with `% 64`: two satisfied clauses of a >64-clause
+        // query could share a bit while the satisfaction target was capped
+        // at 64, silently reporting false matches. Query mask runs are
+        // dense, and workloads are small (the paper sweeps up to 50
+        // queries of a handful of clauses each), so the words live on the
+        // stack in the common case: the per-frame evaluation loop
+        // allocates nothing for bookkeeping.
+        const STACK_WORDS: usize = 64;
+        let mut stack = [0u64; STACK_WORDS];
         let mut heap: Vec<u64>;
-        let masks: &mut [u64] = if num_queries <= STACK_QUERIES {
-            &mut stack[..num_queries]
+        let masks: &mut [u64] = if self.mask_words <= STACK_WORDS {
+            &mut stack[..self.mask_words]
         } else {
-            heap = vec![0u64; num_queries];
+            heap = vec![0u64; self.mask_words];
             &mut heap
         };
+        let offsets = &self.mask_offsets;
         let mut record = |posting: &Posting| {
-            masks[posting.query] |= 1u64 << (posting.disjunction % 64);
+            let word = offsets[posting.query] as usize + (posting.disjunction >> 6) as usize;
+            masks[word] |= 1u64 << (posting.disjunction & 63);
         };
 
         // >= conditions: thresholds up to and including the observed count.
@@ -182,14 +201,19 @@ impl CnfEvaluator {
             }
         }
 
-        let mut result: Vec<QueryId> = masks
-            .iter()
-            .enumerate()
-            .filter(|&(query, &mask)| {
-                mask != 0 && mask.count_ones() >= self.clause_counts[query].min(64)
-            })
-            .map(|(query, _)| self.queries[query].id)
-            .collect();
+        let mut result: Vec<QueryId> = Vec::new();
+        for (query, clauses) in self.clause_counts.iter().copied().enumerate() {
+            let start = self.mask_offsets[query] as usize;
+            let satisfied: u32 = masks[start..start + words_for(clauses)]
+                .iter()
+                .map(|word| word.count_ones())
+                .sum();
+            // Exact coverage: every disjunction owns exactly one bit, so a
+            // query matches iff all of its clauses set theirs.
+            if clauses > 0 && satisfied == clauses {
+                result.push(self.queries[query].id);
+            }
+        }
         result.sort_unstable();
         result
     }
@@ -353,6 +377,70 @@ mod tests {
         assert_eq!(matches[0].query, QueryId(5));
         assert_eq!(matches[0].objects, ObjectSet::from_raw([1, 2, 3]));
         assert_eq!(matches[0].frames.as_ref(), &[FrameId(3), FrameId(4)]);
+    }
+
+    /// Regression for the 64-clause mask boundary: with single-word masks,
+    /// clause 64 aliased onto clause 0's bit (`disjunction % 64`) while the
+    /// satisfaction target was capped at `min(64)`, so a 65-clause query
+    /// with clause 0 *unsatisfied* still false-matched once clauses 1..=64
+    /// covered 64 distinct bits. Multi-word masks give every clause its own
+    /// bit and demand exact coverage.
+    #[test]
+    fn sixty_five_clause_query_does_not_alias_disjunction_bits() {
+        let clauses: Vec<Vec<Condition>> = (0..65u16)
+            .map(|class| vec![Condition::at_least(ClassId(class), 1)])
+            .collect();
+        let query = CnfQuery::new(QueryId(7), clauses);
+        let evaluator = CnfEvaluator::new(vec![query.clone()]);
+        // Classes 1..=64 present, class 0 absent: clauses 1..=64 satisfied,
+        // clause 0 not — the query must NOT match.
+        let partial = counts(&(1..=64u16).map(|c| (c, 1)).collect::<Vec<_>>());
+        assert!(!query.eval(&partial));
+        assert!(
+            evaluator.evaluate(&partial).is_empty(),
+            "aliased disjunction bits reported a false match"
+        );
+        // All 65 classes present: the query matches.
+        let full = counts(&(0..65u16).map(|c| (c, 1)).collect::<Vec<_>>());
+        assert!(query.eval(&full));
+        assert_eq!(evaluator.evaluate(&full), vec![QueryId(7)]);
+    }
+
+    /// Sweeps clause counts across the word boundary (and multiple words)
+    /// with exactly one clause left unsatisfied each time.
+    #[test]
+    fn wide_queries_agree_with_direct_evaluation_at_word_boundaries() {
+        for num_clauses in [63u16, 64, 65, 127, 128, 129, 200] {
+            let clauses: Vec<Vec<Condition>> = (0..num_clauses)
+                .map(|class| vec![Condition::at_least(ClassId(class), 1)])
+                .collect();
+            let query = CnfQuery::new(QueryId(1), clauses);
+            // A narrow decoy shares the evaluator so mask offsets are
+            // exercised with heterogeneous widths.
+            let decoy = CnfQuery::conjunction(QueryId(0), vec![Condition::at_least(ClassId(0), 1)]);
+            let evaluator = CnfEvaluator::new(vec![decoy, query.clone()]);
+            for missing in [0, num_clauses / 2, num_clauses - 1] {
+                let sample = counts(
+                    &(0..num_clauses)
+                        .filter(|&c| c != missing)
+                        .map(|c| (c, 1))
+                        .collect::<Vec<_>>(),
+                );
+                assert!(!query.eval(&sample));
+                let satisfied = evaluator.evaluate(&sample);
+                assert!(
+                    !satisfied.contains(&QueryId(1)),
+                    "{num_clauses} clauses, clause {missing} unsatisfied: false match"
+                );
+                assert_eq!(
+                    satisfied.contains(&QueryId(0)),
+                    missing != 0,
+                    "decoy disagreement at {num_clauses}/{missing}"
+                );
+            }
+            let all = counts(&(0..num_clauses).map(|c| (c, 1)).collect::<Vec<_>>());
+            assert_eq!(evaluator.evaluate(&all), vec![QueryId(0), QueryId(1)]);
+        }
     }
 
     #[test]

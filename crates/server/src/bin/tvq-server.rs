@@ -1,0 +1,237 @@
+//! The `tvq-server` binary.
+//!
+//! Two modes:
+//!
+//! * **serve** (default): bind `--addr` and serve clients until killed.
+//!
+//!   ```text
+//!   tvq-server --addr 127.0.0.1:7878 --window 8 --duration 4
+//!   ```
+//!
+//! * **smoke** (`--smoke [--json]`): spin up a server on an ephemeral
+//!   port, drive a scripted client session through the full command
+//!   surface — register and cancel queries, round-trip a match through a
+//!   subscription, overflow a tiny subscriber queue to observe
+//!   backpressure drops — and gate on the results. `--json` writes
+//!   `BENCH_server_smoke.json` for the CI artifact trail.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tvq_common::{Error, Result, WindowSpec};
+use tvq_engine::EngineConfig;
+use tvq_server::{QueryServer, ServerClient};
+
+struct Args {
+    addr: String,
+    window: usize,
+    duration: usize,
+    smoke: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        window: 8,
+        duration: 4,
+        smoke: false,
+        json: false,
+    };
+    let mut raw = std::env::args().skip(1);
+    while let Some(flag) = raw.next() {
+        let mut value = |name: &str| {
+            raw.next()
+                .ok_or_else(|| Error::InvalidConfig(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--window" => {
+                args.window = value("--window")?
+                    .parse()
+                    .map_err(|_| Error::InvalidConfig("bad --window".to_string()))?
+            }
+            "--duration" => {
+                args.duration = value("--duration")?
+                    .parse()
+                    .map_err(|_| Error::InvalidConfig("bad --duration".to_string()))?
+            }
+            "--smoke" => args.smoke = true,
+            "--json" => args.json = true,
+            other => {
+                return Err(Error::InvalidConfig(format!("unknown flag {other:?}")));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("tvq-server: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.smoke {
+        smoke(&args)
+    } else {
+        serve(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("tvq-server: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn config(args: &Args) -> Result<EngineConfig> {
+    Ok(EngineConfig::new(WindowSpec::new(
+        args.window,
+        args.duration,
+    )?))
+}
+
+fn serve(args: &Args) -> Result<()> {
+    let server = QueryServer::bind(args.addr.as_str(), config(args)?)?;
+    println!("tvq-server listening on {}", server.local_addr()?);
+    server.run()
+}
+
+/// Extracts `key=<u64>` from a server response.
+fn field(response: &str, key: &str) -> Result<u64> {
+    response
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+        .ok_or_else(|| Error::InvalidConfig(format!("no {key}= field in response {response:?}")))
+}
+
+fn gate(condition: bool, what: &str) -> Result<()> {
+    if condition {
+        Ok(())
+    } else {
+        Err(Error::InvalidConfig(format!("smoke gate failed: {what}")))
+    }
+}
+
+fn smoke(args: &Args) -> Result<()> {
+    let started = Instant::now();
+    let handle = QueryServer::bind("127.0.0.1:0", config(args)?)?.spawn()?;
+    let outcome = smoke_session(args, handle.addr());
+    handle.stop();
+    let report = outcome?;
+    println!(
+        "server smoke: frames={} delivered={} dropped={} version={} in {:?}",
+        report.frames,
+        report.delivered,
+        report.dropped,
+        report.final_version,
+        started.elapsed()
+    );
+    if args.json {
+        let json = format!(
+            concat!(
+                "{{\"scenario\":\"server_smoke\",\"frames\":{},\"adds\":{},",
+                "\"removes\":{},\"final_version\":{},\"published\":{},",
+                "\"delivered\":{},\"dropped\":{},\"elapsed_ms\":{}}}"
+            ),
+            report.frames,
+            report.adds,
+            report.removes,
+            report.final_version,
+            report.published,
+            report.delivered,
+            report.dropped,
+            started.elapsed().as_millis()
+        );
+        fs::write("BENCH_server_smoke.json", json)?;
+        println!("wrote BENCH_server_smoke.json");
+    }
+    Ok(())
+}
+
+struct SmokeReport {
+    frames: u64,
+    adds: u64,
+    removes: u64,
+    final_version: u64,
+    published: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+fn smoke_session(args: &Args, addr: std::net::SocketAddr) -> Result<SmokeReport> {
+    let mut client = ServerClient::connect(addr)?;
+
+    // Register: a conjunctive query and a throwaway second one.
+    let added = client.expect_ok("ADD car >= 1 AND person >= 1")?;
+    let pair = field(&added, "id")?;
+    let throwaway = field(&client.expect_ok("ADD bus >= 2")?, "id")?;
+    gate(throwaway == pair + 1, "ids mint sequentially")?;
+
+    // A roomy subscriber and a cap=2 one to force backpressure drops.
+    let roomy = field(&client.expect_ok("SUBSCRIBE cap=1024")?, "sub")?;
+    let tiny = field(
+        &client.expect_ok(&format!("SUBSCRIBE cap=2 {pair}"))?,
+        "sub",
+    )?;
+
+    // Stream frames with a co-occurring car+person: every full window
+    // matches, so the tiny queue overflows well before the stream ends.
+    let frames = (args.window as u64) * 4;
+    for fid in 0..frames {
+        client.expect_ok(&format!("FRAME {fid} 1:car 2:person"))?;
+    }
+
+    // Cancel the throwaway query; the catalog version keeps counting.
+    let removed = client.expect_ok(&format!("REMOVE {throwaway}"))?;
+    let final_version = field(&removed, "version")?;
+    gate(final_version == 3, "two adds + one remove = version 3")?;
+
+    // Match round-trip: the roomy subscriber saw every published event.
+    let poll = client.expect_ok(&format!("POLL {roomy} 4096"))?;
+    let delivered = field(&poll, "events")?;
+    gate(delivered > 0, "at least one match round-tripped")?;
+    gate(
+        poll.lines().skip(1).all(|line| line.starts_with("EVENT")),
+        "poll body is EVENT lines",
+    )?;
+    gate(
+        poll.lines()
+            .any(|line| line.contains(&format!("query={pair}"))),
+        "the conjunctive query's matches were dispatched",
+    )?;
+
+    // Backpressure: the tiny queue kept only its 2 newest events.
+    let tiny_poll = client.expect_ok(&format!("POLL {tiny} 4096"))?;
+    let dropped = field(&tiny_poll, "dropped")?;
+    gate(field(&tiny_poll, "events")? == 2, "tiny queue holds 2")?;
+    gate(dropped > 0, "tiny queue recorded drops")?;
+
+    // A second concurrent connection sees the same state.
+    let mut observer = ServerClient::connect(addr)?;
+    let stats = observer.expect_ok("STATS")?;
+    gate(field(&stats, "queries")? == 1, "one query survives")?;
+    gate(field(&stats, "subscribers")? == 2, "two subscribers")?;
+    let published = field(&stats, "published")?;
+    gate(published >= delivered, "published covers delivered")?;
+    observer.quit()?;
+    client.quit()?;
+
+    Ok(SmokeReport {
+        frames,
+        adds: 2,
+        removes: 1,
+        final_version,
+        published,
+        delivered,
+        dropped,
+    })
+}

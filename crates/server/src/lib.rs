@@ -1,0 +1,34 @@
+//! Standalone TCP front-end for the temporal video query engine.
+//!
+//! The engine crate covers the *embedded* deployment: link `tvq-engine`,
+//! stream [`FrameObjects`](tvq_common::FrameObjects) in, read matches out.
+//! This crate covers the *server* deployment the paper's "millions of
+//! users" framing implies: one process owns the engine and a
+//! [`SubscriptionHub`](tvq_engine::SubscriptionHub), and remote clients
+//! register/cancel queries, push frames, and poll their match queues over
+//! TCP — length-prefixed UTF-8 text frames ([`protocol`]), one thread per
+//! connection, standard library only.
+//!
+//! ```no_run
+//! use tvq_common::WindowSpec;
+//! use tvq_engine::EngineConfig;
+//! use tvq_server::{QueryServer, ServerClient};
+//!
+//! let config = EngineConfig::new(WindowSpec::new(8, 4).unwrap());
+//! let handle = QueryServer::bind("127.0.0.1:0", config).unwrap().spawn().unwrap();
+//! let mut client = ServerClient::connect(handle.addr()).unwrap();
+//! client.expect_ok("ADD car >= 1").unwrap();
+//! client.expect_ok("SUBSCRIBE cap=16").unwrap();
+//! client.expect_ok("FRAME 0 1:car").unwrap();
+//! println!("{}", client.expect_ok("POLL 0").unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::ServerClient;
+pub use server::{QueryServer, ServerHandle};

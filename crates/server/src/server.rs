@@ -1,0 +1,454 @@
+//! The TCP query server: a [`TemporalVideoQueryEngine`] plus a
+//! [`SubscriptionHub`] behind a mutex, served thread-per-connection.
+//!
+//! # Command language
+//!
+//! Each request frame carries one command; each response frame starts with
+//! `OK` or `ERR`:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `ADD <cnf text>` | register a query, minting the next free id |
+//! | `REMOVE <qid>` | cancel a query (its verdicts vanish immediately) |
+//! | `SUBSCRIBE [cap=<n>] [<qid>...]` | register a match subscriber; no ids = all queries |
+//! | `UNSUBSCRIBE <sub>` | drop a subscriber and its queue |
+//! | `FRAME <fid> [<id>:<label>...] [END <id>,...]` | ingest one frame; `END` ids are track ends |
+//! | `POLL <sub> [max]` | drain up to `max` queued match events |
+//! | `STATS` | catalog version, counters, strategy |
+//! | `PING` / `QUIT` | liveness / close |
+//!
+//! The engine serves one frame stream (one camera per server process; the
+//! in-process [`MultiFeedEngine`](tvq_engine::MultiFeedEngine) is the
+//! embedded many-camera path), so `FRAME` takes a frame id, not a feed id.
+//! Detections use class *labels*; labels no registered query mentions are
+//! counted as `ignored` rather than rejected, mirroring the engine's own
+//! relevant-class filter.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use tvq_common::{Error, FeedId, FrameId, FrameObjects, ObjectId, Result};
+use tvq_engine::{EngineConfig, SubscriberId, SubscriptionHub, TemporalVideoQueryEngine};
+
+use crate::protocol::{read_frame, write_frame};
+
+/// Everything a connection needs to serve a command. One mutex guards the
+/// whole state: commands are short (the per-frame engine work dominates)
+/// and a single lock keeps `FRAME` ingest and `publish` atomic, so
+/// subscribers never observe a frame's matches torn across polls.
+struct ServerState {
+    engine: TemporalVideoQueryEngine,
+    hub: SubscriptionHub,
+    frames: u64,
+    matches: u64,
+}
+
+impl ServerState {
+    fn new(engine: TemporalVideoQueryEngine) -> Self {
+        ServerState {
+            engine,
+            hub: SubscriptionHub::new(),
+            frames: 0,
+            matches: 0,
+        }
+    }
+
+    /// Executes one command line, returning the response payload. Keeping
+    /// this free of socket types makes the whole command surface testable
+    /// in-process.
+    fn execute(&mut self, line: &str) -> String {
+        match self.try_execute(line) {
+            Ok(response) => response,
+            Err(err) => format!("ERR {err}"),
+        }
+    }
+
+    fn try_execute(&mut self, line: &str) -> Result<String> {
+        let trimmed = line.trim();
+        let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((verb, rest)) => (verb, rest.trim()),
+            None => (trimmed, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "ADD" => self.add(rest),
+            "REMOVE" => self.remove(rest),
+            "SUBSCRIBE" => self.subscribe(rest),
+            "UNSUBSCRIBE" => self.unsubscribe(rest),
+            "FRAME" => self.frame(rest),
+            "POLL" => self.poll(rest),
+            "STATS" => Ok(self.stats()),
+            "PING" => Ok("OK pong".to_string()),
+            "QUIT" => Ok("OK bye".to_string()),
+            "" => Err(Error::InvalidConfig("empty command".to_string())),
+            other => Err(Error::InvalidConfig(format!("unknown command {other:?}"))),
+        }
+    }
+
+    fn add(&mut self, text: &str) -> Result<String> {
+        if text.is_empty() {
+            return Err(Error::InvalidConfig("ADD needs a query".to_string()));
+        }
+        let id = self.engine.add_query_text(text)?;
+        Ok(format!(
+            "OK id={} version={}",
+            id.0,
+            self.engine.catalog_version()
+        ))
+    }
+
+    fn remove(&mut self, rest: &str) -> Result<String> {
+        let id = parse_u32(rest, "REMOVE needs a query id")?;
+        self.engine.remove_query(tvq_common::QueryId(id))?;
+        self.hub.retract_query(tvq_common::QueryId(id));
+        Ok(format!(
+            "OK removed={} version={}",
+            id,
+            self.engine.catalog_version()
+        ))
+    }
+
+    fn subscribe(&mut self, rest: &str) -> Result<String> {
+        let mut capacity = 64usize;
+        let mut filter = tvq_common::FxHashSet::default();
+        for token in rest.split_whitespace() {
+            if let Some(cap) = token.strip_prefix("cap=") {
+                capacity = cap
+                    .parse()
+                    .map_err(|_| Error::InvalidConfig(format!("bad capacity {cap:?}")))?;
+            } else {
+                filter.insert(tvq_common::QueryId(parse_u32(token, "bad query id")?));
+            }
+        }
+        let filter = if filter.is_empty() {
+            None
+        } else {
+            Some(filter)
+        };
+        let sub = self.hub.subscribe(capacity, filter);
+        Ok(format!("OK sub={}", sub.0))
+    }
+
+    fn unsubscribe(&mut self, rest: &str) -> Result<String> {
+        let id = parse_u64(rest, "UNSUBSCRIBE needs a subscriber id")?;
+        self.hub.unsubscribe(SubscriberId(id))?;
+        Ok(format!("OK unsubscribed={id}"))
+    }
+
+    fn frame(&mut self, rest: &str) -> Result<String> {
+        let mut tokens = rest.split_whitespace();
+        let fid = parse_u64(tokens.next().unwrap_or(""), "FRAME needs a frame id")?;
+        let mut detections = Vec::new();
+        let mut ends = Vec::new();
+        let mut ignored = 0usize;
+        let mut in_ends = false;
+        for token in tokens {
+            if token.eq_ignore_ascii_case("END") {
+                in_ends = true;
+                continue;
+            }
+            if in_ends {
+                for id in token.split(',').filter(|s| !s.is_empty()) {
+                    ends.push(ObjectId(parse_u32(id, "bad END object id")?));
+                }
+            } else {
+                let (id, label) = token.split_once(':').ok_or_else(|| {
+                    Error::InvalidConfig(format!("bad detection {token:?} (want <id>:<label>)"))
+                })?;
+                let object = ObjectId(parse_u32(id, "bad object id")?);
+                match self.engine.registry().id(label) {
+                    Some(class) => detections.push((object, class)),
+                    // A label no query has ever mentioned cannot influence
+                    // any match; count it instead of failing ingest.
+                    None => ignored += 1,
+                }
+            }
+        }
+        let frame = FrameObjects::new(FrameId(fid), detections).with_track_ends(ends);
+        let result = self.engine.observe(&frame)?;
+        self.frames += 1;
+        self.matches += result.matches.len() as u64;
+        let events = self.hub.publish(FeedId(0), result.frame, &result.matches);
+        Ok(format!(
+            "OK frame={} matches={} events={} ignored={}",
+            fid,
+            result.matches.len(),
+            events,
+            ignored
+        ))
+    }
+
+    fn poll(&mut self, rest: &str) -> Result<String> {
+        let mut tokens = rest.split_whitespace();
+        let sub = SubscriberId(parse_u64(
+            tokens.next().unwrap_or(""),
+            "POLL needs a subscriber id",
+        )?);
+        let max = match tokens.next() {
+            Some(raw) => parse_u64(raw, "bad POLL max")? as usize,
+            None => usize::MAX,
+        };
+        let events = self.hub.poll(sub, max)?;
+        let (dropped, remaining) = self
+            .hub
+            .subscription(sub)
+            .map(|s| (s.dropped(), s.queued()))
+            .unwrap_or((0, 0));
+        let mut response = format!(
+            "OK events={} dropped={} remaining={}",
+            events.len(),
+            dropped,
+            remaining
+        );
+        for event in events {
+            let objects: Vec<String> = event
+                .matched
+                .objects
+                .iter()
+                .map(|o| o.0.to_string())
+                .collect();
+            response.push_str(&format!(
+                "\nEVENT seq={} frame={} query={} objects={}",
+                event.seq,
+                event.frame.0,
+                event.matched.query.0,
+                objects.join(",")
+            ));
+        }
+        Ok(response)
+    }
+
+    fn stats(&self) -> String {
+        let metrics = self.engine.metrics();
+        format!(
+            "OK version={} queries={} strategy={} frames={} matches={} subscribers={} published={} dropped={} tracks_ended={}",
+            self.engine.catalog_version(),
+            self.engine.queries().len(),
+            self.engine.strategy(),
+            self.frames,
+            self.matches,
+            self.hub.len(),
+            self.hub.published(),
+            self.hub.total_dropped(),
+            metrics.tracks_ended,
+        )
+    }
+}
+
+fn parse_u32(raw: &str, what: &str) -> Result<u32> {
+    raw.trim()
+        .parse()
+        .map_err(|_| Error::InvalidConfig(format!("{what}: {raw:?}")))
+}
+
+fn parse_u64(raw: &str, what: &str) -> Result<u64> {
+    raw.trim()
+        .parse()
+        .map_err(|_| Error::InvalidConfig(format!("{what}: {raw:?}")))
+}
+
+/// A bound, not-yet-serving query server. [`spawn`](Self::spawn) starts the
+/// accept loop on a background thread and returns a [`ServerHandle`] for
+/// orderly shutdown — the shape both the binary and the smoke tests use.
+pub struct QueryServer {
+    listener: TcpListener,
+    state: Arc<Mutex<ServerState>>,
+}
+
+impl QueryServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) around an engine
+    /// built from `config` with an initially empty query catalog — clients
+    /// register queries with `ADD`.
+    pub fn bind(addr: impl ToSocketAddrs, config: EngineConfig) -> Result<Self> {
+        let engine = TemporalVideoQueryEngine::builder(config)
+            .allow_empty_catalog()
+            .build()?;
+        let listener = TcpListener::bind(addr)?;
+        Ok(QueryServer {
+            listener,
+            state: Arc::new(Mutex::new(ServerState::new(engine))),
+        })
+    }
+
+    /// The bound address (resolves the actual port after binding to 0).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the accept loop on the calling thread, forever (the serve mode
+    /// of the `tvq-server` binary; tests use [`spawn`](Self::spawn)).
+    pub fn run(self) -> Result<()> {
+        let state = self.state;
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&state);
+            let _ = std::thread::Builder::new()
+                .name("tvq-server-conn".to_string())
+                .spawn(move || serve_connection(stream, &state));
+        }
+        Ok(())
+    }
+
+    /// Starts the accept loop on a background thread.
+    pub fn spawn(self) -> Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stopping);
+        let state = Arc::clone(&self.state);
+        let listener = self.listener;
+        let thread = std::thread::Builder::new()
+            .name("tvq-server-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let state = Arc::clone(&state);
+                    let _ = std::thread::Builder::new()
+                        .name("tvq-server-conn".to_string())
+                        .spawn(move || serve_connection(stream, &state));
+                }
+            })
+            .map_err(Error::Io)?;
+        Ok(ServerHandle {
+            addr,
+            stopping,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Serves one client connection until `QUIT`, EOF, or an I/O error.
+fn serve_connection(stream: TcpStream, state: &Mutex<ServerState>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    while let Ok(Some(line)) = read_frame(&mut reader) {
+        let quit = line.trim().eq_ignore_ascii_case("QUIT");
+        let response = state
+            .lock()
+            // A panic mid-command can only poison between commands'
+            // atomic units; the state is still internally consistent.
+            .unwrap_or_else(PoisonError::into_inner)
+            .execute(&line);
+        if write_frame(&mut writer, &response).is_err() || quit {
+            break;
+        }
+    }
+}
+
+/// A running server: its address plus the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop (in-flight connections finish their current
+    /// command) and joins the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvq_common::WindowSpec;
+
+    fn state() -> ServerState {
+        let config = EngineConfig::new(WindowSpec::new(3, 2).unwrap());
+        let engine = TemporalVideoQueryEngine::builder(config)
+            .allow_empty_catalog()
+            .build()
+            .unwrap();
+        ServerState::new(engine)
+    }
+
+    #[test]
+    fn command_surface_round_trips_without_sockets() {
+        let mut state = state();
+        assert_eq!(state.execute("ADD car >= 1"), "OK id=0 version=1");
+        assert_eq!(state.execute("SUBSCRIBE cap=8"), "OK sub=0");
+        assert_eq!(
+            state.execute("FRAME 0 1:car 2:gryphon"),
+            "OK frame=0 matches=0 events=0 ignored=1",
+            "a label no registry entry covers is counted, not fatal"
+        );
+        let response = state.execute("FRAME 1 1:car");
+        assert!(response.contains("matches=1 events=1"), "{response}");
+        let response = state.execute("FRAME 2 1:car");
+        assert!(response.contains("matches=1 events=1"), "{response}");
+        let poll = state.execute("POLL 0");
+        assert!(
+            poll.starts_with("OK events=2 dropped=0 remaining=0"),
+            "{poll}"
+        );
+        assert!(poll.contains("query=0 objects=1"), "{poll}");
+        assert_eq!(state.execute("REMOVE 0"), "OK removed=0 version=2");
+        let stats = state.execute("STATS");
+        assert!(stats.contains("version=2 queries=0"), "{stats}");
+    }
+
+    #[test]
+    fn malformed_commands_err_without_disturbing_state() {
+        let mut state = state();
+        for bad in [
+            "",
+            "NONSENSE",
+            "ADD",
+            "REMOVE x",
+            "REMOVE 7",
+            "SUBSCRIBE cap=zero",
+            "UNSUBSCRIBE 3",
+            "FRAME",
+            "FRAME 0 nocolon",
+            "POLL 9",
+        ] {
+            let response = state.execute(bad);
+            assert!(response.starts_with("ERR"), "{bad:?} -> {response}");
+        }
+        let stats = state.execute("STATS");
+        assert!(stats.contains("version=0 queries=0"), "{stats}");
+        assert!(stats.contains("frames=0"), "{stats}");
+    }
+
+    #[test]
+    fn frame_track_ends_flow_through_to_metrics() {
+        let mut state = state();
+        state.execute("ADD car >= 1");
+        state.execute("FRAME 0 1:car");
+        let response = state.execute("FRAME 1 1:car END 1");
+        assert!(response.starts_with("OK"), "{response}");
+        let stats = state.execute("STATS");
+        assert!(stats.contains("tracks_ended=1"), "{stats}");
+    }
+}

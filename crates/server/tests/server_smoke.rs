@@ -1,0 +1,114 @@
+//! End-to-end smoke of the TCP server on an ephemeral port: query
+//! registration and cancellation, a match round-tripping through a
+//! subscription, and backpressure drops on an overflowing subscriber.
+
+use tvq_common::WindowSpec;
+use tvq_engine::EngineConfig;
+use tvq_server::{QueryServer, ServerClient};
+
+fn field(response: &str, key: &str) -> u64 {
+    response
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= in {response:?}"))
+}
+
+fn start() -> tvq_server::ServerHandle {
+    let config = EngineConfig::new(WindowSpec::new(4, 3).unwrap());
+    QueryServer::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+#[test]
+fn register_match_cancel_round_trip() {
+    let handle = start();
+    let mut client = ServerClient::connect(handle.addr()).unwrap();
+
+    let added = client.expect_ok("ADD car >= 1 AND person >= 1").unwrap();
+    let qid = field(&added, "id");
+    assert_eq!(field(&added, "version"), 1);
+    let sub = field(&client.expect_ok("SUBSCRIBE cap=16").unwrap(), "sub");
+
+    // Three co-occurring frames fill the duration threshold (window 4/3).
+    for fid in 0..3 {
+        client
+            .expect_ok(&format!("FRAME {fid} 10:car 20:person"))
+            .unwrap();
+    }
+    let poll = client.expect_ok(&format!("POLL {sub} 100")).unwrap();
+    assert_eq!(field(&poll, "events"), 1, "{poll}");
+    let event = poll.lines().nth(1).expect("one EVENT line");
+    assert!(event.contains(&format!("query={qid}")), "{event}");
+    assert!(event.contains("objects=10,20"), "{event}");
+
+    // Cancel: the next full window must not match, and polling is quiet.
+    client.expect_ok(&format!("REMOVE {qid}")).unwrap();
+    for fid in 3..8 {
+        let pushed = client
+            .expect_ok(&format!("FRAME {fid} 10:car 20:person"))
+            .unwrap();
+        assert_eq!(field(&pushed, "matches"), 0, "{pushed}");
+    }
+    let drained = client.expect_ok(&format!("POLL {sub} 100")).unwrap();
+    assert_eq!(field(&drained, "events"), 0, "{drained}");
+
+    // Unknown ids and malformed commands report ERR, connection survives.
+    assert!(client.request("REMOVE 99").unwrap().starts_with("ERR"));
+    assert!(client.request("GIBBERISH").unwrap().starts_with("ERR"));
+    assert!(client.expect_ok("PING").is_ok());
+
+    client.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn overflowing_subscriber_counts_drops_and_keeps_newest() {
+    let handle = start();
+    let mut client = ServerClient::connect(handle.addr()).unwrap();
+    client.expect_ok("ADD car >= 1").unwrap();
+    let tiny = field(&client.expect_ok("SUBSCRIBE cap=2").unwrap(), "sub");
+
+    // Frames 2..=9 each publish one match: 8 events into a 2-slot queue.
+    for fid in 0..10 {
+        client.expect_ok(&format!("FRAME {fid} 1:car")).unwrap();
+    }
+    let poll = client.expect_ok(&format!("POLL {tiny} 100")).unwrap();
+    assert_eq!(field(&poll, "events"), 2, "{poll}");
+    assert_eq!(field(&poll, "dropped"), 6, "{poll}");
+    // Drop-oldest: the two survivors are the two newest frames' matches.
+    let frames: Vec<u64> = poll
+        .lines()
+        .skip(1)
+        .map(|line| field(line, "frame"))
+        .collect();
+    assert_eq!(frames, vec![8, 9], "{poll}");
+
+    client.quit().unwrap();
+    handle.stop();
+}
+
+#[test]
+fn two_clients_share_one_engine() {
+    let handle = start();
+    let mut writer = ServerClient::connect(handle.addr()).unwrap();
+    let mut reader = ServerClient::connect(handle.addr()).unwrap();
+
+    writer.expect_ok("ADD person >= 2").unwrap();
+    let sub = field(&reader.expect_ok("SUBSCRIBE").unwrap(), "sub");
+    for fid in 0..3 {
+        writer
+            .expect_ok(&format!("FRAME {fid} 1:person 2:person"))
+            .unwrap();
+    }
+    let poll = reader.expect_ok(&format!("POLL {sub}")).unwrap();
+    assert_eq!(field(&poll, "events"), 1, "{poll}");
+    let stats = reader.expect_ok("STATS").unwrap();
+    assert_eq!(field(&stats, "frames"), 3, "{stats}");
+    assert_eq!(field(&stats, "version"), 1, "{stats}");
+
+    writer.quit().unwrap();
+    reader.quit().unwrap();
+    handle.stop();
+}

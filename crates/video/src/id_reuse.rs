@@ -45,6 +45,12 @@ pub struct IdReuseProfile {
     pub occlusion_period: u64,
     /// How many frames of each occlusion period the slot is hidden for.
     pub occlusion_duty: u64,
+    /// Whether departures emit explicit end-of-track events
+    /// ([`FrameObjects::track_ends`]) on their turnover frame. Off by
+    /// default: the no-events feed is the regime the engine's coarser reuse
+    /// detection (class changes, epoch retirement) — and the committed
+    /// bench gates — are calibrated against.
+    pub emit_track_ends: bool,
 }
 
 impl IdReuseProfile {
@@ -66,7 +72,14 @@ impl IdReuseProfile {
             recycle_delay: 8,
             occlusion_period: 24,
             occlusion_duty: 9,
+            emit_track_ends: false,
         }
+    }
+
+    /// Turns on explicit end-of-track events for departures.
+    pub const fn with_track_ends(mut self) -> Self {
+        self.emit_track_ends = true;
+        self
     }
 
     /// Number of object *generations* the feed will produce: the initial
@@ -140,10 +153,14 @@ pub fn id_reuse_feed(feed: FeedId, profile: &IdReuseProfile) -> CameraFeed {
 
     let frames = (0..profile.frames)
         .map(|i| {
+            let mut ends: Vec<ObjectId> = Vec::new();
             if i > 0 && i % profile.turnover_interval == 0 {
                 // The oldest member departs; its id rests, then recycles.
                 let departed = members.remove(0);
                 pool.push_back((departed.id, i));
+                if profile.emit_track_ends {
+                    ends.push(ObjectId((id_base + u64::from(departed.id)) as u32));
+                }
                 let member = admit(&mut pool, i);
                 members.push(member);
             }
@@ -154,7 +171,7 @@ pub fn id_reuse_feed(feed: FeedId, profile: &IdReuseProfile) -> CameraFeed {
                 .filter(|m| !(occlusion_active && m.slot == occluded_slot))
                 .map(|m| (ObjectId((id_base + u64::from(m.id)) as u32), m.class))
                 .collect();
-            FrameObjects::new(FrameId(i), detections)
+            FrameObjects::new(FrameId(i), detections).with_track_ends(ends)
         })
         .collect();
     CameraFeed { feed, frames }
@@ -233,6 +250,34 @@ mod tests {
         let a = collect(&id_reuse_feed(FeedId(0), &profile));
         let b = collect(&id_reuse_feed(FeedId(1), &profile));
         assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn track_ends_cover_every_departure_and_default_off() {
+        let profile = IdReuseProfile::new(200);
+        let silent = id_reuse_feed(FeedId(0), &profile);
+        assert!(silent.frames.iter().all(|f| f.track_ends.is_empty()));
+
+        let feed = id_reuse_feed(FeedId(0), &profile.with_track_ends());
+        // Detections are identical — only the event channel differs.
+        for (a, b) in silent.frames.iter().zip(&feed.frames) {
+            assert_eq!(a.classes, b.classes);
+        }
+        let mut ended = 0usize;
+        for frame in &feed.frames {
+            let turnover = frame.fid.raw() > 0 && frame.fid.raw() % profile.turnover_interval == 0;
+            assert_eq!(frame.track_ends.len(), usize::from(turnover));
+            ended += frame.track_ends.len();
+            // An ended id may already be recycled on this very frame (the
+            // end applies first), but the *departed object* is gone.
+            for &end in &frame.track_ends {
+                assert!(end.raw() > 0 || frame.fid.raw() > 0);
+            }
+        }
+        assert_eq!(
+            ended as u64,
+            (profile.frames - 1) / profile.turnover_interval
+        );
     }
 
     #[test]

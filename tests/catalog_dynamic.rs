@@ -1,0 +1,306 @@
+//! Differential suite for live catalog swaps (the PR-6 tentpole).
+//!
+//! The convergence contract under test (see `tvq-engine`'s `catalog`
+//! module docs):
+//!
+//! * **removals** are immediately invisible: from the very next frame the
+//!   engine behaves as if the cancelled query had never been registered
+//!   (exactly, when the surviving queries mention the same classes; up to
+//!   one window turnover of extra already-admitted objects otherwise);
+//! * **additions** converge after one full window turnover: once the
+//!   window has slid past the swap point, the engine is indistinguishable
+//!   from a fresh engine built with the final catalog;
+//! * any **interleaving** of adds and removes therefore equals a fresh
+//!   engine with the final query set once the window clears the last swap;
+//! * a forced add-then-remove round trip is invisible modulo the transient
+//!   query's own matches;
+//! * in the multi-feed engine, swaps are epoch-aligned on every shard, so
+//!   transcripts are identical across worker counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tvq_common::{ClassId, FeedId, FrameId, FrameObjects, ObjectId, QueryId, WindowSpec};
+use tvq_engine::{
+    EngineConfig, FrameResult, MultiFeedConfig, MultiFeedEngine, TemporalVideoQueryEngine,
+};
+use tvq_query::{CnfQuery, Condition};
+
+const WINDOW: usize = 6;
+const DURATION: usize = 3;
+
+fn geq(id: u32, class: u16, count: u32) -> CnfQuery {
+    CnfQuery::conjunction(
+        QueryId(id),
+        vec![Condition::at_least(ClassId(class), count)],
+    )
+}
+
+fn engine_with(queries: &[CnfQuery]) -> TemporalVideoQueryEngine {
+    let config = EngineConfig::new(WindowSpec::new(WINDOW, DURATION).unwrap());
+    let mut builder = TemporalVideoQueryEngine::builder(config).allow_empty_catalog();
+    for query in queries {
+        builder = builder.with_query(query.clone());
+    }
+    builder.build().unwrap()
+}
+
+/// A churning street scene: a roster of eight tracker ids (class = id % 4),
+/// each present with probability 0.7, with occasional track-end events so
+/// generations recycle underneath the catalog swaps.
+fn gen_frame(fid: u64, rng: &mut StdRng) -> FrameObjects {
+    let detections: Vec<(ObjectId, ClassId)> = (1..=8u32)
+        .filter(|_| rng.gen_bool(0.7))
+        .map(|id| (ObjectId(id), ClassId((id % 4) as u16)))
+        .collect();
+    let ends = if rng.gen_bool(0.15) {
+        vec![ObjectId(rng.gen_range(1..=8u32))]
+    } else {
+        Vec::new()
+    };
+    FrameObjects::new(FrameId(fid), detections).with_track_ends(ends)
+}
+
+fn gen_frames(count: u64, seed: u64) -> Vec<FrameObjects> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|fid| gen_frame(fid, &mut rng)).collect()
+}
+
+/// Order-free canonical form of one frame's matches.
+type Canon = Vec<(u32, Vec<u32>, Vec<u64>)>;
+
+fn canon(result: &FrameResult) -> Canon {
+    let mut matches: Canon = result
+        .matches
+        .iter()
+        .map(|m| {
+            let mut objects: Vec<u32> = m.objects.iter().map(|o| o.0).collect();
+            objects.sort_unstable();
+            (m.query.0, objects, m.frames.iter().map(|f| f.0).collect())
+        })
+        .collect();
+    matches.sort();
+    matches
+}
+
+fn canon_without(result: &FrameResult, hidden: QueryId) -> Canon {
+    canon(result)
+        .into_iter()
+        .filter(|(query, _, _)| *query != hidden.0)
+        .collect()
+}
+
+#[test]
+fn cancelling_a_query_is_immediately_equivalent_when_classes_overlap() {
+    // All three queries live on classes {0, 1}, so removing one changes
+    // neither the relevant-class filter nor (≥-only) the pruner's
+    // soundness envelope: transcripts must agree from the very next frame.
+    let trio = vec![geq(0, 0, 1), geq(1, 1, 2), geq(2, 1, 1)];
+    let survivors = vec![trio[0].clone(), trio[2].clone()];
+    let frames = gen_frames(80, 11);
+    let swap_at = 40;
+
+    let mut swapped = engine_with(&trio);
+    let mut fresh = engine_with(&survivors);
+    for (i, frame) in frames.iter().enumerate() {
+        if i == swap_at {
+            swapped.remove_query(QueryId(1)).unwrap();
+        }
+        let a = swapped.observe(frame).unwrap();
+        let b = fresh.observe(frame).unwrap();
+        if i < swap_at {
+            assert_eq!(
+                canon_without(&a, QueryId(1)),
+                canon(&b),
+                "pre-swap, the survivors' matches already agree (frame {i})"
+            );
+        } else {
+            assert_eq!(canon(&a), canon(&b), "divergence at frame {i}");
+        }
+    }
+    assert_eq!(swapped.catalog_version(), 1);
+}
+
+#[test]
+fn adding_a_query_converges_after_one_window_turnover() {
+    // q1 lives on a class q0 never mentions, so the swap also widens the
+    // relevant-class filter — the slowest-converging case.
+    let base = vec![geq(0, 0, 1)];
+    let fin = vec![geq(0, 0, 1), geq(1, 1, 2)];
+    let frames = gen_frames(80, 23);
+    let swap_at = 40usize;
+
+    let mut swapped = engine_with(&base);
+    let mut fresh = engine_with(&fin);
+    let mut matched_after_convergence = false;
+    for (i, frame) in frames.iter().enumerate() {
+        if i == swap_at {
+            swapped.add_query(fin[1].clone()).unwrap();
+        }
+        let a = swapped.observe(frame).unwrap();
+        let b = fresh.observe(frame).unwrap();
+        if i >= swap_at + WINDOW {
+            assert_eq!(canon(&a), canon(&b), "divergence at frame {i}");
+            matched_after_convergence |= a.matches.iter().any(|m| m.query == QueryId(1));
+        }
+    }
+    assert!(
+        matched_after_convergence,
+        "the added query must actually match in the compared tail"
+    );
+}
+
+#[test]
+fn random_interleavings_equal_a_fresh_engine_with_the_final_catalog() {
+    // Four toggleable queries over classes 0..4; every interleaving of
+    // adds/removes must converge to the fresh-engine transcript one window
+    // after the last swap. Also pins determinism: re-running the identical
+    // schedule reproduces the transcript bit for bit.
+    for seed in [1u64, 42, 911] {
+        let pool: Vec<CnfQuery> = (0..4u32)
+            .map(|i| geq(10 + i, (i % 4) as u16, 1 + (i % 2)))
+            .collect();
+        let frames = gen_frames(100, seed.wrapping_mul(7919));
+
+        let run = |record: bool| -> (Vec<Canon>, Vec<CnfQuery>, usize) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+            let mut engine = engine_with(&[pool[0].clone()]);
+            let mut present = vec![true, false, false, false];
+            let mut last_op = 0usize;
+            let mut transcript = Vec::new();
+            for (i, frame) in frames.iter().enumerate() {
+                if i < 80 && rng.gen_bool(0.15) {
+                    let pick = rng.gen_range(0..pool.len());
+                    if present[pick] {
+                        engine.remove_query(pool[pick].id).unwrap();
+                    } else {
+                        engine.add_query(pool[pick].clone()).unwrap();
+                    }
+                    present[pick] = !present[pick];
+                    last_op = i;
+                }
+                let result = engine.observe(frame).unwrap();
+                if record {
+                    transcript.push(canon(&result));
+                }
+            }
+            let survivors: Vec<CnfQuery> = pool
+                .iter()
+                .zip(&present)
+                .filter(|(_, p)| **p)
+                .map(|(q, _)| q.clone())
+                .collect();
+            (transcript, survivors, last_op)
+        };
+
+        let (transcript, survivors, last_op) = run(true);
+        let (replay, _, _) = run(true);
+        assert_eq!(transcript, replay, "seed {seed}: schedule is deterministic");
+
+        let mut fresh = engine_with(&survivors);
+        for (i, frame) in frames.iter().enumerate() {
+            let expected = canon(&fresh.observe(frame).unwrap());
+            if i >= last_op + WINDOW {
+                assert_eq!(
+                    transcript[i], expected,
+                    "seed {seed}: tail divergence at frame {i} (last swap at {last_op})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_swap_round_trip_is_invisible_modulo_the_transient_query() {
+    // Add-then-remove a transient query whose classes the base catalog
+    // already covers: every other query's transcript must be untouched on
+    // EVERY frame, including while the transient was live.
+    let base = vec![geq(0, 0, 1), geq(1, 1, 2)];
+    let transient = CnfQuery::conjunction(
+        QueryId(9),
+        vec![
+            Condition::at_least(ClassId(0), 2),
+            Condition::at_least(ClassId(1), 1),
+        ],
+    );
+    let frames = gen_frames(90, 37);
+
+    let mut swapped = engine_with(&base);
+    let mut control = engine_with(&base);
+    let mut transient_matched = false;
+    for (i, frame) in frames.iter().enumerate() {
+        if i == 30 {
+            swapped.add_query(transient.clone()).unwrap();
+        }
+        if i == 60 {
+            swapped.remove_query(QueryId(9)).unwrap();
+        }
+        let a = swapped.observe(frame).unwrap();
+        let b = control.observe(frame).unwrap();
+        transient_matched |= a.matches.iter().any(|m| m.query == QueryId(9));
+        assert_eq!(
+            canon_without(&a, QueryId(9)),
+            canon(&b),
+            "base queries disturbed at frame {i}"
+        );
+        if !(30..60 + WINDOW).contains(&i) {
+            assert!(
+                a.matches.iter().all(|m| m.query != QueryId(9)),
+                "transient matched outside its registration at frame {i}"
+            );
+        }
+    }
+    assert!(
+        transient_matched,
+        "the transient query must match while live"
+    );
+    assert_eq!(swapped.catalog_version(), 2);
+    assert_eq!(swapped.metrics().catalog_swaps, 2);
+    assert_eq!(control.metrics().catalog_swaps, 0);
+}
+
+#[test]
+fn multi_feed_swaps_are_epoch_aligned_across_worker_counts() {
+    // The same feed-tagged stream with the same interleaved catalog ops
+    // must produce identical transcripts whether the fleet runs 1, 2, or 3
+    // shard workers: WorkerMsg::Catalog rides the same FIFO channels as
+    // frames, so every shard applies the swap at the same stream point.
+    let run = |workers: usize| -> Vec<(u32, Canon)> {
+        let config = MultiFeedConfig::new(EngineConfig::new(
+            WindowSpec::new(WINDOW, DURATION).unwrap(),
+        ))
+        .with_workers(workers);
+        let mut engine = MultiFeedEngine::builder(config)
+            .with_query(geq(0, 0, 1))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut transcript = Vec::new();
+        let mut step = 0usize;
+        for fid in 0..40u64 {
+            for feed in 0..3u32 {
+                if step == 25 {
+                    engine.add_query(geq(7, 1, 2)).unwrap();
+                }
+                if step == 70 {
+                    engine.remove_query(QueryId(0)).unwrap();
+                }
+                let frame = gen_frame(fid, &mut rng);
+                let result = engine.push(FeedId(feed), frame).unwrap();
+                transcript.push((feed, canon(&result.result)));
+                step += 1;
+            }
+        }
+        let report = engine.report().unwrap();
+        assert_eq!(report.catalog_version, 2);
+        assert!(report.feeds.iter().all(|f| f.catalog_version == 2));
+        transcript
+    };
+
+    let solo = run(1);
+    assert!(
+        solo.iter().any(|(_, canon)| !canon.is_empty()),
+        "the scenario must produce matches"
+    );
+    assert_eq!(solo, run(2), "2 workers diverge from 1");
+    assert_eq!(solo, run(3), "3 workers diverge from 1");
+}
