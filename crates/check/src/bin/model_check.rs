@@ -1,0 +1,91 @@
+//! Bounded exhaustive model check of the lifecycle/compaction/remap and
+//! catalog-swap protocols, with conformance replay against the real
+//! implementations. CI runs this in release mode; any violation exits
+//! non-zero after printing the shortest counterexample trace.
+//!
+//! Usage: `model_check [--lifecycle-depth N] [--engine-depth N]
+//! [--catalog-depth N] [--skip-engine]`
+
+use std::process::ExitCode;
+
+use tvq_check::{conformance, CatalogModel, LifecycleModel, Machine, Report, Traversal};
+
+struct Args {
+    lifecycle_depth: usize,
+    engine_depth: usize,
+    catalog_depth: usize,
+    skip_engine: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Defaults sized for a sub-minute release-mode CI run: lifecycle 6 is
+    // ~700k states / 2.1M transitions, engine 5 replays 104k states through
+    // two real engines, catalog 8 is the full ~20k-state fixpoint region.
+    // Depth 7 lifecycle (4.3M states) passes too but takes ~4 minutes.
+    let mut args = Args {
+        lifecycle_depth: 6,
+        engine_depth: 5,
+        catalog_depth: 8,
+        skip_engine: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut depth = |name: &str| -> Result<usize, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--lifecycle-depth" => args.lifecycle_depth = depth("--lifecycle-depth")?,
+            "--engine-depth" => args.engine_depth = depth("--engine-depth")?,
+            "--catalog-depth" => args.catalog_depth = depth("--catalog-depth")?,
+            "--skip-engine" => args.skip_engine = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run<M: Machine>(name: &str, report: &Report<M>) -> bool {
+    print!("{}", report.render(name));
+    report.ok()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("model_check: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut ok = true;
+
+    // Lifecycle model with component-level conformance replay: every edge's
+    // witness path drives ObjectLifecycle + SetInterner + shared ClassStore.
+    let lifecycle = Traversal::new(LifecycleModel, args.lifecycle_depth);
+    let report = lifecycle.run_with(|path, _| conformance::replay_component(path));
+    ok &= run("lifecycle (component replay)", &report);
+
+    // The same model replayed through two full engines sharing a class
+    // store — shallower (each edge builds two engines) but end to end.
+    if args.skip_engine {
+        println!("model lifecycle (engine replay): skipped");
+    } else {
+        let engine = Traversal::new(LifecycleModel, args.engine_depth);
+        let report = engine.run_with(|path, _| conformance::replay_engine(path));
+        ok &= run("lifecycle (engine replay)", &report);
+    }
+
+    // Catalog-swap model with verdict-cache conformance replay.
+    let catalog = Traversal::new(CatalogModel, args.catalog_depth);
+    let report = catalog.run_with(|path, _| conformance::replay_catalog(path));
+    ok &= run("catalog-swap (verdict-cache replay)", &report);
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

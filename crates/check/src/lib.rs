@@ -1,0 +1,44 @@
+//! # tvq-check — explicit-state model checking for the lifecycle protocol
+//!
+//! The engine's correctness rests on a small concurrent-by-composition
+//! protocol: tracker-id reuse mints generation-aware internal ids, a
+//! shared reference-counted class store coordinates feeds, compaction
+//! epochs retire dead ids and re-key every live handle, and catalog swaps
+//! invalidate every pruner verdict. Unit tests probe these rules pointwise;
+//! this crate checks them **exhaustively** over a bounded universe.
+//!
+//! Three layers:
+//!
+//! * [`machine::Machine`] + [`traversal::Traversal`] — a small
+//!   explicit-state model checker: breadth-first enumeration of every
+//!   reachable canonical state within a depth bound, invariants checked at
+//!   every state, shortest counterexample trace on violation;
+//! * [`lifecycle_model`] and [`catalog_model`] — the two protocol models:
+//!   tracker-id lifecycle across two feeds sharing a class store, and
+//!   catalog-swap verdict coherence;
+//! * [`conformance`] — model-based conformance replay: every enumerated
+//!   action sequence is replayed through the *real* implementations
+//!   (`ObjectLifecycle` + `SetInterner` directly, two full engines end to
+//!   end, and the `PrunerVerdictCache`), comparing observable state
+//!   against the model after every path.
+//!
+//! The `model_check` binary runs the bounded traversals at full depth and
+//! prints explored-state counts; CI runs it and fails on any violation.
+//! The `check-mutants` feature (never on in tier-1 builds) re-introduces
+//! two historical bugs as negative controls and the test suite asserts the
+//! checker *finds* both — evidence the exhaustive pass is not vacuous.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog_model;
+pub mod conformance;
+pub mod lifecycle_model;
+pub mod machine;
+pub mod traversal;
+
+pub use catalog_model::{CatalogAction, CatalogModel, CatalogState};
+pub use conformance::{replay_catalog, replay_component, replay_engine};
+pub use lifecycle_model::{Internal, LifecycleAction, LifecycleModel, LifecycleState};
+pub use machine::Machine;
+pub use traversal::{Report, Traversal, Violation};

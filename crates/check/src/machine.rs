@@ -1,0 +1,44 @@
+//! The [`Machine`] abstraction: a state-transition system the
+//! [`Traversal`](crate::traversal::Traversal) can enumerate exhaustively.
+//!
+//! A machine is the *specification* half of the checker: it describes what
+//! the protocol under test is supposed to do, in a state space small enough
+//! to enumerate. The implementation half is supplied separately as a replay
+//! hook (see [`conformance`](crate::conformance)), so the same model can be
+//! traversed alone (fast, pure invariant checking) or in lock-step with the
+//! real code (conformance checking).
+
+/// A finite state-transition system with per-state invariants.
+///
+/// `State` must be *canonical*: two states that should be considered the
+/// same point in the protocol must compare equal, or the traversal's dedup
+/// degenerates into path enumeration. Anything unbounded along a run —
+/// monotone counters, absolute alias values, version numbers — must be
+/// normalised out of `State` and verified by the conformance replay instead
+/// (which sees the concrete run, not the canonical quotient).
+pub trait Machine {
+    /// Canonical model state.
+    type State: Clone + Eq + std::hash::Hash + std::fmt::Debug;
+    /// One protocol step.
+    type Action: Clone + std::fmt::Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Enumerates every action applicable in `state`, appending to `out`
+    /// (cleared by the caller). Actions must be enumerated
+    /// deterministically so counterexample traces are reproducible.
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// Applies one action, returning the successor state or a description
+    /// of a *transition-level* violation (an operation the protocol forbids
+    /// outright, e.g. releasing a class-store reference that was never
+    /// held).
+    fn transition(&self, state: &Self::State, action: &Self::Action)
+        -> Result<Self::State, String>;
+
+    /// Checks the per-state invariants, returning a description of the
+    /// first violated one. Called on every state the traversal discovers,
+    /// including the initial state.
+    fn invariant(&self, state: &Self::State) -> Result<(), String>;
+}

@@ -1,0 +1,222 @@
+//! Exhaustive breadth-first traversal with canonical-state dedup and
+//! shortest-counterexample extraction.
+//!
+//! The traversal explores every state a [`Machine`] can reach within a
+//! depth bound, checking the machine's invariant at every new state and
+//! optionally handing every *edge* (witness path + action) to a replay
+//! hook. Because exploration is breadth-first, the first violation found is
+//! reached by a shortest action sequence — the printed counterexample is
+//! minimal in length, which is what makes it readable.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::machine::Machine;
+
+/// What a traversal found.
+#[derive(Debug)]
+pub struct Report<M: Machine> {
+    /// Distinct canonical states discovered (including the initial state).
+    pub states_explored: usize,
+    /// Edges examined (state × applicable action pairs, within the bound).
+    pub transitions: usize,
+    /// Depth of the deepest discovered state (bounded by `max_depth`).
+    pub max_depth_reached: usize,
+    /// The first violation found, if any. `None` means every reachable
+    /// state within the bound satisfies every invariant (and every edge
+    /// replayed conformantly, when a replay hook was supplied).
+    pub violation: Option<Violation<M>>,
+}
+
+/// A violated invariant (or failed conformance replay) with the shortest
+/// action trace reaching it.
+#[derive(Debug)]
+pub struct Violation<M: Machine> {
+    /// What went wrong.
+    pub message: String,
+    /// The actions from the initial state to the violation, in order.
+    pub trace: Vec<M::Action>,
+    /// Debug rendering of the model state at (or, for transition errors,
+    /// immediately before) the violation.
+    pub state: String,
+}
+
+impl<M: Machine> Report<M> {
+    /// Whether the traversal completed with no violation.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Renders the report for humans: the exploration counters and — when a
+    /// violation was found — the numbered counterexample trace.
+    pub fn render(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "model {name}: {} states, {} transitions, depth {}\n",
+            self.states_explored, self.transitions, self.max_depth_reached
+        );
+        match &self.violation {
+            None => out.push_str("  no invariant violations\n"),
+            Some(violation) => {
+                let _ = writeln!(
+                    out,
+                    "  VIOLATION: {}\n  counterexample ({} steps):",
+                    violation.message,
+                    violation.trace.len()
+                );
+                for (i, action) in violation.trace.iter().enumerate() {
+                    let _ = writeln!(out, "    {:>2}. {action:?}", i + 1);
+                }
+                let _ = writeln!(out, "  state: {}", violation.state);
+            }
+        }
+        out
+    }
+}
+
+/// Breadth-first explorer of a [`Machine`]'s reachable states.
+pub struct Traversal<M: Machine> {
+    machine: M,
+    max_depth: usize,
+}
+
+/// Internal per-state bookkeeping: the predecessor link used to rebuild the
+/// shortest witness path.
+struct Node<M: Machine> {
+    state: M::State,
+    parent: Option<(usize, M::Action)>,
+    depth: usize,
+}
+
+impl<M: Machine> Traversal<M> {
+    /// Creates a traversal exploring up to `max_depth` actions deep.
+    pub fn new(machine: M, max_depth: usize) -> Self {
+        Traversal { machine, max_depth }
+    }
+
+    /// The machine under traversal.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// Explores the model alone (no conformance replay).
+    pub fn run(&self) -> Report<M> {
+        self.run_with(|_, _| Ok(()))
+    }
+
+    /// Explores the model, additionally invoking `on_edge` for the initial
+    /// state (empty path) and for **every** examined edge with the shortest
+    /// witness path to the edge's endpoint and the model state it lands in.
+    /// The hook replays the path through the real implementation and
+    /// returns `Err` on any observable divergence; such an error is
+    /// reported exactly like an invariant violation, trace included.
+    pub fn run_with<F>(&self, mut on_edge: F) -> Report<M>
+    where
+        F: FnMut(&[M::Action], &M::State) -> Result<(), String>,
+    {
+        let initial = self.machine.initial();
+        let mut report = Report {
+            states_explored: 1,
+            transitions: 0,
+            max_depth_reached: 0,
+            violation: None,
+        };
+        if let Err(message) = self.machine.invariant(&initial) {
+            report.violation = Some(Violation {
+                message,
+                trace: Vec::new(),
+                state: format!("{initial:?}"),
+            });
+            return report;
+        }
+        if let Err(message) = on_edge(&[], &initial) {
+            report.violation = Some(Violation {
+                message,
+                trace: Vec::new(),
+                state: format!("{initial:?}"),
+            });
+            return report;
+        }
+
+        let mut nodes: Vec<Node<M>> = vec![Node {
+            state: initial.clone(),
+            parent: None,
+            depth: 0,
+        }];
+        let mut seen: HashMap<M::State, usize> = HashMap::new();
+        seen.insert(initial, 0);
+        let mut queue: VecDeque<usize> = VecDeque::from([0]);
+        let mut actions = Vec::new();
+
+        while let Some(index) = queue.pop_front() {
+            let depth = nodes[index].depth;
+            if depth == self.max_depth {
+                continue;
+            }
+            actions.clear();
+            self.machine.actions(&nodes[index].state, &mut actions);
+            let witness = self.witness(&nodes, index);
+            for action in actions.clone() {
+                report.transitions += 1;
+                let next = match self.machine.transition(&nodes[index].state, &action) {
+                    Ok(next) => next,
+                    Err(message) => {
+                        report.violation = Some(Violation {
+                            message,
+                            trace: Self::extend(&witness, &action),
+                            state: format!("{:?}", nodes[index].state),
+                        });
+                        return report;
+                    }
+                };
+                let path = Self::extend(&witness, &action);
+                if let Err(message) = self.machine.invariant(&next) {
+                    report.violation = Some(Violation {
+                        message,
+                        trace: path,
+                        state: format!("{next:?}"),
+                    });
+                    return report;
+                }
+                if let Err(message) = on_edge(&path, &next) {
+                    report.violation = Some(Violation {
+                        message,
+                        trace: path,
+                        state: format!("{next:?}"),
+                    });
+                    return report;
+                }
+                if !seen.contains_key(&next) {
+                    let id = nodes.len();
+                    seen.insert(next.clone(), id);
+                    nodes.push(Node {
+                        state: next,
+                        parent: Some((index, action)),
+                        depth: depth + 1,
+                    });
+                    report.states_explored += 1;
+                    report.max_depth_reached = report.max_depth_reached.max(depth + 1);
+                    queue.push_back(id);
+                }
+            }
+        }
+        report
+    }
+
+    /// The shortest action path from the initial state to `index`.
+    fn witness(&self, nodes: &[Node<M>], mut index: usize) -> Vec<M::Action> {
+        let mut path = Vec::with_capacity(nodes[index].depth);
+        while let Some((parent, action)) = &nodes[index].parent {
+            path.push(action.clone());
+            index = *parent;
+        }
+        path.reverse();
+        path
+    }
+
+    fn extend(witness: &[M::Action], action: &M::Action) -> Vec<M::Action> {
+        let mut path = Vec::with_capacity(witness.len() + 1);
+        path.extend_from_slice(witness);
+        path.push(action.clone());
+        path
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration gates for the model checker.
+//!
+//! Two mutually exclusive halves, selected by the `check-mutants` feature:
+//!
+//! * **Default build** — exhaustiveness gates: each model explores well past
+//!   10k canonical states with zero invariant violations, and every
+//!   enumerated action sequence replays conformantly through the real
+//!   lifecycle/interner stack (and the full engine, shallower).
+//! * **`--features check-mutants`** — negative controls: the same replays
+//!   run against deliberately broken implementations (`end_tracks` and
+//!   verdict-cache `clear` turned into no-ops) and the checker must *find*
+//!   both mutants, each with a shortest printed counterexample trace. A
+//!   checker that cannot see a planted bug proves nothing about the absence
+//!   of real ones.
+//!
+//! Depths here are lower than the `model_check` binary's defaults so the
+//! suite stays fast in debug builds; the binary (run in release by CI)
+//! covers the deeper frontiers.
+
+use tvq_check::{conformance, CatalogModel, LifecycleModel, Traversal};
+
+#[cfg(not(feature = "check-mutants"))]
+mod conformant {
+    use super::*;
+
+    /// Lifecycle/compaction/remap protocol: ≥10k canonical states, every
+    /// edge replayed through `ObjectLifecycle` + `SetInterner` + shared
+    /// `ClassStore`, zero divergences.
+    #[test]
+    fn lifecycle_model_explores_past_10k_states_and_replays_conformantly() {
+        let report = Traversal::new(LifecycleModel, 4)
+            .run_with(|path, _| conformance::replay_component(path));
+        assert!(report.ok(), "{}", report.render("lifecycle"));
+        assert!(
+            report.states_explored >= 10_000,
+            "only {} states explored",
+            report.states_explored
+        );
+    }
+
+    /// The same action sequences driven end to end through two real engines
+    /// sharing a class store. Shallower — every edge builds two engines —
+    /// but this is the replay that pins match output and `live_states`.
+    #[test]
+    fn engine_replay_conforms() {
+        let report =
+            Traversal::new(LifecycleModel, 3).run_with(|path, _| conformance::replay_engine(path));
+        assert!(report.ok(), "{}", report.render("engine"));
+        assert!(
+            report.states_explored >= 1_000,
+            "{}",
+            report.states_explored
+        );
+    }
+
+    /// Catalog-swap protocol: ≥10k canonical states, the verdict cache
+    /// always agreeing with the catalog version it was populated under.
+    #[test]
+    fn catalog_model_explores_past_10k_states_and_replays_conformantly() {
+        let report =
+            Traversal::new(CatalogModel, 7).run_with(|path, _| conformance::replay_catalog(path));
+        assert!(report.ok(), "{}", report.render("catalog"));
+        assert!(
+            report.states_explored >= 10_000,
+            "only {} states explored",
+            report.states_explored
+        );
+    }
+}
+
+#[cfg(feature = "check-mutants")]
+mod mutants {
+    use super::*;
+    use tvq_check::{CatalogAction, LifecycleAction};
+
+    /// With `end_tracks` a no-op, a track end changes the model but not the
+    /// implementation; conformance replay must report the divergence, and
+    /// the BFS guarantees the printed trace is a shortest one — it must end
+    /// in the `EndTrack` that the mutant swallowed.
+    #[test]
+    fn checker_catches_the_end_tracks_noop_mutant() {
+        let report = Traversal::new(LifecycleModel, 3)
+            .run_with(|path, _| conformance::replay_component(path));
+        println!("{}", report.render("lifecycle vs end_tracks mutant"));
+        let violation = report.violation.expect("the planted mutant must be found");
+        assert!(
+            matches!(
+                violation.trace.last(),
+                Some(LifecycleAction::EndTrack { .. })
+            ),
+            "shortest counterexample should end at the swallowed EndTrack: {:?}",
+            violation.trace
+        );
+        assert!(
+            violation.trace.len() <= 3,
+            "trace is shortest: {:?}",
+            violation.trace
+        );
+    }
+
+    /// With the verdict cache's `clear` a no-op, a catalog swap leaves stale
+    /// verdicts from the previous version; the first judged-then-swapped
+    /// sequence must surface as a divergence ending at the `Swap`.
+    #[test]
+    fn checker_catches_the_verdict_cache_clear_noop_mutant() {
+        let report =
+            Traversal::new(CatalogModel, 3).run_with(|path, _| conformance::replay_catalog(path));
+        println!("{}", report.render("catalog vs clear mutant"));
+        let violation = report.violation.expect("the planted mutant must be found");
+        assert!(
+            matches!(violation.trace.last(), Some(CatalogAction::Swap)),
+            "shortest counterexample should end at the ignored Swap: {:?}",
+            violation.trace
+        );
+        assert!(
+            violation.trace.len() <= 3,
+            "trace is shortest: {:?}",
+            violation.trace
+        );
+    }
+}

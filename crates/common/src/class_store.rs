@@ -163,6 +163,21 @@ impl ClassStore {
     pub fn alias_floor(&self) -> u32 {
         self.next_alias
     }
+
+    /// Deterministic snapshot of every live entry as `(id, class, refs)`,
+    /// sorted by identifier. Test hook: the model checker compares the
+    /// store's observable state against its model's after every action, and
+    /// a sorted tuple list is directly comparable where the internal hash
+    /// maps are not.
+    pub fn snapshot(&self) -> Vec<(ObjectId, ClassId, u32)> {
+        let mut entries: Vec<(ObjectId, ClassId, u32)> = self
+            .classes
+            .iter()
+            .map(|(&id, &class)| (id, class, self.ref_count(id)))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
 }
 
 /// Shared handle to a [`ClassStore`]: the engine, its interner and its

@@ -331,6 +331,17 @@ impl SetInterner {
         self.universe.len()
     }
 
+    /// The current epoch's universe as a sorted identifier list. Test hook:
+    /// the model checker asserts the universe tracks the lifecycle's
+    /// registered-object set exactly (their agreement is what makes each
+    /// epoch's retire set total), which needs the members, not just
+    /// [`universe_len`](Self::universe_len).
+    pub fn universe_object_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.universe.object_ids().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// The compaction epoch (0 until the first compaction).
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -912,6 +923,72 @@ mod tests {
             MemoConfig::fixed(3),
             "config round-trips"
         );
+    }
+
+    #[test]
+    fn repeated_compactions_walk_the_memo_back_to_initial_bits_and_stop() {
+        let mut interner = SetInterner::new().with_memo_config(MemoConfig {
+            initial_bits: 1,
+            max_bits: 4,
+            sample_window: 8,
+            grow_miss_rate: 0.0,
+        });
+        let mut ids: Vec<SetId> = (0..12u32)
+            .map(|i| interner.intern(&set(&[i, i + 1, i + 2])))
+            .collect();
+        for _ in 0..4 {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    interner.intersect(a, b);
+                }
+            }
+        }
+        assert_eq!(interner.memo_slots(), 16, "grown to max_bits");
+        // Each epoch steps the memo down exactly one doubling: 4 → 3 → 2 → 1.
+        for expected_bits in [3u32, 2, 1] {
+            let resizes = interner.memo_resizes();
+            let table = interner.compact(&ids);
+            ids = ids.iter().map(|&id| table.remap(id).unwrap()).collect();
+            assert_eq!(interner.memo_resizes(), resizes + 1, "one step down");
+            // Touch the memo so it re-allocates at the stepped-down size.
+            interner.intersect(ids[0], ids[1]);
+            assert_eq!(interner.memo_slots(), 1usize << expected_bits);
+        }
+        // The floor holds: once back at initial_bits, further compactions
+        // stop counting as resizes and the size never goes below the floor.
+        for _ in 0..3 {
+            let resizes = interner.memo_resizes();
+            let table = interner.compact(&ids);
+            ids = ids.iter().map(|&id| table.remap(id).unwrap()).collect();
+            assert_eq!(interner.memo_resizes(), resizes, "already at the floor");
+            interner.intersect(ids[0], ids[1]);
+            assert_eq!(interner.memo_slots(), 2, "pinned at initial_bits");
+        }
+    }
+
+    #[test]
+    fn fixed_memo_is_pinned_across_compaction() {
+        let mut interner = SetInterner::new().with_memo_config(MemoConfig::fixed(3));
+        let ids: Vec<SetId> = (0..8u32)
+            .map(|i| interner.intern(&set(&[i, i + 1])))
+            .collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                interner.intersect(a, b);
+            }
+        }
+        assert_eq!(interner.memo_slots(), 8);
+        let table = interner.compact(&ids);
+        // Fixed means initial == max: there is no smaller size to step back
+        // to, so compaction drops the (now stale) entries without resizing.
+        assert_eq!(interner.memo_resizes(), 0);
+        assert_eq!(interner.memo_slots(), 0, "dropped until next use");
+        let a = table.remap(ids[0]).unwrap();
+        let b = table.remap(ids[1]).unwrap();
+        let ab = interner.intersect(a, b);
+        assert_eq!(interner.resolve(ab), &set(&[1]));
+        assert_eq!(interner.memo_slots(), 8, "re-allocated at the pinned size");
+        assert_eq!(interner.memo_resizes(), 0);
     }
 
     #[test]

@@ -196,6 +196,14 @@ impl ObjectLifecycle {
     /// are reclaimed by [`retire`](Self::retire) once the interner reports
     /// the id dead at a compaction epoch.
     pub fn end_tracks(&mut self, ends: &[ObjectId]) {
+        // Negative-control mutant: reintroduces the pre-PR-5 blind spot
+        // where end-of-track events were ignored, so a same-class recycle
+        // splices into the ended generation. Exists solely so the model
+        // checker's mutant suite can prove it *catches* this class of bug;
+        // never enabled by production or tier-1 builds.
+        if cfg!(feature = "check-mutants") {
+            return;
+        }
         for external in ends {
             if self.live.remove(external).is_some() {
                 self.tracks_ended += 1;
@@ -252,6 +260,29 @@ impl ObjectLifecycle {
     /// Internal ids currently tracked (each holds one store reference).
     pub fn tracked_objects(&self) -> usize {
         self.registered.len()
+    }
+
+    /// The tracked internal ids as a sorted list. Introspection hook for
+    /// the model checker: conformance replay compares this set against the
+    /// model's (and against the interner's universe) after every action.
+    pub fn registered_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.registered.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The live alias translations as sorted `(alias internal, external)`
+    /// pairs. Introspection hook for the model checker: alias entries must
+    /// appear exactly when a reuse generation is still tracked and vanish
+    /// at its retirement.
+    pub fn alias_entries(&self) -> Vec<(ObjectId, ObjectId)> {
+        let mut entries: Vec<(ObjectId, ObjectId)> = self
+            .aliases
+            .iter()
+            .map(|(&alias, &external)| (alias, external))
+            .collect();
+        entries.sort_unstable();
+        entries
     }
 
     /// Internal ids retired so far (lifetime counter).

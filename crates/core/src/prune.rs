@@ -84,6 +84,14 @@ impl PrunerVerdictCache {
     /// verdicts only ever *widens* pruning, which Proposition 1 makes
     /// invisible to surviving queries.
     pub fn clear(&mut self) {
+        // Negative-control mutant: skips the clear-on-catalog-swap, so a
+        // verdict computed under one catalog version keeps being consulted
+        // under the next. Exists solely so the model checker's mutant suite
+        // can prove it *catches* this class of bug; never enabled by
+        // production or tier-1 builds.
+        if cfg!(feature = "check-mutants") {
+            return;
+        }
         self.terminated.clear();
         self.cleared.clear();
     }

@@ -1,0 +1,179 @@
+//! Churn tests for [`SubscriptionHub`]: sustained publish/poll/retract
+//! interleavings against mismatched consumer speeds. The unit tests in
+//! `subscribe.rs` cover each rule pointwise; these runs check the rules
+//! *compose* — drop-oldest ordering with retractions mixed in, global
+//! sequence monotonicity observed through several independent cursors, and
+//! exact conservation of the enqueued/delivered/dropped/purged accounting
+//! over hundreds of events.
+
+use std::sync::Arc;
+
+use tvq_common::{FeedId, FrameId, FxHashSet, ObjectSet, QueryId};
+use tvq_engine::{MatchEvent, SubscriptionHub};
+use tvq_query::QueryMatch;
+
+fn matched(query: u32, object: u32) -> QueryMatch {
+    QueryMatch {
+        query: QueryId(query),
+        objects: ObjectSet::from_raw([object]),
+        frames: Arc::from([FrameId(0)]),
+    }
+}
+
+fn filter(ids: &[u32]) -> Option<FxHashSet<QueryId>> {
+    Some(ids.iter().map(|&q| QueryId(q)).collect())
+}
+
+/// Drop-oldest under overflow, with a retraction landing mid-stream: the
+/// queue must hold the newest accepted events in order, never resurrect a
+/// purged query, and count purges as retraction (not as backpressure
+/// drops).
+#[test]
+fn drop_oldest_ordering_survives_interleaved_retraction() {
+    let mut hub = SubscriptionHub::new();
+    let slow = hub.subscribe(3, None);
+
+    // Six events, alternating queries 0 and 1: seqs 0..6. Capacity 3 keeps
+    // seqs 3,4,5 and counts 3 backpressure drops.
+    for i in 0..6u32 {
+        hub.publish(FeedId(0), FrameId(i as u64), &[matched(i % 2, i)]);
+    }
+    assert_eq!(hub.subscription(slow).unwrap().dropped(), 3);
+
+    // Query 1 is cancelled: its queued event (seq 5... seqs 3,4,5 carry
+    // queries 1,0,1) vanishes from the queue, while the dropped counter
+    // stays at 3 — retraction is not backpressure.
+    hub.retract_query(QueryId(1));
+    let sub = hub.subscription(slow).unwrap();
+    assert_eq!(sub.queued(), 1, "seqs 3 and 5 purged, seq 4 remains");
+    assert_eq!(sub.dropped(), 3);
+
+    // More query-0 traffic overflows again; order stays strictly by seq.
+    for i in 6..10u32 {
+        hub.publish(FeedId(0), FrameId(i as u64), &[matched(0, i)]);
+    }
+    let events = hub.poll(slow, usize::MAX).unwrap();
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![7, 8, 9], "newest three, oldest (4, 6) dropped");
+    assert!(events.iter().all(|e| e.matched.query == QueryId(0)));
+    assert_eq!(hub.subscription(slow).unwrap().dropped(), 5);
+}
+
+/// Sequence numbers are hub-global and strictly monotone as seen by every
+/// subscriber, whatever its filter, capacity, or polling cadence — and a
+/// subscriber's seq gaps are exactly its filter skips plus its drops.
+#[test]
+fn global_sequence_is_monotone_across_subscribers_and_polls() {
+    let mut hub = SubscriptionHub::new();
+    let fast_all = hub.subscribe(256, None);
+    let slow_all = hub.subscribe(4, None);
+    let only_q2 = hub.subscribe(256, filter(&[2]));
+
+    let mut observed: Vec<Vec<Arc<MatchEvent>>> = vec![Vec::new(); 3];
+    for round in 0..60u32 {
+        let batch: Vec<QueryMatch> = (0..3).map(|q| matched(q, round)).collect();
+        hub.publish(FeedId(1), FrameId(round as u64), &batch);
+        // The fast subscriber polls every round, the slow one every 8th,
+        // the filtered one every 3rd — three unsynchronised cursors.
+        if round % 8 == 7 {
+            observed[1].extend(hub.poll(slow_all, usize::MAX).unwrap());
+        }
+        if round % 3 == 2 {
+            observed[2].extend(hub.poll(only_q2, usize::MAX).unwrap());
+        }
+        observed[0].extend(hub.poll(fast_all, usize::MAX).unwrap());
+    }
+    observed[0].extend(hub.poll(fast_all, usize::MAX).unwrap());
+    observed[1].extend(hub.poll(slow_all, usize::MAX).unwrap());
+    observed[2].extend(hub.poll(only_q2, usize::MAX).unwrap());
+
+    for (who, events) in observed.iter().enumerate() {
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].seq < pair[1].seq,
+                "subscriber {who} saw seq {} then {}",
+                pair[0].seq,
+                pair[1].seq
+            );
+        }
+    }
+    // The never-overflowing full subscriber saw *every* seq exactly once.
+    let full: Vec<u64> = observed[0].iter().map(|e| e.seq).collect();
+    assert_eq!(full, (0..180u64).collect::<Vec<_>>());
+    // The filtered subscriber saw exactly the query-2 events (every third
+    // seq), also gap-free: its capacity never overflowed.
+    let filtered: Vec<u64> = observed[2].iter().map(|e| e.seq).collect();
+    assert_eq!(
+        filtered,
+        (0..180u64).filter(|s| s % 3 == 2).collect::<Vec<_>>()
+    );
+    assert_eq!(hub.subscription(only_q2).unwrap().dropped(), 0);
+    // The slow subscriber's loss is visible as gaps and equals its counter.
+    let slow_seen = observed[1].len() as u64;
+    let slow_dropped = hub.subscription(slow_all).unwrap().dropped();
+    assert_eq!(slow_seen + slow_dropped, 180, "every event seen or counted");
+    assert!(slow_dropped > 0, "the cadence must actually overflow");
+}
+
+/// Conservation over a long churn run with subscribe/unsubscribe mixed in:
+/// for every subscriber, enqueued = delivered + dropped + retract-purged +
+/// still-queued; and the hub totals agree with the per-subscriber sums.
+#[test]
+fn accounting_is_conserved_under_churn() {
+    let mut hub = SubscriptionHub::new();
+    let a = hub.subscribe(7, None);
+    let b = hub.subscribe(3, filter(&[0, 1]));
+    let mut enqueued_total = 0usize;
+    let mut published_total = 0u64;
+    let mut delivered = [0u64; 2];
+    let mut purged = [0u64; 2];
+
+    for round in 0..200u32 {
+        let batch: Vec<QueryMatch> = (0..=(round % 3)).map(|q| matched(q, round)).collect();
+        published_total += batch.len() as u64;
+        enqueued_total += hub.publish(FeedId(0), FrameId(round as u64), &batch);
+        if round % 11 == 10 {
+            delivered[0] += hub.poll(a, 5).unwrap().len() as u64;
+        }
+        if round % 17 == 16 {
+            delivered[1] += hub.poll(b, usize::MAX).unwrap().len() as u64;
+        }
+        if round == 100 {
+            // Cancel query 1 mid-run; note what each queue loses to the
+            // purge so the books still balance.
+            for (i, id) in [a, b].into_iter().enumerate() {
+                purged[i] += hub.subscription(id).unwrap().queued() as u64;
+            }
+            hub.retract_query(QueryId(1));
+            for (i, id) in [a, b].into_iter().enumerate() {
+                purged[i] -= hub.subscription(id).unwrap().queued() as u64;
+            }
+        }
+    }
+
+    let mut per_sub_enqueued = 0u64;
+    for (i, id) in [a, b].into_iter().enumerate() {
+        let sub = hub.subscription(id).unwrap();
+        assert_eq!(sub.delivered(), delivered[i]);
+        let accounted = sub.delivered() + sub.dropped() + purged[i] + sub.queued() as u64;
+        per_sub_enqueued += accounted;
+    }
+    assert_eq!(
+        per_sub_enqueued, enqueued_total as u64,
+        "every enqueued event is delivered, dropped, purged, or still queued"
+    );
+    // Hub-level counters agree: published counts events (not fan-out),
+    // total_dropped only counts live subscribers — unsubscribe forgets.
+    assert_eq!(hub.published(), published_total);
+    let live_drop_sum: u64 = [a, b]
+        .into_iter()
+        .map(|id| hub.subscription(id).unwrap().dropped())
+        .sum();
+    assert_eq!(hub.total_dropped(), live_drop_sum);
+    hub.unsubscribe(a).unwrap();
+    assert_eq!(
+        hub.total_dropped(),
+        hub.subscription(b).unwrap().dropped(),
+        "an unsubscribed queue's drop count leaves the hub total"
+    );
+}

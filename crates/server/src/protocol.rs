@@ -30,9 +30,12 @@ pub fn write_frame(writer: &mut impl Write, payload: &str) -> io::Result<()> {
     writer.flush()
 }
 
-/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF (the
-/// peer closed between frames); EOF *inside* a frame is an error.
-pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<String>> {
+/// Reads one length-prefixed frame's raw bytes. Returns `Ok(None)` on a
+/// clean EOF (the peer closed between frames); EOF *inside* a frame is an
+/// error. An announced length above [`MAX_FRAME_LEN`] is rejected before
+/// any payload buffer is allocated — a corrupt or hostile prefix cannot
+/// cost more than the 4 header bytes already read.
+pub fn read_frame_bytes(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut header = [0u8; 4];
     let mut filled = 0;
     while filled < header.len() {
@@ -56,9 +59,22 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<String>> {
     }
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err))
+    Ok(Some(payload))
+}
+
+/// Reads one length-prefixed frame as UTF-8 text. Same contract as
+/// [`read_frame_bytes`], plus an `InvalidData` error when the payload is
+/// not valid UTF-8 — note the frame *was* fully consumed in that case, so
+/// callers that want to keep the connection alive (the server does: it
+/// replies `ERR` instead of hanging up) can resynchronise on the next
+/// frame boundary.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<String>> {
+    match read_frame_bytes(reader)? {
+        None => Ok(None),
+        Some(payload) => String::from_utf8(payload)
+            .map(Some)
+            .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err)),
+    }
 }
 
 #[cfg(test)]

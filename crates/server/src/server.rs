@@ -33,7 +33,7 @@ use std::thread::JoinHandle;
 use tvq_common::{Error, FeedId, FrameId, FrameObjects, ObjectId, Result};
 use tvq_engine::{EngineConfig, SubscriberId, SubscriptionHub, TemporalVideoQueryEngine};
 
-use crate::protocol::{read_frame, write_frame};
+use crate::protocol::{read_frame_bytes, write_frame};
 
 /// Everything a connection needs to serve a command. One mutex guards the
 /// whole state: commands are short (the per-frame engine work dominates)
@@ -328,7 +328,17 @@ fn serve_connection(stream: TcpStream, state: &Mutex<ServerState>) {
         Err(_) => return,
     });
     let mut writer = BufWriter::new(stream);
-    while let Ok(Some(line)) = read_frame(&mut reader) {
+    while let Ok(Some(payload)) = read_frame_bytes(&mut reader) {
+        // A frame that is not UTF-8 is a malformed *command*, not a broken
+        // *connection*: the framing layer already consumed the whole
+        // payload, so reply ERR and resynchronise on the next frame
+        // boundary instead of hanging up on the client.
+        let Ok(line) = String::from_utf8(payload) else {
+            if write_frame(&mut writer, "ERR command is not valid UTF-8").is_err() {
+                break;
+            }
+            continue;
+        };
         let quit = line.trim().eq_ignore_ascii_case("QUIT");
         let response = state
             .lock()

@@ -1,0 +1,146 @@
+//! Property tests for the wire protocol, plus malformed-input behaviour of
+//! a live server: the framing layer must round-trip anything it wrote,
+//! reject hostile length prefixes before allocating, and treat a
+//! non-UTF-8 command as an `ERR` reply — never as a reason to kill the
+//! connection or the process.
+
+use std::io::{Cursor, Write};
+use std::net::TcpStream;
+
+use proptest::prelude::*;
+use tvq_common::WindowSpec;
+use tvq_engine::EngineConfig;
+use tvq_server::protocol::{read_frame, read_frame_bytes, write_frame, MAX_FRAME_LEN};
+use tvq_server::{QueryServer, ServerClient, ServerHandle};
+
+/// Strategy: a batch of payload strings (built from generated code points —
+/// the vendored proptest has no string strategy) including empties.
+fn payloads() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0u32..0x11_0000, 0..40), 1..8)
+}
+
+fn to_string(codes: &[u32]) -> String {
+    codes
+        .iter()
+        .map(|&c| char::from_u32(c).unwrap_or('\u{FFFD}'))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of frames (empty payloads included) round-trips and
+    /// ends with a clean EOF.
+    #[test]
+    fn frames_round_trip(batch in payloads()) {
+        let texts: Vec<String> = batch.iter().map(|codes| to_string(codes)).collect();
+        let mut buffer = Vec::new();
+        for text in &texts {
+            write_frame(&mut buffer, text).unwrap();
+        }
+        let mut cursor = Cursor::new(buffer);
+        for text in &texts {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap().unwrap(), text);
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    /// A length prefix above MAX_FRAME_LEN is rejected after reading
+    /// exactly the 4 header bytes — before any payload allocation or read
+    /// (the cursor proves no payload byte was consumed).
+    #[test]
+    fn oversized_length_is_rejected_without_touching_the_payload(
+        excess in 1u32..=u32::MAX - (MAX_FRAME_LEN as u32),
+        junk in proptest::collection::vec(0u8..=255, 0..16),
+    ) {
+        let announced = MAX_FRAME_LEN as u32 + excess;
+        let mut wire = announced.to_be_bytes().to_vec();
+        wire.extend_from_slice(&junk);
+        let mut cursor = Cursor::new(wire);
+        let err = read_frame_bytes(&mut cursor).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        prop_assert_eq!(cursor.position(), 4, "stopped at the header");
+    }
+
+    /// A frame truncated anywhere — mid-header or mid-payload — is an
+    /// error, never a silent EOF or a hang.
+    #[test]
+    fn truncated_frames_are_errors(
+        codes in proptest::collection::vec(0u32..0x11_0000, 1..40),
+        cut in 0usize..100,
+    ) {
+        let text = to_string(&codes);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &text).unwrap();
+        let cut = 1 + cut % (wire.len() - 1); // 1..wire.len(): strictly partial
+        wire.truncate(cut);
+        let mut cursor = Cursor::new(wire);
+        prop_assert!(read_frame_bytes(&mut cursor).is_err());
+    }
+
+    /// Invalid UTF-8 is a *payload*-level error: the byte layer must
+    /// deliver the frame intact, the text layer must reject it.
+    #[test]
+    fn invalid_utf8_fails_text_reads_but_not_byte_reads(
+        prefix in proptest::collection::vec(0u8..=255, 0..32),
+    ) {
+        let mut payload = prefix;
+        payload.push(0xFF); // 0xFF never occurs in valid UTF-8
+        let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        let mut bytes = Cursor::new(wire.clone());
+        prop_assert_eq!(read_frame_bytes(&mut bytes).unwrap().unwrap(), payload);
+        let mut text = Cursor::new(wire);
+        let err = read_frame(&mut text).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}
+
+fn spawn_server() -> ServerHandle {
+    let config = EngineConfig::new(WindowSpec::new(3, 2).unwrap());
+    QueryServer::bind("127.0.0.1:0", config)
+        .unwrap()
+        .spawn()
+        .unwrap()
+}
+
+#[test]
+fn non_utf8_command_gets_an_err_reply_and_the_connection_survives() {
+    let handle = spawn_server();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    // A raw frame whose payload is not UTF-8: length prefix + garbage.
+    let payload = [0xFFu8, 0xC0, 0x80, b'P', b'I', b'N', b'G'];
+    stream
+        .write_all(&(payload.len() as u32).to_be_bytes())
+        .unwrap();
+    stream.write_all(&payload).unwrap();
+    stream.flush().unwrap();
+    let mut reader = stream.try_clone().unwrap();
+    let reply = read_frame(&mut reader).unwrap().unwrap();
+    assert!(reply.starts_with("ERR"), "expected ERR, got {reply:?}");
+    assert!(reply.contains("UTF-8"), "{reply:?}");
+    // The connection is still serving: a well-formed command works.
+    write_frame(&mut stream, "PING").unwrap();
+    assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "OK pong");
+    handle.stop();
+}
+
+#[test]
+fn poll_after_unsubscribe_is_an_error_reply_not_a_panic() {
+    let handle = spawn_server();
+    let mut client = ServerClient::connect(handle.addr()).unwrap();
+    let reply = client.request("SUBSCRIBE cap=4").unwrap();
+    assert_eq!(reply, "OK sub=0");
+    assert_eq!(
+        client.request("UNSUBSCRIBE 0").unwrap(),
+        "OK unsubscribed=0"
+    );
+    let reply = client.request("POLL 0").unwrap();
+    assert!(reply.starts_with("ERR"), "expected ERR, got {reply:?}");
+    // The connection (and the server) are unharmed.
+    assert_eq!(client.request("PING").unwrap(), "OK pong");
+    // Re-subscribing mints a fresh id rather than resurrecting the dead one.
+    assert_eq!(client.request("SUBSCRIBE cap=4").unwrap(), "OK sub=1");
+    client.quit().unwrap();
+    handle.stop();
+}
