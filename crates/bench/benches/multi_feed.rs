@@ -11,19 +11,27 @@
 //!   isolates the maintainer + evaluator hot path (no channels, no thread
 //!   wake-ups) — the SSG row is the SSG micro-benchmark the perf trajectory
 //!   tracks.
+//! * `multi_feed/skewed/{CONFIG}` — the skewed camera grid (two hot cameras
+//!   colliding on one static shard, hotspot flip mid-run) ingested with
+//!   static sharding vs. work-stealing rebalancing. On a multi-core runner
+//!   the rebalanced row pulls ahead; on any machine the row pins the
+//!   scheduler's overhead.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use tvq_bench::experiments::{
-    multi_feed_batches, multi_feed_deployment, run_multi_feed_prepared, stable_scene,
+    multi_feed_batches, multi_feed_deployment, run_multi_feed_prepared, skew_profile, skew_window,
+    stable_scene,
 };
 use tvq_bench::Scale;
 use tvq_common::WindowSpec;
 use tvq_core::MaintainerKind;
-use tvq_engine::{EngineConfig, TemporalVideoQueryEngine};
-use tvq_video::CameraFeed;
+use tvq_engine::{
+    EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine, TemporalVideoQueryEngine,
+};
+use tvq_video::{interleave, skewed_grid, CameraFeed};
 
 fn bench_multi_feed_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("multi_feed");
@@ -113,10 +121,61 @@ fn bench_stable_scene(c: &mut Criterion) {
     group.finish();
 }
 
+/// The skewed grid per scheduler configuration: static sharding (the hot
+/// cameras serialise on one worker) vs. work-stealing rebalancing.
+fn bench_skewed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_feed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let grid = skewed_grid(&skew_profile(Scale::Quick));
+    let window = skew_window(Scale::Quick);
+    let batches: Vec<Vec<FeedFrame>> = interleave(&grid, grid.len() * 3)
+        .into_iter()
+        .map(|batch| batch.into_iter().map(FeedFrame::from).collect())
+        .collect();
+    for (label, workers, rebalance_interval) in [
+        ("static_1w", 1usize, 0u64),
+        ("static_4w", 4, 0),
+        ("rebalance_4w", 4, 2),
+    ] {
+        group.bench_with_input(BenchmarkId::new("skewed", label), &batches, |b, batches| {
+            b.iter(|| {
+                let config = MultiFeedConfig::new(
+                    EngineConfig::new(window).with_maintainer(MaintainerKind::Ssg),
+                )
+                .with_workers(workers)
+                .with_rebalance_interval(rebalance_interval)
+                .with_steal_threshold(1.25);
+                let mut engine = MultiFeedEngine::builder(config)
+                    .with_query_text("car >= 1 AND person >= 1")
+                    .expect("query parses")
+                    .with_query_text("car >= 2")
+                    .expect("query parses")
+                    .build()
+                    .expect("engine builds");
+                let mut matches = 0u64;
+                for batch in batches {
+                    matches += engine
+                        .push_batch(batch)
+                        .expect("batch is accepted")
+                        .iter()
+                        .map(|r| r.result.matches.len() as u64)
+                        .sum::<u64>();
+                }
+                matches
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_multi_feed_scaling,
     bench_classed_per_maintainer,
-    bench_stable_scene
+    bench_stable_scene,
+    bench_skewed
 );
 criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Skewed-feed scheduling scenario: a 12-camera grid in which two hot
+//! cameras (an order of magnitude more concurrent objects than the rest)
+//! collide on one worker of a static mod-4 sharding, with the hotspot
+//! flipping to two different cameras halfway through. Ingested three ways —
+//! one worker, four static workers, four workers with work-stealing
+//! rebalancing — to show that the deterministic scheduler recovers the
+//! parallelism static sharding loses to skew *without changing a single
+//! result*.
+//!
+//! Flags: `--quick` for a reduced run, `--json` to also write
+//! `BENCH_skew.json` (per-configuration timings, scheduling telemetry and
+//! the gate verdict), `--gate` to exit non-zero unless the verdict passes:
+//! identical transcripts across all three configurations, a rebalanced
+//! schedule that admits ≥ 1.5× parallelism (busy time / critical-path time
+//! — machine-independent) and beats static sharding's critical path, and,
+//! on machines with at least 4 cores, a ≥ 1.5× wall-clock speedup of the
+//! rebalanced 4-worker run over the 1-worker baseline.
+
+use tvq_bench::experiments::{self, SkewRun};
+use tvq_bench::{emit_json_report, JsonValue, Scale};
+
+fn run_json(run: &SkewRun) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("method".into(), JsonValue::Str(run.method.clone())),
+        ("workers".into(), JsonValue::Int(run.workers as u64)),
+        ("matches".into(), JsonValue::Int(run.matches)),
+        (
+            "transcript".into(),
+            JsonValue::Str(format!("{:016x}", run.transcript)),
+        ),
+        ("busy_nanos".into(), JsonValue::Int(run.sched.busy_nanos)),
+        (
+            "critical_path_nanos".into(),
+            JsonValue::Int(run.sched.critical_path_nanos),
+        ),
+        (
+            "schedule_parallelism".into(),
+            JsonValue::Num(run.sched.schedule_parallelism()),
+        ),
+        (
+            "feeds_migrated".into(),
+            JsonValue::Int(run.metrics.feeds_migrated),
+        ),
+        ("rebalances".into(), JsonValue::Int(run.metrics.rebalances)),
+        (
+            "per_shard_queue_depth".into(),
+            JsonValue::Int(run.metrics.per_shard_queue_depth),
+        ),
+    ])
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = experiments::skew(scale);
+    let verdict = experiments::skew_verdict(&runs);
+
+    println!("Skewed feeds: hot-camera collision, static sharding vs. work stealing");
+    println!(
+        "{:>14} {:>9} {:>12} {:>13} {:>11} {:>10} {:>12}",
+        "method", "seconds", "frames/sec", "parallelism", "migrations", "matches", "transcript"
+    );
+    println!("{}", "-".repeat(88));
+    for run in &runs {
+        println!(
+            "{:>14} {:>9.3} {:>12.0} {:>13.2} {:>11} {:>10} {:>12}",
+            run.method,
+            run.seconds,
+            run.frames as f64 / run.seconds.max(f64::EPSILON),
+            run.sched.schedule_parallelism(),
+            run.metrics.feeds_migrated,
+            run.matches,
+            format!("{:08x}", run.transcript >> 32),
+        );
+    }
+    println!(
+        "transcripts identical: {}; rebalance beats static critical path: {}; \
+         wall-clock speedup vs 1w: {:.2}x ({} cores{})",
+        verdict.identical_transcripts,
+        verdict.rebalance_beats_static,
+        verdict.wall_clock_speedup,
+        verdict.cores,
+        if verdict.wall_clock_gate_active() {
+            ""
+        } else {
+            "; wall-clock gate inactive below 4 cores"
+        },
+    );
+
+    emit_json_report("skew", scale, |report| {
+        report
+            .with_maintainers(runs.iter().map(SkewRun::timing).collect())
+            .with_extra("runs", JsonValue::Arr(runs.iter().map(run_json).collect()))
+            .with_extra(
+                "gate",
+                JsonValue::Obj(vec![
+                    (
+                        "identical_transcripts".into(),
+                        JsonValue::Bool(verdict.identical_transcripts),
+                    ),
+                    (
+                        "rebalance_parallelism".into(),
+                        JsonValue::Num(verdict.rebalance_parallelism),
+                    ),
+                    (
+                        "static4_parallelism".into(),
+                        JsonValue::Num(verdict.static4_parallelism),
+                    ),
+                    (
+                        "rebalance_beats_static".into(),
+                        JsonValue::Bool(verdict.rebalance_beats_static),
+                    ),
+                    (
+                        "wall_clock_speedup".into(),
+                        JsonValue::Num(verdict.wall_clock_speedup),
+                    ),
+                    ("cores".into(), JsonValue::Int(verdict.cores as u64)),
+                    (
+                        "wall_clock_gate_active".into(),
+                        JsonValue::Bool(verdict.wall_clock_gate_active()),
+                    ),
+                    ("passes".into(), JsonValue::Bool(verdict.passes())),
+                ]),
+            )
+    });
+
+    if std::env::args().any(|a| a == "--gate") {
+        if verdict.passes() {
+            println!(
+                "gate OK   parallelism {:.2} >= 1.5, static {:.2}, wall-clock {:.2}x",
+                verdict.rebalance_parallelism,
+                verdict.static4_parallelism,
+                verdict.wall_clock_speedup
+            );
+        } else {
+            eprintln!("gate FAIL {verdict:?}");
+            std::process::exit(1);
+        }
+    }
+}

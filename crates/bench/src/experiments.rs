@@ -13,12 +13,13 @@ use std::time::Instant;
 use tvq_common::{DatasetStats, FeedId, VideoRelation, WindowSpec};
 use tvq_core::{CompactionPolicy, MaintainerKind, MaintenanceMetrics};
 use tvq_engine::{
-    EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine, TemporalVideoQueryEngine,
+    EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine, SchedulingStats,
+    TemporalVideoQueryEngine,
 };
 use tvq_query::{generate_workload, CnfEvaluator, GeqOnlyPruner, WorkloadConfig};
 use tvq_video::{
-    generate, generate_with_id_reuse, interleave, long_churn_feed, CameraFeed, ChurnProfile,
-    DatasetProfile,
+    generate, generate_with_id_reuse, interleave, long_churn_feed, skewed_grid, CameraFeed,
+    ChurnProfile, DatasetProfile, SkewProfile,
 };
 
 use crate::harness::{
@@ -554,6 +555,201 @@ pub fn instrumented_multifeed(scale: Scale) -> Vec<MaintainerTiming> {
         timings.push(timing.into_timing(format!("{}/stable/1w", kind.name())));
     }
     timings
+}
+
+/// The window the skewed-grid scenario runs under.
+pub fn skew_window(scale: Scale) -> WindowSpec {
+    scale.window(WindowSpec::new(30, 20).expect("static spec is valid"))
+}
+
+/// The skewed-grid profile the scenario ingests: the [`SkewProfile`]
+/// default (12 cameras, 2 hot colliding under mod-4 sharding, hotspot flip
+/// at half-time), frame budget per scale.
+pub fn skew_profile(scale: Scale) -> SkewProfile {
+    SkewProfile::new(match scale {
+        Scale::Paper => 600,
+        Scale::Quick => 240,
+    })
+}
+
+/// One skewed-grid ingestion run of one scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SkewRun {
+    /// Configuration name: `static/1w`, `static/4w` or `rebalance/4w`.
+    pub method: String,
+    /// Worker-pool size of the run.
+    pub workers: usize,
+    /// Wall-clock seconds spent inside the `push_batch` loop.
+    pub seconds: f64,
+    /// Frames ingested.
+    pub frames: u64,
+    /// Total query matches (the honesty check across configurations).
+    pub matches: u64,
+    /// FNV-1a hash over every `(feed, frame, query matches)` result in
+    /// ingestion order: two runs with equal transcripts produced
+    /// bit-identical results. This is the scenario's determinism gate —
+    /// scheduling may never change results.
+    pub transcript: u64,
+    /// The engine's worker-time telemetry (busy vs critical-path nanos).
+    pub sched: SchedulingStats,
+    /// Merged fleet metrics (includes the scheduler-owned counters).
+    pub metrics: MaintenanceMetrics,
+}
+
+impl SkewRun {
+    /// Converts the run into the shared [`MaintainerTiming`] JSON row.
+    pub fn timing(&self) -> MaintainerTiming {
+        MaintainerTiming {
+            method: self.method.clone(),
+            seconds: self.seconds,
+            frames: self.frames,
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+fn fnv(hash: u64, value: u64) -> u64 {
+    // FNV-1a over the value's little-endian bytes.
+    let mut hash = hash;
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Ingests the skewed camera grid through three scheduler configurations —
+/// one worker (the serial baseline), four static workers (the hot cameras
+/// collide on one of them by construction), and four workers with
+/// work-stealing rebalancing — and returns the instrumented runs. All three
+/// must produce identical transcripts; the rebalanced run is the only one
+/// whose schedule can spread the hot cameras.
+pub fn skew(scale: Scale) -> Vec<SkewRun> {
+    let window = skew_window(scale);
+    let grid = skewed_grid(&skew_profile(scale));
+    // Three frames per camera per batch: big enough to amortise channel
+    // traffic, small enough that the load EWMA tracks the hotspot flip
+    // within a few batches.
+    let batches: Vec<Vec<FeedFrame>> = interleave(&grid, grid.len() * 3)
+        .into_iter()
+        .map(|batch| batch.into_iter().map(FeedFrame::from).collect())
+        .collect();
+    [
+        ("static/1w", 1usize, 0u64),
+        ("static/4w", 4, 0),
+        ("rebalance/4w", 4, 2),
+    ]
+    .into_iter()
+    .map(|(method, workers, rebalance_interval)| {
+        let config =
+            MultiFeedConfig::new(EngineConfig::new(window).with_maintainer(MaintainerKind::Ssg))
+                .with_workers(workers)
+                .with_rebalance_interval(rebalance_interval)
+                .with_steal_threshold(1.25);
+        let mut engine = MultiFeedEngine::builder(config)
+            .with_query_text("car >= 1 AND person >= 1")
+            .expect("query parses")
+            .with_query_text("car >= 2")
+            .expect("query parses")
+            .build()
+            .expect("engine builds");
+        let start = Instant::now();
+        let mut matches = 0u64;
+        let mut transcript = 0xcbf2_9ce4_8422_2325u64;
+        for batch in &batches {
+            for result in engine.push_batch(batch).expect("batch is accepted") {
+                matches += result.result.matches.len() as u64;
+                transcript = fnv(transcript, u64::from(result.feed.raw()));
+                transcript = fnv(transcript, result.result.frame.0);
+                transcript = fnv(transcript, result.result.matches.len() as u64);
+                for m in &result.result.matches {
+                    transcript = fnv(transcript, u64::from(m.query.0));
+                }
+            }
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let report = engine.report().expect("report is collected");
+        SkewRun {
+            method: method.to_owned(),
+            workers,
+            seconds,
+            frames: report.total_frames(),
+            matches,
+            transcript,
+            sched: engine.scheduling_stats(),
+            metrics: report.metrics,
+        }
+    })
+    .collect()
+}
+
+/// The gate verdict over a [`skew`] run set. The determinism and
+/// schedule-quality gates are machine-independent (identical transcripts;
+/// worker-time critical path); the wall-clock gate only engages when the
+/// machine actually has enough cores to show a wall-clock win.
+#[derive(Debug, Clone)]
+pub struct SkewVerdict {
+    /// Every configuration produced bit-identical results.
+    pub identical_transcripts: bool,
+    /// Schedule parallelism (busy / critical-path time) of the rebalanced
+    /// 4-worker run. ≥ 1.5 required: the scheduler must spread the hot
+    /// cameras well enough that the schedule itself admits the speedup.
+    pub rebalance_parallelism: f64,
+    /// Schedule parallelism of the static 4-worker run (the colliding hot
+    /// cameras serialise it toward 1 — reported for contrast).
+    pub static4_parallelism: f64,
+    /// The rebalanced schedule's critical path is shorter than the static
+    /// 4-worker one: rebalancing beats static sharding in worker time.
+    pub rebalance_beats_static: bool,
+    /// Wall-clock speedup of the rebalanced 4-worker run over the 1-worker
+    /// baseline (only meaningful with ≥ 4 cores).
+    pub wall_clock_speedup: f64,
+    /// Cores the machine offers (`std::thread::available_parallelism`).
+    pub cores: usize,
+}
+
+impl SkewVerdict {
+    /// Whether the wall-clock gate participates in [`Self::passes`] on this
+    /// machine: with fewer than 4 cores a 4-worker pool cannot show a
+    /// wall-clock win no matter how good the schedule is, so the gate falls
+    /// back to the schedule-parallelism criterion alone.
+    pub fn wall_clock_gate_active(&self) -> bool {
+        self.cores >= 4
+    }
+
+    /// The CI gate: identical results, a rebalanced schedule that admits
+    /// ≥ 1.5× parallelism and beats static sharding in worker time, and —
+    /// on machines with enough cores — a ≥ 1.5× wall-clock win over the
+    /// serial baseline.
+    pub fn passes(&self) -> bool {
+        self.identical_transcripts
+            && self.rebalance_parallelism >= 1.5
+            && self.rebalance_beats_static
+            && (!self.wall_clock_gate_active() || self.wall_clock_speedup >= 1.5)
+    }
+}
+
+/// Computes the [`SkewVerdict`] for a [`skew`] run set.
+pub fn skew_verdict(runs: &[SkewRun]) -> SkewVerdict {
+    let find = |method: &str| {
+        runs.iter()
+            .find(|run| run.method == method)
+            .unwrap_or_else(|| panic!("skew run set misses {method}"))
+    };
+    let static1 = find("static/1w");
+    let static4 = find("static/4w");
+    let rebalance = find("rebalance/4w");
+    SkewVerdict {
+        identical_transcripts: runs.iter().all(|run| run.transcript == static1.transcript),
+        rebalance_parallelism: rebalance.sched.schedule_parallelism(),
+        static4_parallelism: static4.sched.schedule_parallelism(),
+        rebalance_beats_static: rebalance.sched.critical_path_nanos
+            < static4.sched.critical_path_nanos,
+        wall_clock_speedup: static1.seconds / rebalance.seconds.max(f64::EPSILON),
+        cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
 }
 
 /// One sampled point of a long-churn run's memory trajectory.

@@ -131,30 +131,89 @@ impl BitmapArena {
     }
 
     /// `|a ∩ b|` — one AND + popcount per word pair.
+    ///
+    /// The loop is unrolled 4-wide with independent accumulators: the four
+    /// popcounts per chunk have no data dependency on each other, so the
+    /// autovectorizer can issue wide AND + popcount over whole chunks and
+    /// the scalar fallback still overlaps four dependency chains instead of
+    /// serialising one `sum`. The word remainder (strides not divisible by
+    /// 4) runs the plain scalar tail, and strides below a full chunk — the
+    /// common small-universe arenas, stride 1–3 — skip the chunk iterators
+    /// entirely so the unrolling costs them nothing per call.
     #[inline]
     pub fn and_count(&self, a: usize, b: usize) -> usize {
-        self.entry(a)
-            .iter()
-            .zip(self.entry(b))
-            .map(|(&x, &y)| (x & y).count_ones() as usize)
-            .sum()
+        let (a, b) = (self.entry(a), self.entry(b));
+        if a.len() < 4 {
+            return a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| (x & y).count_ones() as usize)
+                .sum();
+        }
+        let mut wide = a.chunks_exact(4);
+        let mut with = b.chunks_exact(4);
+        let mut acc = [0usize; 4];
+        for (x, y) in (&mut wide).zip(&mut with) {
+            acc[0] += (x[0] & y[0]).count_ones() as usize;
+            acc[1] += (x[1] & y[1]).count_ones() as usize;
+            acc[2] += (x[2] & y[2]).count_ones() as usize;
+            acc[3] += (x[3] & y[3]).count_ones() as usize;
+        }
+        let mut count = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (&x, &y) in wide.remainder().iter().zip(with.remainder()) {
+            count += (x & y).count_ones() as usize;
+        }
+        count
     }
 
     /// Whether `a ⊆ b` — true when no word of `a` has a bit outside `b`.
+    ///
+    /// Violation bits of each 4-word chunk are OR-folded into one word
+    /// before the (per-chunk) early-exit test, so the hot all-subset path
+    /// is a branch every four words instead of every word. Sub-chunk
+    /// strides take the plain word loop directly.
     #[inline]
     pub fn is_subset(&self, a: usize, b: usize) -> bool {
-        self.entry(a)
+        let (a, b) = (self.entry(a), self.entry(b));
+        if a.len() < 4 {
+            return a.iter().zip(b).all(|(&x, &y)| x & !y == 0);
+        }
+        let mut wide = a.chunks_exact(4);
+        let mut with = b.chunks_exact(4);
+        for (x, y) in (&mut wide).zip(&mut with) {
+            let violation = (x[0] & !y[0]) | (x[1] & !y[1]) | (x[2] & !y[2]) | (x[3] & !y[3]);
+            if violation != 0 {
+                return false;
+            }
+        }
+        wide.remainder()
             .iter()
-            .zip(self.entry(b))
+            .zip(with.remainder())
             .all(|(&x, &y)| x & !y == 0)
     }
 
     /// Whether `a ∩ b = ∅`.
+    ///
+    /// Same shape as [`is_subset`](Self::is_subset): overlap bits OR-fold
+    /// across each 4-word chunk, early-exiting once per chunk. Sub-chunk
+    /// strides take the plain word loop directly.
     #[inline]
     pub fn is_disjoint(&self, a: usize, b: usize) -> bool {
-        self.entry(a)
+        let (a, b) = (self.entry(a), self.entry(b));
+        if a.len() < 4 {
+            return a.iter().zip(b).all(|(&x, &y)| x & y == 0);
+        }
+        let mut wide = a.chunks_exact(4);
+        let mut with = b.chunks_exact(4);
+        for (x, y) in (&mut wide).zip(&mut with) {
+            let overlap = (x[0] & y[0]) | (x[1] & y[1]) | (x[2] & y[2]) | (x[3] & y[3]);
+            if overlap != 0 {
+                return false;
+            }
+        }
+        wide.remainder()
             .iter()
-            .zip(self.entry(b))
+            .zip(with.remainder())
             .all(|(&x, &y)| x & y == 0)
     }
 }
@@ -283,6 +342,91 @@ mod tests {
         assert_eq!(arena.stride(), 1);
         arena.push([0u32].iter().copied());
         assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn unrolled_kernels_match_scalar_reference_across_strides_and_tails() {
+        // Deterministic sweep of every chunk remainder (stride % 4 in
+        // 0..=3), including the stride-1 arena, against the pre-unroll
+        // scalar word loops.
+        for stride_words in 1usize..=9 {
+            let max_slot = (stride_words * 64 - 1) as u32;
+            let a: Vec<u32> = (0..=max_slot).filter(|s| s % 3 == 0).collect();
+            let b: Vec<u32> = (0..=max_slot)
+                .filter(|s| s % 5 == 0 || s % 7 == 1)
+                .collect();
+            let arena = arena_with(&[&a, &b, &[]]);
+            assert_eq!(arena.stride(), stride_words);
+            assert_eq!(arena.and_count(0, 1), scalar_and_count(&arena, 0, 1));
+            assert_eq!(arena.is_subset(0, 1), scalar_is_subset(&arena, 0, 1));
+            assert_eq!(arena.is_disjoint(0, 1), scalar_is_disjoint(&arena, 0, 1));
+            assert!(arena.is_subset(2, 0) && arena.is_disjoint(2, 1));
+        }
+    }
+
+    /// The pre-unroll one-word-at-a-time kernels, kept as the reference the
+    /// 4-wide production loops are checked against.
+    fn scalar_and_count(arena: &BitmapArena, a: usize, b: usize) -> usize {
+        arena
+            .entry(a)
+            .iter()
+            .zip(arena.entry(b))
+            .map(|(&x, &y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    fn scalar_is_subset(arena: &BitmapArena, a: usize, b: usize) -> bool {
+        arena
+            .entry(a)
+            .iter()
+            .zip(arena.entry(b))
+            .all(|(&x, &y)| x & !y == 0)
+    }
+
+    fn scalar_is_disjoint(arena: &BitmapArena, a: usize, b: usize) -> bool {
+        arena
+            .entry(a)
+            .iter()
+            .zip(arena.entry(b))
+            .all(|(&x, &y)| x & y == 0)
+    }
+
+    mod unroll_proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+            // Random slot sets over a universe whose word count sweeps every
+            // `chunks_exact(4)` remainder: universes up to 64 bits exercise
+            // the stride-1 arena, larger ones the unrolled body plus tail
+            // words. Raw slots reduce modulo the universe so every sampled
+            // universe size sees dense occupancy.
+            #[test]
+            fn kernels_agree_with_scalar_reference_and_set_oracle(
+                universe in 1u32..=576,
+                raw_a in proptest::collection::vec(0u32..576, 0..48),
+                raw_b in proptest::collection::vec(0u32..576, 0..48),
+            ) {
+                let a: Vec<u32> = raw_a.iter().map(|s| s % universe).collect();
+                let b: Vec<u32> = raw_b.iter().map(|s| s % universe).collect();
+                let mut arena = BitmapArena::new();
+                arena.ensure_slot(universe - 1);
+                arena.push(a.iter().copied());
+                arena.push(b.iter().copied());
+                // The pre-unroll scalar loops...
+                prop_assert_eq!(arena.and_count(0, 1), scalar_and_count(&arena, 0, 1));
+                prop_assert_eq!(arena.is_subset(0, 1), scalar_is_subset(&arena, 0, 1));
+                prop_assert_eq!(arena.is_disjoint(0, 1), scalar_is_disjoint(&arena, 0, 1));
+                // ...and the independent sorted-set oracle.
+                let sa: BTreeSet<u32> = a.iter().copied().collect();
+                let sb: BTreeSet<u32> = b.iter().copied().collect();
+                prop_assert_eq!(arena.and_count(0, 1), sa.intersection(&sb).count());
+                prop_assert_eq!(arena.is_subset(0, 1), sa.is_subset(&sb));
+                prop_assert_eq!(arena.is_disjoint(0, 1), sa.is_disjoint(&sb));
+            }
+        }
     }
 
     #[test]

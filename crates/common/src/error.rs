@@ -52,6 +52,11 @@ pub enum Error {
     ShardLost {
         /// Index of the lost worker within the engine's worker pool.
         worker: usize,
+        /// Frames that were queued to (or still owed by) the lost worker
+        /// when the failure was detected — the shard's queue depth at the
+        /// point of loss, so operators can tell an idle-death from a
+        /// worker that died mid-backlog.
+        queue_depth: usize,
     },
 }
 
@@ -76,8 +81,15 @@ impl fmt::Display for Error {
             }
             Error::Io(err) => write!(f, "I/O error: {err}"),
             Error::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
-            Error::ShardLost { worker } => {
-                write!(f, "multi-feed shard worker {worker} terminated unexpectedly")
+            Error::ShardLost {
+                worker,
+                queue_depth,
+            } => {
+                write!(
+                    f,
+                    "multi-feed shard worker {worker} terminated unexpectedly \
+                     ({queue_depth} frame(s) queued to it)"
+                )
             }
         }
     }
@@ -130,8 +142,15 @@ mod tests {
         };
         assert!(e.to_string().contains("line 3"));
 
-        let e = Error::ShardLost { worker: 2 };
+        let e = Error::ShardLost {
+            worker: 2,
+            queue_depth: 17,
+        };
         assert!(e.to_string().contains("worker 2"));
+        assert!(
+            e.to_string().contains("17 frame(s)"),
+            "the error names the lost shard's queue depth: {e}"
+        );
     }
 
     #[test]

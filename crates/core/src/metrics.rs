@@ -78,6 +78,18 @@ pub struct MaintenanceMetrics {
     pub tracks_ended: u64,
     /// Query-catalog swaps (add/remove-query operations) applied so far.
     pub catalog_swaps: u64,
+    /// Largest number of frames queued to a single shard by one batch of the
+    /// multi-feed scheduler. A gauge owned by the scheduler (always zero on
+    /// single-feed engines); a value far above `frames_processed / batches /
+    /// workers` means the feed mix is skewed onto one worker.
+    pub per_shard_queue_depth: u64,
+    /// Feed migrations executed by the multi-feed scheduler (work-stealing
+    /// re-pins plus manual `MultiFeedEngine::migrate_feed` calls).
+    /// Scheduler-owned; always zero on single-feed engines.
+    pub feeds_migrated: u64,
+    /// Rebalance passes that moved at least one feed. Scheduler-owned;
+    /// always zero on single-feed engines.
+    pub rebalances: u64,
 }
 
 impl MaintenanceMetrics {
@@ -157,6 +169,9 @@ impl MaintenanceMetrics {
         self.generations_started += other.generations_started;
         self.tracks_ended += other.tracks_ended;
         self.catalog_swaps += other.catalog_swaps;
+        self.per_shard_queue_depth += other.per_shard_queue_depth;
+        self.feeds_migrated += other.feeds_migrated;
+        self.rebalances += other.rebalances;
     }
 
     /// Folds an iterator of metrics into one aggregate via [`merge`](Self::merge).
@@ -182,7 +197,7 @@ impl fmt::Display for MaintenanceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m/{}r@{} tracked={} classmap={}B lifecycle={}B retired={} generations={} ends={} swaps={}",
+            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m/{}r@{} tracked={} classmap={}B lifecycle={}B retired={} generations={} ends={} swaps={} shard_depth={} migrated={} rebalances={}",
             self.frames_processed,
             self.states_created,
             self.states_pruned,
@@ -206,7 +221,10 @@ impl fmt::Display for MaintenanceMetrics {
             self.objects_retired,
             self.generations_started,
             self.tracks_ended,
-            self.catalog_swaps
+            self.catalog_swaps,
+            self.per_shard_queue_depth,
+            self.feeds_migrated,
+            self.rebalances
         )
     }
 }
@@ -260,6 +278,9 @@ mod tests {
         a.generations_started = 23;
         a.tracks_ended = 24;
         a.catalog_swaps = 25;
+        a.per_shard_queue_depth = 26;
+        a.feeds_migrated = 27;
+        a.rebalances = 28;
         let mut b = a.clone();
         b.merge(&a);
         let doubled = MaintenanceMetrics::merged([&a, &a]);
@@ -289,6 +310,9 @@ mod tests {
         assert_eq!(doubled.generations_started, 46);
         assert_eq!(doubled.tracks_ended, 48);
         assert_eq!(doubled.catalog_swaps, 50);
+        assert_eq!(doubled.per_shard_queue_depth, 52);
+        assert_eq!(doubled.feeds_migrated, 54);
+        assert_eq!(doubled.rebalances, 56);
     }
 
     #[test]
@@ -324,5 +348,8 @@ mod tests {
         assert!(text.contains("generations=0"));
         assert!(text.contains("ends=0"));
         assert!(text.contains("swaps=0"));
+        assert!(text.contains("shard_depth=0"));
+        assert!(text.contains("migrated=0"));
+        assert!(text.contains("rebalances=0"));
     }
 }

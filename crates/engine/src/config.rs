@@ -120,11 +120,30 @@ pub struct MultiFeedConfig {
     /// retirement never evicts a mapping another shard still tracks.
     /// Default `false` (private stores, the pre-sharing behaviour).
     pub shared_class_store: bool,
+    /// How many ingested batches pass between automatic rebalance passes of
+    /// the work-stealing scheduler. `0` disables automatic rebalancing
+    /// entirely (feeds stay on their static `feed mod workers` shards unless
+    /// migrated manually) — the pre-scheduler behaviour, and the baseline
+    /// the skew benchmarks compare against. Rebalancing never changes
+    /// results, only which worker computes them.
+    pub rebalance_interval: u64,
+    /// How lopsided the load must be before a rebalance pass migrates
+    /// anything: the busiest worker must carry more than `steal_threshold`
+    /// times the idlest worker's load. Must be at least `1.0` (enforced at
+    /// build time); higher values tolerate more skew before stealing,
+    /// `1.0` rebalances on any imbalance the planner can improve.
+    pub steal_threshold: f64,
 }
 
 impl MultiFeedConfig {
     /// Default worker-pool size when none is requested explicitly.
     pub const DEFAULT_WORKERS: usize = 4;
+
+    /// Default automatic-rebalance cadence, in batches.
+    pub const DEFAULT_REBALANCE_INTERVAL: u64 = 8;
+
+    /// Default skew tolerance of the rebalancer.
+    pub const DEFAULT_STEAL_THRESHOLD: f64 = 1.5;
 
     /// Creates a multi-feed configuration with the given per-feed engine
     /// configuration and [`Self::DEFAULT_WORKERS`] workers.
@@ -133,6 +152,8 @@ impl MultiFeedConfig {
             engine,
             workers: Self::DEFAULT_WORKERS,
             shared_class_store: false,
+            rebalance_interval: Self::DEFAULT_REBALANCE_INTERVAL,
+            steal_threshold: Self::DEFAULT_STEAL_THRESHOLD,
         }
     }
 
@@ -147,6 +168,19 @@ impl MultiFeedConfig {
     /// sound).
     pub fn with_shared_class_store(mut self, shared: bool) -> Self {
         self.shared_class_store = shared;
+        self
+    }
+
+    /// Sets the automatic-rebalance cadence (`0` disables rebalancing).
+    pub fn with_rebalance_interval(mut self, batches: u64) -> Self {
+        self.rebalance_interval = batches;
+        self
+    }
+
+    /// Sets the rebalancer's skew tolerance (must be ≥ 1.0 — validated when
+    /// the engine is built).
+    pub fn with_steal_threshold(mut self, threshold: f64) -> Self {
+        self.steal_threshold = threshold;
         self
     }
 }
@@ -185,6 +219,16 @@ mod tests {
         assert_eq!(config.engine, EngineConfig::default());
         assert!(!config.shared_class_store, "private stores by default");
         assert!(config.with_shared_class_store(true).shared_class_store);
+        assert_eq!(
+            config.rebalance_interval,
+            MultiFeedConfig::DEFAULT_REBALANCE_INTERVAL
+        );
+        assert_eq!(
+            config.steal_threshold,
+            MultiFeedConfig::DEFAULT_STEAL_THRESHOLD
+        );
+        assert_eq!(config.with_rebalance_interval(0).rebalance_interval, 0);
+        assert_eq!(config.with_steal_threshold(2.0).steal_threshold, 2.0);
         let config = MultiFeedConfig::new(
             EngineConfig::new(WindowSpec::new(5, 2).unwrap()).with_maintainer(MaintainerKind::Mfs),
         )

@@ -26,7 +26,9 @@
 //! For deployments serving many cameras at once, [`MultiFeedEngine`] (see
 //! [`multi`]) shards feed-tagged frames across a worker pool, runs one
 //! single-feed engine per feed, and merges per-feed results and metrics into
-//! a deterministic feed-id-ordered report.
+//! a deterministic feed-id-ordered report. Feed placement is a rebalanceable
+//! [`ShardMap`]: a deterministic work-stealing scheduler migrates hot feeds
+//! to idle workers at batch boundaries without changing any result.
 //!
 //! # Quickstart
 //!
@@ -73,6 +75,7 @@ pub use config::{EngineConfig, MaintainerSelection, MultiFeedConfig};
 pub use engine::{EngineBuilder, FrameResult, TemporalVideoQueryEngine};
 pub use multi::{
     FeedFrame, FeedFrameResult, FeedReport, MultiFeedBuilder, MultiFeedEngine, MultiFeedReport,
+    SchedulingStats, ShardMap,
 };
 pub use pipeline::{run_workload, RunReport};
 pub use subscribe::{MatchEvent, SubscriberId, Subscription, SubscriptionHub};

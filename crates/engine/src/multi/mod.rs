@@ -1,4 +1,4 @@
-//! Sharded multi-feed engine.
+//! Sharded multi-feed engine with deterministic work stealing.
 //!
 //! The single-feed [`TemporalVideoQueryEngine`] answers CNF co-occurrence
 //! queries over *one* camera feed. A production deployment watches many
@@ -7,21 +7,30 @@
 //! (plain `std::thread` + `std::sync::mpsc` channels — no extra
 //! dependencies):
 //!
-//! * every feed is pinned to the worker `feed mod workers`, so each feed's
-//!   frames are always processed in order by exactly one thread;
+//! * feed placement is an epoch-versioned, rebalanceable [`ShardMap`]: every
+//!   feed starts on the static default `feed mod workers`, and the scheduler
+//!   migrates hot feeds to idle workers at batch boundaries (work stealing,
+//!   driven by a deterministic per-feed load EWMA — see [`scheduler`]);
+//!   within any assignment, each feed's frames are always processed in
+//!   order by exactly one thread;
 //! * each worker lazily materialises one single-feed engine per feed it
-//!   owns, built from a shared immutable query registry (configuration,
-//!   class registry and registered queries are fixed at build time);
+//!   currently serves, built from a shared immutable query registry;
+//!   migrations move the whole per-feed engine (bounded since the object
+//!   lifecycle work, so the move is one boxed pointer through a channel);
 //! * [`MultiFeedEngine::push_batch`] ingests a batch of feed-tagged frames,
 //!   fans them out to the shards, and returns the per-frame results in the
-//!   batch's input order — independent of thread scheduling;
+//!   batch's input order — independent of thread scheduling *and* of feed
+//!   placement;
 //! * [`MultiFeedEngine::report`] merges per-feed results and
 //!   [`MaintenanceMetrics`] into a global report ordered by [`FeedId`], so
 //!   cross-feed output is deterministic.
 //!
 //! Because each per-feed engine is exactly a single-feed engine fed the same
-//! frames in the same order, a sharded run is frame-for-frame identical to N
-//! independent single-feed runs; the differential suite pins this down.
+//! frames in the same order — no matter which worker holds it, or how many
+//! times it migrated — a sharded run is frame-for-frame identical to N
+//! independent single-feed runs, with rebalancing on or off; the
+//! differential suite pins this down across worker counts, rebalance
+//! settings, and forced per-batch migrations.
 //!
 //! # Example
 //!
@@ -60,7 +69,9 @@
 //! assert_eq!(report.metrics.frames_processed, 6);
 //! ```
 
-use std::collections::btree_map::Entry;
+pub mod scheduler;
+mod worker;
+
 use std::collections::BTreeMap;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
@@ -75,6 +86,10 @@ use tvq_query::CnfQuery;
 
 use crate::config::{EngineConfig, MultiFeedConfig};
 use crate::engine::{FrameResult, TemporalVideoQueryEngine};
+
+use scheduler::LoadTracker;
+pub use scheduler::ShardMap;
+use worker::{worker_loop, CatalogOp, ShardResult, WorkerMsg};
 
 /// How long a batch waits for a missing shard result before concluding the
 /// worker is gone. Generous: a healthy worker answers in microseconds.
@@ -132,7 +147,10 @@ pub struct FeedReport {
     /// version: catalog ops broadcast through the same FIFO channels as
     /// frames, so by collection time every shard has applied every swap.
     pub catalog_version: u64,
-    /// The feed's maintenance work counters.
+    /// The feed's maintenance work counters. The scheduler-owned fields
+    /// (`per_shard_queue_depth`, `feeds_migrated`, `rebalances`) are always
+    /// zero here — they only exist fleet-wide, on
+    /// [`MultiFeedReport::metrics`].
     pub metrics: MaintenanceMetrics,
 }
 
@@ -143,7 +161,10 @@ pub struct FeedReport {
 pub struct MultiFeedReport {
     /// Per-feed summaries, sorted by feed identifier.
     pub feeds: Vec<FeedReport>,
-    /// All per-feed metrics folded with [`MaintenanceMetrics::merge`].
+    /// All per-feed metrics folded with [`MaintenanceMetrics::merge`], plus
+    /// the scheduler-owned counters only the fleet-level engine can know:
+    /// `per_shard_queue_depth` (peak frames one batch queued to a single
+    /// shard), `feeds_migrated` and `rebalances`.
     pub metrics: MaintenanceMetrics,
     /// The fleet's query-catalog version at collection time. Per-feed
     /// engines seeded after swaps report this same version (not zero), so
@@ -171,6 +192,42 @@ impl MultiFeedReport {
     /// Total frames with at least one match, across all feeds.
     pub fn matching_frames(&self) -> u64 {
         self.feeds.iter().map(|f| f.matching_frames).sum()
+    }
+}
+
+/// Cumulative worker-time telemetry of a [`MultiFeedEngine`].
+///
+/// Workers time each share they process; the engine folds those
+/// measurements into two totals whose ratio is the parallel speedup the
+/// *schedule itself* admits (what the deployment would gain over one worker
+/// given at least `workers` cores — independent of how many cores the
+/// machine running the measurement happens to have):
+///
+/// * `busy_nanos` — total worker time across all shares: what a one-worker
+///   deployment would take;
+/// * `critical_path_nanos` — per batch, only the busiest worker's share
+///   counts (the batch cannot complete before its slowest shard): what the
+///   sharded deployment takes with enough cores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulingStats {
+    /// Total nanoseconds workers spent processing frames.
+    pub busy_nanos: u64,
+    /// Sum over batches of the busiest worker's share time.
+    pub critical_path_nanos: u64,
+    /// Batches ingested.
+    pub batches: u64,
+}
+
+impl SchedulingStats {
+    /// The parallel speedup the schedule admits: `busy / critical_path`.
+    /// 1.0 means every batch serialised on one worker; the worker count is
+    /// the upper bound.
+    pub fn schedule_parallelism(&self) -> f64 {
+        if self.critical_path_nanos == 0 {
+            1.0
+        } else {
+            self.busy_nanos as f64 / self.critical_path_nanos as f64
+        }
     }
 }
 
@@ -279,6 +336,18 @@ impl MultiFeedBuilder {
                 "multi-feed engine needs at least one worker".to_owned(),
             ));
         }
+        // NaN has no ordering against 1.0, so it is rejected alongside
+        // sub-unity thresholds.
+        let at_least_unity = matches!(
+            self.config.steal_threshold.partial_cmp(&1.0),
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        );
+        if !at_least_unity {
+            return Err(Error::InvalidConfig(format!(
+                "steal_threshold must be at least 1.0, got {}",
+                self.config.steal_threshold
+            )));
+        }
         if self.queries.is_empty() && !self.allow_empty {
             return Err(Error::InvalidConfig(
                 "at least one query must be registered".to_owned(),
@@ -307,7 +376,7 @@ impl MultiFeedBuilder {
                 let results = results_tx.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("tvq-shard-{index}"))
-                    .spawn(move || worker_loop(spec, inbox_rx, results))
+                    .spawn(move || worker_loop(index, spec, inbox_rx, results))
                     .map_err(Error::Io)?;
                 Ok(Worker {
                     inbox: Some(inbox_tx),
@@ -316,6 +385,7 @@ impl MultiFeedBuilder {
             })
             .collect::<Result<Vec<Worker>>>()?;
         Ok(MultiFeedEngine {
+            shards: ShardMap::new(self.config.workers),
             config: self.config,
             workers,
             results: results_rx,
@@ -323,136 +393,13 @@ impl MultiFeedBuilder {
             queries,
             registry,
             catalog_version: 0,
+            loads: LoadTracker::new(),
+            batches_since_rebalance: 0,
+            feeds_migrated: 0,
+            rebalances: 0,
+            peak_shard_depth: 0,
+            sched: SchedulingStats::default(),
         })
-    }
-}
-
-/// One catalog mutation, broadcast to every worker.
-#[derive(Clone)]
-enum CatalogOp {
-    Add(CnfQuery),
-    Remove(QueryId),
-}
-
-enum WorkerMsg {
-    /// One batch's worth of frames for this worker, in batch order. Shipping
-    /// a worker's whole share in one message (instead of one message per
-    /// frame) keeps the channel and thread-wakeup cost at O(workers) per
-    /// batch rather than O(frames).
-    Frames {
-        /// The batch these frames belong to. Results carry it back so an
-        /// aborted batch (e.g. a lost shard mid-send) cannot leave stale
-        /// results that a later batch would mistake for its own.
-        epoch: u64,
-        frames: Vec<(usize, FeedId, FrameObjects)>,
-    },
-    /// A catalog swap. Queues behind any frames already sent on the same
-    /// channel and ahead of any sent later, so every worker applies it at
-    /// the same point of the frame stream — epoch-aligned, deterministic,
-    /// and invisible to `(seq, feed)` result ordering. Fire-and-forget:
-    /// the engine validated the op centrally, so workers cannot reject it.
-    Catalog {
-        version: u64,
-        op: CatalogOp,
-    },
-    Collect {
-        reply: Sender<Vec<FeedReport>>,
-    },
-}
-
-type ShardResult = (u64, Vec<(usize, FeedId, Result<FrameResult>)>);
-
-/// Running per-feed tallies a worker keeps alongside each engine.
-#[derive(Default)]
-struct FeedTally {
-    frames: u64,
-    total_matches: u64,
-    matching_frames: u64,
-}
-
-impl FeedTally {
-    fn record(&mut self, result: &FrameResult) {
-        self.frames += 1;
-        self.total_matches += result.matches.len() as u64;
-        if result.any() {
-            self.matching_frames += 1;
-        }
-    }
-}
-
-fn worker_loop(spec: Arc<EngineSpec>, inbox: Receiver<WorkerMsg>, results: Sender<ShardResult>) {
-    // BTreeMap so collection iterates feeds in ascending id order.
-    let mut engines: BTreeMap<FeedId, (TemporalVideoQueryEngine, FeedTally)> = BTreeMap::new();
-    // The worker-local view of the current catalog: engines for feeds first
-    // seen *after* a swap must be built from this, not the build-time spec,
-    // or a late-arriving feed would answer (and report metrics) under a
-    // stale query set.
-    let mut current_queries: Vec<CnfQuery> = spec.queries.clone();
-    let mut current_version: u64 = 0;
-    for message in inbox {
-        match message {
-            WorkerMsg::Catalog { version, op } => {
-                match &op {
-                    CatalogOp::Add(query) => current_queries.push(query.clone()),
-                    CatalogOp::Remove(id) => current_queries.retain(|q| q.id != *id),
-                }
-                current_version = version;
-                for (engine, _) in engines.values_mut() {
-                    // Centrally validated; per-engine application cannot
-                    // fail (ids are fleet-unique and present everywhere).
-                    let applied = match &op {
-                        CatalogOp::Add(query) => engine.add_query(query.clone()),
-                        CatalogOp::Remove(id) => engine.remove_query(*id),
-                    };
-                    debug_assert!(applied.is_ok(), "validated catalog op rejected");
-                }
-            }
-            WorkerMsg::Frames { epoch, frames } => {
-                let mut outcomes: Vec<(usize, FeedId, Result<FrameResult>)> =
-                    Vec::with_capacity(frames.len());
-                for (seq, feed, frame) in frames {
-                    let entry = match engines.entry(feed) {
-                        Entry::Occupied(entry) => entry.into_mut(),
-                        Entry::Vacant(vacant) => {
-                            match spec.build_engine(&current_queries, current_version) {
-                                Ok(engine) => vacant.insert((engine, FeedTally::default())),
-                                Err(error) => {
-                                    // Unreachable in practice: the builder
-                                    // validated the spec. Report instead of
-                                    // panicking.
-                                    outcomes.push((seq, feed, Err(error)));
-                                    continue;
-                                }
-                            }
-                        }
-                    };
-                    let outcome = entry.0.observe(&frame);
-                    if let Ok(result) = &outcome {
-                        entry.1.record(result);
-                    }
-                    outcomes.push((seq, feed, outcome));
-                }
-                if results.send((epoch, outcomes)).is_err() {
-                    return; // Engine dropped; shut down.
-                }
-            }
-            WorkerMsg::Collect { reply } => {
-                let reports = engines
-                    .iter()
-                    .map(|(&feed, (engine, tally))| FeedReport {
-                        feed,
-                        strategy: engine.strategy().to_owned(),
-                        frames: tally.frames,
-                        total_matches: tally.total_matches,
-                        matching_frames: tally.matching_frames,
-                        live_states: engine.live_states(),
-                        catalog_version: engine.catalog_version(),
-                        metrics: engine.metrics(),
-                    })
-                    .collect();
-                let _ = reply.send(reports);
-            }
-        }
     }
 }
 
@@ -471,7 +418,7 @@ pub struct MultiFeedEngine {
     config: MultiFeedConfig,
     workers: Vec<Worker>,
     results: Receiver<ShardResult>,
-    /// Monotonic batch counter; see `WorkerMsg::Frame::epoch`.
+    /// Monotonic batch counter; see `WorkerMsg::Frames::epoch`.
     epoch: u64,
     /// The master query list: the engine validates catalog ops against it
     /// before broadcasting, so workers can apply them infallibly.
@@ -481,6 +428,20 @@ pub struct MultiFeedEngine {
     registry: ClassRegistry,
     /// The fleet-wide catalog version (one increment per broadcast op).
     catalog_version: u64,
+    /// The rebalanceable feed placement (see [`ShardMap`]).
+    shards: ShardMap,
+    /// The deterministic per-feed load model driving rebalancing.
+    loads: LoadTracker,
+    /// Batches ingested since the last automatic rebalance pass.
+    batches_since_rebalance: u64,
+    /// Migrations executed (automatic plus manual re-pins).
+    feeds_migrated: u64,
+    /// Rebalance passes that moved at least one feed.
+    rebalances: u64,
+    /// Peak frames one batch queued to a single shard.
+    peak_shard_depth: u64,
+    /// Worker-time telemetry (see [`SchedulingStats`]).
+    sched: SchedulingStats,
 }
 
 impl std::fmt::Debug for MultiFeedEngine {
@@ -488,6 +449,7 @@ impl std::fmt::Debug for MultiFeedEngine {
         f.debug_struct("MultiFeedEngine")
             .field("config", &self.config)
             .field("workers", &self.workers.len())
+            .field("shard_map_version", &self.shards.version())
             .finish()
     }
 }
@@ -508,9 +470,20 @@ impl MultiFeedEngine {
         self.workers.len()
     }
 
-    /// The worker index feed `feed` is pinned to.
+    /// The current feed placement.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// The worker index currently serving `feed` (the static default
+    /// `feed mod workers` until a migration re-pins it).
     pub fn shard_of(&self, feed: FeedId) -> usize {
-        feed.raw() as usize % self.workers.len()
+        self.shards.worker_of(feed)
+    }
+
+    /// Cumulative worker-time telemetry (busy vs critical-path time).
+    pub fn scheduling_stats(&self) -> SchedulingStats {
+        self.sched
     }
 
     /// The fleet-wide query-catalog version.
@@ -564,16 +537,19 @@ impl MultiFeedEngine {
     fn broadcast(&mut self, op: CatalogOp) -> Result<()> {
         let version = self.catalog_version + 1;
         for (index, worker) in self.workers.iter().enumerate() {
-            let inbox = worker
-                .inbox
-                .as_ref()
-                .ok_or(Error::ShardLost { worker: index })?;
+            let inbox = worker.inbox.as_ref().ok_or(Error::ShardLost {
+                worker: index,
+                queue_depth: 0,
+            })?;
             inbox
                 .send(WorkerMsg::Catalog {
                     version,
                     op: op.clone(),
                 })
-                .map_err(|_| Error::ShardLost { worker: index })?;
+                .map_err(|_| Error::ShardLost {
+                    worker: index,
+                    queue_depth: 0,
+                })?;
         }
         self.catalog_version = version;
         Ok(())
@@ -593,61 +569,111 @@ impl MultiFeedEngine {
     /// Within a batch, a feed's frames must appear in increasing frame-id
     /// order (the usual streaming contract); frames of different feeds may
     /// be interleaved arbitrarily. Each feed's frames are processed by its
-    /// pinned worker in batch order, so results are deterministic: the same
-    /// batches produce the same results for any worker-pool size.
+    /// current worker in batch order, so results are deterministic: the
+    /// same batches produce the same results for any worker-pool size and
+    /// any rebalance settings.
+    ///
+    /// Batch boundaries are also where the scheduler acts: after the
+    /// results are in, the batch's per-feed costs update the load model,
+    /// and every [`rebalance_interval`](MultiFeedConfig::rebalance_interval)
+    /// batches a rebalance pass may migrate feeds (see
+    /// [`rebalance_now`](Self::rebalance_now)).
     pub fn push_batch(&mut self, batch: &[FeedFrame]) -> Result<Vec<FeedFrameResult>> {
         self.epoch += 1;
         let epoch = self.epoch;
         // Group the batch per shard (preserving batch order within each
         // shard, which preserves per-feed frame order) so each worker
-        // receives one message per batch.
+        // receives one message per batch. Batch cost units (one per frame
+        // plus one per detection) feed the deterministic load model.
         let mut shares: Vec<Vec<(usize, FeedId, FrameObjects)>> =
             (0..self.workers.len()).map(|_| Vec::new()).collect();
+        let mut costs: BTreeMap<FeedId, u64> = BTreeMap::new();
         for (seq, tagged) in batch.iter().enumerate() {
-            shares[self.shard_of(tagged.feed)].push((seq, tagged.feed, tagged.frame.clone()));
+            *costs.entry(tagged.feed).or_insert(0) += 1 + tagged.frame.classes.len() as u64;
+            shares[self.shards.worker_of(tagged.feed)].push((
+                seq,
+                tagged.feed,
+                tagged.frame.clone(),
+            ));
+        }
+        // Queue depths per shard: the skew gauge, and what a ShardLost
+        // error reports as the lost worker's backlog.
+        let mut pending: Vec<usize> = shares.iter().map(Vec::len).collect();
+        for &depth in &pending {
+            self.peak_shard_depth = self.peak_shard_depth.max(depth as u64);
         }
         let mut outstanding = 0usize;
         for (worker, frames) in shares.into_iter().enumerate() {
             if frames.is_empty() {
                 continue;
             }
+            let queue_depth = frames.len();
             let inbox = self.workers[worker]
                 .inbox
                 .as_ref()
-                .ok_or(Error::ShardLost { worker })?;
+                .ok_or(Error::ShardLost {
+                    worker,
+                    queue_depth,
+                })?;
             inbox
                 .send(WorkerMsg::Frames { epoch, frames })
-                .map_err(|_| Error::ShardLost { worker })?;
+                .map_err(|_| Error::ShardLost {
+                    worker,
+                    queue_depth,
+                })?;
             outstanding += 1;
         }
         let mut slots: Vec<Option<(FeedId, Result<FrameResult>)>> =
             (0..batch.len()).map(|_| None).collect();
+        let mut busy = vec![0u64; self.workers.len()];
         // A worker replies once per share, so the wait must cover a whole
         // share of frames, not one: scale the timeout with the batch size
         // (generous — a healthy maintainer processes a frame in well under
         // 100ms) on top of the fixed allowance.
         let timeout = SHARD_TIMEOUT + Duration::from_millis(100) * batch.len() as u32;
         while outstanding > 0 {
-            let (result_epoch, outcomes) = match self.results.recv_timeout(timeout) {
+            let (result_epoch, worker, outcomes, nanos) = match self.results.recv_timeout(timeout) {
                 Ok(result) => result,
                 Err(_) => {
-                    // Name the shard that owes the first outstanding result.
+                    // Name the shard that owes the first outstanding
+                    // result, and how many frames it still owes.
                     let worker = slots
                         .iter()
                         .position(|slot| slot.is_none())
-                        .map(|seq| self.shard_of(batch[seq].feed))
+                        .map(|seq| self.shards.worker_of(batch[seq].feed))
                         .unwrap_or(0);
-                    return Err(Error::ShardLost { worker });
+                    return Err(Error::ShardLost {
+                        worker,
+                        queue_depth: pending.get(worker).copied().unwrap_or(0),
+                    });
                 }
             };
             if result_epoch != epoch {
                 // Leftover from a batch that aborted mid-send: discard.
                 continue;
             }
+            busy[worker] += nanos;
+            pending[worker] = 0;
             for (seq, feed, outcome) in outcomes {
                 slots[seq] = Some((feed, outcome));
             }
             outstanding -= 1;
+        }
+        // Worker-time telemetry: the batch cannot finish before its
+        // busiest shard, so only that share counts toward the critical
+        // path.
+        self.sched.busy_nanos += busy.iter().sum::<u64>();
+        self.sched.critical_path_nanos += busy.iter().copied().max().unwrap_or(0);
+        self.sched.batches += 1;
+        // Fold the batch's deterministic costs into the load model, then
+        // rebalance if the interval came up.
+        self.loads.observe_batch(&costs);
+        if self.config.rebalance_interval > 0 {
+            self.batches_since_rebalance += 1;
+            if self.batches_since_rebalance >= self.config.rebalance_interval {
+                self.batches_since_rebalance = 0;
+                self.rebalance_now()?;
+            }
         }
         // Surface the earliest (by batch position) per-frame error so the
         // failure report is deterministic too.
@@ -662,6 +688,90 @@ impl MultiFeedEngine {
         Ok(out)
     }
 
+    /// Runs one rebalance pass immediately (regardless of
+    /// [`rebalance_interval`](MultiFeedConfig::rebalance_interval)):
+    /// plans greedy migrations from the current load model (see
+    /// [`scheduler`]) and executes them. Returns the number of feeds
+    /// migrated (zero when the load is already balanced).
+    ///
+    /// Rebalancing never changes results — only which worker computes
+    /// them; see the [module documentation](self).
+    pub fn rebalance_now(&mut self) -> Result<usize> {
+        let plan = scheduler::plan_migrations(
+            self.loads.loads(),
+            &self.shards,
+            self.config.steal_threshold,
+        );
+        if plan.is_empty() {
+            return Ok(0);
+        }
+        for &(feed, worker) in &plan {
+            self.execute_migration(feed, worker)?;
+        }
+        self.rebalances += 1;
+        self.feeds_migrated += plan.len() as u64;
+        Ok(plan.len())
+    }
+
+    /// Manually re-pins `feed` to `worker`, migrating its engine state if
+    /// the feed has one. A no-op when the feed is already there. Like
+    /// automatic rebalancing, a manual migration is invisible to results.
+    pub fn migrate_feed(&mut self, feed: FeedId, worker: usize) -> Result<()> {
+        if worker >= self.workers.len() {
+            return Err(Error::InvalidConfig(format!(
+                "cannot migrate {feed} to worker {worker}: the pool has {} workers",
+                self.workers.len()
+            )));
+        }
+        if self.shards.worker_of(feed) == worker {
+            return Ok(());
+        }
+        self.execute_migration(feed, worker)?;
+        self.feeds_migrated += 1;
+        Ok(())
+    }
+
+    /// The migration protocol: ask the old worker to hand the feed's
+    /// engine over (drained by construction — migrations only run between
+    /// batches, when no frames are in flight), give it to the new worker,
+    /// re-pin. FIFO inbox ordering makes this safe against in-flight
+    /// catalog ops: an op queued before `Migrate` is applied by the old
+    /// worker before hand-over, and the new worker sees its own copy of
+    /// that op before `Adopt`, so the moved engine gets every op exactly
+    /// once.
+    fn execute_migration(&mut self, feed: FeedId, to: usize) -> Result<()> {
+        let from = self.shards.worker_of(feed);
+        if from == to {
+            return Ok(());
+        }
+        let lost = |worker: usize| Error::ShardLost {
+            worker,
+            queue_depth: 0,
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let from_inbox = self.workers[from]
+            .inbox
+            .as_ref()
+            .ok_or_else(|| lost(from))?;
+        from_inbox
+            .send(WorkerMsg::Migrate {
+                feed,
+                reply: reply_tx,
+            })
+            .map_err(|_| lost(from))?;
+        let state = reply_rx
+            .recv_timeout(SHARD_TIMEOUT)
+            .map_err(|_| lost(from))?;
+        if let Some(state) = state {
+            let to_inbox = self.workers[to].inbox.as_ref().ok_or_else(|| lost(to))?;
+            to_inbox
+                .send(WorkerMsg::Adopt { feed, state })
+                .map_err(|_| lost(to))?;
+        }
+        self.shards.pin(feed, to);
+        Ok(())
+    }
+
     /// Collects a deterministic global report: one [`FeedReport`] per feed
     /// in ascending feed-id order plus the merged metrics.
     ///
@@ -671,17 +781,16 @@ impl MultiFeedEngine {
     pub fn report(&self) -> Result<MultiFeedReport> {
         let mut feeds: Vec<FeedReport> = Vec::new();
         for (index, worker) in self.workers.iter().enumerate() {
-            let inbox = worker
-                .inbox
-                .as_ref()
-                .ok_or(Error::ShardLost { worker: index })?;
+            let lost = || Error::ShardLost {
+                worker: index,
+                queue_depth: 0,
+            };
+            let inbox = worker.inbox.as_ref().ok_or_else(lost)?;
             let (reply_tx, reply_rx) = mpsc::channel();
             inbox
                 .send(WorkerMsg::Collect { reply: reply_tx })
-                .map_err(|_| Error::ShardLost { worker: index })?;
-            let part = reply_rx
-                .recv_timeout(SHARD_TIMEOUT)
-                .map_err(|_| Error::ShardLost { worker: index })?;
+                .map_err(|_| lost())?;
+            let part = reply_rx.recv_timeout(SHARD_TIMEOUT).map_err(|_| lost())?;
             feeds.extend(part);
         }
         feeds.sort_by_key(|report| report.feed);
@@ -695,12 +804,26 @@ impl MultiFeedEngine {
                 .all(|report| report.catalog_version == self.catalog_version),
             "a shard reported under a stale catalog version"
         );
-        let metrics = MaintenanceMetrics::merged(feeds.iter().map(|report| &report.metrics));
+        let mut metrics = MaintenanceMetrics::merged(feeds.iter().map(|report| &report.metrics));
+        // The scheduler-owned counters exist fleet-wide only: per-feed
+        // engines can't know them, so they are injected here rather than
+        // merged.
+        metrics.per_shard_queue_depth = self.peak_shard_depth;
+        metrics.feeds_migrated = self.feeds_migrated;
+        metrics.rebalances = self.rebalances;
         Ok(MultiFeedReport {
             feeds,
             metrics,
             catalog_version: self.catalog_version,
         })
+    }
+
+    /// Simulates a worker crash by dropping its inbox (the worker loop
+    /// then exits as if the thread had died). Test-only: exercises the
+    /// ShardLost diagnostics and the aborted-batch cleanup path.
+    #[cfg(test)]
+    fn kill_worker(&mut self, index: usize) {
+        self.workers[index].inbox.take();
     }
 }
 
@@ -761,9 +884,24 @@ mod tests {
     }
 
     #[test]
-    fn feeds_are_pinned_deterministically() {
+    fn builder_rejects_sub_unity_steal_threshold() {
+        for bad in [0.5, 0.0, -1.0, f64::NAN] {
+            let err = MultiFeedEngine::builder(config(2).with_steal_threshold(bad))
+                .with_query_text("car >= 1")
+                .unwrap()
+                .build();
+            assert!(
+                matches!(err, Err(Error::InvalidConfig(_))),
+                "threshold {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn feeds_start_on_the_static_default_shards() {
         let engine = engine(3);
         assert_eq!(engine.num_workers(), 3);
+        assert_eq!(engine.shard_map().version(), 0);
         for raw in 0..9u32 {
             assert_eq!(engine.shard_of(FeedId(raw)), raw as usize % 3);
         }
@@ -844,10 +982,199 @@ mod tests {
                 None => baseline = Some((results, report)),
                 Some((expected_results, expected_report)) => {
                     assert_eq!(&results, expected_results, "workers={workers}");
+                    // Scheduler-owned metrics legitimately depend on the
+                    // worker count (queue depths differ); everything else
+                    // must not.
+                    let mut report = report;
+                    report.metrics.per_shard_queue_depth =
+                        expected_report.metrics.per_shard_queue_depth;
                     assert_eq!(&report, expected_report, "workers={workers}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn manual_migration_is_invisible_to_results() {
+        // Oracle: one engine per feed, never migrated.
+        let mut oracle = engine(1);
+        let mut subject = engine(3);
+        for fid in 0..12u64 {
+            let batch: Vec<FeedFrame> = (0..4u32)
+                .map(|feed| {
+                    FeedFrame::new(
+                        FeedId(feed),
+                        frame(fid, &[(feed + 1, 1), (feed + 10, 0), (1, 1)]),
+                    )
+                })
+                .collect();
+            let expected = oracle.push_batch(&batch).unwrap();
+            let got = subject.push_batch(&batch).unwrap();
+            assert_eq!(got, expected, "diverged at frame {fid}");
+            // Bounce every feed to a new worker between batches.
+            for feed in 0..4u32 {
+                let target = (fid as usize + feed as usize) % subject.num_workers();
+                subject.migrate_feed(FeedId(feed), target).unwrap();
+            }
+        }
+        let subject_report = subject.report().unwrap();
+        let oracle_report = oracle.report().unwrap();
+        assert_eq!(subject_report.feeds.len(), oracle_report.feeds.len());
+        for (a, b) in subject_report.feeds.iter().zip(&oracle_report.feeds) {
+            assert_eq!(a, b, "per-feed reports must survive migration intact");
+        }
+        assert!(subject_report.metrics.feeds_migrated > 0);
+        assert!(subject.shard_map().version() > 0);
+    }
+
+    #[test]
+    fn migrating_an_unseen_feed_just_repins() {
+        let mut engine = engine(2);
+        engine.migrate_feed(FeedId(9), 0).unwrap();
+        assert_eq!(engine.shard_of(FeedId(9)), 0);
+        assert_eq!(engine.shard_map().version(), 1);
+        // The feed then materialises on its pinned worker and works.
+        let result = engine.push(FeedId(9), frame(0, &[(1, 1), (2, 0)])).unwrap();
+        assert_eq!(result.feed, FeedId(9));
+        let err = engine.migrate_feed(FeedId(9), 7);
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn automatic_rebalancing_separates_colliding_hot_feeds() {
+        // Feeds 1 and 5 collide on worker 1 under mod-4 sharding; feed 1
+        // and 5 carry ~10x the detections of the cold feeds, so after a
+        // few batches the scheduler must split them.
+        let mut engine = MultiFeedEngine::builder(
+            config(4)
+                .with_rebalance_interval(2)
+                .with_steal_threshold(1.25),
+        )
+        .with_query_text("car >= 1 AND person >= 1")
+        .unwrap()
+        .build()
+        .unwrap();
+        for fid in 0..10u64 {
+            let mut batch = Vec::new();
+            for feed in 0..8u32 {
+                let hot = feed == 1 || feed == 5;
+                let detections: Vec<(u32, u16)> = if hot {
+                    (0..20u32).map(|k| (k + 1, (k % 2) as u16)).collect()
+                } else {
+                    vec![(1, 1), (2, 0)]
+                };
+                batch.push(FeedFrame::new(FeedId(feed), frame(fid, &detections)));
+            }
+            engine.push_batch(&batch).unwrap();
+        }
+        assert_ne!(
+            engine.shard_of(FeedId(1)),
+            engine.shard_of(FeedId(5)),
+            "hot feeds still collide: {:?}",
+            engine.shard_map().pins().collect::<Vec<_>>()
+        );
+        let report = engine.report().unwrap();
+        assert!(report.metrics.rebalances > 0);
+        assert!(report.metrics.feeds_migrated > 0);
+        assert!(report.metrics.per_shard_queue_depth >= 2);
+        assert_eq!(report.total_frames(), 80);
+    }
+
+    #[test]
+    fn rebalancing_disabled_never_migrates() {
+        let mut engine = MultiFeedEngine::builder(config(2).with_rebalance_interval(0))
+            .with_query_text("car >= 1")
+            .unwrap()
+            .build()
+            .unwrap();
+        for fid in 0..8u64 {
+            let batch: Vec<FeedFrame> = (0..4u32)
+                .map(|feed| {
+                    let n = if feed == 0 { 16 } else { 1 };
+                    let detections: Vec<(u32, u16)> = (0..n).map(|k| (k + 1, 1)).collect();
+                    FeedFrame::new(FeedId(feed), frame(fid, &detections))
+                })
+                .collect();
+            engine.push_batch(&batch).unwrap();
+        }
+        assert_eq!(engine.shard_map().version(), 0);
+        let report = engine.report().unwrap();
+        assert_eq!(report.metrics.rebalances, 0);
+        assert_eq!(report.metrics.feeds_migrated, 0);
+    }
+
+    #[test]
+    fn shard_lost_names_the_worker_and_its_queue_depth() {
+        let mut engine = engine(2);
+        // Warm both feeds so both workers hold engines.
+        for fid in 0..2u64 {
+            let batch = vec![
+                FeedFrame::new(FeedId(0), frame(fid, &[(1, 1), (2, 0)])),
+                FeedFrame::new(FeedId(1), frame(fid, &[(1, 1), (2, 0)])),
+            ];
+            engine.push_batch(&batch).unwrap();
+        }
+        engine.kill_worker(1);
+        // Feed 1 (worker 1) gets three frames in this batch; the error
+        // must name worker 1 and its 3-frame share.
+        let batch = vec![
+            FeedFrame::new(FeedId(0), frame(2, &[(1, 1), (2, 0)])),
+            FeedFrame::new(FeedId(1), frame(2, &[(1, 1)])),
+            FeedFrame::new(FeedId(1), frame(3, &[(1, 1)])),
+            FeedFrame::new(FeedId(1), frame(4, &[(1, 1)])),
+        ];
+        let err = engine.push_batch(&batch).unwrap_err();
+        match err {
+            Error::ShardLost {
+                worker,
+                queue_depth,
+            } => {
+                assert_eq!(worker, 1);
+                assert_eq!(queue_depth, 3, "the error reports the lost shard's backlog");
+            }
+            other => panic!("expected ShardLost, got {other:?}"),
+        }
+    }
+
+    /// The aborted-batch cleanup path: when a batch dies on a lost shard
+    /// *after* a healthy worker already received (and answers) its share,
+    /// the stale results of the aborted epoch must be discarded — not
+    /// spliced into the next batch.
+    #[test]
+    fn aborted_batches_do_not_leak_stale_results() {
+        let mut oracle = engine(1);
+        let mut engine = engine(2);
+        for fid in 0..2u64 {
+            let batch = vec![
+                FeedFrame::new(FeedId(0), frame(fid, &[(1, 1), (2, 0)])),
+                FeedFrame::new(FeedId(1), frame(fid, &[(1, 1), (2, 0)])),
+            ];
+            engine.push_batch(&batch).unwrap();
+            oracle.push_batch(&batch).unwrap();
+        }
+        engine.kill_worker(1);
+        // Worker 0 (healthy, listed first) gets its share and processes
+        // frame 2 of feed 0; the batch then aborts on worker 1's closed
+        // inbox. Feed 0's frame 2 result is now sitting in the results
+        // channel, stamped with the aborted epoch.
+        let aborted = vec![
+            FeedFrame::new(FeedId(0), frame(2, &[(1, 1), (2, 0)])),
+            FeedFrame::new(FeedId(1), frame(2, &[(1, 1)])),
+        ];
+        assert!(matches!(
+            engine.push_batch(&aborted),
+            Err(Error::ShardLost { worker: 1, .. })
+        ));
+        // The next batch only touches feed 0 (worker 0). Its results must
+        // be frame 3's — the stale frame-2 result from the aborted epoch
+        // is discarded by the epoch check, and the oracle (which never
+        // aborted but processed the same accepted frames) must agree on
+        // everything the engine *returns*.
+        oracle.push(FeedId(0), frame(2, &[(1, 1), (2, 0)])).unwrap();
+        let expected = oracle.push(FeedId(0), frame(3, &[(1, 1), (2, 0)])).unwrap();
+        let got = engine.push(FeedId(0), frame(3, &[(1, 1), (2, 0)])).unwrap();
+        assert_eq!(got.result.frame, FrameId(3));
+        assert_eq!(got, expected, "stale epoch results leaked into the batch");
     }
 
     #[test]
@@ -889,6 +1216,50 @@ mod tests {
         let report = engine.report().unwrap();
         assert_eq!(report.catalog_version, 2);
         assert!(report.feeds.iter().all(|feed| feed.catalog_version == 2));
+    }
+
+    /// A catalog swap broadcast *before* a migration must reach the
+    /// migrated engine exactly once: the old worker applies it before
+    /// handing the engine over, and the new worker's own copy of the op
+    /// (queued ahead of the adoption) must not touch the engine again.
+    #[test]
+    fn migration_and_catalog_swaps_interleave_exactly_once() {
+        let mut subject = engine(2);
+        let mut oracle = engine(1);
+        for fid in 0..2u64 {
+            for feed in 0..2u32 {
+                subject
+                    .push(FeedId(feed), frame(fid, &[(1, 1), (2, 0)]))
+                    .unwrap();
+                oracle
+                    .push(FeedId(feed), frame(fid, &[(1, 1), (2, 0)]))
+                    .unwrap();
+            }
+        }
+        // Swap, then immediately migrate feed 1 onto worker 0 (the swap is
+        // still in both workers' inboxes when the migration executes).
+        let person_s = subject.add_query_text("person >= 1").unwrap();
+        let person_o = oracle.add_query_text("person >= 1").unwrap();
+        assert_eq!(person_s, person_o);
+        subject.migrate_feed(FeedId(1), 0).unwrap();
+        for fid in 2..6u64 {
+            for feed in 0..2u32 {
+                let got = subject
+                    .push(FeedId(feed), frame(fid, &[(1, 1), (2, 0)]))
+                    .unwrap();
+                let expected = oracle
+                    .push(FeedId(feed), frame(fid, &[(1, 1), (2, 0)]))
+                    .unwrap();
+                assert_eq!(got, expected, "feed {feed} frame {fid}");
+            }
+        }
+        let report = subject.report().unwrap();
+        assert_eq!(report.catalog_version, 1);
+        assert!(report.feeds.iter().all(|f| f.catalog_version == 1));
+        assert_eq!(
+            report.feeds[1].metrics.catalog_swaps, 1,
+            "the migrated engine saw the swap exactly once"
+        );
     }
 
     /// The stale-spec regression: a feed first seen *after* catalog swaps
@@ -961,9 +1332,35 @@ mod tests {
         }
         let report = engine.report().unwrap();
         assert_eq!(report.num_feeds(), 3);
-        let summed = MaintenanceMetrics::merged(report.feeds.iter().map(|f| &f.metrics));
+        let mut summed = MaintenanceMetrics::merged(report.feeds.iter().map(|f| &f.metrics));
+        // The scheduler-owned counters are injected fleet-wide, not merged
+        // from the per-feed metrics (which must report them as zero).
+        assert!(report
+            .feeds
+            .iter()
+            .all(|f| f.metrics.per_shard_queue_depth == 0
+                && f.metrics.feeds_migrated == 0
+                && f.metrics.rebalances == 0));
+        summed.per_shard_queue_depth = report.metrics.per_shard_queue_depth;
+        summed.feeds_migrated = report.metrics.feeds_migrated;
+        summed.rebalances = report.metrics.rebalances;
         assert_eq!(report.metrics, summed);
         assert_eq!(report.metrics.frames_processed, 12);
+        assert_eq!(report.metrics.per_shard_queue_depth, 1, "single pushes");
         assert!(report.feeds.windows(2).all(|w| w[0].feed < w[1].feed));
+    }
+
+    #[test]
+    fn scheduling_stats_accumulate() {
+        let mut engine = engine(2);
+        let batch: Vec<FeedFrame> = (0..4u32)
+            .map(|feed| FeedFrame::new(FeedId(feed), frame(0, &[(1, 1), (2, 0)])))
+            .collect();
+        engine.push_batch(&batch).unwrap();
+        let stats = engine.scheduling_stats();
+        assert_eq!(stats.batches, 1);
+        assert!(stats.busy_nanos >= stats.critical_path_nanos);
+        assert!(stats.critical_path_nanos > 0);
+        assert!(stats.schedule_parallelism() >= 1.0);
     }
 }

@@ -1,0 +1,330 @@
+//! Scheduling side of the sharded multi-feed engine: the epoch-versioned,
+//! rebalanceable shard map and the deterministic load model that drives
+//! work stealing.
+//!
+//! Determinism is the design constraint everything here answers to. The
+//! scheduler's decisions must be a pure function of the ingested batches —
+//! never of wall-clock timings or thread interleavings — so that a skewed
+//! run with rebalancing enabled stays frame-for-frame identical to the
+//! static-shard run and to the single-engine oracle:
+//!
+//! * the load signal is a fixed-point EWMA of per-feed *batch cost units*
+//!   (detections plus a per-frame constant — a monotone proxy for the
+//!   superlinear maintenance cost of a busy camera), folded batch-by-batch
+//!   in `LoadTracker::observe_batch`;
+//! * `plan_migrations` is a greedy argmax→argmin pass over those loads
+//!   with total tie-breaking (lowest worker index, then lowest feed id), so
+//!   the same batches always produce the same migration history;
+//! * every migration bumps the [`ShardMap`] version, giving tests and
+//!   operators a cheap "same scheduling history" fingerprint.
+
+use std::collections::BTreeMap;
+
+use tvq_common::FeedId;
+
+/// Fixed-point scale of the load EWMA (integer arithmetic keeps the
+/// scheduler bit-deterministic across platforms; floats only appear in the
+/// final threshold comparison, which is itself deterministic for fixed
+/// inputs).
+const LOAD_SCALE: u64 = 256;
+
+/// An epoch-versioned, rebalanceable `feed → worker` assignment.
+///
+/// Feeds that were never migrated keep the static default `feed mod
+/// workers`; migrations record explicit pins. The `version` increments on
+/// every pin, so two engines reporting the same version have processed the
+/// same migration history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    version: u64,
+    workers: usize,
+    pins: BTreeMap<FeedId, usize>,
+}
+
+impl ShardMap {
+    pub(super) fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a shard map needs at least one worker");
+        ShardMap {
+            version: 0,
+            workers,
+            pins: BTreeMap::new(),
+        }
+    }
+
+    /// The assignment version: zero at build, bumped by every migration
+    /// (automatic or manual).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The worker count the map shards over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The worker currently serving `feed`.
+    pub fn worker_of(&self, feed: FeedId) -> usize {
+        self.pins
+            .get(&feed)
+            .copied()
+            .unwrap_or(feed.raw() as usize % self.workers)
+    }
+
+    /// The explicitly pinned (migrated-away-from-default) feeds, in
+    /// ascending feed order.
+    pub fn pins(&self) -> impl Iterator<Item = (FeedId, usize)> + '_ {
+        self.pins.iter().map(|(&feed, &worker)| (feed, worker))
+    }
+
+    /// Re-pins `feed` to `worker`, bumping the version. A pin back to the
+    /// static default drops the explicit entry (the map stays minimal) but
+    /// still counts as a migration version-wise.
+    pub(super) fn pin(&mut self, feed: FeedId, worker: usize) {
+        debug_assert!(worker < self.workers, "pin target out of range");
+        self.version += 1;
+        if feed.raw() as usize % self.workers == worker {
+            self.pins.remove(&feed);
+        } else {
+            self.pins.insert(feed, worker);
+        }
+    }
+}
+
+/// Per-feed load EWMA over deterministic batch cost units.
+#[derive(Debug, Default)]
+pub(super) struct LoadTracker {
+    ewma: BTreeMap<FeedId, u64>,
+}
+
+impl LoadTracker {
+    pub(super) fn new() -> Self {
+        LoadTracker::default()
+    }
+
+    /// Folds one batch's per-feed costs into the running EWMA with α = ½:
+    /// `load' = load/2 + cost·SCALE/2`. Feeds absent from the batch decay
+    /// toward zero and are dropped once they get there, so a camera that
+    /// went dark stops influencing placement after a few batches.
+    pub(super) fn observe_batch(&mut self, costs: &BTreeMap<FeedId, u64>) {
+        for load in self.ewma.values_mut() {
+            *load /= 2;
+        }
+        for (&feed, &cost) in costs {
+            *self.ewma.entry(feed).or_insert(0) += cost * LOAD_SCALE / 2;
+        }
+        self.ewma.retain(|_, load| *load > 0);
+    }
+
+    /// The current per-feed loads (fixed-point units).
+    pub(super) fn loads(&self) -> &BTreeMap<FeedId, u64> {
+        &self.ewma
+    }
+}
+
+/// Plans one greedy rebalance pass: while the busiest worker carries more
+/// than `steal_threshold` times the idlest worker's load, move the
+/// heaviest feed whose relocation strictly improves the pair's maximum.
+///
+/// Wholly deterministic: extremes tie-break on the lowest worker index and
+/// candidates on (highest load, lowest feed id). Termination is guaranteed
+/// because every accepted move strictly decreases the sum of squared
+/// per-worker loads; the iteration cap is sheer paranoia. A worker
+/// bottlenecked by one giant feed is left alone — relocating the feed would
+/// only move the bottleneck, and no candidate passes the strict-improvement
+/// test.
+pub(super) fn plan_migrations(
+    loads: &BTreeMap<FeedId, u64>,
+    map: &ShardMap,
+    steal_threshold: f64,
+) -> Vec<(FeedId, usize)> {
+    let workers = map.workers();
+    let mut moves = Vec::new();
+    if workers < 2 || loads.is_empty() {
+        return moves;
+    }
+    let mut per_worker: Vec<Vec<(FeedId, u64)>> = vec![Vec::new(); workers];
+    for (&feed, &load) in loads {
+        per_worker[map.worker_of(feed)].push((feed, load));
+    }
+    let mut totals: Vec<u64> = per_worker
+        .iter()
+        .map(|feeds| feeds.iter().map(|&(_, load)| load).sum())
+        .collect();
+    for _ in 0..loads.len() * 2 + 4 {
+        let busiest = argmax(&totals);
+        let idlest = argmin(&totals);
+        // `max(1)` so an idle worker (load 0) still triggers stealing
+        // whenever the busiest worker has anything divisible to give.
+        if (totals[busiest] as f64) <= steal_threshold * (totals[idlest].max(1) as f64) {
+            break;
+        }
+        let candidate = per_worker[busiest]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, load))| load > 0 && totals[idlest] + load < totals[busiest])
+            .max_by(|a, b| {
+                // Highest load first; equal loads prefer the lowest feed id
+                // (feed ids are unique, so the order is total).
+                (a.1 .1).cmp(&b.1 .1).then((b.1 .0).cmp(&a.1 .0))
+            })
+            .map(|(index, _)| index);
+        let Some(index) = candidate else { break };
+        let (feed, load) = per_worker[busiest].remove(index);
+        totals[busiest] -= load;
+        totals[idlest] += load;
+        per_worker[idlest].push((feed, load));
+        moves.push((feed, idlest));
+    }
+    moves
+}
+
+fn argmax(totals: &[u64]) -> usize {
+    let mut best = 0;
+    for (index, &total) in totals.iter().enumerate() {
+        if total > totals[best] {
+            best = index;
+        }
+    }
+    best
+}
+
+fn argmin(totals: &[u64]) -> usize {
+    let mut best = 0;
+    for (index, &total) in totals.iter().enumerate() {
+        if total < totals[best] {
+            best = index;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(entries: &[(u32, u64)]) -> BTreeMap<FeedId, u64> {
+        entries
+            .iter()
+            .map(|&(feed, load)| (FeedId(feed), load))
+            .collect()
+    }
+
+    #[test]
+    fn shard_map_defaults_to_static_modulo() {
+        let map = ShardMap::new(3);
+        assert_eq!(map.version(), 0);
+        for raw in 0..9u32 {
+            assert_eq!(map.worker_of(FeedId(raw)), raw as usize % 3);
+        }
+        assert_eq!(map.pins().count(), 0);
+    }
+
+    #[test]
+    fn pinning_bumps_version_and_reroutes() {
+        let mut map = ShardMap::new(4);
+        map.pin(FeedId(1), 3);
+        assert_eq!(map.version(), 1);
+        assert_eq!(map.worker_of(FeedId(1)), 3);
+        assert_eq!(map.pins().collect::<Vec<_>>(), vec![(FeedId(1), 3)]);
+        // Pinning back to the default keeps the map minimal but still
+        // counts as a migration.
+        map.pin(FeedId(1), 1);
+        assert_eq!(map.version(), 2);
+        assert_eq!(map.worker_of(FeedId(1)), 1);
+        assert_eq!(map.pins().count(), 0);
+    }
+
+    #[test]
+    fn load_tracker_converges_and_decays() {
+        let mut tracker = LoadTracker::new();
+        let batch = loads(&[(0, 100), (1, 4)]);
+        for _ in 0..12 {
+            tracker.observe_batch(&batch);
+        }
+        let hot = tracker.loads()[&FeedId(0)];
+        let cold = tracker.loads()[&FeedId(1)];
+        // EWMA converges to cost * SCALE (within fixed-point truncation).
+        assert!(hot > 90 * LOAD_SCALE && hot <= 100 * LOAD_SCALE, "{hot}");
+        assert!(cold > 0 && cold <= 4 * LOAD_SCALE, "{cold}");
+        // A feed that goes dark decays out of the model entirely.
+        let only_cold = loads(&[(1, 4)]);
+        for _ in 0..20 {
+            tracker.observe_batch(&only_cold);
+        }
+        assert!(!tracker.loads().contains_key(&FeedId(0)));
+    }
+
+    #[test]
+    fn planner_separates_colliding_hot_feeds() {
+        // Feeds 1 and 5 are hot and collide on worker 1 under mod-4
+        // sharding; the plan must end with them on different workers.
+        let map = ShardMap::new(4);
+        let loads = loads(&[
+            (0, 10),
+            (1, 1000),
+            (2, 10),
+            (3, 10),
+            (4, 10),
+            (5, 1000),
+            (6, 10),
+            (7, 10),
+        ]);
+        let moves = plan_migrations(&loads, &map, 1.25);
+        assert!(!moves.is_empty());
+        let mut map = map;
+        for &(feed, worker) in &moves {
+            map.pin(feed, worker);
+        }
+        assert_ne!(
+            map.worker_of(FeedId(1)),
+            map.worker_of(FeedId(5)),
+            "hot feeds still collide after {moves:?}"
+        );
+    }
+
+    #[test]
+    fn planner_leaves_single_feed_bottlenecks_alone() {
+        // One giant feed dominates its worker: the plan must end with it
+        // isolated (the cold co-tenant on the other worker) and then reach
+        // a fixed point — endlessly bouncing the bottleneck between
+        // workers would churn migrations without improving anything.
+        let map = ShardMap::new(2);
+        let loads = loads(&[(0, 1000), (2, 10)]);
+        let moves = plan_migrations(&loads, &map, 1.25);
+        let mut pinned = map.clone();
+        for &(feed, worker) in &moves {
+            pinned.pin(feed, worker);
+        }
+        assert_ne!(
+            pinned.worker_of(FeedId(0)),
+            pinned.worker_of(FeedId(2)),
+            "the giant feed is not isolated after {moves:?}"
+        );
+        assert_eq!(
+            plan_migrations(&loads, &pinned, 1.25),
+            vec![],
+            "re-planning after the pass is a fixed point"
+        );
+    }
+
+    #[test]
+    fn planner_is_deterministic_and_balanced_on_uniform_loads() {
+        let map = ShardMap::new(3);
+        let uniform = loads(&[(0, 50), (1, 50), (2, 50), (3, 50), (4, 50), (5, 50)]);
+        // Two feeds per worker already: nothing to do.
+        assert_eq!(plan_migrations(&uniform, &map, 1.25), vec![]);
+        let skewed = loads(&[(0, 50), (3, 50), (6, 50), (1, 5)]);
+        let a = plan_migrations(&skewed, &map, 1.25);
+        let b = plan_migrations(&skewed, &map, 1.25);
+        assert_eq!(a, b, "planning is deterministic");
+    }
+
+    #[test]
+    fn single_worker_plans_nothing() {
+        let map = ShardMap::new(1);
+        assert_eq!(
+            plan_migrations(&loads(&[(0, 100), (1, 1)]), &map, 1.0),
+            vec![]
+        );
+    }
+}

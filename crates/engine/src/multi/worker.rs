@@ -1,0 +1,203 @@
+//! Worker side of the sharded multi-feed engine.
+//!
+//! Each worker owns the single-feed engines of the feeds currently assigned
+//! to it and drains one FIFO inbox. The FIFO is the whole correctness story:
+//! frames, catalog swaps, migrations and collection requests all arrive on
+//! the same channel, so every worker applies them in the exact order the
+//! scheduler sent them — a catalog op broadcast before a migration is applied
+//! to the feed's engine *before* it ships to its new worker, and the new
+//! worker's copy of the same op (queued before the adoption) can never touch
+//! the engine twice.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tvq_common::{FeedId, FrameObjects, QueryId, Result};
+use tvq_query::CnfQuery;
+
+use super::{EngineSpec, FeedReport};
+use crate::engine::{FrameResult, TemporalVideoQueryEngine};
+
+/// One catalog mutation, broadcast to every worker.
+#[derive(Clone)]
+pub(super) enum CatalogOp {
+    Add(CnfQuery),
+    Remove(QueryId),
+}
+
+/// A feed's complete worker-side state. Boxed wherever it travels, so a
+/// migration ships one pointer through a channel instead of deep-copying the
+/// engine (whose footprint PR 5 bounded, making this move cheap *and*
+/// small).
+pub(super) struct FeedState {
+    pub(super) engine: TemporalVideoQueryEngine,
+    pub(super) tally: FeedTally,
+}
+
+pub(super) enum WorkerMsg {
+    /// One batch's worth of frames for this worker, in batch order. Shipping
+    /// a worker's whole share in one message (instead of one message per
+    /// frame) keeps the channel and thread-wakeup cost at O(workers) per
+    /// batch rather than O(frames).
+    Frames {
+        /// The batch these frames belong to. Results carry it back so an
+        /// aborted batch (e.g. a lost shard mid-send) cannot leave stale
+        /// results that a later batch would mistake for its own.
+        epoch: u64,
+        frames: Vec<(usize, FeedId, FrameObjects)>,
+    },
+    /// A catalog swap. Queues behind any frames already sent on the same
+    /// channel and ahead of any sent later, so every worker applies it at
+    /// the same point of the frame stream — epoch-aligned, deterministic,
+    /// and invisible to `(seq, feed)` result ordering. Fire-and-forget:
+    /// the engine validated the op centrally, so workers cannot reject it.
+    Catalog {
+        version: u64,
+        op: CatalogOp,
+    },
+    /// Hand the named feed's state back to the scheduler (the first half of
+    /// a migration). Replies `None` when this worker never built the feed —
+    /// the scheduler then just re-pins and the new worker builds lazily.
+    Migrate {
+        feed: FeedId,
+        reply: Sender<Option<Box<FeedState>>>,
+    },
+    /// Install a migrated feed's state (the second half of a migration,
+    /// sent to the feed's new worker after the old one handed it over).
+    Adopt {
+        feed: FeedId,
+        state: Box<FeedState>,
+    },
+    Collect {
+        reply: Sender<Vec<FeedReport>>,
+    },
+}
+
+/// One share of a batch answered by one worker: the batch epoch, the
+/// worker's index, the per-frame outcomes, and the nanoseconds the worker
+/// spent processing the share (scheduling telemetry — see
+/// [`SchedulingStats`](super::SchedulingStats)).
+pub(super) type ShardResult = (u64, usize, Vec<(usize, FeedId, Result<FrameResult>)>, u64);
+
+/// Running per-feed tallies a worker keeps alongside each engine. They
+/// travel with the engine on migration, so reports stay whole-lifetime
+/// accurate no matter how many workers served the feed.
+#[derive(Default)]
+pub(super) struct FeedTally {
+    pub(super) frames: u64,
+    pub(super) total_matches: u64,
+    pub(super) matching_frames: u64,
+}
+
+impl FeedTally {
+    fn record(&mut self, result: &FrameResult) {
+        self.frames += 1;
+        self.total_matches += result.matches.len() as u64;
+        if result.any() {
+            self.matching_frames += 1;
+        }
+    }
+}
+
+pub(super) fn worker_loop(
+    index: usize,
+    spec: Arc<EngineSpec>,
+    inbox: Receiver<WorkerMsg>,
+    results: Sender<ShardResult>,
+) {
+    // BTreeMap so collection iterates feeds in ascending id order.
+    let mut engines: BTreeMap<FeedId, Box<FeedState>> = BTreeMap::new();
+    // The worker-local view of the current catalog: engines for feeds first
+    // seen *after* a swap must be built from this, not the build-time spec,
+    // or a late-arriving feed would answer (and report metrics) under a
+    // stale query set.
+    let mut current_queries: Vec<CnfQuery> = spec.queries.clone();
+    let mut current_version: u64 = 0;
+    for message in inbox {
+        match message {
+            WorkerMsg::Catalog { version, op } => {
+                match &op {
+                    CatalogOp::Add(query) => current_queries.push(query.clone()),
+                    CatalogOp::Remove(id) => current_queries.retain(|q| q.id != *id),
+                }
+                current_version = version;
+                for state in engines.values_mut() {
+                    // Centrally validated; per-engine application cannot
+                    // fail (ids are fleet-unique and present everywhere).
+                    let applied = match &op {
+                        CatalogOp::Add(query) => state.engine.add_query(query.clone()),
+                        CatalogOp::Remove(id) => state.engine.remove_query(*id),
+                    };
+                    debug_assert!(applied.is_ok(), "validated catalog op rejected");
+                }
+            }
+            WorkerMsg::Frames { epoch, frames } => {
+                let started = Instant::now();
+                let mut outcomes: Vec<(usize, FeedId, Result<FrameResult>)> =
+                    Vec::with_capacity(frames.len());
+                for (seq, feed, frame) in frames {
+                    let state = match engines.entry(feed) {
+                        Entry::Occupied(entry) => entry.into_mut(),
+                        Entry::Vacant(vacant) => {
+                            match spec.build_engine(&current_queries, current_version) {
+                                Ok(engine) => vacant.insert(Box::new(FeedState {
+                                    engine,
+                                    tally: FeedTally::default(),
+                                })),
+                                Err(error) => {
+                                    // Unreachable in practice: the builder
+                                    // validated the spec. Report instead of
+                                    // panicking.
+                                    outcomes.push((seq, feed, Err(error)));
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    let outcome = state.engine.observe(&frame);
+                    if let Ok(result) = &outcome {
+                        state.tally.record(result);
+                    }
+                    outcomes.push((seq, feed, outcome));
+                }
+                let busy = started.elapsed().as_nanos() as u64;
+                if results.send((epoch, index, outcomes, busy)).is_err() {
+                    return; // Engine dropped; shut down.
+                }
+            }
+            WorkerMsg::Migrate { feed, reply } => {
+                // Handing the state over (or reporting we never had it) is
+                // all there is to it: the scheduler only migrates between
+                // batches, so no frames of this feed can be queued behind
+                // this message.
+                let _ = reply.send(engines.remove(&feed));
+            }
+            WorkerMsg::Adopt { feed, state } => {
+                let previous = engines.insert(feed, state);
+                debug_assert!(
+                    previous.is_none(),
+                    "adopted a feed this worker already serves"
+                );
+            }
+            WorkerMsg::Collect { reply } => {
+                let reports = engines
+                    .iter()
+                    .map(|(&feed, state)| FeedReport {
+                        feed,
+                        strategy: state.engine.strategy().to_owned(),
+                        frames: state.tally.frames,
+                        total_matches: state.tally.total_matches,
+                        matching_frames: state.tally.matching_frames,
+                        live_states: state.engine.live_states(),
+                        catalog_version: state.engine.catalog_version(),
+                        metrics: state.engine.metrics(),
+                    })
+                    .collect();
+                let _ = reply.send(reports);
+            }
+        }
+    }
+}

@@ -39,6 +39,8 @@ use tvq_engine::{
 };
 use tvq_video::{feed_seed, interleave, CameraFeed};
 
+pub use tvq_video::{skewed_grid, SkewProfile};
+
 /// A maintainer's results in canonical form: `(object set, frame set)` pairs
 /// sorted by object set. [`tvq_core::ResultStateSet`] already iterates in
 /// object-set order; sorting here keeps the comparison canonical even if a
@@ -263,6 +265,28 @@ pub fn assert_multifeed_equals_single(
     workers: usize,
     batch_size: usize,
 ) {
+    assert_multifeed_config_equals_single(
+        feeds,
+        MultiFeedConfig::new(config).with_workers(workers),
+        queries,
+        batch_size,
+        false,
+    );
+}
+
+/// [`assert_multifeed_equals_single`] with full control over the
+/// [`MultiFeedConfig`] (rebalance cadence, steal threshold, class-store
+/// sharing) plus an option to *force* a migration of every feed to a
+/// rotating worker after every batch — the adversarial schedule for the
+/// determinism-under-migration differential suite.
+pub fn assert_multifeed_config_equals_single(
+    feeds: &[CameraFeed],
+    multi_config: MultiFeedConfig,
+    queries: &[&str],
+    batch_size: usize,
+    force_migrations: bool,
+) {
+    let config = multi_config.engine;
     let build_single = || {
         let mut builder = TemporalVideoQueryEngine::builder(config);
         for query in queries {
@@ -275,13 +299,14 @@ pub fn assert_multifeed_equals_single(
         .map(|feed| (feed.feed, build_single()))
         .collect();
 
-    let mut builder = MultiFeedEngine::builder(MultiFeedConfig::new(config).with_workers(workers));
+    let mut builder = MultiFeedEngine::builder(multi_config);
     for query in queries {
         builder = builder.with_query_text(query).expect("query parses");
     }
     let mut multi = builder.build().expect("multi-feed engine builds");
+    let workers = multi.num_workers();
 
-    for batch in interleave(feeds, batch_size) {
+    for (round, batch) in interleave(feeds, batch_size).into_iter().enumerate() {
         let tagged: Vec<FeedFrame> = batch.into_iter().map(FeedFrame::from).collect();
         let results = multi.push_batch(&tagged).expect("batch is accepted");
         assert_eq!(results.len(), tagged.len());
@@ -297,6 +322,17 @@ pub fn assert_multifeed_equals_single(
                 "sharded run diverged from the single-feed oracle at feed {} frame {} (workers={workers}, batch={batch_size})",
                 sent.feed, sent.frame.fid
             );
+        }
+        if force_migrations {
+            // Bounce every feed onto a rotating worker between batches:
+            // migration must be invisible to results no matter how often
+            // or where feeds move.
+            for (offset, feed) in feeds.iter().enumerate() {
+                let target = (round + offset) % workers;
+                multi
+                    .migrate_feed(feed.feed, target)
+                    .expect("migration succeeds");
+            }
         }
     }
 
@@ -327,8 +363,19 @@ pub fn assert_multifeed_equals_single(
             feed_report.feed
         );
     }
-    let merged = tvq_core::MaintenanceMetrics::merged(report.feeds.iter().map(|f| &f.metrics));
+    let mut merged = tvq_core::MaintenanceMetrics::merged(report.feeds.iter().map(|f| &f.metrics));
+    // The scheduler-owned counters are injected fleet-wide by the report
+    // (per-feed engines always carry them as zero).
+    merged.per_shard_queue_depth = report.metrics.per_shard_queue_depth;
+    merged.feeds_migrated = report.metrics.feeds_migrated;
+    merged.rebalances = report.metrics.rebalances;
     assert_eq!(report.metrics, merged, "global metrics are not the merge");
+    if force_migrations {
+        assert!(
+            report.metrics.feeds_migrated > 0,
+            "forced migrations were not recorded"
+        );
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,11 @@
 //! * an **id-recycling generator** ([`id_reuse`]) in which departed tracker
 //!   identifiers return for new objects across class boundaries — the
 //!   workload that exercises the engine's object lifecycle (generation
-//!   tags, alias ids, epoch retirement of dead identifiers).
+//!   tags, alias ids, epoch retirement of dead identifiers);
+//! * a **skewed camera grid** ([`skewed_grid()`](skewed_grid::skewed_grid)) in which a couple of hot
+//!   cameras colliding on one static shard carry ~90% of the fleet's
+//!   maintenance work, with a mid-run hotspot flip — the workload that
+//!   exercises the multi-feed engine's work-stealing scheduler.
 //!
 //! Real detector output can also be ingested from CSV via
 //! [`tvq_common::io`]; everything downstream is agnostic to the source.
@@ -43,6 +47,7 @@ pub mod multifeed;
 pub mod pipeline;
 pub mod profiles;
 pub mod scene;
+pub mod skewed_grid;
 pub mod tracker;
 
 pub use camera::Camera;
@@ -55,4 +60,5 @@ pub use multifeed::{feed_seed, generate_camera_grid, generate_feeds, interleave,
 pub use pipeline::ScenePipeline;
 pub use profiles::DatasetProfile;
 pub use scene::{populate_scene, Motion, Scene, SceneObject};
+pub use skewed_grid::{skewed_grid, SkewProfile};
 pub use tracker::{SimulatedTracker, TrackerConfig};

@@ -6,14 +6,19 @@
 //! choices that may never change query results or per-feed metrics. The
 //! heavy lifting lives in `tvq_testkit::assert_multifeed_equals_single`;
 //! this suite sweeps maintainer kinds, pruning, worker counts, batch sizes
-//! and seeds.
+//! and seeds — plus the scheduling dimension: rebalancing on/off/aggressive,
+//! forced per-batch migrations, and the skewed camera grid the
+//! work-stealing scheduler exists for.
 
 use tvq_common::{ClassId, FeedId, FrameId, FrameObjects, ObjectId, WindowSpec};
 use tvq_core::{CompactionPolicy, MaintainerKind};
 use tvq_engine::{
     EngineConfig, FeedFrame, MultiFeedConfig, MultiFeedEngine, TemporalVideoQueryEngine,
 };
-use tvq_testkit::{assert_multifeed_equals_single, multi_feed_classed};
+use tvq_testkit::{
+    assert_multifeed_config_equals_single, assert_multifeed_equals_single, multi_feed_classed,
+    skewed_grid, SkewProfile,
+};
 
 /// Classes in the generated feeds: even object ids are people (class 0),
 /// odd ids are cars (class 1).
@@ -64,6 +69,76 @@ fn batch_size_is_immaterial() {
 fn more_workers_than_feeds_is_fine() {
     let feeds = multi_feed_classed(21, 2, 20, 5, 0.25, 2);
     assert_multifeed_equals_single(&feeds, config(MaintainerKind::Mfs, true), QUERIES, 8, 4);
+}
+
+/// Determinism under work stealing: rebalancing (off, default cadence, and
+/// the most aggressive setting the config allows) must be invisible to
+/// results — every configuration stays frame-for-frame identical to the
+/// single-feed oracles, for both pruning-capable maintainers.
+#[test]
+fn rebalancing_is_invisible_to_results() {
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        let feeds = multi_feed_classed(17, 5, 30, 6, 0.25, 2);
+        for workers in [1usize, 2, 4] {
+            for (interval, threshold) in [(0u64, 1.5f64), (8, 1.5), (1, 1.0)] {
+                assert_multifeed_config_equals_single(
+                    &feeds,
+                    MultiFeedConfig::new(config(kind, true))
+                        .with_workers(workers)
+                        .with_rebalance_interval(interval)
+                        .with_steal_threshold(threshold),
+                    QUERIES,
+                    7,
+                    false,
+                );
+            }
+        }
+    }
+}
+
+/// The adversarial schedule: every feed is force-migrated to a rotating
+/// worker after every batch. Migration in any pattern, at any frequency,
+/// must never change results, per-feed metrics, or reports.
+#[test]
+fn forced_migrations_every_batch_are_invisible_to_results() {
+    for kind in [MaintainerKind::Mfs, MaintainerKind::Ssg] {
+        let feeds = multi_feed_classed(29, 4, 24, 6, 0.25, 2);
+        for workers in [2usize, 4] {
+            assert_multifeed_config_equals_single(
+                &feeds,
+                MultiFeedConfig::new(config(kind, true))
+                    .with_workers(workers)
+                    .with_rebalance_interval(3),
+                QUERIES,
+                5,
+                true,
+            );
+        }
+    }
+}
+
+/// The skewed-grid workload the scheduler exists for (hot cameras colliding
+/// on one static shard, hotspot flip mid-run) must also be deterministic:
+/// the rebalanced sharded run stays identical to the single-feed oracles
+/// even while the scheduler is actively migrating the hot feeds.
+#[test]
+fn skewed_grid_with_rebalancing_matches_oracles() {
+    let mut profile = SkewProfile::new(48);
+    profile.feeds = 8;
+    profile.hot_objects = 10;
+    let feeds = skewed_grid(&profile);
+    for (interval, threshold) in [(0u64, 1.5f64), (2, 1.25)] {
+        assert_multifeed_config_equals_single(
+            &feeds,
+            MultiFeedConfig::new(config(MaintainerKind::Ssg, true))
+                .with_workers(4)
+                .with_rebalance_interval(interval)
+                .with_steal_threshold(threshold),
+            QUERIES,
+            8,
+            false,
+        );
+    }
 }
 
 /// Shard sharing: with one class store across shards, epoch retirement on
