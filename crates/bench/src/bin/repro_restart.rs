@@ -1,0 +1,530 @@
+//! Restart scenario: crash-point fault injection over a durable feed,
+//! recovery, and transcript differencing against an uninterrupted run.
+//!
+//! An engine ingests a churny scripted feed durably (WAL + epoch
+//! snapshots on a `MemDisk`). A counting pass enumerates every mutating
+//! IO operation the run performs; the scenario then kills the "process"
+//! at a strided sample of those crash points (cycling the torn-tail
+//! policies), recovers from the post-reboot view of the same disk,
+//! resumes the feed from the durable cursor, and compares the FNV-64
+//! transcript hash — every acknowledged frame result plus the recovered
+//! continuation, and the final catalog version — against the run that
+//! never crashed.
+//!
+//! Flags: `--quick` for a reduced run, `--json` to also write
+//! `BENCH_restart.json` (per-sample replay depth and hash verdicts plus
+//! the durable run's WAL/snapshot/fsync counters), `--gate` to exit
+//! non-zero unless (a) every sampled crash point recovers to a
+//! transcript identical to the uninterrupted run and (b) the WAL tail
+//! replayed after any crash stays within one checkpoint interval — the
+//! largest observed WAL-record gap between consecutive snapshots, plus
+//! the one-record snapshot-flush deferral and fsync-before-ack windows.
+
+use std::path::Path;
+use std::time::Instant;
+
+use tvq_bench::{emit_json_report, JsonValue, MaintainerTiming, Scale};
+use tvq_common::{ClassId, FrameId, FrameObjects, ObjectId, QueryId, WindowSpec};
+use tvq_core::{CompactionPolicy, MaintenanceMetrics};
+use tvq_engine::{EngineConfig, FrameResult, TemporalVideoQueryEngine};
+use tvq_query::{CnfQuery, Condition};
+use tvq_store::{MemDisk, SharedIo, TornTail};
+
+/// Frames between compaction checks; `CompactionPolicy::every` makes each
+/// check that retired anything an epoch, and every epoch lands a snapshot.
+const CHECK_INTERVAL: u64 = 8;
+/// Small segments so the sweep crosses WAL rotation, not just appends.
+const ROTATE_BYTES: usize = 256;
+
+/// Slack on the replay-depth gate: the deferred snapshot flush plus the
+/// fsync-before-ack window each admit one extra in-flight record.
+const REPLAY_SLACK: u64 = 2;
+
+/// One durable operation of the scripted feed.
+#[derive(Debug, Clone)]
+enum Op {
+    Frame(FrameObjects),
+    Add(CnfQuery),
+    Remove(QueryId),
+}
+
+fn frame(fid: u64, detections: &[(u32, u16)], ends: &[u32]) -> FrameObjects {
+    FrameObjects::new(
+        FrameId(fid),
+        detections
+            .iter()
+            .map(|&(id, class)| (ObjectId(id), ClassId(class)))
+            .collect(),
+    )
+    .with_track_ends(ends.iter().map(|&id| ObjectId(id)).collect())
+}
+
+fn geq(id: u32, class: u16, n: u32) -> CnfQuery {
+    CnfQuery::conjunction(QueryId(id), vec![Condition::at_least(ClassId(class), n)])
+}
+
+/// The scripted feed: churny detections across three class axes, periodic
+/// track ends (including a recycled id, so recovery replays the id-reuse
+/// path too), a query added at 1/4 and 1/2 of the feed and one removed at
+/// 3/4.
+fn script(frames: u64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..frames {
+        let a = (i % 5) as u32 + 1;
+        let b = (i % 3) as u32 + 6;
+        let detections = [(a, 1u16), (b, 0u16), (9, (i % 2) as u16)];
+        let mut ends: Vec<u32> = Vec::new();
+        if i % 6 == 5 {
+            ends.push(((i / 6) % 3) as u32 + 6);
+        }
+        if i % 13 == 7 {
+            ends.push(9);
+        }
+        ops.push(Op::Frame(frame(i, &detections, &ends)));
+        if i == frames / 4 {
+            ops.push(Op::Add(geq(1, 0, 2)));
+        }
+        if i == frames / 2 {
+            ops.push(Op::Add(CnfQuery::conjunction(
+                QueryId(2),
+                vec![
+                    Condition::at_least(ClassId(1), 1),
+                    Condition::at_least(ClassId(0), 1),
+                ],
+            )));
+        }
+        if i == frames * 3 / 4 {
+            ops.push(Op::Remove(QueryId(1)));
+        }
+    }
+    ops
+}
+
+fn build_engine(window: WindowSpec) -> TemporalVideoQueryEngine {
+    TemporalVideoQueryEngine::builder(
+        EngineConfig::new(window).with_compaction(Some(CompactionPolicy::every(CHECK_INTERVAL))),
+    )
+    .with_query(geq(0, 1, 1))
+    .build()
+    .unwrap()
+}
+
+fn apply(
+    engine: &mut TemporalVideoQueryEngine,
+    op: &Op,
+) -> tvq_common::Result<Option<FrameResult>> {
+    match op {
+        Op::Frame(f) => engine.observe(f).map(Some),
+        Op::Add(q) => engine.add_query(q.clone()).map(|()| None),
+        Op::Remove(id) => engine.remove_query(*id).map(|()| None),
+    }
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &byte in bytes {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// FNV-64 over the full transcript: every frame result in feed order plus
+/// the final catalog version.
+fn transcript_hash(results: &[FrameResult], catalog_version: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for result in results {
+        fnv1a(&mut hash, format!("{result:?}").as_bytes());
+    }
+    fnv1a(&mut hash, &catalog_version.to_le_bytes());
+    hash
+}
+
+/// The uninterrupted durable run: the reference transcript and the
+/// instrumented timing behind the `--json` report.
+struct Reference {
+    results: Vec<FrameResult>,
+    catalog_version: u64,
+    hash: u64,
+    metrics: MaintenanceMetrics,
+    seconds: f64,
+    /// The checkpoint interval the run actually exhibited: the largest
+    /// number of WAL records between consecutive snapshots (compaction
+    /// epochs only land a snapshot when the check retired something, so
+    /// this is workload-dependent, not just `CHECK_INTERVAL`).
+    checkpoint_gap: u64,
+}
+
+fn run_uninterrupted(io: SharedIo, dir: &Path, ops: &[Op], window: WindowSpec) -> Reference {
+    let started = Instant::now();
+    let mut engine = build_engine(window);
+    engine.attach_durability(io, dir).unwrap();
+    engine.set_wal_rotate_bytes(ROTATE_BYTES);
+    let bootstrap = engine.metrics();
+    let (mut last_snaps, mut wal_at_snap) = (bootstrap.snapshots_written, bootstrap.wal_records);
+    let mut checkpoint_gap = 0u64;
+    let mut results = Vec::new();
+    for op in ops {
+        if let Some(result) = apply(&mut engine, op).unwrap() {
+            results.push(result);
+        }
+        let m = engine.metrics();
+        if m.snapshots_written > last_snaps {
+            checkpoint_gap = checkpoint_gap.max(m.wal_records - wal_at_snap);
+            last_snaps = m.snapshots_written;
+            wal_at_snap = m.wal_records;
+        }
+    }
+    engine.sync_store().unwrap();
+    // The unsnapshotted tail after the last epoch is also a possible replay.
+    checkpoint_gap = checkpoint_gap.max(engine.metrics().wal_records - wal_at_snap);
+    let catalog_version = engine.catalog_version();
+    let hash = transcript_hash(&results, catalog_version);
+    Reference {
+        results,
+        catalog_version,
+        hash,
+        metrics: engine.metrics(),
+        seconds: started.elapsed().as_secs_f64(),
+        checkpoint_gap,
+    }
+}
+
+/// Runs the script through a faulty IO until the injected crash, returning
+/// the acknowledged frame results.
+fn run_until_crash(io: SharedIo, dir: &Path, ops: &[Op], window: WindowSpec) -> Vec<FrameResult> {
+    let mut engine = build_engine(window);
+    let mut acked = Vec::new();
+    if engine.attach_durability(io, dir).is_err() {
+        return acked;
+    }
+    engine.set_wal_rotate_bytes(ROTATE_BYTES);
+    for op in ops {
+        match apply(&mut engine, op) {
+            Ok(Some(result)) => acked.push(result),
+            Ok(None) => {}
+            Err(_) => return acked, // the injected crash; the process is dead
+        }
+    }
+    let _ = engine.sync_store();
+    acked
+}
+
+/// One sampled crash point's outcome.
+struct Sample {
+    crash_at: u64,
+    torn: TornTail,
+    records_replayed: u64,
+    fresh_restart: bool,
+    hash: u64,
+    matches: bool,
+    detail: Option<String>,
+}
+
+/// Recovers from the post-reboot disk, resumes the script from the durable
+/// cursor and returns the reconstructed transcript's outcome. Invariant
+/// violations (acknowledged-but-lost work, replay divergence) surface as
+/// `Err` details rather than panics so the gate can report them.
+fn recover_and_resume(
+    disk: &MemDisk,
+    dir: &Path,
+    ops: &[Op],
+    window: WindowSpec,
+    acked: &[FrameResult],
+    reference: &Reference,
+) -> Result<(Vec<FrameResult>, u64, u64, bool), String> {
+    let io = disk.io();
+
+    // A crash before the bootstrap snapshot landed: nothing durable exists,
+    // so the restart is a fresh engine over the same directory.
+    if !TemporalVideoQueryEngine::has_data(&io, dir) {
+        if !acked.is_empty() {
+            return Err(format!(
+                "{} acknowledged operations but no durable data",
+                acked.len()
+            ));
+        }
+        let mut engine = build_engine(window);
+        engine
+            .attach_durability(io, dir)
+            .map_err(|e| format!("fresh attach failed: {e}"))?;
+        engine.set_wal_rotate_bytes(ROTATE_BYTES);
+        let mut results = Vec::new();
+        for op in ops {
+            if let Some(result) = apply(&mut engine, op).map_err(|e| format!("resume: {e}"))? {
+                results.push(result);
+            }
+        }
+        let catalog_version = engine.catalog_version();
+        return Ok((results, catalog_version, 0, true));
+    }
+
+    let (mut engine, report) =
+        TemporalVideoQueryEngine::recover(io, dir).map_err(|e| format!("recover failed: {e}"))?;
+    let durable_frames = engine.metrics().frames_processed as usize;
+    let durable_catalog = engine.catalog_version() as usize;
+
+    // Acknowledged implies durable; at most the one in-flight operation of
+    // the fsync-before-ack window may be durable without an ack.
+    if durable_frames != acked.len() && durable_frames != acked.len() + 1 {
+        return Err(format!(
+            "durable frames {durable_frames} vs {} acknowledged",
+            acked.len()
+        ));
+    }
+    let replay_start = durable_frames - report.replayed_frames.len();
+    if report.replayed_frames != reference.results[replay_start..durable_frames] {
+        return Err("replay diverged from the original execution".to_owned());
+    }
+
+    // Transcript so far: every acknowledged result, plus the durable but
+    // unacknowledged in-flight frame (if any) taken from the replay.
+    let mut results = acked.to_vec();
+    if durable_frames == acked.len() + 1 {
+        match report.replayed_frames.last() {
+            Some(result) => results.push(result.clone()),
+            None => return Err("in-flight durable frame missing from replay".to_owned()),
+        }
+    }
+
+    // The durable state is an exact prefix of the script; skip it.
+    let (mut frames_seen, mut catalog_seen) = (0usize, 0usize);
+    let mut resume_at = ops.len();
+    for (index, op) in ops.iter().enumerate() {
+        let done = match op {
+            Op::Frame(_) => {
+                frames_seen += 1;
+                frames_seen <= durable_frames
+            }
+            Op::Add(_) | Op::Remove(_) => {
+                catalog_seen += 1;
+                catalog_seen <= durable_catalog
+            }
+        };
+        if !done {
+            resume_at = index;
+            break;
+        }
+    }
+    for op in &ops[resume_at..] {
+        if let Some(result) = apply(&mut engine, op).map_err(|e| format!("resume: {e}"))? {
+            results.push(result);
+        }
+    }
+    let catalog_version = engine.catalog_version();
+    Ok((results, catalog_version, report.records_replayed, false))
+}
+
+fn sample_json(sample: &Sample) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("crash_at".into(), JsonValue::Int(sample.crash_at)),
+        ("torn".into(), JsonValue::Str(format!("{:?}", sample.torn))),
+        (
+            "records_replayed".into(),
+            JsonValue::Int(sample.records_replayed),
+        ),
+        (
+            "fresh_restart".into(),
+            JsonValue::Bool(sample.fresh_restart),
+        ),
+        (
+            "transcript_hash".into(),
+            JsonValue::Str(format!("{:016x}", sample.hash)),
+        ),
+        ("transcript_matches".into(), JsonValue::Bool(sample.matches)),
+        (
+            "detail".into(),
+            match &sample.detail {
+                Some(detail) => JsonValue::Str(detail.clone()),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (frames, sample_count, window) = match scale {
+        Scale::Quick => (160u64, 12usize, WindowSpec::new(6, 3).unwrap()),
+        Scale::Paper => (800u64, 60usize, WindowSpec::new(24, 12).unwrap()),
+    };
+    let ops = script(frames);
+    let dir = Path::new("/restart");
+
+    let reference = {
+        let disk = MemDisk::new();
+        run_uninterrupted(disk.io(), dir, &ops, window)
+    };
+
+    // Counting pass: the same durable run through a fault IO that never
+    // fires enumerates the crash surface (every mutating IO operation).
+    let total_ops = {
+        let disk = MemDisk::new();
+        let counter = disk.fault_io(u64::MAX, TornTail::Drop);
+        let counter_io: SharedIo = counter.clone();
+        run_until_crash(counter_io, dir, &ops, window);
+        counter.ops()
+    };
+    assert!(
+        total_ops >= sample_count as u64,
+        "crash surface too small: {total_ops} IO ops for {sample_count} samples"
+    );
+
+    let mut samples = Vec::new();
+    for index in 0..sample_count {
+        let crash_at = 1 + index as u64 * (total_ops - 1) / (sample_count as u64 - 1);
+        let torn = TornTail::ALL[index % TornTail::ALL.len()];
+        let disk = MemDisk::new();
+        let faulty = disk.fault_io(crash_at, torn);
+        let faulty_io: SharedIo = faulty.clone();
+        let acked = run_until_crash(faulty_io, dir, &ops, window);
+        let outcome = if faulty.crashed() {
+            recover_and_resume(&disk, dir, &ops, window, &acked, &reference)
+        } else {
+            Err(format!("crash point {crash_at} was never reached"))
+        };
+        samples.push(match outcome {
+            Ok((results, catalog_version, records_replayed, fresh_restart)) => {
+                let hash = transcript_hash(&results, catalog_version);
+                Sample {
+                    crash_at,
+                    torn,
+                    records_replayed,
+                    fresh_restart,
+                    hash,
+                    matches: hash == reference.hash,
+                    detail: None,
+                }
+            }
+            Err(detail) => Sample {
+                crash_at,
+                torn,
+                records_replayed: 0,
+                fresh_restart: false,
+                hash: 0,
+                matches: false,
+                detail: Some(detail),
+            },
+        });
+    }
+
+    let max_replayed = samples
+        .iter()
+        .map(|s| s.records_replayed)
+        .max()
+        .unwrap_or(0);
+    let replay_bound = reference.checkpoint_gap + REPLAY_SLACK;
+    println!(
+        "Restart: {} frames durable, {} IO ops, {} sampled crash points",
+        frames, total_ops, sample_count
+    );
+    println!(
+        "reference transcript {:016x} (catalog v{}, {} results, {} snapshots, {} WAL records)",
+        reference.hash,
+        reference.catalog_version,
+        reference.results.len(),
+        reference.metrics.snapshots_written,
+        reference.metrics.wal_records,
+    );
+    println!(
+        "{:>10} {:>6} {:>10} {:>8} {:>18} {:>10}",
+        "crash_at", "torn", "replayed", "restart", "transcript", "verdict"
+    );
+    println!("{}", "-".repeat(68));
+    for sample in &samples {
+        println!(
+            "{:>10} {:>6} {:>10} {:>8} {:>18} {:>10}",
+            sample.crash_at,
+            format!("{:?}", sample.torn),
+            sample.records_replayed,
+            if sample.fresh_restart {
+                "fresh"
+            } else {
+                "recover"
+            },
+            format!("{:016x}", sample.hash),
+            match (&sample.detail, sample.matches) {
+                (Some(_), _) => "error",
+                (None, true) => "match",
+                (None, false) => "DIVERGED",
+            },
+        );
+        if let Some(detail) = &sample.detail {
+            println!("{:>10} {detail}", "");
+        }
+    }
+    println!(
+        "max WAL records replayed: {max_replayed} (bound {replay_bound} = observed checkpoint interval {} + {REPLAY_SLACK} in-flight)",
+        reference.checkpoint_gap
+    );
+
+    emit_json_report("restart", scale, |report| {
+        report
+            .with_maintainers(vec![MaintainerTiming {
+                method: "SSG/durable".into(),
+                seconds: reference.seconds,
+                frames,
+                metrics: reference.metrics.clone(),
+            }])
+            .with_extra(
+                "gate",
+                JsonValue::Obj(vec![
+                    (
+                        "reference_hash".into(),
+                        JsonValue::Str(format!("{:016x}", reference.hash)),
+                    ),
+                    ("total_io_ops".into(), JsonValue::Int(total_ops)),
+                    (
+                        "checkpoint_gap".into(),
+                        JsonValue::Int(reference.checkpoint_gap),
+                    ),
+                    ("replay_bound".into(), JsonValue::Int(replay_bound)),
+                    ("max_records_replayed".into(), JsonValue::Int(max_replayed)),
+                    (
+                        "all_transcripts_match".into(),
+                        JsonValue::Bool(samples.iter().all(|s| s.matches)),
+                    ),
+                ]),
+            )
+            .with_extra(
+                "samples",
+                JsonValue::Arr(samples.iter().map(sample_json).collect()),
+            )
+    });
+
+    if std::env::args().any(|a| a == "--gate") {
+        let mut failed = false;
+        let diverged: Vec<&Sample> = samples.iter().filter(|s| !s.matches).collect();
+        if diverged.is_empty() {
+            println!(
+                "gate OK   recovery: all {} sampled crash points reproduce transcript {:016x}",
+                samples.len(),
+                reference.hash
+            );
+        } else {
+            for sample in &diverged {
+                eprintln!(
+                    "gate FAIL recovery: crash at op {} ({:?}) diverged: {}",
+                    sample.crash_at,
+                    sample.torn,
+                    sample
+                        .detail
+                        .as_deref()
+                        .unwrap_or("transcript hash mismatch")
+                );
+            }
+            failed = true;
+        }
+        if max_replayed <= replay_bound {
+            println!(
+                "gate OK   replay: WAL tail replay {max_replayed} <= one checkpoint interval ({replay_bound})"
+            );
+        } else {
+            eprintln!(
+                "gate FAIL replay: WAL tail replay {max_replayed} exceeds checkpoint interval bound {replay_bound}"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

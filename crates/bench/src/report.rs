@@ -177,6 +177,21 @@ impl MaintainerTiming {
                 "intersection_cache_misses".into(),
                 JsonValue::Int(self.metrics.intersection_cache_misses),
             ),
+            (
+                "wal_records".into(),
+                JsonValue::Int(self.metrics.wal_records),
+            ),
+            ("wal_bytes".into(), JsonValue::Int(self.metrics.wal_bytes)),
+            (
+                "snapshots_written".into(),
+                JsonValue::Int(self.metrics.snapshots_written),
+            ),
+            (
+                "snapshot_bytes".into(),
+                JsonValue::Int(self.metrics.snapshot_bytes),
+            ),
+            ("fsyncs".into(), JsonValue::Int(self.metrics.fsyncs)),
+            ("recoveries".into(), JsonValue::Int(self.metrics.recoveries)),
         ])
     }
 }

@@ -168,7 +168,9 @@ impl ClassStore {
     /// sorted by identifier. Test hook: the model checker compares the
     /// store's observable state against its model's after every action, and
     /// a sorted tuple list is directly comparable where the internal hash
-    /// maps are not.
+    /// maps are not — and the durability codec persists exactly this list
+    /// (plus [`alias_floor`](Self::alias_floor) and
+    /// [`evictions`](Self::evictions)).
     pub fn snapshot(&self) -> Vec<(ObjectId, ClassId, u32)> {
         let mut entries: Vec<(ObjectId, ClassId, u32)> = self
             .classes
@@ -177,6 +179,28 @@ impl ClassStore {
             .collect();
         entries.sort_unstable();
         entries
+    }
+
+    /// Rebuilds a store from a [`snapshot`](Self::snapshot) plus the alias
+    /// cursor and eviction counter. `next_alias` must be restored exactly:
+    /// aliases count down from `u32::MAX` and are never reused, so resetting
+    /// the cursor would re-mint an alias some persisted binding already
+    /// carries.
+    pub fn restore(
+        entries: impl IntoIterator<Item = (ObjectId, ClassId, u32)>,
+        next_alias: u32,
+        evictions: u64,
+    ) -> Self {
+        let mut store = ClassStore::new();
+        for (id, class, refs) in entries {
+            store.classes.insert(id, class);
+            if refs > 0 {
+                store.refs.insert(id, refs);
+            }
+        }
+        store.next_alias = next_alias;
+        store.evictions = evictions;
+        store
     }
 }
 

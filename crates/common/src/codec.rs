@@ -1,0 +1,502 @@
+//! Versioned hand-rolled binary codec for the durability layer.
+//!
+//! The workspace vendors no serde, so every persistent structure (WAL
+//! records, epoch snapshots) is serialized through this module: an
+//! [`Encoder`] that appends primitives to a growable byte buffer and a
+//! [`Decoder`] that consumes them back, plus the CRC-32 checksum both the
+//! WAL and the snapshot store frame their payloads with.
+//!
+//! Conventions:
+//!
+//! * integers are LEB128 varints (`put_u64` / `take_u64` and the narrower
+//!   helpers built on them) — snapshots are dominated by small ids, so
+//!   varints roughly halve them relative to fixed-width encoding;
+//! * floats are encoded as their IEEE-754 bit pattern, little-endian;
+//! * sequences are a length varint followed by the elements;
+//! * every top-level artifact begins with a fixed header
+//!   ([`Encoder::put_header`] / [`Decoder::check_header`]): a 4-byte magic
+//!   and a version varint. Unknown versions are rejected with a clean
+//!   [`Error::Codec`] — never a panic — so a binary from the future fails
+//!   loudly instead of misreading bytes.
+//!
+//! Decoding is *total*: every `take_*` returns `Result` and truncated or
+//! malformed input surfaces as [`Error::Codec`].
+
+use crate::error::{Error, Result};
+
+/// Appends primitives to a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Creates an encoder with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes the artifact header: a 4-byte magic followed by a version
+    /// varint.
+    pub fn put_header(&mut self, magic: [u8; 4], version: u32) {
+        self.buf.extend_from_slice(&magic);
+        self.put_u32(version);
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, value: bool) {
+        self.buf.push(u8::from(value));
+    }
+
+    /// Appends an unsigned 64-bit integer as a LEB128 varint.
+    pub fn put_u64(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7f) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends an unsigned 32-bit integer as a varint.
+    pub fn put_u32(&mut self, value: u32) {
+        self.put_u64(u64::from(value));
+    }
+
+    /// Appends an unsigned 16-bit integer as a varint.
+    pub fn put_u16(&mut self, value: u16) {
+        self.put_u64(u64::from(value));
+    }
+
+    /// Appends a `usize` as a varint.
+    pub fn put_usize(&mut self, value: usize) {
+        self.put_u64(value as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, value: f64) {
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_bytes(value.as_bytes());
+    }
+
+    /// Appends an `Option<u64>` as a presence byte plus the value.
+    pub fn put_opt_u64(&mut self, value: Option<u64>) {
+        match value {
+            Some(v) => {
+                self.put_bool(true);
+                self.put_u64(v);
+            }
+            None => self.put_bool(false),
+        }
+    }
+}
+
+/// Consumes primitives from a byte slice, mirroring [`Encoder`].
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn codec_err(message: impl Into<String>) -> Error {
+    Error::Codec(message.into())
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Checks the artifact header: the magic must match exactly and the
+    /// version must be `expected_version` or lower. Returns the version
+    /// found, so callers can branch on older layouts; a *newer* version is
+    /// rejected with a clean error (a binary cannot read formats from its
+    /// future).
+    pub fn check_header(&mut self, magic: [u8; 4], expected_version: u32) -> Result<u32> {
+        let found = self.take_array::<4>()?;
+        if found != magic {
+            return Err(codec_err(format!(
+                "bad magic: expected {magic:02x?}, found {found:02x?}"
+            )));
+        }
+        let version = self.take_u32()?;
+        if version > expected_version {
+            return Err(codec_err(format!(
+                "unsupported codec version {version} (this build reads up to {expected_version})"
+            )));
+        }
+        Ok(version)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        if self.remaining() < N {
+            return Err(codec_err(format!(
+                "truncated input: needed {N} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        let [byte] = self.take_array::<1>()?;
+        Ok(byte)
+    }
+
+    /// Reads a boolean; any byte other than 0 or 1 is malformed.
+    pub fn take_bool(&mut self) -> Result<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(codec_err(format!("invalid boolean byte {other}"))),
+        }
+    }
+
+    /// Reads a LEB128 varint as `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(codec_err("varint overflows u64"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(codec_err("varint longer than 10 bytes"));
+            }
+        }
+    }
+
+    /// Reads a varint, checking it fits `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        let value = self.take_u64()?;
+        u32::try_from(value).map_err(|_| codec_err(format!("value {value} overflows u32")))
+    }
+
+    /// Reads a varint, checking it fits `u16`.
+    pub fn take_u16(&mut self) -> Result<u16> {
+        let value = self.take_u64()?;
+        u16::try_from(value).map_err(|_| codec_err(format!("value {value} overflows u16")))
+    }
+
+    /// Reads a varint, checking it fits `usize`.
+    pub fn take_usize(&mut self) -> Result<usize> {
+        let value = self.take_u64()?;
+        usize::try_from(value).map_err(|_| codec_err(format!("value {value} overflows usize")))
+    }
+
+    /// Reads a sequence length, bounding it by the bytes actually left so a
+    /// corrupt length cannot trigger a huge allocation.
+    pub fn take_len(&mut self) -> Result<usize> {
+        let len = self.take_usize()?;
+        if len > self.remaining() {
+            return Err(codec_err(format!(
+                "sequence length {len} exceeds the {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        let bytes = self.take_array::<8>()?;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.take_usize()?;
+        if self.remaining() < len {
+            return Err(codec_err(format!(
+                "truncated byte string: length {len}, {} bytes left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str> {
+        let bytes = self.take_bytes()?;
+        std::str::from_utf8(bytes).map_err(|e| codec_err(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Reads an `Option<u64>` written by [`Encoder::put_opt_u64`].
+    pub fn take_opt_u64(&mut self) -> Result<Option<u64>> {
+        if self.take_bool()? {
+            Ok(Some(self.take_u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Asserts that the input was fully consumed — trailing bytes mean the
+    /// writer and reader disagree about the layout.
+    pub fn finish(self) -> Result<()> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(codec_err(format!(
+                "{} trailing bytes after decoding",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the checksum framing every
+/// WAL record and snapshot payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+/// Continues a CRC-32 computation from a previous value.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = !crc;
+    for &byte in bytes {
+        let index = ((crc ^ u32::from(byte)) & 0xff) as usize;
+        crc = (crc >> 8) ^ table[index];
+    }
+    !crc
+}
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xedb8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_bool(true);
+        enc.put_bool(false);
+        enc.put_u64(0);
+        enc.put_u64(127);
+        enc.put_u64(128);
+        enc.put_u64(u64::MAX);
+        enc.put_u32(u32::MAX);
+        enc.put_u16(u16::MAX);
+        enc.put_f64(0.5);
+        enc.put_f64(f64::NEG_INFINITY);
+        enc.put_bytes(b"abc");
+        enc.put_str("héllo");
+        enc.put_opt_u64(None);
+        enc.put_opt_u64(Some(42));
+
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_u8().unwrap(), 7);
+        assert!(dec.take_bool().unwrap());
+        assert!(!dec.take_bool().unwrap());
+        assert_eq!(dec.take_u64().unwrap(), 0);
+        assert_eq!(dec.take_u64().unwrap(), 127);
+        assert_eq!(dec.take_u64().unwrap(), 128);
+        assert_eq!(dec.take_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.take_u32().unwrap(), u32::MAX);
+        assert_eq!(dec.take_u16().unwrap(), u16::MAX);
+        assert_eq!(dec.take_f64().unwrap(), 0.5);
+        assert_eq!(dec.take_f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(dec.take_bytes().unwrap(), b"abc");
+        assert_eq!(dec.take_str().unwrap(), "héllo");
+        assert_eq!(dec.take_opt_u64().unwrap(), None);
+        assert_eq!(dec.take_opt_u64().unwrap(), Some(42));
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn header_accepts_older_and_rejects_newer_versions() {
+        const MAGIC: [u8; 4] = *b"TVQT";
+        let mut enc = Encoder::new();
+        enc.put_header(MAGIC, 1);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.check_header(MAGIC, 3).unwrap(), 1);
+
+        let mut dec = Decoder::new(&bytes);
+        let err = dec.check_header(MAGIC, 0).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        let mut dec = Decoder::new(&bytes);
+        let err = dec.check_header(*b"XXXX", 3).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_input_is_a_clean_error() {
+        let mut enc = Encoder::new();
+        enc.put_u64(123456789);
+        enc.put_bytes(&[1, 2, 3, 4, 5]);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            let a = dec.take_u64();
+            let b = dec.take_bytes();
+            assert!(
+                a.is_err() || b.is_err(),
+                "cut at {cut} of {} decoded fully",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn overflowing_narrow_integers_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::from(u32::MAX) + 1);
+        let bytes = enc.into_bytes();
+        assert!(Decoder::new(&bytes).take_u32().is_err());
+
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::from(u16::MAX) + 1);
+        let bytes = enc.into_bytes();
+        assert!(Decoder::new(&bytes).take_u16().is_err());
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        // 11 continuation bytes can never be a valid u64 varint.
+        let bytes = [0xffu8; 11];
+        assert!(Decoder::new(&bytes).take_u64().is_err());
+        // 10 bytes whose top byte carries more than one bit overflows too.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        assert!(Decoder::new(&bytes).take_u64().is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_rejected() {
+        assert!(Decoder::new(&[2]).take_bool().is_err());
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.into_bytes();
+        assert!(Decoder::new(&bytes).take_str().is_err());
+    }
+
+    #[test]
+    fn take_len_bounds_lengths_by_remaining_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_usize(1 << 40);
+        let bytes = enc.into_bytes();
+        assert!(Decoder::new(&bytes).take_len().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let dec = Decoder::new(&[1, 2, 3]);
+        assert!(dec.finish().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Incremental computation matches one-shot.
+        let a = crc32(b"hello world");
+        let b = crc32_update(crc32(b"hello "), b"world");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"the quick brown fox".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -47,6 +47,17 @@ pub enum Error {
     Io(std::io::Error),
     /// A configuration value was outside its legal range.
     InvalidConfig(String),
+    /// A persistent artifact (WAL record, snapshot) could not be decoded:
+    /// truncated input, malformed field, or a codec version this build does
+    /// not understand.
+    Codec(String),
+    /// A persistent artifact failed its integrity check (CRC mismatch,
+    /// impossible length): the bytes on disk are not what was written.
+    /// Corrupt records are reported, never silently replayed.
+    Corrupt(String),
+    /// The durability store could not be opened or operated (directory
+    /// missing, lock held by another live engine, no usable snapshot).
+    Store(String),
     /// A shard worker of the multi-feed engine terminated unexpectedly
     /// (panicked or dropped its channel), so a batch could not complete.
     ShardLost {
@@ -81,6 +92,9 @@ impl fmt::Display for Error {
             }
             Error::Io(err) => write!(f, "I/O error: {err}"),
             Error::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            Error::Codec(message) => write!(f, "codec error: {message}"),
+            Error::Corrupt(message) => write!(f, "corrupt store data: {message}"),
+            Error::Store(message) => write!(f, "store error: {message}"),
             Error::ShardLost {
                 worker,
                 queue_depth,

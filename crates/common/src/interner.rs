@@ -79,6 +79,14 @@ impl SetId {
         self.0
     }
 
+    /// Rebuilds a handle from its raw arena index. For the durability codec,
+    /// which persists handles alongside the exact arena state that defines
+    /// them; a handle reconstructed against any other arena is meaningless.
+    #[inline]
+    pub fn from_raw(raw: u32) -> SetId {
+        SetId(raw)
+    }
+
     #[inline]
     fn index(self) -> usize {
         self.0 as usize
@@ -345,6 +353,24 @@ impl SetInterner {
     /// The compaction epoch (0 until the first compaction).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The non-empty arena sets in handle order (`SetId(1)..`). This is the
+    /// interner's entire persistent identity: re-interning these sets in
+    /// order into a fresh interner sharing the same class store reproduces
+    /// identical handles, universe slot assignments, bitmaps and cached
+    /// class counts — the snapshot codec serializes exactly this list plus
+    /// the epoch.
+    pub fn arena_sets(&self) -> impl Iterator<Item = &ObjectSet> {
+        self.sets.iter().skip(1)
+    }
+
+    /// Restores the compaction epoch on a freshly rebuilt interner (see
+    /// [`arena_sets`](Self::arena_sets)); the epoch is not derivable from
+    /// the arena contents, and compaction outcomes must keep numbering from
+    /// where the snapshotted engine left off.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Number of occupied intersection-cache slots.

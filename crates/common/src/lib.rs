@@ -44,6 +44,7 @@ pub mod aggregates;
 pub mod bitmap;
 pub mod class;
 pub mod class_store;
+pub mod codec;
 pub mod error;
 pub mod frame_set;
 pub mod hash;
@@ -59,6 +60,7 @@ pub use aggregates::ClassCounts;
 pub use bitmap::{BitmapArena, UniverseMap};
 pub use class::{ClassLabel, ClassRegistry};
 pub use class_store::{shared_class_store, ClassStore, SharedClassMap};
+pub use codec::{crc32, Decoder, Encoder};
 pub use error::{Error, Result};
 pub use frame_set::MarkedFrameSet;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

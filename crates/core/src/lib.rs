@@ -58,6 +58,7 @@ pub mod naive;
 pub mod prune;
 pub mod reference;
 pub mod result_set;
+pub mod snapshot;
 pub mod ssg;
 pub mod state;
 

@@ -285,6 +285,47 @@ impl ObjectLifecycle {
         entries
     }
 
+    /// The live external → binding entries as a sorted list. Introspection
+    /// hook shared by the model checker and the durability codec (which
+    /// persists exactly this list plus [`registered_ids`](Self::registered_ids),
+    /// [`alias_entries`](Self::alias_entries) and the three counters).
+    pub fn live_bindings(&self) -> Vec<(ObjectId, LiveBinding)> {
+        let mut entries: Vec<(ObjectId, LiveBinding)> = self
+            .live
+            .iter()
+            .map(|(&external, &binding)| (external, binding))
+            .collect();
+        entries.sort_unstable_by_key(|&(external, _)| external);
+        entries
+    }
+
+    /// Rebuilds a lifecycle from its persisted observable state around a
+    /// (freshly restored) class store. The counters must be restored
+    /// exactly: `next_generation` is the engine-wide monotone generation
+    /// source, so resetting it would hand a recovered binding a generation
+    /// some pre-crash binding already carries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        store: SharedClassMap,
+        live: impl IntoIterator<Item = (ObjectId, LiveBinding)>,
+        registered: impl IntoIterator<Item = ObjectId>,
+        aliases: impl IntoIterator<Item = (ObjectId, ObjectId)>,
+        next_generation: u64,
+        retired_total: u64,
+        tracks_ended: u64,
+    ) -> Self {
+        ObjectLifecycle {
+            store,
+            live: live.into_iter().collect(),
+            registered: registered.into_iter().collect(),
+            aliases: aliases.into_iter().collect(),
+            next_generation,
+            retired_total,
+            tracks_ended,
+            pending: Vec::new(),
+        }
+    }
+
     /// Internal ids retired so far (lifetime counter).
     pub fn retired_total(&self) -> u64 {
         self.retired_total

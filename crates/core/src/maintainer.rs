@@ -6,7 +6,7 @@
 //! The engine, the benchmarks and the differential tests are all written
 //! against this trait so the strategies are interchangeable.
 
-use tvq_common::{Error, FrameId, ObjectSet, Result, SetInterner, WindowSpec};
+use tvq_common::{Decoder, Encoder, Error, FrameId, ObjectSet, Result, SetInterner, WindowSpec};
 
 use crate::compaction::{CompactionOutcome, CompactionPolicy};
 use crate::metrics::MaintenanceMetrics;
@@ -66,6 +66,37 @@ pub trait StateMaintainer: Send {
     /// handle is re-judged under the new catalog; the default does nothing
     /// (NAIVE and the reference oracle never cache verdicts).
     fn pruner_changed(&mut self) {}
+
+    /// Serializes the maintainer's complete between-frames state (interner
+    /// arena, state tables, last frame, metrics) so the durability layer
+    /// can persist it inside an epoch snapshot. Restoring the bytes via
+    /// [`restore_state`](Self::restore_state) into a freshly built
+    /// maintainer of the same kind (same spec, pruner and interner wiring)
+    /// yields identical results for every subsequent frame.
+    ///
+    /// Pruner verdict caches are *not* serialized — verdicts are
+    /// re-derivable under the live catalog, so only the
+    /// `states_terminated` counter may drift after recovery. The default
+    /// errors: the brute-force reference oracle is not durable.
+    fn snapshot_state(&self, enc: &mut Encoder) -> Result<()> {
+        let _ = enc;
+        Err(Error::Store(format!(
+            "the {} maintainer does not support snapshots",
+            self.name()
+        )))
+    }
+
+    /// Rebuilds the maintainer's state from bytes produced by
+    /// [`snapshot_state`](Self::snapshot_state). Must be called on a
+    /// freshly built maintainer (nothing advanced, nothing interned); the
+    /// default errors, mirroring `snapshot_state`.
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        let _ = dec;
+        Err(Error::Store(format!(
+            "the {} maintainer does not support snapshots",
+            self.name()
+        )))
+    }
 }
 
 /// Helper shared by the maintainers: validates frame ordering.
@@ -102,6 +133,30 @@ impl MaintainerKind {
         MaintainerKind::Mfs,
         MaintainerKind::Ssg,
     ];
+
+    /// Stable one-byte tag identifying the strategy in persistent
+    /// artifacts. Never renumber: snapshots written by older builds decode
+    /// through these values.
+    pub fn codec_tag(&self) -> u8 {
+        match self {
+            MaintainerKind::Naive => 0,
+            MaintainerKind::Mfs => 1,
+            MaintainerKind::Ssg => 2,
+            MaintainerKind::Reference => 3,
+        }
+    }
+
+    /// Resolves a [`codec_tag`](Self::codec_tag) back to the strategy,
+    /// rejecting unknown tags with a clean codec error.
+    pub fn from_codec_tag(tag: u8) -> Result<Self> {
+        match tag {
+            0 => Ok(MaintainerKind::Naive),
+            1 => Ok(MaintainerKind::Mfs),
+            2 => Ok(MaintainerKind::Ssg),
+            3 => Ok(MaintainerKind::Reference),
+            other => Err(Error::Codec(format!("unknown maintainer tag {other}"))),
+        }
+    }
 
     /// The strategy's display name, matching the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -178,6 +233,31 @@ mod tests {
         assert_eq!(MaintainerKind::Naive.to_string(), "NAIVE");
         assert_eq!(MaintainerKind::Mfs.to_string(), "MFS");
         assert_eq!(MaintainerKind::Ssg.to_string(), "SSG");
+    }
+
+    #[test]
+    fn codec_tags_round_trip_and_reject_unknowns() {
+        for kind in [
+            MaintainerKind::Naive,
+            MaintainerKind::Mfs,
+            MaintainerKind::Ssg,
+            MaintainerKind::Reference,
+        ] {
+            assert_eq!(
+                MaintainerKind::from_codec_tag(kind.codec_tag()).unwrap(),
+                kind
+            );
+        }
+        assert!(MaintainerKind::from_codec_tag(99).is_err());
+    }
+
+    #[test]
+    fn reference_maintainer_is_not_durable() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut maintainer = MaintainerKind::Reference.build(spec);
+        let mut enc = Encoder::new();
+        assert!(maintainer.snapshot_state(&mut enc).is_err());
+        assert!(maintainer.restore_state(&mut Decoder::new(&[])).is_err());
     }
 
     #[test]

@@ -90,6 +90,22 @@ pub struct MaintenanceMetrics {
     /// Rebalance passes that moved at least one feed. Scheduler-owned;
     /// always zero on single-feed engines.
     pub rebalances: u64,
+    /// Bytes appended to the write-ahead log (record payloads plus framing).
+    /// Store-owned; always zero on non-durable engines.
+    pub wal_bytes: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_records: u64,
+    /// Epoch snapshots written so far.
+    pub snapshots_written: u64,
+    /// Bytes written into snapshot files so far (payload plus framing).
+    pub snapshot_bytes: u64,
+    /// `fsync` calls issued by the durability store (WAL appends, snapshot
+    /// publication, directory syncs).
+    pub fsyncs: u64,
+    /// Recoveries performed (snapshot load plus WAL tail replay). Normally
+    /// 0 or 1 per engine; per-feed on the multi-feed engine, so a merged
+    /// report counts every respawned shard's replays.
+    pub recoveries: u64,
 }
 
 impl MaintenanceMetrics {
@@ -172,6 +188,12 @@ impl MaintenanceMetrics {
         self.per_shard_queue_depth += other.per_shard_queue_depth;
         self.feeds_migrated += other.feeds_migrated;
         self.rebalances += other.rebalances;
+        self.wal_bytes += other.wal_bytes;
+        self.wal_records += other.wal_records;
+        self.snapshots_written += other.snapshots_written;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.fsyncs += other.fsyncs;
+        self.recoveries += other.recoveries;
     }
 
     /// Folds an iterator of metrics into one aggregate via [`merge`](Self::merge).
@@ -197,7 +219,7 @@ impl fmt::Display for MaintenanceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m/{}r@{} tracked={} classmap={}B lifecycle={}B retired={} generations={} ends={} swaps={} shard_depth={} migrated={} rebalances={}",
+            "frames={} created={} pruned={} terminated={} intersections={} visited={} edges+={} edges-={} peak={} interned={} arena={}B bitmaps={}B compactions={} cache={}h/{}m/{}r@{} tracked={} classmap={}B lifecycle={}B retired={} generations={} ends={} swaps={} shard_depth={} migrated={} rebalances={} wal={}rec/{}B snapshots={}@{}B fsyncs={} recoveries={}",
             self.frames_processed,
             self.states_created,
             self.states_pruned,
@@ -224,7 +246,13 @@ impl fmt::Display for MaintenanceMetrics {
             self.catalog_swaps,
             self.per_shard_queue_depth,
             self.feeds_migrated,
-            self.rebalances
+            self.rebalances,
+            self.wal_records,
+            self.wal_bytes,
+            self.snapshots_written,
+            self.snapshot_bytes,
+            self.fsyncs,
+            self.recoveries
         )
     }
 }
@@ -281,6 +309,12 @@ mod tests {
         a.per_shard_queue_depth = 26;
         a.feeds_migrated = 27;
         a.rebalances = 28;
+        a.wal_bytes = 29;
+        a.wal_records = 30;
+        a.snapshots_written = 31;
+        a.snapshot_bytes = 32;
+        a.fsyncs = 33;
+        a.recoveries = 34;
         let mut b = a.clone();
         b.merge(&a);
         let doubled = MaintenanceMetrics::merged([&a, &a]);
@@ -313,6 +347,12 @@ mod tests {
         assert_eq!(doubled.per_shard_queue_depth, 52);
         assert_eq!(doubled.feeds_migrated, 54);
         assert_eq!(doubled.rebalances, 56);
+        assert_eq!(doubled.wal_bytes, 58);
+        assert_eq!(doubled.wal_records, 60);
+        assert_eq!(doubled.snapshots_written, 62);
+        assert_eq!(doubled.snapshot_bytes, 64);
+        assert_eq!(doubled.fsyncs, 66);
+        assert_eq!(doubled.recoveries, 68);
     }
 
     #[test]
@@ -351,5 +391,9 @@ mod tests {
         assert!(text.contains("shard_depth=0"));
         assert!(text.contains("migrated=0"));
         assert!(text.contains("rebalances=0"));
+        assert!(text.contains("wal=0rec/0B"));
+        assert!(text.contains("snapshots=0@0B"));
+        assert!(text.contains("fsyncs=0"));
+        assert!(text.contains("recoveries=0"));
     }
 }

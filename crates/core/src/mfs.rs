@@ -23,8 +23,8 @@
 //! so they are never materialised again while they remain hopeless.
 
 use tvq_common::{
-    FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, Result, SetId, SetInterner,
-    WindowSpec,
+    Decoder, Encoder, Error, FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, Result,
+    SetId, SetInterner, WindowSpec,
 };
 
 use crate::compaction::{CompactionOutcome, CompactionPolicy};
@@ -32,6 +32,7 @@ use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::prune::{PrunerVerdictCache, SharedPruner};
 use crate::result_set::ResultStateSet;
+use crate::snapshot;
 
 /// The Marked Frame Set state maintainer.
 ///
@@ -339,6 +340,52 @@ impl StateMaintainer for MfsMaintainer {
     fn pruner_changed(&mut self) {
         self.verdicts.clear();
     }
+
+    fn snapshot_state(&self, enc: &mut Encoder) -> Result<()> {
+        snapshot::put_interner(enc, &self.interner);
+        snapshot::put_opt_frame(enc, self.last_frame);
+        // Handle order makes the byte stream deterministic across runs.
+        let mut sids: Vec<SetId> = self.states.keys().copied().collect();
+        sids.sort_unstable();
+        enc.put_usize(sids.len());
+        for sid in sids {
+            snapshot::put_set_id(enc, sid);
+            snapshot::put_frame_set(enc, &self.states[&sid]);
+        }
+        snapshot::put_metrics(enc, &self.metrics);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        if !self.states.is_empty() || self.last_frame.is_some() {
+            return Err(Error::Store(
+                "restore_state requires a freshly built maintainer".into(),
+            ));
+        }
+        snapshot::restore_interner(dec, &mut self.interner)?;
+        self.last_frame = snapshot::take_opt_frame(dec)?;
+        let states = dec.take_len()?;
+        for _ in 0..states {
+            let sid = snapshot::take_set_id(dec)?;
+            let frames = snapshot::take_frame_set(dec)?;
+            if sid.is_empty_set() || sid.raw() as usize >= self.interner.len() {
+                return Err(Error::Corrupt(format!(
+                    "MFS state references handle {} outside the restored arena",
+                    sid.raw()
+                )));
+            }
+            if self.states.insert(sid, frames).is_some() {
+                return Err(Error::Corrupt(format!(
+                    "duplicate MFS state for handle {}",
+                    sid.raw()
+                )));
+            }
+        }
+        self.metrics = snapshot::take_metrics(dec)?;
+        // Verdicts and results are rebuilt lazily: the next `advance`
+        // re-collects results, and the pruner re-judges handles on demand.
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -513,6 +560,74 @@ mod tests {
         m.advance(FrameId(1), &set(&[1])).unwrap();
         assert!(m.advance(FrameId(1), &set(&[1])).is_err());
         assert!(m.advance(FrameId(0), &set(&[1])).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut original = MfsMaintainer::new(spec);
+        let patterns = paper_frames();
+        for (i, frame) in patterns.iter().cycle().take(7).enumerate() {
+            original.advance(FrameId(i as u64), frame).unwrap();
+        }
+
+        let mut enc = tvq_common::Encoder::new();
+        original.snapshot_state(&mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut restored = MfsMaintainer::new(spec);
+        let mut dec = tvq_common::Decoder::new(&bytes);
+        restored.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(restored.live_states(), original.live_states());
+        assert_eq!(restored.metrics(), original.metrics());
+        for (i, frame) in patterns.iter().cycle().take(20).enumerate().skip(7) {
+            original.advance(FrameId(i as u64), frame).unwrap();
+            restored.advance(FrameId(i as u64), frame).unwrap();
+            assert_eq!(
+                restored.results(),
+                original.results(),
+                "diverged at frame {i}"
+            );
+        }
+        // Memo gauges drift (the intersection cache is not persisted); every
+        // other counter must agree.
+        assert_eq!(
+            snapshot::scrub_cache_gauges(restored.metrics()),
+            snapshot::scrub_cache_gauges(original.metrics())
+        );
+    }
+
+    #[test]
+    fn restore_rejects_used_maintainers_and_dangling_handles() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut original = MfsMaintainer::new(spec);
+        original.advance(FrameId(0), &set(&[1, 2])).unwrap();
+        let mut enc = tvq_common::Encoder::new();
+        original.snapshot_state(&mut enc).unwrap();
+        let bytes = enc.into_bytes();
+
+        // A maintainer that already advanced refuses to restore.
+        let mut used = MfsMaintainer::new(spec);
+        used.advance(FrameId(0), &set(&[9])).unwrap();
+        assert!(used
+            .restore_state(&mut tvq_common::Decoder::new(&bytes))
+            .is_err());
+
+        // A state entry pointing outside the arena is corrupt, not a panic.
+        let mut enc = tvq_common::Encoder::new();
+        snapshot::put_interner(&mut enc, original.interner());
+        snapshot::put_opt_frame(&mut enc, Some(FrameId(0)));
+        enc.put_usize(1);
+        enc.put_u32(77); // dangling handle
+        snapshot::put_frame_set(&mut enc, &MarkedFrameSet::singleton(FrameId(0), true));
+        snapshot::put_metrics(&mut enc, original.metrics());
+        let bytes = enc.into_bytes();
+        let mut fresh = MfsMaintainer::new(spec);
+        let err = fresh
+            .restore_state(&mut tvq_common::Decoder::new(&bytes))
+            .unwrap_err();
+        assert!(matches!(err, tvq_common::Error::Corrupt(_)), "{err}");
     }
 
     #[test]

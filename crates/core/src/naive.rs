@@ -33,14 +33,15 @@
 //! but only a handful of distinct frame sets.
 
 use tvq_common::{
-    FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, Result, SetId, SetInterner,
-    WindowSpec,
+    Decoder, Encoder, Error, FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, Result,
+    SetId, SetInterner, WindowSpec,
 };
 
 use crate::compaction::{CompactionOutcome, CompactionPolicy};
 use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::result_set::ResultStateSet;
+use crate::snapshot;
 
 /// Sentinel for "group not assigned yet" (states created this frame).
 const NO_GROUP: u32 = u32::MAX;
@@ -528,6 +529,162 @@ impl StateMaintainer for NaiveMaintainer {
             retired_objects: table.take_retired_objects(),
         })
     }
+
+    fn snapshot_state(&self, enc: &mut Encoder) -> Result<()> {
+        debug_assert!(self.dirty.is_empty(), "dirty list drains every advance");
+        snapshot::put_interner(enc, &self.interner);
+        snapshot::put_opt_frame(enc, self.last_frame);
+        // Handle order makes the byte stream deterministic across runs.
+        let mut sids: Vec<SetId> = self.states.keys().copied().collect();
+        sids.sort_unstable();
+        enc.put_usize(sids.len());
+        for sid in sids {
+            let slot = &self.states[&sid];
+            snapshot::put_set_id(enc, sid);
+            snapshot::put_frame_set(enc, &slot.frames);
+            enc.put_u32(slot.group);
+        }
+        // The group slab is persisted positionally (slot ids appear inside
+        // state slots and the free list), dead slots as a lone `false`.
+        enc.put_usize(self.groups.groups.len());
+        for group in &self.groups.groups {
+            enc.put_bool(group.alive);
+            if !group.alive {
+                continue;
+            }
+            enc.put_usize(group.members.len());
+            for &member in &group.members {
+                snapshot::put_set_id(enc, member);
+            }
+            snapshot::put_set_id(enc, group.max);
+            enc.put_usize(group.key.len());
+            for &frame in group.key.iter() {
+                enc.put_u64(frame.raw());
+            }
+        }
+        enc.put_usize(self.groups.free.len());
+        for &id in &self.groups.free {
+            enc.put_u32(id);
+        }
+        snapshot::put_metrics(enc, &self.metrics);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        if !self.states.is_empty() || self.last_frame.is_some() {
+            return Err(Error::Store(
+                "restore_state requires a freshly built maintainer".into(),
+            ));
+        }
+        snapshot::restore_interner(dec, &mut self.interner)?;
+        self.last_frame = snapshot::take_opt_frame(dec)?;
+        let states = dec.take_len()?;
+        for _ in 0..states {
+            let sid = snapshot::take_set_id(dec)?;
+            let frames = snapshot::take_frame_set(dec)?;
+            let group = dec.take_u32()?;
+            if sid.is_empty_set() || sid.raw() as usize >= self.interner.len() {
+                return Err(Error::Corrupt(format!(
+                    "NAIVE state references handle {} outside the restored arena",
+                    sid.raw()
+                )));
+            }
+            if self
+                .states
+                .insert(sid, StateSlot { frames, group })
+                .is_some()
+            {
+                return Err(Error::Corrupt(format!(
+                    "duplicate NAIVE state for handle {}",
+                    sid.raw()
+                )));
+            }
+        }
+        let slots = dec.take_len()?;
+        for id in 0..slots {
+            let alive = dec.take_bool()?;
+            if !alive {
+                self.groups.groups.push(Group {
+                    members: Vec::new(),
+                    max: SetId::EMPTY,
+                    key: Box::from([]),
+                    alive: false,
+                });
+                continue;
+            }
+            let member_count = dec.take_len()?;
+            let mut members = Vec::with_capacity(member_count);
+            for _ in 0..member_count {
+                let member = snapshot::take_set_id(dec)?;
+                if !self.states.contains_key(&member) {
+                    return Err(Error::Corrupt(format!(
+                        "group {id} member {} is not a restored state",
+                        member.raw()
+                    )));
+                }
+                members.push(member);
+            }
+            let max = snapshot::take_set_id(dec)?;
+            if members.is_empty() || !members.contains(&max) {
+                return Err(Error::Corrupt(format!(
+                    "group {id} is empty or its max is not a member"
+                )));
+            }
+            let key_len = dec.take_len()?;
+            let mut key = Vec::with_capacity(key_len);
+            for _ in 0..key_len {
+                key.push(FrameId(dec.take_u64()?));
+            }
+            let key: Box<[FrameId]> = key.into();
+            if self
+                .groups
+                .by_frames
+                .insert(key.clone(), id as u32)
+                .is_some()
+            {
+                return Err(Error::Corrupt(format!(
+                    "two live groups share one frame-set key (group {id})"
+                )));
+            }
+            self.groups.groups.push(Group {
+                members,
+                max,
+                key,
+                alive: true,
+            });
+        }
+        let free_count = dec.take_len()?;
+        for _ in 0..free_count {
+            let id = dec.take_u32()?;
+            if self
+                .groups
+                .groups
+                .get(id as usize)
+                .is_none_or(|group| group.alive)
+            {
+                return Err(Error::Corrupt(format!(
+                    "free-list entry {id} is not a dead slot"
+                )));
+            }
+            self.groups.free.push(id);
+        }
+        for (sid, slot) in &self.states {
+            if self
+                .groups
+                .groups
+                .get(slot.group as usize)
+                .is_none_or(|group| !group.alive || !group.members.contains(sid))
+            {
+                return Err(Error::Corrupt(format!(
+                    "state {} points at group {} which does not own it",
+                    sid.raw(),
+                    slot.group
+                )));
+            }
+        }
+        self.metrics = snapshot::take_metrics(dec)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -547,6 +704,43 @@ mod tests {
             set(&[1, 2, 3, 6]),
             set(&[1, 2, 4]),
         ]
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut original = NaiveMaintainer::new(spec);
+        let patterns = paper_frames();
+        for (i, frame) in patterns.iter().cycle().take(8).enumerate() {
+            original.advance(FrameId(i as u64), frame).unwrap();
+        }
+
+        let mut enc = tvq_common::Encoder::new();
+        original.snapshot_state(&mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut restored = NaiveMaintainer::new(spec);
+        let mut dec = tvq_common::Decoder::new(&bytes);
+        restored.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        restored.check_group_invariants();
+
+        assert_eq!(restored.live_states(), original.live_states());
+        assert_eq!(restored.metrics(), original.metrics());
+        for (i, frame) in patterns.iter().cycle().take(22).enumerate().skip(8) {
+            original.advance(FrameId(i as u64), frame).unwrap();
+            restored.advance(FrameId(i as u64), frame).unwrap();
+            assert_eq!(
+                restored.results(),
+                original.results(),
+                "diverged at frame {i}"
+            );
+        }
+        // Memo gauges drift (the intersection cache is not persisted); every
+        // other counter must agree.
+        assert_eq!(
+            snapshot::scrub_cache_gauges(restored.metrics()),
+            snapshot::scrub_cache_gauges(original.metrics())
+        );
     }
 
     /// Table 1 of the paper: the states maintained per frame with w=4, d=3.

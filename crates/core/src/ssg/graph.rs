@@ -7,7 +7,12 @@
 //! [`StateGraph::attach`] operation enforces both properties, rewiring edges
 //! exactly as described in Section 4.3.4 of the paper.
 
-use tvq_common::{FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, SetId, SetInterner};
+use tvq_common::{
+    Decoder, Encoder, Error, FrameId, FxHashMap, MarkedFrameSet, ObjectSet, RemapTable, Result,
+    SetId, SetInterner,
+};
+
+use crate::snapshot;
 
 /// Index of a node inside the graph's slab.
 pub(crate) type NodeId = usize;
@@ -295,6 +300,189 @@ impl StateGraph {
         self.free.push(id);
     }
 
+    /// Whether `id` names a live slab slot (restore-time validation of
+    /// persisted node references; [`node`](Self::node) panics out of range).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes.get(id).is_some_and(|node| node.alive)
+    }
+
+    /// Serializes the slab positionally. Slot ids are referenced by edge
+    /// lists, the free list and the maintainer's root list, so the slab
+    /// layout — including dead slots — is part of the graph's persistent
+    /// identity. Dead slots carry only their `alive = false` marker
+    /// ([`remove`](Self::remove) already emptied their lists and frames);
+    /// per-node traversal scratch (`visited`, `last_inter`, `touched`) is
+    /// persisted as-is: it is only read within the frame that wrote it, and
+    /// round-tripping it keeps restored state byte-comparable to the
+    /// original.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            enc.put_bool(node.alive);
+            if !node.alive {
+                continue;
+            }
+            snapshot::put_set_id(enc, node.sid);
+            snapshot::put_frame_set(enc, &node.frames);
+            for list in [&node.children, &node.parents] {
+                enc.put_usize(list.len());
+                for &edge in list {
+                    enc.put_usize(edge);
+                }
+            }
+            enc.put_u64(node.visited);
+            snapshot::put_set_id(enc, node.last_inter);
+            enc.put_u64(node.touched);
+            enc.put_usize(node.principal_frames.len());
+            for &frame in &node.principal_frames {
+                enc.put_u64(frame.raw());
+            }
+        }
+        enc.put_usize(self.free.len());
+        for &id in &self.free {
+            enc.put_usize(id);
+        }
+        enc.put_u64(self.edges_added);
+        enc.put_u64(self.edges_removed);
+    }
+
+    /// Rebuilds a graph written by [`encode`](Self::encode) against the
+    /// restored interner (node object sets are re-resolved from their
+    /// handles rather than persisted twice). Every structural violation —
+    /// dangling handles, out-of-range or asymmetric edges, a free list that
+    /// does not cover exactly the dead slots — is corrupt data and surfaces
+    /// as [`Error::Corrupt`], never a panic or a silently patched graph.
+    pub fn decode(dec: &mut Decoder<'_>, interner: &SetInterner) -> Result<StateGraph> {
+        let slots = dec.take_len()?;
+        let mut nodes = Vec::with_capacity(slots);
+        let mut by_set = FxHashMap::default();
+        for id in 0..slots {
+            if !dec.take_bool()? {
+                nodes.push(Node {
+                    sid: SetId::EMPTY,
+                    set: ObjectSet::empty(),
+                    frames: MarkedFrameSet::new(),
+                    children: Vec::new(),
+                    parents: Vec::new(),
+                    visited: NEVER,
+                    last_inter: SetId::EMPTY,
+                    touched: NEVER,
+                    principal_frames: std::collections::VecDeque::new(),
+                    alive: false,
+                });
+                continue;
+            }
+            let sid = snapshot::take_set_id(dec)?;
+            if sid.is_empty_set() || sid.raw() as usize >= interner.len() {
+                return Err(Error::Corrupt(format!(
+                    "graph node {id} holds dangling handle {}",
+                    sid.raw()
+                )));
+            }
+            if by_set.insert(sid, id).is_some() {
+                return Err(Error::Corrupt(format!(
+                    "two graph nodes hold handle {}",
+                    sid.raw()
+                )));
+            }
+            let frames = snapshot::take_frame_set(dec)?;
+            let children = Self::take_edge_list(dec, slots)?;
+            let parents = Self::take_edge_list(dec, slots)?;
+            let visited = dec.take_u64()?;
+            let last_inter = snapshot::take_set_id(dec)?;
+            if last_inter.raw() as usize >= interner.len() {
+                return Err(Error::Corrupt(format!(
+                    "graph node {id} caches dangling intersection handle {}",
+                    last_inter.raw()
+                )));
+            }
+            let touched = dec.take_u64()?;
+            let count = dec.take_len()?;
+            let mut principal_frames = std::collections::VecDeque::with_capacity(count);
+            for _ in 0..count {
+                principal_frames.push_back(FrameId(dec.take_u64()?));
+            }
+            nodes.push(Node {
+                sid,
+                set: interner.resolve(sid).clone(),
+                frames,
+                children,
+                parents,
+                visited,
+                last_inter,
+                touched,
+                principal_frames,
+                alive: true,
+            });
+        }
+        let free_len = dec.take_len()?;
+        let mut free = Vec::with_capacity(free_len);
+        let mut in_free = vec![false; slots];
+        for _ in 0..free_len {
+            let id = dec.take_usize()?;
+            if nodes.get(id).is_none_or(|node| node.alive) || in_free[id] {
+                return Err(Error::Corrupt(format!(
+                    "free list entry {id} is not a distinct dead slot"
+                )));
+            }
+            in_free[id] = true;
+            free.push(id);
+        }
+        let dead = nodes.iter().filter(|node| !node.alive).count();
+        if free.len() != dead {
+            return Err(Error::Corrupt(format!(
+                "free list covers {} slots but the slab holds {dead} dead slots",
+                free.len()
+            )));
+        }
+        // Edge symmetry: removal relies on every child edge having its
+        // reverse parent edge (and vice versa), and live nodes never point
+        // at dead slots.
+        for id in 0..slots {
+            if !nodes[id].alive {
+                continue;
+            }
+            for &child in &nodes[id].children {
+                if !nodes[child].alive || !nodes[child].parents.contains(&id) {
+                    return Err(Error::Corrupt(format!(
+                        "child edge {id} -> {child} has no live reverse edge"
+                    )));
+                }
+            }
+            for &parent in &nodes[id].parents {
+                if !nodes[parent].alive || !nodes[parent].children.contains(&id) {
+                    return Err(Error::Corrupt(format!(
+                        "parent edge {id} -> {parent} has no live reverse edge"
+                    )));
+                }
+            }
+        }
+        let edges_added = dec.take_u64()?;
+        let edges_removed = dec.take_u64()?;
+        Ok(StateGraph {
+            nodes,
+            free,
+            by_set,
+            edges_added,
+            edges_removed,
+        })
+    }
+
+    fn take_edge_list(dec: &mut Decoder<'_>, slots: usize) -> Result<Vec<NodeId>> {
+        let len = dec.take_len()?;
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            let id = dec.take_usize()?;
+            if id >= slots {
+                return Err(Error::Corrupt(format!(
+                    "graph edge references slot {id} beyond a slab of {slots}"
+                )));
+            }
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
     /// All nodes reachable from `start` (inclusive) by following child edges
     /// (test support).
     #[cfg(test)]
@@ -484,6 +672,50 @@ mod tests {
         );
         let all = g.reachable(abcd);
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn codec_round_trips_dead_slots_and_free_list() {
+        let mut interner = SetInterner::new();
+        let mut g = StateGraph::new();
+        let a = insert(&mut g, &mut interner, &[1]);
+        let b = insert(&mut g, &mut interner, &[1, 2]);
+        g.attach(b, a, &interner);
+        g.remove(a, &interner);
+
+        let mut enc = Encoder::new();
+        g.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let mut back = StateGraph::decode(&mut dec, &interner).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.edges_added, g.edges_added);
+        assert_eq!(back.edges_removed, g.edges_removed);
+        assert!(!back.is_alive(a) && back.is_alive(b));
+        let c = back.insert(interner.intern(&set(&[3])), set(&[3]));
+        assert_eq!(c, a, "recycled slot must survive the round trip");
+    }
+
+    #[test]
+    fn decode_rejects_asymmetric_edges() {
+        let mut interner = SetInterner::new();
+        let mut g = StateGraph::new();
+        let a = insert(&mut g, &mut interner, &[1, 2]);
+        let b = insert(&mut g, &mut interner, &[1]);
+        g.attach(a, b, &interner);
+        let mut enc = Encoder::new();
+        g.encode(&mut enc);
+        let mut clean = StateGraph::decode(&mut Decoder::new(enc.as_bytes()), &interner).unwrap();
+        assert_eq!(clean.node(a).children, vec![b]);
+
+        // Drop one direction of the edge: the snapshot is now corrupt.
+        clean.node_mut(b).parents.clear();
+        let mut enc = Encoder::new();
+        clean.encode(&mut enc);
+        let err = StateGraph::decode(&mut Decoder::new(enc.as_bytes()), &interner).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
     }
 
     trait TapSorted {

@@ -43,7 +43,8 @@
 mod graph;
 
 use tvq_common::{
-    FrameId, FxHashSet, ObjectSet, RemapTable, Result, SetId, SetInterner, WindowSpec,
+    Decoder, Encoder, Error, FrameId, FxHashSet, ObjectSet, RemapTable, Result, SetId, SetInterner,
+    WindowSpec,
 };
 
 use crate::compaction::{CompactionOutcome, CompactionPolicy};
@@ -51,6 +52,7 @@ use crate::maintainer::{check_order, StateMaintainer};
 use crate::metrics::MaintenanceMetrics;
 use crate::prune::{PrunerVerdictCache, SharedPruner};
 use crate::result_set::ResultStateSet;
+use crate::snapshot;
 
 use graph::{NodeId, StateGraph};
 
@@ -647,6 +649,67 @@ impl StateMaintainer for SsgMaintainer {
     fn pruner_changed(&mut self) {
         self.verdicts.clear();
     }
+
+    fn snapshot_state(&self, enc: &mut Encoder) -> Result<()> {
+        snapshot::put_interner(enc, &self.interner);
+        snapshot::put_opt_frame(enc, self.last_frame);
+        enc.put_usize(self.frames_since_sweep);
+        self.graph.encode(enc);
+        enc.put_usize(self.roots.len());
+        for &root in &self.roots {
+            enc.put_usize(root);
+        }
+        enc.put_usize(self.prev_results.len());
+        for &sid in &self.prev_results {
+            snapshot::put_set_id(enc, sid);
+        }
+        snapshot::put_metrics(enc, &self.metrics);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<()> {
+        if self.last_frame.is_some() || self.graph.len() != 0 || self.interner.len() != 1 {
+            return Err(Error::Store(
+                "SSG restore requires a freshly built maintainer".into(),
+            ));
+        }
+        snapshot::restore_interner(dec, &mut self.interner)?;
+        self.last_frame = snapshot::take_opt_frame(dec)?;
+        self.frames_since_sweep = dec.take_usize()?;
+        self.graph = StateGraph::decode(dec, &self.interner)?;
+        let root_count = dec.take_len()?;
+        let mut roots = Vec::with_capacity(root_count);
+        for _ in 0..root_count {
+            let root = dec.take_usize()?;
+            if !self.graph.is_alive(root) || roots.contains(&root) {
+                return Err(Error::Corrupt(format!(
+                    "root list entry {root} is not a distinct live graph node"
+                )));
+            }
+            roots.push(root);
+        }
+        self.roots = roots;
+        let result_count = dec.take_len()?;
+        let mut prev_results = Vec::with_capacity(result_count);
+        for _ in 0..result_count {
+            let sid = snapshot::take_set_id(dec)?;
+            if self.graph.id_of(sid).is_none() {
+                return Err(Error::Corrupt(format!(
+                    "result list references handle {} with no live graph node",
+                    sid.raw()
+                )));
+            }
+            prev_results.push(sid);
+        }
+        prev_results.sort_unstable();
+        prev_results.dedup();
+        self.prev_results = prev_results;
+        self.metrics = snapshot::take_metrics(dec)?;
+        // `results` stays empty: the next frame's collect_results revalidates
+        // `prev_results` by handle, reproducing the reported set exactly.
+        // Verdicts are re-judged lazily under the live catalog.
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -783,6 +846,74 @@ mod tests {
         assert_eq!(m.live_states(), 1);
         assert_eq!(m.results().object_sets(), vec![set(&[1, 2, 3])]);
         assert_eq!(m.results().frames_of(&set(&[1, 2, 3])).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut original = SsgMaintainer::new(spec);
+        let patterns = paper_frames();
+        for (i, frame) in patterns.iter().cycle().take(9).enumerate() {
+            original.advance(FrameId(i as u64), frame).unwrap();
+        }
+
+        let mut enc = Encoder::new();
+        original.snapshot_state(&mut enc).unwrap();
+        let bytes = enc.into_bytes();
+        let mut restored = SsgMaintainer::new(spec);
+        let mut dec = Decoder::new(&bytes);
+        restored.restore_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(restored.live_states(), original.live_states());
+        assert_eq!(restored.principal_states(), original.principal_states());
+        assert_eq!(restored.states(), original.states());
+        assert_eq!(restored.metrics(), original.metrics());
+        for (i, frame) in patterns.iter().cycle().take(25).enumerate().skip(9) {
+            original.advance(FrameId(i as u64), frame).unwrap();
+            restored.advance(FrameId(i as u64), frame).unwrap();
+            assert_eq!(
+                restored.results(),
+                original.results(),
+                "diverged at frame {i}"
+            );
+        }
+        // Memo gauges drift (the intersection cache is not persisted); every
+        // other counter must agree.
+        assert_eq!(
+            snapshot::scrub_cache_gauges(restored.metrics()),
+            snapshot::scrub_cache_gauges(original.metrics())
+        );
+    }
+
+    #[test]
+    fn restore_rejects_used_maintainers_and_dangling_roots() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut original = SsgMaintainer::new(spec);
+        original.advance(FrameId(0), &set(&[1, 2])).unwrap();
+        let mut enc = Encoder::new();
+        original.snapshot_state(&mut enc).unwrap();
+        let bytes = enc.into_bytes();
+
+        // A maintainer that already advanced refuses to restore.
+        let mut used = SsgMaintainer::new(spec);
+        used.advance(FrameId(0), &set(&[9])).unwrap();
+        assert!(used.restore_state(&mut Decoder::new(&bytes)).is_err());
+
+        // A root entry naming no live graph node is corrupt, not a panic.
+        let mut enc = Encoder::new();
+        snapshot::put_interner(&mut enc, original.interner());
+        snapshot::put_opt_frame(&mut enc, Some(FrameId(0)));
+        enc.put_usize(1); // frames_since_sweep
+        original.graph.encode(&mut enc);
+        enc.put_usize(1);
+        enc.put_usize(17); // dangling root slot
+        enc.put_usize(0); // no previous results
+        snapshot::put_metrics(&mut enc, original.metrics());
+        let bytes = enc.into_bytes();
+        let mut fresh = SsgMaintainer::new(spec);
+        let err = fresh.restore_state(&mut Decoder::new(&bytes)).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
     }
 
     #[test]

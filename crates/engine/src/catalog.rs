@@ -136,6 +136,46 @@ impl QueryCatalog {
         })
     }
 
+    /// Rebuilds a catalog from its persisted observable state: the query
+    /// set at `version`, seeded so [`swaps`](Self::swaps) keeps counting
+    /// from `seed_version` — a recovered engine reports the same swap count
+    /// as one that never restarted.
+    pub(crate) fn restore(queries: Vec<CnfQuery>, version: u64, seed_version: u64) -> Result<Self> {
+        debug_assert!(seed_version <= version);
+        let mut catalog = QueryCatalog::new(queries, version)?;
+        catalog.seed_version = seed_version;
+        Ok(catalog)
+    }
+
+    /// Replaces the whole query set and jumps straight to `version`,
+    /// publishing through the *existing* shared cell (followers keep
+    /// working). Used when a recovered engine must catch up with catalog
+    /// swaps it missed while its worker was down: the version jump makes
+    /// [`swaps`](Self::swaps) report the same count as an engine that
+    /// applied every op live.
+    pub(crate) fn force(&mut self, queries: Vec<CnfQuery>, version: u64) -> Result<()> {
+        if version < self.current.version() {
+            return Err(Error::InvalidConfig(format!(
+                "cannot force catalog version {version} below current {}",
+                self.current.version()
+            )));
+        }
+        let mut seen: FxHashSet<QueryId> = FxHashSet::default();
+        for query in &queries {
+            query.validate().map_err(Error::InvalidConfig)?;
+            if !seen.insert(query.id) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate query id {:?}",
+                    query.id
+                )));
+            }
+        }
+        let next = Arc::new(CatalogSnapshot::build(version, queries));
+        *self.cell.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&next);
+        self.current = next;
+        Ok(())
+    }
+
     /// The current snapshot (lock-free: the owner's cached copy).
     pub fn snapshot(&self) -> &Arc<CatalogSnapshot> {
         &self.current

@@ -1,0 +1,329 @@
+//! Durability: WAL + epoch snapshots + restart recovery for the engine.
+//!
+//! An engine with a data directory attached survives crashes: every
+//! state-changing operation (observed frame, query add/remove) is appended
+//! to a write-ahead log and fsynced *before* the call returns, and at every
+//! compaction epoch boundary a complete [`persist`]
+//! snapshot is written atomically, after which the covered WAL prefix is
+//! pruned. [`TemporalVideoQueryEngine::recover`] reverses the process:
+//! newest valid snapshot, then WAL tail replay through the same code paths
+//! the live engine ran.
+//!
+//! # Write discipline
+//!
+//! Per durable operation the order is **apply → append → fsync → ack**: a
+//! record reaches the log only for operations that succeeded, so replay
+//! never re-executes a rejected operation, and the fsync-before-ack means
+//! an acknowledged operation is always recovered. A crash *between* apply
+//! and fsync loses the in-memory effect with the acknowledgement — the
+//! caller never saw an `Ok`, so the recovered engine legitimately resumes
+//! from the previous acknowledged state. (A crash after the fsync but
+//! before the ack is the usual WAL ambiguity: the operation survives even
+//! though the caller saw an error.)
+//!
+//! # Snapshot cadence
+//!
+//! A compaction epoch marks a snapshot *due*; the snapshot is written
+//! lazily at the next durable operation (or an explicit
+//! [`sync_store`](TemporalVideoQueryEngine::sync_store)), covering
+//! everything logged so far. Deferring the write keeps the caller's
+//! sidecar — updated after `observe` returns — consistent with the state
+//! the snapshot captures. The WAL is pruned through the *previous*
+//! retained snapshot's sequence, never the newest: the store keeps
+//! [`KEEP_SNAPSHOTS`](tvq_store::snap::KEEP_SNAPSHOTS) generations as
+//! corruption fallbacks, and a fallback is only usable while the records
+//! after *its* sequence still exist.
+
+use std::path::Path;
+
+use tvq_common::{Error, FrameObjects, Result};
+use tvq_store::{DirLock, RealIo, SharedIo, SnapshotStore, Wal};
+
+use crate::engine::{FrameResult, TemporalVideoQueryEngine};
+use crate::persist::{self, WalRecord};
+
+/// The engine's durability attachment: directory lock, WAL, snapshot store
+/// and the bookkeeping between them.
+pub(crate) struct Durability {
+    _lock: DirLock,
+    pub(crate) wal: Wal,
+    pub(crate) snaps: SnapshotStore,
+    /// Set at compaction epochs; cleared when the deferred snapshot is
+    /// written.
+    snapshot_due: bool,
+    /// Sequence of the previous retained snapshot — the WAL prune cursor.
+    prev_snapshot_seq: Option<u64>,
+    /// Caller-owned opaque blob persisted inside each snapshot.
+    sidecar: Vec<u8>,
+    /// Recoveries this engine went through (1 after `recover`).
+    pub(crate) recoveries: u64,
+}
+
+/// What [`TemporalVideoQueryEngine::recover`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Sequence of the snapshot the engine was rebuilt from.
+    pub snapshot_seq: u64,
+    /// Newer snapshots that failed validation, as `(seq, reason)`.
+    pub snapshots_skipped: Vec<(u64, String)>,
+    /// WAL records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Results of the replayed frames, in sequence order. The tail of this
+    /// list covers operations that were durable but possibly never
+    /// acknowledged before the crash.
+    pub replayed_frames: Vec<FrameResult>,
+    /// Why the WAL's torn tail was truncated, when it was.
+    pub wal_truncation: Option<String>,
+    /// Bytes discarded from the WAL's torn tail.
+    pub wal_truncated_bytes: u64,
+    /// The sidecar blob persisted with the snapshot (empty when unused).
+    pub sidecar: Vec<u8>,
+}
+
+impl TemporalVideoQueryEngine {
+    /// Attaches durability to a *freshly built* engine: locks `dir`,
+    /// creates the WAL, and writes the bootstrap snapshot so
+    /// [`recover`](Self::recover) always finds the configuration and
+    /// catalog even before the first compaction epoch. Fails if the
+    /// directory already holds engine data (restart with `recover`) or is
+    /// locked by a live process.
+    pub fn attach_durability(&mut self, io: SharedIo, dir: &Path) -> Result<()> {
+        if self.durability.is_some() {
+            return Err(Error::Store("durability is already attached".into()));
+        }
+        let lock = DirLock::acquire(io.clone(), dir)?;
+        let mut snaps = SnapshotStore::open(io.clone(), dir)?;
+        if snaps.load_latest()?.is_some() {
+            return Err(Error::Store(format!(
+                "{} already holds engine data; restart with recover()",
+                dir.display()
+            )));
+        }
+        let (wal, report) = Wal::open(io, dir)?;
+        if report.last_seq != 0 {
+            return Err(Error::Store(format!(
+                "{} holds {} wal records but no snapshot; refusing to overwrite",
+                dir.display(),
+                report.records
+            )));
+        }
+        let seq = wal.next_seq() - 1;
+        let payload = persist::encode_engine(self, &[])?;
+        snaps.save(seq, &payload)?;
+        self.durability = Some(Durability {
+            _lock: lock,
+            wal,
+            snaps,
+            snapshot_due: false,
+            prev_snapshot_seq: Some(seq),
+            sidecar: Vec::new(),
+            recoveries: 0,
+        });
+        Ok(())
+    }
+
+    /// [`attach_durability`](Self::attach_durability) against the real
+    /// filesystem.
+    pub fn attach_durability_at(&mut self, dir: &Path) -> Result<()> {
+        self.attach_durability(RealIo::shared(), dir)
+    }
+
+    /// Whether a durability attachment is active.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Whether `dir` holds recoverable engine data (any snapshot file).
+    /// Servers use this to decide between a fresh
+    /// [`attach_durability`](Self::attach_durability) and
+    /// [`recover`](Self::recover).
+    pub fn has_data(io: &SharedIo, dir: &Path) -> bool {
+        io.list(dir)
+            .map(|names| {
+                names
+                    .iter()
+                    .any(|n| n.starts_with("snap-") && n.ends_with(".snap"))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Rebuilds an engine from `dir`: newest valid snapshot plus WAL tail
+    /// replay. The recovered engine resumes exactly where the acknowledged
+    /// history ended — continuation results are identical to a run that
+    /// never crashed. Corruption beyond the WAL's torn tail (or with no
+    /// surviving snapshot) is reported as an error, never replayed around.
+    pub fn recover(io: SharedIo, dir: &Path) -> Result<(Self, RecoveryReport)> {
+        let lock = DirLock::acquire(io.clone(), dir)?;
+        let snaps = SnapshotStore::open(io.clone(), dir)?;
+        let loaded = snaps.load_latest()?.ok_or_else(|| {
+            Error::Store(format!(
+                "{} holds no snapshot; build a fresh engine with attach_durability()",
+                dir.display()
+            ))
+        })?;
+        let (mut engine, sidecar) = persist::restore_engine(&loaded.payload)?;
+        let (wal, wal_report) = Wal::open(io, dir)?;
+        match wal.first_seq() {
+            Some(first) if first > loaded.seq + 1 => {
+                return Err(Error::Corrupt(format!(
+                    "wal starts at seq {first}, leaving a gap after snapshot seq {}",
+                    loaded.seq
+                )));
+            }
+            Some(_) if wal.next_seq() <= loaded.seq => {
+                return Err(Error::Corrupt(format!(
+                    "wal ends at seq {} before snapshot seq {}",
+                    wal_report.last_seq, loaded.seq
+                )));
+            }
+            None if loaded.seq > 0 => {
+                return Err(Error::Corrupt(format!(
+                    "wal is empty but the snapshot covers seq {}",
+                    loaded.seq
+                )));
+            }
+            _ => {}
+        }
+
+        let mut report = RecoveryReport {
+            snapshot_seq: loaded.seq,
+            snapshots_skipped: loaded.skipped,
+            wal_truncation: wal_report.truncation,
+            wal_truncated_bytes: wal_report.truncated_bytes,
+            sidecar: sidecar.clone(),
+            ..RecoveryReport::default()
+        };
+        for (seq, body) in wal.read_from(loaded.seq)? {
+            let record = persist::decode_record(&body)
+                .map_err(|e| Error::Corrupt(format!("wal record {seq}: {e}")))?;
+            match record {
+                WalRecord::Frame(frame) => {
+                    let result = engine.observe_applied(&frame).map_err(|e| {
+                        Error::Corrupt(format!("wal frame {} does not replay: {e}", frame.fid))
+                    })?;
+                    report.replayed_frames.push(result);
+                }
+                WalRecord::AddQuery(query) => {
+                    engine.apply_add_query(query).map_err(|e| {
+                        Error::Corrupt(format!("wal add-query {seq} does not replay: {e}"))
+                    })?;
+                }
+                WalRecord::RemoveQuery(id) => {
+                    engine.apply_remove_query(id).map_err(|e| {
+                        Error::Corrupt(format!("wal remove-query {seq} does not replay: {e}"))
+                    })?;
+                }
+            }
+            report.records_replayed += 1;
+        }
+
+        engine.durability = Some(Durability {
+            _lock: lock,
+            wal,
+            snaps,
+            // Checkpoint the replayed state at the next opportunity so a
+            // crash loop cannot grow the unpruned tail without bound.
+            snapshot_due: true,
+            prev_snapshot_seq: Some(loaded.seq),
+            sidecar,
+            recoveries: 1,
+        });
+        Ok((engine, report))
+    }
+
+    /// [`recover`](Self::recover) against the real filesystem.
+    pub fn recover_at(dir: &Path) -> Result<(Self, RecoveryReport)> {
+        Self::recover(RealIo::shared(), dir)
+    }
+
+    /// Replaces the opaque sidecar blob persisted inside the next snapshot.
+    /// No-op without a durability attachment. The multi-feed worker stores
+    /// its per-feed tally here; embedders can persist any small piece of
+    /// engine-adjacent state the same way.
+    pub fn set_durable_sidecar(&mut self, sidecar: Vec<u8>) {
+        if let Some(d) = &mut self.durability {
+            d.sidecar = sidecar;
+        }
+    }
+
+    /// Flushes pending durability work: writes a due snapshot and fsyncs
+    /// the WAL. The graceful-shutdown hook — after it returns, dropping the
+    /// engine (or the process) loses nothing.
+    pub fn sync_store(&mut self) -> Result<()> {
+        self.flush_due_snapshot()?;
+        if let Some(d) = &mut self.durability {
+            d.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces a snapshot now (marks one due and flushes it), regardless of
+    /// compaction epochs. Errs without a durability attachment.
+    pub fn snapshot_now(&mut self) -> Result<()> {
+        match &mut self.durability {
+            Some(d) => {
+                d.snapshot_due = true;
+                self.flush_due_snapshot()
+            }
+            None => Err(Error::Store("no durability attachment".into())),
+        }
+    }
+
+    /// Overrides the WAL's segment-rotation threshold. No-op without a
+    /// durability attachment. Production keeps the default; the crash suite
+    /// shrinks it so rotation crash points exist within a short script.
+    pub fn set_wal_rotate_bytes(&mut self, bytes: usize) {
+        if let Some(d) = &mut self.durability {
+            d.wal.set_rotate_bytes(bytes);
+        }
+    }
+
+    /// Marks a snapshot due (called at compaction epoch boundaries).
+    pub(crate) fn mark_snapshot_due(&mut self) {
+        if let Some(d) = &mut self.durability {
+            d.snapshot_due = true;
+        }
+    }
+
+    /// Writes the deferred snapshot, if one is due, covering every record
+    /// logged so far; then prunes the WAL through the *previous* retained
+    /// snapshot's sequence.
+    pub(crate) fn flush_due_snapshot(&mut self) -> Result<()> {
+        let due = self.durability.as_ref().is_some_and(|d| d.snapshot_due);
+        if !due {
+            return Ok(());
+        }
+        let sidecar = std::mem::take(&mut self.durability.as_mut().expect("checked above").sidecar);
+        let payload = persist::encode_engine(self, &sidecar);
+        let d = self.durability.as_mut().expect("checked above");
+        d.sidecar = sidecar;
+        let payload = payload?;
+        let seq = d.wal.next_seq() - 1;
+        d.snaps.save(seq, &payload)?;
+        if let Some(prev) = d.prev_snapshot_seq {
+            d.wal.prune_through(prev)?;
+        }
+        d.prev_snapshot_seq = Some(seq);
+        d.snapshot_due = false;
+        Ok(())
+    }
+
+    /// Logs and fsyncs an applied operation's record. Called after the
+    /// in-memory apply succeeded; the `Ok` it gates is the caller's
+    /// durability acknowledgement.
+    pub(crate) fn log_durable(&mut self, body: &[u8]) -> Result<()> {
+        if let Some(d) = &mut self.durability {
+            d.wal.append(body)?;
+            d.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Encodes `frame`'s WAL record if durability is attached (before the
+    /// apply, so the apply can consume the frame).
+    pub(crate) fn pending_frame_record(&self, frame: &FrameObjects) -> Option<Vec<u8>> {
+        self.durability
+            .is_some()
+            .then(|| persist::encode_frame_record(frame))
+    }
+}

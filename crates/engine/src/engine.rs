@@ -21,6 +21,8 @@ use tvq_query::{evaluate_result_set, ClassCounts, CnfQuery, QueryMatch};
 use crate::adaptive::choose_maintainer;
 use crate::catalog::{QueryCatalog, SharedCatalog};
 use crate::config::{EngineConfig, MaintainerSelection};
+use crate::durable::Durability;
+use crate::persist;
 
 /// The result of processing one frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +40,9 @@ impl FrameResult {
     }
 }
 
-/// Streaming-safe pruner: reads the engine's live class store and its
+/// Streaming-safe pruner (shared with the restore path in
+/// [`persist`](crate::persist) via [`TemporalVideoQueryEngine::assemble`]):
+/// reads the engine's live class store and its
 /// *current* query-catalog snapshot, so catalog swaps take effect on the
 /// very next judged state.
 ///
@@ -196,52 +200,38 @@ impl EngineBuilder {
         let classes: SharedClassMap = self
             .class_store
             .unwrap_or_else(|| Arc::new(RwLock::new(ClassStore::new())));
-        // The per-feed interner shares the engine's live class store, so
-        // every interned set gets its class counts computed exactly once and
-        // the evaluator skips the per-frame histogram rebuild.
-        let interner =
-            SetInterner::with_classes(Arc::clone(&classes)).with_memo_config(self.config.memo);
-        // The pruner is attached whenever pruning is configured — even if
-        // the *current* catalog cannot prune — because the catalog may swap
-        // to a prunable workload later. The LivePruner reads the snapshot's
-        // prune_active flag per judgement, so an inactive pruner keeps
-        // every state (and `strategy()` drops the "_O" suffix).
-        let pruner: Option<SharedPruner> = if self.config.pruning {
-            Some(Arc::new(LivePruner {
-                catalog: catalog.shared(),
-                classes: Arc::clone(&classes),
-            }))
-        } else {
-            None
-        };
-        let maintainer = kind.build_with_options(self.config.window, pruner, interner);
-        Ok(TemporalVideoQueryEngine {
-            config: self.config,
-            registry: self.registry,
+        Ok(TemporalVideoQueryEngine::assemble(
+            self.config,
+            self.registry,
             catalog,
-            maintainer,
-            lifecycle: ObjectLifecycle::new(classes),
-            frames_since_compaction_check: 0,
-        })
+            kind,
+            classes,
+        ))
     }
 }
 
 /// The end-to-end engine (Figure 2 of the paper).
 pub struct TemporalVideoQueryEngine {
-    config: EngineConfig,
-    registry: ClassRegistry,
+    pub(crate) config: EngineConfig,
+    pub(crate) registry: ClassRegistry,
     /// The versioned query workload. The engine is its sole writer;
     /// the maintainer's [`LivePruner`] follows it through the shared cell.
-    catalog: QueryCatalog,
-    maintainer: Box<dyn StateMaintainer>,
+    pub(crate) catalog: QueryCatalog,
+    /// The *resolved* maintenance strategy (`Auto` selection pinned at
+    /// build time) — what snapshots persist and recovery rebuilds.
+    pub(crate) kind: MaintainerKind,
+    pub(crate) maintainer: Box<dyn StateMaintainer>,
     /// Generation-aware tracker-id resolution, class-store registration and
     /// epoch retirement (see [`ObjectLifecycle`]). Holds the engine's
     /// (possibly shared) class store; its live-binding map doubles as the
     /// per-frame fast path that skips the store's write lock in steady
     /// state.
-    lifecycle: ObjectLifecycle,
+    pub(crate) lifecycle: ObjectLifecycle,
     /// Frames since the compaction policy was last consulted.
-    frames_since_compaction_check: u64,
+    pub(crate) frames_since_compaction_check: u64,
+    /// WAL + snapshot attachment, when the engine runs durably (see
+    /// [`durable`](crate::durable)).
+    pub(crate) durability: Option<Durability>,
 }
 
 impl std::fmt::Debug for TemporalVideoQueryEngine {
@@ -259,6 +249,48 @@ impl TemporalVideoQueryEngine {
     /// Starts a builder.
     pub fn builder(config: EngineConfig) -> EngineBuilder {
         EngineBuilder::new(config)
+    }
+
+    /// Assembles an engine around already-validated parts. Shared by
+    /// [`EngineBuilder::build`] and the snapshot-restore path in
+    /// [`persist`](crate::persist), so both wire the interner, pruner and
+    /// maintainer identically.
+    pub(crate) fn assemble(
+        config: EngineConfig,
+        registry: ClassRegistry,
+        catalog: QueryCatalog,
+        kind: MaintainerKind,
+        classes: SharedClassMap,
+    ) -> TemporalVideoQueryEngine {
+        // The per-feed interner shares the engine's live class store, so
+        // every interned set gets its class counts computed exactly once and
+        // the evaluator skips the per-frame histogram rebuild.
+        let interner =
+            SetInterner::with_classes(Arc::clone(&classes)).with_memo_config(config.memo);
+        // The pruner is attached whenever pruning is configured — even if
+        // the *current* catalog cannot prune — because the catalog may swap
+        // to a prunable workload later. The LivePruner reads the snapshot's
+        // prune_active flag per judgement, so an inactive pruner keeps
+        // every state (and `strategy()` drops the "_O" suffix).
+        let pruner: Option<SharedPruner> = if config.pruning {
+            Some(Arc::new(LivePruner {
+                catalog: catalog.shared(),
+                classes: Arc::clone(&classes),
+            }))
+        } else {
+            None
+        };
+        let maintainer = kind.build_with_options(config.window, pruner, interner);
+        TemporalVideoQueryEngine {
+            config,
+            registry,
+            catalog,
+            kind,
+            maintainer,
+            lifecycle: ObjectLifecycle::new(classes),
+            frames_since_compaction_check: 0,
+            durability: None,
+        }
     }
 
     /// The engine's configuration.
@@ -297,6 +329,21 @@ impl TemporalVideoQueryEngine {
     /// catalog pruned, and detections its class filter dropped, are not
     /// resurrected — see the [catalog docs](crate::catalog)).
     pub fn add_query(&mut self, query: CnfQuery) -> Result<()> {
+        self.flush_due_snapshot()?;
+        let record = self
+            .durability
+            .is_some()
+            .then(|| persist::encode_add_query_record(&query));
+        self.apply_add_query(query)?;
+        if let Some(body) = record {
+            self.log_durable(&body)?;
+        }
+        Ok(())
+    }
+
+    /// The in-memory half of [`add_query`](Self::add_query) — also the
+    /// WAL-replay path, which must not re-log the records it replays.
+    pub(crate) fn apply_add_query(&mut self, query: CnfQuery) -> Result<()> {
         self.catalog.add_query(query)?;
         self.maintainer.pruner_changed();
         Ok(())
@@ -317,8 +364,39 @@ impl TemporalVideoQueryEngine {
     /// (removal only narrows evaluation and widens ≥-only pruning, which
     /// Proposition 1 keeps sound).
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        self.flush_due_snapshot()?;
+        let record = self
+            .durability
+            .is_some()
+            .then(|| persist::encode_remove_query_record(id));
+        self.apply_remove_query(id)?;
+        if let Some(body) = record {
+            self.log_durable(&body)?;
+        }
+        Ok(())
+    }
+
+    /// The in-memory half of [`remove_query`](Self::remove_query) — also
+    /// the WAL-replay path.
+    pub(crate) fn apply_remove_query(&mut self, id: QueryId) -> Result<()> {
         self.catalog.remove_query(id)?;
         self.maintainer.pruner_changed();
+        Ok(())
+    }
+
+    /// Fast-forwards the catalog to the fleet's master query set at
+    /// `version`, skipping the intermediate swaps this engine missed while
+    /// its worker was down. No-op when already current. Publishes through
+    /// the existing shared cell (the live pruner keeps observing swaps) and
+    /// schedules a snapshot so the catch-up is durable before the next
+    /// logged operation.
+    pub(crate) fn reconcile_catalog(&mut self, queries: &[CnfQuery], version: u64) -> Result<()> {
+        if self.catalog.version() == version {
+            return Ok(());
+        }
+        self.catalog.force(queries.to_vec(), version)?;
+        self.maintainer.pruner_changed();
+        self.mark_snapshot_due();
         Ok(())
     }
 
@@ -344,6 +422,14 @@ impl TemporalVideoQueryEngine {
         metrics.lifecycle_bytes = self.lifecycle.bytes() as u64;
         metrics.objects_retired = self.lifecycle.retired_total();
         metrics.generations_started = self.lifecycle.generations_started();
+        if let Some(d) = &self.durability {
+            metrics.wal_bytes = d.wal.bytes_written();
+            metrics.wal_records = d.wal.records_written();
+            metrics.snapshots_written = d.snaps.snapshots_written();
+            metrics.snapshot_bytes = d.snaps.bytes_written();
+            metrics.fsyncs = d.wal.fsyncs() + d.snaps.fsyncs();
+            metrics.recoveries = d.recoveries;
+        }
         metrics
     }
 
@@ -372,7 +458,7 @@ impl TemporalVideoQueryEngine {
     /// exists for deployments that want to compact at their own quiet
     /// moments (e.g. scene changes) and for tests.
     pub fn compact_now(&mut self) -> bool {
-        match &self.config.compaction {
+        let compacted = match &self.config.compaction {
             Some(policy) => match self.maintainer.maybe_compact(policy) {
                 Some(outcome) => {
                     self.lifecycle.retire(&outcome.retired_objects);
@@ -381,7 +467,11 @@ impl TemporalVideoQueryEngine {
                 None => false,
             },
             None => false,
+        };
+        if compacted {
+            self.mark_snapshot_due();
         }
+        compacted
     }
 
     /// Processes one frame of detections and returns the query matches of the
@@ -399,7 +489,26 @@ impl TemporalVideoQueryEngine {
     /// engine's class store and tracking maps plateau with the live window
     /// too. Matches always report **tracker ids** as ingested (aliased
     /// generations are translated back at the result boundary).
+    ///
+    /// With durability attached (see [`attach_durability`]) the frame is
+    /// additionally appended to the WAL and fsynced before `Ok` is
+    /// returned, and a snapshot marked due by a previous compaction epoch
+    /// is flushed first.
+    ///
+    /// [`attach_durability`]: Self::attach_durability
     pub fn observe(&mut self, frame: &FrameObjects) -> Result<FrameResult> {
+        self.flush_due_snapshot()?;
+        let record = self.pending_frame_record(frame);
+        let result = self.observe_applied(frame)?;
+        if let Some(body) = record {
+            self.log_durable(&body)?;
+        }
+        Ok(result)
+    }
+
+    /// The in-memory half of [`observe`](Self::observe) — also the
+    /// WAL-replay path, which must not re-log the records it replays.
+    pub(crate) fn observe_applied(&mut self, frame: &FrameObjects) -> Result<FrameResult> {
         // Apply track-end events *before* resolving this frame's detections:
         // an id the tracker ended and immediately recycled (same frame or a
         // later one, same class or not) must start a new generation rather
@@ -413,14 +522,22 @@ impl TemporalVideoQueryEngine {
             .resolve_frame(&frame.classes, snapshot.relevant_classes(), &mut internal);
         let objects = ObjectSet::from_ids(internal);
         self.maintainer.advance(frame.fid, &objects)?;
+        let mut compacted = false;
         if let Some(policy) = &self.config.compaction {
             self.frames_since_compaction_check += 1;
             if self.frames_since_compaction_check >= policy.check_interval {
                 self.frames_since_compaction_check = 0;
                 if let Some(outcome) = self.maintainer.maybe_compact(policy) {
                     self.lifecycle.retire(&outcome.retired_objects);
+                    compacted = true;
                 }
             }
+        }
+        if compacted {
+            // The snapshot itself is deferred to the next durable operation
+            // so the caller's sidecar (updated after this call returns) is
+            // captured consistently.
+            self.mark_snapshot_due();
         }
         let mut matches = {
             let store = self

@@ -64,18 +64,22 @@
 pub mod adaptive;
 pub mod catalog;
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod multi;
+pub mod persist;
 pub mod pipeline;
 pub mod subscribe;
 
 pub use adaptive::choose_maintainer;
 pub use catalog::{CatalogSnapshot, QueryCatalog, SharedCatalog};
 pub use config::{EngineConfig, MaintainerSelection, MultiFeedConfig};
+pub use durable::RecoveryReport;
 pub use engine::{EngineBuilder, FrameResult, TemporalVideoQueryEngine};
 pub use multi::{
     FeedFrame, FeedFrameResult, FeedReport, MultiFeedBuilder, MultiFeedEngine, MultiFeedReport,
     SchedulingStats, ShardMap,
 };
+pub use persist::WalRecord;
 pub use pipeline::{run_workload, RunReport};
 pub use subscribe::{MatchEvent, SubscriberId, Subscription, SubscriptionHub};

@@ -73,6 +73,7 @@ pub mod scheduler;
 mod worker;
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -83,9 +84,11 @@ use tvq_common::{
 };
 use tvq_core::MaintenanceMetrics;
 use tvq_query::CnfQuery;
+use tvq_store::{RealIo, SharedIo};
 
 use crate::config::{EngineConfig, MultiFeedConfig};
 use crate::engine::{FrameResult, TemporalVideoQueryEngine};
+use crate::persist;
 
 use scheduler::LoadTracker;
 pub use scheduler::ShardMap;
@@ -94,6 +97,14 @@ use worker::{worker_loop, CatalogOp, ShardResult, WorkerMsg};
 /// How long a batch waits for a missing shard result before concluding the
 /// worker is gone. Generous: a healthy worker answers in microseconds.
 const SHARD_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// File under a durable fleet's data directory holding the scheduler's
+/// master catalog (registry, query set, version). Always written *ahead*
+/// of broadcasting an op, so the master version is never behind a feed's.
+const FLEET_CATALOG: &str = "fleet-catalog.tvqf";
+/// Scratch name the fleet catalog is staged under before the atomic
+/// rename into [`FLEET_CATALOG`].
+const FLEET_CATALOG_TMP: &str = "fleet-catalog.tmp";
 
 /// One frame of detections tagged with the feed (camera) it came from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -236,13 +247,51 @@ impl SchedulingStats {
 struct EngineSpec {
     config: EngineConfig,
     registry: ClassRegistry,
-    queries: Vec<CnfQuery>,
     stats: Option<DatasetStats>,
     /// One class store for every per-feed engine, when the deployment
     /// opted into [`MultiFeedConfig::shared_class_store`]. Reference
     /// counting in the store keeps one shard's epoch retirement from
     /// evicting entries another shard still tracks.
     class_store: Option<SharedClassMap>,
+    /// The fleet's store and data directory, when durability is on: each
+    /// per-feed engine persists under `<dir>/feed-<id>`, and the master
+    /// catalog under `<dir>/fleet-catalog.tvqf`.
+    store: Option<(SharedIo, PathBuf)>,
+}
+
+/// Atomically publishes the master catalog: staged to a scratch file,
+/// fsynced, renamed into place, directory fsynced — the same recipe the
+/// snapshot store uses, so a crash leaves either the old file or the new.
+fn write_fleet_catalog(
+    io: &SharedIo,
+    root: &Path,
+    registry: &ClassRegistry,
+    queries: &[CnfQuery],
+    version: u64,
+) -> Result<()> {
+    io.create_dir_all(root)?;
+    let payload = persist::encode_fleet_catalog(registry, queries, version);
+    let tmp = root.join(FLEET_CATALOG_TMP);
+    let path = root.join(FLEET_CATALOG);
+    io.write_file(&tmp, &payload)?;
+    io.fsync(&tmp)?;
+    io.rename(&tmp, &path)?;
+    io.fsync_dir(root)?;
+    Ok(())
+}
+
+/// Loads the master catalog a previous fleet persisted under `root`, or
+/// `None` when the directory has never held one.
+fn read_fleet_catalog(
+    io: &SharedIo,
+    root: &Path,
+) -> Result<Option<(ClassRegistry, Vec<CnfQuery>, u64)>> {
+    let path = root.join(FLEET_CATALOG);
+    if !io.exists(&path) {
+        return Ok(None);
+    }
+    let payload = io.read(&path)?;
+    persist::decode_fleet_catalog(&payload).map(Some)
 }
 
 impl EngineSpec {
@@ -278,6 +327,7 @@ pub struct MultiFeedBuilder {
     queries: Vec<CnfQuery>,
     stats: Option<DatasetStats>,
     allow_empty: bool,
+    store: Option<(SharedIo, PathBuf)>,
 }
 
 impl MultiFeedBuilder {
@@ -290,6 +340,7 @@ impl MultiFeedBuilder {
             queries: Vec::new(),
             stats: None,
             allow_empty: false,
+            store: None,
         }
     }
 
@@ -329,6 +380,23 @@ impl MultiFeedBuilder {
         self
     }
 
+    /// Makes the fleet durable under `dir` through the given store: every
+    /// per-feed engine gets a WAL and epoch snapshots in `<dir>/feed-<id>`,
+    /// the master catalog persists in `<dir>/fleet-catalog.tvqf`, dead
+    /// workers are respawned transparently (their feeds recovered from the
+    /// store), and building over a directory that already holds fleet data
+    /// *restarts* it — the persisted catalog supersedes the builder's
+    /// queries and registry.
+    pub fn with_store(mut self, io: SharedIo, dir: &Path) -> Self {
+        self.store = Some((io, dir.to_path_buf()));
+        self
+    }
+
+    /// [`with_store`](Self::with_store) against the real filesystem.
+    pub fn with_data_dir(self, dir: &Path) -> Self {
+        self.with_store(RealIo::shared(), dir)
+    }
+
     /// Builds the engine, spawning the worker pool.
     pub fn build(self) -> Result<MultiFeedEngine> {
         if self.config.workers == 0 {
@@ -348,51 +416,61 @@ impl MultiFeedBuilder {
                 self.config.steal_threshold
             )));
         }
-        if self.queries.is_empty() && !self.allow_empty {
+        // A durable fleet building over a directory that already holds a
+        // master catalog is a *restart*: the persisted registry, query set
+        // and version supersede the builder's (exactly as single-engine
+        // `recover` ignores the builder). A fresh durable fleet persists
+        // its build-time catalog as version 0 before any worker runs.
+        let mut registry = self.registry;
+        let mut queries = self.queries;
+        let mut catalog_version = 0u64;
+        let mut restarted = false;
+        if let Some((io, root)) = &self.store {
+            match read_fleet_catalog(io, root)? {
+                Some((persisted_registry, persisted_queries, version)) => {
+                    registry = persisted_registry;
+                    queries = persisted_queries;
+                    catalog_version = version;
+                    restarted = true;
+                }
+                None => write_fleet_catalog(io, root, &registry, &queries, 0)?,
+            }
+        }
+        // A restarted fleet may legitimately resume with zero queries (all
+        // removed before the shutdown); only fresh builds require some.
+        if queries.is_empty() && !self.allow_empty && !restarted {
             return Err(Error::InvalidConfig(
                 "at least one query must be registered".to_owned(),
             ));
         }
-        let queries = self.queries.clone();
-        let registry = self.registry.clone();
         let spec = Arc::new(EngineSpec {
             config: self.config.engine,
-            registry: self.registry,
-            queries: self.queries,
+            registry: registry.clone(),
             stats: self.stats,
             class_store: self
                 .config
                 .shared_class_store
                 .then(tvq_common::shared_class_store),
+            store: self.store,
         });
         // Validate the shared spec once, up front, so that per-feed engine
         // construction inside the workers cannot fail later.
-        spec.build_engine(&spec.queries, 0)?;
+        spec.build_engine(&queries, catalog_version)?;
         let (results_tx, results_rx) = mpsc::channel();
         let workers = (0..self.config.workers)
-            .map(|index| {
-                let (inbox_tx, inbox_rx) = mpsc::channel();
-                let spec = Arc::clone(&spec);
-                let results = results_tx.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("tvq-shard-{index}"))
-                    .spawn(move || worker_loop(index, spec, inbox_rx, results))
-                    .map_err(Error::Io)?;
-                Ok(Worker {
-                    inbox: Some(inbox_tx),
-                    handle: Some(handle),
-                })
-            })
+            .map(|index| spawn_worker(index, &spec, queries.clone(), catalog_version, &results_tx))
             .collect::<Result<Vec<Worker>>>()?;
         Ok(MultiFeedEngine {
             shards: ShardMap::new(self.config.workers),
             config: self.config,
+            spec,
             workers,
             results: results_rx,
+            results_tx,
             epoch: 0,
             queries,
             registry,
-            catalog_version: 0,
+            catalog_version,
             loads: LoadTracker::new(),
             batches_since_rebalance: 0,
             feeds_migrated: 0,
@@ -401,6 +479,29 @@ impl MultiFeedBuilder {
             sched: SchedulingStats::default(),
         })
     }
+}
+
+/// Spawns one worker thread, seeded with the scheduler's current master
+/// catalog — fresh pools pass the build-time set; respawns pass whatever
+/// the fleet has swapped to since.
+fn spawn_worker(
+    index: usize,
+    spec: &Arc<EngineSpec>,
+    queries: Vec<CnfQuery>,
+    version: u64,
+    results: &Sender<ShardResult>,
+) -> Result<Worker> {
+    let (inbox_tx, inbox_rx) = mpsc::channel();
+    let spec = Arc::clone(spec);
+    let results = results.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("tvq-shard-{index}"))
+        .spawn(move || worker_loop(index, spec, queries, version, inbox_rx, results))
+        .map_err(Error::Io)?;
+    Ok(Worker {
+        inbox: Some(inbox_tx),
+        handle: Some(handle),
+    })
 }
 
 struct Worker {
@@ -416,8 +517,13 @@ struct Worker {
 /// example. Constructed via [`MultiFeedEngine::builder`].
 pub struct MultiFeedEngine {
     config: MultiFeedConfig,
+    /// The shared immutable build recipe, kept so dead workers can be
+    /// respawned (durable fleets only — see `respawn_worker`).
+    spec: Arc<EngineSpec>,
     workers: Vec<Worker>,
     results: Receiver<ShardResult>,
+    /// A live clone of the results sender, handed to respawned workers.
+    results_tx: Sender<ShardResult>,
     /// Monotonic batch counter; see `WorkerMsg::Frames::epoch`.
     epoch: u64,
     /// The master query list: the engine validates catalog ops against it
@@ -491,6 +597,13 @@ impl MultiFeedEngine {
         self.catalog_version
     }
 
+    /// Whether the fleet persists its feeds (built with
+    /// [`with_store`](MultiFeedBuilder::with_store) /
+    /// [`with_data_dir`](MultiFeedBuilder::with_data_dir)).
+    pub fn is_durable(&self) -> bool {
+        self.spec.store.is_some()
+    }
+
     /// The currently registered queries (the master copy every per-feed
     /// engine mirrors).
     pub fn queries(&self) -> &[CnfQuery] {
@@ -509,8 +622,11 @@ impl MultiFeedEngine {
                 query.id
             )));
         }
-        self.broadcast(CatalogOp::Add(query.clone()))?;
-        self.queries.push(query);
+        let mut next = self.queries.clone();
+        next.push(query.clone());
+        self.persist_catalog(&next, self.catalog_version + 1)?;
+        self.broadcast(CatalogOp::Add(query))?;
+        self.queries = next;
         Ok(())
     }
 
@@ -529,29 +645,94 @@ impl MultiFeedEngine {
         if !self.queries.iter().any(|q| q.id == id) {
             return Err(Error::InvalidConfig(format!("unknown query id {id:?}")));
         }
+        let next: Vec<CnfQuery> = self
+            .queries
+            .iter()
+            .filter(|q| q.id != id)
+            .cloned()
+            .collect();
+        self.persist_catalog(&next, self.catalog_version + 1)?;
         self.broadcast(CatalogOp::Remove(id))?;
-        self.queries.retain(|q| q.id != id);
+        self.queries = next;
         Ok(())
+    }
+
+    /// Durable fleets publish the post-op master catalog *before* the op
+    /// broadcasts: after any crash the persisted master version is at
+    /// least every feed's, so a restart only ever fast-forwards recovered
+    /// feeds — never the reverse.
+    fn persist_catalog(&self, queries: &[CnfQuery], version: u64) -> Result<()> {
+        match &self.spec.store {
+            Some((io, root)) => write_fleet_catalog(io, root, &self.registry, queries, version),
+            None => Ok(()),
+        }
     }
 
     fn broadcast(&mut self, op: CatalogOp) -> Result<()> {
         let version = self.catalog_version + 1;
-        for (index, worker) in self.workers.iter().enumerate() {
-            let inbox = worker.inbox.as_ref().ok_or(Error::ShardLost {
-                worker: index,
-                queue_depth: 0,
-            })?;
-            inbox
-                .send(WorkerMsg::Catalog {
+        for index in 0..self.workers.len() {
+            self.send_to_worker(
+                index,
+                WorkerMsg::Catalog {
                     version,
                     op: op.clone(),
-                })
-                .map_err(|_| Error::ShardLost {
-                    worker: index,
-                    queue_depth: 0,
-                })?;
+                },
+                0,
+            )?;
         }
         self.catalog_version = version;
+        Ok(())
+    }
+
+    /// Sends `message` to `worker`, transparently respawning a dead worker
+    /// once when the fleet is durable — the replacement recovers its feeds
+    /// from the store, so nothing acknowledged is lost. A non-durable
+    /// fleet, or a second failure, surfaces [`Error::ShardLost`].
+    fn send_to_worker(
+        &mut self,
+        worker: usize,
+        message: WorkerMsg,
+        queue_depth: usize,
+    ) -> Result<()> {
+        let mut message = Some(message);
+        let mut respawned = false;
+        while let Some(msg) = message.take() {
+            let outcome = match self.workers[worker].inbox.as_ref() {
+                Some(inbox) => inbox.send(msg).map_err(|e| e.0),
+                None => Err(msg),
+            };
+            if let Err(returned) = outcome {
+                if !self.is_durable() || respawned {
+                    return Err(Error::ShardLost {
+                        worker,
+                        queue_depth,
+                    });
+                }
+                self.respawn_worker(worker)?;
+                respawned = true;
+                message = Some(returned);
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces a dead worker's thread. Joining the old thread *first*
+    /// matters: its engines must drop — flushing their stores and
+    /// releasing the per-feed directory locks — before the replacement
+    /// re-opens them. The new thread starts from the scheduler's master
+    /// catalog and recovers each of its feeds lazily from the store.
+    fn respawn_worker(&mut self, index: usize) -> Result<()> {
+        self.workers[index].inbox.take();
+        if let Some(handle) = self.workers[index].handle.take() {
+            let _ = handle.join();
+        }
+        self.workers[index] = spawn_worker(
+            index,
+            &self.spec,
+            self.queries.clone(),
+            self.catalog_version,
+            &self.results_tx,
+        )?;
         Ok(())
     }
 
@@ -608,19 +789,7 @@ impl MultiFeedEngine {
                 continue;
             }
             let queue_depth = frames.len();
-            let inbox = self.workers[worker]
-                .inbox
-                .as_ref()
-                .ok_or(Error::ShardLost {
-                    worker,
-                    queue_depth,
-                })?;
-            inbox
-                .send(WorkerMsg::Frames { epoch, frames })
-                .map_err(|_| Error::ShardLost {
-                    worker,
-                    queue_depth,
-                })?;
+            self.send_to_worker(worker, WorkerMsg::Frames { epoch, frames }, queue_depth)?;
             outstanding += 1;
         }
         let mut slots: Vec<Option<(FeedId, Result<FrameResult>)>> =
@@ -816,6 +985,37 @@ impl MultiFeedEngine {
             metrics,
             catalog_version: self.catalog_version,
         })
+    }
+
+    /// Flushes every per-feed engine's durable state: due snapshots are
+    /// written and the WALs fsynced. No-op on a non-durable fleet; dead
+    /// workers are skipped (the per-operation fsync discipline already
+    /// made all their acknowledged work durable). Dropping the engine
+    /// flushes too — this is the explicit, fallible graceful-shutdown
+    /// path.
+    pub fn sync_store(&mut self) -> Result<()> {
+        if !self.is_durable() {
+            return Ok(());
+        }
+        let mut waits = Vec::new();
+        for (index, worker) in self.workers.iter().enumerate() {
+            let Some(inbox) = worker.inbox.as_ref() else {
+                continue;
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if inbox.send(WorkerMsg::Sync { reply: reply_tx }).is_ok() {
+                waits.push((index, reply_rx));
+            }
+        }
+        for (index, reply) in waits {
+            reply
+                .recv_timeout(SHARD_TIMEOUT)
+                .map_err(|_| Error::ShardLost {
+                    worker: index,
+                    queue_depth: 0,
+                })??;
+        }
+        Ok(())
     }
 
     /// Simulates a worker crash by dropping its inbox (the worker loop
@@ -1348,6 +1548,180 @@ mod tests {
         assert_eq!(report.metrics.frames_processed, 12);
         assert_eq!(report.metrics.per_shard_queue_depth, 1, "single pushes");
         assert!(report.feeds.windows(2).all(|w| w[0].feed < w[1].feed));
+    }
+
+    fn durable_fleet(disk: &tvq_store::MemDisk, workers: usize) -> MultiFeedEngine {
+        MultiFeedEngine::builder(config(workers))
+            .with_query_text("car >= 1 AND person >= 1")
+            .unwrap()
+            .with_store(disk.io(), Path::new("/fleet"))
+            .build()
+            .unwrap()
+    }
+
+    fn mixed_batch(fid: u64) -> Vec<FeedFrame> {
+        (0..4u32)
+            .map(|feed| {
+                FeedFrame::new(
+                    FeedId(feed),
+                    frame(fid, &[(feed + 1, 1), (9, 0), (feed, (fid % 2) as u16)]),
+                )
+            })
+            .collect()
+    }
+
+    /// The respawn path: killing a worker of a durable fleet must be
+    /// invisible — the next frame push (and the next catalog broadcast)
+    /// respawns it, the replacement recovers its feeds from the store, and
+    /// every result and per-feed tally matches a fleet that never lost a
+    /// worker.
+    #[test]
+    fn durable_fleet_survives_worker_loss_transparently() {
+        let disk = tvq_store::MemDisk::new();
+        let mut oracle = engine(2);
+        let mut subject = durable_fleet(&disk, 2);
+        assert!(subject.is_durable() && !oracle.is_durable());
+        for fid in 0..3u64 {
+            let batch = mixed_batch(fid);
+            let expected = oracle.push_batch(&batch).unwrap();
+            let got = subject.push_batch(&batch).unwrap();
+            assert_eq!(got, expected, "pre-crash frame {fid}");
+        }
+        // Crash worker 1, then swap the catalog: the broadcast must heal
+        // the pool rather than error.
+        subject.kill_worker(1);
+        let person_s = subject.add_query_text("person >= 1").unwrap();
+        let person_o = oracle.add_query_text("person >= 1").unwrap();
+        assert_eq!(person_s, person_o);
+        for fid in 3..7u64 {
+            let batch = mixed_batch(fid);
+            let expected = oracle.push_batch(&batch).unwrap();
+            let got = subject.push_batch(&batch).unwrap();
+            assert_eq!(got, expected, "post-respawn frame {fid}");
+        }
+        // Crash the other worker; the frames path heals this one.
+        subject.kill_worker(0);
+        for fid in 7..9u64 {
+            let batch = mixed_batch(fid);
+            let expected = oracle.push_batch(&batch).unwrap();
+            let got = subject.push_batch(&batch).unwrap();
+            assert_eq!(got, expected, "second-respawn frame {fid}");
+        }
+        let subject_report = subject.report().unwrap();
+        let oracle_report = oracle.report().unwrap();
+        assert_eq!(
+            subject_report.catalog_version,
+            oracle_report.catalog_version
+        );
+        assert_eq!(subject_report.feeds.len(), oracle_report.feeds.len());
+        for (a, b) in subject_report.feeds.iter().zip(&oracle_report.feeds) {
+            assert_eq!(a.feed, b.feed);
+            assert_eq!(a.frames, b.frames, "feed {} frames", a.feed);
+            assert_eq!(a.total_matches, b.total_matches);
+            assert_eq!(a.matching_frames, b.matching_frames);
+            assert_eq!(a.catalog_version, b.catalog_version);
+        }
+        assert_eq!(
+            subject_report.metrics.frames_processed,
+            oracle_report.metrics.frames_processed
+        );
+        assert!(
+            subject_report.metrics.recoveries > 0,
+            "the respawned workers recovered their feeds from the store"
+        );
+    }
+
+    /// The restart path: dropping a durable fleet and rebuilding over the
+    /// same directory resumes it — persisted master catalog (superseding
+    /// the builder's queries), recovered per-feed engines, whole-lifetime
+    /// tallies — and continues frame-for-frame like a fleet that never
+    /// stopped.
+    #[test]
+    fn durable_fleet_restarts_from_the_store() {
+        let disk = tvq_store::MemDisk::new();
+        let mut oracle = engine(2);
+        let person_o = {
+            let mut fleet = durable_fleet(&disk, 2);
+            for fid in 0..4u64 {
+                let batch = mixed_batch(fid);
+                assert_eq!(
+                    fleet.push_batch(&batch).unwrap(),
+                    oracle.push_batch(&batch).unwrap()
+                );
+            }
+            let person_f = fleet.add_query_text("person >= 1").unwrap();
+            let person_o = oracle.add_query_text("person >= 1").unwrap();
+            assert_eq!(person_f, person_o);
+            for fid in 4..6u64 {
+                let batch = mixed_batch(fid);
+                assert_eq!(
+                    fleet.push_batch(&batch).unwrap(),
+                    oracle.push_batch(&batch).unwrap()
+                );
+            }
+            fleet.sync_store().unwrap();
+            person_o
+            // Dropping the fleet joins the workers, which flush and
+            // release every per-feed directory lock.
+        };
+        let mut fleet = durable_fleet(&disk, 2);
+        assert_eq!(
+            fleet.catalog_version(),
+            1,
+            "the persisted master catalog supersedes the builder's"
+        );
+        assert_eq!(fleet.queries().len(), 2);
+        for fid in 6..9u64 {
+            let batch = mixed_batch(fid);
+            assert_eq!(
+                fleet.push_batch(&batch).unwrap(),
+                oracle.push_batch(&batch).unwrap(),
+                "post-restart frame {fid}"
+            );
+        }
+        // Removing the recovered query proves the restarted master list is
+        // live, not just displayed.
+        fleet.remove_query(person_o).unwrap();
+        oracle.remove_query(person_o).unwrap();
+        let batch = mixed_batch(9);
+        assert_eq!(
+            fleet.push_batch(&batch).unwrap(),
+            oracle.push_batch(&batch).unwrap()
+        );
+        let fleet_report = fleet.report().unwrap();
+        let oracle_report = oracle.report().unwrap();
+        for (a, b) in fleet_report.feeds.iter().zip(&oracle_report.feeds) {
+            assert_eq!(
+                a.frames, b.frames,
+                "whole-lifetime tally of feed {}",
+                a.feed
+            );
+            assert_eq!(a.total_matches, b.total_matches);
+            assert_eq!(a.matching_frames, b.matching_frames);
+        }
+        assert_eq!(
+            fleet_report.metrics.frames_processed,
+            oracle_report.metrics.frames_processed
+        );
+        assert_eq!(fleet_report.metrics.recoveries, 4, "one per recovered feed");
+        assert_eq!(fleet_report.catalog_version, 2);
+    }
+
+    /// Non-durable fleets keep the fail-fast contract: a lost worker is an
+    /// error, never a silent partial answer (`shard_lost_names_the_worker`
+    /// pins the diagnostics; this pins that durability is what opts into
+    /// healing).
+    #[test]
+    fn non_durable_fleets_do_not_respawn() {
+        let mut engine = engine(2);
+        engine.push(FeedId(1), frame(0, &[(1, 1), (2, 0)])).unwrap();
+        engine.kill_worker(1);
+        assert!(matches!(
+            engine.push(FeedId(1), frame(1, &[(1, 1), (2, 0)])),
+            Err(Error::ShardLost { worker: 1, .. })
+        ));
+        assert!(!engine.is_durable());
+        engine.sync_store().unwrap();
     }
 
     #[test]

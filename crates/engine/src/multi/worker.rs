@@ -15,6 +15,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
 
+use tvq_common::codec::{Decoder, Encoder};
 use tvq_common::{FeedId, FrameObjects, QueryId, Result};
 use tvq_query::CnfQuery;
 
@@ -74,6 +75,11 @@ pub(super) enum WorkerMsg {
     Collect {
         reply: Sender<Vec<FeedReport>>,
     },
+    /// Flush every engine's durable state (due snapshots, WAL fsync) and
+    /// reply with the first failure, if any. The graceful-shutdown path.
+    Sync {
+        reply: Sender<Result<()>>,
+    },
 }
 
 /// One share of a batch answered by one worker: the batch epoch, the
@@ -102,9 +108,77 @@ impl FeedTally {
     }
 }
 
+/// Serializes a feed's running tallies for the engine snapshot's sidecar,
+/// so a recovered feed reports whole-lifetime counts — not counts since
+/// the last restart.
+fn encode_tally(tally: &FeedTally) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(tally.frames);
+    enc.put_u64(tally.total_matches);
+    enc.put_u64(tally.matching_frames);
+    enc.into_bytes()
+}
+
+/// Rebuilds the tally persisted by [`encode_tally`]. An empty sidecar
+/// (a bootstrap snapshot taken before the feed's first frame) is a fresh
+/// tally.
+fn decode_tally(bytes: &[u8]) -> Result<FeedTally> {
+    if bytes.is_empty() {
+        return Ok(FeedTally::default());
+    }
+    let mut dec = Decoder::new(bytes);
+    let tally = FeedTally {
+        frames: dec.take_u64()?,
+        total_matches: dec.take_u64()?,
+        matching_frames: dec.take_u64()?,
+    };
+    dec.finish()?;
+    Ok(tally)
+}
+
+/// Builds (or, on a durable fleet, recovers) the state of a feed this
+/// worker serves for the first time. Recovery rolls the persisted tally
+/// forward over the replayed WAL tail and fast-forwards the engine's
+/// catalog to the fleet's current version — the swaps it missed while the
+/// feed's previous worker was down land at the same stream position the
+/// broadcast originally had (ops only ever broadcast between batches).
+fn materialise_feed(
+    spec: &EngineSpec,
+    feed: FeedId,
+    queries: &[CnfQuery],
+    version: u64,
+) -> Result<Box<FeedState>> {
+    let Some((io, root)) = &spec.store else {
+        return Ok(Box::new(FeedState {
+            engine: spec.build_engine(queries, version)?,
+            tally: FeedTally::default(),
+        }));
+    };
+    let dir = root.join(format!("feed-{}", feed.0));
+    if TemporalVideoQueryEngine::has_data(io, &dir) {
+        let (mut engine, report) = TemporalVideoQueryEngine::recover(io.clone(), &dir)?;
+        let mut tally = decode_tally(&report.sidecar)?;
+        for result in &report.replayed_frames {
+            tally.record(result);
+        }
+        engine.reconcile_catalog(queries, version)?;
+        engine.set_durable_sidecar(encode_tally(&tally));
+        Ok(Box::new(FeedState { engine, tally }))
+    } else {
+        let mut engine = spec.build_engine(queries, version)?;
+        engine.attach_durability(io.clone(), &dir)?;
+        Ok(Box::new(FeedState {
+            engine,
+            tally: FeedTally::default(),
+        }))
+    }
+}
+
 pub(super) fn worker_loop(
     index: usize,
     spec: Arc<EngineSpec>,
+    initial_queries: Vec<CnfQuery>,
+    initial_version: u64,
     inbox: Receiver<WorkerMsg>,
     results: Sender<ShardResult>,
 ) {
@@ -113,9 +187,10 @@ pub(super) fn worker_loop(
     // The worker-local view of the current catalog: engines for feeds first
     // seen *after* a swap must be built from this, not the build-time spec,
     // or a late-arriving feed would answer (and report metrics) under a
-    // stale query set.
-    let mut current_queries: Vec<CnfQuery> = spec.queries.clone();
-    let mut current_version: u64 = 0;
+    // stale query set. Respawned workers start from the scheduler's master
+    // copy, which already includes every broadcast swap.
+    let mut current_queries: Vec<CnfQuery> = initial_queries;
+    let mut current_version: u64 = initial_version;
     for message in inbox {
         match message {
             WorkerMsg::Catalog { version, op } => {
@@ -142,15 +217,13 @@ pub(super) fn worker_loop(
                     let state = match engines.entry(feed) {
                         Entry::Occupied(entry) => entry.into_mut(),
                         Entry::Vacant(vacant) => {
-                            match spec.build_engine(&current_queries, current_version) {
-                                Ok(engine) => vacant.insert(Box::new(FeedState {
-                                    engine,
-                                    tally: FeedTally::default(),
-                                })),
+                            match materialise_feed(&spec, feed, &current_queries, current_version) {
+                                Ok(state) => vacant.insert(state),
                                 Err(error) => {
-                                    // Unreachable in practice: the builder
-                                    // validated the spec. Report instead of
-                                    // panicking.
+                                    // Without a store, unreachable in
+                                    // practice (the builder validated the
+                                    // spec); with one, a store error.
+                                    // Report instead of panicking.
                                     outcomes.push((seq, feed, Err(error)));
                                     continue;
                                 }
@@ -160,6 +233,12 @@ pub(super) fn worker_loop(
                     let outcome = state.engine.observe(&frame);
                     if let Ok(result) = &outcome {
                         state.tally.record(result);
+                        // Keep the sidecar one op behind the WAL: the next
+                        // flushed snapshot covers this frame, so its tally
+                        // must too.
+                        if state.engine.is_durable() {
+                            state.engine.set_durable_sidecar(encode_tally(&state.tally));
+                        }
                     }
                     outcomes.push((seq, feed, outcome));
                 }
@@ -198,6 +277,22 @@ pub(super) fn worker_loop(
                     .collect();
                 let _ = reply.send(reports);
             }
+            WorkerMsg::Sync { reply } => {
+                let mut outcome: Result<()> = Ok(());
+                for state in engines.values_mut() {
+                    let flushed = state.engine.sync_store();
+                    if outcome.is_ok() {
+                        outcome = flushed;
+                    }
+                }
+                let _ = reply.send(outcome);
+            }
         }
+    }
+    // Inbox closed (shutdown or a scheduler-side kill): flush so nothing
+    // acknowledged — or checkpointable — is left behind, then drop the
+    // engines, releasing their per-feed directory locks for a respawn.
+    for state in engines.values_mut() {
+        let _ = state.engine.sync_store();
     }
 }

@@ -1,0 +1,526 @@
+//! Crash-recovery differential suite (ISSUE 9 acceptance criterion).
+//!
+//! A fixed script of durable operations — frames with track ends, a
+//! mid-stream query registration, a mid-stream cancellation — runs against
+//! a [`MemDisk`] through [`FaultIo`](tvq_store::FaultIo), which kills the
+//! "process" at every mutating IO operation in turn (WAL appends and
+//! fsyncs, segment rotations, snapshot temp-writes / renames / directory
+//! syncs, WAL prunes), under each [`TornTail`] policy for the unsynced
+//! suffix. After each injected crash the engine is rebuilt with
+//! [`TemporalVideoQueryEngine::recover`] from the clean post-reboot view of
+//! the same disk, resumed from the durable cursor, and the *complete*
+//! transcript — every frame result, the final catalog version, the final
+//! metrics — must be identical to a run that never crashed.
+//!
+//! Two invariants carry the suite:
+//!
+//! * **acknowledged implies durable**: every operation the crashed run saw
+//!   an `Ok` for must be reflected in the recovered state;
+//! * **durable prefix**: the recovered state corresponds to an exact
+//!   prefix of the script — at most one operation past the last
+//!   acknowledged one (the fsync-before-ack ambiguity window).
+//!
+//! Corruption beyond crash semantics (bit flips) is covered separately:
+//! recovery either falls back to an older intact snapshot or fails with a
+//! clean error — it never silently replays damaged state.
+
+use std::path::Path;
+
+use tvq_common::{ClassId, FrameId, FrameObjects, ObjectId, QueryId, WindowSpec};
+use tvq_core::{CompactionPolicy, MaintenanceMetrics};
+use tvq_engine::{EngineConfig, FrameResult, TemporalVideoQueryEngine};
+use tvq_query::{CnfQuery, Condition};
+use tvq_store::{MemDisk, SharedIo, TornTail};
+
+const ROTATE_BYTES: usize = 96;
+
+/// One durable operation of the script.
+#[derive(Debug, Clone)]
+enum Op {
+    Frame(FrameObjects),
+    Add(CnfQuery),
+    Remove(QueryId),
+}
+
+fn frame(fid: u64, detections: &[(u32, u16)], ends: &[u32]) -> FrameObjects {
+    FrameObjects::new(
+        FrameId(fid),
+        detections
+            .iter()
+            .map(|&(id, class)| (ObjectId(id), ClassId(class)))
+            .collect(),
+    )
+    .with_track_ends(ends.iter().map(|&id| ObjectId(id)).collect())
+}
+
+fn geq(id: u32, class: u16, n: u32) -> CnfQuery {
+    CnfQuery::conjunction(QueryId(id), vec![Condition::at_least(ClassId(class), n)])
+}
+
+/// The scripted workload: 20 frames with churn in classes and track ends,
+/// a query added at position 7 and one removed at position 15. Dense
+/// compaction (`every(3)`) makes several snapshot epochs land inside it.
+fn script() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..20u64 {
+        let a = (i % 5) as u32 + 1;
+        let b = (i % 3) as u32 + 6;
+        let detections = [(a, 1u16), (b, 0u16), (9, (i % 2) as u16)];
+        let ends: &[u32] = match i {
+            4 => &[2],
+            9 => &[7, 9],
+            14 => &[1],
+            _ => &[],
+        };
+        ops.push(Op::Frame(frame(i, &detections, ends)));
+        if i == 6 {
+            ops.push(Op::Add(geq(1, 0, 2)));
+        }
+        if i == 13 {
+            ops.push(Op::Remove(QueryId(1)));
+        }
+    }
+    ops
+}
+
+fn build_engine() -> TemporalVideoQueryEngine {
+    TemporalVideoQueryEngine::builder(
+        EngineConfig::new(WindowSpec::new(4, 2).unwrap())
+            .with_compaction(Some(CompactionPolicy::every(3))),
+    )
+    .with_query(geq(0, 1, 1))
+    .build()
+    .unwrap()
+}
+
+/// What the differential compares: every frame result in script order, the
+/// final catalog version, and the final metrics modulo volatile fields.
+struct Reference {
+    results: Vec<FrameResult>,
+    catalog_version: u64,
+    metrics: MaintenanceMetrics,
+}
+
+/// The interner memo is a cache (deliberately not persisted), the store
+/// counters are handle-local, and the `*_bytes` memory gauges report
+/// allocator capacities (which depend on each container's growth history,
+/// not its contents), so all of those legitimately differ between a
+/// crashed-and-recovered run and an uninterrupted one. Everything else in
+/// the metrics must match exactly.
+fn scrub(metrics: &MaintenanceMetrics) -> MaintenanceMetrics {
+    let mut m = metrics.clone();
+    m.intersection_cache_hits = 0;
+    m.intersection_cache_misses = 0;
+    m.intersection_cache_resizes = 0;
+    m.intersection_cache_slots = 0;
+    m.arena_bytes = 0;
+    m.bitmap_bytes = 0;
+    m.class_map_bytes = 0;
+    m.lifecycle_bytes = 0;
+    m.wal_bytes = 0;
+    m.wal_records = 0;
+    m.snapshots_written = 0;
+    m.snapshot_bytes = 0;
+    m.fsyncs = 0;
+    m.recoveries = 0;
+    m
+}
+
+fn apply(
+    engine: &mut TemporalVideoQueryEngine,
+    op: &Op,
+) -> tvq_common::Result<Option<FrameResult>> {
+    match op {
+        Op::Frame(f) => engine.observe(f).map(Some),
+        Op::Add(q) => engine.add_query(q.clone()).map(|()| None),
+        Op::Remove(id) => engine.remove_query(*id).map(|()| None),
+    }
+}
+
+/// Runs the full script durably with no faults; also reports the maximum
+/// number of live WAL segments seen (proof the sweep covers rotation).
+fn run_uninterrupted(io: SharedIo, dir: &Path) -> (Reference, usize) {
+    let mut engine = build_engine();
+    engine.attach_durability(io.clone(), dir).unwrap();
+    engine.set_wal_rotate_bytes(ROTATE_BYTES);
+    let mut results = Vec::new();
+    let mut max_segments = 0usize;
+    for op in script() {
+        if let Some(result) = apply(&mut engine, &op).unwrap() {
+            results.push(result);
+        }
+        let segments = io
+            .list(dir)
+            .unwrap()
+            .iter()
+            .filter(|n| n.starts_with("wal-"))
+            .count();
+        max_segments = max_segments.max(segments);
+    }
+    engine.sync_store().unwrap();
+    let reference = Reference {
+        results,
+        catalog_version: engine.catalog_version(),
+        metrics: scrub(&engine.metrics()),
+    };
+    (reference, max_segments)
+}
+
+/// Runs the script through a faulty IO until the injected crash (or to
+/// completion), returning the acknowledged frame results.
+fn run_until_crash(io: SharedIo, dir: &Path) -> Vec<FrameResult> {
+    let mut engine = build_engine();
+    let mut acked = Vec::new();
+    if engine.attach_durability(io, dir).is_err() {
+        return acked;
+    }
+    engine.set_wal_rotate_bytes(ROTATE_BYTES);
+    for op in script() {
+        match apply(&mut engine, &op) {
+            Ok(Some(result)) => acked.push(result),
+            Ok(None) => {}
+            Err(_) => return acked, // the injected crash; the process is dead
+        }
+    }
+    let _ = engine.sync_store();
+    acked
+}
+
+/// Recovers from the post-reboot disk, resumes the script from the durable
+/// cursor, and returns the reconstructed full transcript.
+fn recover_and_resume(
+    disk: &MemDisk,
+    dir: &Path,
+    acked: &[FrameResult],
+    reference: &Reference,
+) -> Reference {
+    let io = disk.io();
+    let ops = script();
+
+    // A crash before the bootstrap snapshot landed means there is nothing
+    // to recover — the restart starts the engine from scratch.
+    if !TemporalVideoQueryEngine::has_data(&io, dir) {
+        assert!(acked.is_empty(), "acknowledged work must be recoverable");
+        let mut engine = build_engine();
+        engine.attach_durability(io, dir).unwrap();
+        engine.set_wal_rotate_bytes(ROTATE_BYTES);
+        let mut results = Vec::new();
+        for op in &ops {
+            if let Some(result) = apply(&mut engine, op).unwrap() {
+                results.push(result);
+            }
+        }
+        engine.sync_store().unwrap();
+        return Reference {
+            results,
+            catalog_version: engine.catalog_version(),
+            metrics: scrub(&engine.metrics()),
+        };
+    }
+
+    let (mut engine, report) = TemporalVideoQueryEngine::recover(io, dir).unwrap();
+    let durable_frames = engine.metrics().frames_processed as usize;
+    let durable_catalog = engine.catalog_version() as usize;
+
+    // Acknowledged implies durable; at most the one in-flight operation of
+    // the fsync-before-ack window may be durable without an ack.
+    assert!(
+        durable_frames == acked.len() || durable_frames == acked.len() + 1,
+        "durable frames {durable_frames} vs acknowledged {}",
+        acked.len()
+    );
+    // Replayed results must match the reference slice they re-execute.
+    let replay_start = durable_frames - report.replayed_frames.len();
+    assert_eq!(
+        report.replayed_frames,
+        reference.results[replay_start..durable_frames],
+        "replay diverged from the original execution"
+    );
+
+    // Transcript so far: every acknowledged result, plus the durable but
+    // unacknowledged in-flight frame (if any) taken from the replay.
+    let mut results = acked.to_vec();
+    if durable_frames == acked.len() + 1 {
+        results.push(
+            report
+                .replayed_frames
+                .last()
+                .cloned()
+                .expect("in-flight durable frame must appear in the replay"),
+        );
+    }
+
+    // The durable state is an exact prefix of the script; skip it.
+    let (mut frames_seen, mut catalog_seen) = (0usize, 0usize);
+    let mut resume_at = ops.len();
+    for (index, op) in ops.iter().enumerate() {
+        let done = match op {
+            Op::Frame(_) => {
+                frames_seen += 1;
+                frames_seen <= durable_frames
+            }
+            Op::Add(_) | Op::Remove(_) => {
+                catalog_seen += 1;
+                catalog_seen <= durable_catalog
+            }
+        };
+        if !done {
+            resume_at = index;
+            break;
+        }
+    }
+
+    for op in &ops[resume_at..] {
+        if let Some(result) = apply(&mut engine, op).unwrap() {
+            results.push(result);
+        }
+    }
+    engine.sync_store().unwrap();
+    Reference {
+        results,
+        catalog_version: engine.catalog_version(),
+        metrics: scrub(&engine.metrics()),
+    }
+}
+
+fn assert_matches_reference(case: &str, run: &Reference, reference: &Reference) {
+    assert_eq!(
+        run.results.len(),
+        reference.results.len(),
+        "{case}: transcript length"
+    );
+    for (index, (got, want)) in run.results.iter().zip(&reference.results).enumerate() {
+        assert_eq!(got, want, "{case}: frame result {index}");
+    }
+    assert_eq!(
+        run.catalog_version, reference.catalog_version,
+        "{case}: catalog version"
+    );
+    assert_eq!(run.metrics, reference.metrics, "{case}: final metrics");
+}
+
+/// The tentpole: every injected crash point, under every torn-tail policy,
+/// recovers to a continuation indistinguishable from a run that never
+/// crashed.
+#[test]
+fn every_crash_point_recovers_identically() {
+    let dir = Path::new("/sweep");
+    let (reference, max_segments) = {
+        let disk = MemDisk::new();
+        run_uninterrupted(disk.io(), dir)
+    };
+    assert!(
+        max_segments >= 2,
+        "script must force segment rotation (saw {max_segments} segments)"
+    );
+    assert!(
+        reference.metrics.compactions >= 2,
+        "script must cross compaction epochs"
+    );
+
+    // Counting run: same script through a fault IO that never fires.
+    let count_disk = MemDisk::new();
+    let counter = count_disk.fault_io(u64::MAX, TornTail::Drop);
+    let counter_io: SharedIo = counter.clone();
+    run_until_crash(counter_io, dir);
+    let total_ops = counter.ops();
+    assert!(
+        total_ops >= 60,
+        "expected a rich crash surface, got {total_ops} IO ops"
+    );
+
+    for crash_at in 1..=total_ops {
+        for torn in TornTail::ALL {
+            let disk = MemDisk::new();
+            let faulty = disk.fault_io(crash_at, torn);
+            let faulty_io: SharedIo = faulty.clone();
+            let acked = run_until_crash(faulty_io, dir);
+            assert!(faulty.crashed(), "crash point {crash_at} was never reached");
+            let resumed = recover_and_resume(&disk, dir, &acked, &reference);
+            let case = format!("crash at op {crash_at} ({torn:?})");
+            assert_matches_reference(&case, &resumed, &reference);
+        }
+    }
+}
+
+/// Clean shutdown and restart: `sync_store`, drop, `recover`, continue.
+#[test]
+fn clean_restart_resumes_exactly() {
+    let dir = Path::new("/clean");
+    let (reference, _) = {
+        let disk = MemDisk::new();
+        run_uninterrupted(disk.io(), dir)
+    };
+
+    let disk = MemDisk::new();
+    let ops = script();
+    let split = 11usize;
+    let mut results = Vec::new();
+    {
+        let mut engine = build_engine();
+        engine.attach_durability(disk.io(), dir).unwrap();
+        engine.set_wal_rotate_bytes(ROTATE_BYTES);
+        engine.set_durable_sidecar(b"feed-tally".to_vec());
+        for op in &ops[..split] {
+            if let Some(result) = apply(&mut engine, op).unwrap() {
+                results.push(result);
+            }
+        }
+        engine.sync_store().unwrap();
+    }
+
+    let (mut engine, report) = TemporalVideoQueryEngine::recover(disk.io(), dir).unwrap();
+    assert_eq!(report.sidecar, b"feed-tally", "sidecar survives restart");
+    assert!(
+        report.wal_truncation.is_none(),
+        "clean shutdown tears nothing"
+    );
+    assert_eq!(engine.metrics().recoveries, 1);
+    for op in &ops[split..] {
+        if let Some(result) = apply(&mut engine, op).unwrap() {
+            results.push(result);
+        }
+    }
+    let run = Reference {
+        results,
+        catalog_version: engine.catalog_version(),
+        metrics: scrub(&engine.metrics()),
+    };
+    assert_matches_reference("clean restart", &run, &reference);
+}
+
+/// Double-open protection and attach/recover misuse are clean errors.
+#[test]
+fn attach_and_recover_refuse_misuse() {
+    let dir = Path::new("/misuse");
+    let disk = MemDisk::new();
+    assert!(
+        TemporalVideoQueryEngine::recover(disk.io(), dir).is_err(),
+        "recovering an empty directory must fail"
+    );
+
+    let mut engine = build_engine();
+    engine.attach_durability(disk.io(), dir).unwrap();
+    engine.observe(&frame(0, &[(1, 1)], &[])).unwrap();
+
+    let mut second = build_engine();
+    assert!(
+        second.attach_durability(disk.io(), dir).is_err(),
+        "the directory lock must refuse a second live engine"
+    );
+    drop(engine);
+
+    let mut third = build_engine();
+    assert!(
+        third.attach_durability(disk.io(), dir).is_err(),
+        "attach must refuse a directory that already holds engine data"
+    );
+    let recovered = TemporalVideoQueryEngine::recover(disk.io(), dir);
+    assert!(recovered.is_ok(), "recover is the restart path");
+}
+
+/// A bit flip in the newest snapshot: recovery falls back to the previous
+/// intact snapshot (whose WAL suffix is retained exactly for this) and the
+/// continuation is still identical.
+#[test]
+fn snapshot_bit_flip_falls_back_to_previous_epoch() {
+    let dir = Path::new("/snapflip");
+    let (reference, _) = {
+        let disk = MemDisk::new();
+        run_uninterrupted(disk.io(), dir)
+    };
+
+    let disk = MemDisk::new();
+    let ops = script();
+    let split = 17usize;
+    let mut results = Vec::new();
+    {
+        let mut engine = build_engine();
+        engine.attach_durability(disk.io(), dir).unwrap();
+        engine.set_wal_rotate_bytes(ROTATE_BYTES);
+        for op in &ops[..split] {
+            if let Some(result) = apply(&mut engine, op).unwrap() {
+                results.push(result);
+            }
+        }
+        assert!(
+            engine.metrics().snapshots_written >= 3,
+            "need at least two snapshot generations on disk"
+        );
+        engine.sync_store().unwrap();
+    }
+
+    let io = disk.io();
+    let newest = io
+        .list(dir)
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("snap-") && n.ends_with(".snap"))
+        .max()
+        .expect("snapshots on disk");
+    assert!(disk.flip_bit(&dir.join(&newest), 40), "flip a payload byte");
+
+    let (mut engine, report) = TemporalVideoQueryEngine::recover(io, dir).unwrap();
+    assert_eq!(
+        report.snapshots_skipped.len(),
+        1,
+        "the damaged snapshot is skipped and reported: {:?}",
+        report.snapshots_skipped
+    );
+    for op in &ops[split..] {
+        if let Some(result) = apply(&mut engine, op).unwrap() {
+            results.push(result);
+        }
+    }
+    let run = Reference {
+        results,
+        catalog_version: engine.catalog_version(),
+        metrics: scrub(&engine.metrics()),
+    };
+    assert_matches_reference("snapshot bit flip", &run, &reference);
+}
+
+/// Bit flips in acknowledged WAL history are detected, never silently
+/// replayed: recovery refuses with a corruption error.
+#[test]
+fn wal_bit_flips_are_detected() {
+    let dir = Path::new("/walflip");
+    // No compaction: the bootstrap snapshot is the only one, so the whole
+    // WAL stays live and multiple segments survive unpruned.
+    let build = || {
+        TemporalVideoQueryEngine::builder(
+            EngineConfig::new(WindowSpec::new(4, 2).unwrap()).with_compaction(None),
+        )
+        .with_query(geq(0, 1, 1))
+        .build()
+        .unwrap()
+    };
+
+    let disk = MemDisk::new();
+    {
+        let mut engine = build();
+        engine.attach_durability(disk.io(), dir).unwrap();
+        engine.set_wal_rotate_bytes(64);
+        for i in 0..12u64 {
+            engine.observe(&frame(i, &[(1, 1), (2, 0)], &[])).unwrap();
+        }
+        engine.sync_store().unwrap();
+    }
+    let io = disk.io();
+    let mut segments: Vec<String> = io
+        .list(dir)
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("wal-"))
+        .collect();
+    segments.sort();
+    assert!(segments.len() >= 2, "need rotation: {segments:?}");
+
+    // Damage in an earlier segment = acknowledged history is gone.
+    assert!(disk.flip_bit(&dir.join(&segments[0]), 10));
+    let err = TemporalVideoQueryEngine::recover(io, dir).unwrap_err();
+    assert!(
+        matches!(err, tvq_common::Error::Corrupt(_)),
+        "mid-log damage must refuse recovery, got {err}"
+    );
+}

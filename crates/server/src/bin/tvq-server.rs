@@ -2,10 +2,15 @@
 //!
 //! Two modes:
 //!
-//! * **serve** (default): bind `--addr` and serve clients until killed.
+//! * **serve** (default): bind `--addr` and serve clients until a client
+//!   issues `SHUTDOWN` (or the process is killed). With `--data-dir` the
+//!   engine runs durably: every acknowledged operation is WAL-logged and
+//!   fsynced, snapshots land at compaction epochs, and a restart over the
+//!   same directory recovers the catalog and windows.
 //!
 //!   ```text
-//!   tvq-server --addr 127.0.0.1:7878 --window 8 --duration 4
+//!   tvq-server --addr 127.0.0.1:7878 --window 8 --duration 4 \
+//!       --data-dir /var/lib/tvq
 //!   ```
 //!
 //! * **smoke** (`--smoke [--json]`): spin up a server on an ephemeral
@@ -30,6 +35,7 @@ struct Args {
     addr: String,
     window: usize,
     duration: usize,
+    data_dir: Option<std::path::PathBuf>,
     smoke: bool,
     json: bool,
 }
@@ -39,6 +45,7 @@ fn parse_args() -> Result<Args> {
         addr: "127.0.0.1:7878".to_string(),
         window: 8,
         duration: 4,
+        data_dir: None,
         smoke: false,
         json: false,
     };
@@ -60,6 +67,7 @@ fn parse_args() -> Result<Args> {
                     .parse()
                     .map_err(|_| Error::InvalidConfig("bad --duration".to_string()))?
             }
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?.into()),
             "--smoke" => args.smoke = true,
             "--json" => args.json = true,
             other => {
@@ -99,9 +107,25 @@ fn config(args: &Args) -> Result<EngineConfig> {
     )?))
 }
 
+fn bind(args: &Args, addr: &str) -> Result<QueryServer> {
+    match &args.data_dir {
+        Some(dir) => QueryServer::bind_durable(addr, config(args)?, dir),
+        None => QueryServer::bind(addr, config(args)?),
+    }
+}
+
 fn serve(args: &Args) -> Result<()> {
-    let server = QueryServer::bind(args.addr.as_str(), config(args)?)?;
-    println!("tvq-server listening on {}", server.local_addr()?);
+    let server = bind(args, args.addr.as_str())?;
+    match &args.data_dir {
+        Some(dir) => println!(
+            "tvq-server listening on {} (durable at {})",
+            server.local_addr()?,
+            dir.display()
+        ),
+        None => println!("tvq-server listening on {}", server.local_addr()?),
+    }
+    // Runs until a client issues SHUTDOWN; durable state is flushed and
+    // fsynced before the call returns.
     server.run()
 }
 
@@ -123,10 +147,11 @@ fn gate(condition: bool, what: &str) -> Result<()> {
 
 fn smoke(args: &Args) -> Result<()> {
     let started = Instant::now();
-    let handle = QueryServer::bind("127.0.0.1:0", config(args)?)?.spawn()?;
+    let handle = bind(args, "127.0.0.1:0")?.spawn()?;
     let outcome = smoke_session(args, handle.addr());
-    handle.stop();
+    let stopped = handle.stop();
     let report = outcome?;
+    stopped?;
     println!(
         "server smoke: frames={} delivered={} dropped={} version={} in {:?}",
         report.frames,
@@ -222,8 +247,12 @@ fn smoke_session(args: &Args, addr: std::net::SocketAddr) -> Result<SmokeReport>
     gate(field(&stats, "subscribers")? == 2, "two subscribers")?;
     let published = field(&stats, "published")?;
     gate(published >= delivered, "published covers delivered")?;
-    observer.quit()?;
     client.quit()?;
+    // Graceful shutdown is part of the smoke surface: the in-band hook
+    // flushes + fsyncs durable state (a no-op without --data-dir) before
+    // the accept loop stops.
+    let bye = observer.expect_ok("SHUTDOWN")?;
+    gate(bye == "OK shutdown", "graceful shutdown acknowledged")?;
 
     Ok(SmokeReport {
         frames,

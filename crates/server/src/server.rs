@@ -15,6 +15,7 @@
 //! | `FRAME <fid> [<id>:<label>...] [END <id>,...]` | ingest one frame; `END` ids are track ends |
 //! | `POLL <sub> [max]` | drain up to `max` queued match events |
 //! | `STATS` | catalog version, counters, strategy |
+//! | `SHUTDOWN` | flush + fsync durable state, then stop the server |
 //! | `PING` / `QUIT` | liveness / close |
 //!
 //! The engine serves one frame stream (one camera per server process; the
@@ -26,12 +27,14 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use tvq_common::{Error, FeedId, FrameId, FrameObjects, ObjectId, Result};
 use tvq_engine::{EngineConfig, SubscriberId, SubscriptionHub, TemporalVideoQueryEngine};
+use tvq_store::{RealIo, SharedIo};
 
 use crate::protocol::{read_frame_bytes, write_frame};
 
@@ -223,7 +226,7 @@ impl ServerState {
     fn stats(&self) -> String {
         let metrics = self.engine.metrics();
         format!(
-            "OK version={} queries={} strategy={} frames={} matches={} subscribers={} published={} dropped={} tracks_ended={}",
+            "OK version={} queries={} strategy={} frames={} matches={} subscribers={} published={} dropped={} tracks_ended={} recoveries={}",
             self.engine.catalog_version(),
             self.engine.queries().len(),
             self.engine.strategy(),
@@ -233,6 +236,7 @@ impl ServerState {
             self.hub.published(),
             self.hub.total_dropped(),
             metrics.tracks_ended,
+            metrics.recoveries,
         )
     }
 }
@@ -249,12 +253,33 @@ fn parse_u64(raw: &str, what: &str) -> Result<u64> {
         .map_err(|_| Error::InvalidConfig(format!("{what}: {raw:?}")))
 }
 
+/// State every connection thread shares: the engine behind its mutex, the
+/// stop flag, and the bound address (used to poke the accept loop awake
+/// after an in-band `SHUTDOWN`).
+struct Shared {
+    state: Mutex<ServerState>,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flushes the engine's durable state (due snapshot + WAL fsync). A
+    /// no-op for a server without a data directory.
+    fn sync(&self) -> Result<()> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .engine
+            .sync_store()
+    }
+}
+
 /// A bound, not-yet-serving query server. [`spawn`](Self::spawn) starts the
 /// accept loop on a background thread and returns a [`ServerHandle`] for
 /// orderly shutdown — the shape both the binary and the smoke tests use.
 pub struct QueryServer {
     listener: TcpListener,
-    state: Arc<Mutex<ServerState>>,
+    shared: Arc<Shared>,
 }
 
 impl QueryServer {
@@ -265,10 +290,52 @@ impl QueryServer {
         let engine = TemporalVideoQueryEngine::builder(config)
             .allow_empty_catalog()
             .build()?;
+        Self::bind_engine(addr, engine)
+    }
+
+    /// Binds a *durable* server over `dir` on the real filesystem: a fresh
+    /// directory starts an empty engine with durability attached, a
+    /// directory holding engine data is recovered (snapshot + WAL replay),
+    /// resuming the catalog and windows the previous process acknowledged.
+    pub fn bind_durable(
+        addr: impl ToSocketAddrs,
+        config: EngineConfig,
+        dir: &Path,
+    ) -> Result<Self> {
+        Self::bind_with_store(addr, config, RealIo::shared(), dir)
+    }
+
+    /// [`bind_durable`](Self::bind_durable) over an injectable
+    /// [`StoreIo`](tvq_store::StoreIo) — the testable seam (the restart
+    /// tests run against a [`MemDisk`](tvq_store::MemDisk)).
+    pub fn bind_with_store(
+        addr: impl ToSocketAddrs,
+        config: EngineConfig,
+        io: SharedIo,
+        dir: &Path,
+    ) -> Result<Self> {
+        let engine = if TemporalVideoQueryEngine::has_data(&io, dir) {
+            TemporalVideoQueryEngine::recover(io, dir)?.0
+        } else {
+            let mut engine = TemporalVideoQueryEngine::builder(config)
+                .allow_empty_catalog()
+                .build()?;
+            engine.attach_durability(io, dir)?;
+            engine
+        };
+        Self::bind_engine(addr, engine)
+    }
+
+    fn bind_engine(addr: impl ToSocketAddrs, engine: TemporalVideoQueryEngine) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
         Ok(QueryServer {
             listener,
-            state: Arc::new(Mutex::new(ServerState::new(engine))),
+            shared: Arc::new(Shared {
+                state: Mutex::new(ServerState::new(engine)),
+                stopping: AtomicBool::new(false),
+                addr,
+            }),
         })
     }
 
@@ -277,52 +344,55 @@ impl QueryServer {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Runs the accept loop on the calling thread, forever (the serve mode
-    /// of the `tvq-server` binary; tests use [`spawn`](Self::spawn)).
+    /// Runs the accept loop on the calling thread until an in-band
+    /// `SHUTDOWN` (the serve mode of the `tvq-server` binary; tests use
+    /// [`spawn`](Self::spawn)). Durable state is flushed and fsynced
+    /// before returning.
     pub fn run(self) -> Result<()> {
-        let state = self.state;
+        let shared = self.shared;
         for stream in self.listener.incoming() {
+            if shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
             let Ok(stream) = stream else { continue };
-            let state = Arc::clone(&state);
+            let shared = Arc::clone(&shared);
             let _ = std::thread::Builder::new()
                 .name("tvq-server-conn".to_string())
-                .spawn(move || serve_connection(stream, &state));
+                .spawn(move || serve_connection(stream, &shared));
         }
-        Ok(())
+        shared.sync()
     }
 
     /// Starts the accept loop on a background thread.
     pub fn spawn(self) -> Result<ServerHandle> {
-        let addr = self.local_addr()?;
-        let stopping = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&stopping);
-        let state = Arc::clone(&self.state);
+        let shared = Arc::clone(&self.shared);
         let listener = self.listener;
+        let accept_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new()
             .name("tvq-server-accept".to_string())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if flag.load(Ordering::SeqCst) {
+                    if accept_shared.stopping.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    let state = Arc::clone(&state);
+                    let shared = Arc::clone(&accept_shared);
                     let _ = std::thread::Builder::new()
                         .name("tvq-server-conn".to_string())
-                        .spawn(move || serve_connection(stream, &state));
+                        .spawn(move || serve_connection(stream, &shared));
                 }
             })
             .map_err(Error::Io)?;
         Ok(ServerHandle {
-            addr,
-            stopping,
+            shared,
             thread: Some(thread),
         })
     }
 }
 
-/// Serves one client connection until `QUIT`, EOF, or an I/O error.
-fn serve_connection(stream: TcpStream, state: &Mutex<ServerState>) {
+/// Serves one client connection until `QUIT`, `SHUTDOWN`, EOF, or an I/O
+/// error.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -339,14 +409,36 @@ fn serve_connection(stream: TcpStream, state: &Mutex<ServerState>) {
             }
             continue;
         };
-        let quit = line.trim().eq_ignore_ascii_case("QUIT");
-        let response = state
-            .lock()
-            // A panic mid-command can only poison between commands'
-            // atomic units; the state is still internally consistent.
-            .unwrap_or_else(PoisonError::into_inner)
-            .execute(&line);
-        if write_frame(&mut writer, &response).is_err() || quit {
+        let trimmed = line.trim();
+        let quit = trimmed.eq_ignore_ascii_case("QUIT");
+        // SHUTDOWN is handled here, not in `execute`: it spans the whole
+        // server (flush durable state, stop the accept loop), not just the
+        // engine. The stop flag is only set once the flush succeeded — a
+        // failing disk leaves the server up and the client told.
+        let shutdown = trimmed.eq_ignore_ascii_case("SHUTDOWN");
+        let response = if shutdown {
+            match shared.sync() {
+                Ok(()) => {
+                    shared.stopping.store(true, Ordering::SeqCst);
+                    "OK shutdown".to_string()
+                }
+                Err(err) => format!("ERR {err}"),
+            }
+        } else {
+            shared
+                .state
+                .lock()
+                // A panic mid-command can only poison between commands'
+                // atomic units; the state is still internally consistent.
+                .unwrap_or_else(PoisonError::into_inner)
+                .execute(&line)
+        };
+        let stopping = shutdown && shared.stopping.load(Ordering::SeqCst);
+        if write_frame(&mut writer, &response).is_err() || quit || stopping {
+            if stopping {
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+            }
             break;
         }
     }
@@ -354,27 +446,28 @@ fn serve_connection(stream: TcpStream, state: &Mutex<ServerState>) {
 
 /// A running server: its address plus the means to stop it.
 pub struct ServerHandle {
-    addr: SocketAddr,
-    stopping: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The address clients should connect to.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.shared.addr
     }
 
     /// Stops the accept loop (in-flight connections finish their current
-    /// command) and joins the accept thread.
-    pub fn stop(mut self) {
-        self.shutdown();
+    /// command), joins the accept thread, and flushes + fsyncs durable
+    /// state — the programmatic equivalent of the in-band `SHUTDOWN`.
+    pub fn stop(mut self) -> Result<()> {
+        self.halt();
+        self.shared.sync()
     }
 
-    fn shutdown(&mut self) {
-        self.stopping.store(true, Ordering::SeqCst);
+    fn halt(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(self.shared.addr);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -384,7 +477,8 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         if self.thread.is_some() {
-            self.shutdown();
+            self.halt();
+            let _ = self.shared.sync();
         }
     }
 }
@@ -449,6 +543,57 @@ mod tests {
         let stats = state.execute("STATS");
         assert!(stats.contains("version=0 queries=0"), "{stats}");
         assert!(stats.contains("frames=0"), "{stats}");
+    }
+
+    #[test]
+    fn durable_server_shutdown_and_restart_resume_the_catalog() {
+        use crate::ServerClient;
+
+        let disk = tvq_store::MemDisk::new();
+        let dir = std::path::Path::new("/server-data");
+        let config = EngineConfig::new(WindowSpec::new(3, 2).unwrap());
+
+        let handle = QueryServer::bind_with_store("127.0.0.1:0", config, disk.io(), dir)
+            .unwrap()
+            .spawn()
+            .unwrap();
+        let mut client = ServerClient::connect(handle.addr()).unwrap();
+        client.expect_ok("ADD car >= 1").unwrap();
+        for fid in 0..3u64 {
+            client.expect_ok(&format!("FRAME {fid} 1:car")).unwrap();
+        }
+        // The SIGINT-equivalent in-band hook: flushes + fsyncs, then stops.
+        assert_eq!(client.expect_ok("SHUTDOWN").unwrap(), "OK shutdown");
+        drop(client);
+        handle.stop().unwrap();
+
+        // The restart. The old engine's directory lock is released when the
+        // last connection thread drops its handle on the shared state —
+        // briefly after `stop` returns — so the rebind retries.
+        let server = {
+            let mut attempt = 0;
+            loop {
+                match QueryServer::bind_with_store("127.0.0.1:0", config, disk.io(), dir) {
+                    Ok(server) => break server,
+                    Err(err) if attempt < 50 => {
+                        assert!(err.to_string().contains("already open"), "{err}");
+                        attempt += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(err) => panic!("rebind never succeeded: {err}"),
+                }
+            }
+        };
+        let handle = server.spawn().unwrap();
+        let mut client = ServerClient::connect(handle.addr()).unwrap();
+        let stats = client.expect_ok("STATS").unwrap();
+        assert!(stats.contains("version=1 queries=1"), "{stats}");
+        assert!(stats.contains("recoveries=1"), "{stats}");
+        // The recovered windows are live: the next frame still matches.
+        let response = client.expect_ok("FRAME 3 1:car").unwrap();
+        assert!(response.contains("matches=1"), "{response}");
+        drop(client);
+        handle.stop().unwrap();
     }
 
     #[test]

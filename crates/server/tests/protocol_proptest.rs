@@ -122,7 +122,7 @@ fn non_utf8_command_gets_an_err_reply_and_the_connection_survives() {
     // The connection is still serving: a well-formed command works.
     write_frame(&mut stream, "PING").unwrap();
     assert_eq!(read_frame(&mut reader).unwrap().unwrap(), "OK pong");
-    handle.stop();
+    handle.stop().unwrap();
 }
 
 #[test]
@@ -142,5 +142,5 @@ fn poll_after_unsubscribe_is_an_error_reply_not_a_panic() {
     // Re-subscribing mints a fresh id rather than resurrecting the dead one.
     assert_eq!(client.request("SUBSCRIBE cap=4").unwrap(), "OK sub=1");
     client.quit().unwrap();
-    handle.stop();
+    handle.stop().unwrap();
 }

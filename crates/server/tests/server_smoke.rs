@@ -60,7 +60,7 @@ fn register_match_cancel_round_trip() {
     assert!(client.expect_ok("PING").is_ok());
 
     client.quit().unwrap();
-    handle.stop();
+    handle.stop().unwrap();
 }
 
 #[test]
@@ -86,7 +86,7 @@ fn overflowing_subscriber_counts_drops_and_keeps_newest() {
     assert_eq!(frames, vec![8, 9], "{poll}");
 
     client.quit().unwrap();
-    handle.stop();
+    handle.stop().unwrap();
 }
 
 #[test]
@@ -110,5 +110,5 @@ fn two_clients_share_one_engine() {
 
     writer.quit().unwrap();
     reader.quit().unwrap();
-    handle.stop();
+    handle.stop().unwrap();
 }
