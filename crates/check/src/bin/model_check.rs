@@ -4,47 +4,82 @@
 //! non-zero after printing the shortest counterexample trace.
 //!
 //! Usage: `model_check [--lifecycle-depth N] [--engine-depth N]
-//! [--catalog-depth N] [--skip-engine]`
+//! [--catalog-depth N] [--skip-engine] [--workers N] [--symmetry]
+//! [--spill-dir DIR]`
+//!
+//! `--symmetry` explores each model's symmetry quotient (feed/class swaps
+//! for the lifecycle model, version-residue rotation for the catalog
+//! model), `--workers N` shards the frontier across N threads, and
+//! `--spill-dir DIR` keeps canonical states in per-shard logs on the real
+//! filesystem instead of RAM. All three are report-preserving: any
+//! configuration prints byte-identical output for the same depths.
 
 use std::process::ExitCode;
 
 use tvq_check::{conformance, CatalogModel, LifecycleModel, Machine, Report, Traversal};
+use tvq_store::RealIo;
 
 struct Args {
     lifecycle_depth: usize,
     engine_depth: usize,
     catalog_depth: usize,
     skip_engine: bool,
+    workers: usize,
+    symmetry: bool,
+    spill_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     // Defaults sized for a sub-minute release-mode CI run: lifecycle 6 is
     // ~700k states / 2.1M transitions, engine 5 replays 104k states through
     // two real engines, catalog 8 is the full ~20k-state fixpoint region.
-    // Depth 7 lifecycle (4.3M states) passes too but takes ~4 minutes.
+    // Deeper lifecycle runs want `--symmetry` (≈4× fewer canonical states)
+    // and, past depth 9, `--spill-dir`.
     let mut args = Args {
         lifecycle_depth: 6,
         engine_depth: 5,
         catalog_depth: 8,
         skip_engine: false,
+        workers: 1,
+        symmetry: false,
+        spill_dir: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
+        };
         let mut depth = |name: &str| -> Result<usize, String> {
-            iter.next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse()
-                .map_err(|e| format!("{name}: {e}"))
+            value(name)?.parse().map_err(|e| format!("{name}: {e}"))
         };
         match flag.as_str() {
             "--lifecycle-depth" => args.lifecycle_depth = depth("--lifecycle-depth")?,
             "--engine-depth" => args.engine_depth = depth("--engine-depth")?,
             "--catalog-depth" => args.catalog_depth = depth("--catalog-depth")?,
             "--skip-engine" => args.skip_engine = true,
+            "--workers" => args.workers = depth("--workers")?.max(1),
+            "--symmetry" => args.symmetry = true,
+            "--spill-dir" => args.spill_dir = Some(value("--spill-dir")?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(args)
+}
+
+impl Args {
+    /// Applies the shared exploration flags to a traversal, giving each
+    /// model its own spill subdirectory.
+    fn configure<M: Machine>(&self, traversal: Traversal<M>, name: &str) -> Traversal<M> {
+        let traversal = traversal
+            .with_workers(self.workers)
+            .with_symmetry(self.symmetry);
+        match &self.spill_dir {
+            Some(dir) => {
+                traversal.with_spill(RealIo::shared(), std::path::Path::new(dir).join(name))
+            }
+            None => traversal,
+        }
+    }
 }
 
 fn run<M: Machine>(name: &str, report: &Report<M>) -> bool {
@@ -63,9 +98,14 @@ fn main() -> ExitCode {
     let mut ok = true;
 
     // Lifecycle model with component-level conformance replay: every edge's
-    // witness path drives ObjectLifecycle + SetInterner + shared ClassStore.
-    let lifecycle = Traversal::new(LifecycleModel, args.lifecycle_depth);
-    let report = lifecycle.run_with(|path, _| conformance::replay_component(path));
+    // witness path drives ObjectLifecycle + SetInterner + shared ClassStore
+    // (one independent replay stack per worker lane).
+    let lifecycle = args.configure(
+        Traversal::new(LifecycleModel, args.lifecycle_depth),
+        "lifecycle",
+    );
+    let report =
+        lifecycle.run_sharded(|_worker| |path: &[_], _: &_| conformance::replay_component(path));
     ok &= run("lifecycle (component replay)", &report);
 
     // The same model replayed through two full engines sharing a class
@@ -73,14 +113,16 @@ fn main() -> ExitCode {
     if args.skip_engine {
         println!("model lifecycle (engine replay): skipped");
     } else {
-        let engine = Traversal::new(LifecycleModel, args.engine_depth);
-        let report = engine.run_with(|path, _| conformance::replay_engine(path));
+        let engine = args.configure(Traversal::new(LifecycleModel, args.engine_depth), "engine");
+        let report =
+            engine.run_sharded(|_worker| |path: &[_], _: &_| conformance::replay_engine(path));
         ok &= run("lifecycle (engine replay)", &report);
     }
 
     // Catalog-swap model with verdict-cache conformance replay.
-    let catalog = Traversal::new(CatalogModel, args.catalog_depth);
-    let report = catalog.run_with(|path, _| conformance::replay_catalog(path));
+    let catalog = args.configure(Traversal::new(CatalogModel, args.catalog_depth), "catalog");
+    let report =
+        catalog.run_sharded(|_worker| |path: &[_], _: &_| conformance::replay_catalog(path));
     ok &= run("catalog-swap (verdict-cache replay)", &report);
 
     if ok {

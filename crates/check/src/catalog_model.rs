@@ -41,8 +41,10 @@ pub fn verdict(mask: u8, vmod: u8) -> bool {
     (sum + vmod as u32).is_multiple_of(VMOD as u32)
 }
 
-/// Canonical model state.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// Canonical model state. `Ord` is derived (with `vmod` as the leading
+/// field) so the symmetry reduction's rotate-to-residue-zero representative
+/// is exactly the lexicographically minimal element of the orbit.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CatalogState {
     /// The catalog version, modulo [`VMOD`].
     pub vmod: u8,
@@ -69,6 +71,38 @@ pub enum CatalogAction {
     Compact,
 }
 
+/// One element of the catalog model's symmetry group: a rotation of the
+/// version residue by `0..VMOD`. A rotation maps each cached verdict to
+/// the value with the same *staleness* under the rotated version (`fresh`
+/// stays `fresh`, `stale` stays `stale`), which is what makes every
+/// rotation a transition-commuting, invariant-preserving bijection: Judge
+/// writes a fresh verdict on both sides, Swap clears entries on both
+/// sides, and no action names a version. Actions are untouched
+/// (`sym_action` is the identity).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct CatalogSym(
+    /// The rotation amount, `0..VMOD`; `0` is the identity.
+    pub u8,
+);
+
+impl CatalogSym {
+    /// Applies the rotation to a state.
+    pub fn apply(self, state: &CatalogState) -> CatalogState {
+        let target = (state.vmod + self.0) % VMOD;
+        let mut next = state.clone();
+        next.vmod = target;
+        for (index, slot) in next.entries.iter_mut().enumerate() {
+            if let Some(cached) = slot {
+                let mask = index as u8 + 1;
+                let was_fresh = *cached == verdict(mask, state.vmod);
+                let fresh = verdict(mask, target);
+                *cached = if was_fresh { fresh } else { !fresh };
+            }
+        }
+        next
+    }
+}
+
 /// The machine over [`CatalogState`] / [`CatalogAction`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct CatalogModel;
@@ -76,6 +110,7 @@ pub struct CatalogModel;
 impl Machine for CatalogModel {
     type State = CatalogState;
     type Action = CatalogAction;
+    type Sym = CatalogSym;
 
     fn initial(&self) -> CatalogState {
         CatalogState {
@@ -149,6 +184,61 @@ impl Machine for CatalogModel {
             return Err(format!("window overflowed: {:?}", state.window));
         }
         Ok(())
+    }
+
+    fn reduce(&self, state: CatalogState) -> (CatalogState, CatalogSym) {
+        // Rotate the residue to zero; the inverse rotation (by the
+        // original residue) maps the representative back to `state`.
+        let back = CatalogSym(state.vmod);
+        let repr = CatalogSym((VMOD - state.vmod) % VMOD).apply(&state);
+        (repr, back)
+    }
+
+    fn sym_compose(&self, a: &CatalogSym, b: &CatalogSym) -> CatalogSym {
+        CatalogSym((a.0 + b.0) % VMOD)
+    }
+
+    fn sym_action(&self, _g: &CatalogSym, action: &CatalogAction) -> CatalogAction {
+        *action
+    }
+
+    fn sym_state(&self, g: &CatalogSym, state: &CatalogState) -> CatalogState {
+        g.apply(state)
+    }
+
+    fn encode_state(&self, state: &CatalogState, out: &mut Vec<u8>) -> bool {
+        out.push(state.vmod);
+        for slot in &state.entries {
+            out.push(match slot {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+        }
+        out.push(state.window.len() as u8);
+        out.extend_from_slice(&state.window);
+        true
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<CatalogState> {
+        let (&vmod, rest) = bytes.split_first()?;
+        let entries: Vec<Option<bool>> = rest
+            .get(..MASKS as usize)?
+            .iter()
+            .map(|&b| match b {
+                0 => Some(None),
+                1 => Some(Some(false)),
+                2 => Some(Some(true)),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        let rest = &rest[MASKS as usize..];
+        let (&window_len, window) = rest.split_first()?;
+        (window.len() == window_len as usize).then(|| CatalogState {
+            vmod,
+            entries,
+            window: window.to_vec(),
+        })
     }
 }
 

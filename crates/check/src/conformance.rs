@@ -363,7 +363,18 @@ pub fn replay_component(path: &[LifecycleAction]) -> Result<(), String> {
                         .remap(*sid)
                         .ok_or_else(|| fail("window handle went stale across remap".into()))?;
                 }
-                harness.lifecycle.retire(&retired);
+                // Negative-control mutant: skip the lifecycle retirement on
+                // feed 1 only. A feed-*asymmetric* planted bug — the mutant
+                // suite asserts the symmetry-reduced traversal still finds
+                // it, proving the quotient explores concrete runs on both
+                // feeds, not just the representative's feed 0.
+                #[cfg(feature = "check-mutants")]
+                let skip_retire = feed == 1 && tvq_core::mutants::asymmetric_retire();
+                #[cfg(not(feature = "check-mutants"))]
+                let skip_retire = false;
+                if !skip_retire {
+                    harness.lifecycle.retire(&retired);
+                }
                 harness.expected_retired += retired.len() as u64;
                 harness.check_counters().map_err(fail)?;
             }

@@ -12,7 +12,12 @@
 //! * [`machine::Machine`] + [`traversal::Traversal`] — a small
 //!   explicit-state model checker: breadth-first enumeration of every
 //!   reachable canonical state within a depth bound, invariants checked at
-//!   every state, shortest counterexample trace on violation;
+//!   every state, shortest counterexample trace on violation. The frontier
+//!   can be sharded across worker threads (`--workers`), explored in the
+//!   quotient of a model-declared symmetry group (`--symmetry`), and
+//!   spilled to per-shard disk logs (`--spill-dir`) — all three are
+//!   report-preserving, so any configuration prints the same counters and
+//!   counterexamples;
 //! * [`lifecycle_model`] and [`catalog_model`] — the two protocol models:
 //!   tracker-id lifecycle across two feeds sharing a class store, and
 //!   catalog-swap verdict coherence;
@@ -24,9 +29,12 @@
 //!
 //! The `model_check` binary runs the bounded traversals at full depth and
 //! prints explored-state counts; CI runs it and fails on any violation.
-//! The `check-mutants` feature (never on in tier-1 builds) re-introduces
-//! two historical bugs as negative controls and the test suite asserts the
-//! checker *finds* both — evidence the exhaustive pass is not vacuous.
+//! The `check-mutants` feature (never on in tier-1 builds) plants bugs as
+//! negative controls — two historical ones plus a feed-asymmetric
+//! retirement skip that exists on feed 1 only — and the test suite asserts
+//! the checker *finds* all of them (the asymmetric one under `--symmetry`,
+//! proving quotient replay still drives concrete runs on both feeds).
+//! Evidence the exhaustive pass is not vacuous.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,8 +45,10 @@ pub mod lifecycle_model;
 pub mod machine;
 pub mod traversal;
 
-pub use catalog_model::{CatalogAction, CatalogModel, CatalogState};
+pub use catalog_model::{CatalogAction, CatalogModel, CatalogState, CatalogSym};
 pub use conformance::{replay_catalog, replay_component, replay_engine};
-pub use lifecycle_model::{Internal, LifecycleAction, LifecycleModel, LifecycleState};
+pub use lifecycle_model::{
+    Internal, LifecycleAction, LifecycleModel, LifecycleState, LifecycleSym,
+};
 pub use machine::Machine;
-pub use traversal::{Report, Traversal, Violation};
+pub use traversal::{DepthStats, Report, SpillError, Traversal, Violation};

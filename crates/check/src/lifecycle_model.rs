@@ -45,8 +45,10 @@ pub enum Internal {
 }
 
 /// Per-feed model state. All vectors are sorted (and alias labels dense),
-/// so equal protocol situations compare equal.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+/// so equal protocol situations compare equal. `Ord` is derived so the
+/// symmetry reduction can pick the lexicographically minimal orbit
+/// representative.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct FeedState {
     /// Live bindings, sorted by external id: `(external, internal, class)`.
     pub bindings: Vec<(u8, Internal, u8)>,
@@ -82,7 +84,7 @@ impl FeedState {
 }
 
 /// The whole canonical model state: the shared store plus each feed.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct LifecycleState {
     /// Shared class store, sorted by internal id: `(id, class, refs)`.
     pub store: Vec<(Internal, u8, u8)>,
@@ -232,6 +234,91 @@ pub enum LifecycleAction {
     },
 }
 
+/// One element of the lifecycle model's symmetry group: the Klein
+/// four-group generated by swapping the two feed ids and swapping the two
+/// class labels. Both generators are bijections on reachable states that
+/// commute with every transition (no rule distinguishes feed 0 from feed 1
+/// or class 0 from class 1 — classes are only compared for equality, and
+/// alias mint-order labels are feed- and class-blind), and the invariant
+/// quantifies uniformly over feeds and classes, so the quotient
+/// exploration is sound.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct LifecycleSym {
+    /// Exchange the two feeds.
+    pub swap_feeds: bool,
+    /// Exchange the two class labels.
+    pub swap_classes: bool,
+}
+
+// The swaps below are only involutions (and the group only covers the full
+// permutation groups) for exactly two feeds and two classes.
+const _: () = assert!(
+    FEEDS == 2 && CLASSES == 2,
+    "swap symmetry assumes 2 feeds and 2 classes"
+);
+
+impl LifecycleSym {
+    /// The whole group in a fixed order, identity first — orbit-minimum
+    /// ties resolve to the earliest element, keeping `reduce` deterministic.
+    pub const ALL: [LifecycleSym; 4] = [
+        LifecycleSym {
+            swap_feeds: false,
+            swap_classes: false,
+        },
+        LifecycleSym {
+            swap_feeds: false,
+            swap_classes: true,
+        },
+        LifecycleSym {
+            swap_feeds: true,
+            swap_classes: false,
+        },
+        LifecycleSym {
+            swap_feeds: true,
+            swap_classes: true,
+        },
+    ];
+
+    /// The image of a feed id.
+    pub fn feed(self, feed: u8) -> u8 {
+        if self.swap_feeds {
+            1 - feed
+        } else {
+            feed
+        }
+    }
+
+    /// The image of a class label.
+    pub fn class(self, class: u8) -> u8 {
+        if self.swap_classes {
+            1 - class
+        } else {
+            class
+        }
+    }
+
+    /// Applies this element to a state. Every sorted vector stays sorted:
+    /// the store is keyed by (unique) internal id, bindings by (unique)
+    /// external id, and neither key is touched by a feed or class swap.
+    pub fn apply(self, state: &LifecycleState) -> LifecycleState {
+        let mut next = state.clone();
+        if self.swap_feeds {
+            next.feeds.swap(0, 1);
+        }
+        if self.swap_classes {
+            for (_, class, _) in &mut next.store {
+                *class = 1 - *class;
+            }
+            for feed in &mut next.feeds {
+                for (_, _, class) in &mut feed.bindings {
+                    *class = 1 - *class;
+                }
+            }
+        }
+        next
+    }
+}
+
 /// The machine over [`LifecycleState`] / [`LifecycleAction`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LifecycleModel;
@@ -344,9 +431,41 @@ impl LifecycleModel {
     }
 }
 
+/// Byte-codec helpers for the spill path. Counts all fit in a `u8` in this
+/// bounded universe; every collection is length-prefixed, so the encoding
+/// is injective.
+fn put_internal(out: &mut Vec<u8>, id: Internal) {
+    match id {
+        Internal::Ext(e) => out.extend_from_slice(&[0, e]),
+        Internal::Alias(k) => out.extend_from_slice(&[1, k]),
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn internal(&mut self) -> Option<Internal> {
+        match self.u8()? {
+            0 => Some(Internal::Ext(self.u8()?)),
+            1 => Some(Internal::Alias(self.u8()?)),
+            _ => None,
+        }
+    }
+}
+
 impl Machine for LifecycleModel {
     type State = LifecycleState;
     type Action = LifecycleAction;
+    type Sym = LifecycleSym;
 
     fn initial(&self) -> LifecycleState {
         LifecycleState::default()
@@ -476,6 +595,115 @@ impl Machine for LifecycleModel {
             }
         }
         Ok(())
+    }
+
+    fn reduce(&self, state: LifecycleState) -> (LifecycleState, LifecycleSym) {
+        let mut best: Option<(LifecycleState, LifecycleSym)> = None;
+        for h in LifecycleSym::ALL {
+            let candidate = h.apply(&state);
+            if best.as_ref().is_none_or(|(held, _)| candidate < *held) {
+                best = Some((candidate, h));
+            }
+        }
+        // Every element is self-inverse, so the `h` minimizing `h(state)`
+        // is also the element mapping the representative back to `state`.
+        best.expect("the group is non-empty")
+    }
+
+    fn sym_compose(&self, a: &LifecycleSym, b: &LifecycleSym) -> LifecycleSym {
+        LifecycleSym {
+            swap_feeds: a.swap_feeds != b.swap_feeds,
+            swap_classes: a.swap_classes != b.swap_classes,
+        }
+    }
+
+    fn sym_action(&self, g: &LifecycleSym, action: &LifecycleAction) -> LifecycleAction {
+        match *action {
+            LifecycleAction::Observe { feed, ext, class } => LifecycleAction::Observe {
+                feed: g.feed(feed),
+                ext,
+                class: g.class(class),
+            },
+            LifecycleAction::EndTrack { feed, ext } => LifecycleAction::EndTrack {
+                feed: g.feed(feed),
+                ext,
+            },
+            LifecycleAction::Compact { feed } => LifecycleAction::Compact { feed: g.feed(feed) },
+        }
+    }
+
+    fn sym_state(&self, g: &LifecycleSym, state: &LifecycleState) -> LifecycleState {
+        g.apply(state)
+    }
+
+    fn encode_state(&self, state: &LifecycleState, out: &mut Vec<u8>) -> bool {
+        out.push(state.store.len() as u8);
+        for &(id, class, refs) in &state.store {
+            put_internal(out, id);
+            out.extend_from_slice(&[class, refs]);
+        }
+        for feed in &state.feeds {
+            out.push(feed.bindings.len() as u8);
+            for &(ext, internal, class) in &feed.bindings {
+                out.push(ext);
+                put_internal(out, internal);
+                out.push(class);
+            }
+            out.push(feed.aliases.len() as u8);
+            for &(label, ext) in &feed.aliases {
+                out.extend_from_slice(&[label, ext]);
+            }
+            out.push(feed.registered.len() as u8);
+            for &id in &feed.registered {
+                put_internal(out, id);
+            }
+            out.push(feed.window.len() as u8);
+            for frame in &feed.window {
+                match frame {
+                    None => out.push(0),
+                    Some(id) => {
+                        out.push(1);
+                        put_internal(out, *id);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Option<LifecycleState> {
+        let mut cur = Cursor { bytes, at: 0 };
+        let mut state = LifecycleState::default();
+        for _ in 0..cur.u8()? {
+            let id = cur.internal()?;
+            let class = cur.u8()?;
+            let refs = cur.u8()?;
+            state.store.push((id, class, refs));
+        }
+        for feed in &mut state.feeds {
+            for _ in 0..cur.u8()? {
+                let ext = cur.u8()?;
+                let internal = cur.internal()?;
+                let class = cur.u8()?;
+                feed.bindings.push((ext, internal, class));
+            }
+            for _ in 0..cur.u8()? {
+                let label = cur.u8()?;
+                let ext = cur.u8()?;
+                feed.aliases.push((label, ext));
+            }
+            for _ in 0..cur.u8()? {
+                feed.registered.push(cur.internal()?);
+            }
+            for _ in 0..cur.u8()? {
+                feed.window.push(match cur.u8()? {
+                    0 => None,
+                    1 => Some(cur.internal()?),
+                    _ => return None,
+                });
+            }
+        }
+        (cur.at == bytes.len()).then_some(state)
     }
 }
 

@@ -1,16 +1,95 @@
-//! Exhaustive breadth-first traversal with canonical-state dedup and
+//! Exhaustive breadth-first traversal: symmetry-reduced, shardable across
+//! worker threads, optionally disk-backed — with canonical-state dedup and
 //! shortest-counterexample extraction.
 //!
 //! The traversal explores every state a [`Machine`] can reach within a
-//! depth bound, checking the machine's invariant at every new state and
-//! optionally handing every *edge* (witness path + action) to a replay
-//! hook. Because exploration is breadth-first, the first violation found is
-//! reached by a shortest action sequence — the printed counterexample is
-//! minimal in length, which is what makes it readable.
+//! depth bound, checking the machine's invariant at every examined edge and
+//! optionally handing every edge (witness path + landed state) to a replay
+//! hook. Because exploration is breadth-first and level-synchronized, the
+//! first violation found is reached by a shortest action sequence — the
+//! printed counterexample is minimal in length, which is what makes it
+//! readable.
+//!
+//! Three orthogonal scaling levers, all preserving the exact sequential
+//! semantics (identical reports, byte for byte, whatever the
+//! configuration):
+//!
+//! * **Symmetry reduction** ([`Traversal::with_symmetry`]): when the model
+//!   declares a symmetry group ([`Machine::reduce`]), states are
+//!   deduplicated on orbit representatives. Each stored node carries the
+//!   accumulated group element σ mapping its representative back to the
+//!   concrete state the run actually reaches, and every stored edge carries
+//!   the σ-relabeled *concrete* action — so counterexample traces and
+//!   conformance replays are genuine concrete runs, not quotient-space
+//!   artifacts.
+//! * **Sharded parallel exploration** ([`Traversal::with_workers`]): the
+//!   frontier and seen-set are partitioned by canonical-state hash across N
+//!   worker threads. Exploration is level-synchronized in three phases —
+//!   parallel expand, parallel hash-owned dedup, then a single-threaded
+//!   merge that orders newly discovered states by (parent rank, action
+//!   index). That order is exactly the order a sequential BFS discovers
+//!   them in, which is what makes reports worker-count-independent.
+//! * **Disk spill** ([`Traversal::with_spill`]): canonical states live in
+//!   per-shard append-only logs on a [`StoreIo`](tvq_store::StoreIo) (checksummed records, RAM
+//!   keeps only a hash → location index), so frontiers beyond RAM fit on a
+//!   real disk. Dedup stays *exact* — hash hits are resolved by reading the
+//!   stored bytes back and comparing — and any IO failure or checksum
+//!   mismatch aborts the run with a [`SpillError`], never a silently wrong
+//!   verdict.
+//!
+//! When a level produces violations, the whole level is still completed
+//! (counters stay configuration-independent), every violation is collected,
+//! and the list is sorted by (trace length, message, state) so the primary
+//! counterexample — and the rendered report — is stable across runs,
+//! worker counts, and backings.
 
-use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tvq_common::{FxHashMap, FxHashSet, FxHasher};
+use tvq_store::SharedIo;
 
 use crate::machine::Machine;
+
+/// Why a spill-backed traversal could not complete. `run`/`run_with`
+/// panic on these; the `try_` variants surface them. A traversal that
+/// returns an error has made **no** verdict — it is never a wrong
+/// "no violation".
+#[derive(Debug)]
+pub enum SpillError {
+    /// The backing [`StoreIo`](tvq_store::StoreIo) failed (e.g. an injected crash).
+    Io(io::Error),
+    /// A spilled record failed its length, checksum, or decode check.
+    Corrupt(String),
+    /// Spill was requested but the machine has no state codec
+    /// ([`Machine::encode_state`] returned `false`).
+    Unsupported,
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Io(e) => write!(f, "spill io error: {e}"),
+            SpillError::Corrupt(why) => write!(f, "spill corruption: {why}"),
+            SpillError::Unsupported => write!(f, "machine does not support state spill"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+fn corrupt(why: &str) -> SpillError {
+    SpillError::Corrupt(why.to_owned())
+}
+
+/// Per-depth exploration counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DepthStats {
+    /// Distinct canonical states first discovered at this depth.
+    pub states: usize,
+    /// Edges examined out of this depth's states.
+    pub transitions: usize,
+}
 
 /// What a traversal found.
 #[derive(Debug)]
@@ -21,10 +100,26 @@ pub struct Report<M: Machine> {
     pub transitions: usize,
     /// Depth of the deepest discovered state (bounded by `max_depth`).
     pub max_depth_reached: usize,
-    /// The first violation found, if any. `None` means every reachable
-    /// state within the bound satisfies every invariant (and every edge
-    /// replayed conformantly, when a replay hook was supplied).
-    pub violation: Option<Violation<M>>,
+    /// Counters broken down by depth: `per_depth[d]` covers the states
+    /// first discovered at depth `d` and the edges expanded out of them.
+    pub per_depth: Vec<DepthStats>,
+    /// Edges whose successor was folded onto a different orbit
+    /// representative (the symmetry group element was not the identity) —
+    /// the "dedup by symmetry" count. Always 0 without symmetry reduction.
+    pub symmetry_relabels: u64,
+    /// Worker lanes the traversal ran with (reports are identical for any
+    /// value; recorded for the rendered artifact).
+    pub workers: usize,
+    /// Whether symmetry reduction was enabled.
+    pub symmetry: bool,
+    /// Whether states were spilled to a [`StoreIo`](tvq_store::StoreIo) backing.
+    pub spilled: bool,
+    /// Every violation found on the first violating level, sorted by
+    /// (trace length, message, state) — deterministic across runs, worker
+    /// counts, and backings. Empty means every reachable state within the
+    /// bound satisfies every invariant (and every edge replayed
+    /// conformantly, when a replay hook was supplied).
+    pub violations: Vec<Violation<M>>,
 }
 
 /// A violated invariant (or failed conformance replay) with the shortest
@@ -33,40 +128,72 @@ pub struct Report<M: Machine> {
 pub struct Violation<M: Machine> {
     /// What went wrong.
     pub message: String,
-    /// The actions from the initial state to the violation, in order.
+    /// The concrete actions from the initial state to the violation, in
+    /// order (already relabeled out of the symmetry quotient).
     pub trace: Vec<M::Action>,
-    /// Debug rendering of the model state at (or, for transition errors,
-    /// immediately before) the violation.
+    /// Debug rendering of the concrete model state at (or, for transition
+    /// errors, immediately before) the violation.
     pub state: String,
 }
 
 impl<M: Machine> Report<M> {
     /// Whether the traversal completed with no violation.
     pub fn ok(&self) -> bool {
-        self.violation.is_none()
+        self.violations.is_empty()
     }
 
-    /// Renders the report for humans: the exploration counters and — when a
-    /// violation was found — the numbered counterexample trace.
+    /// The primary (first, shortest-then-lexicographic) violation, if any.
+    pub fn violation(&self) -> Option<&Violation<M>> {
+        self.violations.first()
+    }
+
+    /// Renders the report for humans and CI artifacts: the exploration
+    /// counters, the per-depth table, and — when violations were found —
+    /// the numbered counterexample trace of the primary violation plus a
+    /// one-line summary of each co-discovered one.
     pub fn render(&self, name: &str) -> String {
         use std::fmt::Write as _;
         let mut out = format!(
             "model {name}: {} states, {} transitions, depth {}\n",
             self.states_explored, self.transitions, self.max_depth_reached
         );
-        match &self.violation {
-            None => out.push_str("  no invariant violations\n"),
-            Some(violation) => {
+        let _ = writeln!(
+            out,
+            "  workers {}, symmetry {} ({} symmetry-relabeled edges), spill {}",
+            self.workers,
+            if self.symmetry { "on" } else { "off" },
+            self.symmetry_relabels,
+            if self.spilled { "on" } else { "off" }
+        );
+        out.push_str("  depth    states    transitions\n");
+        for (depth, stats) in self.per_depth.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {depth:>5} {:>9} {:>14}",
+                stats.states, stats.transitions
+            );
+        }
+        if self.violations.is_empty() {
+            out.push_str("  no invariant violations\n");
+        } else {
+            let violation = &self.violations[0];
+            let _ = writeln!(
+                out,
+                "  VIOLATION: {}\n  counterexample ({} steps):",
+                violation.message,
+                violation.trace.len()
+            );
+            for (i, action) in violation.trace.iter().enumerate() {
+                let _ = writeln!(out, "    {:>2}. {action:?}", i + 1);
+            }
+            let _ = writeln!(out, "  state: {}", violation.state);
+            for other in &self.violations[1..] {
                 let _ = writeln!(
                     out,
-                    "  VIOLATION: {}\n  counterexample ({} steps):",
-                    violation.message,
-                    violation.trace.len()
+                    "  also at depth {}: {}",
+                    other.trace.len(),
+                    other.message
                 );
-                for (i, action) in violation.trace.iter().enumerate() {
-                    let _ = writeln!(out, "    {:>2}. {action:?}", i + 1);
-                }
-                let _ = writeln!(out, "  state: {}", violation.state);
             }
         }
         out
@@ -77,146 +204,723 @@ impl<M: Machine> Report<M> {
 pub struct Traversal<M: Machine> {
     machine: M,
     max_depth: usize,
+    workers: usize,
+    symmetry: bool,
+    spill: Option<(SharedIo, PathBuf)>,
 }
 
-/// Internal per-state bookkeeping: the predecessor link used to rebuild the
-/// shortest witness path.
-struct Node<M: Machine> {
-    state: M::State,
-    parent: Option<(usize, M::Action)>,
-    depth: usize,
+/// Per-node bookkeeping shared by every backing: the predecessor link used
+/// to rebuild the shortest concrete witness path, the accumulated symmetry
+/// element σ (concrete state = `sym_state(σ, representative)`), and the
+/// worker lane owning the node's representative.
+struct Meta<M: Machine> {
+    parent: Option<(u32, M::Action)>,
+    sym: M::Sym,
+    home: u16,
+}
+
+/// Where representative states live: in RAM (indexed by node id) or in
+/// per-lane spill logs (located by byte range).
+enum Backing<M: Machine> {
+    Mem(Vec<M::State>),
+    Disk(Vec<(u64, u32)>),
+}
+
+/// One lane's seen-set shard.
+enum LaneSeen<M: Machine> {
+    Mem(FxHashSet<M::State>),
+    Disk {
+        /// state hash → candidate record locations in this lane's log.
+        index: FxHashMap<u64, Vec<(u64, u32)>>,
+        /// Current length of this lane's log file.
+        len: u64,
+    },
+}
+
+/// A successor produced by phase A, routed to the lane owning its hash.
+struct Candidate<M: Machine> {
+    hash: u64,
+    repr: M::State,
+    sym: M::Sym,
+    parent: u32,
+    aidx: u32,
+    action: M::Action,
+}
+
+/// A deduplicated new state produced by phase B, awaiting its global rank.
+struct Fresh<M: Machine> {
+    parent: u32,
+    aidx: u32,
+    action: M::Action,
+    sym: M::Sym,
+    home: u16,
+    state: Option<M::State>,
+    loc: (u64, u32),
+}
+
+/// Phase A output for one lane.
+struct Expanded<M: Machine> {
+    outbox: Vec<Vec<Candidate<M>>>,
+    violations: Vec<Violation<M>>,
+    transitions: usize,
+    relabels: u64,
+}
+
+fn hash_state<S: std::hash::Hash>(state: &S) -> u64 {
+    use std::hash::Hasher as _;
+    let mut hasher = FxHasher::default();
+    state.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn checksum(payload: &[u8]) -> u32 {
+    use std::hash::Hasher as _;
+    let mut hasher = FxHasher::default();
+    hasher.write(payload);
+    hasher.finish() as u32
+}
+
+/// Appends one `[len][payload][checksum]` record to `buf`, returning the
+/// record's total length.
+fn push_record(buf: &mut Vec<u8>, payload: &[u8]) -> u32 {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&checksum(payload).to_le_bytes());
+    (payload.len() + 8) as u32
+}
+
+/// Validates one record read back from a spill log, returning its payload.
+fn parse_record(record: &[u8]) -> Result<&[u8], SpillError> {
+    if record.len() < 8 {
+        return Err(corrupt("spill record shorter than its header"));
+    }
+    let payload_len = u32::from_le_bytes(record[0..4].try_into().expect("4-byte slice")) as usize;
+    if payload_len + 8 != record.len() {
+        return Err(corrupt("spill record length mismatch"));
+    }
+    let payload = &record[4..4 + payload_len];
+    let stored = u32::from_le_bytes(record[4 + payload_len..].try_into().expect("4-byte slice"));
+    if stored != checksum(payload) {
+        return Err(corrupt("spill record checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+fn shard_path(dir: &Path, lane: u16) -> PathBuf {
+    dir.join(format!("shard-{lane:03}.log"))
+}
+
+/// The hook type [`Traversal::try_run`] fills its lanes with.
+type NoopHook<M> = fn(&[<M as Machine>::Action], &<M as Machine>::State) -> Result<(), String>;
+
+fn noop_hook<M: Machine>(_: &[M::Action], _: &M::State) -> Result<(), String> {
+    Ok(())
 }
 
 impl<M: Machine> Traversal<M> {
-    /// Creates a traversal exploring up to `max_depth` actions deep.
+    /// Creates a traversal exploring up to `max_depth` actions deep
+    /// (sequential, no symmetry reduction, fully in-memory).
     pub fn new(machine: M, max_depth: usize) -> Self {
-        Traversal { machine, max_depth }
+        Traversal {
+            machine,
+            max_depth,
+            workers: 1,
+            symmetry: false,
+            spill: None,
+        }
+    }
+
+    /// Shards the frontier and seen-set across `workers` threads. The
+    /// report is identical for every worker count; only wall-clock changes.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables symmetry reduction (requires the machine to declare its
+    /// group via [`Machine::reduce`]; a machine with the trivial default
+    /// group is simply unaffected).
+    pub fn with_symmetry(mut self, symmetry: bool) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
+    /// Spills canonical states to per-lane logs under `dir` on the given
+    /// [`StoreIo`](tvq_store::StoreIo) (requires the machine to implement the state codec).
+    /// Existing shard files under `dir` are reset.
+    pub fn with_spill(mut self, io: SharedIo, dir: impl Into<PathBuf>) -> Self {
+        self.spill = Some((io, dir.into()));
+        self
     }
 
     /// The machine under traversal.
     pub fn machine(&self) -> &M {
         &self.machine
     }
+}
 
-    /// Explores the model alone (no conformance replay).
+impl<M> Traversal<M>
+where
+    M: Machine + Sync,
+    M::State: Send + Sync,
+    M::Action: Send + Sync,
+    M::Sym: Send + Sync,
+{
+    /// Explores the model alone (no conformance replay), honoring the
+    /// configured worker count. Panics on [`SpillError`] (only possible
+    /// when a spill backing is configured); use [`try_run`](Self::try_run)
+    /// to handle spill failures.
     pub fn run(&self) -> Report<M> {
-        self.run_with(|_, _| Ok(()))
+        self.try_run().expect("traversal aborted")
+    }
+
+    /// Fallible variant of [`run`](Self::run).
+    pub fn try_run(&self) -> Result<Report<M>, SpillError> {
+        let lanes = self.workers;
+        let mut hooks: Vec<NoopHook<M>> = vec![noop_hook::<M>; lanes];
+        self.explore(&mut hooks)
     }
 
     /// Explores the model, additionally invoking `on_edge` for the initial
     /// state (empty path) and for **every** examined edge with the shortest
-    /// witness path to the edge's endpoint and the model state it lands in.
-    /// The hook replays the path through the real implementation and
-    /// returns `Err` on any observable divergence; such an error is
-    /// reported exactly like an invariant violation, trace included.
-    pub fn run_with<F>(&self, mut on_edge: F) -> Report<M>
+    /// concrete witness path to the edge's endpoint and the concrete model
+    /// state it lands in. The hook replays the path through the real
+    /// implementation and returns `Err` on any observable divergence; such
+    /// an error is reported exactly like an invariant violation, trace
+    /// included.
+    ///
+    /// A single `FnMut` hook cannot be shared across threads, so this
+    /// variant explores on one lane regardless of
+    /// [`with_workers`](Self::with_workers) — the report is identical
+    /// either way. Use [`run_sharded`](Self::run_sharded) to combine
+    /// parallel lanes with per-lane replay stacks.
+    pub fn run_with<F>(&self, on_edge: F) -> Report<M>
     where
-        F: FnMut(&[M::Action], &M::State) -> Result<(), String>,
+        F: FnMut(&[M::Action], &M::State) -> Result<(), String> + Send,
     {
-        let initial = self.machine.initial();
+        self.try_run_with(on_edge).expect("traversal aborted")
+    }
+
+    /// Fallible variant of [`run_with`](Self::run_with).
+    pub fn try_run_with<F>(&self, on_edge: F) -> Result<Report<M>, SpillError>
+    where
+        F: FnMut(&[M::Action], &M::State) -> Result<(), String> + Send,
+    {
+        let mut hooks = [on_edge];
+        self.explore(&mut hooks)
+    }
+
+    /// Explores with the configured worker count, building one independent
+    /// replay hook per lane via `per_worker` (so each worker replays
+    /// through its own engine stack). Semantics per edge are those of
+    /// [`run_with`](Self::run_with).
+    pub fn run_sharded<F, H>(&self, per_worker: F) -> Report<M>
+    where
+        F: Fn(usize) -> H,
+        H: FnMut(&[M::Action], &M::State) -> Result<(), String> + Send,
+    {
+        self.try_run_sharded(per_worker).expect("traversal aborted")
+    }
+
+    /// Fallible variant of [`run_sharded`](Self::run_sharded).
+    pub fn try_run_sharded<F, H>(&self, per_worker: F) -> Result<Report<M>, SpillError>
+    where
+        F: Fn(usize) -> H,
+        H: FnMut(&[M::Action], &M::State) -> Result<(), String> + Send,
+    {
+        let mut hooks: Vec<H> = (0..self.workers).map(per_worker).collect();
+        self.explore(&mut hooks)
+    }
+
+    /// The level-synchronized engine. One lane per hook; every public run
+    /// variant funnels here, which is what guarantees identical reports
+    /// across configurations.
+    fn explore<H>(&self, hooks: &mut [H]) -> Result<Report<M>, SpillError>
+    where
+        H: FnMut(&[M::Action], &M::State) -> Result<(), String> + Send,
+    {
+        let lanes = hooks.len().max(1);
         let mut report = Report {
             states_explored: 1,
             transitions: 0,
             max_depth_reached: 0,
-            violation: None,
+            per_depth: vec![DepthStats {
+                states: 1,
+                transitions: 0,
+            }],
+            symmetry_relabels: 0,
+            workers: lanes,
+            symmetry: self.symmetry,
+            spilled: self.spill.is_some(),
+            violations: Vec::new(),
         };
+
+        let initial = self.machine.initial();
         if let Err(message) = self.machine.invariant(&initial) {
-            report.violation = Some(Violation {
+            report.violations.push(Violation {
                 message,
                 trace: Vec::new(),
                 state: format!("{initial:?}"),
             });
-            return report;
+            return Ok(report);
         }
-        if let Err(message) = on_edge(&[], &initial) {
-            report.violation = Some(Violation {
+        if let Err(message) = hooks[0](&[], &initial) {
+            report.violations.push(Violation {
                 message,
                 trace: Vec::new(),
                 state: format!("{initial:?}"),
             });
-            return report;
+            return Ok(report);
         }
 
-        let mut nodes: Vec<Node<M>> = vec![Node {
-            state: initial.clone(),
+        let (repr0, sym0) = if self.symmetry {
+            self.machine.reduce(initial)
+        } else {
+            (initial, M::Sym::default())
+        };
+        let home0 = (hash_state(&repr0) % lanes as u64) as u16;
+
+        let mut meta: Vec<Meta<M>> = vec![Meta {
             parent: None,
-            depth: 0,
+            sym: sym0,
+            home: home0,
         }];
-        let mut seen: HashMap<M::State, usize> = HashMap::new();
-        seen.insert(initial, 0);
-        let mut queue: VecDeque<usize> = VecDeque::from([0]);
-        let mut actions = Vec::new();
-
-        while let Some(index) = queue.pop_front() {
-            let depth = nodes[index].depth;
-            if depth == self.max_depth {
-                continue;
+        let mut seen: Vec<LaneSeen<M>>;
+        let mut backing: Backing<M>;
+        if let Some((io, dir)) = &self.spill {
+            io.create_dir_all(dir).map_err(SpillError::Io)?;
+            seen = Vec::with_capacity(lanes);
+            for lane in 0..lanes {
+                io.write_file(&shard_path(dir, lane as u16), b"")
+                    .map_err(SpillError::Io)?;
+                seen.push(LaneSeen::Disk {
+                    index: FxHashMap::default(),
+                    len: 0,
+                });
             }
+            let mut payload = Vec::new();
+            if !self.machine.encode_state(&repr0, &mut payload) {
+                return Err(SpillError::Unsupported);
+            }
+            let mut buf = Vec::new();
+            let record_len = push_record(&mut buf, &payload);
+            io.append(&shard_path(dir, home0), &buf)
+                .map_err(SpillError::Io)?;
+            let LaneSeen::Disk { index, len } = &mut seen[home0 as usize] else {
+                unreachable!("disk backing uses disk lanes");
+            };
+            index.insert(hash_state(&repr0), vec![(0, record_len)]);
+            *len = buf.len() as u64;
+            backing = Backing::Disk(vec![(0, record_len)]);
+        } else {
+            seen = (0..lanes)
+                .map(|_| LaneSeen::Mem(FxHashSet::default()))
+                .collect();
+            let LaneSeen::Mem(set) = &mut seen[home0 as usize] else {
+                unreachable!("mem backing uses mem lanes");
+            };
+            set.insert(repr0.clone());
+            backing = Backing::Mem(vec![repr0]);
+        }
+
+        let mut level: Vec<u32> = vec![0];
+        let mut depth = 0usize;
+        let mut violations: Vec<Violation<M>> = Vec::new();
+
+        while !level.is_empty() && depth < self.max_depth {
+            // Partition the level's nodes among their owning lanes.
+            let mut owned: Vec<Vec<u32>> = vec![Vec::new(); lanes];
+            for &id in &level {
+                owned[meta[id as usize].home as usize].push(id);
+            }
+
+            // Phase A: parallel expand. Each lane enumerates its nodes'
+            // edges, checks invariants, calls its replay hook, and routes
+            // successor candidates to the lane owning their hash.
+            let expanded: Vec<Expanded<M>> = {
+                let meta_ref = &meta;
+                let backing_ref = &backing;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = owned
+                        .iter()
+                        .zip(hooks.iter_mut())
+                        .map(|(ids, hook)| {
+                            scope.spawn(move || {
+                                self.expand_lane(lanes, ids, meta_ref, backing_ref, hook)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| handle.join().expect("traversal worker panicked"))
+                        .collect::<Result<Vec<_>, _>>()
+                })?
+            };
+
+            // Route candidates into per-destination columns (source-lane
+            // order, so every configuration sees the same multiset in the
+            // same deterministic arrangement).
+            let mut columns: Vec<Vec<Candidate<M>>> = (0..lanes).map(|_| Vec::new()).collect();
+            let mut level_transitions = 0usize;
+            for lane_out in expanded {
+                for (dest, batch) in lane_out.outbox.into_iter().enumerate() {
+                    columns[dest].extend(batch);
+                }
+                violations.extend(lane_out.violations);
+                level_transitions += lane_out.transitions;
+                report.symmetry_relabels += lane_out.relabels;
+            }
+            report.transitions += level_transitions;
+            report.per_depth[depth].transitions = level_transitions;
+
+            // Phase B: parallel hash-owned dedup against each lane's seen
+            // shard, keeping the (parent rank, action index)-minimal
+            // discovering edge per new state.
+            let fresh_by_lane: Vec<Vec<Fresh<M>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = columns
+                    .into_iter()
+                    .zip(seen.iter_mut())
+                    .enumerate()
+                    .map(|(lane, (candidates, lane_seen))| {
+                        scope.spawn(move || self.dedup_lane(lane as u16, candidates, lane_seen))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("traversal worker panicked"))
+                    .collect::<Result<Vec<_>, _>>()
+            })?;
+
+            // Phase C: single-threaded merge. Global (parent rank, action
+            // index) order is exactly sequential-BFS discovery order, so
+            // node ids — and with them every witness and counter — are
+            // worker-count-independent.
+            let mut fresh: Vec<Fresh<M>> = fresh_by_lane.into_iter().flatten().collect();
+            fresh.sort_by_key(|f| (f.parent, f.aidx));
+            level.clear();
+            for f in fresh {
+                let id = meta.len() as u32;
+                meta.push(Meta {
+                    parent: Some((f.parent, f.action)),
+                    sym: f.sym,
+                    home: f.home,
+                });
+                match &mut backing {
+                    Backing::Mem(states) => {
+                        states.push(f.state.expect("mem backing carries states"))
+                    }
+                    Backing::Disk(locs) => locs.push(f.loc),
+                }
+                level.push(id);
+            }
+            if !level.is_empty() {
+                depth += 1;
+                report.states_explored += level.len();
+                report.max_depth_reached = depth;
+                report.per_depth.push(DepthStats {
+                    states: level.len(),
+                    transitions: 0,
+                });
+            }
+            if !violations.is_empty() {
+                break;
+            }
+        }
+
+        violations.sort_by(|a, b| {
+            (a.trace.len(), &a.message, &a.state).cmp(&(b.trace.len(), &b.message, &b.state))
+        });
+        report.violations = violations;
+        Ok(report)
+    }
+
+    /// Phase A for one lane: expand every owned node of the current level.
+    fn expand_lane<H>(
+        &self,
+        lanes: usize,
+        ids: &[u32],
+        meta: &[Meta<M>],
+        backing: &Backing<M>,
+        hook: &mut H,
+    ) -> Result<Expanded<M>, SpillError>
+    where
+        H: FnMut(&[M::Action], &M::State) -> Result<(), String>,
+    {
+        let mut out = Expanded {
+            outbox: (0..lanes).map(|_| Vec::new()).collect(),
+            violations: Vec::new(),
+            transitions: 0,
+            relabels: 0,
+        };
+        let mut actions: Vec<M::Action> = Vec::new();
+        for &id in ids {
+            let fetched;
+            let state: &M::State = match backing {
+                Backing::Mem(states) => &states[id as usize],
+                Backing::Disk(_) => {
+                    fetched = self.fetch_state(meta, backing, id)?;
+                    &fetched
+                }
+            };
+            let sym = &meta[id as usize].sym;
+            let mut path = witness(meta, id);
             actions.clear();
-            self.machine.actions(&nodes[index].state, &mut actions);
-            let witness = self.witness(&nodes, index);
-            for action in actions.clone() {
-                report.transitions += 1;
-                let next = match self.machine.transition(&nodes[index].state, &action) {
+            self.machine.actions(state, &mut actions);
+            for (aidx, action) in actions.iter().enumerate() {
+                out.transitions += 1;
+                let concrete_action = if self.symmetry {
+                    self.machine.sym_action(sym, action)
+                } else {
+                    action.clone()
+                };
+                let next = match self.machine.transition(state, action) {
                     Ok(next) => next,
                     Err(message) => {
-                        report.violation = Some(Violation {
+                        path.push(concrete_action);
+                        let concrete_parent = self.concretize(sym, state);
+                        // Re-derive the error in concrete space so the
+                        // message names the same ids as the trace; by
+                        // equivariance the concrete step fails identically.
+                        let message = self
+                            .machine
+                            .transition(&concrete_parent, path.last().expect("just pushed"))
+                            .err()
+                            .unwrap_or(message);
+                        out.violations.push(Violation {
                             message,
-                            trace: Self::extend(&witness, &action),
-                            state: format!("{:?}", nodes[index].state),
+                            trace: path.clone(),
+                            state: format!("{concrete_parent:?}"),
                         });
-                        return report;
+                        path.pop();
+                        continue;
                     }
                 };
-                let path = Self::extend(&witness, &action);
+                path.push(concrete_action);
                 if let Err(message) = self.machine.invariant(&next) {
-                    report.violation = Some(Violation {
+                    let concrete_next = self.concretize(sym, &next);
+                    let message = self
+                        .machine
+                        .invariant(&concrete_next)
+                        .err()
+                        .unwrap_or(message);
+                    out.violations.push(Violation {
                         message,
-                        trace: path,
-                        state: format!("{next:?}"),
+                        trace: path.clone(),
+                        state: format!("{concrete_next:?}"),
                     });
-                    return report;
+                    path.pop();
+                    continue;
                 }
-                if let Err(message) = on_edge(&path, &next) {
-                    report.violation = Some(Violation {
+                let hook_result = if self.symmetry {
+                    let concrete_next = self.machine.sym_state(sym, &next);
+                    hook(&path, &concrete_next)
+                } else {
+                    hook(&path, &next)
+                };
+                if let Err(message) = hook_result {
+                    out.violations.push(Violation {
                         message,
-                        trace: path,
-                        state: format!("{next:?}"),
+                        trace: path.clone(),
+                        state: format!("{:?}", self.concretize(sym, &next)),
                     });
-                    return report;
                 }
-                if !seen.contains_key(&next) {
-                    let id = nodes.len();
-                    seen.insert(next.clone(), id);
-                    nodes.push(Node {
-                        state: next,
-                        parent: Some((index, action)),
-                        depth: depth + 1,
-                    });
-                    report.states_explored += 1;
-                    report.max_depth_reached = report.max_depth_reached.max(depth + 1);
-                    queue.push_back(id);
-                }
+                let (repr, child_sym) = if self.symmetry {
+                    let (repr, g) = self.machine.reduce(next);
+                    if g != M::Sym::default() {
+                        out.relabels += 1;
+                    }
+                    (repr, self.machine.sym_compose(sym, &g))
+                } else {
+                    (next, M::Sym::default())
+                };
+                let hash = hash_state(&repr);
+                let dest = (hash % lanes as u64) as usize;
+                out.outbox[dest].push(Candidate {
+                    hash,
+                    repr,
+                    sym: child_sym,
+                    parent: id,
+                    aidx: aidx as u32,
+                    action: path.pop().expect("pushed above"),
+                });
             }
         }
-        report
+        Ok(out)
     }
 
-    /// The shortest action path from the initial state to `index`.
-    fn witness(&self, nodes: &[Node<M>], mut index: usize) -> Vec<M::Action> {
-        let mut path = Vec::with_capacity(nodes[index].depth);
-        while let Some((parent, action)) = &nodes[index].parent {
-            path.push(action.clone());
-            index = *parent;
+    /// Phase B for one lane: exact dedup of routed candidates against this
+    /// lane's seen shard (and against each other), appending the survivors
+    /// to the spill log when disk-backed.
+    fn dedup_lane(
+        &self,
+        lane: u16,
+        candidates: Vec<Candidate<M>>,
+        seen: &mut LaneSeen<M>,
+    ) -> Result<Vec<Fresh<M>>, SpillError> {
+        match seen {
+            LaneSeen::Mem(set) => {
+                // Keyed by representative; the value is the minimal
+                // (parent, action-index) discoverer with its sym/action.
+                type Discoverer<M> = (u32, u32, <M as Machine>::Sym, <M as Machine>::Action);
+                let mut pending: FxHashMap<M::State, Discoverer<M>> = FxHashMap::default();
+                for c in candidates {
+                    if set.contains(&c.repr) {
+                        continue;
+                    }
+                    match pending.entry(c.repr) {
+                        std::collections::hash_map::Entry::Occupied(mut entry) => {
+                            let held = entry.get_mut();
+                            if (c.parent, c.aidx) < (held.0, held.1) {
+                                *held = (c.parent, c.aidx, c.sym, c.action);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(entry) => {
+                            entry.insert((c.parent, c.aidx, c.sym, c.action));
+                        }
+                    }
+                }
+                let mut fresh: Vec<Fresh<M>> = pending
+                    .into_iter()
+                    .map(|(state, (parent, aidx, sym, action))| Fresh {
+                        parent,
+                        aidx,
+                        action,
+                        sym,
+                        home: lane,
+                        state: Some(state),
+                        loc: (0, 0),
+                    })
+                    .collect();
+                fresh.sort_by_key(|f| (f.parent, f.aidx));
+                for f in &fresh {
+                    set.insert(f.state.clone().expect("mem fresh carries state"));
+                }
+                Ok(fresh)
+            }
+            LaneSeen::Disk { index, len } => {
+                let (io, dir) = self.spill.as_ref().expect("disk lanes imply spill config");
+                let path = shard_path(dir, lane);
+                struct Pend<M: Machine> {
+                    bytes: Vec<u8>,
+                    hash: u64,
+                    parent: u32,
+                    aidx: u32,
+                    sym: M::Sym,
+                    action: M::Action,
+                }
+                let mut pending: FxHashMap<u64, Vec<Pend<M>>> = FxHashMap::default();
+                let mut bytes = Vec::new();
+                for c in candidates {
+                    bytes.clear();
+                    if !self.machine.encode_state(&c.repr, &mut bytes) {
+                        return Err(SpillError::Unsupported);
+                    }
+                    let mut dup = false;
+                    if let Some(locations) = index.get(&c.hash) {
+                        for &(offset, record_len) in locations {
+                            let record = io
+                                .read_range(&path, offset, record_len as usize)
+                                .map_err(SpillError::Io)?;
+                            if parse_record(&record)? == bytes.as_slice() {
+                                dup = true;
+                                break;
+                            }
+                        }
+                    }
+                    if dup {
+                        continue;
+                    }
+                    let bucket = pending.entry(c.hash).or_default();
+                    if let Some(held) = bucket.iter_mut().find(|p| p.bytes == bytes) {
+                        if (c.parent, c.aidx) < (held.parent, held.aidx) {
+                            held.parent = c.parent;
+                            held.aidx = c.aidx;
+                            held.sym = c.sym;
+                            held.action = c.action;
+                        }
+                    } else {
+                        bucket.push(Pend {
+                            bytes: bytes.clone(),
+                            hash: c.hash,
+                            parent: c.parent,
+                            aidx: c.aidx,
+                            sym: c.sym,
+                            action: c.action,
+                        });
+                    }
+                }
+                let mut entries: Vec<Pend<M>> = pending.into_values().flatten().collect();
+                entries.sort_by_key(|e| (e.parent, e.aidx));
+                let mut buf = Vec::new();
+                let mut fresh = Vec::with_capacity(entries.len());
+                for entry in entries {
+                    let offset = *len + buf.len() as u64;
+                    let record_len = push_record(&mut buf, &entry.bytes);
+                    index
+                        .entry(entry.hash)
+                        .or_default()
+                        .push((offset, record_len));
+                    fresh.push(Fresh {
+                        parent: entry.parent,
+                        aidx: entry.aidx,
+                        action: entry.action,
+                        sym: entry.sym,
+                        home: lane,
+                        state: None,
+                        loc: (offset, record_len),
+                    });
+                }
+                if !buf.is_empty() {
+                    io.append(&path, &buf).map_err(SpillError::Io)?;
+                    *len += buf.len() as u64;
+                }
+                Ok(fresh)
+            }
         }
-        path.reverse();
-        path
     }
 
-    fn extend(witness: &[M::Action], action: &M::Action) -> Vec<M::Action> {
-        let mut path = Vec::with_capacity(witness.len() + 1);
-        path.extend_from_slice(witness);
-        path.push(action.clone());
-        path
+    /// Reads one spilled node's representative back from its lane log.
+    fn fetch_state(
+        &self,
+        meta: &[Meta<M>],
+        backing: &Backing<M>,
+        id: u32,
+    ) -> Result<M::State, SpillError> {
+        let Backing::Disk(locs) = backing else {
+            unreachable!("fetch_state is only called for disk backing");
+        };
+        let (io, dir) = self
+            .spill
+            .as_ref()
+            .expect("disk backing implies spill config");
+        let (offset, record_len) = locs[id as usize];
+        let path = shard_path(dir, meta[id as usize].home);
+        let record = io
+            .read_range(&path, offset, record_len as usize)
+            .map_err(SpillError::Io)?;
+        let payload = parse_record(&record)?;
+        self.machine
+            .decode_state(payload)
+            .ok_or_else(|| corrupt("spilled state failed to decode"))
     }
+
+    /// The concrete state a node's representative stands for.
+    fn concretize(&self, sym: &M::Sym, repr: &M::State) -> M::State {
+        if self.symmetry {
+            self.machine.sym_state(sym, repr)
+        } else {
+            repr.clone()
+        }
+    }
+}
+
+/// The shortest concrete action path from the initial state to `id`.
+fn witness<M: Machine>(meta: &[Meta<M>], mut id: u32) -> Vec<M::Action> {
+    let mut path = Vec::new();
+    while let Some((parent, action)) = &meta[id as usize].parent {
+        path.push(action.clone());
+        id = *parent;
+    }
+    path.reverse();
+    path
 }

@@ -1,0 +1,267 @@
+//! Correctness gates for the disk-backed seen-set/frontier spill.
+//!
+//! The spill must be invisible in the report (a spilled run explores
+//! exactly what the in-memory run explores), and every failure mode of the
+//! storage layer must surface as a clean [`SpillError`] — a crash, torn
+//! write, or flipped bit can abort a run, but can never produce a *wrong
+//! verdict* or a silently different exploration. The crash sweep drives
+//! the same [`FaultIo`] harness the durability layer's recovery tests use,
+//! killing the "process" at every mutating operation in turn under every
+//! torn-tail policy.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tvq_check::{CatalogModel, LifecycleModel, Machine, Report, SpillError, Traversal};
+use tvq_store::{MemDisk, SharedIo, StoreIo, TornTail};
+
+fn assert_reports_match<M: Machine>(name: &str, a: &Report<M>, b: &Report<M>) {
+    assert_eq!(a.states_explored, b.states_explored, "{name}: states");
+    assert_eq!(a.transitions, b.transitions, "{name}: transitions");
+    assert_eq!(a.max_depth_reached, b.max_depth_reached, "{name}: depth");
+    assert_eq!(a.per_depth, b.per_depth, "{name}: per-depth counters");
+    assert_eq!(
+        a.symmetry_relabels, b.symmetry_relabels,
+        "{name}: symmetry counter"
+    );
+    assert_eq!(a.violations.len(), b.violations.len(), "{name}: violations");
+    for (va, vb) in a.violations.iter().zip(&b.violations) {
+        assert_eq!(va.message, vb.message, "{name}: violation message");
+        assert_eq!(
+            format!("{:?}", va.trace),
+            format!("{:?}", vb.trace),
+            "{name}: counterexample trace"
+        );
+    }
+}
+
+/// A spilled run is *exactly* the in-memory run: same counters, same
+/// per-depth profile, on both models, sequential and parallel, with and
+/// without symmetry — and the spill really does put bytes on the "disk".
+#[test]
+fn memdisk_spill_matches_in_memory_exactly() {
+    for (workers, symmetry) in [(1, false), (4, false), (1, true), (4, true)] {
+        let in_memory = Traversal::new(LifecycleModel, 4)
+            .with_workers(workers)
+            .with_symmetry(symmetry)
+            .run();
+        let disk = MemDisk::new();
+        let spilled = Traversal::new(LifecycleModel, 4)
+            .with_workers(workers)
+            .with_symmetry(symmetry)
+            .with_spill(disk.io(), "check/lifecycle")
+            .try_run()
+            .expect("clean MemDisk never fails");
+        assert_reports_match("lifecycle", &in_memory, &spilled);
+        assert!(spilled.spilled && !in_memory.spilled);
+        assert!(in_memory.ok());
+        assert!(
+            disk.total_bytes() > 0,
+            "the spilled run must put canonical states on disk"
+        );
+
+        let in_memory = Traversal::new(CatalogModel, 6)
+            .with_workers(workers)
+            .with_symmetry(symmetry)
+            .run();
+        let disk = MemDisk::new();
+        let spilled = Traversal::new(CatalogModel, 6)
+            .with_workers(workers)
+            .with_symmetry(symmetry)
+            .with_spill(disk.io(), "check/catalog")
+            .try_run()
+            .expect("clean MemDisk never fails");
+        assert_reports_match("catalog", &in_memory, &spilled);
+        assert!(in_memory.ok());
+    }
+}
+
+/// A stale spill directory (from an interrupted earlier run) is reset, not
+/// merged: junk already sitting in the shard logs cannot leak states into
+/// or out of the exploration.
+#[test]
+fn stale_shard_logs_are_reset_not_merged() {
+    let disk = MemDisk::new();
+    disk.io()
+        .write_file(Path::new("check/shard-000.log"), b"junk from a dead run")
+        .unwrap();
+    let spilled = Traversal::new(CatalogModel, 5)
+        .with_spill(disk.io(), "check")
+        .try_run()
+        .expect("stale logs are truncated at startup");
+    let in_memory = Traversal::new(CatalogModel, 5).run();
+    assert_reports_match("catalog", &in_memory, &spilled);
+}
+
+/// Crash sweep: kill the spill's write path at every mutating operation,
+/// under every torn-tail policy. Every crashed run must fail with a clean
+/// I/O error — no crash point may complete with a different report (the
+/// only acceptable "success" is the byte-identical one) and none may turn
+/// a conformant model into a violation or vice versa.
+#[test]
+fn every_crash_point_fails_cleanly_or_completes_identically() {
+    let reference = Traversal::new(CatalogModel, 5)
+        .with_workers(2)
+        .with_symmetry(true)
+        .run();
+
+    // Count the mutating ops of one complete run, then sweep them all.
+    let probe_disk = MemDisk::new();
+    let probe = probe_disk.fault_io(u64::MAX, TornTail::Drop);
+    Traversal::new(CatalogModel, 5)
+        .with_workers(2)
+        .with_symmetry(true)
+        .with_spill(probe.clone() as SharedIo, "check")
+        .try_run()
+        .expect("no crash scheduled");
+    let total_ops = probe.ops();
+    assert!(
+        total_ops > 4,
+        "the sweep should have real coverage: {total_ops}"
+    );
+
+    for crash_at in 1..=total_ops {
+        for torn in TornTail::ALL {
+            let disk = MemDisk::new();
+            let fault = disk.fault_io(crash_at, torn);
+            let result = Traversal::new(CatalogModel, 5)
+                .with_workers(2)
+                .with_symmetry(true)
+                .with_spill(fault.clone() as SharedIo, "check")
+                .try_run();
+            match result {
+                Err(SpillError::Io(_)) => {
+                    assert!(fault.crashed(), "I/O failure implies the crash fired");
+                }
+                Err(other) => panic!("crash {crash_at}/{torn:?}: unexpected {other}"),
+                Ok(report) => {
+                    // A run that never reached the crash point must be the
+                    // reference run, bit for bit.
+                    assert!(!fault.crashed(), "crashed runs cannot report success");
+                    assert_reports_match("catalog", &reference, &report);
+                }
+            }
+        }
+    }
+}
+
+/// Delegates to an inner [`StoreIo`] but flips one bit of the `nth`
+/// `read_range` result, simulating silent media corruption between write
+/// and read-back.
+struct FlipOnRead {
+    inner: SharedIo,
+    countdown: AtomicU64,
+}
+
+impl StoreIo for FlipOnRead {
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+    fn list(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read_range(path, offset, len)?;
+        if self.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if let Some(byte) = bytes.first_mut() {
+                *byte ^= 0x40;
+            }
+        }
+        Ok(bytes)
+    }
+    fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.inner.append(path, bytes)
+    }
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.inner.write_file(path, bytes)
+    }
+    fn truncate(&self, path: &Path, len: u64) -> std::io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        self.inner.rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> std::io::Result<()> {
+        self.inner.remove(path)
+    }
+    fn fsync(&self, path: &Path) -> std::io::Result<()> {
+        self.inner.fsync(path)
+    }
+    fn fsync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        self.inner.fsync_dir(dir)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+/// Every record read is checksum-validated: a flipped bit anywhere in the
+/// read-back path is reported as corruption, never silently absorbed into
+/// the exploration. Swept across the first several reads so both read
+/// sites (dedup compare and frontier fetch) get hit.
+#[test]
+fn flipped_bits_on_read_back_are_reported_as_corruption() {
+    let mut corruptions = 0;
+    for nth in 1..=24 {
+        let result = Traversal::new(CatalogModel, 5)
+            .with_spill(
+                Arc::new(FlipOnRead {
+                    inner: MemDisk::new().io(),
+                    countdown: AtomicU64::new(nth),
+                }) as SharedIo,
+                "check",
+            )
+            .try_run();
+        match result {
+            Err(SpillError::Corrupt(_)) => corruptions += 1,
+            Ok(report) => {
+                // The run performed fewer than `nth` reads; nothing was
+                // actually corrupted, so the verdict must be the clean one.
+                let reference = Traversal::new(CatalogModel, 5).run();
+                assert_reports_match("catalog", &reference, &report);
+            }
+            Err(other) => panic!("read {nth}: unexpected {other}"),
+        }
+    }
+    assert!(
+        corruptions > 0,
+        "the sweep must actually hit the read-back path"
+    );
+}
+
+/// A machine without a state codec cannot spill; asking for it is a
+/// configuration error, reported as such rather than exploring a partial
+/// space.
+#[test]
+fn spilling_a_codec_less_machine_is_unsupported() {
+    #[derive(Debug)]
+    struct NoCodec;
+    impl Machine for NoCodec {
+        type State = u8;
+        type Action = u8;
+        type Sym = ();
+        fn initial(&self) -> u8 {
+            0
+        }
+        fn actions(&self, _: &u8, out: &mut Vec<u8>) {
+            out.push(1);
+        }
+        fn transition(&self, state: &u8, action: &u8) -> Result<u8, String> {
+            Ok(state.wrapping_add(*action))
+        }
+        fn invariant(&self, _: &u8) -> Result<(), String> {
+            Ok(())
+        }
+    }
+    let result = Traversal::new(NoCodec, 3)
+        .with_spill(MemDisk::new().io(), "check")
+        .try_run();
+    assert!(
+        matches!(result, Err(SpillError::Unsupported)),
+        "expected Unsupported, got {result:?}"
+    );
+}

@@ -54,6 +54,8 @@ pub mod lifecycle;
 pub mod maintainer;
 pub mod metrics;
 pub mod mfs;
+#[cfg(feature = "check-mutants")]
+pub mod mutants;
 pub mod naive;
 pub mod prune;
 pub mod reference;

@@ -200,8 +200,11 @@ impl ObjectLifecycle {
         // where end-of-track events were ignored, so a same-class recycle
         // splices into the ended generation. Exists solely so the model
         // checker's mutant suite can prove it *catches* this class of bug;
-        // never enabled by production or tier-1 builds.
-        if cfg!(feature = "check-mutants") {
+        // never enabled by production or tier-1 builds. Runtime-toggled
+        // (armed by default) so other mutants in the same test binary can
+        // disarm it — its depth-2 counterexample shadows theirs otherwise.
+        #[cfg(feature = "check-mutants")]
+        if crate::mutants::end_tracks_noop() {
             return;
         }
         for external in ends {
